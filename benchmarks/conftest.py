@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (§5). Real measurements run the actual executors/baselines at
+laptop scale; paper-scale numbers (Blue Waters worker counts, Midway
+throughput) come from the calibrated models in :mod:`repro.simulation`.
+Every module prints the regenerated rows next to the paper's values so the
+comparison is visible directly in the pytest-benchmark output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+import pytest
+
+
+def print_table(title: str, headers: List[str], rows: List[List[object]]) -> None:
+    """Print a fixed-width comparison table into the benchmark output."""
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(headers)]
+    print()
+    print(f"=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()
+
+
+def noop():
+    """The no-op task used throughout the paper's overhead measurements."""
+    return None
+
+
+def measure_sequential_latency(submit: Callable, n_tasks: int) -> Dict[str, float]:
+    """Submit ``n_tasks`` one at a time, waiting for each (the Fig. 3 protocol)."""
+    samples = []
+    for _ in range(n_tasks):
+        start = time.perf_counter()
+        submit(noop, {}).result(timeout=60)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    mean = sum(samples) / len(samples)
+    return {
+        "mean_ms": mean * 1000,
+        "median_ms": samples[len(samples) // 2] * 1000,
+        "p95_ms": samples[int(0.95 * len(samples)) - 1] * 1000,
+    }
+
+
+def measure_throughput(submit: Callable, n_tasks: int) -> float:
+    """Submit a burst of no-op tasks and report completed tasks per second."""
+    start = time.perf_counter()
+    futures = [submit(noop, {}) for _ in range(n_tasks)]
+    for f in futures:
+        f.result(timeout=120)
+    elapsed = time.perf_counter() - start
+    return n_tasks / elapsed
+
+
+@pytest.fixture(scope="module")
+def quiet_logging():
+    import logging
+
+    previous = logging.getLogger().level
+    logging.getLogger().setLevel(logging.ERROR)
+    yield
+    logging.getLogger().setLevel(previous)

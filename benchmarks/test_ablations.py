@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the effect of the HTEX design
+decisions the paper describes qualitatively (§4.3.1) and of memoization
+(§4.6) on this implementation:
+
+* interchange task batching (batch size 1 vs 16),
+* randomized vs round-robin manager selection,
+* memoization on vs off for repeated invocations.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro import Config
+from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
+
+from conftest import measure_throughput, noop, print_table
+
+
+@pytest.mark.parametrize("batch_size", [1, 16])
+def test_ablation_interchange_batching(benchmark, batch_size, quiet_logging):
+    """Dispatch batching amortizes the per-message cost on the interchange."""
+    executor = HighThroughputExecutor(
+        label=f"htex_batch{batch_size}", workers_per_node=2, internal_managers=1, batch_size=batch_size
+    )
+    executor.start()
+    try:
+        rate = benchmark.pedantic(measure_throughput, args=(executor.submit, 400), rounds=2, iterations=1)
+        print(f"\nbatch_size={batch_size}: {rate:.0f} tasks/s")
+    finally:
+        executor.shutdown()
+
+
+@pytest.mark.parametrize("policy", ["random", "round_robin"])
+def test_ablation_manager_selection(benchmark, policy, quiet_logging):
+    """Randomized selection (the paper's fairness choice) vs round-robin."""
+    executor = HighThroughputExecutor(
+        label=f"htex_{policy}", workers_per_node=2, internal_managers=2, scheduling_policy=policy
+    )
+    executor.start()
+    deadline = time.time() + 10
+    while executor.connected_workers < 4 and time.time() < deadline:
+        time.sleep(0.05)
+    try:
+        rate = benchmark.pedantic(measure_throughput, args=(executor.submit, 400), rounds=2, iterations=1)
+        managers = executor.connected_managers
+        counts = sorted(m["outstanding"] for m in managers)
+        print(f"\npolicy={policy}: {rate:.0f} tasks/s across {len(managers)} managers (outstanding now {counts})")
+    finally:
+        executor.shutdown()
+
+
+@pytest.mark.parametrize("app_cache", [True, False])
+def test_ablation_memoization(benchmark, app_cache, tmp_path, quiet_logging):
+    """Memoization turns repeated identical invocations into table lookups."""
+    from repro.apps.app import python_app
+
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+        run_dir=str(tmp_path / f"runinfo-{app_cache}"),
+        app_cache=app_cache,
+        strategy="none",
+    )
+    repro.load(cfg)
+
+    @python_app
+    def simulate(x):
+        time.sleep(0.02)
+        return x * x
+
+    def repeated_workload():
+        futures = [simulate(i % 5) for i in range(50)]
+        return sum(f.result(timeout=60) for f in futures)
+
+    try:
+        elapsed_start = time.perf_counter()
+        result = benchmark.pedantic(repeated_workload, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - elapsed_start
+        assert result == sum((i % 5) ** 2 for i in range(50))
+        print(f"\napp_cache={app_cache}: repeated workload took {elapsed:.2f} s")
+    finally:
+        repro.clear()
+
+
+def test_ablation_memoization_speedup_summary(benchmark, tmp_path, quiet_logging):
+    """Direct comparison: cached runs must be much faster for repeated tasks."""
+    from repro.apps.app import python_app
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # table-only entry; timing below
+    timings = {}
+    for app_cache in (True, False):
+        cfg = Config(
+            executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+            run_dir=str(tmp_path / f"run-{app_cache}"),
+            app_cache=app_cache,
+            strategy="none",
+        )
+        repro.load(cfg)
+
+        @python_app
+        def simulate(x):
+            time.sleep(0.02)
+            return x * x
+
+        # Sequential invocations: later repeats of the same arguments can hit
+        # the memo table because earlier results have already been recorded.
+        start = time.perf_counter()
+        for i in range(50):
+            simulate(i % 5).result(timeout=60)
+        timings[app_cache] = time.perf_counter() - start
+        repro.clear()
+
+    print_table(
+        "Ablation — memoization",
+        ["app_cache", "50 repeated tasks (s)"],
+        [[k, f"{v:.2f}"] for k, v in timings.items()],
+    )
+    assert timings[True] < timings[False]

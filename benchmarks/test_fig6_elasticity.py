@@ -1,0 +1,87 @@
+"""Figures 5 & 6: elasticity — utilization and makespan with and without scaling.
+
+The paper's four-stage workflow (20×100 s → 1×50 s → 20×100 s → 1×50 s sleep
+tasks) on Midway gives 68.15 % utilization and a 301 s makespan without
+elasticity, and 84.28 % / 331 s with it — a 23.6 % utilization improvement
+for a 9.9 % makespan increase.
+
+The full-scale experiment is regenerated with the elasticity simulation
+(seconds of wall time instead of ~10 minutes); a scaled-down run on the real
+HTEX + LocalProvider + Strategy stack lives in
+``examples/elastic_montage.py`` and the elasticity integration test.
+"""
+
+import pytest
+
+from repro.simulation.elasticity import ElasticitySimulation, compare_elastic_vs_static, four_stage_workflow
+
+from conftest import print_table
+
+PAPER = {
+    "static": {"utilization": 0.6815, "makespan_s": 301.0},
+    "elastic": {"utilization": 0.8428, "makespan_s": 331.0},
+}
+
+
+def test_fig6_full_scale_comparison(benchmark):
+    comparison = benchmark(compare_elastic_vs_static)
+    rows = []
+    for mode in ("static", "elastic"):
+        rows.append(
+            [
+                mode,
+                f"{comparison[mode]['utilization']*100:.1f}%",
+                f"{PAPER[mode]['utilization']*100:.1f}%",
+                f"{comparison[mode]['makespan_s']:.0f}",
+                f"{PAPER[mode]['makespan_s']:.0f}",
+            ]
+        )
+    print_table(
+        "Figure 6 — elasticity study (simulation vs paper)",
+        ["mode", "utilization", "paper", "makespan (s)", "paper"],
+        rows,
+    )
+    static, elastic = comparison["static"], comparison["elastic"]
+    # Paper-shaped facts: utilization rises substantially, makespan rises slightly.
+    assert static["utilization"] == pytest.approx(PAPER["static"]["utilization"], abs=0.05)
+    assert static["makespan_s"] == pytest.approx(PAPER["static"]["makespan_s"], rel=0.05)
+    assert elastic["utilization"] > static["utilization"] + 0.08
+    assert static["makespan_s"] <= elastic["makespan_s"] <= 1.25 * static["makespan_s"]
+
+
+def test_fig5_task_lifecycle_records(benchmark):
+    """Fig. 6 (bottom) plots per-task queue/execute lifecycles; regenerate the records."""
+    result = benchmark.pedantic(lambda: ElasticitySimulation(elastic=True).run(), rounds=1, iterations=1)
+    assert len(result.task_records) == sum(len(s) for s in four_stage_workflow())
+    waits = [r["started"] - r["queued_at"] for r in result.task_records]
+    executes = [r["ended"] - r["started"] for r in result.task_records]
+    print_table(
+        "Figure 6 (bottom) — task lifecycle summary (elastic run)",
+        ["metric", "min", "mean", "max"],
+        [
+            ["queue wait (s)", f"{min(waits):.1f}", f"{sum(waits)/len(waits):.1f}", f"{max(waits):.1f}"],
+            ["execution (s)", f"{min(executes):.1f}", f"{sum(executes)/len(executes):.1f}", f"{max(executes):.1f}"],
+        ],
+    )
+    # Wide-stage tasks run for 100 s, reduce tasks for 50 s.
+    assert max(executes) == pytest.approx(100.0, abs=1.0)
+    assert min(executes) == pytest.approx(50.0, abs=1.0)
+
+
+def test_fig6_parallelism_ablation(benchmark):
+    """Sweep the strategy's parallelism parameter (§4.4): more aggressive scaling
+    buys utilization until provisioning delay dominates."""
+    def sweep():
+        results = {}
+        for parallelism in (0.25, 0.5, 1.0):
+            run = ElasticitySimulation(elastic=True, parallelism=parallelism).run()
+            results[parallelism] = run.summary()
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [p, f"{r['utilization']*100:.1f}%", f"{r['makespan_s']:.0f}"]
+        for p, r in sorted(results.items())
+    ]
+    print_table("Elasticity ablation — strategy parallelism parameter", ["parallelism", "utilization", "makespan (s)"], rows)
+    assert results[1.0]["makespan_s"] <= results[0.25]["makespan_s"]

@@ -1,0 +1,95 @@
+"""Elastic execution of a map-reduce-style workflow (§4.4, Figures 5 and 6).
+
+This example runs a scaled-down version of the paper's elasticity workflow —
+wide stage → reduce → wide stage → reduce — on the real HTEX + LocalProvider
+stack with the block-level strategy enabled, and reports worker utilization
+and makespan with and without elasticity, mirroring Figure 6.
+
+The full-scale (20 workers × 100 s tasks) version of this experiment is
+regenerated analytically by ``benchmarks/test_fig6_elasticity.py``; here the
+durations are shrunk so the demonstration finishes in about a minute.
+
+Run with::
+
+    python examples/elastic_montage.py [--width 8] [--task-seconds 2.0]
+"""
+
+import argparse
+import os
+import tempfile
+import time
+
+import repro
+from repro import Config, python_app
+from repro.executors import HighThroughputExecutor
+from repro.providers import LocalProvider
+
+
+@python_app(cache=False)
+def stage_task(duration):
+    import time as _time
+
+    _time.sleep(duration)
+    return duration
+
+
+def run_workflow(width, task_seconds, elastic, workdir):
+    provider = LocalProvider(
+        init_blocks=4 if not elastic else 1,
+        min_blocks=1,
+        max_blocks=4,
+        parallelism=1.0,
+        script_dir=os.path.join(workdir, "scripts"),
+    )
+    executor = HighThroughputExecutor(
+        label="htex",
+        provider=provider,
+        workers_per_node=2,
+        heartbeat_threshold=20,
+    )
+    config = Config(
+        executors=[executor],
+        run_dir=os.path.join(workdir, "runinfo"),
+        strategy="simple" if elastic else "none",
+        strategy_period=0.5,
+        max_idletime=1.0,
+    )
+    repro.load(config)
+
+    stages = [width, 1, width, 1]
+    start = time.perf_counter()
+    busy_seconds = 0.0
+    worker_samples = []
+    for stage_width in stages:
+        durations = [task_seconds if stage_width > 1 else task_seconds / 2] * stage_width
+        futures = [stage_task(d) for d in durations]
+        while any(not f.done() for f in futures):
+            worker_samples.append(executor.connected_workers)
+            time.sleep(0.25)
+        busy_seconds += sum(f.result() for f in futures)
+    makespan = time.perf_counter() - start
+    # Worker-seconds: average connected workers over the run times the makespan.
+    mean_workers = sum(worker_samples) / max(len(worker_samples), 1)
+    utilization = busy_seconds / max(mean_workers * makespan, 1e-9)
+    repro.clear()
+    return {"makespan_s": makespan, "utilization": utilization, "mean_workers": mean_workers}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--task-seconds", type=float, default=2.0)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="repro-elastic-")
+    for label, elastic in (("static ", False), ("elastic", True)):
+        result = run_workflow(args.width, args.task_seconds, elastic, workdir)
+        print(
+            f"{label}: makespan {result['makespan_s']:6.1f} s   "
+            f"utilization {result['utilization']*100:5.1f} %   "
+            f"mean workers {result['mean_workers']:.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

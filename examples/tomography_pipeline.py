@@ -1,0 +1,123 @@
+"""Near-real-time neuroscience tomography pipeline with remote data staging (§2.1).
+
+The neuroscience use case reconstructs 3-D brain volumes from x-ray
+microtomography during a beamline experiment: 2-D slices are analysed to find
+the sample centre, a quality model selects the best slices, and a
+tomographic reconstruction is produced quickly enough to steer the
+experiment. Inputs arrive from the facility's data service, which this
+reproduction models with the HTTP staging layer and the simulated object
+store.
+
+The example demonstrates:
+
+* remote Files (http://...) passed through ``inputs=[...]`` with transparent
+  staging tasks injected into the graph (§4.5),
+* a multi-stage dataflow (centre finding → quality scoring → reconstruction),
+* monitoring: the run finishes by printing the per-state task counts and the
+  workflow summary from the monitoring hub.
+
+Run with::
+
+    python examples/tomography_pipeline.py [--slices 12]
+"""
+
+import argparse
+import os
+import tempfile
+
+import numpy as np
+
+import repro
+from repro import Config, File, python_app
+from repro.data.object_store import get_default_store
+from repro.executors import HighThroughputExecutor
+from repro.monitoring import MonitoringHub, format_summary_text
+
+
+@python_app
+def find_center(inputs=None):
+    """Estimate the rotation centre of one projection slice."""
+    import numpy as _np
+
+    slice_data = _np.loadtxt(inputs[0].filepath)
+    column_mass = slice_data.sum(axis=0)
+    return float((column_mass * _np.arange(len(column_mass))).sum() / column_mass.sum())
+
+
+@python_app
+def score_quality(inputs=None):
+    """Score a slice by contrast (standard deviation of intensities)."""
+    import numpy as _np
+
+    return float(_np.loadtxt(inputs[0].filepath).std())
+
+
+@python_app
+def reconstruct(centers, scores, quality_threshold=0.5, inputs=None):
+    """Back-project the selected slices into a coarse 3-D volume estimate."""
+    import numpy as _np
+
+    selected = [path for path, score in zip(inputs, scores) if score >= quality_threshold]
+    if not selected:
+        raise RuntimeError("no slices passed the quality threshold")
+    volume = None
+    for file_obj in selected:
+        slice_data = _np.loadtxt(file_obj.filepath)
+        volume = slice_data if volume is None else volume + slice_data
+    return {
+        "slices_used": len(selected),
+        "mean_center": float(sum(centers) / len(centers)),
+        "volume_mass": float(volume.sum()),
+    }
+
+
+def publish_slices(n_slices, size=64, seed=3):
+    """Publish synthetic projection slices to the facility 'data service'."""
+    store = get_default_store()
+    rng = np.random.default_rng(seed)
+    urls = []
+    for index in range(n_slices):
+        # A bright disc whose centre drifts slightly per slice.
+        yy, xx = np.mgrid[0:size, 0:size]
+        cx = size / 2 + rng.normal(scale=2.0)
+        disc = ((xx - cx) ** 2 + (yy - size / 2) ** 2 < (size / 4) ** 2).astype(float)
+        noisy = disc + 0.05 * rng.normal(size=disc.shape)
+        text = "\n".join(" ".join(f"{v:.5f}" for v in row) for row in noisy)
+        url = f"http://beamline.aps.example/scan42/slice{index:03d}.txt"
+        store.put(url, text.encode("utf-8"))
+        urls.append(url)
+    return urls
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slices", type=int, default=12)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="repro-tomo-")
+    hub = MonitoringHub()
+    config = Config(
+        executors=[HighThroughputExecutor(label="htex", workers_per_node=4)],
+        run_dir=os.path.join(workdir, "runinfo"),
+        monitoring=hub,
+        retries=1,
+    )
+    repro.load(config)
+
+    urls = publish_slices(args.slices)
+    slice_files = [File(url) for url in urls]
+
+    centers = [find_center(inputs=[f]) for f in slice_files]
+    scores = [score_quality(inputs=[f]) for f in slice_files]
+    volume = reconstruct(centers, scores, quality_threshold=0.1, inputs=slice_files)
+
+    result = volume.result()
+    print("reconstruction:", result)
+    print("task states   :", repro.dfk().task_summary())
+    repro.clear()
+    print()
+    print(format_summary_text(hub))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: a reproduction of "Parsl: Pervasive Parallel Programming in Python" (HPDC 2019).
+
+The public API mirrors the library described in the paper::
+
+    import repro
+    from repro import python_app, bash_app, Config
+    from repro.executors import HighThroughputExecutor
+
+    repro.load(Config(executors=[HighThroughputExecutor(workers_per_node=4)]))
+
+    @python_app
+    def hello(name):
+        return f"Hello {name}"
+
+    print(hello("World").result())
+    repro.clear()
+"""
+
+from repro.version import VERSION as __version__
+
+from repro.apps.app import python_app, bash_app, join_app
+from repro.config.config import Config
+from repro.core.dflow import DataFlowKernel, DataFlowKernelLoader
+from repro.core.futures import AppFuture, DataFuture
+from repro.core.guidelines import recommend_executor
+from repro.data.files import File
+from repro.errors import ReproException
+
+#: Load a DataFlowKernel from a Config (module-level convenience, as in Parsl).
+load = DataFlowKernelLoader.load
+#: Return the currently loaded DataFlowKernel.
+dfk = DataFlowKernelLoader.dfk
+#: Clean up and forget the currently loaded DataFlowKernel.
+clear = DataFlowKernelLoader.clear
+#: Block until every currently submitted task reaches a final state.
+wait_for_current_tasks = DataFlowKernelLoader.wait_for_current_tasks
+
+__all__ = [
+    "__version__",
+    "python_app",
+    "bash_app",
+    "join_app",
+    "Config",
+    "DataFlowKernel",
+    "DataFlowKernelLoader",
+    "AppFuture",
+    "DataFuture",
+    "File",
+    "ReproException",
+    "recommend_executor",
+    "load",
+    "dfk",
+    "clear",
+    "wait_for_current_tasks",
+]

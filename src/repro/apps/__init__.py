@@ -1,0 +1,5 @@
+"""App decorators (§3.1.1): the user-facing way to mark functions for parallel execution."""
+
+from repro.apps.app import AppBase, PythonApp, BashApp, python_app, bash_app, join_app
+
+__all__ = ["AppBase", "PythonApp", "BashApp", "python_app", "bash_app", "join_app"]

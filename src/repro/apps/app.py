@@ -1,0 +1,144 @@
+"""The ``@python_app`` and ``@bash_app`` decorators (§3.1.1).
+
+Decorating a function registers it as an App: invoking it no longer runs the
+body synchronously but instead registers an asynchronous task with the
+DataFlowKernel and immediately returns an
+:class:`~repro.core.futures.AppFuture`. Apps must be pure functions acting
+only on their inputs; passing futures between Apps is what expresses the
+dependency graph (§3.3).
+
+Three decorators are provided:
+
+* ``@python_app``  — the body is ordinary Python executed on a worker;
+* ``@bash_app``    — the body returns a shell command executed on a worker,
+  with optional ``stdout``/``stderr`` redirection keywords;
+* ``@join_app``    — the body runs locally and returns a future (or list of
+  futures); the App's own future resolves to the joined result. This is the
+  "tasks that generate new tasks" pattern from §3.4.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.apps.bash import remote_side_bash_executor
+from repro.apps.python import timeout_python_executor
+
+
+class AppBase:
+    """Common machinery for all App kinds."""
+
+    def __init__(
+        self,
+        func: Callable,
+        data_flow_kernel=None,
+        executors: Union[str, Sequence[str]] = "all",
+        cache: bool = True,
+        ignore_for_cache: Optional[Sequence[str]] = None,
+    ):
+        self.func = func
+        self.data_flow_kernel = data_flow_kernel
+        self.executors = executors
+        self.cache = cache
+        self.ignore_for_cache = list(ignore_for_cache or [])
+        functools.update_wrapper(self, func)
+
+    # ------------------------------------------------------------------
+    def _resolve_dfk(self):
+        if self.data_flow_kernel is not None:
+            return self.data_flow_kernel
+        from repro.core.dflow import DataFlowKernelLoader
+
+        return DataFlowKernelLoader.dfk()
+
+    def __call__(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class PythonApp(AppBase):
+    """An App whose body is pure Python executed asynchronously."""
+
+    def __call__(self, *args, **kwargs):
+        dfk = self._resolve_dfk()
+        walltime = kwargs.pop("walltime", None)
+        if walltime is not None:
+            submit_func: Callable = timeout_python_executor
+            submit_args: tuple = (self.func, float(walltime), *args)
+        else:
+            submit_func = self.func
+            submit_args = args
+        return dfk.submit(
+            submit_func,
+            app_args=submit_args,
+            app_kwargs=kwargs,
+            executors=self.executors,
+            cache=self.cache,
+            func_name=self.func.__name__,
+            ignore_for_cache=self.ignore_for_cache,
+        )
+
+
+class BashApp(AppBase):
+    """An App whose body returns a shell command to execute."""
+
+    def __call__(self, *args, **kwargs):
+        dfk = self._resolve_dfk()
+        return dfk.submit(
+            remote_side_bash_executor,
+            app_args=(self.func, *args),
+            app_kwargs=kwargs,
+            executors=self.executors,
+            cache=self.cache,
+            func_name=self.func.__name__,
+            ignore_for_cache=self.ignore_for_cache,
+        )
+
+
+class JoinApp(AppBase):
+    """An App whose body runs locally and returns further futures to wait on."""
+
+    def __call__(self, *args, **kwargs):
+        dfk = self._resolve_dfk()
+        return dfk.submit(
+            self.func,
+            app_args=args,
+            app_kwargs=kwargs,
+            executors="_dfk_internal",
+            cache=self.cache,
+            func_name=self.func.__name__,
+            join=True,
+            ignore_for_cache=self.ignore_for_cache,
+        )
+
+
+def _make_decorator(app_cls):
+    def decorator(
+        function: Optional[Callable] = None,
+        data_flow_kernel=None,
+        executors: Union[str, Sequence[str]] = "all",
+        cache: bool = True,
+        ignore_for_cache: Optional[Sequence[str]] = None,
+    ):
+        def wrap(func: Callable):
+            return app_cls(
+                func,
+                data_flow_kernel=data_flow_kernel,
+                executors=executors,
+                cache=cache,
+                ignore_for_cache=ignore_for_cache,
+            )
+
+        if function is not None:
+            return wrap(function)
+        return wrap
+
+    return decorator
+
+
+#: Decorator for pure-Python Apps.
+python_app = _make_decorator(PythonApp)
+#: Decorator for shell-command Apps.
+bash_app = _make_decorator(BashApp)
+#: Decorator for Apps that launch and join further Apps.
+join_app = _make_decorator(JoinApp)

@@ -1,0 +1,88 @@
+"""Remote-side execution of Bash Apps.
+
+A ``@bash_app`` function's Python body runs on the worker and must return a
+fragment of shell code. That fragment is formatted with the App's arguments,
+executed in a sandboxed working directory, and its stdout/stderr optionally
+redirected to files named by the ``stdout``/``stderr`` keywords. The value
+delivered through the future is the UNIX return code, which indicates only
+whether the command succeeded; a non-zero code raises
+:class:`~repro.errors.BashExitFailure` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Any, Dict, Optional
+
+from repro.errors import AppBadFormatting, AppTimeout, BashAppNoReturn, BashExitFailure
+
+
+def _open_redirect(spec, mode: str = "w"):
+    """Interpret a stdout/stderr specification.
+
+    Accepts a path string, a (path, mode) tuple, or None. Returns an open
+    file object or None.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, tuple):
+        path, mode = spec
+    else:
+        path = spec
+    path = os.fspath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    return open(path, mode)
+
+
+def remote_side_bash_executor(func, *args, **kwargs) -> int:
+    """Execute a bash app's command on the worker; returns the exit code (always 0).
+
+    Raises on failure so that the exception (not a silent non-zero integer)
+    propagates through the future.
+    """
+    # Keywords consumed here rather than passed to the user function.
+    stdout_spec = kwargs.pop("stdout", None)
+    stderr_spec = kwargs.pop("stderr", None)
+    walltime: Optional[float] = kwargs.pop("walltime", None)
+    app_name = getattr(func, "__name__", "bash_app")
+
+    # The Python body runs here, on the worker, to produce the command line.
+    try:
+        command = func(*args, **kwargs)
+    except IndexError as exc:
+        raise AppBadFormatting(f"app {app_name} formatting failed: {exc}") from exc
+    if not isinstance(command, str) or not command.strip():
+        raise BashAppNoReturn(f"bash app {app_name} must return a non-empty command string")
+
+    # Late formatting: allow '{kwarg}' style placeholders in the returned string.
+    format_args: Dict[str, Any] = dict(kwargs)
+    try:
+        command = command.format(**format_args)
+    except (KeyError, IndexError) as exc:
+        raise AppBadFormatting(f"app {app_name} command formatting failed: {exc}") from exc
+
+    std_out = _open_redirect(stdout_spec)
+    std_err = _open_redirect(stderr_spec)
+    try:
+        proc = subprocess.run(
+            command,
+            shell=True,
+            stdout=std_out if std_out is not None else subprocess.DEVNULL,
+            stderr=std_err if std_err is not None else subprocess.DEVNULL,
+            timeout=walltime,
+            executable="/bin/bash",
+        )
+        returncode = proc.returncode
+    except subprocess.TimeoutExpired as exc:
+        raise AppTimeout(f"bash app {app_name} exceeded walltime of {walltime}s") from exc
+    finally:
+        if std_out is not None:
+            std_out.close()
+        if std_err is not None:
+            std_err.close()
+
+    if returncode != 0:
+        raise BashExitFailure(app_name, returncode)
+    return 0

@@ -1,0 +1,35 @@
+"""Remote-side helpers for Python Apps."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import AppTimeout
+
+
+def timeout_python_executor(func, walltime: float, /, *args, **kwargs) -> Any:
+    """Run ``func`` with a wall-clock limit.
+
+    Python has no portable way to interrupt arbitrary code, so the function
+    runs on a worker-side thread and the caller gives up (raising
+    :class:`~repro.errors.AppTimeout`) when the limit passes. The abandoned
+    thread keeps the worker slot busy until it finishes — the same caveat the
+    upstream implementation documents for its ``walltime`` keyword.
+    """
+    result_box = {}
+
+    def _target():
+        try:
+            result_box["result"] = func(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - forwarded below
+            result_box["exception"] = exc
+
+    thread = threading.Thread(target=_target, daemon=True)
+    thread.start()
+    thread.join(timeout=walltime)
+    if thread.is_alive():
+        raise AppTimeout(f"python app {getattr(func, '__name__', 'app')} exceeded walltime of {walltime}s")
+    if "exception" in result_box:
+        raise result_box["exception"]
+    return result_box.get("result")

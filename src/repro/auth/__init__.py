@@ -1,0 +1,5 @@
+"""Authentication helpers (§4.6): a Globus-Auth-style native-app token flow, simulated."""
+
+from repro.auth.tokens import TokenStore, NativeAppAuthClient
+
+__all__ = ["TokenStore", "NativeAppAuthClient"]

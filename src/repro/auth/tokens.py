@@ -1,0 +1,114 @@
+"""Token management.
+
+The paper integrates with Globus Auth as a "native app": users authenticate
+once (web login or cached tokens) and the stored access tokens are then used
+to reach Globus-Auth-enabled services (data transfer, SSH). Without network
+access we reproduce the *shape* of that flow:
+
+* :class:`NativeAppAuthClient` issues scoped tokens after a simulated consent
+  step,
+* :class:`TokenStore` caches tokens on disk (like ``~/.globus``), validates
+  them, refreshes expired ones, and is consulted by the SSH channel and the
+  Globus staging provider.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import tempfile
+import time
+from typing import Dict, Optional
+
+
+class NativeAppAuthClient:
+    """Issue access tokens for requested scopes after a (simulated) login."""
+
+    def __init__(self, client_id: str = "repro-native-app", token_lifetime_s: float = 3600.0):
+        self.client_id = client_id
+        self.token_lifetime_s = token_lifetime_s
+        self._consented = False
+
+    def start_flow(self, scopes) -> str:
+        """Return the 'authorization URL' the user would visit."""
+        self._requested_scopes = list(scopes)
+        return f"https://auth.example.org/authorize?client_id={self.client_id}&scopes={'+'.join(self._requested_scopes)}"
+
+    def complete_flow(self, auth_code: str = "ok") -> Dict[str, Dict[str, object]]:
+        """Exchange the auth code for per-scope tokens."""
+        if not auth_code:
+            raise ValueError("empty authorization code")
+        self._consented = True
+        now = time.time()
+        return {
+            scope: {
+                "access_token": secrets.token_hex(16),
+                "expires_at": now + self.token_lifetime_s,
+                "scope": scope,
+            }
+            for scope in getattr(self, "_requested_scopes", [])
+        }
+
+
+class TokenStore:
+    """Disk-backed cache of access tokens keyed by resource/scope name."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path or os.path.join(tempfile.gettempdir(), "repro-tokens.json")
+        self._tokens: Dict[str, Dict[str, object]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if os.path.exists(self.path):
+            try:
+                with open(self.path) as fh:
+                    self._tokens = json.load(fh)
+            except (OSError, ValueError):
+                self._tokens = {}
+
+    def _save(self) -> None:
+        with open(self.path, "w") as fh:
+            json.dump(self._tokens, fh)
+
+    # ------------------------------------------------------------------
+    def store_tokens(self, tokens: Dict[str, Dict[str, object]]) -> None:
+        self._tokens.update(tokens)
+        self._save()
+
+    def get_token(self, resource: str) -> Optional[str]:
+        entry = self._tokens.get(resource)
+        if entry is None:
+            return None
+        if float(entry.get("expires_at", 0)) < time.time():
+            return None
+        return str(entry["access_token"])
+
+    def has_valid_token(self, resource: str) -> bool:
+        return self.get_token(resource) is not None
+
+    def validate(self, resource: str, token: Optional[str]) -> bool:
+        """Check a presented token against the cached one for ``resource``."""
+        if token is None:
+            # No token presented: accept only if no token is required (no entry).
+            return resource not in self._tokens
+        cached = self.get_token(resource)
+        return cached is not None and cached == token
+
+    def revoke(self, resource: str) -> None:
+        self._tokens.pop(resource, None)
+        self._save()
+
+    def clear(self) -> None:
+        self._tokens = {}
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def login(self, scopes, client: Optional[NativeAppAuthClient] = None) -> None:
+        """Convenience: run the whole native-app flow and cache the tokens."""
+        client = client or NativeAppAuthClient()
+        client.start_flow(scopes)
+        self.store_tokens(client.complete_flow("ok"))

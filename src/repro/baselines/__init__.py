@@ -1,0 +1,33 @@
+"""Baseline frameworks the paper compares against (§5).
+
+The evaluation compares Parsl's executors with IPyParallel, FireWorks, and
+Dask distributed. Those systems are not installable here, so this package
+contains *functional mini-reimplementations* that reproduce each system's
+architectural bottleneck — which is what determines the comparison:
+
+* :mod:`repro.baselines.ipp` — a central hub that round-trips every task
+  individually between client, hub, and engines (no batching, no pilot
+  managers): IPyParallel's per-task RPC overhead.
+* :mod:`repro.baselines.fireworks` — a central LaunchPad database that
+  workers poll; every task requires several database operations with
+  non-trivial latency: FireWorks' MongoDB bottleneck.
+* :mod:`repro.baselines.daskdist` — a central scheduler that makes a
+  per-task scheduling decision and holds one connection per worker, with a
+  hard cap on connections: Dask distributed's centralized scheduler.
+
+Each baseline exposes the same minimal interface (``start``, ``submit``,
+``shutdown``, ``connected_workers``) so the latency/throughput benchmarks can
+drive Parsl executors and baselines identically.
+"""
+
+from repro.baselines.base import BaselineExecutor
+from repro.baselines.ipp import IPyParallelLikeExecutor
+from repro.baselines.fireworks import FireWorksLikeExecutor
+from repro.baselines.daskdist import DaskDistributedLikeExecutor
+
+__all__ = [
+    "BaselineExecutor",
+    "IPyParallelLikeExecutor",
+    "FireWorksLikeExecutor",
+    "DaskDistributedLikeExecutor",
+]

@@ -1,0 +1,32 @@
+"""Common interface for baseline mini-frameworks."""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict
+
+
+class BaselineExecutor(ABC):
+    """The minimal executor surface shared with repro executors for benchmarking."""
+
+    label: str = "baseline"
+
+    @abstractmethod
+    def start(self) -> None:
+        """Bring up the framework (hub/scheduler/database plus workers)."""
+
+    @abstractmethod
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        """Submit one task; returns a future."""
+
+    @abstractmethod
+    def shutdown(self, block: bool = True) -> None:
+        """Tear the framework down."""
+
+    @property
+    def connected_workers(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(label={self.label!r})"

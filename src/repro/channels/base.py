@@ -1,0 +1,60 @@
+"""Channel abstraction.
+
+A channel describes how the library connects to the machine where provider
+commands (sbatch, qsub, fork, ...) must run: directly on the local host
+(:class:`~repro.channels.local.LocalChannel`) or on a remote login node
+(:class:`~repro.channels.ssh.SSHChannel`, simulated here). Providers never
+run commands themselves; they always go through their channel, which is what
+makes a Parsl script movable between resources without code changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CommandResult:
+    """Outcome of a command executed through a channel."""
+
+    exit_code: int
+    stdout: str
+    stderr: str
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+class Channel(ABC):
+    """Interface every channel implements."""
+
+    #: A label used in logs and monitoring records.
+    label: str = "channel"
+
+    @abstractmethod
+    def execute_wait(self, cmd: str, walltime: Optional[float] = None) -> CommandResult:
+        """Run ``cmd`` to completion and return its result."""
+
+    @abstractmethod
+    def push_file(self, source: str, dest_dir: str) -> str:
+        """Copy a local file to the channel's side; returns the remote path."""
+
+    @abstractmethod
+    def pull_file(self, remote_path: str, local_dir: str) -> str:
+        """Copy a file from the channel's side to a local directory; returns the local path."""
+
+    @abstractmethod
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        """Create a directory (and parents) on the channel's side."""
+
+    @property
+    @abstractmethod
+    def script_dir(self) -> str:
+        """Directory in which generated submit scripts are placed."""
+
+    def close(self) -> None:
+        """Release any resources held by the channel."""
+        return None

@@ -1,0 +1,73 @@
+"""LocalChannel: execute provider commands directly on this host."""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+from repro.channels.base import Channel, CommandResult
+
+
+class LocalChannel(Channel):
+    """Run commands with the local shell; copy files with the local filesystem.
+
+    This is the channel used when the Parsl script runs on a login node with
+    direct queue access (the common case in the paper's Listing 1) and the
+    only channel needed for single-machine execution.
+    """
+
+    label = "local"
+
+    def __init__(self, script_dir: Optional[str] = None, envs: Optional[dict] = None):
+        self._script_dir = script_dir or tempfile.mkdtemp(prefix="repro-scripts-")
+        os.makedirs(self._script_dir, exist_ok=True)
+        self.envs = dict(envs or {})
+
+    @property
+    def script_dir(self) -> str:
+        return self._script_dir
+
+    def execute_wait(self, cmd: str, walltime: Optional[float] = None) -> CommandResult:
+        env = dict(os.environ)
+        env.update({k: str(v) for k, v in self.envs.items()})
+        try:
+            proc = subprocess.run(
+                cmd,
+                shell=True,
+                capture_output=True,
+                text=True,
+                timeout=walltime,
+                env=env,
+            )
+            return CommandResult(proc.returncode, proc.stdout, proc.stderr)
+        except subprocess.TimeoutExpired as exc:
+            return CommandResult(124, exc.stdout or "", f"command timed out after {walltime}s")
+
+    def execute_no_wait(self, cmd: str) -> subprocess.Popen:
+        """Start a long-running command (e.g. a worker pool) without waiting."""
+        env = dict(os.environ)
+        env.update({k: str(v) for k, v in self.envs.items()})
+        return subprocess.Popen(
+            cmd,
+            shell=True,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+
+    def push_file(self, source: str, dest_dir: str) -> str:
+        os.makedirs(dest_dir, exist_ok=True)
+        dest = os.path.join(dest_dir, os.path.basename(source))
+        if os.path.abspath(source) != os.path.abspath(dest):
+            shutil.copyfile(source, dest)
+        return dest
+
+    def pull_file(self, remote_path: str, local_dir: str) -> str:
+        return self.push_file(remote_path, local_dir)
+
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        os.makedirs(path, exist_ok=exist_ok)

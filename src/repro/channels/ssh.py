@@ -1,0 +1,136 @@
+"""SSHChannel: simulated remote command execution.
+
+The real Parsl SSHChannel uses paramiko to reach a cluster login node. This
+reproduction has no remote machines, so the SSH channel simulates remoteness
+on top of the local host:
+
+* commands run locally but pay a configurable round-trip latency,
+* the "remote" filesystem is a separate directory tree (``remote_root``) so
+  path translation (push/pull) is meaningfully exercised,
+* authentication is checked against a :class:`~repro.auth.tokens.TokenStore`
+  entry when one is supplied, mirroring the Globus-Auth-backed SSH described
+  in §4.6.
+
+The interface is identical to :class:`~repro.channels.local.LocalChannel`, so
+providers cannot tell the difference — which is the point of the abstraction.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from typing import Optional
+
+from repro.channels.base import Channel, CommandResult
+from repro.errors import ChannelError
+
+
+class SSHChannel(Channel):
+    """A latency-injecting, directory-sandboxed stand-in for an SSH connection."""
+
+    label = "ssh"
+
+    def __init__(
+        self,
+        hostname: str = "login.example.edu",
+        username: Optional[str] = None,
+        remote_root: Optional[str] = None,
+        script_dir: Optional[str] = None,
+        rtt_ms: float = 20.0,
+        auth_token: Optional[str] = None,
+        token_store=None,
+        envs: Optional[dict] = None,
+    ):
+        self.hostname = hostname
+        self.username = username or os.environ.get("USER", "user")
+        self.rtt_ms = rtt_ms
+        self.auth_token = auth_token
+        self.token_store = token_store
+        self.envs = dict(envs or {})
+        self.remote_root = remote_root or tempfile.mkdtemp(prefix=f"repro-ssh-{hostname}-")
+        os.makedirs(self.remote_root, exist_ok=True)
+        self._script_dir = script_dir or os.path.join(self.remote_root, "submit_scripts")
+        os.makedirs(self._script_dir, exist_ok=True)
+        self._connected = False
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        """Simulate the SSH handshake, validating the token when provided."""
+        if self.token_store is not None:
+            if not self.token_store.validate(self.hostname, self.auth_token):
+                raise ChannelError("authentication failed", self.hostname)
+        self._pay_latency()
+        self._connected = True
+
+    def _pay_latency(self) -> None:
+        if self.rtt_ms > 0:
+            time.sleep(self.rtt_ms / 1000.0)
+
+    def _require_connected(self) -> None:
+        if not self._connected:
+            raise ChannelError("channel is closed", self.hostname)
+
+    @property
+    def script_dir(self) -> str:
+        return self._script_dir
+
+    # ------------------------------------------------------------------
+    def execute_wait(self, cmd: str, walltime: Optional[float] = None) -> CommandResult:
+        self._require_connected()
+        self._pay_latency()
+        env = dict(os.environ)
+        env.update({k: str(v) for k, v in self.envs.items()})
+        env["REPRO_SSH_REMOTE_ROOT"] = self.remote_root
+        try:
+            proc = subprocess.run(
+                cmd,
+                shell=True,
+                capture_output=True,
+                text=True,
+                timeout=walltime,
+                cwd=self.remote_root,
+                env=env,
+            )
+            return CommandResult(proc.returncode, proc.stdout, proc.stderr)
+        except subprocess.TimeoutExpired as exc:
+            return CommandResult(124, exc.stdout or "", f"command timed out after {walltime}s")
+
+    def push_file(self, source: str, dest_dir: str) -> str:
+        """Copy a local file into the remote tree (an 'scp to' operation)."""
+        self._require_connected()
+        self._pay_latency()
+        target_dir = self._remote_path(dest_dir)
+        os.makedirs(target_dir, exist_ok=True)
+        dest = os.path.join(target_dir, os.path.basename(source))
+        shutil.copyfile(source, dest)
+        return dest
+
+    def pull_file(self, remote_path: str, local_dir: str) -> str:
+        """Copy a file from the remote tree to a local directory (an 'scp from')."""
+        self._require_connected()
+        self._pay_latency()
+        src = self._remote_path(remote_path)
+        if not os.path.exists(src):
+            raise ChannelError(f"remote file not found: {remote_path}", self.hostname)
+        os.makedirs(local_dir, exist_ok=True)
+        dest = os.path.join(local_dir, os.path.basename(remote_path))
+        shutil.copyfile(src, dest)
+        return dest
+
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        self._require_connected()
+        self._pay_latency()
+        os.makedirs(self._remote_path(path), exist_ok=exist_ok)
+
+    def _remote_path(self, path: str) -> str:
+        """Map a path into the remote sandbox unless it is already inside it."""
+        if os.path.isabs(path) and path.startswith(self.remote_root):
+            return path
+        return os.path.join(self.remote_root, path.lstrip("/"))
+
+    def close(self) -> None:
+        self._connected = False

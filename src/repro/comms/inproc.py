@@ -1,0 +1,155 @@
+"""In-process transport with the same API as the TCP server/client.
+
+Thread-based executor deployments (and unit tests) use this fabric to avoid
+the cost and flakiness of real sockets while exercising identical executor
+logic. An :class:`InprocFabric` plays the role of the network: routers bind
+named endpoints in it and dealers connect to those names.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.ids import make_uid
+
+
+class InprocFabric:
+    """A registry of named in-process endpoints."""
+
+    def __init__(self):
+        self._endpoints: Dict[str, "InprocRouter"] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, router: "InprocRouter") -> None:
+        with self._lock:
+            if name in self._endpoints:
+                raise ValueError(f"endpoint {name!r} already bound")
+            self._endpoints[name] = router
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._endpoints.pop(name, None)
+
+    def lookup(self, name: str) -> "InprocRouter":
+        with self._lock:
+            try:
+                return self._endpoints[name]
+            except KeyError:
+                raise ConnectionError(f"no endpoint bound at {name!r}") from None
+
+
+#: A default fabric, analogous to the host loopback network.
+DEFAULT_FABRIC = InprocFabric()
+
+
+class InprocRouter:
+    """In-process ROUTER: receives (identity, message), sends by identity."""
+
+    def __init__(self, name: Optional[str] = None, fabric: Optional[InprocFabric] = None):
+        self.name = name or make_uid("inproc")
+        self.fabric = fabric or DEFAULT_FABRIC
+        self._inbound: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self._peers: Dict[str, "queue.Queue[Any]"] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.fabric.register(self.name, self)
+
+    # Called by dealers -------------------------------------------------
+    def _attach(self, identity: str, info: Dict[str, Any]) -> "queue.Queue[Any]":
+        outbound: "queue.Queue[Any]" = queue.Queue()
+        with self._lock:
+            self._peers[identity] = outbound
+        self._inbound.put((identity, {"type": "registration", "info": info}))
+        return outbound
+
+    def _detach(self, identity: str) -> None:
+        with self._lock:
+            self._peers.pop(identity, None)
+        self._inbound.put((identity, {"type": "peer_lost"}))
+
+    def _deliver(self, identity: str, message: Any) -> None:
+        self._inbound.put((identity, message))
+
+    # Router API ---------------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple[str, Any]]:
+        try:
+            return self._inbound.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def send(self, identity: str, message: Any) -> bool:
+        with self._lock:
+            peer = self._peers.get(identity)
+        if peer is None or self._closed:
+            return False
+        peer.put(message)
+        return True
+
+    def broadcast(self, message: Any) -> int:
+        with self._lock:
+            peers = list(self._peers.values())
+        for peer in peers:
+            peer.put(message)
+        return len(peers)
+
+    def connected_peers(self) -> List[str]:
+        with self._lock:
+            return list(self._peers.keys())
+
+    def disconnect(self, identity: str) -> None:
+        with self._lock:
+            self._peers.pop(identity, None)
+
+    def close(self) -> None:
+        self._closed = True
+        self.fabric.unregister(self.name)
+        with self._lock:
+            self._peers.clear()
+
+    def __enter__(self) -> "InprocRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InprocDealer:
+    """In-process DEALER: connects to a named router in the fabric."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        identity: Optional[str] = None,
+        registration_info: Optional[Dict[str, Any]] = None,
+        fabric: Optional[InprocFabric] = None,
+    ):
+        self.identity = identity or make_uid("dealer")
+        self.fabric = fabric or DEFAULT_FABRIC
+        self._router = self.fabric.lookup(endpoint)
+        self._inbound = self._router._attach(self.identity, dict(registration_info or {}))
+        self.connected = True
+
+    def send(self, message: Any) -> bool:
+        if not self.connected:
+            return False
+        self._router._deliver(self.identity, message)
+        return True
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Any]:
+        try:
+            return self._inbound.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        if self.connected:
+            self.connected = False
+            self._router._detach(self.identity)
+
+    def __enter__(self) -> "InprocDealer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,78 @@
+"""Wire protocol: length-prefixed pickled frames.
+
+A frame on the wire is::
+
+    +----------------+----------------------+
+    | 4-byte length  |  pickled payload     |
+    +----------------+----------------------+
+
+The length is an unsigned big-endian 32-bit integer covering only the
+payload. A maximum frame size guards against corrupted headers causing
+unbounded allocations.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+#: Hard cap on a single frame (64 MiB). Tasks and results larger than this
+#: indicate user data that should be passed as Files instead.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH_STRUCT = struct.Struct("!I")
+
+
+class FrameProtocolError(Exception):
+    """Raised when a frame violates the wire protocol."""
+
+
+def encode_message(obj: Any) -> bytes:
+    """Pickle ``obj`` and prepend the length header."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameProtocolError(
+            f"message of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _LENGTH_STRUCT.pack(len(payload)) + payload
+
+
+def decode_message(buffer: bytes) -> Any:
+    """Inverse of :func:`encode_message` for a fully buffered frame."""
+    if len(buffer) < _LENGTH_STRUCT.size:
+        raise FrameProtocolError("buffer shorter than frame header")
+    (length,) = _LENGTH_STRUCT.unpack_from(buffer)
+    payload = buffer[_LENGTH_STRUCT.size:_LENGTH_STRUCT.size + length]
+    if len(payload) != length:
+        raise FrameProtocolError(f"truncated frame: expected {length} bytes, got {len(payload)}")
+    return pickle.loads(payload)
+
+
+def _recv_exactly(sock: socket.socket, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` from a stream socket or raise on EOF."""
+    chunks = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Serialize and send one frame on a connected stream socket."""
+    sock.sendall(encode_message(obj))
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one complete frame from a connected stream socket."""
+    header = _recv_exactly(sock, _LENGTH_STRUCT.size)
+    (length,) = _LENGTH_STRUCT.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+    payload = _recv_exactly(sock, length)
+    return pickle.loads(payload)

@@ -1,0 +1,185 @@
+"""ROUTER-like TCP message server.
+
+The interchange binds one or more :class:`MessageServer` instances. Each
+connecting peer (an executor client, a manager, or a worker) is assigned or
+announces an *identity*; the server exposes a single inbound queue of
+``(identity, message)`` pairs and can address outbound messages to a specific
+identity — exactly the ROUTER socket behaviour the paper's interchange relies
+on for matching tasks to managers with advertised capacity.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.comms.protocol import recv_frame, send_frame
+from repro.utils.ids import make_uid
+
+
+class _PeerConnection:
+    """Book-keeping for one connected peer."""
+
+    def __init__(self, identity: str, sock: socket.socket, address):
+        self.identity = identity
+        self.sock = sock
+        self.address = address
+        self.send_lock = threading.Lock()
+        self.alive = True
+        self.connected_at = time.time()
+
+
+class MessageServer:
+    """Accept many peers on a TCP port and exchange picklable messages.
+
+    The first frame a peer sends must be a registration dict containing at
+    least ``{"identity": <str>}``; everything after that is application
+    payload. Peers that disconnect are reported on the inbound queue as
+    ``(identity, {"type": "peer_lost"})`` so callers (e.g. the interchange's
+    heartbeat logic) can react.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "message-server"):
+        self.name = name
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1024)
+        self.host, self.port = self._listener.getsockname()
+        self._peers: Dict[str, _PeerConnection] = {}
+        self._peers_lock = threading.Lock()
+        self._inbound: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self._stop_event = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{name}-accept", daemon=True
+        )
+        self._reader_threads: List[threading.Thread] = []
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Accept / read loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._stop_event.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = threading.Thread(
+                target=self._reader_loop, args=(conn, addr), name=f"{self.name}-reader", daemon=True
+            )
+            reader.start()
+            self._reader_threads.append(reader)
+
+    def _reader_loop(self, conn: socket.socket, addr) -> None:
+        # First frame must be registration.
+        try:
+            registration = recv_frame(conn)
+        except Exception:
+            conn.close()
+            return
+        if not isinstance(registration, dict) or "identity" not in registration:
+            conn.close()
+            return
+        identity = registration["identity"] or make_uid("peer")
+        peer = _PeerConnection(identity, conn, addr)
+        with self._peers_lock:
+            self._peers[identity] = peer
+        self._inbound.put((identity, {"type": "registration", "info": registration}))
+        while not self._stop_event.is_set():
+            try:
+                msg = recv_frame(conn)
+            except Exception:
+                break
+            self._inbound.put((identity, msg))
+        peer.alive = False
+        with self._peers_lock:
+            existing = self._peers.get(identity)
+            if existing is peer:
+                del self._peers[identity]
+        self._inbound.put((identity, {"type": "peer_lost"}))
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple[str, Any]]:
+        """Receive the next ``(identity, message)`` pair, or None on timeout."""
+        try:
+            return self._inbound.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def send(self, identity: str, message: Any) -> bool:
+        """Send ``message`` to the peer with the given identity.
+
+        Returns False (rather than raising) when the peer is unknown or its
+        connection has already been torn down, mirroring ZeroMQ ROUTER's
+        silently-drop behaviour which the interchange compensates for via
+        heartbeats.
+        """
+        with self._peers_lock:
+            peer = self._peers.get(identity)
+        if peer is None or not peer.alive:
+            return False
+        try:
+            with peer.send_lock:
+                send_frame(peer.sock, message)
+            return True
+        except OSError:
+            peer.alive = False
+            return False
+
+    def broadcast(self, message: Any) -> int:
+        """Send ``message`` to every connected peer; returns the send count."""
+        with self._peers_lock:
+            identities = list(self._peers.keys())
+        return sum(1 for ident in identities if self.send(ident, message))
+
+    def connected_peers(self) -> List[str]:
+        """Identities of currently connected peers."""
+        with self._peers_lock:
+            return [ident for ident, peer in self._peers.items() if peer.alive]
+
+    def disconnect(self, identity: str) -> None:
+        """Forcefully drop a peer (used for blacklisting managers)."""
+        with self._peers_lock:
+            peer = self._peers.pop(identity, None)
+        if peer is not None:
+            peer.alive = False
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Shut the server down and drop all peers."""
+        self._stop_event.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._peers_lock:
+            peers = list(self._peers.values())
+            self._peers.clear()
+        for peer in peers:
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "MessageServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,5 @@
+"""Configuration (§3.5): the separation of code from execution configuration."""
+
+from repro.config.config import Config
+
+__all__ = ["Config"]

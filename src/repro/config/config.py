@@ -1,0 +1,107 @@
+"""The Config object.
+
+Parsl separates program logic from execution configuration (§3.5): the same
+script runs on a laptop or a supercomputer by swapping the Config. A Config
+is a plain Python object so developers can introspect permissible options,
+validate settings, and edit configurations dynamically.
+
+A Config bundles:
+
+* the list of executors (each optionally carrying a provider/channel/launcher),
+* fault-tolerance settings (``retries``),
+* memoization and checkpointing settings,
+* the elasticity strategy and its cadence,
+* monitoring,
+* the run directory where logs, checkpoints, and monitoring land.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.checkpoint import CHECKPOINT_MODES
+from repro.errors import ConfigurationError, DuplicateExecutorLabelError
+from repro.executors.base import ReproExecutor
+from repro.executors.threads import ThreadPoolExecutor
+from repro.monitoring.hub import MonitoringHub
+
+
+class Config:
+    """Execution configuration handed to the DataFlowKernel."""
+
+    def __init__(
+        self,
+        executors: Optional[Sequence[ReproExecutor]] = None,
+        app_cache: bool = True,
+        checkpoint_mode: Optional[str] = None,
+        checkpoint_files: Optional[List[str]] = None,
+        checkpoint_period: float = 30.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        strategy: str = "simple",
+        strategy_period: float = 0.2,
+        max_idletime: float = 2.0,
+        run_dir: str = "runinfo",
+        monitoring: Optional[MonitoringHub] = None,
+        usage_tracking: bool = False,
+        initialize_logging: bool = False,
+    ):
+        if executors is None or len(list(executors)) == 0:
+            executors = [ThreadPoolExecutor(label="threads", max_threads=4)]
+        executors = list(executors)
+        self._validate_executors(executors)
+        if checkpoint_mode not in CHECKPOINT_MODES:
+            raise ConfigurationError(
+                f"checkpoint_mode must be one of {CHECKPOINT_MODES}, got {checkpoint_mode!r}"
+            )
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if strategy not in ("none", "simple", "htex_auto_scale"):
+            raise ConfigurationError(f"unknown strategy {strategy!r}")
+        if strategy_period <= 0:
+            raise ConfigurationError("strategy_period must be positive")
+        if checkpoint_period <= 0:
+            raise ConfigurationError("checkpoint_period must be positive")
+
+        self.executors: List[ReproExecutor] = executors
+        self.app_cache = app_cache
+        self.checkpoint_mode = checkpoint_mode
+        self.checkpoint_files = list(checkpoint_files or [])
+        self.checkpoint_period = checkpoint_period
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.strategy = strategy
+        self.strategy_period = strategy_period
+        self.max_idletime = max_idletime
+        self.run_dir = run_dir
+        self.monitoring = monitoring
+        self.usage_tracking = usage_tracking
+        self.initialize_logging = initialize_logging
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_executors(executors: Sequence[ReproExecutor]) -> None:
+        labels = set()
+        for executor in executors:
+            if not isinstance(executor, ReproExecutor):
+                raise ConfigurationError(f"{executor!r} is not an executor")
+            if executor.label in labels:
+                raise DuplicateExecutorLabelError(executor.label)
+            labels.add(executor.label)
+
+    @property
+    def executor_labels(self) -> List[str]:
+        return [e.label for e in self.executors]
+
+    def get_executor(self, label: str) -> ReproExecutor:
+        for executor in self.executors:
+            if executor.label == label:
+                return executor
+        raise ConfigurationError(f"no executor labelled {label!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Config(executors={self.executor_labels}, retries={self.retries}, "
+            f"app_cache={self.app_cache}, checkpoint_mode={self.checkpoint_mode!r}, "
+            f"strategy={self.strategy!r}, run_dir={self.run_dir!r})"
+        )

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the DataFlowKernel and its supporting machinery.
+
+``DataFlowKernel`` / ``DataFlowKernelLoader`` are exposed lazily to avoid a
+circular import: the Config module needs :mod:`repro.core.checkpoint` while
+the DFK module needs Config.
+"""
+
+from repro.core.states import States, FINAL_STATES, FINAL_FAILURE_STATES
+from repro.core.futures import AppFuture, DataFuture
+from repro.core.guidelines import recommend_executor
+
+__all__ = [
+    "States",
+    "FINAL_STATES",
+    "FINAL_FAILURE_STATES",
+    "AppFuture",
+    "DataFuture",
+    "DataFlowKernel",
+    "DataFlowKernelLoader",
+    "recommend_executor",
+]
+
+
+def __getattr__(name):
+    if name in ("DataFlowKernel", "DataFlowKernelLoader"):
+        from repro.core import dflow
+
+        return getattr(dflow, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,102 @@
+"""Checkpointing (§3.7, §4.1).
+
+Parsl provides fault tolerance at the level of programs: tasks are the unit
+of checkpointing, and a checkpoint records the memoization table (hash →
+result) so that re-running a program skips every App already executed with
+the same arguments. Checkpoint *modes* control when checkpoints are written:
+
+* ``task_exit``   — after every task completes,
+* ``periodic``    — on a timer (``checkpoint_period``),
+* ``dfk_exit``    — when the DataFlowKernel is cleaned up,
+* ``manual``      — only when the user calls ``dfk.checkpoint()``.
+
+Checkpoints are plain pickle files under ``<run_dir>/checkpoint/`` and can be
+loaded into a later run via ``Config.checkpoint_files``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Recognized checkpoint modes (None disables checkpointing).
+CHECKPOINT_MODES = (None, "task_exit", "periodic", "dfk_exit", "manual")
+
+_CHECKPOINT_FILENAME = "tasks.pkl"
+
+
+def checkpoint_dir_for_run(run_dir: str) -> str:
+    return os.path.join(run_dir, "checkpoint")
+
+
+def write_checkpoint(run_dir: str, table: Dict[str, Any]) -> str:
+    """Write the memo table to ``<run_dir>/checkpoint/tasks.pkl``; returns the path."""
+    cp_dir = checkpoint_dir_for_run(run_dir)
+    os.makedirs(cp_dir, exist_ok=True)
+    path = os.path.join(cp_dir, _CHECKPOINT_FILENAME)
+    tmp_path = path + ".tmp"
+    payload = {"written_at": time.time(), "entries": table}
+    with open(tmp_path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)
+    logger.info("wrote checkpoint with %d entries to %s", len(table), path)
+    return path
+
+
+def _resolve_checkpoint_path(entry: str) -> Optional[str]:
+    """Accept either a checkpoint file, a checkpoint dir, or a run dir."""
+    if os.path.isfile(entry):
+        return entry
+    candidate = os.path.join(entry, _CHECKPOINT_FILENAME)
+    if os.path.isfile(candidate):
+        return candidate
+    candidate = os.path.join(entry, "checkpoint", _CHECKPOINT_FILENAME)
+    if os.path.isfile(candidate):
+        return candidate
+    return None
+
+
+def load_checkpoints(sources: Optional[Iterable[str]]) -> Dict[str, Any]:
+    """Merge the memo tables from the given checkpoint files/dirs."""
+    merged: Dict[str, Any] = {}
+    for entry in sources or []:
+        path = _resolve_checkpoint_path(entry)
+        if path is None:
+            logger.warning("no checkpoint found at %s; skipping", entry)
+            continue
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError) as exc:
+            logger.warning("failed to load checkpoint %s: %s", path, exc)
+            continue
+        entries = payload.get("entries", {}) if isinstance(payload, dict) else {}
+        merged.update(entries)
+        logger.info("loaded %d checkpoint entries from %s", len(entries), path)
+    return merged
+
+
+def most_recent_run_dirs(base_dir: str, limit: int = 1) -> List[str]:
+    """Return the newest run directories under ``base_dir`` (for get_all_checkpoints-style use)."""
+    if not os.path.isdir(base_dir):
+        return []
+    candidates = [
+        os.path.join(base_dir, d) for d in os.listdir(base_dir) if os.path.isdir(os.path.join(base_dir, d))
+    ]
+    candidates.sort(key=os.path.getmtime, reverse=True)
+    return candidates[:limit]
+
+
+def get_all_checkpoints(base_dir: str = "runinfo") -> List[str]:
+    """Every checkpoint file found under ``base_dir`` (newest runs first)."""
+    found = []
+    for run_dir in most_recent_run_dirs(base_dir, limit=10**6):
+        path = _resolve_checkpoint_path(run_dir)
+        if path is not None:
+            found.append(path)
+    return found

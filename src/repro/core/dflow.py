@@ -1,0 +1,552 @@
+"""The DataFlowKernel (DFK): Parsl's execution-management engine (§4.1).
+
+The DFK constructs and orchestrates the dynamic task dependency graph:
+
+* every App invocation registers a task (a node); futures passed between
+  Apps become edges, encoded as callbacks on the dependency futures, so the
+  DFK is event-driven and the cost of executing a graph with *n* tasks and
+  *e* edges is O(n + e);
+* once all of a task's dependencies resolve successfully the task is
+  scheduled onto a configured executor (chosen at random when the App gives
+  no hint);
+* failures are retried up to ``Config.retries`` times; exhausted retries (or
+  failed dependencies) surface through the AppFuture as wrapped exceptions;
+* memoization and checkpointing short-circuit tasks whose function body and
+  arguments hash to a previously recorded execution;
+* remote Files appearing in ``inputs``/``outputs`` cause transparent staging
+  tasks to be injected into the graph ahead of / behind the task;
+* task state transitions and (optionally) per-task resource usage are sent
+  to the monitoring hub;
+* an elasticity strategy runs on a timer, growing and shrinking executor
+  blocks to match the outstanding load.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import random
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.config.config import Config
+from repro.core.checkpoint import load_checkpoints, write_checkpoint
+from repro.core.futures import AppFuture, DataFuture
+from repro.core.memoization import Memoizer, _MemoHit
+from repro.core.states import FINAL_STATES, States
+from repro.core.strategy import Strategy
+from repro.core.taskrecord import TaskRecord
+from repro.data.data_manager import DataManager
+from repro.data.files import File
+from repro.errors import (
+    DataFlowKernelClosedError,
+    DependencyError,
+    JoinError,
+    NoSuchExecutorError,
+)
+from repro.monitoring.messages import MessageType
+from repro.utils.ids import make_uid
+from repro.utils.timers import RepeatedTimer
+
+logger = logging.getLogger(__name__)
+
+
+class DataFlowKernel:
+    """Manage the parallel execution of a Parsl-style program."""
+
+    def __init__(self, config: Optional[Config] = None):
+        self.config = config or Config()
+        self.run_id = make_uid("run")
+        timestamp = time.strftime("%Y%m%d-%H%M%S")
+        self.run_dir = os.path.join(self.config.run_dir, f"{timestamp}-{self.run_id[-6:]}")
+        os.makedirs(self.run_dir, exist_ok=True)
+
+        # Monitoring -----------------------------------------------------
+        self.monitoring = self.config.monitoring
+        if self.monitoring is not None:
+            self.monitoring.start()
+            self.monitoring.send(
+                MessageType.WORKFLOW_INFO,
+                {"run_id": self.run_id, "run_dir": self.run_dir, "started_at": time.time()},
+            )
+
+        # Executors ------------------------------------------------------
+        self.executors: Dict[str, Any] = {}
+        for executor in self.config.executors:
+            executor.run_dir = self.run_dir
+            executor.start()
+            self.executors[executor.label] = executor
+
+        # Data management --------------------------------------------------
+        self.data_manager = DataManager(dfk=self, working_dir=os.path.join(self.run_dir, "staging"))
+        self.data_manager.ensure_worker_visibility()
+
+        # Memoization / checkpointing -------------------------------------
+        seed_table = load_checkpoints(self.config.checkpoint_files)
+        self.memoizer = Memoizer(enabled=self.config.app_cache, seed_table=seed_table)
+        self._checkpoint_lock = threading.Lock()
+        self._checkpointable_tasks: List[TaskRecord] = []
+        self._checkpoint_timer: Optional[RepeatedTimer] = None
+        if self.config.checkpoint_mode == "periodic":
+            self._checkpoint_timer = RepeatedTimer(
+                self.config.checkpoint_period, self.checkpoint, name="checkpoint-timer"
+            )
+            self._checkpoint_timer.start()
+
+        # Elasticity strategy ----------------------------------------------
+        self.strategy = Strategy(self.config.strategy, max_idletime=self.config.max_idletime)
+        self._strategy_timer = RepeatedTimer(
+            self.config.strategy_period,
+            lambda: self.strategy.strategize(list(self.executors.values())),
+            name="strategy-timer",
+        )
+        self._strategy_timer.start()
+
+        # Task table -------------------------------------------------------
+        self.tasks: Dict[int, TaskRecord] = {}
+        self._task_counter = 0
+        self._task_counter_lock = threading.Lock()
+        self._tasks_lock = threading.Lock()
+        self._cleanup_called = False
+        self._rng = random.Random()
+
+        atexit.register(self._atexit_cleanup)
+        logger.info("DataFlowKernel %s started with executors %s", self.run_id, list(self.executors))
+
+    # ==================================================================
+    # Submission
+    # ==================================================================
+    def submit(
+        self,
+        func,
+        app_args: Sequence[Any] = (),
+        app_kwargs: Optional[Dict[str, Any]] = None,
+        executors: Union[str, Sequence[str]] = "all",
+        cache: bool = True,
+        func_name: Optional[str] = None,
+        join: bool = False,
+        ignore_for_cache: Optional[Sequence[str]] = None,
+        is_staging: bool = False,
+    ) -> AppFuture:
+        """Register one task with the dataflow graph and return its AppFuture."""
+        if self._cleanup_called:
+            raise DataFlowKernelClosedError("cannot submit to a DataFlowKernel after cleanup()")
+        app_kwargs = dict(app_kwargs or {})
+        func_name = func_name or getattr(func, "__name__", "app")
+
+        with self._task_counter_lock:
+            task_id = self._task_counter
+            self._task_counter += 1
+
+        executor_label = self._choose_executor(executors, join)
+
+        task = TaskRecord(
+            id=task_id,
+            func=func,
+            func_name=func_name,
+            args=tuple(app_args),
+            kwargs=app_kwargs,
+            executor=executor_label,
+            status=States.pending,
+            memoize=cache,
+            join=join,
+            is_staging=is_staging,
+        )
+        app_fu = AppFuture(task_record=task)
+        task.app_fu = app_fu
+        with self._tasks_lock:
+            self.tasks[task_id] = task
+
+        # Declared outputs become DataFutures on the AppFuture.
+        outputs = app_kwargs.get("outputs", [])
+        normalized_outputs = []
+        for out in outputs:
+            out_file = out if isinstance(out, File) else File(str(out))
+            normalized_outputs.append(out_file)
+            app_fu.add_output(DataFuture(app_fu, out_file, tid=task_id))
+        if normalized_outputs:
+            app_kwargs["outputs"] = normalized_outputs
+            task.outputs = normalized_outputs
+
+        # Remote input files become staging dependencies.
+        self._inject_staging(task)
+
+        # Dependencies: every future appearing in args/kwargs.
+        task.depends = self._gather_dependencies(task.args, task.kwargs)
+        self._send_task_state(task, States.pending)
+
+        self._register_dependency_callbacks(task)
+        self.launch_if_ready(task)
+        return app_fu
+
+    # ------------------------------------------------------------------
+    def _choose_executor(self, executors: Union[str, Sequence[str]], join: bool) -> str:
+        if join:
+            return "_dfk_internal"
+        available = [
+            label for label, ex in self.executors.items() if not ex.bad_state_is_set
+        ]
+        if not available:
+            available = list(self.executors)
+        if executors == "all" or executors is None:
+            return self._rng.choice(available)
+        if isinstance(executors, str):
+            requested = [executors]
+        else:
+            requested = [e for e in executors if e is not None]
+        if not requested:
+            return self._rng.choice(available)
+        for label in requested:
+            if label not in self.executors:
+                raise NoSuchExecutorError(label, list(self.executors))
+        usable = [label for label in requested if label in available] or requested
+        return self._rng.choice(usable)
+
+    # ------------------------------------------------------------------
+    def _inject_staging(self, task: TaskRecord) -> None:
+        """Replace remote Files in ``inputs`` (and positional args) with staging futures."""
+        kwargs = task.kwargs
+        inputs = kwargs.get("inputs")
+        if isinstance(inputs, (list, tuple)):
+            staged_inputs = []
+            for item in inputs:
+                if isinstance(item, File) and self.data_manager.requires_staging(item):
+                    executor_label = None if task.executor in ("all", "_dfk_internal") else task.executor
+                    staged_inputs.append(self.data_manager.stage_in(item, executor_label))
+                else:
+                    staged_inputs.append(item)
+            kwargs["inputs"] = staged_inputs
+        new_args = []
+        for item in task.args:
+            if isinstance(item, File) and self.data_manager.requires_staging(item):
+                executor_label = None if task.executor in ("all", "_dfk_internal") else task.executor
+                new_args.append(self.data_manager.stage_in(item, executor_label))
+            else:
+                new_args.append(item)
+        task.args = tuple(new_args)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _iter_values(args: Sequence[Any], kwargs: Dict[str, Any]):
+        for value in args:
+            yield value
+            if isinstance(value, (list, tuple)):
+                yield from value
+        for value in kwargs.values():
+            yield value
+            if isinstance(value, (list, tuple)):
+                yield from value
+
+    def _gather_dependencies(self, args: Sequence[Any], kwargs: Dict[str, Any]) -> List[Future]:
+        return [value for value in self._iter_values(args, kwargs) if isinstance(value, Future)]
+
+    def _register_dependency_callbacks(self, task: TaskRecord) -> None:
+        for dep in task.depends:
+            if not dep.done():
+                dep.add_done_callback(lambda _fut, t=task: self.launch_if_ready(t))
+
+    # ==================================================================
+    # Launching
+    # ==================================================================
+    def launch_if_ready(self, task: TaskRecord) -> None:
+        """Launch the task if every dependency has resolved (edge-triggered)."""
+        if task.status != States.pending:
+            return
+        if any(not dep.done() for dep in task.depends):
+            return
+        with task.task_launch_lock:
+            if task.status != States.pending:
+                return
+            failed_deps = [
+                (dep.exception(), getattr(dep, "tid", None))
+                for dep in task.depends
+                if dep.exception() is not None
+            ]
+            if failed_deps:
+                self._fail_task(task, DependencyError(failed_deps, task.id), States.dep_fail)
+                return
+            # All dependencies succeeded: substitute results for futures.
+            args, kwargs = self._sanitize_inputs(task)
+            self._launch_task(task, args, kwargs)
+
+    def _sanitize_inputs(self, task: TaskRecord):
+        def resolve(value):
+            if isinstance(value, Future):
+                return value.result()
+            if isinstance(value, list):
+                return [resolve(v) for v in value]
+            if isinstance(value, tuple):
+                return tuple(resolve(v) for v in value)
+            return value
+
+        args = tuple(resolve(v) for v in task.args)
+        kwargs = {k: resolve(v) for k, v in task.kwargs.items()}
+        return args, kwargs
+
+    def _launch_task(self, task: TaskRecord, args, kwargs) -> None:
+        # Memoization / checkpoint lookup.
+        memo = self.memoizer.check(task)
+        if isinstance(memo, _MemoHit):
+            task.from_memo = True
+            self._complete_task(task, memo.result, States.memo_done)
+            return
+
+        if task.join:
+            self._launch_join_task(task, args, kwargs)
+            return
+
+        executor = self.executors.get(task.executor)
+        if executor is None:
+            # 'all' or a failed label at submit time: re-choose now.
+            task.executor = self._choose_executor("all", join=False)
+            executor = self.executors[task.executor]
+        task.status = States.launched
+        self._send_task_state(task, States.launched)
+        try:
+            exec_fu = executor.submit(task.func, task.resource_specification, *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - submission failure is a task failure
+            self._handle_failure(task, exc, args, kwargs)
+            return
+        task.exec_fu = exec_fu
+        exec_fu.add_done_callback(lambda fut, t=task, a=args, k=kwargs: self._handle_exec_update(t, fut, a, k))
+
+    # ------------------------------------------------------------------
+    def _launch_join_task(self, task: TaskRecord, args, kwargs) -> None:
+        """Run a join app's body locally; its result must be a future (or list of futures)."""
+        task.status = States.joining
+        self._send_task_state(task, States.joining)
+        try:
+            inner = task.func(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001
+            self._fail_task(task, exc, States.failed)
+            return
+        futures: List[Future]
+        if isinstance(inner, Future):
+            futures = [inner]
+            scalar = True
+        elif isinstance(inner, (list, tuple)) and all(isinstance(f, Future) for f in inner) and inner:
+            futures = list(inner)
+            scalar = False
+        else:
+            self._fail_task(
+                task, JoinError(f"join app {task.func_name} must return a future or non-empty list of futures"), States.failed
+            )
+            return
+        task.joins = inner
+        remaining = {"count": len(futures)}
+        lock = threading.Lock()
+
+        def _joined(_fut):
+            with lock:
+                remaining["count"] -= 1
+                if remaining["count"] > 0:
+                    return
+            errors = [f.exception() for f in futures if f.exception() is not None]
+            if errors:
+                self._fail_task(task, errors[0], States.failed)
+            else:
+                result = futures[0].result() if scalar else [f.result() for f in futures]
+                self._complete_task(task, result, States.exec_done)
+
+        for fut in futures:
+            fut.add_done_callback(_joined)
+
+    # ==================================================================
+    # Completion handling
+    # ==================================================================
+    def _handle_exec_update(self, task: TaskRecord, exec_fu: Future, args, kwargs) -> None:
+        exc = exec_fu.exception()
+        if exc is not None:
+            self._handle_failure(task, exc, args, kwargs)
+            return
+        result = exec_fu.result()
+        self.memoizer.update(task, result)
+        if self.config.checkpoint_mode in ("task_exit",):
+            self.checkpoint()
+        self._complete_task(task, result, States.exec_done)
+        self._stage_outputs(task)
+
+    def _handle_failure(self, task: TaskRecord, exc: BaseException, args, kwargs) -> None:
+        task.fail_count += 1
+        task.fail_history.append(repr(exc))
+        if task.fail_count <= self.config.retries:
+            logger.info("task %s (%s) failed (attempt %d); retrying", task.id, task.func_name, task.fail_count)
+            task.status = States.retry
+            self._send_task_state(task, States.retry)
+            if self.config.retry_backoff_s:
+                time.sleep(self.config.retry_backoff_s)
+            self._launch_task_retry(task, args, kwargs)
+        else:
+            self._fail_task(task, exc, States.failed)
+
+    def _launch_task_retry(self, task: TaskRecord, args, kwargs) -> None:
+        executor = self.executors.get(task.executor)
+        if executor is None or executor.bad_state_is_set:
+            task.executor = self._choose_executor("all", join=False)
+            executor = self.executors[task.executor]
+        task.status = States.launched
+        self._send_task_state(task, States.launched)
+        try:
+            exec_fu = executor.submit(task.func, task.resource_specification, *args, **kwargs)
+        except Exception as submit_exc:  # noqa: BLE001
+            self._handle_failure(task, submit_exc, args, kwargs)
+            return
+        task.exec_fu = exec_fu
+        exec_fu.add_done_callback(lambda fut, t=task, a=args, k=kwargs: self._handle_exec_update(t, fut, a, k))
+
+    def _complete_task(self, task: TaskRecord, result: Any, state: States) -> None:
+        task.status = state
+        task.time_returned = time.time()
+        self._send_task_state(task, state)
+        if task.app_fu is not None and not task.app_fu.done():
+            task.app_fu.set_result(result)
+        if self.config.checkpoint_mode == "task_exit" and state == States.memo_done:
+            # memo hits need no re-checkpointing
+            pass
+
+    def _fail_task(self, task: TaskRecord, exc: BaseException, state: States) -> None:
+        task.status = state
+        task.time_returned = time.time()
+        self._send_task_state(task, state)
+        logger.info("task %s (%s) marked %s: %r", task.id, task.func_name, state.name, exc)
+        if task.app_fu is not None and not task.app_fu.done():
+            task.app_fu.set_exception(exc)
+
+    def _stage_outputs(self, task: TaskRecord) -> None:
+        """Publish remote-scheme output files after a successful task."""
+        for out_file in task.outputs:
+            if isinstance(out_file, File) and out_file.is_remote():
+                local_candidate = out_file.local_path or os.path.join(
+                    self.data_manager.working_dir, out_file.filename
+                )
+                if os.path.exists(local_candidate):
+                    out_file.local_path = local_candidate
+                    try:
+                        self.data_manager.stage_out(out_file, local_candidate, None)
+                    except Exception:  # noqa: BLE001 - stage-out failures are logged, not fatal
+                        logger.exception("stage-out failed for %s", out_file.url)
+
+    # ------------------------------------------------------------------
+    def _send_task_state(self, task: TaskRecord, state: States) -> None:
+        if self.monitoring is None:
+            return
+        self.monitoring.send(
+            MessageType.TASK_STATE,
+            {
+                "run_id": self.run_id,
+                "task_id": task.id,
+                "state": state.name,
+                "func_name": task.func_name,
+                "executor": task.executor,
+                "fail_count": task.fail_count,
+            },
+        )
+
+    # ==================================================================
+    # Checkpointing
+    # ==================================================================
+    def checkpoint(self) -> Optional[str]:
+        """Write the memoization table to the run's checkpoint file."""
+        if self.config.checkpoint_mode is None and not self.memoizer.enabled:
+            return None
+        with self._checkpoint_lock:
+            return write_checkpoint(self.run_dir, self.memoizer.table_snapshot())
+
+    # ==================================================================
+    # Introspection / lifecycle
+    # ==================================================================
+    def task_summary(self) -> Dict[str, int]:
+        """Count of tasks per state (useful in notebooks and tests)."""
+        counts: Dict[str, int] = {}
+        with self._tasks_lock:
+            for task in self.tasks.values():
+                counts[task.status.name] = counts.get(task.status.name, 0) + 1
+        return counts
+
+    def outstanding_tasks(self) -> int:
+        with self._tasks_lock:
+            return sum(1 for t in self.tasks.values() if t.status not in FINAL_STATES)
+
+    def wait_for_current_tasks(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted task reaches a final state."""
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            with self._tasks_lock:
+                pending = [t.app_fu for t in self.tasks.values() if t.status not in FINAL_STATES]
+            if not pending:
+                return True
+            if deadline is not None and time.time() > deadline:
+                return False
+            time.sleep(0.01)
+
+    def cleanup(self) -> None:
+        """Shut down executors, timers, monitoring, and write a final checkpoint."""
+        if self._cleanup_called:
+            return
+        self._cleanup_called = True
+        self._strategy_timer.close()
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.close()
+        if self.config.checkpoint_mode in ("dfk_exit", "periodic", "task_exit"):
+            try:
+                self.checkpoint()
+            except Exception:  # noqa: BLE001
+                logger.exception("final checkpoint failed")
+        for executor in self.executors.values():
+            try:
+                executor.shutdown()
+            except Exception:  # noqa: BLE001
+                logger.exception("executor %s failed to shut down", executor.label)
+        if self.monitoring is not None:
+            self.monitoring.send(
+                MessageType.WORKFLOW_INFO,
+                {"run_id": self.run_id, "completed_at": time.time(), "tasks": len(self.tasks)},
+            )
+            self.monitoring.close()
+        logger.info("DataFlowKernel %s cleaned up", self.run_id)
+
+    def _atexit_cleanup(self) -> None:
+        try:
+            self.cleanup()
+        except Exception:  # noqa: BLE001 - interpreter is exiting
+            pass
+
+    def __enter__(self) -> "DataFlowKernel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+
+class DataFlowKernelLoader:
+    """Process-wide access to 'the' DataFlowKernel, as used by the decorators."""
+
+    _dfk: Optional[DataFlowKernel] = None
+
+    @classmethod
+    def load(cls, config: Optional[Config] = None) -> DataFlowKernel:
+        """Create and install a DataFlowKernel from a Config."""
+        if cls._dfk is not None and not cls._dfk._cleanup_called:
+            raise RuntimeError("a DataFlowKernel is already loaded; call clear() first")
+        cls._dfk = DataFlowKernel(config)
+        return cls._dfk
+
+    @classmethod
+    def dfk(cls) -> DataFlowKernel:
+        if cls._dfk is None:
+            raise RuntimeError("no DataFlowKernel loaded; call repro.load(config) first")
+        return cls._dfk
+
+    @classmethod
+    def clear(cls) -> None:
+        """Clean up and forget the current DataFlowKernel."""
+        if cls._dfk is not None:
+            cls._dfk.cleanup()
+            cls._dfk = None
+
+    @classmethod
+    def wait_for_current_tasks(cls, timeout: Optional[float] = None) -> bool:
+        return cls.dfk().wait_for_current_tasks(timeout)

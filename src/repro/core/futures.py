@@ -1,0 +1,98 @@
+"""Futures (§3.1.2).
+
+Futures are the only synchronization primitive Parsl offers. Two kinds exist:
+
+* :class:`AppFuture` — returned by every App invocation; resolves to the
+  App's return value (or its exception). It is a *single-update variable*:
+  only the DataFlowKernel ever completes it, exactly once, even across
+  retries (the underlying executor future may be replaced on each retry
+  without the AppFuture changing identity).
+* :class:`DataFuture` — wraps one declared output :class:`~repro.data.files.File`
+  of an App; it resolves to the File when the producing App finishes, which
+  is what lets file-passing Apps be chained without explicit synchronization.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, List, Optional
+
+from repro.data.files import File
+
+
+class AppFuture(Future):
+    """The future returned by invoking an App."""
+
+    def __init__(self, task_record=None):
+        super().__init__()
+        self.task_record = task_record
+        self._outputs: List["DataFuture"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tid(self) -> Optional[int]:
+        """Task id of the underlying task (None for detached futures)."""
+        return self.task_record.id if self.task_record is not None else None
+
+    @property
+    def outputs(self) -> List["DataFuture"]:
+        """DataFutures for the Files declared in the App's ``outputs`` kwarg."""
+        return self._outputs
+
+    def add_output(self, data_future: "DataFuture") -> None:
+        self._outputs.append(data_future)
+
+    # ------------------------------------------------------------------
+    def task_status(self) -> str:
+        """The DFK-side state name for this task (e.g. 'pending', 'exec_done')."""
+        if self.task_record is None:
+            return "unknown"
+        return self.task_record.status.name
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"<AppFuture task={self.tid} {state}>"
+
+
+class DataFuture(Future):
+    """A future File produced by an App."""
+
+    def __init__(self, app_future: AppFuture, file_obj: File, tid: Optional[int] = None):
+        super().__init__()
+        if not isinstance(file_obj, File):
+            raise TypeError("DataFuture requires a File object")
+        self._app_future = app_future
+        self.file_obj = file_obj
+        self._tid = tid if tid is not None else app_future.tid
+        # Resolve when the producing app resolves.
+        app_future.add_done_callback(self._parent_done)
+
+    def _parent_done(self, parent: Future) -> None:
+        if self.done():
+            return
+        exc = parent.exception()
+        if exc is not None:
+            self.set_exception(exc)
+        else:
+            self.set_result(self.file_obj)
+
+    # ------------------------------------------------------------------
+    @property
+    def tid(self) -> Optional[int]:
+        return self._tid
+
+    @property
+    def filepath(self) -> str:
+        return self.file_obj.filepath
+
+    @property
+    def filename(self) -> str:
+        return self.file_obj.filename
+
+    def cancel(self) -> bool:
+        """DataFutures cannot be cancelled independently of their producing app."""
+        return False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"<DataFuture task={self.tid} file={self.file_obj.url!r} {state}>"

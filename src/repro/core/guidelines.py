@@ -1,0 +1,76 @@
+"""Executor-selection guidelines (paper Figure 7).
+
+The paper closes with concrete guidance:
+
+* **LLEX** for interactive computations on at most ~10 nodes;
+* **HTEX** for batch computations on up to ~1000 nodes, provided
+  ``task_duration / nodes >= 0.01`` (e.g. on 10 nodes, tasks of at least
+  0.1 s);
+* **EXEX** for batch computations on more than 1000 nodes, with task
+  durations of at least one minute for good performance.
+
+:func:`recommend_executor` encodes those rules so programs (and tests) can
+ask for the recommendation programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Recommendation:
+    """The recommended executor plus the reasoning and any caveats."""
+
+    executor: str
+    reason: str
+    caveat: Optional[str] = None
+
+    def __str__(self) -> str:
+        text = f"{self.executor}: {self.reason}"
+        if self.caveat:
+            text += f" (caveat: {self.caveat})"
+        return text
+
+
+#: Thresholds from Figure 7.
+LLEX_MAX_NODES = 10
+HTEX_MAX_NODES = 1000
+HTEX_DURATION_PER_NODE_RATIO = 0.01
+EXEX_MIN_TASK_DURATION_S = 60.0
+
+
+def recommend_executor(
+    nodes: int,
+    task_duration_s: float,
+    interactive: bool = False,
+) -> Recommendation:
+    """Apply the Figure 7 guidelines to a workload description."""
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if task_duration_s < 0:
+        raise ValueError("task_duration_s must be >= 0")
+
+    if interactive and nodes <= LLEX_MAX_NODES:
+        return Recommendation(
+            "llex",
+            f"interactive computations on <= {LLEX_MAX_NODES} nodes",
+        )
+    if nodes > HTEX_MAX_NODES:
+        caveat = None
+        if task_duration_s < EXEX_MIN_TASK_DURATION_S:
+            caveat = (
+                f"task durations below {EXEX_MIN_TASK_DURATION_S:.0f}s will underperform at this scale"
+            )
+        return Recommendation("exex", f"batch computations on > {HTEX_MAX_NODES} nodes", caveat)
+    caveat = None
+    if nodes > 0 and task_duration_s / nodes < HTEX_DURATION_PER_NODE_RATIO:
+        caveat = (
+            f"task-duration/nodes = {task_duration_s / nodes:.4f} < {HTEX_DURATION_PER_NODE_RATIO}; "
+            "HTEX throughput will limit performance — use longer tasks or fewer nodes"
+        )
+    if interactive:
+        # Interactive but too large for LLEX: HTEX is the fallback.
+        return Recommendation("htex", f"interactive workload too large for LLEX ({nodes} nodes)", caveat)
+    return Recommendation("htex", f"batch computations on <= {HTEX_MAX_NODES} nodes", caveat)

@@ -1,0 +1,125 @@
+"""App memoization (§4.6).
+
+When memoization (or checkpointing) is enabled, the DFK computes a hash of
+the App's *function body*, its name, and its arguments, and looks that hash
+up in the memoization table before launching. A hit returns the stored
+result immediately; a miss records the result after execution. Hashing the
+function body (not just the name) means editing an App's code invalidates
+its cached results, while re-running an identical program reuses them.
+
+Memoization can be controlled at the program level (``Config.app_cache``)
+and per-App (``cache=True/False`` on the decorator), because caching is
+rarely useful for non-deterministic Apps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import logging
+import pickle
+import threading
+from typing import Any, Dict, Optional
+
+from repro.core.taskrecord import TaskRecord
+
+logger = logging.getLogger(__name__)
+
+
+def _stable_bytes(obj: Any) -> bytes:
+    """Best-effort deterministic byte representation of an argument."""
+    try:
+        return pickle.dumps(obj, protocol=4)
+    except Exception:
+        return repr(obj).encode("utf-8")
+
+
+def _function_body_bytes(func) -> bytes:
+    """The function's source when available, else its bytecode."""
+    target = getattr(func, "__wrapped__", func)
+    try:
+        return inspect.getsource(target).encode("utf-8")
+    except (OSError, TypeError):
+        code = getattr(target, "__code__", None)
+        if code is not None:
+            return code.co_code
+        return repr(target).encode("utf-8")
+
+
+def make_hash(task: TaskRecord) -> str:
+    """Compute the memoization key for a task."""
+    hasher = hashlib.sha256()
+    hasher.update(task.func_name.encode("utf-8"))
+    hasher.update(_function_body_bytes(task.func))
+    for arg in task.args:
+        hasher.update(_stable_bytes(arg))
+    for key in sorted(task.kwargs):
+        if key in ("stdout", "stderr"):
+            # Redirection targets do not affect the computed result.
+            continue
+        hasher.update(key.encode("utf-8"))
+        hasher.update(_stable_bytes(task.kwargs[key]))
+    return hasher.hexdigest()
+
+
+class Memoizer:
+    """The memoization table consulted and updated by the DataFlowKernel."""
+
+    def __init__(self, enabled: bool = True, seed_table: Optional[Dict[str, Any]] = None):
+        self.enabled = enabled
+        self._table: Dict[str, Any] = dict(seed_table or {})
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def applies_to(self, task: TaskRecord) -> bool:
+        """Whether memoization should be consulted for this task."""
+        return self.enabled and task.memoize and not task.is_staging
+
+    def check(self, task: TaskRecord) -> Optional[Any]:
+        """Return ``(True, result)``-style hit via a sentinel wrapper, or None on miss."""
+        if not self.applies_to(task):
+            return None
+        if task.hashsum is None:
+            task.hashsum = make_hash(task)
+        with self._lock:
+            if task.hashsum in self._table:
+                self.hits += 1
+                return _MemoHit(self._table[task.hashsum])
+            self.misses += 1
+            return None
+
+    def update(self, task: TaskRecord, result: Any) -> None:
+        """Record a completed task's result."""
+        if not self.applies_to(task):
+            return
+        if task.hashsum is None:
+            task.hashsum = make_hash(task)
+        with self._lock:
+            self._table[task.hashsum] = result
+
+    # ------------------------------------------------------------------
+    def table_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._table)
+
+    def load_table(self, table: Dict[str, Any]) -> int:
+        """Merge entries (e.g. from checkpoint files); returns the number loaded."""
+        with self._lock:
+            before = len(self._table)
+            self._table.update(table)
+            return len(self._table) - before
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+
+class _MemoHit:
+    """Wrapper distinguishing 'hit with value None' from 'miss'."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result: Any):
+        self.result = result

@@ -1,0 +1,42 @@
+"""Task states tracked by the DataFlowKernel.
+
+The lifecycle of a task in the dynamic task graph::
+
+    pending ──▶ launched ──▶ running ──▶ exec_done
+       │            │                        ▲
+       │            └──▶ failed ──(retry)────┘
+       │            └──▶ memo_done  (memoization/checkpoint hit)
+       └──▶ dep_fail  (a dependency failed; task never launched)
+
+State transitions are reported to the monitoring hub, which is how the task
+lifecycle plots (paper Fig. 6, bottom panel) are reconstructed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class States(enum.Enum):
+    """All states a task can be in."""
+
+    unsched = 0
+    pending = 1
+    launched = 2
+    running = 3
+    exec_done = 4
+    failed = 5
+    dep_fail = 6
+    retry = 7
+    memo_done = 8
+    joining = 9
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: States from which a task will never leave.
+FINAL_STATES = frozenset({States.exec_done, States.memo_done, States.failed, States.dep_fail})
+
+#: Final states that represent failure.
+FINAL_FAILURE_STATES = frozenset({States.failed, States.dep_fail})

@@ -1,0 +1,124 @@
+"""The elasticity strategy (§3.6, §4.4).
+
+Parsl implements a cloud-like elasticity model in which resource *blocks* are
+provisioned and de-provisioned in response to workload pressure. The
+strategy module tracks outstanding tasks and available capacity on connected
+executors and talks to each executor's provider to scale to match real-time
+requirements.
+
+Three built-in strategies are provided, selected by ``Config.strategy``:
+
+* ``none``    — never touch blocks after ``init_blocks``;
+* ``simple``  — scale out when demand exceeds capacity (scaled by the
+  provider's ``parallelism``); scale in to ``min_blocks`` only when the
+  executor has been idle for ``max_idletime``;
+* ``htex_auto_scale`` — like ``simple`` but additionally scales in partially
+  (block by block) as demand shrinks.
+
+The strategy is deliberately extensible: any object implementing
+``strategize(executors)`` can be passed, which is how the LSST-style
+program-specific rate limiting described in §2.2 would plug in.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time
+from typing import Dict, List, Optional
+
+from repro.executors.base import ReproExecutor
+from repro.providers.base import JobState
+
+logger = logging.getLogger(__name__)
+
+
+class Strategy:
+    """Block-level elasticity decisions for a set of executors."""
+
+    def __init__(self, strategy_type: str = "simple", max_idletime: float = 2.0):
+        if strategy_type not in ("none", "simple", "htex_auto_scale"):
+            raise ValueError(f"unknown strategy {strategy_type!r}")
+        self.strategy_type = strategy_type
+        self.max_idletime = max_idletime
+        #: executor label -> timestamp at which it became idle (None = busy).
+        self._idle_since: Dict[str, Optional[float]] = {}
+        #: record of scaling actions, for tests/benchmarks/monitoring.
+        self.history: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def strategize(self, executors: List[ReproExecutor]) -> None:
+        """Make one round of scaling decisions."""
+        if self.strategy_type == "none":
+            return
+        for executor in executors:
+            if not executor.scaling_enabled or executor.provider is None:
+                continue
+            try:
+                self._strategize_one(executor)
+            except Exception:  # noqa: BLE001 - a scaling hiccup must not kill the timer
+                logger.exception("strategy error for executor %s", executor.label)
+
+    # ------------------------------------------------------------------
+    def _active_blocks(self, executor: ReproExecutor) -> int:
+        status = executor.status()
+        return sum(1 for s in status.values() if s.state in (JobState.PENDING, JobState.RUNNING))
+
+    def _strategize_one(self, executor: ReproExecutor) -> None:
+        provider = executor.provider
+        label = executor.label
+        outstanding = executor.outstanding
+        active_blocks = self._active_blocks(executor)
+        workers_per_block = max(executor.workers_per_block, 1)
+        active_slots = active_blocks * workers_per_block
+        parallelism = provider.parallelism
+
+        if outstanding > 0:
+            self._idle_since[label] = None
+        # Case 1: nothing to do — consider scaling in to min_blocks.
+        if outstanding == 0:
+            if active_blocks <= provider.min_blocks:
+                return
+            idle_since = self._idle_since.get(label)
+            if idle_since is None:
+                self._idle_since[label] = time.time()
+                return
+            if time.time() - idle_since >= self.max_idletime:
+                excess = active_blocks - provider.min_blocks
+                logger.info("scaling in %s by %d idle blocks", label, excess)
+                executor.scale_in(excess)
+                self._record(label, "scale_in", excess, outstanding, active_blocks)
+            return
+
+        # Case 2: demand exceeds capacity — scale out.
+        if outstanding > active_slots and active_blocks < provider.max_blocks:
+            excess_slots = math.ceil((outstanding - active_slots) * parallelism)
+            needed_blocks = math.ceil(excess_slots / workers_per_block)
+            headroom = provider.max_blocks - active_blocks
+            to_add = min(needed_blocks, headroom)
+            if to_add > 0:
+                logger.info("scaling out %s by %d blocks (outstanding=%d, slots=%d)", label, to_add, outstanding, active_slots)
+                executor.scale_out(to_add)
+                self._record(label, "scale_out", to_add, outstanding, active_blocks)
+            return
+
+        # Case 3 (htex_auto_scale only): partial scale-in when demand shrank.
+        if self.strategy_type == "htex_auto_scale" and active_blocks > provider.min_blocks:
+            needed_blocks = max(math.ceil(outstanding / workers_per_block), provider.min_blocks)
+            if needed_blocks < active_blocks:
+                to_remove = active_blocks - needed_blocks
+                logger.info("auto-scaling in %s by %d blocks", label, to_remove)
+                executor.scale_in(to_remove)
+                self._record(label, "scale_in", to_remove, outstanding, active_blocks)
+
+    def _record(self, label: str, action: str, blocks: int, outstanding: int, active_blocks: int) -> None:
+        self.history.append(
+            {
+                "time": time.time(),
+                "executor": label,
+                "action": action,
+                "blocks": blocks,
+                "outstanding": outstanding,
+                "active_blocks_before": active_blocks,
+            }
+        )

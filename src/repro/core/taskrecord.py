@@ -1,0 +1,65 @@
+"""The per-task bookkeeping structure held by the DataFlowKernel.
+
+A TaskRecord is a node of the dynamic task graph (§3.4): it carries the
+function and arguments, the futures it depends on (the graph's in-edges),
+its own AppFuture (through which out-edges are expressed as callbacks), and
+all execution metadata (state, chosen executor, retries, memoization hash,
+timings).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.states import States
+
+
+@dataclass
+class TaskRecord:
+    """State for one task in the dynamic task graph."""
+
+    id: int
+    func: Callable
+    func_name: str
+    args: Sequence[Any] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    executor: str = "all"
+    status: States = States.unsched
+    depends: List[Any] = field(default_factory=list)
+    app_fu: Any = None
+    exec_fu: Any = None
+    fail_count: int = 0
+    fail_cost: float = 0.0
+    fail_history: List[str] = field(default_factory=list)
+    memoize: bool = True
+    hashsum: Optional[str] = None
+    from_memo: bool = False
+    is_staging: bool = False
+    join: bool = False
+    joins: Any = None
+    resource_specification: Dict[str, Any] = field(default_factory=dict)
+    outputs: List[Any] = field(default_factory=list)
+    time_invoked: float = field(default_factory=time.time)
+    time_returned: Optional[float] = None
+    task_launch_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def state_name(self) -> str:
+        return self.status.name
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact picklable view used by monitoring and debugging."""
+        return {
+            "task_id": self.id,
+            "func_name": self.func_name,
+            "status": self.status.name,
+            "executor": self.executor,
+            "fail_count": self.fail_count,
+            "memoize": self.memoize,
+            "from_memo": self.from_memo,
+            "depends": [getattr(d, "task_record", None) and getattr(d.task_record, "id", None) for d in self.depends],
+            "time_invoked": self.time_invoked,
+            "time_returned": self.time_returned,
+        }

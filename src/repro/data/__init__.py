@@ -1,0 +1,7 @@
+"""Data management (§4.5): Files, transparent staging, and path translation."""
+
+from repro.data.files import File
+from repro.data.object_store import ObjectStore, get_default_store
+from repro.data.data_manager import DataManager
+
+__all__ = ["File", "ObjectStore", "get_default_store", "DataManager"]

@@ -1,0 +1,184 @@
+"""The DataManager (§4.5).
+
+The data manager is responsible for transferring files to where they are
+needed and transparently translating paths. When a remote ``File`` is passed
+to an App through ``inputs``/``outputs``:
+
+* if the file is already available locally, nothing happens;
+* otherwise a *dynamic data dependency* is created — a transfer task is
+  injected ahead of the App. For HTTP/FTP the transfer task is submitted to
+  an executor like any other task; for Globus the transfer is carried out by
+  the data manager itself (third-party transfer), allowing compute
+  provisioning to be deferred until data is staged.
+
+Stage-out mirrors stage-in: Files listed in ``outputs`` whose scheme is
+remote are published back to the object store after the App completes.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from concurrent.futures import Future
+from typing import List, Optional
+
+from repro.data.files import File
+from repro.data.object_store import STORE_ROOT_ENV, ObjectStore, get_default_store
+from repro.data.staging.base import Staging
+from repro.data.staging.ftp import FTPStaging
+from repro.data.staging.globus import GlobusStaging
+from repro.data.staging.http import HTTPStaging
+from repro.errors import StagingError
+
+logger = logging.getLogger(__name__)
+
+
+def _executor_stage_in_task(url: str, scheme: str, dest_dir: str, store_root: str) -> str:
+    """Module-level transfer task shipped to workers for HTTP/FTP staging."""
+    store = ObjectStore(root=store_root)
+    dest = os.path.join(dest_dir, os.path.basename(url.rstrip("/")) or "staged_file")
+    return store.download_to(url, dest, scheme=scheme)
+
+
+def _executor_stage_out_task(url: str, scheme: str, source_path: str, store_root: str) -> str:
+    """Module-level publish task shipped to workers for FTP stage-out."""
+    store = ObjectStore(root=store_root)
+    store.put_file(url, source_path)
+    return url
+
+
+class DataManager:
+    """Create and track staging tasks on behalf of the DataFlowKernel."""
+
+    def __init__(
+        self,
+        dfk=None,
+        staging_providers: Optional[List[Staging]] = None,
+        working_dir: Optional[str] = None,
+        store: Optional[ObjectStore] = None,
+    ):
+        self.dfk = dfk
+        self.store = store or get_default_store()
+        if staging_providers is None:
+            staging_providers = [
+                HTTPStaging(store=self.store),
+                FTPStaging(store=self.store),
+                GlobusStaging(store=self.store),
+            ]
+        self.staging_providers = list(staging_providers)
+        self.working_dir = working_dir or os.path.join(os.getcwd(), "staging")
+        os.makedirs(self.working_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self.stage_in_count = 0
+        self.stage_out_count = 0
+
+    # ------------------------------------------------------------------
+    def _provider_for(self, file: File) -> Optional[Staging]:
+        for provider in self.staging_providers:
+            if provider.can_stage_in(file) or provider.can_stage_out(file):
+                return provider
+        return None
+
+    def requires_staging(self, file: File) -> bool:
+        return isinstance(file, File) and file.is_remote() and file.local_path is None
+
+    # ------------------------------------------------------------------
+    # Stage in
+    # ------------------------------------------------------------------
+    def stage_in(self, file: File, executor_label: Optional[str] = None) -> Future:
+        """Return a future that resolves to a staged :class:`File`.
+
+        The future is either an AppFuture for a transfer task submitted to an
+        executor, or an already-running data-manager-side transfer (Globus).
+        """
+        provider = self._provider_for(file)
+        if provider is None or not provider.can_stage_in(file):
+            raise StagingError(file.scheme, file.url, "no staging provider available")
+        staged = file.cleancopy()
+        dest_dir = os.path.join(self.working_dir, "inbound")
+        os.makedirs(dest_dir, exist_ok=True)
+
+        with self._lock:
+            self.stage_in_count += 1
+
+        if provider.stages_on_executor() and self.dfk is not None:
+            return self._stage_in_via_executor(staged, dest_dir, executor_label)
+        return self._stage_in_via_dfk_thread(provider, staged, dest_dir)
+
+    def _stage_in_via_executor(self, staged: File, dest_dir: str, executor_label: Optional[str]) -> Future:
+        app_future = self.dfk.submit(
+            _executor_stage_in_task,
+            app_args=(staged.url, staged.scheme, dest_dir, self.store.root),
+            app_kwargs={},
+            executors=[executor_label] if executor_label else "all",
+            func_name=f"_stage_in[{staged.scheme}]",
+            cache=False,
+            is_staging=True,
+        )
+        result_future: Future = Future()
+
+        def _done(fut):
+            if fut.exception() is not None:
+                result_future.set_exception(fut.exception())
+            else:
+                staged.local_path = fut.result()
+                result_future.set_result(staged)
+
+        app_future.add_done_callback(_done)
+        return result_future
+
+    def _stage_in_via_dfk_thread(self, provider: Staging, staged: File, dest_dir: str) -> Future:
+        """Globus-style transfer executed by the data manager itself."""
+        result_future: Future = Future()
+
+        def _run():
+            try:
+                staged.local_path = provider.stage_in(staged, dest_dir)
+                result_future.set_result(staged)
+            except BaseException as exc:  # noqa: BLE001
+                result_future.set_exception(exc)
+
+        thread = threading.Thread(target=_run, name=f"stage-in-{staged.filename}", daemon=True)
+        thread.start()
+        return result_future
+
+    # ------------------------------------------------------------------
+    # Stage out
+    # ------------------------------------------------------------------
+    def stage_out(self, file: File, source_path: Optional[str] = None, executor_label: Optional[str] = None) -> Future:
+        """Publish a produced file to its remote destination; returns a future."""
+        provider = self._provider_for(file)
+        if provider is None or not provider.can_stage_out(file):
+            raise StagingError(file.scheme, file.url, "no staging provider supports stage-out for this scheme")
+        source = source_path or file.local_path or file.path
+        with self._lock:
+            self.stage_out_count += 1
+
+        if provider.stages_on_executor() and self.dfk is not None:
+            return self.dfk.submit(
+                _executor_stage_out_task,
+                app_args=(file.url, file.scheme, source, self.store.root),
+                app_kwargs={},
+                executors=[executor_label] if executor_label else "all",
+                func_name=f"_stage_out[{file.scheme}]",
+                cache=False,
+                is_staging=True,
+            )
+        result_future: Future = Future()
+
+        def _run():
+            try:
+                provider.stage_out(file, source)
+                result_future.set_result(file.url)
+            except BaseException as exc:  # noqa: BLE001
+                result_future.set_exception(exc)
+
+        thread = threading.Thread(target=_run, name=f"stage-out-{file.filename}", daemon=True)
+        thread.start()
+        return result_future
+
+    # ------------------------------------------------------------------
+    def ensure_worker_visibility(self) -> None:
+        """Export the store root so worker processes resolve the same objects."""
+        os.environ[STORE_ROOT_ENV] = self.store.root

@@ -1,0 +1,83 @@
+"""The File abstraction.
+
+Hard-coding file paths breaks location independence, so Apps reference data
+through :class:`File` objects (§4.5). A File carries a URL in one of the
+supported schemes (``file``, ``http``, ``https``, ``ftp``, ``globus``); the
+data manager decides whether staging is needed and translates the reference
+to a local path (``filepath``) in the executing environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+from urllib.parse import urlparse
+
+_SUPPORTED_SCHEMES = ("file", "http", "https", "ftp", "globus")
+
+
+class File:
+    """A reference to a (possibly remote) file."""
+
+    def __init__(self, url: str):
+        self.url = str(url)
+        parsed = urlparse(self.url)
+        self.scheme = parsed.scheme if parsed.scheme else "file"
+        if self.scheme not in _SUPPORTED_SCHEMES:
+            raise ValueError(f"unsupported File scheme {self.scheme!r} in {url!r}")
+        self.netloc = parsed.netloc
+        self.path = parsed.path if parsed.scheme else self.url
+        #: Local path assigned after staging; None until the data manager
+        #: (or the user, for local files) resolves it.
+        self.local_path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def filename(self) -> str:
+        return os.path.basename(self.path)
+
+    @property
+    def filepath(self) -> str:
+        """The path an App should use to open this file.
+
+        For ``file://`` URLs this is the path itself; for remote schemes it is
+        the staged local path, which only exists after the data manager has
+        run the transfer task.
+        """
+        if self.scheme == "file":
+            return self.local_path or self.path
+        if self.local_path is None:
+            raise ValueError(
+                f"remote file {self.url!r} has not been staged; pass it through inputs=[...] so the "
+                "data manager can stage it"
+            )
+        return self.local_path
+
+    def is_remote(self) -> bool:
+        return self.scheme != "file"
+
+    def exists_locally(self) -> bool:
+        try:
+            return os.path.exists(self.filepath)
+        except ValueError:
+            return False
+
+    # ------------------------------------------------------------------
+    def cleancopy(self) -> "File":
+        """A fresh copy without any staging state (used per-task)."""
+        return File(self.url)
+
+    def __str__(self) -> str:
+        return self.filepath if (self.scheme == "file" or self.local_path) else self.url
+
+    def __repr__(self) -> str:
+        return f"File({self.url!r}, local_path={self.local_path!r})"
+
+    def __fspath__(self) -> str:
+        return self.filepath
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, File) and self.url == other.url
+
+    def __hash__(self) -> int:
+        return hash(self.url)

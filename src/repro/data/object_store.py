@@ -1,0 +1,168 @@
+"""A simulated remote-data substrate.
+
+The paper's data manager moves files over HTTP, FTP, and Globus. This module
+provides the "remote side" those protocols talk to: a filesystem-backed
+object store keyed by URL, with configurable per-protocol latency and
+bandwidth so staging costs are non-zero and measurable.
+
+The store is **disk-backed** (one file per URL under a shared root) so that
+transfer tasks running inside worker *processes* see the same objects the
+submitting process published — the same way a real HTTP server would be
+visible from every node.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FileNotAvailable
+
+#: Environment variable that pins the store root (set for worker processes).
+STORE_ROOT_ENV = "REPRO_OBJECT_STORE_DIR"
+
+
+@dataclass
+class TransferCostModel:
+    """Latency/bandwidth model applied to simulated transfers."""
+
+    latency_s: float = 0.01
+    bandwidth_bytes_per_s: float = 100e6
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+DEFAULT_COST_MODELS = {
+    "http": TransferCostModel(latency_s=0.02, bandwidth_bytes_per_s=50e6),
+    "https": TransferCostModel(latency_s=0.02, bandwidth_bytes_per_s=50e6),
+    "ftp": TransferCostModel(latency_s=0.05, bandwidth_bytes_per_s=20e6),
+    "globus": TransferCostModel(latency_s=0.1, bandwidth_bytes_per_s=200e6),
+}
+
+
+def default_store_root() -> str:
+    return os.environ.get(STORE_ROOT_ENV, os.path.join(tempfile.gettempdir(), "repro-object-store"))
+
+
+def _url_key(url: str) -> str:
+    return hashlib.sha256(url.encode("utf-8")).hexdigest()
+
+
+class ObjectStore:
+    """URL-addressed byte storage standing in for remote HTTP/FTP/Globus endpoints."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        name: str = "object-store",
+        cost_models: Optional[Dict[str, TransferCostModel]] = None,
+        max_simulated_delay_s: float = 2.0,
+    ):
+        self.name = name
+        self.root = root or default_store_root()
+        os.makedirs(self.root, exist_ok=True)
+        self.cost_models = dict(cost_models or DEFAULT_COST_MODELS)
+        self.max_simulated_delay_s = max_simulated_delay_s
+        self._lock = threading.Lock()
+        self.transfer_log: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def _object_path(self, url: str) -> str:
+        return os.path.join(self.root, _url_key(url) + ".obj")
+
+    def _meta_path(self, url: str) -> str:
+        return os.path.join(self.root, _url_key(url) + ".meta")
+
+    def put(self, url: str, content) -> None:
+        """Publish ``content`` (bytes or str) at ``url``."""
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        with self._lock:
+            with open(self._object_path(url), "wb") as fh:
+                fh.write(bytes(content))
+            with open(self._meta_path(url), "w") as fh:
+                json.dump({"url": url, "bytes": len(content), "published_at": time.time()}, fh)
+
+    def put_file(self, url: str, local_path: str) -> None:
+        with open(local_path, "rb") as fh:
+            self.put(url, fh.read())
+
+    def exists(self, url: str) -> bool:
+        return os.path.exists(self._object_path(url))
+
+    def get(self, url: str, scheme: Optional[str] = None, simulate_cost: bool = True) -> bytes:
+        """Fetch the bytes at ``url``, paying the protocol's transfer cost."""
+        path = self._object_path(url)
+        if not os.path.exists(path):
+            raise FileNotAvailable(f"no object published at {url!r}")
+        with open(path, "rb") as fh:
+            content = fh.read()
+        if simulate_cost:
+            scheme = scheme or url.split(":", 1)[0]
+            model = self.cost_models.get(scheme)
+            if model is not None:
+                duration = model.transfer_time(len(content))
+                time.sleep(min(duration, self.max_simulated_delay_s))
+                self.transfer_log.append({"url": url, "bytes": len(content), "duration": duration})
+        return content
+
+    def download_to(self, url: str, dest_path: str, scheme: Optional[str] = None) -> str:
+        dest_dir = os.path.dirname(os.path.abspath(dest_path))
+        os.makedirs(dest_dir, exist_ok=True)
+        content = self.get(url, scheme=scheme)
+        with open(dest_path, "wb") as fh:
+            fh.write(content)
+        return dest_path
+
+    def size(self, url: str) -> int:
+        path = self._object_path(url)
+        if not os.path.exists(path):
+            raise FileNotAvailable(f"no object published at {url!r}")
+        return os.path.getsize(path)
+
+    def delete(self, url: str) -> None:
+        for path in (self._object_path(url), self._meta_path(url)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    def clear(self) -> None:
+        for entry in os.listdir(self.root):
+            if entry.endswith((".obj", ".meta")):
+                try:
+                    os.remove(os.path.join(self.root, entry))
+                except FileNotFoundError:
+                    pass
+        self.transfer_log.clear()
+
+    def urls(self) -> List[str]:
+        found = []
+        for entry in os.listdir(self.root):
+            if entry.endswith(".meta"):
+                try:
+                    with open(os.path.join(self.root, entry)) as fh:
+                        found.append(json.load(fh)["url"])
+                except (OSError, ValueError, KeyError):
+                    continue
+        return found
+
+
+_DEFAULT_STORE: Optional[ObjectStore] = None
+_DEFAULT_STORE_LOCK = threading.Lock()
+
+
+def get_default_store() -> ObjectStore:
+    """The process-wide object store (shared on disk with worker processes)."""
+    global _DEFAULT_STORE
+    with _DEFAULT_STORE_LOCK:
+        if _DEFAULT_STORE is None:
+            _DEFAULT_STORE = ObjectStore()
+        return _DEFAULT_STORE

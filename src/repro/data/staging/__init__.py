@@ -1,0 +1,8 @@
+"""Staging providers: per-scheme transfer implementations used by the DataManager."""
+
+from repro.data.staging.base import Staging
+from repro.data.staging.http import HTTPStaging
+from repro.data.staging.ftp import FTPStaging
+from repro.data.staging.globus import GlobusStaging
+
+__all__ = ["Staging", "HTTPStaging", "FTPStaging", "GlobusStaging"]

@@ -1,0 +1,52 @@
+"""Staging provider interface.
+
+A staging provider knows how to move one scheme's files. Two execution modes
+exist, mirroring §4.5:
+
+* ``stages_on_executor() == True`` — the transfer is itself a task submitted
+  to an executor (HTTP and FTP work this way: the fetch happens on the
+  compute resource),
+* ``stages_on_executor() == False`` — the transfer is performed directly by
+  the data manager (Globus third-party transfer), which lets resource
+  provisioning be deferred until the data is already in place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.data.files import File
+from repro.data.object_store import ObjectStore, get_default_store
+
+
+class Staging(ABC):
+    """Base class for scheme-specific staging providers."""
+
+    #: URL scheme(s) this provider handles.
+    schemes = ()
+
+    def __init__(self, store: Optional[ObjectStore] = None, working_dir: Optional[str] = None):
+        self.store = store or get_default_store()
+        self.working_dir = working_dir
+
+    def can_stage_in(self, file: File) -> bool:
+        return file.scheme in self.schemes
+
+    def can_stage_out(self, file: File) -> bool:
+        return file.scheme in self.schemes
+
+    @abstractmethod
+    def stage_in(self, file: File, dest_dir: str) -> str:
+        """Fetch ``file`` into ``dest_dir``; returns the local path."""
+
+    @abstractmethod
+    def stage_out(self, file: File, source_path: str) -> None:
+        """Publish the local ``source_path`` at the file's remote URL."""
+
+    def stages_on_executor(self) -> bool:
+        """Whether the transfer should run as an executor task (vs in the DFK)."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(schemes={self.schemes})"

@@ -1,0 +1,27 @@
+"""FTP staging: the transfer runs as a task on the executor."""
+
+from __future__ import annotations
+
+import os
+
+from repro.data.files import File
+from repro.data.staging.base import Staging
+from repro.errors import StagingError, FileNotAvailable
+
+
+class FTPStaging(Staging):
+    """Fetch/publish ftp URLs against the simulated object store."""
+
+    schemes = ("ftp",)
+
+    def stage_in(self, file: File, dest_dir: str) -> str:
+        dest = os.path.join(dest_dir, file.filename)
+        try:
+            return self.store.download_to(file.url, dest, scheme="ftp")
+        except FileNotAvailable as exc:
+            raise StagingError("ftp", file.url, str(exc)) from exc
+
+    def stage_out(self, file: File, source_path: str) -> None:
+        if not os.path.exists(source_path):
+            raise StagingError("ftp", file.url, f"local file {source_path} does not exist")
+        self.store.put_file(file.url, source_path)

@@ -1,0 +1,30 @@
+"""HTTP/HTTPS staging: the transfer runs as a task on the executor."""
+
+from __future__ import annotations
+
+import os
+
+from repro.data.files import File
+from repro.data.staging.base import Staging
+from repro.errors import StagingError, FileNotAvailable
+
+
+class HTTPStaging(Staging):
+    """Fetch http(s) URLs from the simulated object store onto the compute resource."""
+
+    schemes = ("http", "https")
+
+    def can_stage_out(self, file: File) -> bool:
+        # Plain HTTP has no standard upload path; stage-out is unsupported,
+        # matching the upstream behaviour.
+        return False
+
+    def stage_in(self, file: File, dest_dir: str) -> str:
+        dest = os.path.join(dest_dir, file.filename)
+        try:
+            return self.store.download_to(file.url, dest, scheme=file.scheme)
+        except FileNotAvailable as exc:
+            raise StagingError(file.scheme, file.url, str(exc)) from exc
+
+    def stage_out(self, file: File, source_path: str) -> None:
+        raise StagingError(file.scheme, file.url, "HTTP stage-out is not supported")

@@ -1,0 +1,15 @@
+"""Executors (§4.3): pluggable mechanisms that move tasks to resources and results back."""
+
+from repro.executors.base import ReproExecutor
+from repro.executors.threads import ThreadPoolExecutor
+from repro.executors.htex.executor import HighThroughputExecutor
+from repro.executors.llex.executor import LowLatencyExecutor
+from repro.executors.exex.executor import ExtremeScaleExecutor
+
+__all__ = [
+    "ReproExecutor",
+    "ThreadPoolExecutor",
+    "HighThroughputExecutor",
+    "LowLatencyExecutor",
+    "ExtremeScaleExecutor",
+]

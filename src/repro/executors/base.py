@@ -1,0 +1,143 @@
+"""Executor base class.
+
+Parsl executors extend the ``concurrent.futures.Executor`` interface (§4.3)
+with the capabilities the DataFlowKernel and the elasticity strategy need:
+block-oriented scaling through a provider, status reporting, monitoring
+hooks, and deferred initialization (``start()`` is separate from
+construction so a Config can be built cheaply and inspected).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ScalingFailed
+from repro.providers.base import ExecutionProvider, JobStatus
+from repro.utils.ids import make_block_id
+
+
+class ReproExecutor(ABC):
+    """Base class for all executors.
+
+    Subclasses implement :meth:`start`, :meth:`submit`, and :meth:`shutdown`.
+    Scaling (:meth:`scale_out` / :meth:`scale_in`) has a common implementation
+    driven by the executor's provider and ``launch_cmd``; executors without a
+    provider (e.g. the thread pool) simply report that scaling is disabled.
+    """
+
+    #: Default label; overridden per instance via the constructor.
+    label: str = "executor"
+
+    def __init__(self, label: str, provider: Optional[ExecutionProvider] = None):
+        self.label = label
+        self.provider = provider
+        self.blocks: Dict[str, str] = {}          # block_id -> provider job id
+        self.block_mapping: Dict[str, str] = {}   # provider job id -> block_id
+        self._executor_bad_state = threading.Event()
+        self._executor_exception: Optional[Exception] = None
+        self.run_dir: str = "."
+        self.monitoring_radio = None              # set by the DFK when monitoring is on
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def start(self) -> None:
+        """Bring up any executor-side infrastructure (interchange, pools)."""
+
+    @abstractmethod
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        """Submit a callable for asynchronous execution, returning a future."""
+
+    @abstractmethod
+    def shutdown(self, block: bool = True) -> None:
+        """Tear down the executor and release all resources."""
+
+    # ------------------------------------------------------------------
+    # Error state
+    # ------------------------------------------------------------------
+    def set_bad_state_and_fail_all(self, exception: Exception) -> None:
+        """Mark the executor as failed; the DFK stops routing tasks to it."""
+        self._executor_exception = exception
+        self._executor_bad_state.set()
+
+    @property
+    def bad_state_is_set(self) -> bool:
+        return self._executor_bad_state.is_set()
+
+    @property
+    def executor_exception(self) -> Optional[Exception]:
+        return self._executor_exception
+
+    # ------------------------------------------------------------------
+    # Introspection used by the strategy
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Number of tasks submitted to this executor but not yet complete."""
+        return 0
+
+    @property
+    def connected_workers(self) -> int:
+        """Number of workers currently connected / available."""
+        return 0
+
+    @property
+    def workers_per_block(self) -> int:
+        """Estimated workers provided by one block (used for scaling decisions)."""
+        return 1
+
+    @property
+    def scaling_enabled(self) -> bool:
+        """Whether the strategy may scale this executor through its provider."""
+        return self.provider is not None
+
+    def status(self) -> Dict[str, JobStatus]:
+        """Status of every block owned by this executor, keyed by block id."""
+        if self.provider is None or not self.blocks:
+            return {}
+        job_ids = list(self.blocks.values())
+        statuses = self.provider.status(job_ids)
+        return {block_id: status for block_id, status in zip(self.blocks.keys(), statuses)}
+
+    # ------------------------------------------------------------------
+    # Block scaling
+    # ------------------------------------------------------------------
+    def _launch_block_command(self, block_id: str) -> str:
+        """Return the command line a block should run (worker pool start)."""
+        raise NotImplementedError(f"{type(self).__name__} does not launch blocks")
+
+    def scale_out(self, blocks: int = 1) -> List[str]:
+        """Request ``blocks`` new blocks from the provider; returns new block ids."""
+        if self.provider is None:
+            raise ScalingFailed(self.label, "no execution provider configured")
+        new_blocks = []
+        for _ in range(blocks):
+            block_id = make_block_id()
+            cmd = self._launch_block_command(block_id)
+            job_id = self.provider.submit(cmd, tasks_per_node=1, job_name=f"{self.label}.{block_id}")
+            self.blocks[block_id] = job_id
+            self.block_mapping[job_id] = block_id
+            new_blocks.append(block_id)
+        return new_blocks
+
+    def scale_in(self, blocks: int = 1, block_ids: Optional[List[str]] = None) -> List[str]:
+        """Cancel ``blocks`` blocks (most recently started first unless ids given)."""
+        if self.provider is None:
+            raise ScalingFailed(self.label, "no execution provider configured")
+        if block_ids is None:
+            block_ids = list(self.blocks.keys())[-blocks:] if blocks else []
+        job_ids = [self.blocks[b] for b in block_ids if b in self.blocks]
+        if job_ids:
+            self.provider.cancel(job_ids)
+        for b in block_ids:
+            job_id = self.blocks.pop(b, None)
+            if job_id is not None:
+                self.block_mapping.pop(job_id, None)
+        return block_ids
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(label={self.label!r})"

@@ -1,0 +1,91 @@
+"""The common execution kernel (§4.3).
+
+Every executor shares this kernel: it deserializes a task bundle (the App
+function and its arguments), executes it in a sandboxed namespace, and
+serializes either the result or a :class:`RemoteExceptionWrapper` capturing
+the failure. Resource usage around the call is sampled so the monitoring
+system can record per-task usage.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RemoteExceptionWrapper
+from repro.serialize import pack_apply_message, serialize, deserialize, unpack_apply_message
+
+
+def execute_task(buffer: bytes, sandbox_dir: Optional[str] = None) -> bytes:
+    """Run one serialized task and return a serialized outcome.
+
+    The returned buffer deserializes to a dict with keys:
+
+    * ``result`` — the function's return value (present on success),
+    * ``exception`` — a :class:`RemoteExceptionWrapper` (present on failure),
+    * ``resource`` — a small resource-usage record (always present).
+    """
+    start = time.perf_counter()
+    usage_start = _sample_usage()
+    cwd = os.getcwd()
+    outcome: Dict[str, Any] = {}
+    try:
+        func, args, kwargs = unpack_apply_message(buffer)
+        if sandbox_dir:
+            os.makedirs(sandbox_dir, exist_ok=True)
+            os.chdir(sandbox_dir)
+        result = func(*args, **kwargs)
+        outcome["result"] = result
+    except BaseException as exc:  # noqa: BLE001 - user exceptions must travel back
+        outcome["exception"] = RemoteExceptionWrapper.from_exception(exc)
+    finally:
+        if sandbox_dir:
+            try:
+                os.chdir(cwd)
+            except OSError:
+                pass
+    outcome["resource"] = _usage_record(start, usage_start)
+    try:
+        return serialize(outcome)
+    except Exception:
+        # The user's result was not picklable: report that as the failure.
+        fallback = {
+            "exception": RemoteExceptionWrapper.from_exception(
+                TypeError("app returned a result that could not be serialized")
+            ),
+            "resource": outcome["resource"],
+        }
+        return serialize(fallback)
+
+
+def execute_task_inline(func, args, kwargs) -> Tuple[Any, Optional[RemoteExceptionWrapper]]:
+    """Run a task without a serialization round trip (thread executor path)."""
+    try:
+        return func(*args, **kwargs), None
+    except BaseException as exc:  # noqa: BLE001
+        return None, RemoteExceptionWrapper.from_exception(exc)
+
+
+def roundtrip_task(func, args, kwargs, sandbox_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Convenience used in tests: pack, execute, and unpack one task locally."""
+    buffer = pack_apply_message(func, args, kwargs)
+    return deserialize(execute_task(buffer, sandbox_dir=sandbox_dir))
+
+
+def _sample_usage() -> Dict[str, float]:
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {"utime": ru.ru_utime, "stime": ru.ru_stime, "maxrss_kb": float(ru.ru_maxrss)}
+
+
+def _usage_record(start_perf: float, usage_start: Dict[str, float]) -> Dict[str, float]:
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "psutil_process_time_user": ru.ru_utime - usage_start["utime"],
+        "psutil_process_time_system": ru.ru_stime - usage_start["stime"],
+        "psutil_process_memory_resident_kb": float(ru.ru_maxrss),
+        "run_duration_s": time.perf_counter() - start_perf,
+        "hostname": os.uname().nodename,
+        "pid": float(os.getpid()),
+    }

@@ -1,0 +1,5 @@
+"""Extreme Scale Executor (EXEX): MPI-style hierarchical task distribution for the largest machines."""
+
+from repro.executors.exex.executor import ExtremeScaleExecutor
+
+__all__ = ["ExtremeScaleExecutor"]

@@ -1,0 +1,111 @@
+"""ExtremeScaleExecutor (EXEX).
+
+EXEX shares the interchange and the client-side submission machinery with
+HTEX (the difference the paper describes is entirely on the node side): each
+block is an MPI job whose rank 0 acts as the manager and whose remaining
+ranks are workers. Task distribution inside the pool is hierarchical —
+interchange → rank-0 manager → worker ranks — which is what lets the design
+reach hundreds of thousands of workers.
+
+When no provider is configured the executor starts an in-process simulated
+MPI pool (thread ranks), which exercises the same rank-0/worker-rank code.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import List, Optional
+
+from repro.executors.htex.executor import HighThroughputExecutor
+from repro.executors.exex.mpi_worker_pool import exex_pool_main
+from repro.mpisim import MPIJob, launch_threads
+from repro.providers.base import ExecutionProvider
+
+logger = logging.getLogger(__name__)
+
+
+class ExtremeScaleExecutor(HighThroughputExecutor):
+    """MPI-style executor for the largest machines (§4.3.2)."""
+
+    def __init__(
+        self,
+        label: str = "exex",
+        provider: Optional[ExecutionProvider] = None,
+        address: str = "127.0.0.1",
+        ranks_per_node: int = 4,
+        ranks_per_pool: Optional[int] = None,
+        internal_pools: int = 1,
+        pool_mode: str = "processes",
+        heartbeat_period: float = 1.0,
+        heartbeat_threshold: float = 5.0,
+        batch_size: int = 8,
+        launch_cmd: Optional[str] = None,
+    ):
+        if ranks_per_node < 2:
+            raise ValueError("ranks_per_node must be >= 2 (rank 0 is the manager)")
+        super().__init__(
+            label=label,
+            provider=provider,
+            address=address,
+            workers_per_node=ranks_per_node - 1,
+            heartbeat_period=heartbeat_period,
+            heartbeat_threshold=heartbeat_threshold,
+            batch_size=batch_size,
+        )
+        self.ranks_per_node = ranks_per_node
+        #: The paper recommends breaking a large allocation into several
+        #: smaller MPI pools to limit the blast radius of a rank failure.
+        self.ranks_per_pool = ranks_per_pool or ranks_per_node
+        self.internal_pools = internal_pools
+        self.pool_mode = pool_mode
+        self.launch_cmd = launch_cmd or (
+            "{python} -m repro.executors.exex.mpi_worker_pool "
+            "--host {host} --port {port} --ranks {ranks} --block-id {block_id} "
+            "--mode {mode} --heartbeat-period {heartbeat_period} "
+            "--heartbeat-threshold {heartbeat_threshold}"
+        )
+        self._internal_jobs: List[MPIJob] = []
+
+    # ------------------------------------------------------------------
+    def _start_internal_managers(self) -> None:
+        """Without a provider, run simulated MPI pools inside this process."""
+        assert self.interchange is not None
+        for i in range(self.internal_pools):
+            job = launch_threads(
+                self.ranks_per_pool,
+                exex_pool_main,
+                self.interchange.host,
+                self.interchange.port,
+                f"internal-pool-{i}",
+                self.heartbeat_period,
+                max(self.heartbeat_threshold * 4, 30.0),
+            )
+            self._internal_jobs.append(job)
+
+    def _launch_block_command(self, block_id: str) -> str:
+        assert self.interchange is not None
+        return self.launch_cmd.format(
+            python=sys.executable,
+            host=self.interchange.host,
+            port=self.interchange.port,
+            ranks=self.ranks_per_node,
+            block_id=block_id,
+            mode=self.pool_mode,
+            heartbeat_period=self.heartbeat_period,
+            heartbeat_threshold=self.heartbeat_threshold,
+        )
+
+    def shutdown(self, block: bool = True) -> None:
+        super().shutdown(block=block)
+        for job in self._internal_jobs:
+            try:
+                job.terminate()
+            except Exception:  # noqa: BLE001 - best effort
+                pass
+        self._internal_jobs = []
+
+    @property
+    def workers_per_block(self) -> int:
+        nodes = self.provider.nodes_per_block if self.provider is not None else 1
+        return (self.ranks_per_node - 1) * nodes

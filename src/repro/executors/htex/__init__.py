@@ -1,0 +1,5 @@
+"""High Throughput Executor (HTEX): pilot-job execution via an interchange and per-node managers."""
+
+from repro.executors.htex.executor import HighThroughputExecutor
+
+__all__ = ["HighThroughputExecutor"]

@@ -1,0 +1,225 @@
+"""HighThroughputExecutor (HTEX).
+
+The general-purpose pilot-job executor described in §4.3.1: an interchange
+brokers tasks between the executor client and per-node managers, each of
+which drives a pool of worker processes. Designed for up to thousands of
+nodes, millions of sub-second tasks, and multi-day campaigns, with
+heartbeat-based fault detection.
+
+Two deployment modes are supported:
+
+* **provider mode** — blocks are obtained from an
+  :class:`~repro.providers.base.ExecutionProvider`; each block node runs
+  ``python -m repro.executors.htex.process_worker_pool`` which connects back
+  to the interchange over TCP. This is the paper's deployment.
+* **internal mode** (no provider) — the executor starts managers inside the
+  current process (thread workers) that still talk to the interchange over
+  the same protocol. This gives a dependency-free local runtime and is what
+  most unit tests use.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import logging
+import sys
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SerializationError, UnsupportedFeatureError
+from repro.executors.base import ReproExecutor
+from repro.executors.htex.interchange import Interchange
+from repro.executors.htex.manager import Manager
+from repro.providers.base import ExecutionProvider
+from repro.serialize import deserialize, pack_apply_message
+
+logger = logging.getLogger(__name__)
+
+
+class HighThroughputExecutor(ReproExecutor):
+    """Pilot-job executor with an interchange and per-node managers."""
+
+    def __init__(
+        self,
+        label: str = "htex",
+        provider: Optional[ExecutionProvider] = None,
+        address: str = "127.0.0.1",
+        workers_per_node: int = 2,
+        prefetch_capacity: int = 0,
+        heartbeat_period: float = 1.0,
+        heartbeat_threshold: float = 5.0,
+        batch_size: int = 8,
+        poll_period: float = 0.005,
+        worker_mode: str = "process",
+        internal_managers: int = 1,
+        scheduling_policy: str = "random",
+        worker_debug: bool = False,
+        launch_cmd: Optional[str] = None,
+    ):
+        super().__init__(label=label, provider=provider)
+        self.address = address
+        self.workers_per_node = workers_per_node
+        self.prefetch_capacity = prefetch_capacity
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_threshold = heartbeat_threshold
+        self.batch_size = batch_size
+        self.poll_period = poll_period
+        self.worker_mode = worker_mode
+        self.internal_managers = internal_managers
+        self.scheduling_policy = scheduling_policy
+        self.worker_debug = worker_debug
+        self.launch_cmd = launch_cmd or (
+            "{python} -m repro.executors.htex.process_worker_pool "
+            "--host {host} --port {port} --workers {workers_per_node} "
+            "--prefetch {prefetch} --block-id {block_id} "
+            "--heartbeat-period {heartbeat_period} --heartbeat-threshold {heartbeat_threshold}"
+            "{debug}"
+        )
+
+        self.interchange: Optional[Interchange] = None
+        self._internal_manager_objs: List[Manager] = []
+        self._tasks: Dict[int, cf.Future] = {}
+        self._tasks_lock = threading.Lock()
+        self._task_counter = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self.interchange = Interchange(
+            result_callback=self._handle_result,
+            host=self.address,
+            heartbeat_period=self.heartbeat_period,
+            heartbeat_threshold=self.heartbeat_threshold,
+            batch_size=self.batch_size,
+            poll_period=self.poll_period,
+            scheduling_policy=self.scheduling_policy,
+            label=f"{self.label}-interchange",
+        )
+        self.interchange.start()
+        self._started = True
+        if self.provider is not None:
+            if self.provider.init_blocks > 0:
+                self.scale_out(self.provider.init_blocks)
+        else:
+            self._start_internal_managers()
+
+    def _start_internal_managers(self) -> None:
+        assert self.interchange is not None
+        for i in range(self.internal_managers):
+            manager = Manager(
+                interchange_host=self.interchange.host,
+                interchange_port=self.interchange.port,
+                worker_count=self.workers_per_node,
+                prefetch_capacity=self.prefetch_capacity,
+                block_id=f"internal-{i}",
+                heartbeat_period=self.heartbeat_period,
+                heartbeat_threshold=max(self.heartbeat_threshold * 4, 30.0),
+                worker_mode="thread",
+            )
+            manager.start()
+            self._internal_manager_objs.append(manager)
+
+    def _launch_block_command(self, block_id: str) -> str:
+        assert self.interchange is not None
+        return self.launch_cmd.format(
+            python=sys.executable,
+            host=self.interchange.host,
+            port=self.interchange.port,
+            workers_per_node=self.workers_per_node,
+            prefetch=self.prefetch_capacity,
+            block_id=block_id,
+            heartbeat_period=self.heartbeat_period,
+            heartbeat_threshold=self.heartbeat_threshold,
+            debug=" --debug" if self.worker_debug else "",
+        )
+
+    def shutdown(self, block: bool = True) -> None:
+        for manager in self._internal_manager_objs:
+            manager.shutdown()
+        self._internal_manager_objs = []
+        if self.provider is not None and self.blocks:
+            try:
+                self.provider.cancel(list(self.blocks.values()))
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                logger.exception("failed to cancel blocks during shutdown")
+        if self.interchange is not None:
+            self.interchange.stop()
+        with self._tasks_lock:
+            pending = [f for f in self._tasks.values() if not f.done()]
+        for future in pending:
+            future.cancel()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Submission and results
+    # ------------------------------------------------------------------
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        if not self._started or self.interchange is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        if resource_specification:
+            raise UnsupportedFeatureError(
+                "HTEX does not accept per-task resource specifications; use a dedicated executor"
+            )
+        if self.bad_state_is_set:
+            raise self.executor_exception or RuntimeError("executor is in a failed state")
+        try:
+            buffer = pack_apply_message(func, args, kwargs)
+        except SerializationError:
+            raise
+        future: cf.Future = cf.Future()
+        with self._tasks_lock:
+            task_id = self._task_counter
+            self._task_counter += 1
+            self._tasks[task_id] = future
+        self.interchange.submit_task(task_id, buffer)
+        return future
+
+    def _handle_result(self, item: Dict[str, Any]) -> None:
+        """Callback invoked by the interchange for every completed task."""
+        task_id = item["task_id"]
+        with self._tasks_lock:
+            future = self._tasks.pop(task_id, None)
+        if future is None or future.done():
+            return
+        if "exception" in item and "buffer" not in item:
+            future.set_exception(item["exception"])
+            return
+        try:
+            outcome = deserialize(item["buffer"])
+        except Exception as exc:  # noqa: BLE001
+            future.set_exception(exc)
+            return
+        if "exception" in outcome:
+            wrapper = outcome["exception"]
+            future.set_exception(wrapper.e_value)
+        else:
+            future.set_result(outcome.get("result"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        with self._tasks_lock:
+            return sum(1 for f in self._tasks.values() if not f.done())
+
+    @property
+    def connected_workers(self) -> int:
+        if self.interchange is None:
+            return 0
+        return self.interchange.connected_worker_count
+
+    @property
+    def connected_managers(self) -> List[Dict[str, Any]]:
+        if self.interchange is None:
+            return []
+        return self.interchange.command("connected_managers")
+
+    @property
+    def workers_per_block(self) -> int:
+        nodes = self.provider.nodes_per_block if self.provider is not None else 1
+        return self.workers_per_node * nodes

@@ -1,0 +1,324 @@
+"""The interchange: the broker between the executor client and its managers (§4.3.1).
+
+The interchange owns a :class:`~repro.comms.server.MessageServer` to which
+managers connect over TCP. The executor client in the same process hands it
+tasks through an in-memory queue (the equivalent of Parsl's client-side
+ZeroMQ pipe) and receives results through a callback.
+
+Responsibilities reproduced from the paper:
+
+* match queued tasks to managers with advertised free capacity, using
+  *randomized* manager selection for fairness,
+* batch task dispatch and honour manager prefetch capacity,
+* exchange heartbeats with managers and declare a manager lost when it misses
+  ``heartbeat_threshold`` seconds of heartbeats, raising
+  :class:`~repro.errors.ManagerLost` for every task outstanding on it,
+* expose a synchronous *command channel* (outstanding-task info, connected
+  managers, blacklisting, shutdown).
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.comms.server import MessageServer
+from repro.errors import ManagerLost
+from repro.executors.htex import messages as msg
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ManagerRecord:
+    """Interchange-side view of one connected manager."""
+
+    identity: str
+    block_id: Optional[str]
+    hostname: str
+    worker_count: int
+    prefetch_capacity: int = 0
+    free_capacity: int = 0
+    outstanding: Set[int] = field(default_factory=set)
+    last_heartbeat: float = field(default_factory=time.time)
+    active: bool = True
+    blacklisted: bool = False
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self.worker_count + self.prefetch_capacity
+
+
+class Interchange:
+    """Broker tasks between one executor client and many managers."""
+
+    def __init__(
+        self,
+        result_callback: Callable[[Dict[str, Any]], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_period: float = 1.0,
+        heartbeat_threshold: float = 5.0,
+        batch_size: int = 8,
+        poll_period: float = 0.01,
+        selection_seed: Optional[int] = None,
+        scheduling_policy: str = "random",
+        label: str = "interchange",
+    ):
+        self.result_callback = result_callback
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_threshold = heartbeat_threshold
+        self.batch_size = batch_size
+        self.poll_period = poll_period
+        self.scheduling_policy = scheduling_policy
+        self.label = label
+        self.server = MessageServer(host=host, port=port, name=f"{label}-server")
+        self.pending_tasks: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+        self._managers: Dict[str, ManagerRecord] = {}
+        self._managers_lock = threading.RLock()
+        self._rng = random.Random(selection_seed)
+        self._rr_index = 0
+        self._stop_event = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._last_heartbeat_sweep = time.time()
+        self.tasks_dispatched = 0
+        self.results_received = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        main = threading.Thread(target=self._main_loop, name=f"{self.label}-main", daemon=True)
+        main.start()
+        self._threads.append(main)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.server.broadcast(msg.shutdown_message())
+        time.sleep(0.05)
+        for t in self._threads:
+            t.join(timeout=2)
+        self.server.close()
+
+    # ------------------------------------------------------------------
+    # Client-facing API (called from the executor in the same process)
+    # ------------------------------------------------------------------
+    def submit_task(self, task_id: int, buffer: bytes) -> None:
+        self.pending_tasks.put({"task_id": task_id, "buffer": buffer})
+
+    def command(self, cmd: str, **kwargs) -> Any:
+        """Synchronous command channel (§4.3.1).
+
+        Supported commands: ``outstanding``, ``connected_managers``,
+        ``worker_count``, ``blacklist`` (kwargs: identity), ``shutdown``.
+        """
+        if cmd == "outstanding":
+            with self._managers_lock:
+                dispatched = sum(len(m.outstanding) for m in self._managers.values())
+            return dispatched + self.pending_tasks.qsize()
+        if cmd == "connected_managers":
+            with self._managers_lock:
+                return [
+                    {
+                        "identity": m.identity,
+                        "block_id": m.block_id,
+                        "hostname": m.hostname,
+                        "worker_count": m.worker_count,
+                        "free_capacity": m.free_capacity,
+                        "outstanding": len(m.outstanding),
+                        "blacklisted": m.blacklisted,
+                    }
+                    for m in self._managers.values()
+                    if m.active
+                ]
+        if cmd == "worker_count":
+            with self._managers_lock:
+                return sum(m.worker_count for m in self._managers.values() if m.active and not m.blacklisted)
+        if cmd == "blacklist":
+            identity = kwargs["identity"]
+            with self._managers_lock:
+                record = self._managers.get(identity)
+                if record is None:
+                    return False
+                record.blacklisted = True
+            return True
+        if cmd == "shutdown":
+            self.stop()
+            return True
+        raise ValueError(f"unknown interchange command {cmd!r}")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _main_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self._process_incoming()
+                self._dispatch_tasks()
+                self._heartbeat_sweep()
+            except Exception:  # noqa: BLE001 - the broker must not die
+                logger.exception("interchange loop error")
+
+    def _process_incoming(self) -> None:
+        """Drain messages from managers."""
+        received = self.server.recv(timeout=self.poll_period)
+        while received is not None:
+            identity, message = received
+            self._handle_message(identity, message)
+            # Drain without blocking once we are in a burst.
+            received = self.server.recv(timeout=0.0)
+
+    def _handle_message(self, identity: str, message: Dict[str, Any]) -> None:
+        mtype = message.get("type")
+        if mtype == "registration":
+            info = message.get("info", {})
+            record = ManagerRecord(
+                identity=identity,
+                block_id=info.get("block_id"),
+                hostname=info.get("hostname", "unknown"),
+                worker_count=int(info.get("worker_count", 1)),
+                prefetch_capacity=int(info.get("prefetch_capacity", 0)),
+            )
+            record.free_capacity = record.max_queue_depth
+            with self._managers_lock:
+                self._managers[identity] = record
+            logger.info("manager %s registered (%s workers)", identity, record.worker_count)
+        elif mtype == "heartbeat":
+            self._touch(identity)
+            self.server.send(identity, msg.heartbeat_reply_message())
+        elif mtype == "ready":
+            self._touch(identity)
+            with self._managers_lock:
+                record = self._managers.get(identity)
+                if record is not None:
+                    record.free_capacity = int(message.get("free_capacity", 0))
+        elif mtype == "results":
+            self._touch(identity)
+            items = message.get("items", [])
+            with self._managers_lock:
+                record = self._managers.get(identity)
+                for item in items:
+                    if record is not None:
+                        record.outstanding.discard(item["task_id"])
+                        record.free_capacity = min(record.free_capacity + 1, record.max_queue_depth)
+            for item in items:
+                self.results_received += 1
+                self.result_callback(item)
+        elif mtype == "peer_lost":
+            self._manager_lost(identity, reason="connection lost")
+        # Unknown message types are ignored (forward compatibility).
+
+    def _touch(self, identity: str) -> None:
+        with self._managers_lock:
+            record = self._managers.get(identity)
+            if record is not None:
+                record.last_heartbeat = time.time()
+
+    # ------------------------------------------------------------------
+    def _eligible_managers(self) -> List[ManagerRecord]:
+        with self._managers_lock:
+            return [
+                m
+                for m in self._managers.values()
+                if m.active and not m.blacklisted and m.free_capacity > 0
+            ]
+
+    def _select_manager(self, eligible: List[ManagerRecord]) -> ManagerRecord:
+        """Pick a manager for the next batch.
+
+        The paper's interchange uses randomized selection for fairness; a
+        round-robin policy is available for the scheduling ablation bench.
+        """
+        if self.scheduling_policy == "round_robin":
+            self._rr_index = (self._rr_index + 1) % len(eligible)
+            return eligible[self._rr_index]
+        return self._rng.choice(eligible)
+
+    def _dispatch_tasks(self) -> None:
+        while not self.pending_tasks.empty():
+            eligible = self._eligible_managers()
+            if not eligible:
+                return
+            record = self._select_manager(eligible)
+            batch: List[Dict[str, Any]] = []
+            while len(batch) < min(self.batch_size, record.free_capacity):
+                try:
+                    batch.append(self.pending_tasks.get_nowait())
+                except queue.Empty:
+                    break
+            if not batch:
+                return
+            delivered = self.server.send(record.identity, msg.tasks_message(batch))
+            if not delivered:
+                # Connection died between selection and send: requeue and let
+                # the heartbeat sweep clean the manager up.
+                for item in batch:
+                    self.pending_tasks.put(item)
+                self._manager_lost(record.identity, reason="send failed")
+                continue
+            with self._managers_lock:
+                live = self._managers.get(record.identity)
+                if live is not None:
+                    for item in batch:
+                        live.outstanding.add(item["task_id"])
+                    live.free_capacity = max(live.free_capacity - len(batch), 0)
+            self.tasks_dispatched += len(batch)
+
+    # ------------------------------------------------------------------
+    def _heartbeat_sweep(self) -> None:
+        now = time.time()
+        if now - self._last_heartbeat_sweep < self.heartbeat_period:
+            return
+        self._last_heartbeat_sweep = now
+        with self._managers_lock:
+            stale = [
+                m.identity
+                for m in self._managers.values()
+                if m.active and now - m.last_heartbeat > self.heartbeat_threshold
+            ]
+        for identity in stale:
+            self._manager_lost(identity, reason="missed heartbeats")
+
+    def _manager_lost(self, identity: str, reason: str) -> None:
+        with self._managers_lock:
+            record = self._managers.get(identity)
+            if record is None or not record.active:
+                return
+            record.active = False
+            outstanding = list(record.outstanding)
+            record.outstanding.clear()
+            hostname = record.hostname
+            del self._managers[identity]
+        if outstanding:
+            logger.warning("manager %s lost (%s) with %d outstanding tasks", identity, reason, len(outstanding))
+        for task_id in outstanding:
+            self.result_callback(
+                {"task_id": task_id, "exception": ManagerLost(identity, hostname)}
+            )
+        self.server.disconnect(identity)
+
+    # ------------------------------------------------------------------
+    @property
+    def connected_manager_count(self) -> int:
+        with self._managers_lock:
+            return sum(1 for m in self._managers.values() if m.active)
+
+    @property
+    def connected_worker_count(self) -> int:
+        with self._managers_lock:
+            return sum(m.worker_count for m in self._managers.values() if m.active and not m.blacklisted)

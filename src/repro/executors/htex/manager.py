@@ -1,0 +1,242 @@
+"""HTEX manager (pilot agent).
+
+One manager runs per node of a block (§4.3.1). It is a multi-threaded agent
+that:
+
+* registers with the interchange, advertising its worker count and prefetch
+  capacity,
+* receives batches of tasks and feeds them to a pool of worker processes (or
+  threads, for lightweight deployments),
+* aggregates results and returns them to the interchange in batches,
+* exchanges heartbeats with the interchange and **exits immediately** if the
+  interchange goes silent, to avoid wasting allocation time — the behaviour
+  described in the paper.
+
+The manager can be embedded (``Manager(...).start()`` from Python, used by
+tests and by the thread-mode executor) or run as a process via
+``python -m repro.executors.htex.process_worker_pool``.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import queue as queue_module
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.comms.client import MessageClient
+from repro.executors.htex import messages as msg
+from repro.executors.htex.worker import STOP, worker_loop, worker_process_main
+from repro.utils.ids import make_manager_id
+
+logger = logging.getLogger(__name__)
+
+
+class Manager:
+    """A pilot agent managing the workers of one node."""
+
+    def __init__(
+        self,
+        interchange_host: str,
+        interchange_port: int,
+        worker_count: int = 2,
+        prefetch_capacity: int = 0,
+        block_id: Optional[str] = None,
+        heartbeat_period: float = 1.0,
+        heartbeat_threshold: float = 10.0,
+        result_batch_size: int = 16,
+        worker_mode: str = "process",
+        sandbox_root: Optional[str] = None,
+        manager_id: Optional[str] = None,
+    ):
+        if worker_count < 1:
+            raise ValueError("worker_count must be >= 1")
+        if worker_mode not in ("process", "thread"):
+            raise ValueError("worker_mode must be 'process' or 'thread'")
+        self.interchange_host = interchange_host
+        self.interchange_port = interchange_port
+        self.worker_count = worker_count
+        self.prefetch_capacity = prefetch_capacity
+        self.block_id = block_id
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_threshold = heartbeat_threshold
+        self.result_batch_size = result_batch_size
+        self.worker_mode = worker_mode
+        self.sandbox_root = sandbox_root
+        self.manager_id = manager_id or make_manager_id()
+
+        self._client: Optional[MessageClient] = None
+        self._workers: List[Any] = []
+        if worker_mode == "process":
+            ctx = multiprocessing.get_context("fork")
+            self._task_queue: Any = ctx.Queue()
+            self._result_queue: Any = ctx.Queue()
+            self._ctx = ctx
+        else:
+            self._task_queue = queue_module.Queue()
+            self._result_queue = queue_module.Queue()
+            self._ctx = None
+        self._stop_event = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._last_interchange_contact = time.time()
+        self._in_flight = 0
+        self._capacity_lock = threading.Lock()
+        self.tasks_received = 0
+        self.results_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_queue_depth(self) -> int:
+        return self.worker_count + self.prefetch_capacity
+
+    def _free_capacity(self) -> int:
+        with self._capacity_lock:
+            return max(self.max_queue_depth - self._in_flight, 0)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Connect to the interchange, start workers and service threads."""
+        registration = msg.manager_registration_info(
+            block_id=self.block_id,
+            hostname=socket.gethostname(),
+            worker_count=self.worker_count,
+            prefetch_capacity=self.prefetch_capacity,
+        )
+        self._client = MessageClient(
+            self.interchange_host,
+            self.interchange_port,
+            identity=self.manager_id,
+            registration_info=registration,
+        )
+        self._start_workers()
+        for name, target in [
+            ("task-puller", self._task_pull_loop),
+            ("result-pusher", self._result_push_loop),
+            ("heartbeat", self._heartbeat_loop),
+        ]:
+            t = threading.Thread(target=target, name=f"{self.manager_id}-{name}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _start_workers(self) -> None:
+        for worker_id in range(self.worker_count):
+            if self.worker_mode == "process":
+                proc = self._ctx.Process(
+                    target=worker_process_main,
+                    args=(worker_id, self._task_queue, self._result_queue, self.sandbox_root),
+                    name=f"{self.manager_id}-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                self._workers.append(proc)
+            else:
+                t = threading.Thread(
+                    target=worker_loop,
+                    args=(worker_id, self._task_queue, self._result_queue, self.sandbox_root),
+                    name=f"{self.manager_id}-worker-{worker_id}",
+                    daemon=True,
+                )
+                t.start()
+                self._workers.append(t)
+
+    # ------------------------------------------------------------------
+    # Service loops
+    # ------------------------------------------------------------------
+    def _task_pull_loop(self) -> None:
+        assert self._client is not None
+        while not self._stop_event.is_set():
+            message = self._client.recv(timeout=0.1)
+            if message is None:
+                continue
+            mtype = message.get("type")
+            if mtype == "tasks":
+                items = message.get("items", [])
+                self.tasks_received += len(items)
+                with self._capacity_lock:
+                    self._in_flight += len(items)
+                for item in items:
+                    self._task_queue.put(item)
+                self._last_interchange_contact = time.time()
+            elif mtype == "heartbeat_reply":
+                self._last_interchange_contact = time.time()
+            elif mtype == "shutdown":
+                logger.info("manager %s received shutdown", self.manager_id)
+                self._stop_event.set()
+            elif mtype == "connection_lost":
+                if not self._stop_event.is_set():
+                    logger.warning("manager %s lost its interchange connection; exiting", self.manager_id)
+                self._stop_event.set()
+
+    def _result_push_loop(self) -> None:
+        assert self._client is not None
+        batch: List[Dict[str, Any]] = []
+        last_flush = time.time()
+        while not self._stop_event.is_set():
+            try:
+                item = self._result_queue.get(timeout=0.05)
+                batch.append({"task_id": item["task_id"], "buffer": item["buffer"]})
+            except queue_module.Empty:
+                item = None
+            except (EOFError, OSError):
+                break
+            now = time.time()
+            if batch and (len(batch) >= self.result_batch_size or now - last_flush > 0.05):
+                with self._capacity_lock:
+                    self._in_flight = max(self._in_flight - len(batch), 0)
+                self.results_sent += len(batch)
+                self._client.send(msg.results_message(batch))
+                self._client.send(msg.ready_message(self._free_capacity()))
+                batch = []
+                last_flush = now
+
+    def _heartbeat_loop(self) -> None:
+        assert self._client is not None
+        while not self._stop_event.is_set():
+            self._client.send(msg.heartbeat_message())
+            self._client.send(msg.ready_message(self._free_capacity()))
+            if time.time() - self._last_interchange_contact > self.heartbeat_threshold:
+                logger.warning(
+                    "manager %s: no interchange contact for %.1fs; exiting to avoid waste",
+                    self.manager_id,
+                    self.heartbeat_threshold,
+                )
+                self._stop_event.set()
+                break
+            self._stop_event.wait(self.heartbeat_period)
+
+    # ------------------------------------------------------------------
+    def wait(self) -> None:
+        """Block until the manager shuts down (used by the CLI entry point)."""
+        while not self._stop_event.is_set():
+            time.sleep(0.1)
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._stop_event.set()
+        for _ in self._workers:
+            try:
+                self._task_queue.put(STOP)
+            except (OSError, ValueError):
+                break
+        for worker in self._workers:
+            if hasattr(worker, "terminate"):
+                worker.join(timeout=1)
+                if worker.is_alive():
+                    worker.terminate()
+            else:
+                worker.join(timeout=1)
+        if self._client is not None:
+            self._client.close()
+
+    # ------------------------------------------------------------------
+    def run_forever(self) -> None:
+        """Start and block; the CLI wrapper calls this."""
+        self.start()
+        try:
+            self.wait()
+        except KeyboardInterrupt:
+            self.shutdown()

@@ -1,0 +1,68 @@
+"""Message shapes exchanged between the executor client, interchange, and managers.
+
+Keeping these as plain dict constructors (rather than classes) mirrors how the
+real system ships msgpack/pickle dicts over ZeroMQ, keeps every message
+trivially picklable, and makes the protocol easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+# ---------------------------------------------------------------------------
+# Manager -> Interchange
+# ---------------------------------------------------------------------------
+
+def manager_registration_info(
+    block_id: Optional[str],
+    hostname: str,
+    worker_count: int,
+    prefetch_capacity: int = 0,
+    kind: str = "manager",
+) -> Dict[str, Any]:
+    """The registration payload a manager announces when it connects."""
+    return {
+        "kind": kind,
+        "block_id": block_id,
+        "hostname": hostname,
+        "worker_count": worker_count,
+        "prefetch_capacity": prefetch_capacity,
+        "registered_at": time.time(),
+    }
+
+
+def heartbeat_message() -> Dict[str, Any]:
+    return {"type": "heartbeat", "timestamp": time.time()}
+
+
+def ready_message(free_capacity: int) -> Dict[str, Any]:
+    """Capacity advertisement: the manager can accept ``free_capacity`` more tasks."""
+    return {"type": "ready", "free_capacity": free_capacity}
+
+
+def results_message(items: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """A batch of completed tasks; each item has ``task_id`` and ``buffer``."""
+    return {"type": "results", "items": items}
+
+
+def drain_ack_message() -> Dict[str, Any]:
+    return {"type": "drain_ack"}
+
+
+# ---------------------------------------------------------------------------
+# Interchange -> Manager
+# ---------------------------------------------------------------------------
+
+def tasks_message(items: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """A batch of tasks; each item has ``task_id`` and ``buffer``."""
+    return {"type": "tasks", "items": items}
+
+
+def shutdown_message() -> Dict[str, Any]:
+    return {"type": "shutdown"}
+
+
+def heartbeat_reply_message() -> Dict[str, Any]:
+    return {"type": "heartbeat_reply", "timestamp": time.time()}

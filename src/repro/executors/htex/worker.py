@@ -1,0 +1,51 @@
+"""HTEX worker process: executes tasks handed to it by its manager.
+
+Workers are deliberately dumb: they pull a serialized task from the manager's
+shared task queue, run it through the common execution kernel, and push the
+serialized outcome onto the result queue. All protocol complexity lives in
+the manager and interchange.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+from typing import Optional
+
+from repro.executors.execute_task import execute_task
+
+#: Poison pill placed on the task queue to terminate a worker.
+STOP = None
+
+
+def worker_loop(worker_id: int, task_queue, result_queue, sandbox_root: Optional[str] = None) -> int:
+    """Run tasks until a poison pill arrives; returns the number executed.
+
+    ``task_queue`` items are dicts with ``task_id`` and ``buffer``;
+    ``result_queue`` items add the worker id and the serialized outcome.
+    """
+    executed = 0
+    sandbox_dir = None
+    if sandbox_root:
+        sandbox_dir = os.path.join(sandbox_root, f"worker_{worker_id}")
+    while True:
+        try:
+            item = task_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            continue
+        except (EOFError, OSError):
+            break
+        if item is STOP:
+            break
+        buffer = execute_task(item["buffer"], sandbox_dir=sandbox_dir)
+        result_queue.put({"task_id": item["task_id"], "buffer": buffer, "worker_id": worker_id})
+        executed += 1
+    return executed
+
+
+def worker_process_main(worker_id: int, task_queue, result_queue, sandbox_root: Optional[str] = None) -> None:
+    """Entry point used when the worker runs as a separate OS process."""
+    try:
+        worker_loop(worker_id, task_queue, result_queue, sandbox_root)
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,5 @@
+"""Low Latency Executor (LLEX): a stateless relay between clients and directly connected workers."""
+
+from repro.executors.llex.executor import LowLatencyExecutor
+
+__all__ = ["LowLatencyExecutor"]

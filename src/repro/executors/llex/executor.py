@@ -1,0 +1,202 @@
+"""LowLatencyExecutor (LLEX).
+
+Built for interactive and real-time workloads (§4.3.3): the relay does no
+task tracking, workers connect directly (one socket per worker, one fewer
+message hop each way), and there is no fault tolerance or elastic scaling —
+LLEX assumes a fixed pool of resources. Optional timed retries paper over
+lost workers for short tasks.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import logging
+import sys
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.executors.base import ReproExecutor
+from repro.executors.llex.relay import LLEXRelay
+from repro.executors.llex.worker import LLEXWorker
+from repro.providers.base import ExecutionProvider
+from repro.serialize import deserialize, pack_apply_message
+from repro.utils.timers import RepeatedTimer
+
+logger = logging.getLogger(__name__)
+
+
+class LowLatencyExecutor(ReproExecutor):
+    """Minimal-overhead executor for latency-sensitive workloads."""
+
+    def __init__(
+        self,
+        label: str = "llex",
+        provider: Optional[ExecutionProvider] = None,
+        address: str = "127.0.0.1",
+        workers_per_node: int = 1,
+        internal_workers: int = 1,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        launch_cmd: Optional[str] = None,
+    ):
+        super().__init__(label=label, provider=provider)
+        self.address = address
+        self.workers_per_node = workers_per_node
+        self.internal_workers = internal_workers
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.launch_cmd = launch_cmd or (
+            "{python} -m repro.executors.llex.worker --host {host} --port {port}"
+        )
+        self.relay: Optional[LLEXRelay] = None
+        self._internal_workers_objs: List[LLEXWorker] = []
+        self._tasks: Dict[int, cf.Future] = {}
+        self._task_meta: Dict[int, Dict[str, Any]] = {}
+        self._tasks_lock = threading.Lock()
+        self._task_counter = 0
+        self._retry_timer: Optional[RepeatedTimer] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self.relay = LLEXRelay(result_callback=self._handle_result, host=self.address, label=f"{self.label}-relay")
+        self.relay.start()
+        self._started = True
+        if self.provider is not None:
+            if self.provider.init_blocks > 0:
+                self.scale_out(self.provider.init_blocks)
+        else:
+            for _ in range(self.internal_workers):
+                worker = LLEXWorker(self.relay.host, self.relay.port)
+                worker.run_in_thread()
+                self._internal_workers_objs.append(worker)
+        if self.task_timeout:
+            self._retry_timer = RepeatedTimer(
+                max(self.task_timeout / 2, 0.05), self._retry_sweep, name=f"{self.label}-retry"
+            )
+            self._retry_timer.start()
+
+    def _launch_block_command(self, block_id: str) -> str:
+        assert self.relay is not None
+        return self.launch_cmd.format(python=sys.executable, host=self.relay.host, port=self.relay.port)
+
+    def scale_out(self, blocks: int = 1) -> List[str]:
+        """LLEX blocks start ``workers_per_node`` direct workers per node."""
+        if self.provider is None:
+            raise UnsupportedFeatureError("LLEX without a provider uses a fixed internal worker pool")
+        new_blocks = []
+        for _ in range(blocks):
+            from repro.utils.ids import make_block_id
+
+            block_id = make_block_id()
+            cmd = self._launch_block_command(block_id)
+            job_id = self.provider.submit(cmd, tasks_per_node=self.workers_per_node, job_name=f"{self.label}.{block_id}")
+            self.blocks[block_id] = job_id
+            self.block_mapping[job_id] = block_id
+            new_blocks.append(block_id)
+        return new_blocks
+
+    def shutdown(self, block: bool = True) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.close()
+        for worker in self._internal_workers_objs:
+            worker.stop()
+        self._internal_workers_objs = []
+        if self.provider is not None and self.blocks:
+            try:
+                self.provider.cancel(list(self.blocks.values()))
+            except Exception:  # noqa: BLE001
+                logger.exception("failed to cancel LLEX blocks")
+        if self.relay is not None:
+            self.relay.stop()
+        with self._tasks_lock:
+            pending = [f for f in self._tasks.values() if not f.done()]
+        for future in pending:
+            future.cancel()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        if not self._started or self.relay is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        if resource_specification:
+            raise UnsupportedFeatureError("LLEX does not accept per-task resource specifications")
+        buffer = pack_apply_message(func, args, kwargs)
+        future: cf.Future = cf.Future()
+        import time as _time
+
+        with self._tasks_lock:
+            task_id = self._task_counter
+            self._task_counter += 1
+            self._tasks[task_id] = future
+            self._task_meta[task_id] = {"buffer": buffer, "submitted_at": _time.time(), "retries": 0}
+        self.relay.submit_task(task_id, buffer)
+        return future
+
+    def _handle_result(self, item: Dict[str, Any]) -> None:
+        task_id = item["task_id"]
+        with self._tasks_lock:
+            future = self._tasks.pop(task_id, None)
+            self._task_meta.pop(task_id, None)
+        if future is None or future.done():
+            return
+        try:
+            outcome = deserialize(item["buffer"])
+        except Exception as exc:  # noqa: BLE001
+            future.set_exception(exc)
+            return
+        if "exception" in outcome:
+            future.set_exception(outcome["exception"].e_value)
+        else:
+            future.set_result(outcome.get("result"))
+
+    def _retry_sweep(self) -> None:
+        """Timed retry/replication for lost tasks (the LLEX reliability story)."""
+        if self.relay is None or not self.task_timeout:
+            return
+        import time as _time
+
+        now = _time.time()
+        to_retry = []
+        to_fail = []
+        with self._tasks_lock:
+            for task_id, meta in self._task_meta.items():
+                if now - meta["submitted_at"] < self.task_timeout:
+                    continue
+                if meta["retries"] < self.max_retries:
+                    meta["retries"] += 1
+                    meta["submitted_at"] = now
+                    to_retry.append((task_id, meta["buffer"]))
+                else:
+                    to_fail.append(task_id)
+        for task_id, buffer in to_retry:
+            self.relay.submit_task(task_id, buffer)
+        for task_id in to_fail:
+            with self._tasks_lock:
+                future = self._tasks.pop(task_id, None)
+                self._task_meta.pop(task_id, None)
+            if future is not None and not future.done():
+                future.set_exception(TimeoutError(f"LLEX task {task_id} timed out with retries exhausted"))
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        with self._tasks_lock:
+            return sum(1 for f in self._tasks.values() if not f.done())
+
+    @property
+    def connected_workers(self) -> int:
+        return self.relay.connected_worker_count if self.relay is not None else 0
+
+    @property
+    def workers_per_block(self) -> int:
+        nodes = self.provider.nodes_per_block if self.provider is not None else 1
+        return self.workers_per_node * nodes
+
+    @property
+    def scaling_enabled(self) -> bool:
+        """LLEX assumes a fixed resource pool; the strategy must not scale it."""
+        return False

@@ -1,0 +1,130 @@
+"""The LLEX interchange: a stateless relay (§4.3.3).
+
+The relay does *no* task tracking: it simply forwards each task to an idle
+worker and forwards each result back to the client callback. The routing
+logic is therefore stateless and opaque to the relay, which is what buys the
+latency reduction — and why worker loss cannot be detected (tasks sent to a
+dead worker are simply never answered, unless the executor's timed-retry
+layer resubmits them).
+"""
+
+from __future__ import annotations
+
+import collections
+import logging
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.comms.server import MessageServer
+
+logger = logging.getLogger(__name__)
+
+
+class LLEXRelay:
+    """Route tasks to directly connected workers with minimal bookkeeping."""
+
+    def __init__(
+        self,
+        result_callback: Callable[[Dict[str, Any]], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_period: float = 0.001,
+        label: str = "llex-relay",
+    ):
+        self.result_callback = result_callback
+        self.poll_period = poll_period
+        self.label = label
+        self.server = MessageServer(host=host, port=port, name=f"{label}-server")
+        self.pending_tasks: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+        self._idle_workers: collections.deque = collections.deque()
+        self._workers: Dict[str, bool] = {}  # identity -> connected
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._thread = threading.Thread(target=self._loop, name=f"{self.label}-main", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.server.broadcast({"type": "shutdown"})
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+        self.server.close()
+
+    # ------------------------------------------------------------------
+    def submit_task(self, task_id: int, buffer: bytes) -> None:
+        self.pending_tasks.put({"task_id": task_id, "buffer": buffer})
+
+    @property
+    def connected_worker_count(self) -> int:
+        with self._lock:
+            return sum(1 for connected in self._workers.values() if connected)
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self._process_incoming()
+                self._route_tasks()
+            except Exception:  # noqa: BLE001
+                logger.exception("LLEX relay loop error")
+
+    def _process_incoming(self) -> None:
+        received = self.server.recv(timeout=self.poll_period)
+        while received is not None:
+            identity, message = received
+            mtype = message.get("type")
+            if mtype == "registration":
+                with self._lock:
+                    self._workers[identity] = True
+                    self._idle_workers.append(identity)
+            elif mtype == "result":
+                # Worker finished: forward and mark idle again.
+                self.result_callback({"task_id": message["task_id"], "buffer": message["buffer"]})
+                with self._lock:
+                    if self._workers.get(identity):
+                        self._idle_workers.append(identity)
+            elif mtype == "peer_lost":
+                # No task tracking: any in-flight task on this worker is lost
+                # silently (the documented LLEX tradeoff).
+                with self._lock:
+                    self._workers[identity] = False
+                    try:
+                        self._idle_workers.remove(identity)
+                    except ValueError:
+                        pass
+            received = self.server.recv(timeout=0.0)
+
+    def _route_tasks(self) -> None:
+        while True:
+            with self._lock:
+                if not self._idle_workers or self.pending_tasks.empty():
+                    return
+                identity = self._idle_workers.popleft()
+            try:
+                item = self.pending_tasks.get_nowait()
+            except queue.Empty:
+                with self._lock:
+                    self._idle_workers.appendleft(identity)
+                return
+            sent = self.server.send(identity, {"type": "task", "task_id": item["task_id"], "buffer": item["buffer"]})
+            if not sent:
+                # Worker vanished; requeue the task for another worker.
+                self.pending_tasks.put(item)
+                with self._lock:
+                    self._workers[identity] = False

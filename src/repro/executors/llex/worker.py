@@ -1,0 +1,81 @@
+"""LLEX worker: connects directly to the relay and executes one task at a time."""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+import threading
+from typing import Optional
+
+from repro.comms.client import MessageClient
+from repro.executors.execute_task import execute_task
+from repro.utils.ids import make_uid
+
+logger = logging.getLogger(__name__)
+
+
+class LLEXWorker:
+    """A single-slot worker with a direct socket to the relay."""
+
+    def __init__(self, host: str, port: int, worker_id: Optional[str] = None):
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or make_uid("llex-worker")
+        self._client: Optional[MessageClient] = None
+        self._stop_event = threading.Event()
+        self.tasks_executed = 0
+
+    def start(self) -> None:
+        self._client = MessageClient(
+            self.host, self.port, identity=self.worker_id, registration_info={"kind": "llex-worker"}
+        )
+
+    def run(self) -> None:
+        """Blocking serve loop: receive a task, execute, reply, repeat."""
+        if self._client is None:
+            self.start()
+        assert self._client is not None
+        while not self._stop_event.is_set():
+            message = self._client.recv(timeout=0.1)
+            if message is None:
+                continue
+            mtype = message.get("type")
+            if mtype == "task":
+                buffer = execute_task(message["buffer"])
+                self._client.send({"type": "result", "task_id": message["task_id"], "buffer": buffer})
+                self.tasks_executed += 1
+            elif mtype in ("shutdown", "connection_lost"):
+                break
+        self.close()
+
+    def run_in_thread(self) -> threading.Thread:
+        """Run the serve loop on a daemon thread (internal deployments)."""
+        self.start()
+        thread = threading.Thread(target=self.run, name=self.worker_id, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="repro LLEX worker")
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--debug", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(level=logging.DEBUG if args.debug else logging.INFO)
+    worker = LLEXWorker(args.host, args.port)
+    worker.start()
+    worker.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""ThreadPoolExecutor: in-process execution using Python threads.
+
+This is the executor the paper uses as the latency floor in Figure 3 (§5.1):
+tasks run in the submitting process, so the only overhead is queueing into a
+``concurrent.futures`` thread pool. There is no provider and no scaling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Any, Callable, Dict, Optional
+
+from repro.executors.base import ReproExecutor
+from repro.utils.threads import AtomicCounter
+
+
+class ThreadPoolExecutor(ReproExecutor):
+    """Execute tasks on a pool of local threads."""
+
+    def __init__(self, label: str = "threads", max_threads: int = 2, thread_name_prefix: str = "repro-worker"):
+        super().__init__(label=label, provider=None)
+        if max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        self.max_threads = max_threads
+        self.thread_name_prefix = thread_name_prefix
+        self._pool: Optional[cf.ThreadPoolExecutor] = None
+        self._outstanding = AtomicCounter()
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._pool = cf.ThreadPoolExecutor(
+            max_workers=self.max_threads, thread_name_prefix=self.thread_name_prefix
+        )
+        self._started = True
+
+    def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
+        if not self._started or self._pool is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        self._outstanding.increment()
+        future = self._pool.submit(func, *args, **kwargs)
+        future.add_done_callback(lambda _f: self._outstanding.decrement())
+        return future
+
+    def shutdown(self, block: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=block)
+        self._started = False
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding.value
+
+    @property
+    def connected_workers(self) -> int:
+        return self.max_threads if self._started else 0
+
+    @property
+    def workers_per_block(self) -> int:
+        return self.max_threads
+
+    @property
+    def scaling_enabled(self) -> bool:
+        return False

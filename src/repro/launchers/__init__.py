@@ -1,0 +1,23 @@
+"""Launchers: wrap a single worker command so it fans out over the nodes of a block (§4.2.2)."""
+
+from repro.launchers.base import Launcher
+from repro.launchers.launchers import (
+    SimpleLauncher,
+    SingleNodeLauncher,
+    SrunLauncher,
+    AprunLauncher,
+    MpiExecLauncher,
+    GnuParallelLauncher,
+    WrappedLauncher,
+)
+
+__all__ = [
+    "Launcher",
+    "SimpleLauncher",
+    "SingleNodeLauncher",
+    "SrunLauncher",
+    "AprunLauncher",
+    "MpiExecLauncher",
+    "GnuParallelLauncher",
+    "WrappedLauncher",
+]

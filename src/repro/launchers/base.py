@@ -1,0 +1,28 @@
+"""Launcher interface.
+
+A launcher takes the single worker-pool command an executor wants to run and
+produces the command line that will run it across the nodes/cores of a block.
+On a Cray that is ``aprun -n ...``, on Slurm ``srun``, and so on. In this
+reproduction the produced command lines are executed by the simulated LRM (or
+by the LocalProvider directly); what matters for fidelity is the command
+*shape* — one worker pool per node, ``$NODE_RANK``-style environment hints —
+which the tests assert on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Launcher(ABC):
+    """Convert a worker command into a per-block launch command."""
+
+    def __init__(self, debug: bool = False):
+        self.debug = debug
+
+    @abstractmethod
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        """Return the shell command that launches ``command`` on the block."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,42 @@
+"""Simulated resource managers.
+
+The paper's providers talk to real Local Resource Managers (Slurm, PBS/Torque,
+Cobalt, HTCondor, GridEngine) and cloud APIs (AWS, Google Cloud, Jetstream,
+Kubernetes). None of those are available here, so this package provides:
+
+* :class:`~repro.lrm.scheduler.BatchSchedulerSim` — an in-process batch
+  scheduler with partitions, node limits, FCFS scheduling, queue delays,
+  walltime enforcement, and optional *real execution* of the job script on
+  the local host (so small blocks genuinely start worker processes).
+* :class:`~repro.lrm.cloud.CloudSim` — an instance-oriented API with
+  provisioning delays, instance types, and spot-style preemption.
+
+Providers exercise exactly the submit/status/cancel interface they would use
+against the real systems; only the thing on the other side is simulated.
+"""
+
+from repro.lrm.scheduler import (
+    BatchSchedulerSim,
+    PartitionSpec,
+    SimJob,
+    SimJobState,
+    parse_walltime,
+    get_cluster,
+    register_cluster,
+    reset_clusters,
+)
+from repro.lrm.cloud import CloudSim, InstanceState, InstanceTypeSpec
+
+__all__ = [
+    "BatchSchedulerSim",
+    "PartitionSpec",
+    "SimJob",
+    "SimJobState",
+    "parse_walltime",
+    "get_cluster",
+    "register_cluster",
+    "reset_clusters",
+    "CloudSim",
+    "InstanceState",
+    "InstanceTypeSpec",
+]

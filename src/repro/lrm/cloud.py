@@ -1,0 +1,217 @@
+"""A simulated cloud / container-orchestrator API.
+
+Used by the AWS, Google Cloud, and Kubernetes providers. Instances (or pods)
+are requested individually, take a provisioning delay to come up, can run a
+bootstrap command as a real local process, and can be terminated. Spot-style
+preemption can be enabled to exercise the fault-tolerance paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SubmitException
+
+
+class InstanceState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+    PREEMPTED = "preempted"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (InstanceState.TERMINATED, InstanceState.PREEMPTED, InstanceState.FAILED)
+
+
+@dataclass
+class InstanceTypeSpec:
+    """Description of an instance type offered by the simulated cloud."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    hourly_price: float
+    spot_price: float = 0.0
+
+    def __post_init__(self):
+        if self.spot_price <= 0:
+            self.spot_price = self.hourly_price * 0.3
+
+
+DEFAULT_INSTANCE_TYPES = {
+    "t2.micro": InstanceTypeSpec("t2.micro", cores=1, memory_gb=1, hourly_price=0.0116),
+    "c5.xlarge": InstanceTypeSpec("c5.xlarge", cores=4, memory_gb=8, hourly_price=0.17),
+    "c5.9xlarge": InstanceTypeSpec("c5.9xlarge", cores=36, memory_gb=72, hourly_price=1.53),
+    "n1-standard-4": InstanceTypeSpec("n1-standard-4", cores=4, memory_gb=15, hourly_price=0.19),
+    "pod-small": InstanceTypeSpec("pod-small", cores=1, memory_gb=2, hourly_price=0.0),
+    "pod-large": InstanceTypeSpec("pod-large", cores=8, memory_gb=16, hourly_price=0.0),
+}
+
+
+@dataclass
+class SimInstance:
+    instance_id: str
+    instance_type: InstanceTypeSpec
+    command: Optional[str]
+    spot: bool
+    state: InstanceState = InstanceState.PENDING
+    request_time: float = field(default_factory=time.time)
+    ready_time: Optional[float] = None
+    end_time: Optional[float] = None
+    process: Optional[subprocess.Popen] = None
+
+
+class CloudSim:
+    """A minimal cloud control plane."""
+
+    def __init__(
+        self,
+        name: str = "sim-cloud",
+        provisioning_delay_s: float = 0.1,
+        capacity: int = 1024,
+        execute_instances: bool = True,
+        preemption_rate_per_s: float = 0.0,
+        instance_types: Optional[Dict[str, InstanceTypeSpec]] = None,
+        working_dir: Optional[str] = None,
+        seed: Optional[int] = None,
+    ):
+        self.name = name
+        self.provisioning_delay_s = provisioning_delay_s
+        self.capacity = capacity
+        self.execute_instances = execute_instances
+        self.preemption_rate_per_s = preemption_rate_per_s
+        self.instance_types = dict(instance_types or DEFAULT_INSTANCE_TYPES)
+        self.working_dir = working_dir or os.path.join(os.getcwd(), f".{name}-cloud")
+        os.makedirs(self.working_dir, exist_ok=True)
+        self._instances: Dict[str, SimInstance] = {}
+        self._counter = 0
+        self._lock = threading.RLock()
+        self._rng = random.Random(seed)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._control_loop, name=f"{name}-control", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def request_instance(
+        self,
+        instance_type: str = "t2.micro",
+        command: Optional[str] = None,
+        spot: bool = False,
+        spot_bid: Optional[float] = None,
+    ) -> str:
+        """Request one instance; returns its id. The instance boots asynchronously."""
+        spec = self.instance_types.get(instance_type)
+        if spec is None:
+            raise SubmitException(self.name, f"unknown instance type {instance_type!r}")
+        if spot and spot_bid is not None and spot_bid < spec.spot_price:
+            raise SubmitException(
+                self.name, f"spot bid {spot_bid} below the market price {spec.spot_price} for {instance_type}"
+            )
+        with self._lock:
+            active = sum(1 for i in self._instances.values() if not i.state.terminal)
+            if active >= self.capacity:
+                raise SubmitException(self.name, f"capacity of {self.capacity} instances exhausted")
+            self._counter += 1
+            instance_id = f"i-{self.name}-{self._counter:06d}"
+            self._instances[instance_id] = SimInstance(
+                instance_id=instance_id, instance_type=spec, command=command, spot=spot
+            )
+        return instance_id
+
+    def describe(self, instance_ids: Optional[List[str]] = None) -> Dict[str, InstanceState]:
+        with self._lock:
+            ids = instance_ids if instance_ids is not None else list(self._instances)
+            return {iid: self._instances[iid].state for iid in ids if iid in self._instances}
+
+    def get_instance(self, instance_id: str) -> Optional[SimInstance]:
+        with self._lock:
+            return self._instances.get(instance_id)
+
+    def terminate(self, instance_ids: List[str]) -> None:
+        with self._lock:
+            for iid in instance_ids:
+                inst = self._instances.get(iid)
+                if inst is None or inst.state.terminal:
+                    continue
+                self._stop_instance(inst, InstanceState.TERMINATED)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(1 for i in self._instances.values() if not i.state.terminal)
+
+    def accumulated_cost(self) -> float:
+        """Rough on-demand/spot cost of everything launched so far (USD)."""
+        now = time.time()
+        total = 0.0
+        with self._lock:
+            for inst in self._instances.values():
+                if inst.ready_time is None:
+                    continue
+                end = inst.end_time or now
+                hours = max(end - inst.ready_time, 0) / 3600.0
+                rate = inst.instance_type.spot_price if inst.spot else inst.instance_type.hourly_price
+                total += hours * rate
+        return total
+
+    # ------------------------------------------------------------------
+    def _control_loop(self) -> None:
+        while not self._stop.wait(0.05):
+            now = time.time()
+            with self._lock:
+                for inst in self._instances.values():
+                    if inst.state == InstanceState.PENDING and now - inst.request_time >= self.provisioning_delay_s:
+                        self._boot_instance(inst)
+                    elif inst.state == InstanceState.RUNNING:
+                        if inst.process is not None and inst.process.poll() is not None:
+                            inst.state = (
+                                InstanceState.TERMINATED if inst.process.returncode == 0 else InstanceState.FAILED
+                            )
+                            inst.end_time = now
+                        elif (
+                            inst.spot
+                            and self.preemption_rate_per_s > 0
+                            and self._rng.random() < self.preemption_rate_per_s * 0.05
+                        ):
+                            self._stop_instance(inst, InstanceState.PREEMPTED)
+
+    def _boot_instance(self, inst: SimInstance) -> None:
+        inst.state = InstanceState.RUNNING
+        inst.ready_time = time.time()
+        if self.execute_instances and inst.command:
+            out = open(os.path.join(self.working_dir, f"{inst.instance_id}.out"), "w")
+            err = open(os.path.join(self.working_dir, f"{inst.instance_id}.err"), "w")
+            inst.process = subprocess.Popen(
+                inst.command, shell=True, stdout=out, stderr=err, start_new_session=True
+            )
+
+    def _stop_instance(self, inst: SimInstance, final_state: InstanceState) -> None:
+        if inst.process is not None and inst.process.poll() is None:
+            try:
+                inst.process.terminate()
+            except OSError:
+                pass
+        inst.state = final_state
+        inst.end_time = time.time()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+        with self._lock:
+            for inst in self._instances.values():
+                if not inst.state.terminal:
+                    self._stop_instance(inst, InstanceState.TERMINATED)
+
+    def __enter__(self) -> "CloudSim":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,455 @@
+"""A small batch-scheduler simulator.
+
+The simulator models the aspects of an LRM that matter to Parsl's provider
+and elasticity layers:
+
+* a fixed pool of nodes divided into named partitions,
+* per-partition limits on nodes per job and number of queued jobs,
+* first-come-first-served scheduling with a configurable queue delay
+  (the paper notes that "in an HPC setting, elasticity may be complicated by
+  queue delays" — this is where that delay lives),
+* walltime enforcement (jobs are killed when they exceed their request),
+* job states PENDING → RUNNING → {COMPLETED, FAILED, CANCELLED, TIMEOUT},
+* optional execution of the job script as a real local process, so that a
+  Slurm-style configuration actually starts worker pools on this machine.
+
+Submit scripts are accepted in several directive dialects (``#SBATCH``,
+``#PBS``, ``#COBALT``, ``#$`` for SGE, plain key=value for HTCondor) so each
+provider can generate its native script format.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import re
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import InsufficientResources, JobNotFoundError, SubmitException
+
+
+def parse_walltime(walltime: str) -> float:
+    """Parse an LRM walltime string into seconds.
+
+    Accepts ``HH:MM:SS``, ``MM:SS``, ``DD-HH:MM:SS``, or a plain number of
+    seconds.
+    """
+    walltime = str(walltime).strip()
+    if re.fullmatch(r"\d+(\.\d+)?", walltime):
+        return float(walltime)
+    days = 0
+    if "-" in walltime:
+        day_part, walltime = walltime.split("-", 1)
+        days = int(day_part)
+    parts = [int(p) for p in walltime.split(":")]
+    if len(parts) == 3:
+        hours, minutes, seconds = parts
+    elif len(parts) == 2:
+        hours, minutes, seconds = 0, parts[0], parts[1]
+    elif len(parts) == 1:
+        hours, minutes, seconds = 0, 0, parts[0]
+    else:
+        raise ValueError(f"unparseable walltime: {walltime!r}")
+    return days * 86400 + hours * 3600 + minutes * 60 + seconds
+
+
+class SimJobState(enum.Enum):
+    """States a simulated batch job can be in."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+    HELD = "HELD"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            SimJobState.COMPLETED,
+            SimJobState.FAILED,
+            SimJobState.CANCELLED,
+            SimJobState.TIMEOUT,
+        )
+
+
+@dataclass
+class PartitionSpec:
+    """Static description of one partition (queue) of the simulated machine."""
+
+    name: str
+    total_nodes: int
+    max_nodes_per_job: Optional[int] = None
+    min_nodes_per_job: int = 1
+    max_queued_jobs: Optional[int] = None
+    queue_delay_s: float = 0.0
+    cores_per_node: int = 8
+
+    def __post_init__(self):
+        if self.total_nodes < 1:
+            raise ValueError("a partition needs at least one node")
+        if self.max_nodes_per_job is None:
+            self.max_nodes_per_job = self.total_nodes
+
+
+@dataclass
+class SimJob:
+    """One job inside the simulator."""
+
+    job_id: str
+    script: str
+    nodes: int
+    walltime_s: float
+    partition: str
+    job_name: str = "repro-job"
+    state: SimJobState = SimJobState.PENDING
+    submit_time: float = field(default_factory=time.time)
+    eligible_time: float = field(default_factory=time.time)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_code: Optional[int] = None
+    process: Optional[subprocess.Popen] = None
+    script_path: Optional[str] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.state == SimJobState.PENDING
+
+    @property
+    def running(self) -> bool:
+        return self.state == SimJobState.RUNNING
+
+
+# Directive prefixes for the scheduler dialects we understand.
+_DIRECTIVE_PREFIXES = {
+    "slurm": "#SBATCH",
+    "pbs": "#PBS",
+    "torque": "#PBS",
+    "cobalt": "#COBALT",
+    "sge": "#$",
+    "gridengine": "#$",
+    "condor": "#CONDOR",
+    "htcondor": "#CONDOR",
+}
+
+
+class BatchSchedulerSim:
+    """An in-process batch scheduler."""
+
+    def __init__(
+        self,
+        name: str = "sim-cluster",
+        partitions: Optional[List[PartitionSpec]] = None,
+        execute_jobs: bool = True,
+        poll_interval: float = 0.05,
+        working_dir: Optional[str] = None,
+    ):
+        self.name = name
+        parts = partitions or [PartitionSpec(name="default", total_nodes=8)]
+        self.partitions: Dict[str, PartitionSpec] = {p.name: p for p in parts}
+        self.execute_jobs = execute_jobs
+        self.poll_interval = poll_interval
+        self.working_dir = working_dir or os.path.join(os.getcwd(), f".{name}-lrm")
+        os.makedirs(self.working_dir, exist_ok=True)
+        self._jobs: Dict[str, SimJob] = {}
+        self._job_counter = 0
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._scheduler_thread = threading.Thread(
+            target=self._scheduler_loop, name=f"{name}-scheduler", daemon=True
+        )
+        self._scheduler_thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission interfaces
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        script: str,
+        nodes: int,
+        walltime: str = "00:30:00",
+        partition: Optional[str] = None,
+        job_name: str = "repro-job",
+    ) -> str:
+        """Submit a job directly (programmatic interface)."""
+        partition = partition or next(iter(self.partitions))
+        spec = self.partitions.get(partition)
+        if spec is None:
+            raise SubmitException(self.name, f"unknown partition {partition!r}")
+        if nodes > spec.total_nodes:
+            raise InsufficientResources(
+                f"job requests {nodes} nodes but partition {partition!r} has only {spec.total_nodes}"
+            )
+        if nodes > spec.max_nodes_per_job:
+            raise SubmitException(
+                self.name, f"job requests {nodes} nodes, above the per-job limit of {spec.max_nodes_per_job}"
+            )
+        if nodes < spec.min_nodes_per_job:
+            raise SubmitException(
+                self.name, f"job requests {nodes} nodes, below the per-job minimum of {spec.min_nodes_per_job}"
+            )
+        with self._lock:
+            if spec.max_queued_jobs is not None:
+                queued = sum(
+                    1 for j in self._jobs.values() if j.partition == partition and not j.state.terminal
+                )
+                if queued >= spec.max_queued_jobs:
+                    raise SubmitException(
+                        self.name,
+                        f"partition {partition!r} already has {queued} queued/running jobs "
+                        f"(limit {spec.max_queued_jobs})",
+                    )
+            self._job_counter += 1
+            job_id = f"{self.name}.{self._job_counter}"
+            now = time.time()
+            job = SimJob(
+                job_id=job_id,
+                script=script,
+                nodes=nodes,
+                walltime_s=parse_walltime(walltime),
+                partition=partition,
+                job_name=job_name,
+                submit_time=now,
+                eligible_time=now + spec.queue_delay_s,
+            )
+            self._jobs[job_id] = job
+        return job_id
+
+    def submit_script(self, script_text: str, dialect: str = "slurm") -> str:
+        """Submit a script whose resource request is encoded in directives.
+
+        This is the interface the cluster providers use: they generate a
+        native submit script (exactly as they would for the real scheduler)
+        and the simulator parses the directives back out.
+        """
+        prefix = _DIRECTIVE_PREFIXES.get(dialect.lower())
+        if prefix is None:
+            raise SubmitException(self.name, f"unknown scheduler dialect {dialect!r}")
+        options = self._parse_directives(script_text, prefix)
+        nodes = int(options.get("nodes", 1))
+        walltime = options.get("walltime", "00:30:00")
+        partition = options.get("partition") or next(iter(self.partitions))
+        job_name = options.get("job-name", "repro-job")
+        return self.submit(script_text, nodes=nodes, walltime=walltime, partition=partition, job_name=job_name)
+
+    @staticmethod
+    def _parse_directives(script_text: str, prefix: str) -> Dict[str, str]:
+        """Extract normalized resource options from scheduler directives."""
+        options: Dict[str, str] = {}
+        for line in script_text.splitlines():
+            line = line.strip()
+            if not line.startswith(prefix):
+                continue
+            body = line[len(prefix):].strip()
+            # Normalize the many spellings into a canonical key set.
+            for pattern, key in [
+                (r"--nodes[=\s]+(\d+)", "nodes"),
+                (r"--nodecount[=\s]+(\d+)", "nodes"),
+                (r"-N\s+(\d+)\s*$", "nodes"),
+                (r"-l\s+nodes=(\d+)", "nodes"),
+                (r"nodecount\s*=\s*(\d+)", "nodes"),
+                (r"--time[=\s]+(\S+)", "walltime"),
+                (r"-t\s+(\S+)", "walltime"),
+                (r"-l\s+walltime=(\S+)", "walltime"),
+                (r"(?<![-\w])walltime\s*=\s*(\S+)", "walltime"),
+                (r"--partition[=\s]+(\S+)", "partition"),
+                (r"-p\s+(\S+)", "partition"),
+                (r"-q\s+(\S+)", "partition"),
+                (r"queue\s*=\s*(\S+)", "partition"),
+                (r"--job-name[=\s]+(\S+)", "job-name"),
+                (r"-J\s+(\S+)", "job-name"),
+                (r"jobname\s*=\s*(\S+)", "job-name"),
+            ]:
+                m = re.search(pattern, body)
+                if m and key not in options:
+                    options[key] = m.group(1)
+        return options
+
+    # ------------------------------------------------------------------
+    # Queries and control
+    # ------------------------------------------------------------------
+    def status(self, job_ids: List[str]) -> Dict[str, SimJobState]:
+        """Return the state of each requested job."""
+        with self._lock:
+            result = {}
+            for job_id in job_ids:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise JobNotFoundError(f"unknown job id {job_id!r}")
+                result[job_id] = job.state
+            return result
+
+    def get_job(self, job_id: str) -> SimJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"unknown job id {job_id!r}")
+            return job
+
+    def cancel(self, job_ids: List[str]) -> List[bool]:
+        """Cancel jobs; returns one bool per job indicating whether it was cancellable."""
+        results = []
+        with self._lock:
+            for job_id in job_ids:
+                job = self._jobs.get(job_id)
+                if job is None or job.state.terminal:
+                    results.append(False)
+                    continue
+                self._terminate_job(job, SimJobState.CANCELLED)
+                results.append(True)
+        return results
+
+    def hold(self, job_id: str) -> None:
+        """Hold a pending job (it will not be scheduled until released)."""
+        with self._lock:
+            job = self.get_job(job_id)
+            if job.state == SimJobState.PENDING:
+                job.state = SimJobState.HELD
+
+    def release(self, job_id: str) -> None:
+        with self._lock:
+            job = self.get_job(job_id)
+            if job.state == SimJobState.HELD:
+                job.state = SimJobState.PENDING
+
+    def nodes_in_use(self, partition: Optional[str] = None) -> int:
+        with self._lock:
+            return sum(
+                j.nodes
+                for j in self._jobs.values()
+                if j.running and (partition is None or j.partition == partition)
+            )
+
+    def free_nodes(self, partition: str) -> int:
+        spec = self.partitions[partition]
+        return spec.total_nodes - self.nodes_in_use(partition)
+
+    def queued_jobs(self, partition: Optional[str] = None) -> List[SimJob]:
+        with self._lock:
+            return [
+                j
+                for j in self._jobs.values()
+                if j.pending and (partition is None or j.partition == partition)
+            ]
+
+    def all_jobs(self) -> List[SimJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self._sweep()
+            except Exception:  # noqa: BLE001 - scheduler must keep running
+                pass
+
+    def _sweep(self) -> None:
+        now = time.time()
+        with self._lock:
+            # 1. Progress running jobs: completion and walltime enforcement.
+            for job in self._jobs.values():
+                if not job.running:
+                    continue
+                if job.process is not None:
+                    rc = job.process.poll()
+                    if rc is not None:
+                        job.exit_code = rc
+                        job.end_time = now
+                        job.state = SimJobState.COMPLETED if rc == 0 else SimJobState.FAILED
+                        continue
+                if job.start_time is not None and now - job.start_time > job.walltime_s:
+                    self._terminate_job(job, SimJobState.TIMEOUT)
+            # 2. Start pending jobs FCFS per partition.
+            pending = sorted(
+                (j for j in self._jobs.values() if j.pending and j.eligible_time <= now),
+                key=lambda j: j.submit_time,
+            )
+            for job in pending:
+                if self.free_nodes(job.partition) >= job.nodes:
+                    self._start_job(job)
+
+    def _start_job(self, job: SimJob) -> None:
+        job.state = SimJobState.RUNNING
+        job.start_time = time.time()
+        if self.execute_jobs:
+            script_path = os.path.join(self.working_dir, f"{job.job_id}.sh")
+            with open(script_path, "w") as fh:
+                fh.write(job.script)
+            os.chmod(script_path, 0o755)
+            job.script_path = script_path
+            job.process = subprocess.Popen(
+                ["/bin/sh", script_path],
+                stdout=open(os.path.join(self.working_dir, f"{job.job_id}.out"), "w"),
+                stderr=open(os.path.join(self.working_dir, f"{job.job_id}.err"), "w"),
+                start_new_session=True,
+            )
+
+    def _terminate_job(self, job: SimJob, final_state: SimJobState) -> None:
+        if job.process is not None and job.process.poll() is None:
+            try:
+                job.process.terminate()
+            except OSError:
+                pass
+        job.state = final_state
+        job.end_time = time.time()
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the scheduler thread and kill every running job."""
+        self._stop.set()
+        self._scheduler_thread.join(timeout=5)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.running:
+                    self._terminate_job(job, SimJobState.CANCELLED)
+
+    def __enter__(self) -> "BatchSchedulerSim":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Named cluster registry: providers refer to clusters by name so a config can
+# say "submit to midway" without having to thread simulator objects around.
+# ---------------------------------------------------------------------------
+
+_CLUSTERS: Dict[str, BatchSchedulerSim] = {}
+_CLUSTERS_LOCK = threading.Lock()
+
+
+def register_cluster(sim: BatchSchedulerSim) -> BatchSchedulerSim:
+    """Register a simulator under its name, replacing any previous one."""
+    with _CLUSTERS_LOCK:
+        old = _CLUSTERS.get(sim.name)
+        if old is not None and old is not sim:
+            old.shutdown()
+        _CLUSTERS[sim.name] = sim
+    return sim
+
+
+def get_cluster(name: str = "default", **kwargs) -> BatchSchedulerSim:
+    """Fetch (or lazily create) a named cluster simulator."""
+    with _CLUSTERS_LOCK:
+        sim = _CLUSTERS.get(name)
+        if sim is None:
+            sim = BatchSchedulerSim(name=name, **kwargs)
+            _CLUSTERS[name] = sim
+        return sim
+
+
+def reset_clusters() -> None:
+    """Shut down and forget every registered cluster (used by tests)."""
+    with _CLUSTERS_LOCK:
+        for sim in _CLUSTERS.values():
+            sim.shutdown()
+        _CLUSTERS.clear()

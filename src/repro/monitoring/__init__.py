@@ -1,0 +1,17 @@
+"""Monitoring (§4.6): task state transitions, resource usage, and run metadata."""
+
+from repro.monitoring.messages import MessageType, MonitoringMessage
+from repro.monitoring.hub import MonitoringHub
+from repro.monitoring.db import SQLiteStore, InMemoryStore
+from repro.monitoring.report import workflow_summary, task_state_timeline, format_summary_text
+
+__all__ = [
+    "MessageType",
+    "MonitoringMessage",
+    "MonitoringHub",
+    "SQLiteStore",
+    "InMemoryStore",
+    "workflow_summary",
+    "task_state_timeline",
+    "format_summary_text",
+]

@@ -1,0 +1,133 @@
+"""Monitoring stores.
+
+The paper's modular DFK interface allows monitoring information to be stored
+in a SQL database, Elasticsearch, or files. We provide two concrete stores
+behind one interface: an in-memory store (fast, used by default and by
+tests) and a SQLite store (durable, queryable with SQL after the run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional
+
+from repro.monitoring.messages import MessageType, MonitoringMessage
+
+
+class MonitoringStore(ABC):
+    """Interface every monitoring store implements."""
+
+    @abstractmethod
+    def insert(self, message: MonitoringMessage) -> None:
+        """Persist one monitoring record."""
+
+    @abstractmethod
+    def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
+        """Return records matching the type and payload equality filters."""
+
+    def close(self) -> None:
+        return None
+
+
+class InMemoryStore(MonitoringStore):
+    """Keep monitoring rows in a list (the default store)."""
+
+    def __init__(self):
+        self._rows: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def insert(self, message: MonitoringMessage) -> None:
+        with self._lock:
+            self._rows.append(message.as_row())
+
+    def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = list(self._rows)
+        if message_type is not None:
+            rows = [r for r in rows if r.get("message_type") == message_type.value]
+        for key, value in filters.items():
+            rows = [r for r in rows if r.get(key) == value]
+        return rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+
+class SQLiteStore(MonitoringStore):
+    """Store monitoring rows in a SQLite database file.
+
+    Rows are stored in one table per message type with a fixed set of indexed
+    columns (run_id, task_id, state) plus the full payload as JSON, which
+    keeps the schema stable while allowing arbitrary payload fields.
+    """
+
+    _TABLES = {
+        MessageType.WORKFLOW_INFO: "workflow",
+        MessageType.TASK_INFO: "task",
+        MessageType.TASK_STATE: "status",
+        MessageType.RESOURCE_INFO: "resource",
+        MessageType.NODE_INFO: "node",
+        MessageType.BLOCK_INFO: "block",
+    }
+
+    def __init__(self, db_path: str = "monitoring.db"):
+        self.db_path = db_path
+        dirname = os.path.dirname(os.path.abspath(db_path))
+        os.makedirs(dirname, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.db_path, check_same_thread=False)
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        with self._lock, self._conn:
+            for table in self._TABLES.values():
+                self._conn.execute(
+                    f"""CREATE TABLE IF NOT EXISTS {table} (
+                            id INTEGER PRIMARY KEY AUTOINCREMENT,
+                            run_id TEXT,
+                            task_id INTEGER,
+                            state TEXT,
+                            timestamp REAL,
+                            payload TEXT
+                        )"""
+                )
+                self._conn.execute(f"CREATE INDEX IF NOT EXISTS idx_{table}_run ON {table} (run_id)")
+                self._conn.execute(f"CREATE INDEX IF NOT EXISTS idx_{table}_task ON {table} (task_id)")
+
+    def insert(self, message: MonitoringMessage) -> None:
+        table = self._TABLES[message.message_type]
+        payload = message.payload
+        with self._lock, self._conn:
+            self._conn.execute(
+                f"INSERT INTO {table} (run_id, task_id, state, timestamp, payload) VALUES (?, ?, ?, ?, ?)",
+                (
+                    payload.get("run_id"),
+                    payload.get("task_id"),
+                    payload.get("state"),
+                    message.timestamp,
+                    json.dumps(payload, default=str),
+                ),
+            )
+
+    def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
+        tables = [self._TABLES[message_type]] if message_type else list(self._TABLES.values())
+        rows: List[Dict[str, Any]] = []
+        with self._lock:
+            for table, mtype in [(t, mt) for mt, t in self._TABLES.items() if t in tables]:
+                cursor = self._conn.execute(f"SELECT run_id, task_id, state, timestamp, payload FROM {table}")
+                for run_id, task_id, state, timestamp, payload in cursor.fetchall():
+                    row = json.loads(payload)
+                    row.update({"message_type": mtype.value, "timestamp": timestamp})
+                    rows.append(row)
+        for key, value in filters.items():
+            rows = [r for r in rows if r.get(key) == value]
+        return rows
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

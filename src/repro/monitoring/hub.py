@@ -1,0 +1,86 @@
+"""The MonitoringHub: an asynchronous router from components to the store.
+
+Components (the DFK, executors, the strategy) call ``send`` with a message;
+a background thread drains the queue into the configured store so that
+monitoring never blocks the task-launch path.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.monitoring.db import InMemoryStore, MonitoringStore, SQLiteStore
+from repro.monitoring.messages import MessageType, MonitoringMessage
+
+logger = logging.getLogger(__name__)
+
+
+class MonitoringHub:
+    """Collect and persist monitoring messages for one workflow run."""
+
+    def __init__(
+        self,
+        store: Optional[MonitoringStore] = None,
+        db_path: Optional[str] = None,
+        resource_monitoring_enabled: bool = True,
+        flush_timeout: float = 5.0,
+    ):
+        if store is not None:
+            self.store = store
+        elif db_path is not None:
+            self.store = SQLiteStore(db_path)
+        else:
+            self.store = InMemoryStore()
+        self.resource_monitoring_enabled = resource_monitoring_enabled
+        self.flush_timeout = flush_timeout
+        self._queue: "queue.Queue[Optional[MonitoringMessage]]" = queue.Queue()
+        self._thread = threading.Thread(target=self._drain, name="monitoring-hub", daemon=True)
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def send(self, message_type: MessageType, payload: Dict[str, Any]) -> None:
+        """Queue one monitoring record (no-op after close)."""
+        if self._closed:
+            return
+        if message_type == MessageType.RESOURCE_INFO and not self.resource_monitoring_enabled:
+            return
+        self._queue.put(MonitoringMessage(message_type, dict(payload)))
+
+    def _drain(self) -> None:
+        while True:
+            message = self._queue.get()
+            if message is None:
+                break
+            try:
+                self.store.insert(message)
+            except Exception:  # noqa: BLE001 - monitoring must never kill the run
+                logger.exception("failed to store monitoring message")
+
+    # ------------------------------------------------------------------
+    def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
+        return self.store.query(message_type, **filters)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self._queue.put(None)
+            self._thread.join(timeout=self.flush_timeout)
+        self.store.close()
+
+    def __enter__(self) -> "MonitoringHub":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

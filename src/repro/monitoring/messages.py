@@ -1,0 +1,37 @@
+"""Monitoring message types.
+
+The DFK logs execution metadata and task state transitions; workers log task
+execution information including resource usage. Each record is a
+:class:`MonitoringMessage` routed to the configured store.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class MessageType(enum.Enum):
+    WORKFLOW_INFO = "workflow_info"
+    TASK_INFO = "task_info"
+    TASK_STATE = "task_state"
+    RESOURCE_INFO = "resource_info"
+    NODE_INFO = "node_info"
+    BLOCK_INFO = "block_info"
+
+
+@dataclass
+class MonitoringMessage:
+    """One monitoring record."""
+
+    message_type: MessageType
+    payload: Dict[str, Any]
+    timestamp: float = field(default_factory=time.time)
+
+    def as_row(self) -> Dict[str, Any]:
+        row = dict(self.payload)
+        row["message_type"] = self.message_type.value
+        row["timestamp"] = self.timestamp
+        return row

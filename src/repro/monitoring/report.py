@@ -1,0 +1,82 @@
+"""Post-run monitoring reports.
+
+The upstream project ships a web visualization; this reproduction provides
+the same information as queryable dicts and a formatted text report: per-task
+state timelines, per-state counts, makespan, and resource usage summaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional
+
+from repro.monitoring.hub import MonitoringHub
+from repro.monitoring.messages import MessageType
+
+
+def task_state_timeline(hub: MonitoringHub, run_id: Optional[str] = None) -> Dict[int, List[Dict[str, Any]]]:
+    """Per-task ordered list of (state, timestamp) transitions."""
+    rows = hub.query(MessageType.TASK_STATE)
+    if run_id is not None:
+        rows = [r for r in rows if r.get("run_id") == run_id]
+    timeline: Dict[int, List[Dict[str, Any]]] = defaultdict(list)
+    for row in rows:
+        timeline[row["task_id"]].append({"state": row["state"], "timestamp": row["timestamp"]})
+    for events in timeline.values():
+        events.sort(key=lambda e: e["timestamp"])
+    return dict(timeline)
+
+
+def workflow_summary(hub: MonitoringHub, run_id: Optional[str] = None) -> Dict[str, Any]:
+    """Aggregate statistics for one run."""
+    timeline = task_state_timeline(hub, run_id)
+    state_counts: Dict[str, int] = defaultdict(int)
+    first_ts, last_ts = None, None
+    exec_durations = []
+    for events in timeline.values():
+        if not events:
+            continue
+        final_state = events[-1]["state"]
+        state_counts[final_state] += 1
+        start = events[0]["timestamp"]
+        end = events[-1]["timestamp"]
+        first_ts = start if first_ts is None else min(first_ts, start)
+        last_ts = end if last_ts is None else max(last_ts, end)
+        running = [e["timestamp"] for e in events if e["state"] == "running"]
+        done = [e["timestamp"] for e in events if e["state"] in ("exec_done", "done")]
+        if running and done:
+            exec_durations.append(done[-1] - running[0])
+    resources = hub.query(MessageType.RESOURCE_INFO)
+    if run_id is not None:
+        resources = [r for r in resources if r.get("run_id") == run_id]
+    summary = {
+        "tasks": len(timeline),
+        "final_state_counts": dict(state_counts),
+        "makespan_s": (last_ts - first_ts) if first_ts is not None and last_ts is not None else 0.0,
+        "mean_task_execution_s": (sum(exec_durations) / len(exec_durations)) if exec_durations else 0.0,
+        "resource_records": len(resources),
+    }
+    if resources:
+        cpu = [r.get("psutil_process_time_user", 0.0) for r in resources]
+        mem = [r.get("psutil_process_memory_resident_kb", 0.0) for r in resources]
+        summary["total_cpu_user_s"] = float(sum(cpu))
+        summary["peak_memory_kb"] = float(max(mem))
+    return summary
+
+
+def format_summary_text(hub: MonitoringHub, run_id: Optional[str] = None) -> str:
+    """Human-readable run report."""
+    summary = workflow_summary(hub, run_id)
+    lines = [
+        "Workflow summary",
+        "----------------",
+        f"tasks:                 {summary['tasks']}",
+        f"makespan:              {summary['makespan_s']:.3f} s",
+        f"mean task execution:   {summary['mean_task_execution_s']:.3f} s",
+    ]
+    for state, count in sorted(summary["final_state_counts"].items()):
+        lines.append(f"  final state {state:<12} {count}")
+    if "total_cpu_user_s" in summary:
+        lines.append(f"total user CPU:        {summary['total_cpu_user_s']:.3f} s")
+        lines.append(f"peak worker memory:    {summary['peak_memory_kb']:.0f} kB")
+    return "\n".join(lines)

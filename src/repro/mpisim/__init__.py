@@ -1,0 +1,34 @@
+"""Simulated MPI layer.
+
+The paper's Extreme Scale Executor (EXEX, §4.3.2) uses mpi4py on Cray systems:
+rank 0 of an MPI job acts as the manager and distributes tasks to the other
+ranks (workers) over MPI point-to-point messages. Real MPI is not available in
+this reproduction environment, so this package provides an MPI-like
+communicator with the subset of the API EXEX needs:
+
+* ``rank`` / ``size``
+* blocking ``send`` / ``recv`` with source and tag selection (including
+  ``ANY_SOURCE`` / ``ANY_TAG``)
+* ``bcast``, ``scatter``, ``gather`` rooted collectives
+* ``barrier``
+* ``abort`` — terminating one rank kills the whole job, reproducing the
+  fault-tolerance weakness of MPI-based many-task execution discussed in the
+  paper.
+
+Two backends exist: a thread backend (fast, used in unit tests and for
+in-process EXEX deployments) and a process backend (used for real multi-core
+execution).
+"""
+
+from repro.mpisim.communicator import SimComm, ANY_SOURCE, ANY_TAG, MPIAbort
+from repro.mpisim.launcher import launch_threads, launch_processes, MPIJob
+
+__all__ = [
+    "SimComm",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MPIAbort",
+    "launch_threads",
+    "launch_processes",
+    "MPIJob",
+]

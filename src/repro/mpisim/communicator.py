@@ -1,0 +1,218 @@
+"""MPI-like communicator over shared queues.
+
+Each rank owns an inbound queue; ``send`` places an envelope on the
+destination's queue, ``recv`` consumes envelopes, buffering any that do not
+match the requested ``(source, tag)`` selector so that out-of-order delivery
+between different peers does not lose messages — the same matching semantics
+MPI provides.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MPIAbort(Exception):
+    """Raised in every rank when any rank calls :meth:`SimComm.abort`."""
+
+    def __init__(self, errorcode: int = 1, origin_rank: int = -1):
+        super().__init__(f"MPI job aborted with code {errorcode} (origin rank {origin_rank})")
+        self.errorcode = errorcode
+        self.origin_rank = origin_rank
+
+
+class _Envelope:
+    __slots__ = ("source", "tag", "payload", "kind")
+
+    def __init__(self, source: int, tag: int, payload: Any, kind: str = "msg"):
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.kind = kind
+
+
+class JobState:
+    """State shared by every rank of one simulated MPI job."""
+
+    def __init__(self, size: int, queue_factory: Callable[[], Any], barrier_factory: Callable[[int], Any]):
+        if size < 1:
+            raise ValueError("an MPI job needs at least one rank")
+        self.size = size
+        self.queues = [queue_factory() for _ in range(size)]
+        self.barrier = barrier_factory(size)
+        self.abort_info: Optional[MPIAbort] = None
+        self.abort_flag = threading.Event() if isinstance(self.barrier, threading.Barrier) else None
+
+
+class SimComm:
+    """The communicator handed to each rank's entry function."""
+
+    #: How often a blocking recv re-checks for an abort (seconds).
+    _POLL = 0.05
+
+    def __init__(self, rank: int, job: JobState):
+        if not 0 <= rank < job.size:
+            raise ValueError(f"rank {rank} out of range for job of size {job.size}")
+        self._rank = rank
+        self._job = job
+        self._buffer: List[_Envelope] = []
+
+    # ------------------------------------------------------------------
+    # Introspection (MPI-style method names kept for familiarity)
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._job.size
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._job.size
+
+    # ------------------------------------------------------------------
+    # Point to point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to ``dest``. Raises MPIAbort if the job was aborted."""
+        self._check_abort()
+        if not 0 <= dest < self._job.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        self._job.queues[dest].put(_Envelope(self._rank, tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: Optional[float] = None) -> Any:
+        """Blocking receive with source/tag matching.
+
+        ``timeout`` is an extension over MPI (MPI recv blocks forever); EXEX
+        workers use it so they can notice shutdown requests.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        # First, check buffered envelopes.
+        env = self._match_buffered(source, tag)
+        if env is not None:
+            return env.payload
+        while True:
+            self._check_abort()
+            remaining = self._POLL
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.time())
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"rank {self._rank}: no message from source={source} tag={tag} within timeout"
+                    )
+            try:
+                env = self._job.queues[self._rank].get(timeout=max(remaining, 0.001))
+            except queue_module.Empty:
+                continue
+            if self._matches(env, source, tag):
+                return env.payload
+            self._buffer.append(env)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check whether a matching message is available."""
+        self._check_abort()
+        if self._match_buffered(source, tag, consume=False) is not None:
+            return True
+        # Drain whatever is currently queued into the buffer, then re-check.
+        while True:
+            try:
+                env = self._job.queues[self._rank].get_nowait()
+            except queue_module.Empty:
+                break
+            self._buffer.append(env)
+        return self._match_buffered(source, tag, consume=False) is not None
+
+    def _match_buffered(self, source: int, tag: int, consume: bool = True) -> Optional[_Envelope]:
+        for i, env in enumerate(self._buffer):
+            if self._matches(env, source, tag):
+                return self._buffer.pop(i) if consume else env
+        return None
+
+    @staticmethod
+    def _matches(env: _Envelope, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, env.source)) and (tag in (ANY_TAG, env.tag))
+
+    # ------------------------------------------------------------------
+    # Collectives (rooted, built on point-to-point)
+    # ------------------------------------------------------------------
+    _COLLECTIVE_TAG = -1000  # reserved internal tag range
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank; returns the object."""
+        if self._rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=self._COLLECTIVE_TAG)
+            return obj
+        return self.recv(source=root, tag=self._COLLECTIVE_TAG)
+
+    def scatter(self, sendobj: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter a sequence of ``size`` elements from root; returns this rank's element."""
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != self.size:
+                raise ValueError(f"scatter requires a sequence of exactly {self.size} elements at the root")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(sendobj[dest], dest, tag=self._COLLECTIVE_TAG - 1)
+            return sendobj[root]
+        return self.recv(source=root, tag=self._COLLECTIVE_TAG - 1)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at the root; returns the list at root, None elsewhere."""
+        if self._rank == root:
+            result: List[Any] = [None] * self.size
+            result[root] = sendobj
+            for _ in range(self.size - 1):
+                # Receive from any rank; envelope carries its true source.
+                env = self._recv_envelope(tag=self._COLLECTIVE_TAG - 2)
+                result[env.source] = env.payload
+            return result
+        self.send(sendobj, root, tag=self._COLLECTIVE_TAG - 2)
+        return None
+
+    def _recv_envelope(self, tag: int) -> _Envelope:
+        env = self._match_buffered(ANY_SOURCE, tag)
+        if env is not None:
+            return env
+        while True:
+            self._check_abort()
+            try:
+                env = self._job.queues[self._rank].get(timeout=self._POLL)
+            except queue_module.Empty:
+                continue
+            if self._matches(env, ANY_SOURCE, tag):
+                return env
+            self._buffer.append(env)
+
+    def barrier(self, timeout: Optional[float] = 60.0) -> None:
+        """Block until every rank reaches the barrier."""
+        self._check_abort()
+        self._job.barrier.wait(timeout)
+        self._check_abort()
+
+    # ------------------------------------------------------------------
+    # Abort
+    # ------------------------------------------------------------------
+    def abort(self, errorcode: int = 1) -> None:
+        """Kill the whole job: every subsequent communicator call raises MPIAbort."""
+        self._job.abort_info = MPIAbort(errorcode, self._rank)
+        if self._job.abort_flag is not None:
+            self._job.abort_flag.set()
+        # Wake up blocked receivers with sentinel envelopes.
+        for q in self._job.queues:
+            q.put(_Envelope(self._rank, ANY_TAG, None, kind="abort"))
+        raise self._job.abort_info
+
+    def _check_abort(self) -> None:
+        if self._job.abort_info is not None:
+            raise self._job.abort_info

@@ -1,0 +1,154 @@
+"""Launch simulated MPI jobs.
+
+``launch_threads`` runs every rank as a thread inside the current process
+(fast; used by unit tests and by EXEX's default in-process deployment).
+``launch_processes`` runs every rank as a separate OS process, giving real
+core-level parallelism at the cost of slower startup.
+
+Both return an :class:`MPIJob` handle with ``wait()``, ``results`` (per-rank
+return values), and ``terminate()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.mpisim.communicator import JobState, MPIAbort, SimComm
+
+
+class MPIJob:
+    """Handle to a running simulated MPI job."""
+
+    def __init__(self, size: int, mode: str):
+        self.size = size
+        self.mode = mode
+        self._members: List[Any] = []
+        self._results: Dict[int, Any] = {}
+        self._errors: Dict[int, BaseException] = {}
+        self._result_queue: Optional[Any] = None
+        self.job_state: Optional[JobState] = None
+
+    # Populated by the launch functions ---------------------------------
+    def _attach(self, members: List[Any], job_state: JobState, result_queue: Optional[Any] = None) -> None:
+        self._members = members
+        self.job_state = job_state
+        self._result_queue = result_queue
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Join every rank."""
+        for member in self._members:
+            member.join(timeout)
+        if self._result_queue is not None:
+            while True:
+                try:
+                    rank, ok, value = self._result_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if ok:
+                    self._results[rank] = value
+                else:
+                    self._errors[rank] = RuntimeError(value)
+
+    def is_alive(self) -> bool:
+        return any(member.is_alive() for member in self._members)
+
+    def terminate(self) -> None:
+        """Forcefully stop the job (process mode only; thread mode relies on abort)."""
+        if self.job_state is not None:
+            self.job_state.abort_info = MPIAbort(1, -1)
+        for member in self._members:
+            if hasattr(member, "terminate"):
+                member.terminate()
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        """Per-rank return values (available after :meth:`wait`)."""
+        return dict(self._results)
+
+    @property
+    def errors(self) -> Dict[int, BaseException]:
+        """Per-rank exceptions (available after :meth:`wait`)."""
+        return dict(self._errors)
+
+    def record_result(self, rank: int, value: Any) -> None:
+        self._results[rank] = value
+
+    def record_error(self, rank: int, exc: BaseException) -> None:
+        self._errors[rank] = exc
+
+
+def _thread_rank_main(job: MPIJob, job_state: JobState, rank: int, fn: Callable, args, kwargs) -> None:
+    comm = SimComm(rank, job_state)
+    try:
+        result = fn(comm, *args, **kwargs)
+        job.record_result(rank, result)
+    except MPIAbort as exc:
+        job.record_error(rank, exc)
+    except BaseException as exc:  # noqa: BLE001 - rank failure must not kill the launcher
+        job.record_error(rank, exc)
+
+
+def launch_threads(size: int, fn: Callable, *args, **kwargs) -> MPIJob:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` thread-backed ranks."""
+    job_state = JobState(
+        size,
+        queue_factory=queue_module.Queue,
+        barrier_factory=lambda n: threading.Barrier(n),
+    )
+    job = MPIJob(size, mode="threads")
+    threads = []
+    for rank in range(size):
+        t = threading.Thread(
+            target=_thread_rank_main,
+            args=(job, job_state, rank, fn, args, kwargs),
+            name=f"mpisim-rank-{rank}",
+            daemon=True,
+        )
+        threads.append(t)
+    job._attach(threads, job_state)
+    for t in threads:
+        t.start()
+    return job
+
+
+def _process_rank_main(job_state: JobState, rank: int, fn: Callable, args, kwargs, result_queue) -> None:
+    comm = SimComm(rank, job_state)
+    try:
+        result = fn(comm, *args, **kwargs)
+        result_queue.put((rank, True, result))
+    except BaseException as exc:  # noqa: BLE001
+        result_queue.put((rank, False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+
+
+def launch_processes(size: int, fn: Callable, *args, **kwargs) -> MPIJob:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` process-backed ranks.
+
+    The entry function and its arguments must be picklable (module-level
+    functions), matching the constraint real MPI programs have anyway.
+    """
+    ctx = multiprocessing.get_context("fork")
+    manager_barrier = ctx.Barrier(size)
+    job_state = JobState(
+        size,
+        queue_factory=ctx.Queue,
+        barrier_factory=lambda n: manager_barrier,
+    )
+    result_queue = ctx.Queue()
+    job = MPIJob(size, mode="processes")
+    procs = []
+    for rank in range(size):
+        p = ctx.Process(
+            target=_process_rank_main,
+            args=(job_state, rank, fn, args, kwargs, result_queue),
+            name=f"mpisim-rank-{rank}",
+            daemon=True,
+        )
+        procs.append(p)
+    job._attach(procs, job_state, result_queue)
+    for p in procs:
+        p.start()
+    return job

@@ -1,0 +1,32 @@
+"""Execution providers (§4.2): a uniform submit/status/cancel interface over
+local processes, batch schedulers, and clouds."""
+
+from repro.providers.base import ExecutionProvider, JobState, JobStatus
+from repro.providers.local import LocalProvider
+from repro.providers.cluster import ClusterProvider
+from repro.providers.slurm import SlurmProvider
+from repro.providers.torque import TorqueProvider
+from repro.providers.cobalt import CobaltProvider
+from repro.providers.gridengine import GridEngineProvider
+from repro.providers.condor import CondorProvider
+from repro.providers.cloudbase import CloudProvider
+from repro.providers.aws import AWSProvider
+from repro.providers.googlecloud import GoogleCloudProvider
+from repro.providers.kubernetes import KubernetesProvider
+
+__all__ = [
+    "ExecutionProvider",
+    "JobState",
+    "JobStatus",
+    "LocalProvider",
+    "ClusterProvider",
+    "SlurmProvider",
+    "TorqueProvider",
+    "CobaltProvider",
+    "GridEngineProvider",
+    "CondorProvider",
+    "CloudProvider",
+    "AWSProvider",
+    "GoogleCloudProvider",
+    "KubernetesProvider",
+]

@@ -1,0 +1,27 @@
+"""AWSProvider: EC2-style instances (simulated)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lrm.cloud import CloudSim
+from repro.providers.cloudbase import CloudProvider
+
+
+class AWSProvider(CloudProvider):
+    """Provider for EC2-style on-demand and spot instances.
+
+    ``instance_type``, ``spot_bid``, ``key_name``, and ``region`` mirror the
+    cloud parameters called out in §4.2; the backing control plane is the
+    :class:`~repro.lrm.cloud.CloudSim` simulator.
+    """
+
+    label = "aws"
+
+    def __init__(self, image_id: str = "ami-repro", security_group: Optional[str] = None, **kwargs):
+        kwargs.setdefault("instance_type", "c5.xlarge")
+        if "cloud" not in kwargs or kwargs["cloud"] is None:
+            kwargs["cloud"] = CloudSim(name="aws-ec2")
+        super().__init__(**kwargs)
+        self.image_id = image_id
+        self.security_group = security_group or "default"

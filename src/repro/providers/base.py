@@ -1,0 +1,123 @@
+"""Provider abstraction.
+
+The paper (§4.2) reduces every kind of resource — clouds, supercomputers,
+workstations — to three actions: *submit* a block, *retrieve the status* of an
+allocation, and *cancel* it. A provider also carries the block-shape
+parameters used by the elasticity strategy (§4.4): ``nodes_per_block``,
+``init_blocks``, ``min_blocks``, ``max_blocks``, and ``parallelism``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class JobState(enum.Enum):
+    """Normalized allocation states reported to executors and the strategy."""
+
+    UNKNOWN = "UNKNOWN"
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+    HELD = "HELD"
+    MISSING = "MISSING"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+            JobState.MISSING,
+        )
+
+
+@dataclass
+class JobStatus:
+    """Status of one block as reported by a provider."""
+
+    state: JobState
+    message: str = ""
+    exit_code: Optional[int] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state.terminal
+
+    def __repr__(self) -> str:
+        return f"JobStatus({self.state.value}{', ' + self.message if self.message else ''})"
+
+
+class ExecutionProvider(ABC):
+    """Base class for all providers."""
+
+    #: Human-readable label used in logs and monitoring.
+    label: str = "provider"
+
+    def __init__(
+        self,
+        nodes_per_block: int = 1,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 10,
+        parallelism: float = 1.0,
+        walltime: str = "00:30:00",
+        cores_per_node: Optional[int] = None,
+        mem_per_node: Optional[float] = None,
+        worker_init: str = "",
+    ):
+        if nodes_per_block < 1:
+            raise ValueError("nodes_per_block must be >= 1")
+        if min_blocks < 0 or max_blocks < min_blocks:
+            raise ValueError("need 0 <= min_blocks <= max_blocks")
+        if not 0 <= parallelism <= 1:
+            raise ValueError("parallelism must be between 0 and 1")
+        self.nodes_per_block = nodes_per_block
+        self.init_blocks = init_blocks
+        self.min_blocks = min_blocks
+        self.max_blocks = max_blocks
+        self.parallelism = parallelism
+        self.walltime = walltime
+        self.cores_per_node = cores_per_node
+        self.mem_per_node = mem_per_node
+        self.worker_init = worker_init
+        #: Executors stash per-block metadata here.
+        self.resources: dict = {}
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def submit(self, command: str, tasks_per_node: int, job_name: str = "repro.block") -> str:
+        """Submit one block running ``command``; returns an opaque job id."""
+
+    @abstractmethod
+    def status(self, job_ids: List[str]) -> List[JobStatus]:
+        """Return the status of each block in ``job_ids`` (same order)."""
+
+    @abstractmethod
+    def cancel(self, job_ids: List[str]) -> List[bool]:
+        """Cancel blocks; returns per-block success flags."""
+
+    # ------------------------------------------------------------------
+    @property
+    def status_polling_interval(self) -> float:
+        """How often (seconds) the strategy should poll for block status."""
+        return 1.0
+
+    @property
+    def cores_per_block(self) -> int:
+        """Best-effort estimate of cores provided by one block."""
+        return (self.cores_per_node or 1) * self.nodes_per_block
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes_per_block={self.nodes_per_block}, "
+            f"init_blocks={self.init_blocks}, min_blocks={self.min_blocks}, "
+            f"max_blocks={self.max_blocks}, parallelism={self.parallelism})"
+        )

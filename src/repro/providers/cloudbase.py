@@ -1,0 +1,127 @@
+"""Shared implementation for cloud providers (AWS, Google Cloud, Kubernetes).
+
+A block on a cloud corresponds to a single API request for one or more
+instances (§4.2.3). The provider tracks the set of instance ids making up
+each block; block status is the aggregate of instance states (a block is
+RUNNING once all instances are up, FAILED if any instance failed or was
+preempted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SubmitException
+from repro.launchers.base import Launcher
+from repro.launchers.launchers import SingleNodeLauncher
+from repro.lrm.cloud import CloudSim, InstanceState
+from repro.providers.base import ExecutionProvider, JobState, JobStatus
+
+
+class CloudProvider(ExecutionProvider):
+    """Base class for instance-oriented providers."""
+
+    label = "cloud"
+
+    def __init__(
+        self,
+        cloud: Optional[CloudSim] = None,
+        instance_type: str = "t2.micro",
+        spot: bool = False,
+        spot_bid: Optional[float] = None,
+        launcher: Optional[Launcher] = None,
+        nodes_per_block: int = 1,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 10,
+        parallelism: float = 1.0,
+        walltime: str = "01:00:00",
+        worker_init: str = "",
+        key_name: Optional[str] = None,
+        region: str = "us-east-1",
+    ):
+        super().__init__(
+            nodes_per_block=nodes_per_block,
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            parallelism=parallelism,
+            walltime=walltime,
+            worker_init=worker_init,
+        )
+        self.cloud = cloud or CloudSim(name=f"{self.label}-cloud")
+        self.instance_type = instance_type
+        self.spot = spot
+        self.spot_bid = spot_bid
+        self.launcher = launcher or SingleNodeLauncher()
+        self.key_name = key_name
+        self.region = region
+        spec = self.cloud.instance_types.get(instance_type)
+        self.cores_per_node = spec.cores if spec else 1
+        self._blocks: Dict[str, List[str]] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, command: str, tasks_per_node: int, job_name: str = "repro.block") -> str:
+        self._counter += 1
+        block_id = f"{self.label}.block.{self._counter}"
+        bootstrap = ""
+        if self.worker_init:
+            bootstrap = self.worker_init + "\n"
+        # Each instance is one "node" of the block; the per-node command is
+        # the launcher output for a single node.
+        per_node_command = bootstrap + self.launcher(command, tasks_per_node, 1)
+        instance_ids = []
+        try:
+            for _ in range(self.nodes_per_block):
+                instance_ids.append(
+                    self.cloud.request_instance(
+                        instance_type=self.instance_type,
+                        command=per_node_command,
+                        spot=self.spot,
+                        spot_bid=self.spot_bid,
+                    )
+                )
+        except SubmitException:
+            # Roll back any instances already acquired for this block.
+            if instance_ids:
+                self.cloud.terminate(instance_ids)
+            raise
+        self._blocks[block_id] = instance_ids
+        return block_id
+
+    def status(self, job_ids: List[str]) -> List[JobStatus]:
+        statuses = []
+        for block_id in job_ids:
+            instance_ids = self._blocks.get(block_id)
+            if not instance_ids:
+                statuses.append(JobStatus(JobState.MISSING, f"unknown block {block_id}"))
+                continue
+            states = self.cloud.describe(instance_ids)
+            values = list(states.values())
+            if any(s == InstanceState.FAILED for s in values):
+                statuses.append(JobStatus(JobState.FAILED))
+            elif any(s == InstanceState.PREEMPTED for s in values):
+                statuses.append(JobStatus(JobState.FAILED, "instance preempted"))
+            elif all(s == InstanceState.TERMINATED for s in values):
+                statuses.append(JobStatus(JobState.COMPLETED))
+            elif any(s == InstanceState.PENDING for s in values):
+                statuses.append(JobStatus(JobState.PENDING))
+            else:
+                statuses.append(JobStatus(JobState.RUNNING))
+        return statuses
+
+    def cancel(self, job_ids: List[str]) -> List[bool]:
+        results = []
+        for block_id in job_ids:
+            instance_ids = self._blocks.get(block_id)
+            if not instance_ids:
+                results.append(False)
+                continue
+            self.cloud.terminate(instance_ids)
+            results.append(True)
+        return results
+
+    @property
+    def status_polling_interval(self) -> float:
+        return 0.5

@@ -1,0 +1,133 @@
+"""Shared implementation for batch-scheduler providers.
+
+Each concrete provider (Slurm, Torque/PBS, Cobalt, GridEngine, HTCondor)
+supplies a submit-script template in its scheduler's native directive dialect
+and a mapping from scheduler-specific job states to the normalized
+:class:`~repro.providers.base.JobState`. The script is handed to the
+simulated LRM exactly as it would be handed to ``sbatch``/``qsub``; the LRM
+parses the directives back out, enforces partition limits and walltimes, and
+runs the script body locally so the worker pools genuinely start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Channel
+from repro.channels.local import LocalChannel
+from repro.errors import SubmitException
+from repro.launchers.base import Launcher
+from repro.launchers.launchers import SingleNodeLauncher
+from repro.lrm.scheduler import BatchSchedulerSim, SimJobState, get_cluster
+from repro.providers.base import ExecutionProvider, JobState, JobStatus
+
+#: How simulated LRM job states map onto the provider-facing states.
+_SIM_TO_JOBSTATE: Dict[SimJobState, JobState] = {
+    SimJobState.PENDING: JobState.PENDING,
+    SimJobState.HELD: JobState.HELD,
+    SimJobState.RUNNING: JobState.RUNNING,
+    SimJobState.COMPLETED: JobState.COMPLETED,
+    SimJobState.FAILED: JobState.FAILED,
+    SimJobState.CANCELLED: JobState.CANCELLED,
+    SimJobState.TIMEOUT: JobState.TIMEOUT,
+}
+
+
+class ClusterProvider(ExecutionProvider):
+    """Base class for providers that submit blocks to a batch scheduler."""
+
+    label = "cluster"
+    #: Directive dialect understood by the LRM simulator.
+    dialect = "slurm"
+
+    def __init__(
+        self,
+        partition: Optional[str] = None,
+        channel: Optional[Channel] = None,
+        launcher: Optional[Launcher] = None,
+        lrm: Optional[BatchSchedulerSim] = None,
+        cluster_name: str = "default",
+        scheduler_options: str = "",
+        worker_init: str = "",
+        nodes_per_block: int = 1,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 10,
+        parallelism: float = 1.0,
+        walltime: str = "00:30:00",
+        cores_per_node: Optional[int] = None,
+        mem_per_node: Optional[float] = None,
+    ):
+        super().__init__(
+            nodes_per_block=nodes_per_block,
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            parallelism=parallelism,
+            walltime=walltime,
+            cores_per_node=cores_per_node,
+            mem_per_node=mem_per_node,
+            worker_init=worker_init,
+        )
+        self.channel = channel or LocalChannel()
+        self.launcher = launcher or SingleNodeLauncher()
+        self.lrm = lrm or get_cluster(cluster_name)
+        self.partition = partition or next(iter(self.lrm.partitions))
+        self.scheduler_options = scheduler_options
+        if self.cores_per_node is None:
+            spec = self.lrm.partitions.get(self.partition)
+            self.cores_per_node = spec.cores_per_node if spec else 1
+        self._submitted: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Script generation: overridden per scheduler dialect.
+    # ------------------------------------------------------------------
+    def _directive_block(self, job_name: str) -> str:
+        """Return the scheduler directive lines for a block submission."""
+        raise NotImplementedError
+
+    def _write_submit_script(self, command: str, tasks_per_node: int, job_name: str) -> str:
+        launched = self.launcher(command, tasks_per_node, self.nodes_per_block)
+        lines = ["#!/bin/sh"]
+        lines.append(self._directive_block(job_name).rstrip("\n"))
+        if self.scheduler_options:
+            lines.append(self.scheduler_options.rstrip("\n"))
+        if self.worker_init:
+            lines.append(self.worker_init.rstrip("\n"))
+        lines.append(launched)
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def submit(self, command: str, tasks_per_node: int, job_name: str = "repro.block") -> str:
+        script = self._write_submit_script(command, tasks_per_node, job_name)
+        # Stage the script through the channel so SSH-style deployments are
+        # exercised (the script lands in the channel's script directory).
+        script_path = f"{self.channel.script_dir}/{job_name}.sh"
+        with open(script_path, "w") as fh:
+            fh.write(script)
+        try:
+            job_id = self.lrm.submit_script(script, dialect=self.dialect)
+        except SubmitException:
+            raise
+        except Exception as exc:  # noqa: BLE001 - normalize unexpected LRM errors
+            raise SubmitException(self.label, str(exc)) from exc
+        self._submitted.append(job_id)
+        return job_id
+
+    def status(self, job_ids: List[str]) -> List[JobStatus]:
+        statuses = []
+        for job_id in job_ids:
+            try:
+                sim_state = self.lrm.status([job_id])[job_id]
+            except Exception:  # noqa: BLE001 - unknown ids become MISSING
+                statuses.append(JobStatus(JobState.MISSING, f"unknown job {job_id}"))
+                continue
+            statuses.append(JobStatus(_SIM_TO_JOBSTATE.get(sim_state, JobState.UNKNOWN)))
+        return statuses
+
+    def cancel(self, job_ids: List[str]) -> List[bool]:
+        return self.lrm.cancel(job_ids)
+
+    @property
+    def status_polling_interval(self) -> float:
+        return 0.5

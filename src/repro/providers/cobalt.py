@@ -1,0 +1,22 @@
+"""CobaltProvider: ALCF Cobalt-managed systems (e.g. Theta)."""
+
+from __future__ import annotations
+
+from repro.providers.cluster import ClusterProvider
+
+
+class CobaltProvider(ClusterProvider):
+    """Provider emitting ``#COBALT`` directives."""
+
+    label = "cobalt"
+    dialect = "cobalt"
+
+    def _directive_block(self, job_name: str) -> str:
+        return "\n".join(
+            [
+                f"#COBALT --job-name {job_name}",
+                f"#COBALT --nodecount={self.nodes_per_block}",
+                f"#COBALT --time {self.walltime}",
+                f"#COBALT -q {self.partition}",
+            ]
+        )

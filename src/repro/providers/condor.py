@@ -1,0 +1,28 @@
+"""CondorProvider: HTCondor pools."""
+
+from __future__ import annotations
+
+from repro.providers.cluster import ClusterProvider
+
+
+class CondorProvider(ClusterProvider):
+    """Provider emitting HTCondor-style submit directives.
+
+    HTCondor submit files are key=value rather than shell directives; the LRM
+    simulator accepts a ``#CONDOR`` directive dialect carrying the same
+    normalized keys so the provider still exercises script generation and the
+    submit/status/cancel path.
+    """
+
+    label = "condor"
+    dialect = "condor"
+
+    def _directive_block(self, job_name: str) -> str:
+        return "\n".join(
+            [
+                f"#CONDOR jobname = {job_name}",
+                f"#CONDOR nodecount = {self.nodes_per_block}",
+                f"#CONDOR walltime={self.walltime}",
+                f"#CONDOR queue = {self.partition}",
+            ]
+        )

@@ -1,0 +1,20 @@
+"""GoogleCloudProvider: GCE-style instances (simulated)."""
+
+from __future__ import annotations
+
+from repro.lrm.cloud import CloudSim
+from repro.providers.cloudbase import CloudProvider
+
+
+class GoogleCloudProvider(CloudProvider):
+    """Provider for Google Compute Engine style instances."""
+
+    label = "googlecloud"
+
+    def __init__(self, project_id: str = "repro-project", zone: str = "us-central1-a", **kwargs):
+        kwargs.setdefault("instance_type", "n1-standard-4")
+        if "cloud" not in kwargs or kwargs["cloud"] is None:
+            kwargs["cloud"] = CloudSim(name="gce")
+        super().__init__(**kwargs)
+        self.project_id = project_id
+        self.zone = zone

@@ -1,0 +1,22 @@
+"""GridEngineProvider: SGE/UGE-managed clusters."""
+
+from __future__ import annotations
+
+from repro.providers.cluster import ClusterProvider
+
+
+class GridEngineProvider(ClusterProvider):
+    """Provider emitting ``#$`` (SGE) directives."""
+
+    label = "gridengine"
+    dialect = "sge"
+
+    def _directive_block(self, job_name: str) -> str:
+        return "\n".join(
+            [
+                f"#$ --job-name={job_name}",
+                f"#$ --nodes={self.nodes_per_block}",
+                f"#$ -t {self.walltime}",
+                f"#$ -q {self.partition}",
+            ]
+        )

@@ -1,0 +1,25 @@
+"""KubernetesProvider: pods as blocks (simulated)."""
+
+from __future__ import annotations
+
+from repro.lrm.cloud import CloudSim
+from repro.providers.cloudbase import CloudProvider
+
+
+class KubernetesProvider(CloudProvider):
+    """Provider that runs each block node as a pod.
+
+    The pod image corresponds to the container image used for task isolation
+    (§4.6); the simulated control plane starts the pod's command as a local
+    process.
+    """
+
+    label = "kubernetes"
+
+    def __init__(self, image: str = "repro/worker:latest", namespace: str = "default", **kwargs):
+        kwargs.setdefault("instance_type", "pod-small")
+        if "cloud" not in kwargs or kwargs["cloud"] is None:
+            kwargs["cloud"] = CloudSim(name="k8s", provisioning_delay_s=0.05)
+        super().__init__(**kwargs)
+        self.image = image
+        self.namespace = namespace

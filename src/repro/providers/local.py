@@ -1,0 +1,115 @@
+"""LocalProvider: blocks are plain processes forked on this machine."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+from typing import Dict, List, Optional
+
+from repro.channels.local import LocalChannel
+from repro.errors import SubmitException
+from repro.launchers.launchers import SingleNodeLauncher
+from repro.providers.base import ExecutionProvider, JobState, JobStatus
+
+
+class LocalProvider(ExecutionProvider):
+    """Fork worker pools directly (the paper's "local execution (fork)" provider).
+
+    Each submitted block becomes one shell process started through the
+    configured launcher. This provider is what makes the reproduction's HTEX,
+    LLEX and EXEX actually execute work on the machine running the tests and
+    benchmarks.
+    """
+
+    label = "local"
+
+    def __init__(
+        self,
+        channel: Optional[LocalChannel] = None,
+        launcher=None,
+        nodes_per_block: int = 1,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 10,
+        parallelism: float = 1.0,
+        walltime: str = "01:00:00",
+        cores_per_node: Optional[int] = None,
+        worker_init: str = "",
+        script_dir: Optional[str] = None,
+    ):
+        super().__init__(
+            nodes_per_block=nodes_per_block,
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            parallelism=parallelism,
+            walltime=walltime,
+            cores_per_node=cores_per_node or os.cpu_count() or 1,
+            worker_init=worker_init,
+        )
+        self.channel = channel or LocalChannel(script_dir=script_dir)
+        self.launcher = launcher or SingleNodeLauncher()
+        self._processes: Dict[str, subprocess.Popen] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, command: str, tasks_per_node: int, job_name: str = "repro.block") -> str:
+        self._counter += 1
+        job_id = f"local.{os.getpid()}.{self._counter}"
+        wrapped = self.launcher(command, tasks_per_node, self.nodes_per_block)
+        script = "#!/bin/sh\n"
+        if self.worker_init:
+            script += self.worker_init + "\n"
+        script += wrapped + "\n"
+        script_path = os.path.join(self.channel.script_dir, f"{job_name}.{self._counter}.sh")
+        with open(script_path, "w") as fh:
+            fh.write(script)
+        os.chmod(script_path, 0o755)
+        try:
+            proc = self.channel.execute_no_wait(f"/bin/sh {script_path}")
+        except OSError as exc:
+            raise SubmitException(self.label, str(exc)) from exc
+        self._processes[job_id] = proc
+        return job_id
+
+    def status(self, job_ids: List[str]) -> List[JobStatus]:
+        statuses = []
+        for job_id in job_ids:
+            proc = self._processes.get(job_id)
+            if proc is None:
+                statuses.append(JobStatus(JobState.MISSING, f"unknown job {job_id}"))
+                continue
+            rc = proc.poll()
+            if rc is None:
+                statuses.append(JobStatus(JobState.RUNNING))
+            elif rc == 0:
+                statuses.append(JobStatus(JobState.COMPLETED, exit_code=rc))
+            elif rc in (-signal.SIGTERM, -signal.SIGKILL):
+                statuses.append(JobStatus(JobState.CANCELLED, exit_code=rc))
+            else:
+                statuses.append(JobStatus(JobState.FAILED, exit_code=rc))
+        return statuses
+
+    def cancel(self, job_ids: List[str]) -> List[bool]:
+        results = []
+        for job_id in job_ids:
+            proc = self._processes.get(job_id)
+            if proc is None or proc.poll() is not None:
+                results.append(False)
+                continue
+            try:
+                # The block was started in its own session so the whole
+                # process tree (manager + workers) can be signalled together.
+                os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
+            except (ProcessLookupError, PermissionError, OSError):
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+            results.append(True)
+        return results
+
+    @property
+    def status_polling_interval(self) -> float:
+        return 0.2

@@ -1,0 +1,27 @@
+"""SlurmProvider: submit blocks as Slurm jobs (``sbatch``-style scripts)."""
+
+from __future__ import annotations
+
+from repro.providers.cluster import ClusterProvider
+
+
+class SlurmProvider(ClusterProvider):
+    """Provider for Slurm-managed clusters (the paper's Listing 1 example).
+
+    Directives are emitted in ``#SBATCH`` form; extra ``#SBATCH`` arguments can
+    be passed through ``scheduler_options`` exactly as in Parsl.
+    """
+
+    label = "slurm"
+    dialect = "slurm"
+
+    def _directive_block(self, job_name: str) -> str:
+        return "\n".join(
+            [
+                f"#SBATCH --job-name={job_name}",
+                f"#SBATCH --nodes={self.nodes_per_block}",
+                f"#SBATCH --time={self.walltime}",
+                f"#SBATCH --partition={self.partition}",
+                "#SBATCH --exclusive",
+            ]
+        )

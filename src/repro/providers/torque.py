@@ -1,0 +1,22 @@
+"""TorqueProvider: PBS/Torque-managed clusters (``qsub``-style scripts)."""
+
+from __future__ import annotations
+
+from repro.providers.cluster import ClusterProvider
+
+
+class TorqueProvider(ClusterProvider):
+    """Provider emitting ``#PBS`` directives."""
+
+    label = "torque"
+    dialect = "pbs"
+
+    def _directive_block(self, job_name: str) -> str:
+        return "\n".join(
+            [
+                f"#PBS -N {job_name}",
+                f"#PBS -l nodes={self.nodes_per_block}",
+                f"#PBS -l walltime={self.walltime}",
+                f"#PBS -q {self.partition}",
+            ]
+        )

@@ -1,0 +1,19 @@
+"""Serialization facilities used to ship tasks and results between processes."""
+
+from repro.serialize.facade import (
+    serialize,
+    deserialize,
+    pack_apply_message,
+    unpack_apply_message,
+    serialize_object,
+    deserialize_object,
+)
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "pack_apply_message",
+    "unpack_apply_message",
+    "serialize_object",
+    "deserialize_object",
+]

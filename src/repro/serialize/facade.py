@@ -1,0 +1,293 @@
+"""Task and object serialization.
+
+The paper (§3.2) states that any picklable Python object can be passed into
+or out of an App. Parsl itself uses a layered serializer (pickle first,
+falling back to dill for interactively defined functions and closures). We
+reproduce that design with two concrete serializers:
+
+* :class:`PickleSerializer` — the fast path for ordinary objects and
+  module-level functions.
+* :class:`CodeSerializer` — a fallback that serializes functions by value
+  (code object + closure + defaults) so that functions defined in
+  ``__main__`` or in a Jupyter-style interactive session can still be shipped
+  to worker processes, which is exactly the capability dill provides to Parsl.
+
+Each serialized buffer is prefixed with a 2-byte method tag so the receiving
+side knows which deserializer to apply. ``pack_apply_message`` /
+``unpack_apply_message`` bundle a function with its args/kwargs, which is the
+unit the execution kernel (§4.3) deserializes on the worker.
+"""
+
+from __future__ import annotations
+
+import importlib
+import marshal
+import pickle
+import types
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import DeserializationError, SerializationError
+
+# Method tags. Two bytes, ASCII, so buffers remain debuggable in logs.
+_TAG_PICKLE = b"01"
+_TAG_CODE = b"02"
+_HEADER_LEN = 2
+
+
+class PickleSerializer:
+    """Plain pickle serialization (protocol = highest available)."""
+
+    tag = _TAG_PICKLE
+
+    def serialize(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize(self, payload: bytes) -> Any:
+        return pickle.loads(payload)
+
+
+def _referenced_names(code) -> set:
+    """All global names referenced by a code object, including nested code."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_names(const)
+    return names
+
+
+class CodeSerializer:
+    """Serialize functions by value (the role dill plays for Parsl).
+
+    This covers plain Python functions — including those defined in
+    ``__main__`` or a Jupyter-style session, which pickle can only serialize
+    by reference and which therefore cannot be resolved inside a worker
+    process. The function's code object, defaults, closure cells, and the
+    *globals it references* are captured:
+
+    * referenced modules are recorded by name and re-imported on the worker,
+    * referenced functions are recursively serialized by value,
+    * other referenced values are pickled,
+    * anything unserializable is silently dropped (the function will raise a
+      NameError on the worker if it actually needs it, which is the clearest
+      possible failure).
+    """
+
+    tag = _TAG_CODE
+
+    def serialize(self, obj: Any, _depth: int = 0) -> bytes:
+        if not isinstance(obj, types.FunctionType):
+            raise SerializationError(f"object of type {type(obj)!r} (code serializer handles functions only)")
+        code_bytes = marshal.dumps(obj.__code__)
+        defaults = pickle.dumps(obj.__defaults__, protocol=pickle.HIGHEST_PROTOCOL)
+        kwdefaults = pickle.dumps(obj.__kwdefaults__, protocol=pickle.HIGHEST_PROTOCOL)
+        closure_entries: Tuple[Tuple[str, Any], ...] = ()
+        if obj.__closure__:
+            closure_entries = tuple(
+                self._encode_closure_value(obj, cell.cell_contents, _depth) for cell in obj.__closure__
+            )
+        closure = pickle.dumps(closure_entries, protocol=pickle.HIGHEST_PROTOCOL)
+        name = obj.__name__.encode("utf-8")
+        captured = self._capture_globals(obj, _depth)
+        parts = [code_bytes, defaults, kwdefaults, closure, name, captured]
+        return pickle.dumps(parts, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _encode_closure_value(self, owner: types.FunctionType, value: Any, depth: int) -> Tuple[str, Any]:
+        """Encode one closure cell: plain values pickle, functions go by value, self-references are marked."""
+        if value is owner:
+            return ("self", None)
+        if isinstance(value, types.FunctionType):
+            try:
+                return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                if depth > 3:
+                    raise SerializationError(f"closure of {owner.__name__} nests functions too deeply")
+                return ("code", self.serialize(value, _depth=depth + 1))
+        return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _capture_globals(self, obj: types.FunctionType, depth: int) -> Dict[str, Tuple[str, Any]]:
+        captured: Dict[str, Tuple[str, Any]] = {}
+        if depth > 3:
+            return captured
+        for global_name in _referenced_names(obj.__code__):
+            if global_name not in obj.__globals__:
+                continue
+            value = obj.__globals__[global_name]
+            if value is obj:
+                captured[global_name] = ("self", None)
+            elif isinstance(value, types.ModuleType):
+                captured[global_name] = ("module", value.__name__)
+            elif isinstance(value, types.FunctionType):
+                try:
+                    captured[global_name] = ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+                except Exception:
+                    try:
+                        captured[global_name] = ("code", self.serialize(value, _depth=depth + 1))
+                    except Exception:
+                        continue
+            else:
+                try:
+                    captured[global_name] = ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+                except Exception:
+                    continue
+        return captured
+
+    def deserialize(self, payload: bytes) -> Any:
+        parts = pickle.loads(payload)
+        code_bytes, defaults_b, kwdefaults_b, closure_b, name_b = parts[:5]
+        captured: Dict[str, Tuple[str, Any]] = parts[5] if len(parts) > 5 else {}
+        code = marshal.loads(code_bytes)
+        defaults = pickle.loads(defaults_b)
+        kwdefaults = pickle.loads(kwdefaults_b)
+        closure_entries = pickle.loads(closure_b)
+        closure = None
+        self_cells = []
+        if closure_entries:
+            cells = []
+            for kind, value in closure_entries:
+                if kind == "self":
+                    cell = types.CellType()
+                    self_cells.append(cell)
+                elif kind == "code":
+                    cell = types.CellType(self.deserialize(value))
+                else:
+                    cell = types.CellType(pickle.loads(value))
+                cells.append(cell)
+            closure = tuple(cells)
+        globals_ns: Dict[str, Any] = {"__builtins__": __builtins__}
+        self_names = []
+        for global_name, (kind, value) in captured.items():
+            if kind == "module":
+                try:
+                    globals_ns[global_name] = importlib.import_module(value)
+                except ImportError:
+                    continue
+            elif kind == "pickle":
+                globals_ns[global_name] = pickle.loads(value)
+            elif kind == "code":
+                globals_ns[global_name] = self.deserialize(value)
+            elif kind == "self":
+                self_names.append(global_name)
+        func = types.FunctionType(code, globals_ns, name_b.decode("utf-8"), defaults, closure)
+        if kwdefaults:
+            func.__kwdefaults__ = kwdefaults
+        for global_name in self_names:
+            globals_ns[global_name] = func
+        for cell in self_cells:
+            cell.cell_contents = func
+        return func
+
+
+_SERIALIZERS = {
+    _TAG_PICKLE: PickleSerializer(),
+    _TAG_CODE: CodeSerializer(),
+}
+
+
+def _needs_by_value(func: types.FunctionType) -> bool:
+    """True when pickling-by-reference would not resolve on a worker.
+
+    Functions defined in ``__main__`` (scripts, notebooks, the REPL) pickle
+    fine on the submit side but cannot be looked up inside a worker whose
+    ``__main__`` is the worker-pool entry point, so they must travel by value.
+    Lambdas and nested functions fail to pickle outright and are also caught
+    here to avoid a wasted attempt.
+    """
+    module = getattr(func, "__module__", None)
+    if module in (None, "__main__", "__mp_main__"):
+        return True
+    if func.__qualname__ != func.__name__:  # nested function or method-local lambda
+        return True
+    if func.__name__ == "<lambda>":
+        return True
+    return False
+
+
+def serialize(obj: Any) -> bytes:
+    """Serialize ``obj`` to a tagged byte buffer.
+
+    Pickle is the fast path for ordinary objects and importable functions;
+    functions that a worker process could not resolve by name (defined in
+    ``__main__``, lambdas, closures) are serialized by value instead.
+    """
+    if isinstance(obj, types.FunctionType) and _needs_by_value(obj):
+        try:
+            return _TAG_CODE + _SERIALIZERS[_TAG_CODE].serialize(obj)
+        except Exception:
+            pass  # fall through to pickle, which may still work for this object
+    try:
+        return _TAG_PICKLE + _SERIALIZERS[_TAG_PICKLE].serialize(obj)
+    except Exception as pickle_exc:
+        if isinstance(obj, types.FunctionType):
+            try:
+                return _TAG_CODE + _SERIALIZERS[_TAG_CODE].serialize(obj)
+            except Exception as code_exc:
+                raise SerializationError(repr(obj), code_exc) from code_exc
+        raise SerializationError(repr(obj), pickle_exc) from pickle_exc
+
+
+def deserialize(buffer: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    if len(buffer) < _HEADER_LEN:
+        raise DeserializationError(f"buffer too short to contain a header: {buffer!r}")
+    tag, payload = buffer[:_HEADER_LEN], buffer[_HEADER_LEN:]
+    serializer = _SERIALIZERS.get(tag)
+    if serializer is None:
+        raise DeserializationError(f"unknown serialization tag {tag!r}")
+    try:
+        return serializer.deserialize(payload)
+    except DeserializationError:
+        raise
+    except Exception as exc:
+        raise DeserializationError(f"failed to deserialize payload: {exc!r}") from exc
+
+
+# Aliases matching the Parsl-internal naming, used in a couple of places for
+# readability ("object" vs "task bundle").
+serialize_object = serialize
+deserialize_object = deserialize
+
+
+class ByValueCallable:
+    """Pickle adapter that transports a function by value inside containers.
+
+    Arguments to an App are pickled as ordinary containers; if one of those
+    arguments is itself a function defined in ``__main__`` (e.g. the user's
+    bash-app body handed to the remote bash executor), plain pickle would
+    serialize it by reference and the worker could not resolve it. Wrapping
+    it in this adapter routes it through the by-value code serializer.
+    """
+
+    def __init__(self, func: types.FunctionType):
+        self._buffer = serialize(func)
+
+    def __reduce__(self):
+        return (deserialize, (self._buffer,))
+
+
+def _transportable(value: Any) -> Any:
+    """Shallow transform applied to each App argument before pickling."""
+    if isinstance(value, types.FunctionType) and _needs_by_value(value):
+        return ByValueCallable(value)
+    return value
+
+
+def pack_apply_message(func: Callable, args: Sequence[Any], kwargs: Dict[str, Any]) -> bytes:
+    """Bundle a function application (func, args, kwargs) into one buffer.
+
+    Each element is serialized independently so a pickling failure points at
+    the offending element rather than the whole bundle. Top-level arguments
+    that are interactively defined functions are transported by value.
+    """
+    safe_args = [_transportable(a) for a in args]
+    safe_kwargs = {k: _transportable(v) for k, v in kwargs.items()}
+    parts: List[bytes] = [serialize(func), serialize(safe_args), serialize(safe_kwargs)]
+    return pickle.dumps(parts, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_apply_message(buffer: bytes) -> Tuple[Callable, List[Any], Dict[str, Any]]:
+    """Inverse of :func:`pack_apply_message`."""
+    try:
+        func_b, args_b, kwargs_b = pickle.loads(buffer)
+    except Exception as exc:
+        raise DeserializationError(f"malformed apply message: {exc!r}") from exc
+    return deserialize(func_b), deserialize(args_b), deserialize(kwargs_b)

@@ -1,0 +1,39 @@
+"""Cluster-scale performance models.
+
+The paper's evaluation runs on Midway (hundreds of cores) and Blue Waters
+(up to 8192 nodes / 262 144 workers). Those scales cannot be reached on a
+laptop, so the scaling and capacity experiments (Fig. 4, Table 2) are
+regenerated from analytic performance models of each framework, calibrated
+against (a) the architectural constants reported in the paper (per-task
+latency, maximum workers, peak throughput) and (b) the real measurements this
+package's executors produce at laptop scale.
+
+The models are deliberately simple — a pipelined bound of the form
+``T = startup + max(dispatch, execute)`` with per-framework overheads and
+scale limits — because the paper's conclusions rest on the *shape* of the
+curves (which framework degrades first, where the crossovers are), not on
+absolute milliseconds.
+"""
+
+from repro.simulation.models import FrameworkModel, FRAMEWORK_MODELS, get_model
+from repro.simulation.scaling import strong_scaling_time, weak_scaling_time, scaling_series
+from repro.simulation.latency import latency_samples, latency_summary
+from repro.simulation.throughput import max_throughput, throughput_series
+from repro.simulation.limits import capacity_table
+from repro.simulation.elasticity import ElasticitySimulation, four_stage_workflow
+
+__all__ = [
+    "FrameworkModel",
+    "FRAMEWORK_MODELS",
+    "get_model",
+    "strong_scaling_time",
+    "weak_scaling_time",
+    "scaling_series",
+    "latency_samples",
+    "latency_summary",
+    "max_throughput",
+    "throughput_series",
+    "capacity_table",
+    "ElasticitySimulation",
+    "four_stage_workflow",
+]

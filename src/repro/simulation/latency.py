@@ -1,0 +1,58 @@
+"""Single-task latency model (paper Fig. 3).
+
+Fig. 3 shows the distribution of task latencies when 1000 tasks are run
+sequentially against one connected worker. The model draws samples around
+each framework's analytic single-task latency with a log-normal-ish jitter,
+reproducing both the ordering (ThreadPool < LLEX < HTEX < EXEX < IPP < Dask)
+and the qualitatively tighter spread of LLEX that the paper calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from repro.simulation.models import FrameworkModel, get_model
+
+#: Number of sequential tasks used in the paper's latency experiment.
+LATENCY_EXPERIMENT_TASKS = 1000
+
+
+def _resolve(model: Union[str, FrameworkModel]) -> FrameworkModel:
+    return model if isinstance(model, FrameworkModel) else get_model(model)
+
+
+def latency_samples(
+    model: Union[str, FrameworkModel],
+    n_samples: int = LATENCY_EXPERIMENT_TASKS,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-task latency samples (seconds) for one framework."""
+    m = _resolve(model)
+    rng = np.random.default_rng(seed + hash(m.name) % (2**16))
+    base = m.single_task_latency_s()
+    sigma = m.latency_jitter_fraction
+    # Log-normal jitter keeps latencies positive and right-skewed, which is
+    # what real task-latency distributions look like.
+    samples = base * rng.lognormal(mean=0.0, sigma=sigma, size=n_samples)
+    return samples
+
+
+def latency_summary(
+    frameworks: Iterable[Union[str, FrameworkModel]],
+    n_samples: int = LATENCY_EXPERIMENT_TASKS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Mean / median / p95 latency (milliseconds) per framework."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for fw in frameworks:
+        m = _resolve(fw)
+        samples_ms = latency_samples(m, n_samples, seed) * 1000.0
+        summary[m.name] = {
+            "mean_ms": float(np.mean(samples_ms)),
+            "median_ms": float(np.median(samples_ms)),
+            "p95_ms": float(np.percentile(samples_ms, 95)),
+            "std_ms": float(np.std(samples_ms)),
+        }
+    return summary

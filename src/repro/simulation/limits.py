@@ -1,0 +1,52 @@
+"""Capacity limits (paper Table 2).
+
+Table 2 reports, per framework, the maximum number of connected workers and
+nodes observed on Blue Waters and the maximum tasks/second observed on
+Midway. The worker/node maxima come straight from the framework models
+(they are architectural or allocation limits); the throughput column is
+computed by the throughput model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+from repro.simulation.models import FrameworkModel, get_model
+from repro.simulation.throughput import best_throughput
+
+#: The frameworks listed in Table 2, in the paper's row order.
+TABLE2_FRAMEWORKS = ("ipp", "htex", "exex", "fireworks", "dask")
+
+#: Rows of Table 2 as printed in the paper, for EXPERIMENTS.md comparison.
+PAPER_TABLE2 = {
+    "ipp": {"max_workers": 2048, "max_nodes": 64, "max_tasks_per_s": 330},
+    "htex": {"max_workers": 65536, "max_nodes": 2048, "max_tasks_per_s": 1181},
+    "exex": {"max_workers": 262144, "max_nodes": 8192, "max_tasks_per_s": 1176},
+    "fireworks": {"max_workers": 1024, "max_nodes": 32, "max_tasks_per_s": 4},
+    "dask": {"max_workers": 8192, "max_nodes": 256, "max_tasks_per_s": 2617},
+}
+
+
+def _resolve(model: Union[str, FrameworkModel]) -> FrameworkModel:
+    return model if isinstance(model, FrameworkModel) else get_model(model)
+
+
+def max_connected_workers(model: Union[str, FrameworkModel]) -> Optional[int]:
+    return _resolve(model).max_workers
+
+
+def max_nodes(model: Union[str, FrameworkModel]) -> Optional[int]:
+    return _resolve(model).max_nodes
+
+
+def capacity_table(frameworks: Iterable[str] = TABLE2_FRAMEWORKS) -> Dict[str, Dict[str, Optional[float]]]:
+    """Regenerate Table 2: max workers, max nodes, max tasks/s per framework."""
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for name in frameworks:
+        m = get_model(name)
+        table[m.name] = {
+            "max_workers": m.max_workers,
+            "max_nodes": m.max_nodes,
+            "max_tasks_per_s": round(best_throughput(m), 1),
+        }
+    return table

@@ -1,0 +1,136 @@
+"""Strong and weak scaling models (paper Fig. 4).
+
+Completion time of a bag of independent tasks is modelled as a pipelined
+bound::
+
+    T(n_tasks, d, W) = startup
+                     + max( n_tasks * c_central(W),            # dispatch bound
+                            ceil(n_tasks / W) * (d + c_worker) )  # execution bound
+                     + latency_tail
+
+where ``c_central(W)`` is the central component's per-task cost at ``W``
+connected workers (growing for centralized designs) and ``c_worker`` the
+per-task worker overhead. Requesting more workers than the framework
+supports returns ``None`` — the "could not run" points in Fig. 4 / Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.simulation.models import FrameworkModel, get_model
+
+#: The task counts used in the paper's strong-scaling runs.
+STRONG_SCALING_TASKS = 50_000
+FIREWORKS_STRONG_SCALING_TASKS = 5_000
+#: Tasks per worker used in the paper's weak-scaling runs.
+WEAK_SCALING_TASKS_PER_WORKER = 10
+#: Task durations (seconds) used in Fig. 4: no-op, 10 ms, 100 ms, 1 s.
+TASK_DURATIONS_S = (0.0, 0.01, 0.1, 1.0)
+#: Worker counts swept in the benchmarks (powers of two as in the paper).
+DEFAULT_WORKER_COUNTS = tuple(2 ** i for i in range(0, 19))  # 1 .. 262144
+
+
+def _resolve(model: Union[str, FrameworkModel]) -> FrameworkModel:
+    return model if isinstance(model, FrameworkModel) else get_model(model)
+
+
+def completion_time(
+    model: Union[str, FrameworkModel],
+    n_tasks: int,
+    task_duration_s: float,
+    n_workers: int,
+    include_startup: bool = True,
+) -> Optional[float]:
+    """Completion time in seconds, or None if the scale is unsupported."""
+    m = _resolve(model)
+    if n_workers < 1 or n_tasks < 1:
+        raise ValueError("n_workers and n_tasks must be >= 1")
+    if not m.supports_workers(n_workers):
+        return None
+    dispatch_bound = n_tasks * m.central_cost_per_task_s(n_workers)
+    waves = math.ceil(n_tasks / n_workers)
+    execute_bound = waves * (task_duration_s + m.worker_overhead_s)
+    submit_bound = n_tasks * m.submit_overhead_s / max(m.central_batch, 1)
+    total = max(dispatch_bound, execute_bound, submit_bound) + m.single_task_latency_s()
+    if include_startup:
+        total += m.startup_s
+    return total
+
+
+def strong_scaling_time(
+    model: Union[str, FrameworkModel],
+    n_workers: int,
+    task_duration_s: float = 0.0,
+    n_tasks: int = STRONG_SCALING_TASKS,
+) -> Optional[float]:
+    """Fig. 4 (top): fixed total work, growing worker count."""
+    return completion_time(model, n_tasks, task_duration_s, n_workers)
+
+
+def weak_scaling_time(
+    model: Union[str, FrameworkModel],
+    n_workers: int,
+    task_duration_s: float = 0.0,
+    tasks_per_worker: int = WEAK_SCALING_TASKS_PER_WORKER,
+) -> Optional[float]:
+    """Fig. 4 (bottom): fixed work per worker, growing worker count."""
+    return completion_time(model, tasks_per_worker * n_workers, task_duration_s, n_workers)
+
+
+def scaling_series(
+    frameworks: Iterable[Union[str, FrameworkModel]],
+    mode: str = "strong",
+    task_duration_s: float = 0.0,
+    worker_counts: Iterable[int] = DEFAULT_WORKER_COUNTS,
+    n_tasks: int = STRONG_SCALING_TASKS,
+    tasks_per_worker: int = WEAK_SCALING_TASKS_PER_WORKER,
+) -> Dict[str, List[Optional[float]]]:
+    """Completion-time series per framework over the worker sweep.
+
+    FireWorks automatically uses the reduced 5000-task workload in strong
+    scaling, matching the paper's methodology.
+    """
+    if mode not in ("strong", "weak"):
+        raise ValueError("mode must be 'strong' or 'weak'")
+    worker_counts = list(worker_counts)
+    series: Dict[str, List[Optional[float]]] = {}
+    for fw in frameworks:
+        m = _resolve(fw)
+        values: List[Optional[float]] = []
+        for w in worker_counts:
+            if mode == "strong":
+                tasks = FIREWORKS_STRONG_SCALING_TASKS if m.name == "fireworks" else n_tasks
+                values.append(strong_scaling_time(m, w, task_duration_s, n_tasks=tasks))
+            else:
+                values.append(weak_scaling_time(m, w, task_duration_s, tasks_per_worker=tasks_per_worker))
+        series[m.name] = values
+    return series
+
+
+def sublinear_onset_workers(
+    model: Union[str, FrameworkModel],
+    task_duration_s: float = 0.0,
+    tasks_per_worker: int = WEAK_SCALING_TASKS_PER_WORKER,
+    threshold: float = 1.5,
+    worker_counts: Iterable[int] = DEFAULT_WORKER_COUNTS,
+) -> Optional[int]:
+    """The worker count at which weak scaling departs from constant time.
+
+    Defined as the first worker count whose completion time exceeds
+    ``threshold`` times the single-worker completion time — the quantity the
+    paper discusses qualitatively ("FireWorks scales sublinearly from around
+    32 workers, IPP at 256, Dask/HTEX/EXEX at 1024").
+    """
+    m = _resolve(model)
+    baseline = weak_scaling_time(m, 1, task_duration_s, tasks_per_worker)
+    if baseline is None:
+        return None
+    for w in worker_counts:
+        t = weak_scaling_time(m, w, task_duration_s, tasks_per_worker)
+        if t is None:
+            return w
+        if t > threshold * baseline:
+            return w
+    return None

@@ -1,0 +1,60 @@
+"""Maximum-throughput model (paper Table 2, tasks/second column).
+
+Throughput is measured in the paper by running 50 000 no-op tasks on Midway
+and dividing by completion time; at that scale throughput is bounded by the
+central component, so the model reports the central throughput at the given
+worker count (degraded by the per-worker penalty for centralized systems).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.simulation.models import FrameworkModel, get_model
+from repro.simulation.scaling import completion_time
+
+#: The workload used for the Table 2 throughput measurements.
+THROUGHPUT_TASKS = 50_000
+
+
+def _resolve(model: Union[str, FrameworkModel]) -> FrameworkModel:
+    return model if isinstance(model, FrameworkModel) else get_model(model)
+
+
+def max_throughput(
+    model: Union[str, FrameworkModel],
+    n_workers: int = 256,
+    n_tasks: int = THROUGHPUT_TASKS,
+) -> Optional[float]:
+    """Peak no-op throughput (tasks/s) at a given worker count."""
+    m = _resolve(model)
+    t = completion_time(m, n_tasks, 0.0, n_workers, include_startup=False)
+    if t is None or t <= 0:
+        return None
+    return n_tasks / t
+
+
+def throughput_series(
+    frameworks: Iterable[Union[str, FrameworkModel]],
+    worker_counts: Iterable[int] = (1, 4, 16, 64, 256, 1024),
+    n_tasks: int = THROUGHPUT_TASKS,
+) -> Dict[str, List[Optional[float]]]:
+    """Throughput as a function of worker count for each framework."""
+    worker_counts = list(worker_counts)
+    return {
+        _resolve(fw).name: [max_throughput(fw, w, n_tasks) for w in worker_counts]
+        for fw in frameworks
+    }
+
+
+def best_throughput(model: Union[str, FrameworkModel], n_tasks: int = THROUGHPUT_TASKS) -> float:
+    """The best throughput over a sweep of worker counts (the Table 2 number)."""
+    m = _resolve(model)
+    candidates = []
+    w = 1
+    while m.supports_workers(w):
+        value = max_throughput(m, w, n_tasks)
+        if value is not None:
+            candidates.append(value)
+        w *= 2
+    return max(candidates) if candidates else 0.0

@@ -1,0 +1,21 @@
+"""Small utilities shared across the repro package."""
+
+from repro.utils.ids import id_generator, make_task_id, make_block_id, make_manager_id
+from repro.utils.timers import Timer, wtime, RepeatedTimer
+from repro.utils.addresses import address_by_hostname, address_by_interface, find_free_port
+from repro.utils.threads import make_callback_thread, SimpleQueueDrain
+
+__all__ = [
+    "id_generator",
+    "make_task_id",
+    "make_block_id",
+    "make_manager_id",
+    "Timer",
+    "wtime",
+    "RepeatedTimer",
+    "address_by_hostname",
+    "address_by_interface",
+    "find_free_port",
+    "make_callback_thread",
+    "SimpleQueueDrain",
+]

@@ -1,0 +1,55 @@
+"""Network address helpers.
+
+The paper's example configuration (Listing 1) uses ``address_by_hostname()``
+to tell workers how to reach the interchange. We provide the same helpers;
+in this reproduction all traffic stays on localhost, so the helpers mostly
+resolve to the loopback address, but the API matches.
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import closing
+
+
+def address_by_hostname() -> str:
+    """Return an address for this host derived from its hostname."""
+    try:
+        return socket.gethostbyname(socket.gethostname())
+    except OSError:
+        return "127.0.0.1"
+
+
+def address_by_interface(ifname: str = "lo") -> str:
+    """Return the address of a named interface.
+
+    Without netifaces we cannot inspect arbitrary interfaces; the loopback
+    interface (the only one used in this reproduction) resolves to 127.0.0.1
+    and anything else falls back to :func:`address_by_hostname`.
+    """
+    if ifname in ("lo", "lo0", "loopback"):
+        return "127.0.0.1"
+    return address_by_hostname()
+
+
+def find_free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for an unused TCP port and return it.
+
+    There is an inherent race between finding and binding the port; callers
+    that care (the interchange) bind immediately and retry on failure.
+    """
+    with closing(socket.socket(socket.AF_INET, socket.SOCK_STREAM)) as s:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((host, 0))
+        return s.getsockname()[1]
+
+
+def probe_port_open(host: str, port: int, timeout: float = 0.5) -> bool:
+    """Return True if something is listening on ``host:port``."""
+    with closing(socket.socket(socket.AF_INET, socket.SOCK_STREAM)) as s:
+        s.settimeout(timeout)
+        try:
+            s.connect((host, port))
+            return True
+        except OSError:
+            return False

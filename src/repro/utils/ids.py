@@ -1,0 +1,62 @@
+"""Identifier generation helpers.
+
+Task ids are small integers handed out by the DataFlowKernel; blocks,
+managers and workers use short opaque string ids so that log lines and
+monitoring records remain readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from typing import Iterator
+
+
+def id_generator(prefix: str = "") -> Iterator[str]:
+    """Yield an infinite sequence of ids ``prefix0, prefix1, ...``."""
+    for i in itertools.count():
+        yield f"{prefix}{i}"
+
+
+class _Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    def __init__(self, start: int = 0):
+        self._value = start
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            v = self._value
+            self._value += 1
+            return v
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._value
+
+
+_task_counter = _Counter()
+_block_counter = _Counter()
+_manager_counter = _Counter()
+
+
+def make_task_id() -> int:
+    """Return the next global task id (used only when no DFK is managing ids)."""
+    return _task_counter.next()
+
+
+def make_block_id() -> str:
+    """Return a short unique block id."""
+    return f"block-{_block_counter.next()}"
+
+
+def make_manager_id() -> str:
+    """Return a unique manager id (uuid-based, as managers span processes)."""
+    return f"manager-{_manager_counter.next()}-{uuid.uuid4().hex[:8]}"
+
+
+def make_uid(prefix: str = "uid") -> str:
+    """Return a globally unique identifier with a readable prefix."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"

@@ -1,0 +1,72 @@
+"""Threading helpers."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional
+
+
+def make_callback_thread(target: Callable[[], None], name: str) -> threading.Thread:
+    """Create (but do not start) a daemon thread with a readable name."""
+    return threading.Thread(target=target, name=name, daemon=True)
+
+
+class SimpleQueueDrain:
+    """Drain a queue.Queue in the background, invoking a handler per item.
+
+    Used by executors to process result messages without blocking the
+    submitting thread. ``None`` is the poison pill that terminates the drain.
+    """
+
+    def __init__(self, source: "queue.Queue[Any]", handler: Callable[[Any], None], name: str = "drain"):
+        self.source = source
+        self.handler = handler
+        self.name = name
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._errors: List[BaseException] = []
+
+    def start(self) -> "SimpleQueueDrain":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            item = self.source.get()
+            if item is None:
+                break
+            try:
+                self.handler(item)
+            except BaseException as exc:  # noqa: BLE001 - record, keep draining
+                self._errors.append(exc)
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        self.source.put(None)
+        self._thread.join(timeout=timeout)
+
+    @property
+    def errors(self) -> List[BaseException]:
+        return list(self._errors)
+
+
+class AtomicCounter:
+    """A minimal thread-safe counter used for queue-depth accounting."""
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value -= amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value

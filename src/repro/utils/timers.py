@@ -1,0 +1,103 @@
+"""Timing helpers used by executors, the strategy loop, and benchmarks."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+def wtime() -> float:
+    """Wall-clock time in seconds (monotonic where it matters, epoch here).
+
+    We deliberately use ``time.time`` rather than ``time.monotonic`` because
+    monitoring records are timestamped for human consumption; latency
+    *measurements* in benchmarks use ``time.perf_counter`` directly.
+    """
+    return time.time()
+
+
+class Timer:
+    """A simple context-manager stopwatch.
+
+    Example::
+
+        with Timer() as t:
+            do_work()
+        print(t.elapsed)
+    """
+
+    def __init__(self):
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds; usable both inside and after the ``with`` block."""
+        if self.start is None:
+            return 0.0
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+
+class RepeatedTimer:
+    """Call ``callback`` every ``interval`` seconds on a daemon thread.
+
+    Used by the elasticity strategy (periodic scaling decisions) and by the
+    HTEX interchange (heartbeat sweeps). The callback runs on a dedicated
+    thread; exceptions are swallowed after being passed to ``on_error`` so a
+    single bad sweep does not kill the timer.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        name: str = "repeated-timer",
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.callback = callback
+        self.name = name
+        self.on_error = on_error
+        self._kill_event = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._kill_event.wait(self.interval):
+            try:
+                self.callback()
+            except BaseException as exc:  # noqa: BLE001 - timer must survive
+                if self.on_error is not None:
+                    try:
+                        self.on_error(exc)
+                    except BaseException:
+                        pass
+
+    def close(self) -> None:
+        """Stop the timer and join its thread."""
+        self._kill_event.set()
+        if self._started:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "RepeatedTimer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

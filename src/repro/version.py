@@ -1,0 +1,3 @@
+"""Package version."""
+
+VERSION = "1.0.0"

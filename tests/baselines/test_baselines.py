@@ -1,0 +1,104 @@
+"""Tests for the IPP-, FireWorks-, and Dask-like baseline frameworks."""
+
+import time
+
+import pytest
+
+from repro.baselines import (
+    DaskDistributedLikeExecutor,
+    FireWorksLikeExecutor,
+    IPyParallelLikeExecutor,
+)
+
+
+def triple(x):
+    return 3 * x
+
+
+def crash():
+    raise RuntimeError("baseline task failed")
+
+
+@pytest.fixture(params=["ipp", "fireworks", "dask"])
+def baseline(request, tmp_path):
+    if request.param == "ipp":
+        ex = IPyParallelLikeExecutor(engines=2, hub_overhead_s=0.0005)
+    elif request.param == "fireworks":
+        ex = FireWorksLikeExecutor(
+            workers=2, db_op_latency_s=0.001, poll_interval_s=0.01,
+            launchpad_path=str(tmp_path / "launchpad.db"),
+        )
+    else:
+        ex = DaskDistributedLikeExecutor(workers=2)
+    ex.start()
+    yield ex
+    ex.shutdown()
+
+
+class TestBaselineExecution:
+    def test_results(self, baseline):
+        futures = [baseline.submit(triple, {}, i) for i in range(10)]
+        assert [f.result(timeout=30) for f in futures] == [3 * i for i in range(10)]
+
+    def test_exceptions(self, baseline):
+        with pytest.raises(RuntimeError):
+            baseline.submit(crash, {}).result(timeout=30)
+
+    def test_connected_workers(self, baseline):
+        assert baseline.connected_workers == 2
+
+    def test_submit_before_start_rejected(self, tmp_path):
+        for ex in (
+            IPyParallelLikeExecutor(engines=1),
+            FireWorksLikeExecutor(workers=1, launchpad_path=str(tmp_path / "lp2.db")),
+            DaskDistributedLikeExecutor(workers=1),
+        ):
+            with pytest.raises(RuntimeError):
+                ex.submit(triple, {}, 1)
+
+
+class TestArchitecturalBottlenecks:
+    def test_fireworks_database_counts_states(self, tmp_path):
+        ex = FireWorksLikeExecutor(
+            workers=1, db_op_latency_s=0.0, poll_interval_s=0.01,
+            launchpad_path=str(tmp_path / "lp.db"),
+        )
+        ex.start()
+        try:
+            futures = [ex.submit(triple, {}, i) for i in range(5)]
+            for f in futures:
+                f.result(timeout=30)
+            counts = ex.launchpad.counts()
+            assert counts.get("COMPLETED", 0) == 5
+        finally:
+            ex.shutdown()
+
+    def test_fireworks_is_slowest_per_task(self, tmp_path):
+        """Per-task overhead ordering matches the paper: FireWorks >> IPP > Dask."""
+        def measure(ex, n=5):
+            ex.start()
+            try:
+                start = time.perf_counter()
+                for i in range(n):
+                    ex.submit(triple, {}, i).result(timeout=30)
+                return (time.perf_counter() - start) / n
+            finally:
+                ex.shutdown()
+
+        fw = measure(FireWorksLikeExecutor(workers=1, db_op_latency_s=0.01, poll_interval_s=0.01,
+                                           launchpad_path=str(tmp_path / "slow.db")))
+        dask = measure(DaskDistributedLikeExecutor(workers=1))
+        assert fw > dask
+
+    def test_dask_connection_limit(self):
+        with pytest.raises(ConnectionError):
+            DaskDistributedLikeExecutor(workers=10, max_connections=4)
+
+    def test_ipp_hub_tracks_tasks(self):
+        ex = IPyParallelLikeExecutor(engines=1, hub_overhead_s=0.0)
+        ex.start()
+        try:
+            ex.submit(triple, {}, 2).result(timeout=30)
+            assert any(entry["state"] == "done" for entry in ex._task_registry.values())
+        finally:
+            ex.shutdown()

@@ -1,0 +1,90 @@
+"""Tests for the local and (simulated) SSH channels."""
+
+import os
+
+import pytest
+
+from repro.auth.tokens import NativeAppAuthClient, TokenStore
+from repro.channels import LocalChannel, SSHChannel
+from repro.errors import ChannelError
+
+
+class TestLocalChannel:
+    def test_execute_wait(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "scripts"))
+        result = ch.execute_wait("echo hello && echo err >&2")
+        assert result.ok
+        assert result.stdout.strip() == "hello"
+        assert result.stderr.strip() == "err"
+
+    def test_nonzero_exit(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "s"))
+        result = ch.execute_wait("exit 3")
+        assert result.exit_code == 3
+        assert not result.ok
+
+    def test_timeout(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "s"))
+        result = ch.execute_wait("sleep 5", walltime=0.2)
+        assert result.exit_code == 124
+
+    def test_env_injection(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "s"), envs={"REPRO_TEST_VAR": "42"})
+        assert ch.execute_wait("echo $REPRO_TEST_VAR").stdout.strip() == "42"
+
+    def test_push_pull_file(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "s"))
+        src = tmp_path / "data.txt"
+        src.write_text("payload")
+        dest = ch.push_file(str(src), str(tmp_path / "pushed"))
+        assert open(dest).read() == "payload"
+        back = ch.pull_file(dest, str(tmp_path / "pulled"))
+        assert open(back).read() == "payload"
+
+    def test_makedirs_and_execute_no_wait(self, tmp_path):
+        ch = LocalChannel(script_dir=str(tmp_path / "s"))
+        target = tmp_path / "a" / "b"
+        ch.makedirs(str(target))
+        assert target.is_dir()
+        proc = ch.execute_no_wait("sleep 0.1")
+        proc.wait(timeout=5)
+
+
+class TestSSHChannel:
+    def test_execute_in_remote_sandbox(self, tmp_path):
+        ch = SSHChannel(hostname="cluster.example.edu", remote_root=str(tmp_path / "remote"), rtt_ms=0)
+        result = ch.execute_wait("pwd")
+        assert result.ok
+        assert result.stdout.strip().startswith(str(tmp_path / "remote"))
+
+    def test_push_maps_into_remote_root(self, tmp_path):
+        ch = SSHChannel(remote_root=str(tmp_path / "remote"), rtt_ms=0)
+        src = tmp_path / "input.txt"
+        src.write_text("hello remote")
+        dest = ch.push_file(str(src), "workdir")
+        assert dest.startswith(str(tmp_path / "remote"))
+        assert open(dest).read() == "hello remote"
+
+    def test_pull_missing_file_raises(self, tmp_path):
+        ch = SSHChannel(remote_root=str(tmp_path / "remote"), rtt_ms=0)
+        with pytest.raises(ChannelError):
+            ch.pull_file("does/not/exist.txt", str(tmp_path))
+
+    def test_closed_channel_rejects_commands(self, tmp_path):
+        ch = SSHChannel(remote_root=str(tmp_path / "remote"), rtt_ms=0)
+        ch.close()
+        with pytest.raises(ChannelError):
+            ch.execute_wait("echo hi")
+
+    def test_auth_token_validation(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "tokens.json"))
+        client = NativeAppAuthClient()
+        client.start_flow(["login.example.edu"])
+        store.store_tokens(client.complete_flow("ok"))
+        token = store.get_token("login.example.edu")
+        # Correct token connects; wrong token raises.
+        SSHChannel(hostname="login.example.edu", remote_root=str(tmp_path / "r1"), rtt_ms=0,
+                   auth_token=token, token_store=store)
+        with pytest.raises(ChannelError):
+            SSHChannel(hostname="login.example.edu", remote_root=str(tmp_path / "r2"), rtt_ms=0,
+                       auth_token="wrong", token_store=store)

@@ -1,0 +1,165 @@
+"""Tests for the TCP and in-process message fabrics."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comms import (
+    FrameProtocolError,
+    InprocDealer,
+    InprocFabric,
+    InprocRouter,
+    MessageClient,
+    MessageServer,
+    decode_message,
+    encode_message,
+)
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        for obj in [1, "msg", {"type": "tasks", "items": [1, 2]}, [None, True]]:
+            assert decode_message(encode_message(obj)) == obj
+
+    def test_truncated_frame_rejected(self):
+        buf = encode_message({"a": 1})
+        with pytest.raises(FrameProtocolError):
+            decode_message(buf[:-2])
+
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameProtocolError):
+            decode_message(b"\x00")
+
+    def test_oversized_frame_rejected(self):
+        import repro.comms.protocol as protocol
+
+        big = b"x" * (protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameProtocolError):
+            encode_message(big)
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, payload):
+        assert decode_message(encode_message(payload)) == payload
+
+
+class TestTCPServerClient:
+    def test_registration_and_echo(self):
+        with MessageServer() as server:
+            client = MessageClient(server.host, server.port, identity="w0", registration_info={"kind": "test"})
+            ident, msg = server.recv(timeout=2)
+            assert ident == "w0"
+            assert msg["type"] == "registration"
+            assert msg["info"]["kind"] == "test"
+
+            assert server.send("w0", {"type": "task", "n": 1})
+            assert client.recv(timeout=2) == {"type": "task", "n": 1}
+
+            client.send({"type": "result", "n": 2})
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg["n"]) == ("w0", 2)
+            client.close()
+
+    def test_send_to_unknown_identity_returns_false(self):
+        with MessageServer() as server:
+            assert server.send("ghost", {"x": 1}) is False
+
+    def test_broadcast_reaches_all_peers(self):
+        with MessageServer() as server:
+            clients = [MessageClient(server.host, server.port, identity=f"c{i}") for i in range(3)]
+            for _ in range(3):
+                server.recv(timeout=2)
+            assert server.broadcast({"type": "shutdown"}) == 3
+            for c in clients:
+                assert c.recv(timeout=2)["type"] == "shutdown"
+                c.close()
+
+    def test_peer_lost_notification(self):
+        with MessageServer() as server:
+            client = MessageClient(server.host, server.port, identity="gone")
+            server.recv(timeout=2)  # registration
+            client.close()
+            ident, msg = server.recv(timeout=2)
+            assert ident == "gone"
+            assert msg["type"] == "peer_lost"
+
+    def test_connected_peers_listing(self):
+        with MessageServer() as server:
+            c1 = MessageClient(server.host, server.port, identity="a")
+            c2 = MessageClient(server.host, server.port, identity="b")
+            server.recv(timeout=2)
+            server.recv(timeout=2)
+            assert sorted(server.connected_peers()) == ["a", "b"]
+            c1.close()
+            c2.close()
+
+    def test_client_connect_timeout(self):
+        with pytest.raises(ConnectionError):
+            MessageClient("127.0.0.1", 1, connect_timeout=0.3, retry_interval=0.05)
+
+    def test_concurrent_clients_roundtrip(self):
+        """Many clients sending concurrently all get their own replies."""
+        with MessageServer() as server:
+            n = 8
+            clients = [MessageClient(server.host, server.port, identity=f"w{i}") for i in range(n)]
+            for _ in range(n):
+                server.recv(timeout=2)
+
+            def echo_loop():
+                handled = 0
+                while handled < n:
+                    got = server.recv(timeout=2)
+                    assert got is not None
+                    ident, msg = got
+                    if msg.get("type") == "ping":
+                        server.send(ident, {"type": "pong", "v": msg["v"]})
+                        handled += 1
+
+            t = threading.Thread(target=echo_loop, daemon=True)
+            t.start()
+            for i, c in enumerate(clients):
+                c.send({"type": "ping", "v": i})
+            for i, c in enumerate(clients):
+                assert c.recv(timeout=2) == {"type": "pong", "v": i}
+            t.join(timeout=5)
+            for c in clients:
+                c.close()
+
+
+class TestInproc:
+    def test_roundtrip(self):
+        fabric = InprocFabric()
+        router = InprocRouter("endpoint-a", fabric=fabric)
+        dealer = InprocDealer("endpoint-a", identity="d1", fabric=fabric)
+        ident, msg = router.recv(timeout=1)
+        assert ident == "d1" and msg["type"] == "registration"
+        dealer.send({"hello": 1})
+        assert router.recv(timeout=1) == ("d1", {"hello": 1})
+        router.send("d1", {"reply": 2})
+        assert dealer.recv(timeout=1) == {"reply": 2}
+        dealer.close()
+        ident, msg = router.recv(timeout=1)
+        assert msg["type"] == "peer_lost"
+        router.close()
+
+    def test_duplicate_endpoint_rejected(self):
+        fabric = InprocFabric()
+        InprocRouter("dup", fabric=fabric)
+        with pytest.raises(ValueError):
+            InprocRouter("dup", fabric=fabric)
+
+    def test_lookup_unknown_endpoint(self):
+        fabric = InprocFabric()
+        with pytest.raises(ConnectionError):
+            InprocDealer("missing", fabric=fabric)
+
+    def test_broadcast(self):
+        fabric = InprocFabric()
+        router = InprocRouter("bc", fabric=fabric)
+        dealers = [InprocDealer("bc", identity=f"d{i}", fabric=fabric) for i in range(4)]
+        assert router.broadcast({"type": "stop"}) == 4
+        for d in dealers:
+            assert d.recv(timeout=1)["type"] == "stop"
+        router.close()

@@ -1,0 +1,65 @@
+"""Tests for the Config object."""
+
+import pytest
+
+from repro.config import Config
+from repro.errors import ConfigurationError, DuplicateExecutorLabelError
+from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
+
+
+class TestConfig:
+    def test_default_config_gets_thread_executor(self):
+        cfg = Config()
+        assert cfg.executor_labels == ["threads"]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DuplicateExecutorLabelError):
+            Config(executors=[ThreadPoolExecutor(label="x"), ThreadPoolExecutor(label="x")])
+
+    def test_non_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(executors=["not an executor"])
+
+    def test_invalid_checkpoint_mode(self):
+        with pytest.raises(ConfigurationError):
+            Config(checkpoint_mode="sometimes")
+
+    def test_valid_checkpoint_modes(self):
+        for mode in (None, "task_exit", "periodic", "dfk_exit", "manual"):
+            assert Config(checkpoint_mode=mode).checkpoint_mode == mode
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(retries=-1)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(strategy="yolo")
+
+    def test_bad_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(strategy_period=0)
+        with pytest.raises(ConfigurationError):
+            Config(checkpoint_period=-1)
+
+    def test_get_executor(self):
+        htex = HighThroughputExecutor(label="h1")
+        cfg = Config(executors=[htex])
+        assert cfg.get_executor("h1") is htex
+        with pytest.raises(ConfigurationError):
+            cfg.get_executor("missing")
+
+    def test_multi_site_configuration(self):
+        """Multiple executors in one config (the paper's multi-site execution)."""
+        cfg = Config(
+            executors=[
+                HighThroughputExecutor(label="cluster_a"),
+                HighThroughputExecutor(label="cluster_b"),
+                ThreadPoolExecutor(label="local"),
+            ]
+        )
+        assert sorted(cfg.executor_labels) == ["cluster_a", "cluster_b", "local"]
+
+    def test_repr_mentions_labels(self):
+        cfg = Config(executors=[ThreadPoolExecutor(label="tp")], retries=2)
+        assert "tp" in repr(cfg) and "retries=2" in repr(cfg)

@@ -1,0 +1,74 @@
+"""Shared pytest fixtures.
+
+The heavyweight fixture here is ``local_dfk``: a DataFlowKernel backed by an
+internal-mode HighThroughputExecutor (real interchange + manager + thread
+workers, all in-process) plus a ThreadPoolExecutor, which most integration
+tests use. Executor start-up costs a few hundred milliseconds, so the
+fixture is module-scoped where possible and every test that loads its own
+DFK must clear the loader afterwards (enforced by ``_loader_guard``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro import Config
+from repro.core.dflow import DataFlowKernelLoader
+from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
+
+
+@pytest.fixture(autouse=True)
+def _loader_guard():
+    """Guarantee no DataFlowKernel leaks between tests."""
+    yield
+    if DataFlowKernelLoader._dfk is not None:
+        try:
+            DataFlowKernelLoader.clear()
+        except Exception:
+            DataFlowKernelLoader._dfk = None
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    d = tmp_path / "runinfo"
+    d.mkdir(exist_ok=True)
+    return str(d)
+
+
+def make_local_config(run_dir: str, **overrides) -> Config:
+    """A fast, fully local configuration used across integration tests."""
+    defaults = dict(
+        executors=[
+            HighThroughputExecutor(label="htex_local", workers_per_node=4, internal_managers=1),
+            ThreadPoolExecutor(label="threads", max_threads=2),
+        ],
+        retries=0,
+        run_dir=run_dir,
+        strategy="none",
+    )
+    defaults.update(overrides)
+    return Config(**defaults)
+
+
+@pytest.fixture
+def local_dfk(run_dir):
+    """A loaded DataFlowKernel with an internal HTEX and a thread pool."""
+    dfk = repro.load(make_local_config(run_dir))
+    yield dfk
+    repro.clear()
+
+
+@pytest.fixture
+def threads_dfk(run_dir):
+    """A minimal thread-pool-only DataFlowKernel (fastest startup)."""
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=4)],
+        run_dir=run_dir,
+        strategy="none",
+    )
+    dfk = repro.load(cfg)
+    yield dfk
+    repro.clear()

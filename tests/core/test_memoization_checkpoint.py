@@ -1,0 +1,147 @@
+"""Tests for memoization hashing and checkpointing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checkpoint import (
+    get_all_checkpoints,
+    load_checkpoints,
+    write_checkpoint,
+)
+from repro.core.memoization import Memoizer, _MemoHit, make_hash
+from repro.core.taskrecord import TaskRecord
+
+
+def func_a(x):
+    return x + 1
+
+
+def func_b(x):
+    return x + 2
+
+
+def record(func=func_a, args=(), kwargs=None, memoize=True, task_id=0):
+    return TaskRecord(
+        id=task_id,
+        func=func,
+        func_name=func.__name__,
+        args=tuple(args),
+        kwargs=dict(kwargs or {}),
+        memoize=memoize,
+    )
+
+
+class TestHashing:
+    def test_same_call_same_hash(self):
+        assert make_hash(record(args=(1,))) == make_hash(record(args=(1,)))
+
+    def test_different_args_different_hash(self):
+        assert make_hash(record(args=(1,))) != make_hash(record(args=(2,)))
+
+    def test_different_function_different_hash(self):
+        assert make_hash(record(func=func_a, args=(1,))) != make_hash(record(func=func_b, args=(1,)))
+
+    def test_kwarg_order_irrelevant(self):
+        h1 = make_hash(record(kwargs={"a": 1, "b": 2}))
+        h2 = make_hash(record(kwargs={"b": 2, "a": 1}))
+        assert h1 == h2
+
+    def test_stdout_stderr_ignored(self):
+        h1 = make_hash(record(kwargs={"stdout": "a.txt"}))
+        h2 = make_hash(record(kwargs={"stdout": "b.txt"}))
+        assert h1 == h2
+
+    @given(st.lists(st.integers(), max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_deterministic_property(self, args):
+        assert make_hash(record(args=tuple(args))) == make_hash(record(args=tuple(args)))
+
+
+class TestMemoizer:
+    def test_miss_then_hit(self):
+        memo = Memoizer(enabled=True)
+        task = record(args=(5,))
+        assert memo.check(task) is None
+        memo.update(task, 6)
+        hit = memo.check(record(args=(5,)))
+        assert isinstance(hit, _MemoHit)
+        assert hit.result == 6
+        assert memo.hits == 1 and memo.misses == 2 - 1
+
+    def test_hit_with_none_result_distinguished_from_miss(self):
+        memo = Memoizer(enabled=True)
+        task = record(args=("x",))
+        memo.update(task, None)
+        hit = memo.check(record(args=("x",)))
+        assert isinstance(hit, _MemoHit) and hit.result is None
+
+    def test_disabled_memoizer_never_hits(self):
+        memo = Memoizer(enabled=False)
+        task = record(args=(1,))
+        memo.update(task, 2)
+        assert memo.check(task) is None
+
+    def test_per_task_opt_out(self):
+        memo = Memoizer(enabled=True)
+        task = record(args=(1,), memoize=False)
+        memo.update(task, 2)
+        assert memo.check(task) is None
+
+    def test_staging_tasks_never_memoized(self):
+        memo = Memoizer(enabled=True)
+        task = record(args=(1,))
+        task.is_staging = True
+        memo.update(task, 2)
+        assert memo.check(task) is None
+
+    def test_load_table(self):
+        memo = Memoizer(enabled=True)
+        added = memo.load_table({"abc": 1, "def": 2})
+        assert added == 2
+        assert len(memo) == 2
+
+
+class TestCheckpointing:
+    def test_write_and_load(self, tmp_path):
+        run_dir = str(tmp_path / "run1")
+        path = write_checkpoint(run_dir, {"h1": 10, "h2": 20})
+        assert path.endswith("tasks.pkl")
+        loaded = load_checkpoints([run_dir])
+        assert loaded == {"h1": 10, "h2": 20}
+        # Loading by explicit file path and by checkpoint dir also work.
+        assert load_checkpoints([path]) == loaded
+        assert load_checkpoints([run_dir + "/checkpoint"]) == loaded
+
+    def test_load_missing_sources(self, tmp_path):
+        assert load_checkpoints([str(tmp_path / "nope")]) == {}
+        assert load_checkpoints(None) == {}
+
+    def test_merge_multiple_checkpoints(self, tmp_path):
+        run1, run2 = str(tmp_path / "r1"), str(tmp_path / "r2")
+        write_checkpoint(run1, {"a": 1})
+        write_checkpoint(run2, {"b": 2})
+        assert load_checkpoints([run1, run2]) == {"a": 1, "b": 2}
+
+    def test_get_all_checkpoints(self, tmp_path):
+        base = tmp_path / "runinfo"
+        for name in ("run-a", "run-b"):
+            write_checkpoint(str(base / name), {name: 1})
+        found = get_all_checkpoints(str(base))
+        assert len(found) == 2
+
+    def test_corrupt_checkpoint_ignored(self, tmp_path):
+        run_dir = tmp_path / "bad"
+        cp = run_dir / "checkpoint"
+        cp.mkdir(parents=True)
+        (cp / "tasks.pkl").write_bytes(b"not a pickle")
+        assert load_checkpoints([str(run_dir)]) == {}
+
+    def test_memoizer_seeded_from_checkpoint(self, tmp_path):
+        task = record(args=(3,))
+        first = Memoizer(enabled=True)
+        first.update(task, 99)
+        run_dir = str(tmp_path / "seed")
+        write_checkpoint(run_dir, first.table_snapshot())
+        second = Memoizer(enabled=True, seed_table=load_checkpoints([run_dir]))
+        hit = second.check(record(args=(3,)))
+        assert isinstance(hit, _MemoHit) and hit.result == 99

@@ -1,0 +1,168 @@
+"""Tests for the elasticity strategy and the Figure 7 executor-selection guidelines."""
+
+import time
+from typing import Dict
+
+import pytest
+
+from repro.core.guidelines import recommend_executor
+from repro.core.strategy import Strategy
+from repro.executors.base import ReproExecutor
+from repro.providers.base import ExecutionProvider, JobState, JobStatus
+
+
+class FakeProvider(ExecutionProvider):
+    """Provider that records scaling calls without running anything."""
+
+    label = "fake"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.submitted = []
+        self.cancelled = []
+        self._counter = 0
+
+    def submit(self, command, tasks_per_node, job_name="blk"):
+        self._counter += 1
+        job_id = f"fake.{self._counter}"
+        self.submitted.append(job_id)
+        return job_id
+
+    def status(self, job_ids):
+        return [
+            JobStatus(JobState.CANCELLED if j in self.cancelled else JobState.RUNNING) for j in job_ids
+        ]
+
+    def cancel(self, job_ids):
+        self.cancelled.extend(job_ids)
+        return [True] * len(job_ids)
+
+
+class FakeExecutor(ReproExecutor):
+    """Executor whose outstanding count is set directly by the test."""
+
+    def __init__(self, label="fake_ex", provider=None, workers_per_block=4):
+        super().__init__(label=label, provider=provider)
+        self._outstanding = 0
+        self._workers_per_block = workers_per_block
+
+    def start(self):
+        pass
+
+    def submit(self, func, resource_specification, *args, **kwargs):
+        raise NotImplementedError
+
+    def shutdown(self, block=True):
+        pass
+
+    def _launch_block_command(self, block_id):
+        return f"start-workers --block {block_id}"
+
+    @property
+    def outstanding(self):
+        return self._outstanding
+
+    @property
+    def workers_per_block(self):
+        return self._workers_per_block
+
+
+def make_executor(min_blocks=0, max_blocks=4, init_blocks=0, parallelism=1.0, workers_per_block=4):
+    provider = FakeProvider(
+        min_blocks=min_blocks, max_blocks=max_blocks, init_blocks=init_blocks, parallelism=parallelism
+    )
+    ex = FakeExecutor(provider=provider, workers_per_block=workers_per_block)
+    for _ in range(init_blocks):
+        ex.scale_out(1)
+    return ex
+
+
+class TestStrategy:
+    def test_none_strategy_never_scales(self):
+        ex = make_executor()
+        ex._outstanding = 100
+        Strategy("none").strategize([ex])
+        assert len(ex.blocks) == 0
+
+    def test_scale_out_under_load(self):
+        ex = make_executor(max_blocks=4, workers_per_block=4)
+        ex._outstanding = 16
+        Strategy("simple").strategize([ex])
+        assert len(ex.blocks) == 4
+
+    def test_parallelism_scales_fraction_of_demand(self):
+        ex = make_executor(max_blocks=10, workers_per_block=4, parallelism=0.5)
+        ex._outstanding = 40
+        Strategy("simple").strategize([ex])
+        # 40 outstanding * 0.5 parallelism / 4 workers-per-block = 5 blocks
+        assert len(ex.blocks) == 5
+
+    def test_max_blocks_respected(self):
+        ex = make_executor(max_blocks=2, workers_per_block=1)
+        ex._outstanding = 1000
+        Strategy("simple").strategize([ex])
+        assert len(ex.blocks) == 2
+
+    def test_scale_in_when_idle(self):
+        ex = make_executor(min_blocks=1, max_blocks=4, init_blocks=3)
+        ex._outstanding = 0
+        strategy = Strategy("simple", max_idletime=0.1)
+        strategy.strategize([ex])  # records idle start
+        assert len(ex.blocks) == 3
+        time.sleep(0.15)
+        strategy.strategize([ex])
+        assert len(ex.blocks) == 1
+
+    def test_htex_auto_scale_partial_scale_in(self):
+        ex = make_executor(min_blocks=0, max_blocks=4, init_blocks=4, workers_per_block=4)
+        ex._outstanding = 4  # needs only one block
+        Strategy("htex_auto_scale").strategize([ex])
+        assert len(ex.blocks) == 1
+
+    def test_no_provider_executors_skipped(self):
+        ex = FakeExecutor(provider=None)
+        ex._outstanding = 50
+        Strategy("simple").strategize([ex])  # must not raise
+        assert len(ex.blocks) == 0
+
+    def test_history_records_actions(self):
+        ex = make_executor(max_blocks=2, workers_per_block=1)
+        ex._outstanding = 10
+        strategy = Strategy("simple")
+        strategy.strategize([ex])
+        assert strategy.history and strategy.history[0]["action"] == "scale_out"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy("aggressive")
+
+
+class TestGuidelines:
+    def test_interactive_small_gets_llex(self):
+        assert recommend_executor(nodes=4, task_duration_s=0.5, interactive=True).executor == "llex"
+
+    def test_batch_medium_gets_htex(self):
+        rec = recommend_executor(nodes=100, task_duration_s=10.0)
+        assert rec.executor == "htex"
+        assert rec.caveat is None
+
+    def test_huge_gets_exex(self):
+        assert recommend_executor(nodes=4000, task_duration_s=120.0).executor == "exex"
+
+    def test_exex_short_tasks_caveat(self):
+        rec = recommend_executor(nodes=4000, task_duration_s=1.0)
+        assert rec.executor == "exex" and rec.caveat is not None
+
+    def test_htex_ratio_caveat(self):
+        # 10 nodes with 0.01 s tasks violates duration/nodes >= 0.01
+        rec = recommend_executor(nodes=10, task_duration_s=0.01)
+        assert rec.executor == "htex" and rec.caveat is not None
+
+    def test_interactive_but_large_falls_back_to_htex(self):
+        assert recommend_executor(nodes=50, task_duration_s=1.0, interactive=True).executor == "htex"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_executor(nodes=0, task_duration_s=1)
+        with pytest.raises(ValueError):
+            recommend_executor(nodes=1, task_duration_s=-1)

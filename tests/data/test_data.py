@@ -1,0 +1,176 @@
+"""Tests for Files, the object store, staging providers, and the data manager."""
+
+import os
+
+import pytest
+
+from repro.auth.tokens import TokenStore
+from repro.data import File, ObjectStore
+from repro.data.data_manager import DataManager
+from repro.data.object_store import TransferCostModel
+from repro.data.staging import FTPStaging, GlobusStaging, HTTPStaging
+from repro.errors import FileNotAvailable, StagingError
+
+
+class TestFile:
+    def test_local_file(self, tmp_path):
+        path = tmp_path / "x.txt"
+        f = File(str(path))
+        assert f.scheme == "file"
+        assert f.filepath == str(path)
+        assert f.filename == "x.txt"
+        assert not f.is_remote()
+
+    def test_remote_file_requires_staging(self):
+        f = File("http://example.org/data/input.csv")
+        assert f.is_remote()
+        assert f.filename == "input.csv"
+        with pytest.raises(ValueError):
+            _ = f.filepath
+
+    def test_staged_remote_file_resolves(self, tmp_path):
+        f = File("ftp://host/pub/archive.tar")
+        f.local_path = str(tmp_path / "archive.tar")
+        assert f.filepath == f.local_path
+
+    def test_unsupported_scheme(self):
+        with pytest.raises(ValueError):
+            File("s3://bucket/key")
+
+    def test_equality_and_hash(self):
+        assert File("/a/b.txt") == File("/a/b.txt")
+        assert len({File("/a/b.txt"), File("/a/b.txt"), File("/c.txt")}) == 2
+
+    def test_cleancopy_resets_staging(self, tmp_path):
+        f = File("globus://endpoint/data.bin")
+        f.local_path = str(tmp_path / "data.bin")
+        copy = f.cleancopy()
+        assert copy.local_path is None and copy.url == f.url
+
+    def test_fspath_protocol(self, tmp_path):
+        path = tmp_path / "fs.txt"
+        path.write_text("content")
+        assert open(File(str(path))).read() == "content"
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ObjectStore(root=str(tmp_path / "store"))
+        store.put("http://example.org/a.txt", b"hello")
+        assert store.get("http://example.org/a.txt", simulate_cost=False) == b"hello"
+        assert store.exists("http://example.org/a.txt")
+        assert "http://example.org/a.txt" in store.urls()
+
+    def test_missing_object(self, tmp_path):
+        store = ObjectStore(root=str(tmp_path / "store"))
+        with pytest.raises(FileNotAvailable):
+            store.get("http://example.org/missing.txt")
+
+    def test_download_to(self, tmp_path):
+        store = ObjectStore(root=str(tmp_path / "store"))
+        store.put("ftp://host/file.bin", b"\x00\x01")
+        dest = store.download_to("ftp://host/file.bin", str(tmp_path / "out" / "file.bin"))
+        assert open(dest, "rb").read() == b"\x00\x01"
+
+    def test_transfer_cost_logged(self, tmp_path):
+        store = ObjectStore(root=str(tmp_path / "store"))
+        store.put("http://example.org/b.txt", b"x" * 100)
+        store.get("http://example.org/b.txt")
+        assert store.transfer_log and store.transfer_log[0]["bytes"] == 100
+
+    def test_cost_model_math(self):
+        model = TransferCostModel(latency_s=0.1, bandwidth_bytes_per_s=10.0)
+        assert model.transfer_time(100) == pytest.approx(10.1)
+
+    def test_delete_and_clear(self, tmp_path):
+        store = ObjectStore(root=str(tmp_path / "store"))
+        store.put("http://x/1", b"1")
+        store.delete("http://x/1")
+        assert not store.exists("http://x/1")
+        store.put("http://x/2", b"2")
+        store.clear()
+        assert store.urls() == []
+
+    def test_shared_root_visible_across_instances(self, tmp_path):
+        root = str(tmp_path / "shared")
+        ObjectStore(root=root).put("http://x/shared.txt", b"shared")
+        assert ObjectStore(root=root).get("http://x/shared.txt", simulate_cost=False) == b"shared"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ObjectStore(root=str(tmp_path / "store"), max_simulated_delay_s=0.01)
+
+
+class TestStagingProviders:
+    def test_http_stage_in(self, store, tmp_path):
+        store.put("http://data.org/in.csv", b"1,2,3")
+        staging = HTTPStaging(store=store)
+        f = File("http://data.org/in.csv")
+        local = staging.stage_in(f, str(tmp_path / "dest"))
+        assert open(local).read() == "1,2,3"
+
+    def test_http_stage_out_unsupported(self, store, tmp_path):
+        staging = HTTPStaging(store=store)
+        assert not staging.can_stage_out(File("http://data.org/out.csv"))
+        with pytest.raises(StagingError):
+            staging.stage_out(File("http://data.org/out.csv"), str(tmp_path / "nothing.csv"))
+
+    def test_ftp_stage_in_and_out(self, store, tmp_path):
+        staging = FTPStaging(store=store)
+        src = tmp_path / "upload.txt"
+        src.write_text("payload")
+        staging.stage_out(File("ftp://host/up.txt"), str(src))
+        local = staging.stage_in(File("ftp://host/up.txt"), str(tmp_path / "down"))
+        assert open(local).read() == "payload"
+
+    def test_ftp_missing_remote(self, store, tmp_path):
+        with pytest.raises(StagingError):
+            FTPStaging(store=store).stage_in(File("ftp://host/none.txt"), str(tmp_path))
+
+    def test_globus_runs_in_data_manager(self, store):
+        assert GlobusStaging(store=store).stages_on_executor() is False
+        assert HTTPStaging(store=store).stages_on_executor() is True
+
+    def test_globus_requires_token(self, store, tmp_path):
+        token_store = TokenStore(path=str(tmp_path / "tokens.json"))
+        staging = GlobusStaging(store=store, token_store=token_store)
+        store.put("globus://ep/data.h5", b"h5data")
+        with pytest.raises(StagingError):
+            staging.stage_in(File("globus://ep/data.h5"), str(tmp_path / "d"))
+        token_store.login(["transfer.api.globus.org"])
+        local = staging.stage_in(File("globus://ep/data.h5"), str(tmp_path / "d"))
+        assert open(local, "rb").read() == b"h5data"
+
+
+class TestDataManager:
+    def test_requires_staging(self, store, tmp_path):
+        dm = DataManager(dfk=None, working_dir=str(tmp_path / "staging"), store=store)
+        assert dm.requires_staging(File("http://x/a.txt"))
+        assert not dm.requires_staging(File(str(tmp_path / "local.txt")))
+
+    def test_stage_in_without_dfk_uses_thread(self, store, tmp_path):
+        store.put("globus://ep/t.txt", b"via-globus")
+        dm = DataManager(dfk=None, working_dir=str(tmp_path / "staging"), store=store)
+        fut = dm.stage_in(File("globus://ep/t.txt"))
+        staged = fut.result(timeout=10)
+        assert open(staged.filepath, "rb").read() == b"via-globus"
+        assert dm.stage_in_count == 1
+
+    def test_stage_out_via_thread(self, store, tmp_path):
+        dm = DataManager(dfk=None, working_dir=str(tmp_path / "staging"), store=store)
+        produced = tmp_path / "result.txt"
+        produced.write_text("done")
+        fut = dm.stage_out(File("globus://ep/result.txt"), str(produced))
+        assert fut.result(timeout=10) == "globus://ep/result.txt"
+        assert store.get("globus://ep/result.txt", simulate_cost=False) == b"done"
+
+    def test_unsupported_scheme_raises(self, store, tmp_path):
+        dm = DataManager(dfk=None, working_dir=str(tmp_path / "staging"), store=store, staging_providers=[])
+        with pytest.raises(StagingError):
+            dm.stage_in(File("http://x/a.txt"))
+
+    def test_worker_visibility_env(self, store, tmp_path):
+        dm = DataManager(dfk=None, working_dir=str(tmp_path / "staging"), store=store)
+        dm.ensure_worker_visibility()
+        assert os.environ["REPRO_OBJECT_STORE_DIR"] == store.root

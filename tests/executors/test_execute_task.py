@@ -1,0 +1,68 @@
+"""Tests for the shared execution kernel."""
+
+import os
+
+import pytest
+
+from repro.executors.execute_task import execute_task_inline, roundtrip_task
+from repro.serialize import pack_apply_message, deserialize
+from repro.executors.execute_task import execute_task
+
+
+def add(a, b):
+    return a + b
+
+
+def boom():
+    raise ValueError("exploded")
+
+
+def cwd_probe():
+    return os.getcwd()
+
+
+class TestExecutionKernel:
+    def test_success_roundtrip(self):
+        outcome = roundtrip_task(add, (2, 3), {})
+        assert outcome["result"] == 5
+        assert "exception" not in outcome
+        assert outcome["resource"]["run_duration_s"] >= 0
+
+    def test_exception_captured(self):
+        outcome = roundtrip_task(boom, (), {})
+        assert "result" not in outcome
+        wrapper = outcome["exception"]
+        assert isinstance(wrapper.e_value, ValueError)
+        assert "exploded" in wrapper.traceback_str
+        with pytest.raises(ValueError):
+            wrapper.reraise()
+
+    def test_sandbox_dir_used_and_restored(self, tmp_path):
+        sandbox = tmp_path / "sandbox"
+        before = os.getcwd()
+        outcome = roundtrip_task(cwd_probe, (), {}, sandbox_dir=str(sandbox))
+        assert outcome["result"] == str(sandbox)
+        assert os.getcwd() == before
+
+    def test_unserializable_result_reported(self):
+        def returns_generator():
+            return (i for i in range(3))
+
+        outcome = roundtrip_task(returns_generator, (), {})
+        assert "exception" in outcome
+
+    def test_resource_record_fields(self):
+        outcome = roundtrip_task(add, (1, 1), {})
+        record = outcome["resource"]
+        for key in ("psutil_process_time_user", "psutil_process_memory_resident_kb", "run_duration_s", "pid"):
+            assert key in record
+
+    def test_inline_execution(self):
+        result, exc = execute_task_inline(add, (4, 5), {})
+        assert result == 9 and exc is None
+        result, exc = execute_task_inline(boom, (), {})
+        assert result is None and isinstance(exc.e_value, ValueError)
+
+    def test_kwargs_passed_through(self):
+        outcome = deserialize(execute_task(pack_apply_message(add, (), {"a": 10, "b": 20})))
+        assert outcome["result"] == 30

@@ -1,0 +1,152 @@
+"""Tests for the LowLatencyExecutor and ExtremeScaleExecutor."""
+
+import time
+
+import pytest
+
+from repro.executors import ExtremeScaleExecutor, LowLatencyExecutor
+from repro.providers import LocalProvider
+
+
+def negate(x):
+    return -x
+
+
+def wait_for(predicate, timeout=10.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestLLEX:
+    def test_internal_workers_round_trip(self):
+        ex = LowLatencyExecutor(label="llex_t", internal_workers=2)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 2)
+            futures = [ex.submit(negate, {}, i) for i in range(20)]
+            assert [f.result(timeout=30) for f in futures] == [-i for i in range(20)]
+        finally:
+            ex.shutdown()
+
+    def test_exception_propagates(self):
+        ex = LowLatencyExecutor(label="llex_err", internal_workers=1)
+        ex.start()
+        try:
+            def bad():
+                raise IndexError("llex failure")
+
+            with pytest.raises(IndexError):
+                ex.submit(bad, {}).result(timeout=30)
+        finally:
+            ex.shutdown()
+
+    def test_no_scaling_without_provider(self):
+        ex = LowLatencyExecutor(label="llex_fixed", internal_workers=1)
+        ex.start()
+        try:
+            assert ex.scaling_enabled is False
+        finally:
+            ex.shutdown()
+
+    def test_single_task_latency_is_low(self):
+        """LLEX local round-trip should be a few milliseconds (paper: ~3.5 ms on Midway)."""
+        ex = LowLatencyExecutor(label="llex_lat", internal_workers=1)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 1)
+            ex.submit(negate, {}, 0).result(timeout=10)  # warm up
+            start = time.perf_counter()
+            n = 50
+            for i in range(n):
+                ex.submit(negate, {}, i).result(timeout=10)
+            mean_latency = (time.perf_counter() - start) / n
+            assert mean_latency < 0.05, f"mean LLEX latency {mean_latency*1000:.1f} ms is unexpectedly high"
+        finally:
+            ex.shutdown()
+
+    def test_timed_retry_on_lost_task(self):
+        ex = LowLatencyExecutor(label="llex_retry", internal_workers=1, task_timeout=0.3, max_retries=0)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 1)
+            # Kill the only worker, then submit: the task can never complete,
+            # so the timed-retry layer must fail the future.
+            ex._internal_workers_objs[0].stop()
+            time.sleep(0.3)
+            fut = ex.submit(negate, {}, 5)
+            with pytest.raises(TimeoutError):
+                fut.result(timeout=10)
+        finally:
+            ex.shutdown()
+
+    def test_provider_mode(self, tmp_path):
+        provider = LocalProvider(init_blocks=1, script_dir=str(tmp_path / "scripts"))
+        ex = LowLatencyExecutor(label="llex_prov", provider=provider, workers_per_node=2)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 2, timeout=20)
+            # Sent by value: the test module is not importable inside the worker processes.
+            local_negate = lambda x: -x  # noqa: E731
+            futures = [ex.submit(local_negate, {}, i) for i in range(10)]
+            assert [f.result(timeout=60) for f in futures] == [-i for i in range(10)]
+        finally:
+            ex.shutdown()
+
+
+class TestEXEX:
+    def test_internal_pool_round_trip(self):
+        ex = ExtremeScaleExecutor(label="exex_t", ranks_per_node=4, internal_pools=1)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 3)
+            futures = [ex.submit(negate, {}, i) for i in range(30)]
+            assert sorted(f.result(timeout=60) for f in futures) == sorted(-i for i in range(30))
+        finally:
+            ex.shutdown()
+
+    def test_rank0_is_manager_not_worker(self):
+        ex = ExtremeScaleExecutor(label="exex_ranks", ranks_per_node=3, internal_pools=1)
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 1)
+            # 3 ranks => 1 manager + 2 workers
+            assert ex.connected_workers == 2
+            assert ex.workers_per_block == 2
+        finally:
+            ex.shutdown()
+
+    def test_requires_at_least_two_ranks(self):
+        with pytest.raises(ValueError):
+            ExtremeScaleExecutor(ranks_per_node=1)
+
+    def test_exception_propagates(self):
+        ex = ExtremeScaleExecutor(label="exex_err", ranks_per_node=2, internal_pools=1)
+        ex.start()
+        try:
+            def bad():
+                raise KeyError("exex failure")
+
+            assert wait_for(lambda: ex.connected_workers >= 1)
+            with pytest.raises(KeyError):
+                ex.submit(bad, {}).result(timeout=60)
+        finally:
+            ex.shutdown()
+
+    def test_provider_mode_with_process_ranks(self, tmp_path):
+        provider = LocalProvider(init_blocks=1, script_dir=str(tmp_path / "scripts"))
+        ex = ExtremeScaleExecutor(
+            label="exex_prov", provider=provider, ranks_per_node=3, heartbeat_threshold=15, pool_mode="processes"
+        )
+        ex.start()
+        try:
+            assert wait_for(lambda: ex.connected_workers >= 2, timeout=30)
+            # Sent by value: the test module is not importable inside the MPI rank processes.
+            local_negate = lambda x: -x  # noqa: E731
+            futures = [ex.submit(local_negate, {}, i) for i in range(10)]
+            assert sorted(f.result(timeout=60) for f in futures) == sorted(-i for i in range(10))
+        finally:
+            ex.shutdown()

@@ -1,0 +1,62 @@
+"""Tests for the ThreadPoolExecutor."""
+
+import pytest
+
+from repro.executors import ThreadPoolExecutor
+
+
+def double(x):
+    return 2 * x
+
+
+class TestThreadPoolExecutor:
+    def test_submit_and_result(self):
+        ex = ThreadPoolExecutor(max_threads=2)
+        ex.start()
+        try:
+            assert ex.submit(double, {}, 21).result(timeout=5) == 42
+        finally:
+            ex.shutdown()
+
+    def test_requires_start(self):
+        ex = ThreadPoolExecutor()
+        with pytest.raises(RuntimeError):
+            ex.submit(double, {}, 1)
+
+    def test_outstanding_tracks_completion(self):
+        ex = ThreadPoolExecutor(max_threads=2)
+        ex.start()
+        try:
+            futures = [ex.submit(double, {}, i) for i in range(10)]
+            for f in futures:
+                f.result(timeout=5)
+            assert ex.outstanding == 0
+        finally:
+            ex.shutdown()
+
+    def test_exception_propagates(self):
+        ex = ThreadPoolExecutor(max_threads=1)
+        ex.start()
+        try:
+            def boom():
+                raise KeyError("nope")
+
+            with pytest.raises(KeyError):
+                ex.submit(boom, {}).result(timeout=5)
+        finally:
+            ex.shutdown()
+
+    def test_scaling_disabled(self):
+        ex = ThreadPoolExecutor(max_threads=3)
+        ex.start()
+        try:
+            assert ex.scaling_enabled is False
+            assert ex.connected_workers == 3
+            assert ex.workers_per_block == 3
+            assert ex.status() == {}
+        finally:
+            ex.shutdown()
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(max_threads=0)

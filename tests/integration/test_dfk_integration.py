@@ -1,0 +1,244 @@
+"""Integration tests: the DataFlowKernel driving real executors end to end."""
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro import Config, File, python_app, bash_app
+from repro.data.object_store import ObjectStore, get_default_store
+from repro.errors import DependencyError
+from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
+from repro.monitoring import MessageType, MonitoringHub, workflow_summary
+
+
+def make_local_config(run_dir, **overrides):
+    """A fast, fully local configuration (internal HTEX + thread pool)."""
+    defaults = dict(
+        executors=[
+            HighThroughputExecutor(label="htex_local", workers_per_node=4, internal_managers=1),
+            ThreadPoolExecutor(label="threads", max_threads=2),
+        ],
+        retries=0,
+        run_dir=run_dir,
+        strategy="none",
+    )
+    defaults.update(overrides)
+    return Config(**defaults)
+
+
+@python_app
+def increment(x):
+    return x + 1
+
+
+@python_app
+def add_all(*values):
+    return sum(values)
+
+
+@python_app
+def fail_unless_marker(path):
+    if not os.path.exists(path):
+        with open(path, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+@python_app
+def always_raise():
+    raise ValueError("permanent failure")
+
+
+@python_app
+def slow_value(x, delay=0.3):
+    time.sleep(delay)
+    return x
+
+
+@python_app
+def read_staged(inputs=None):
+    with open(inputs[0].filepath) as fh:
+        return fh.read().strip()
+
+
+class TestDependencyGraph:
+    def test_diamond_dependency(self, local_dfk):
+        a = increment(0)
+        b = increment(a)
+        c = increment(a)
+        d = add_all(b, c)
+        assert d.result(timeout=30) == 4
+
+    def test_wide_fanout_and_reduce(self, local_dfk):
+        layer = [increment(i) for i in range(30)]
+        total = add_all(*layer)
+        assert total.result(timeout=60) == sum(range(1, 31))
+
+    def test_deep_chain(self, local_dfk):
+        fut = increment(0)
+        for _ in range(15):
+            fut = increment(fut)
+        assert fut.result(timeout=60) == 16
+
+    def test_futures_inside_lists(self, threads_dfk):
+        @python_app
+        def total(inputs=None):
+            return sum(inputs)
+
+        parts = [increment(i) for i in range(5)]
+        assert total(inputs=parts).result(timeout=30) == sum(range(1, 6))
+
+    def test_dependency_failure_propagates(self, threads_dfk):
+        bad = always_raise()
+        dependent = increment(bad)
+        with pytest.raises(DependencyError):
+            dependent.result(timeout=30)
+        # The chain keeps propagating.
+        second = increment(dependent)
+        with pytest.raises(DependencyError):
+            second.result(timeout=30)
+
+    def test_task_summary_counts(self, threads_dfk):
+        futures = [increment(i) for i in range(5)]
+        for f in futures:
+            f.result(timeout=30)
+        threads_dfk.wait_for_current_tasks(timeout=30)
+        summary = threads_dfk.task_summary()
+        assert sum(summary.values()) >= 5
+
+
+class TestRetriesAndFaultTolerance:
+    def test_retry_recovers_transient_failure(self, run_dir, tmp_path):
+        dfk = repro.load(make_local_config(run_dir, retries=2))
+        try:
+            marker = str(tmp_path / "marker.txt")
+            assert fail_unless_marker(marker).result(timeout=60) == "recovered"
+            record = dfk.tasks[0]
+            assert record.fail_count == 1
+        finally:
+            repro.clear()
+
+    def test_retries_exhausted_raises_original(self, run_dir):
+        repro.load(make_local_config(run_dir, retries=1))
+        try:
+            with pytest.raises(ValueError, match="permanent failure"):
+                always_raise().result(timeout=60)
+        finally:
+            repro.clear()
+
+    def test_submit_after_cleanup_rejected(self, run_dir):
+        from repro.errors import DataFlowKernelClosedError
+
+        dfk = repro.load(make_local_config(run_dir))
+        repro.clear()
+        with pytest.raises(DataFlowKernelClosedError):
+            dfk.submit(lambda: 1, app_args=())
+
+
+class TestMemoizationAndCheckpointing:
+    def test_memoization_within_run(self, run_dir):
+        repro.load(make_local_config(run_dir))
+        try:
+            first = slow_value(7, delay=0.3)
+            assert first.result(timeout=30) == 7
+            start = time.perf_counter()
+            second = slow_value(7, delay=0.3)
+            assert second.result(timeout=30) == 7
+            assert time.perf_counter() - start < 0.2
+        finally:
+            repro.clear()
+
+    def test_checkpoint_reused_across_runs(self, run_dir, tmp_path):
+        cfg1 = make_local_config(run_dir, checkpoint_mode="dfk_exit")
+        dfk1 = repro.load(cfg1)
+        slow_value(99, delay=0.3).result(timeout=30)
+        run1_dir = dfk1.run_dir
+        repro.clear()
+
+        cfg2 = make_local_config(run_dir, checkpoint_files=[run1_dir])
+        repro.load(cfg2)
+        try:
+            start = time.perf_counter()
+            assert slow_value(99, delay=0.3).result(timeout=30) == 99
+            assert time.perf_counter() - start < 0.2
+        finally:
+            repro.clear()
+
+    def test_manual_checkpoint_writes_file(self, run_dir):
+        dfk = repro.load(make_local_config(run_dir, checkpoint_mode="manual"))
+        try:
+            increment(1).result(timeout=30)
+            path = dfk.checkpoint()
+            assert path is not None and os.path.exists(path)
+        finally:
+            repro.clear()
+
+
+class TestMultiExecutor:
+    def test_tasks_spread_across_executors(self, run_dir):
+        dfk = repro.load(make_local_config(run_dir))
+        try:
+            futures = [increment(i) for i in range(40)]
+            for f in futures:
+                f.result(timeout=60)
+            used = {t.executor for t in dfk.tasks.values()}
+            assert used == {"htex_local", "threads"}
+        finally:
+            repro.clear()
+
+
+class TestStagingIntegration:
+    def test_http_input_staged_through_graph(self, run_dir):
+        store = get_default_store()
+        url = f"http://repro.test/inputs/{time.time()}.txt"
+        store.put(url, b"staged-content")
+        repro.load(make_local_config(run_dir))
+        try:
+            assert read_staged(inputs=[File(url)]).result(timeout=60) == "staged-content"
+        finally:
+            repro.clear()
+
+
+class TestMonitoringIntegration:
+    def test_states_recorded_per_task(self, run_dir):
+        hub = MonitoringHub()
+        repro.load(make_local_config(run_dir, monitoring=hub))
+        try:
+            futures = [increment(i) for i in range(5)]
+            for f in futures:
+                f.result(timeout=30)
+        finally:
+            repro.clear()
+        rows = hub.query(MessageType.TASK_STATE)
+        states = {r["state"] for r in rows}
+        assert {"pending", "launched", "exec_done"} <= states
+        summary = workflow_summary(hub)
+        assert summary["tasks"] >= 5
+        assert summary["final_state_counts"].get("exec_done", 0) >= 5
+
+
+class TestElasticityIntegration:
+    def test_strategy_scales_out_local_provider(self, run_dir, tmp_path):
+        """The real strategy loop grows blocks under load (scaled-down Fig. 6 behaviour)."""
+        from repro.providers import LocalProvider
+
+        provider = LocalProvider(init_blocks=1, min_blocks=1, max_blocks=3,
+                                 script_dir=str(tmp_path / "scripts"))
+        htex = HighThroughputExecutor(
+            label="htex_elastic", provider=provider, workers_per_node=1, heartbeat_threshold=15
+        )
+        cfg = Config(executors=[htex], run_dir=run_dir, strategy="simple", strategy_period=0.2, max_idletime=60)
+        repro.load(cfg)
+        try:
+            futures = [slow_value(i, delay=1.0) for i in range(12)]
+            deadline = time.time() + 20
+            while time.time() < deadline and len(htex.blocks) < 2:
+                time.sleep(0.2)
+            assert len(htex.blocks) >= 2, "strategy never scaled out"
+            for f in futures:
+                f.result(timeout=120)
+        finally:
+            repro.clear()

@@ -1,0 +1,65 @@
+"""Tests for launchers: command-shape contracts plus real execution of the generated scripts."""
+
+import subprocess
+
+import pytest
+
+from repro.launchers import (
+    AprunLauncher,
+    GnuParallelLauncher,
+    MpiExecLauncher,
+    SimpleLauncher,
+    SingleNodeLauncher,
+    SrunLauncher,
+    WrappedLauncher,
+)
+
+
+def run_script(script: str) -> str:
+    proc = subprocess.run(["/bin/sh", "-c", script], capture_output=True, text=True, timeout=20)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestCommandShapes:
+    def test_simple_launcher_passthrough(self):
+        assert SimpleLauncher()("echo hi", 4, 2) == "echo hi"
+
+    def test_single_node_launcher_replicates_per_slot(self):
+        cmd = SingleNodeLauncher()("echo task", 3, 1)
+        assert "CORES=3" in cmd and "wait" in cmd
+
+    @pytest.mark.parametrize("launcher_cls,name", [(SrunLauncher, "srun"), (AprunLauncher, "aprun"), (MpiExecLauncher, "mpiexec")])
+    def test_per_node_launchers_export_rank(self, launcher_cls, name):
+        cmd = launcher_cls()("echo task", 2, 4)
+        assert "NODES=4" in cmd
+        assert "REPRO_NODE_RANK=$NODE" in cmd
+        assert f"REPRO_LAUNCHER={name}" in cmd
+
+    def test_wrapped_launcher_prepends(self):
+        cmd = WrappedLauncher("singularity exec image.sif")("python worker.py", 1, 1)
+        assert cmd == "singularity exec image.sif python worker.py"
+
+    def test_gnu_parallel_total_slots(self):
+        cmd = GnuParallelLauncher()("echo t", 3, 2)
+        assert "TOTAL=6" in cmd
+
+
+class TestRealExecution:
+    # The worker command is a subshell so the per-copy environment variables
+    # (REPRO_NODE_RANK and friends) are read at run time, exactly as a real
+    # worker-pool process would read them.
+    def test_single_node_launcher_runs_all_copies(self):
+        out = run_script(SingleNodeLauncher()("sh -c 'echo RANK-$REPRO_LOCAL_RANK'", 3, 1))
+        ranks = sorted(line for line in out.splitlines() if line.startswith("RANK-"))
+        assert ranks == ["RANK-0", "RANK-1", "RANK-2"]
+
+    def test_srun_launcher_runs_one_copy_per_node(self):
+        out = run_script(SrunLauncher()("sh -c 'echo NODE-$REPRO_NODE_RANK'", 1, 3))
+        nodes = sorted(line for line in out.splitlines() if line.startswith("NODE-"))
+        assert nodes == ["NODE-0", "NODE-1", "NODE-2"]
+
+    def test_gnu_parallel_runs_node_rank_pairs(self):
+        out = run_script(GnuParallelLauncher()("sh -c 'echo PAIR-$REPRO_NODE_RANK-$REPRO_LOCAL_RANK'", 2, 2))
+        pairs = sorted(line for line in out.splitlines() if line.startswith("PAIR-"))
+        assert pairs == ["PAIR-0-0", "PAIR-0-1", "PAIR-1-0", "PAIR-1-1"]

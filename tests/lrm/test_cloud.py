@@ -1,0 +1,95 @@
+"""Tests for the simulated cloud control plane."""
+
+import time
+
+import pytest
+
+from repro.errors import SubmitException
+from repro.lrm.cloud import CloudSim, InstanceState
+
+
+@pytest.fixture
+def cloud(tmp_path):
+    sim = CloudSim(
+        name="testcloud",
+        provisioning_delay_s=0.05,
+        capacity=4,
+        execute_instances=False,
+        working_dir=str(tmp_path / "cloud"),
+        seed=1,
+    )
+    yield sim
+    sim.shutdown()
+
+
+class TestInstances:
+    def test_lifecycle(self, cloud):
+        iid = cloud.request_instance("t2.micro")
+        assert cloud.describe([iid])[iid] == InstanceState.PENDING
+        time.sleep(0.2)
+        assert cloud.describe([iid])[iid] == InstanceState.RUNNING
+        cloud.terminate([iid])
+        assert cloud.describe([iid])[iid] == InstanceState.TERMINATED
+
+    def test_unknown_instance_type(self, cloud):
+        with pytest.raises(SubmitException):
+            cloud.request_instance("quantum.enormous")
+
+    def test_capacity_limit(self, cloud):
+        for _ in range(4):
+            cloud.request_instance("t2.micro")
+        with pytest.raises(SubmitException):
+            cloud.request_instance("t2.micro")
+
+    def test_spot_bid_below_market_rejected(self, cloud):
+        with pytest.raises(SubmitException):
+            cloud.request_instance("c5.xlarge", spot=True, spot_bid=0.000001)
+
+    def test_active_count(self, cloud):
+        ids = [cloud.request_instance("t2.micro") for _ in range(2)]
+        assert cloud.active_count() == 2
+        cloud.terminate(ids)
+        assert cloud.active_count() == 0
+
+    def test_cost_accumulation(self, cloud):
+        iid = cloud.request_instance("c5.9xlarge")
+        time.sleep(0.2)
+        cloud.terminate([iid])
+        assert cloud.accumulated_cost() > 0
+
+    def test_execute_instances_run_command(self, tmp_path):
+        sim = CloudSim(
+            name="execcloud",
+            provisioning_delay_s=0.05,
+            execute_instances=True,
+            working_dir=str(tmp_path / "execcloud"),
+        )
+        try:
+            marker = tmp_path / "cloud_ran.txt"
+            iid = sim.request_instance("t2.micro", command=f"echo up > {marker}")
+            deadline = time.time() + 5
+            while time.time() < deadline and not marker.exists():
+                time.sleep(0.05)
+            assert marker.exists()
+        finally:
+            sim.shutdown()
+
+    def test_spot_preemption(self, tmp_path):
+        sim = CloudSim(
+            name="spotcloud",
+            provisioning_delay_s=0.01,
+            execute_instances=False,
+            preemption_rate_per_s=50.0,
+            working_dir=str(tmp_path / "spot"),
+            seed=7,
+        )
+        try:
+            iid = sim.request_instance("t2.micro", spot=True)
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if sim.describe([iid])[iid] == InstanceState.PREEMPTED:
+                    break
+                time.sleep(0.05)
+            assert sim.describe([iid])[iid] == InstanceState.PREEMPTED
+        finally:
+            sim.shutdown()

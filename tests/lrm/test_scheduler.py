@@ -1,0 +1,197 @@
+"""Tests for the simulated batch scheduler."""
+
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InsufficientResources, JobNotFoundError, SubmitException
+from repro.lrm import BatchSchedulerSim, PartitionSpec, SimJobState, parse_walltime
+
+
+@pytest.fixture
+def sim(tmp_path):
+    scheduler = BatchSchedulerSim(
+        name="testlrm",
+        partitions=[
+            PartitionSpec(name="small", total_nodes=4, max_nodes_per_job=2, cores_per_node=4),
+            PartitionSpec(name="big", total_nodes=16, queue_delay_s=0.0),
+        ],
+        execute_jobs=False,
+        poll_interval=0.02,
+        working_dir=str(tmp_path / "lrm"),
+    )
+    yield scheduler
+    scheduler.shutdown()
+
+
+class TestWalltimeParsing:
+    def test_formats(self):
+        assert parse_walltime("01:00:00") == 3600
+        assert parse_walltime("00:30:00") == 1800
+        assert parse_walltime("10:30") == 630
+        assert parse_walltime("45") == 45
+        assert parse_walltime("1-01:00:00") == 90000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_walltime("1:2:3:4")
+
+    @given(st.integers(0, 23), st.integers(0, 59), st.integers(0, 59))
+    @settings(max_examples=50, deadline=None)
+    def test_hms_roundtrip(self, h, m, s):
+        assert parse_walltime(f"{h:02d}:{m:02d}:{s:02d}") == h * 3600 + m * 60 + s
+
+
+class TestSubmission:
+    def test_job_lifecycle(self, sim):
+        job_id = sim.submit("echo hi", nodes=2, walltime="00:01:00", partition="big")
+        time.sleep(0.1)
+        assert sim.status([job_id])[job_id] == SimJobState.RUNNING
+        assert sim.cancel([job_id]) == [True]
+        assert sim.status([job_id])[job_id] == SimJobState.CANCELLED
+
+    def test_unknown_partition(self, sim):
+        with pytest.raises(SubmitException):
+            sim.submit("echo", nodes=1, partition="nope")
+
+    def test_too_many_nodes(self, sim):
+        with pytest.raises(InsufficientResources):
+            sim.submit("echo", nodes=100, partition="big")
+
+    def test_per_job_node_limit(self, sim):
+        with pytest.raises(SubmitException):
+            sim.submit("echo", nodes=3, partition="small")
+
+    def test_unknown_job_id(self, sim):
+        with pytest.raises(JobNotFoundError):
+            sim.status(["testlrm.999"])
+
+    def test_cancel_unknown_job(self, sim):
+        assert sim.cancel(["testlrm.999"]) == [False]
+
+    def test_fcfs_waits_for_free_nodes(self, sim):
+        first = sim.submit("sleep", nodes=16, walltime="00:01:00", partition="big")
+        second = sim.submit("sleep", nodes=16, walltime="00:01:00", partition="big")
+        time.sleep(0.1)
+        states = sim.status([first, second])
+        assert states[first] == SimJobState.RUNNING
+        assert states[second] == SimJobState.PENDING
+        sim.cancel([first])
+        time.sleep(0.1)
+        assert sim.status([second])[second] == SimJobState.RUNNING
+
+    def test_hold_and_release(self, sim):
+        job_id = sim.submit("echo", nodes=1, partition="big")
+        sim.hold(job_id)
+        time.sleep(0.05)
+        # A held job is not scheduled even with free nodes.
+        if sim.status([job_id])[job_id] == SimJobState.HELD:
+            sim.release(job_id)
+            time.sleep(0.1)
+            assert sim.status([job_id])[job_id] == SimJobState.RUNNING
+
+    def test_node_accounting(self, sim):
+        sim.submit("x", nodes=2, partition="big")
+        sim.submit("y", nodes=4, partition="big")
+        time.sleep(0.1)
+        assert sim.nodes_in_use("big") == 6
+        assert sim.free_nodes("big") == 10
+
+    def test_queue_delay_respected(self, tmp_path):
+        scheduler = BatchSchedulerSim(
+            name="delaylrm",
+            partitions=[PartitionSpec(name="q", total_nodes=2, queue_delay_s=0.3)],
+            execute_jobs=False,
+            poll_interval=0.02,
+            working_dir=str(tmp_path / "lrm2"),
+        )
+        try:
+            job_id = scheduler.submit("echo", nodes=1, partition="q")
+            time.sleep(0.1)
+            assert scheduler.status([job_id])[job_id] == SimJobState.PENDING
+            time.sleep(0.4)
+            assert scheduler.status([job_id])[job_id] == SimJobState.RUNNING
+        finally:
+            scheduler.shutdown()
+
+
+class TestExecutionAndWalltime:
+    def test_real_execution_completes(self, tmp_path):
+        scheduler = BatchSchedulerSim(
+            name="execlrm",
+            partitions=[PartitionSpec(name="q", total_nodes=2)],
+            execute_jobs=True,
+            poll_interval=0.02,
+            working_dir=str(tmp_path / "lrm3"),
+        )
+        try:
+            marker = tmp_path / "ran.txt"
+            job_id = scheduler.submit(f"echo done > {marker}", nodes=1, partition="q")
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if scheduler.status([job_id])[job_id] == SimJobState.COMPLETED:
+                    break
+                time.sleep(0.05)
+            assert scheduler.status([job_id])[job_id] == SimJobState.COMPLETED
+            assert marker.read_text().strip() == "done"
+        finally:
+            scheduler.shutdown()
+
+    def test_walltime_enforcement(self, tmp_path):
+        scheduler = BatchSchedulerSim(
+            name="wtlrm",
+            partitions=[PartitionSpec(name="q", total_nodes=2)],
+            execute_jobs=True,
+            poll_interval=0.02,
+            working_dir=str(tmp_path / "lrm4"),
+        )
+        try:
+            job_id = scheduler.submit("sleep 30", nodes=1, walltime="1", partition="q")
+            deadline = time.time() + 6
+            while time.time() < deadline:
+                if scheduler.status([job_id])[job_id] == SimJobState.TIMEOUT:
+                    break
+                time.sleep(0.1)
+            assert scheduler.status([job_id])[job_id] == SimJobState.TIMEOUT
+        finally:
+            scheduler.shutdown()
+
+
+class TestDirectiveParsing:
+    def test_slurm_directives(self, sim):
+        script = "\n".join(
+            [
+                "#!/bin/sh",
+                "#SBATCH --job-name=blk",
+                "#SBATCH --nodes=2",
+                "#SBATCH --time=00:10:00",
+                "#SBATCH --partition=big",
+                "echo hi",
+            ]
+        )
+        job_id = sim.submit_script(script, dialect="slurm")
+        job = sim.get_job(job_id)
+        assert job.nodes == 2
+        assert job.walltime_s == 600
+        assert job.partition == "big"
+        assert job.job_name == "blk"
+
+    def test_pbs_directives(self, sim):
+        script = "#PBS -N myjob\n#PBS -l nodes=2\n#PBS -l walltime=00:05:00\n#PBS -q big\nsleep 1\n"
+        job = sim.get_job(sim.submit_script(script, dialect="pbs"))
+        assert (job.nodes, job.walltime_s, job.partition) == (2, 300, "big")
+
+    def test_cobalt_directives(self, sim):
+        script = "#COBALT --nodecount=2\n#COBALT --time 00:02:00\n#COBALT -q big\nhostname\n"
+        job = sim.get_job(sim.submit_script(script, dialect="cobalt"))
+        assert (job.nodes, job.walltime_s) == (2, 120)
+
+    def test_condor_directives(self, sim):
+        script = "#CONDOR nodecount = 2\n#CONDOR walltime=00:02:00\n#CONDOR queue = big\nhostname\n"
+        job = sim.get_job(sim.submit_script(script, dialect="condor"))
+        assert job.nodes == 2
+
+    def test_unknown_dialect(self, sim):
+        with pytest.raises(SubmitException):
+            sim.submit_script("echo", dialect="lsf")

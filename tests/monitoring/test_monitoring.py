@@ -1,0 +1,113 @@
+"""Tests for monitoring stores, the hub, and post-run reports."""
+
+import time
+
+import pytest
+
+from repro.monitoring import (
+    InMemoryStore,
+    MessageType,
+    MonitoringHub,
+    SQLiteStore,
+    format_summary_text,
+    task_state_timeline,
+    workflow_summary,
+)
+from repro.monitoring.messages import MonitoringMessage
+
+
+class TestStores:
+    def test_inmemory_insert_query(self):
+        store = InMemoryStore()
+        store.insert(MonitoringMessage(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"}))
+        store.insert(MonitoringMessage(MessageType.TASK_STATE, {"task_id": 2, "state": "running"}))
+        store.insert(MonitoringMessage(MessageType.RESOURCE_INFO, {"task_id": 1, "cpu": 0.1}))
+        assert len(store.query(MessageType.TASK_STATE)) == 2
+        assert store.query(MessageType.TASK_STATE, task_id=2)[0]["state"] == "running"
+        assert len(store) == 3
+
+    def test_sqlite_store_roundtrip(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "monitoring.db"))
+        store.insert(MonitoringMessage(MessageType.TASK_STATE, {"run_id": "r1", "task_id": 7, "state": "exec_done"}))
+        store.insert(MonitoringMessage(MessageType.WORKFLOW_INFO, {"run_id": "r1", "tasks": 10}))
+        rows = store.query(MessageType.TASK_STATE, run_id="r1")
+        assert rows[0]["task_id"] == 7 and rows[0]["state"] == "exec_done"
+        assert store.query(MessageType.WORKFLOW_INFO)[0]["tasks"] == 10
+        store.close()
+
+    def test_sqlite_persists_across_connections(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        store = SQLiteStore(path)
+        store.insert(MonitoringMessage(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"}))
+        store.close()
+        reopened = SQLiteStore(path)
+        assert len(reopened.query(MessageType.TASK_STATE)) == 1
+        reopened.close()
+
+
+class TestHub:
+    def test_messages_reach_store(self):
+        hub = MonitoringHub()
+        hub.start()
+        hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"})
+        hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "exec_done"})
+        hub.close()
+        assert len(hub.query(MessageType.TASK_STATE)) == 2
+
+    def test_resource_messages_suppressed_when_disabled(self):
+        hub = MonitoringHub(resource_monitoring_enabled=False)
+        hub.start()
+        hub.send(MessageType.RESOURCE_INFO, {"task_id": 1})
+        hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"})
+        hub.close()
+        assert hub.query(MessageType.RESOURCE_INFO) == []
+        assert len(hub.query(MessageType.TASK_STATE)) == 1
+
+    def test_send_after_close_is_noop(self):
+        hub = MonitoringHub()
+        hub.start()
+        hub.close()
+        hub.send(MessageType.TASK_STATE, {"task_id": 5, "state": "pending"})
+        assert hub.query(MessageType.TASK_STATE, task_id=5) == []
+
+    def test_context_manager(self):
+        with MonitoringHub() as hub:
+            hub.send(MessageType.NODE_INFO, {"hostname": "n0"})
+        assert len(hub.query(MessageType.NODE_INFO)) == 1
+
+
+class TestReports:
+    def _populated_hub(self):
+        hub = MonitoringHub()
+        hub.start()
+        base = time.time()
+        for task_id in range(3):
+            for offset, state in enumerate(["pending", "launched", "running", "exec_done"]):
+                hub.send(
+                    MessageType.TASK_STATE,
+                    {"run_id": "r1", "task_id": task_id, "state": state},
+                )
+        hub.send(MessageType.RESOURCE_INFO, {"run_id": "r1", "task_id": 0,
+                                             "psutil_process_time_user": 0.5,
+                                             "psutil_process_memory_resident_kb": 1000.0})
+        hub.close()
+        return hub
+
+    def test_timeline_orders_events(self):
+        hub = self._populated_hub()
+        timeline = task_state_timeline(hub, run_id="r1")
+        assert set(timeline) == {0, 1, 2}
+        assert [e["state"] for e in timeline[0]] == ["pending", "launched", "running", "exec_done"]
+
+    def test_workflow_summary(self):
+        hub = self._populated_hub()
+        summary = workflow_summary(hub, run_id="r1")
+        assert summary["tasks"] == 3
+        assert summary["final_state_counts"] == {"exec_done": 3}
+        assert summary["resource_records"] == 1
+        assert summary["total_cpu_user_s"] == pytest.approx(0.5)
+
+    def test_text_report(self):
+        hub = self._populated_hub()
+        text = format_summary_text(hub, run_id="r1")
+        assert "tasks:" in text and "exec_done" in text

@@ -1,0 +1,142 @@
+"""Tests for the simulated MPI layer."""
+
+import time
+
+import pytest
+
+from repro.mpisim import ANY_SOURCE, ANY_TAG, MPIAbort, launch_processes, launch_threads
+from repro.mpisim.communicator import JobState, SimComm
+import queue
+import threading
+
+
+def _make_comms(size):
+    state = JobState(size, queue_factory=queue.Queue, barrier_factory=lambda n: threading.Barrier(n))
+    return [SimComm(rank, state) for rank in range(size)]
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        c0, c1 = _make_comms(2)
+        c0.send({"x": 1}, dest=1, tag=5)
+        assert c1.recv(source=0, tag=5) == {"x": 1}
+
+    def test_tag_matching_buffers_other_messages(self):
+        c0, c1 = _make_comms(2)
+        c0.send("first", dest=1, tag=1)
+        c0.send("second", dest=1, tag=2)
+        assert c1.recv(source=0, tag=2) == "second"
+        assert c1.recv(source=0, tag=1) == "first"
+
+    def test_any_source_any_tag(self):
+        comms = _make_comms(3)
+        comms[1].send("from1", dest=0, tag=7)
+        comms[2].send("from2", dest=0, tag=9)
+        received = {comms[0].recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(2)}
+        assert received == {"from1", "from2"}
+
+    def test_recv_timeout(self):
+        (c0,) = _make_comms(1)
+        with pytest.raises(TimeoutError):
+            c0.recv(timeout=0.1)
+
+    def test_iprobe(self):
+        c0, c1 = _make_comms(2)
+        assert c1.iprobe(source=0, tag=3) is False
+        c0.send("msg", dest=1, tag=3)
+        time.sleep(0.01)
+        assert c1.iprobe(source=0, tag=3) is True
+
+    def test_bad_destination(self):
+        c0, = _make_comms(1)
+        with pytest.raises(ValueError):
+            c0.send("x", dest=5)
+
+
+class TestCollectives:
+    def _run_job(self, size, fn):
+        job = launch_threads(size, fn)
+        job.wait()
+        assert not job.errors, job.errors
+        return job.results
+
+    def test_bcast(self):
+        def fn(comm):
+            value = comm.bcast("payload" if comm.rank == 0 else None, root=0)
+            return value
+
+        results = self._run_job(4, fn)
+        assert all(v == "payload" for v in results.values())
+
+    def test_scatter_gather(self):
+        def fn(comm):
+            chunk = comm.scatter([i * 10 for i in range(comm.size)] if comm.rank == 0 else None, root=0)
+            gathered = comm.gather(chunk + 1, root=0)
+            return gathered
+
+        results = self._run_job(4, fn)
+        assert results[0] == [1, 11, 21, 31]
+        assert results[1] is None
+
+    def test_scatter_requires_correct_length(self):
+        def fn(comm):
+            if comm.rank == 0:
+                try:
+                    comm.scatter([1], root=0)
+                except ValueError:
+                    # Unblock the other rank so the job terminates cleanly.
+                    comm.send(None, dest=1, tag=comm._COLLECTIVE_TAG - 1)
+                    return "raised"
+            else:
+                comm.recv(source=0, tag=comm._COLLECTIVE_TAG - 1)
+                return "ok"
+
+        results = self._run_job(2, fn)
+        assert results[0] == "raised"
+
+    def test_barrier(self):
+        order = []
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.1)
+            comm.barrier()
+            order.append(comm.rank)
+            return True
+
+        self._run_job(3, fn)
+        assert len(order) == 3
+
+
+class TestAbortAndProcesses:
+    def test_abort_propagates(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.abort(errorcode=3)
+            else:
+                comm.recv(source=0, timeout=5)
+
+        job = launch_threads(2, fn)
+        job.wait()
+        assert all(isinstance(e, MPIAbort) for e in job.errors.values())
+        assert len(job.errors) == 2
+
+    def test_launch_processes_roundtrip(self):
+        job = launch_processes(3, _process_entry)
+        job.wait(timeout=30)
+        assert job.results[0] == [0, 2, 4]
+
+    def test_job_is_alive_and_terminate(self):
+        job = launch_threads(2, _sleepy_entry)
+        assert job.is_alive()
+        job.terminate()
+
+
+def _process_entry(comm):
+    gathered = comm.gather(comm.rank * 2, root=0)
+    return gathered
+
+
+def _sleepy_entry(comm):
+    time.sleep(0.3)
+    return comm.rank

@@ -1,0 +1,169 @@
+"""Tests for execution providers (local, batch schedulers, clouds)."""
+
+import time
+
+import pytest
+
+from repro.errors import SubmitException
+from repro.lrm import BatchSchedulerSim, PartitionSpec
+from repro.lrm.cloud import CloudSim
+from repro.providers import (
+    AWSProvider,
+    CobaltProvider,
+    CondorProvider,
+    ExecutionProvider,
+    GoogleCloudProvider,
+    GridEngineProvider,
+    JobState,
+    KubernetesProvider,
+    LocalProvider,
+    SlurmProvider,
+    TorqueProvider,
+)
+
+
+def wait_for(predicate, timeout=5.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestProviderValidation:
+    def test_invalid_block_shape(self):
+        with pytest.raises(ValueError):
+            LocalProvider(nodes_per_block=0)
+        with pytest.raises(ValueError):
+            LocalProvider(min_blocks=5, max_blocks=2)
+        with pytest.raises(ValueError):
+            LocalProvider(parallelism=2.0)
+
+    def test_cores_per_block(self):
+        prov = LocalProvider(nodes_per_block=2, cores_per_node=4)
+        assert prov.cores_per_block == 8
+
+
+class TestLocalProvider:
+    def test_submit_status_cancel(self, tmp_path):
+        prov = LocalProvider(script_dir=str(tmp_path / "scripts"))
+        job_id = prov.submit("sleep 5", tasks_per_node=1, job_name="blk")
+        assert prov.status([job_id])[0].state == JobState.RUNNING
+        assert prov.cancel([job_id]) == [True]
+        assert wait_for(lambda: prov.status([job_id])[0].terminal)
+
+    def test_completed_job(self, tmp_path):
+        prov = LocalProvider(script_dir=str(tmp_path / "scripts"))
+        marker = tmp_path / "out.txt"
+        job_id = prov.submit(f"echo finished > {marker}", tasks_per_node=1)
+        assert wait_for(lambda: prov.status([job_id])[0].state == JobState.COMPLETED)
+        assert marker.read_text().strip() == "finished"
+
+    def test_worker_init_runs_first(self, tmp_path):
+        marker = tmp_path / "init_then_cmd.txt"
+        prov = LocalProvider(script_dir=str(tmp_path / "scripts"), worker_init=f"echo init >> {marker}")
+        job_id = prov.submit(f"echo cmd >> {marker}", tasks_per_node=1)
+        assert wait_for(lambda: prov.status([job_id])[0].terminal)
+        assert marker.read_text().split() == ["init", "cmd"]
+
+    def test_unknown_job_status(self, tmp_path):
+        prov = LocalProvider(script_dir=str(tmp_path / "scripts"))
+        assert prov.status(["local.nope.1"])[0].state == JobState.MISSING
+        assert prov.cancel(["local.nope.1"]) == [False]
+
+
+@pytest.fixture
+def lrm(tmp_path):
+    sim = BatchSchedulerSim(
+        name=f"provlrm-{tmp_path.name}",
+        partitions=[PartitionSpec(name="batch", total_nodes=8, cores_per_node=4)],
+        execute_jobs=False,
+        poll_interval=0.02,
+        working_dir=str(tmp_path / "lrm"),
+    )
+    yield sim
+    sim.shutdown()
+
+
+class TestClusterProviders:
+    @pytest.mark.parametrize(
+        "provider_cls", [SlurmProvider, TorqueProvider, CobaltProvider, GridEngineProvider, CondorProvider]
+    )
+    def test_submit_status_cancel(self, provider_cls, lrm, tmp_path):
+        prov = provider_cls(partition="batch", lrm=lrm, nodes_per_block=2, walltime="00:05:00")
+        job_id = prov.submit("echo worker-pool", tasks_per_node=2, job_name="blk0")
+        assert wait_for(lambda: prov.status([job_id])[0].state == JobState.RUNNING)
+        job = lrm.get_job(job_id)
+        assert job.nodes == 2
+        assert prov.cancel([job_id]) == [True]
+        assert prov.status([job_id])[0].state == JobState.CANCELLED
+
+    def test_pending_while_queue_full(self, lrm):
+        prov = SlurmProvider(partition="batch", lrm=lrm, nodes_per_block=8)
+        first = prov.submit("echo a", tasks_per_node=1)
+        second = prov.submit("echo b", tasks_per_node=1)
+        assert wait_for(lambda: prov.status([first])[0].state == JobState.RUNNING)
+        assert prov.status([second])[0].state == JobState.PENDING
+
+    def test_missing_job(self, lrm):
+        prov = SlurmProvider(partition="batch", lrm=lrm)
+        assert prov.status(["bogus.1"])[0].state == JobState.MISSING
+
+    def test_scheduler_options_and_worker_init_in_script(self, lrm, tmp_path):
+        prov = SlurmProvider(
+            partition="batch",
+            lrm=lrm,
+            scheduler_options="#SBATCH --constraint=knl",
+            worker_init="module load python",
+        )
+        job_id = prov.submit("echo run", tasks_per_node=1)
+        script = lrm.get_job(job_id).script
+        assert "#SBATCH --constraint=knl" in script
+        assert "module load python" in script
+        assert "#SBATCH --nodes=1" in script
+
+    def test_cores_defaults_from_partition(self, lrm):
+        prov = SlurmProvider(partition="batch", lrm=lrm)
+        assert prov.cores_per_node == 4
+
+
+class TestCloudProviders:
+    @pytest.mark.parametrize("provider_cls", [AWSProvider, GoogleCloudProvider, KubernetesProvider])
+    def test_block_lifecycle(self, provider_cls, tmp_path):
+        cloud = CloudSim(
+            name=f"{provider_cls.label}-test",
+            provisioning_delay_s=0.05,
+            execute_instances=False,
+            working_dir=str(tmp_path / "cloud"),
+        )
+        prov = provider_cls(cloud=cloud, nodes_per_block=2)
+        try:
+            block = prov.submit("start-worker", tasks_per_node=1)
+            status = prov.status([block])[0]
+            assert status.state in (JobState.PENDING, JobState.RUNNING)
+            assert wait_for(lambda: prov.status([block])[0].state == JobState.RUNNING)
+            assert cloud.active_count() == 2
+            assert prov.cancel([block]) == [True]
+            assert cloud.active_count() == 0
+        finally:
+            cloud.shutdown()
+
+    def test_capacity_exhaustion_rolls_back(self, tmp_path):
+        cloud = CloudSim(name="tiny", capacity=1, execute_instances=False, working_dir=str(tmp_path / "tiny"))
+        prov = AWSProvider(cloud=cloud, nodes_per_block=2)
+        try:
+            with pytest.raises(SubmitException):
+                prov.submit("start", tasks_per_node=1)
+            assert cloud.active_count() == 0
+        finally:
+            cloud.shutdown()
+
+    def test_unknown_block(self, tmp_path):
+        cloud = CloudSim(name="u", execute_instances=False, working_dir=str(tmp_path / "u"))
+        prov = AWSProvider(cloud=cloud)
+        try:
+            assert prov.status(["nope"])[0].state == JobState.MISSING
+            assert prov.cancel(["nope"]) == [False]
+        finally:
+            cloud.shutdown()

@@ -1,0 +1,162 @@
+"""Unit tests for the serialization facade."""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeserializationError, SerializationError
+from repro.serialize import (
+    deserialize,
+    pack_apply_message,
+    serialize,
+    unpack_apply_message,
+)
+from repro.serialize.facade import CodeSerializer, PickleSerializer, _needs_by_value
+
+
+def module_level_function(x, y=3):
+    return x * y
+
+
+class TestBasicRoundTrips:
+    def test_simple_objects(self):
+        for obj in [1, 2.5, "hello", b"bytes", None, True, [1, 2, 3], {"a": 1}, (1, 2), {1, 2}]:
+            assert deserialize(serialize(obj)) == obj
+
+    def test_module_function_roundtrip(self):
+        func = deserialize(serialize(module_level_function))
+        assert func(4) == 12
+
+    def test_nested_structure(self):
+        obj = {"list": [1, [2, [3]]], "tuple": (None, "x"), "float": math.pi}
+        assert deserialize(serialize(obj)) == obj
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DeserializationError):
+            deserialize(b"99" + pickle.dumps(1))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(DeserializationError):
+            deserialize(b"0")
+
+    def test_unserializable_object_raises(self):
+        # Generators can be neither pickled nor code-serialized.
+        gen = (i for i in range(3))
+        with pytest.raises(SerializationError):
+            serialize(gen)
+
+
+class TestByValueFunctions:
+    def test_lambda_roundtrip(self):
+        f = lambda x: x + 10  # noqa: E731
+        g = deserialize(serialize(f))
+        assert g(5) == 15
+
+    def test_closure_roundtrip(self):
+        def outer(n):
+            def inner(x):
+                return x + n
+
+            return inner
+
+        restored = deserialize(serialize(outer(7)))
+        assert restored(1) == 8
+
+    def test_defaults_preserved(self):
+        def f(a, b=41):
+            return a + b
+
+        # force by-value path (nested function)
+        restored = deserialize(serialize(f))
+        assert restored(1) == 42
+
+    def test_captured_module_global(self):
+        def uses_math(x):
+            return math.sqrt(x)
+
+        restored = deserialize(serialize(uses_math))
+        assert restored(16) == 4.0
+
+    def test_captured_helper_function(self):
+        def helper(x):
+            return x * 2
+
+        def uses_helper(x):
+            return helper(x) + 1
+
+        restored = deserialize(serialize(uses_helper))
+        assert restored(10) == 21
+
+    def test_recursive_function(self):
+        def fact(n):
+            return 1 if n <= 1 else n * fact(n - 1)
+
+        restored = deserialize(serialize(fact))
+        assert restored(5) == 120
+
+    def test_needs_by_value_detection(self):
+        assert not _needs_by_value(module_level_function)
+        assert _needs_by_value(lambda x: x)
+
+        def nested():
+            return 1
+
+        assert _needs_by_value(nested)
+
+
+class TestSerializers:
+    def test_pickle_serializer_direct(self):
+        s = PickleSerializer()
+        assert s.deserialize(s.serialize({"k": [1, 2]})) == {"k": [1, 2]}
+
+    def test_code_serializer_rejects_non_function(self):
+        with pytest.raises(SerializationError):
+            CodeSerializer().serialize(42)
+
+    def test_code_serializer_kwdefaults(self):
+        def f(*, flag=True):
+            return flag
+
+        restored = CodeSerializer().deserialize(CodeSerializer().serialize(f))
+        assert restored() is True
+
+
+class TestApplyMessages:
+    def test_pack_unpack(self):
+        buffer = pack_apply_message(module_level_function, (6,), {"y": 7})
+        func, args, kwargs = unpack_apply_message(buffer)
+        assert func(*args, **kwargs) == 42
+
+    def test_pack_with_lambda_argument(self):
+        def apply(f, v):
+            return f(v)
+
+        buffer = pack_apply_message(apply, (lambda x: x * 3, 5), {})
+        func, args, kwargs = unpack_apply_message(buffer)
+        assert func(*args, **kwargs) == 15
+
+    def test_malformed_apply_message(self):
+        with pytest.raises(DeserializationError):
+            unpack_apply_message(b"not an apply message")
+
+
+class TestPropertyBased:
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | st.text(),
+            lambda children: st.lists(children, max_size=4) | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_arbitrary_json_like(self, obj):
+        assert deserialize(serialize(obj)) == obj
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_apply_message_roundtrip(self, a, b):
+        buffer = pack_apply_message(module_level_function, (a,), {"y": b})
+        func, args, kwargs = unpack_apply_message(buffer)
+        assert func(*args, **kwargs) == a * b

@@ -1,0 +1,186 @@
+"""Tests for the cluster-scale performance models.
+
+These tests assert the *paper-shaped* facts: latency ordering (Fig. 3),
+scaling behaviour and breakdown points (Fig. 4), the capacity table
+(Table 2), and the elasticity utilization/makespan trade-off (Fig. 6).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import (
+    ElasticitySimulation,
+    capacity_table,
+    four_stage_workflow,
+    get_model,
+    latency_samples,
+    latency_summary,
+    max_throughput,
+    scaling_series,
+    strong_scaling_time,
+    weak_scaling_time,
+)
+from repro.simulation.elasticity import compare_elastic_vs_static
+from repro.simulation.limits import PAPER_TABLE2
+from repro.simulation.scaling import sublinear_onset_workers
+from repro.simulation.throughput import best_throughput
+
+
+class TestModels:
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            get_model("spark")
+
+    def test_latency_calibration_close_to_paper(self):
+        paper_ms = {"llex": 3.47, "htex": 6.87, "exex": 9.83, "ipp": 11.72, "dask": 16.19}
+        for name, expected in paper_ms.items():
+            modeled = get_model(name).single_task_latency_s() * 1000
+            assert modeled == pytest.approx(expected, rel=0.10), name
+
+    def test_latency_ordering_matches_fig3(self):
+        order = ["threads", "llex", "htex", "exex", "ipp", "dask"]
+        latencies = [get_model(n).single_task_latency_s() for n in order]
+        assert latencies == sorted(latencies)
+
+    def test_with_overrides(self):
+        m = get_model("htex").with_overrides(max_workers=10)
+        assert m.max_workers == 10 and get_model("htex").max_workers == 65536
+
+
+class TestLatencyModel:
+    def test_samples_positive_and_centered(self):
+        samples = latency_samples("llex", n_samples=500, seed=1)
+        assert (samples > 0).all()
+        assert abs(samples.mean() - get_model("llex").single_task_latency_s()) < 0.002
+
+    def test_summary_contains_all_frameworks(self):
+        summary = latency_summary(["threads", "llex", "htex", "exex", "ipp", "dask"])
+        assert set(summary) == {"threads", "llex", "htex", "exex", "ipp", "dask"}
+        assert summary["llex"]["mean_ms"] < summary["dask"]["mean_ms"]
+
+    def test_llex_spread_tighter_than_dask(self):
+        summary = latency_summary(["llex", "dask"])
+        assert summary["llex"]["std_ms"] < summary["dask"]["std_ms"]
+
+
+class TestScalingModel:
+    def test_unsupported_scale_returns_none(self):
+        assert strong_scaling_time("ipp", n_workers=4096) is None
+        assert strong_scaling_time("htex", n_workers=4096) is not None
+
+    def test_htex_nearly_constant_strong_scaling(self):
+        """Fig. 4 top: HTEX no-op completion time stays nearly flat with worker count."""
+        t_small = strong_scaling_time("htex", n_workers=256)
+        t_large = strong_scaling_time("htex", n_workers=65536)
+        assert t_large < 1.5 * t_small
+
+    def test_ipp_degrades_beyond_512_workers(self):
+        t512 = strong_scaling_time("ipp", n_workers=512)
+        t2048 = strong_scaling_time("ipp", n_workers=2048)
+        assert t2048 > 1.5 * t512
+
+    def test_dask_beats_htex_at_small_scale_only(self):
+        """Fig. 4: Dask slightly outperforms HTEX below ~1024 workers, then loses."""
+        assert strong_scaling_time("dask", 256) < strong_scaling_time("htex", 256)
+        assert strong_scaling_time("dask", 4096) > strong_scaling_time("htex", 4096)
+
+    def test_fireworks_order_of_magnitude_slower(self):
+        """FireWorks overhead is ~an order of magnitude above the others (even with 10x fewer tasks)."""
+        fw = strong_scaling_time("fireworks", 256, n_tasks=5000)
+        htex = strong_scaling_time("htex", 256, n_tasks=50000)
+        assert fw > 5 * htex
+
+    def test_weak_scaling_flat_then_rises(self):
+        t1 = weak_scaling_time("htex", 1, task_duration_s=1.0)
+        t1024 = weak_scaling_time("htex", 1024, task_duration_s=1.0)
+        t65536 = weak_scaling_time("htex", 65536, task_duration_s=1.0)
+        assert t1024 < 2 * t1
+        assert t65536 > 2 * t1024
+
+    def test_sublinear_onset_ordering(self):
+        """FireWorks departs from ideal weak scaling before IPP, which departs before HTEX/EXEX."""
+        onset = {f: sublinear_onset_workers(f, task_duration_s=1.0) for f in ("fireworks", "ipp", "htex", "exex")}
+        assert onset["fireworks"] <= onset["ipp"] <= onset["htex"]
+        assert onset["fireworks"] <= onset["ipp"] <= onset["exex"]
+
+    def test_longer_tasks_scale_further(self):
+        """With 1 s tasks the execution bound dominates, so adding workers helps for longer."""
+        noop_1k = strong_scaling_time("htex", 1024, task_duration_s=0.0)
+        noop_16k = strong_scaling_time("htex", 16384, task_duration_s=0.0)
+        long_1k = strong_scaling_time("htex", 1024, task_duration_s=1.0)
+        long_16k = strong_scaling_time("htex", 16384, task_duration_s=1.0)
+        assert (long_1k - long_16k) > (noop_1k - noop_16k)
+
+    def test_scaling_series_shape(self):
+        series = scaling_series(["htex", "ipp"], mode="strong", worker_counts=[64, 1024, 4096])
+        assert set(series) == {"htex", "ipp"}
+        assert len(series["htex"]) == 3
+        assert series["ipp"][2] is None  # beyond IPP's max workers
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            strong_scaling_time("htex", 0)
+        with pytest.raises(ValueError):
+            scaling_series(["htex"], mode="diagonal")
+
+    @given(st.integers(1, 16384), st.sampled_from([0.0, 0.01, 0.1, 1.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_completion_time_monotone_in_tasks(self, workers, duration):
+        """More tasks can never finish sooner (sanity invariant of the model)."""
+        small = strong_scaling_time("htex", workers, duration, n_tasks=10_000)
+        large = strong_scaling_time("htex", workers, duration, n_tasks=50_000)
+        assert large >= small
+
+
+class TestThroughputAndCapacity:
+    def test_capacity_table_matches_paper(self):
+        table = capacity_table()
+        for framework, paper_row in PAPER_TABLE2.items():
+            row = table[framework]
+            assert row["max_workers"] == paper_row["max_workers"]
+            assert row["max_nodes"] == paper_row["max_nodes"]
+            assert row["max_tasks_per_s"] == pytest.approx(paper_row["max_tasks_per_s"], rel=0.15)
+
+    def test_throughput_ordering(self):
+        """Dask > HTEX ~ EXEX > IPP > FireWorks, as in Table 2."""
+        best = {f: best_throughput(f) for f in ("dask", "htex", "exex", "ipp", "fireworks")}
+        assert best["dask"] > best["htex"] > best["ipp"] > best["fireworks"]
+        assert best["htex"] == pytest.approx(best["exex"], rel=0.2)
+
+    def test_max_throughput_unsupported_scale(self):
+        assert max_throughput("ipp", n_workers=100000) is None
+
+
+class TestElasticity:
+    def test_four_stage_workflow_shape(self):
+        stages = four_stage_workflow()
+        assert [len(s) for s in stages] == [20, 1, 20, 1]
+        assert stages[0][0] == 100.0 and stages[1][0] == 50.0
+
+    def test_static_run_matches_paper_numbers(self):
+        result = ElasticitySimulation(elastic=False).run()
+        assert result.makespan_s == pytest.approx(301, abs=10)
+        assert result.utilization == pytest.approx(0.6815, abs=0.03)
+
+    def test_elastic_improves_utilization_at_small_makespan_cost(self):
+        comparison = compare_elastic_vs_static()
+        static, elastic = comparison["static"], comparison["elastic"]
+        assert elastic["utilization"] > static["utilization"] + 0.08
+        assert elastic["makespan_s"] >= static["makespan_s"]
+        assert elastic["makespan_s"] < static["makespan_s"] * 1.25
+
+    def test_scaling_events_recorded(self):
+        result = ElasticitySimulation(elastic=True).run()
+        actions = {e["action"] for e in result.scaling_events}
+        assert 1.0 in actions and -1.0 in actions
+
+    def test_timeline_and_tasks_complete(self):
+        result = ElasticitySimulation(elastic=True).run()
+        assert len(result.task_records) == 42
+        assert result.timeline[0]["time"] == 0.0
+
+    def test_static_all_workers_always_active(self):
+        result = ElasticitySimulation(elastic=False).run()
+        assert all(point["active_workers"] == 20 for point in result.timeline)

@@ -1,0 +1,51 @@
+"""Tests for the simulated Globus-Auth-style token flow."""
+
+import time
+
+from repro.auth import NativeAppAuthClient, TokenStore
+
+
+class TestNativeAppFlow:
+    def test_flow_issues_scoped_tokens(self):
+        client = NativeAppAuthClient(client_id="app123")
+        url = client.start_flow(["transfer.api.globus.org", "openid"])
+        assert "app123" in url and "transfer.api.globus.org" in url
+        tokens = client.complete_flow("code")
+        assert set(tokens) == {"transfer.api.globus.org", "openid"}
+        assert all("access_token" in t for t in tokens.values())
+
+
+class TestTokenStore:
+    def test_store_and_validate(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "t.json"))
+        store.login(["transfer.api.globus.org"])
+        token = store.get_token("transfer.api.globus.org")
+        assert token is not None
+        assert store.has_valid_token("transfer.api.globus.org")
+        assert store.validate("transfer.api.globus.org", token)
+        assert not store.validate("transfer.api.globus.org", "wrong")
+
+    def test_tokens_persist_on_disk(self, tmp_path):
+        path = str(tmp_path / "persist.json")
+        TokenStore(path=path).login(["svc"])
+        assert TokenStore(path=path).has_valid_token("svc")
+
+    def test_expired_token_invalid(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "exp.json"))
+        client = NativeAppAuthClient(token_lifetime_s=-1)
+        client.start_flow(["svc"])
+        store.store_tokens(client.complete_flow("ok"))
+        assert store.get_token("svc") is None
+
+    def test_revoke_and_clear(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "rev.json"))
+        store.login(["a", "b"])
+        store.revoke("a")
+        assert store.get_token("a") is None and store.get_token("b") is not None
+        store.clear()
+        assert store.get_token("b") is None
+
+    def test_validate_without_required_token(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "none.json"))
+        # No entry for this host: connecting without a token is allowed.
+        assert store.validate("unknown-host", None)

@@ -1,0 +1,131 @@
+"""Tests for small utilities."""
+
+import queue
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.utils.addresses import address_by_hostname, address_by_interface, find_free_port, probe_port_open
+from repro.utils.ids import _Counter, id_generator, make_block_id, make_manager_id, make_uid
+from repro.utils.threads import AtomicCounter, SimpleQueueDrain
+from repro.utils.timers import RepeatedTimer, Timer
+
+
+class TestIds:
+    def test_id_generator_sequence(self):
+        gen = id_generator("t")
+        assert [next(gen) for _ in range(3)] == ["t0", "t1", "t2"]
+
+    def test_block_ids_unique(self):
+        ids = {make_block_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_manager_ids_unique(self):
+        ids = {make_manager_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_make_uid_prefix(self):
+        assert make_uid("abc").startswith("abc-")
+
+    def test_counter_thread_safety(self):
+        counter = _Counter()
+        results = []
+
+        def spin():
+            for _ in range(500):
+                results.append(counter.next())
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 2000
+
+
+class TestTimers:
+    def test_timer_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert t.elapsed >= 0.015
+
+    def test_repeated_timer_fires(self):
+        hits = []
+        timer = RepeatedTimer(0.02, lambda: hits.append(1), name="t")
+        timer.start()
+        time.sleep(0.15)
+        timer.close()
+        assert len(hits) >= 3
+
+    def test_repeated_timer_survives_exceptions(self):
+        hits = []
+        errors = []
+
+        def cb():
+            hits.append(1)
+            raise RuntimeError("boom")
+
+        timer = RepeatedTimer(0.02, cb, on_error=errors.append)
+        timer.start()
+        time.sleep(0.1)
+        timer.close()
+        assert len(hits) >= 2
+        assert errors and isinstance(errors[0], RuntimeError)
+
+    def test_repeated_timer_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            RepeatedTimer(0, lambda: None)
+
+
+class TestAddresses:
+    def test_address_by_hostname_resolves(self):
+        addr = address_by_hostname()
+        socket.inet_aton(addr)  # valid dotted quad
+
+    def test_loopback_interface(self):
+        assert address_by_interface("lo") == "127.0.0.1"
+
+    def test_find_free_port_bindable(self):
+        port = find_free_port()
+        s = socket.socket()
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", port))
+        s.close()
+
+    def test_probe_port(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        assert probe_port_open("127.0.0.1", port)
+        listener.close()
+
+
+class TestThreads:
+    def test_atomic_counter(self):
+        c = AtomicCounter()
+        c.increment(5)
+        c.decrement(2)
+        assert c.value == 3
+
+    def test_queue_drain_processes_items(self):
+        q: "queue.Queue" = queue.Queue()
+        seen = []
+        drain = SimpleQueueDrain(q, seen.append).start()
+        for i in range(5):
+            q.put(i)
+        drain.stop()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_queue_drain_records_handler_errors(self):
+        q: "queue.Queue" = queue.Queue()
+
+        def bad(item):
+            raise ValueError(item)
+
+        drain = SimpleQueueDrain(q, bad).start()
+        q.put("x")
+        drain.stop()
+        assert len(drain.errors) == 1
