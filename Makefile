@@ -1,0 +1,21 @@
+# Convenience targets wrapping the tier-1 verify command (see ROADMAP.md).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench quickstart
+
+# Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Unit and integration tests only (fast inner loop; skips the benchmark harness).
+test-fast:
+	$(PYTHON) -m pytest -x -q tests
+
+# The paper-figure benchmark harness only.
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

@@ -1,6 +1,7 @@
 """repro: a reproduction of "Parsl: Pervasive Parallel Programming in Python" (HPDC 2019).
 
-The public API mirrors the library described in the paper::
+The public API mirrors the library described in the paper
+(conf_hpdc_BabujiWLKCKLCWF19, Babuji et al.)::
 
     import repro
     from repro import python_app, bash_app, Config
@@ -14,6 +15,28 @@ The public API mirrors the library described in the paper::
 
     print(hello("World").result())
     repro.clear()
+
+Paper provenance of each export:
+
+* :func:`python_app` / :func:`bash_app` / :func:`join_app` — the app
+  decorators of §3.1; invoking a decorated function registers a task and
+  returns an :class:`AppFuture` immediately.
+* :class:`Config` — §3.5's separation of program logic from execution
+  configuration; with no arguments it runs everything on a local thread
+  pool, so scripts work out of the box.
+* :class:`DataFlowKernel` (and :func:`load` / :func:`dfk` / :func:`clear`)
+  — §4.1's execution manager: the dynamic task graph, the batched
+  submission dispatcher, retries, memoization/checkpointing, and
+  elasticity. :func:`load` installs a process-wide kernel the decorators
+  resolve against, exactly like ``parsl.load``.
+* :class:`AppFuture` / :class:`DataFuture` — §3.3's two future types:
+  task futures and output-file futures.
+* :class:`File` — §4.5's location-transparent file abstraction.
+* :func:`wait_for_current_tasks` — barrier over every submitted task.
+* :func:`recommend_executor` — §4.4's executor-selection guidelines.
+
+See ``README.md`` for the package-to-paper-section map and
+``docs/ARCHITECTURE.md`` for the dispatch pipeline.
 """
 
 from repro.version import VERSION as __version__

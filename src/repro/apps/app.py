@@ -27,7 +27,18 @@ from repro.apps.python import timeout_python_executor
 
 
 class AppBase:
-    """Common machinery for all App kinds."""
+    """Common machinery for all App kinds.
+
+    Decorator keywords (shared by all three decorators, defaults shown):
+
+    * ``executors="all"`` — labels of the executors this app may run on; the
+      DFK picks randomly among healthy candidates (§4.1).
+    * ``cache=True`` — enable memoization for this app (§4.6): repeated
+      invocations with identical arguments return the recorded result.
+    * ``ignore_for_cache=None`` — keyword names excluded from the memo hash.
+    * ``data_flow_kernel=None`` — an explicit kernel; defaults to the
+      process-wide one installed by :func:`repro.load`.
+    """
 
     def __init__(
         self,
@@ -57,7 +68,13 @@ class AppBase:
 
 
 class PythonApp(AppBase):
-    """An App whose body is pure Python executed asynchronously."""
+    """An App whose body is pure Python executed asynchronously (§3.1.1).
+
+    Arguments and return values may be any picklable objects (§3.2); the
+    body ships to workers through the serialization facade, by value when it
+    is interactively defined. An optional ``walltime=<seconds>`` keyword at
+    call time bounds execution on the worker.
+    """
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()
@@ -80,7 +97,13 @@ class PythonApp(AppBase):
 
 
 class BashApp(AppBase):
-    """An App whose body returns a shell command to execute."""
+    """An App whose body returns a shell command to execute (§3.1.1).
+
+    The decorated function runs on the *worker* and must return a command
+    string; the app's result is the command's exit code. ``stdout=`` /
+    ``stderr=`` keywords redirect the streams to files, which downstream
+    apps can consume as :class:`~repro.data.files.File` inputs.
+    """
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()
@@ -96,7 +119,13 @@ class BashApp(AppBase):
 
 
 class JoinApp(AppBase):
-    """An App whose body runs locally and returns further futures to wait on."""
+    """An App whose body runs locally and returns further futures to wait on.
+
+    This is §3.4's "tasks that generate new tasks" pattern: the body executes
+    in the submitting process (executor label ``_dfk_internal``) and must
+    return a future or non-empty list of futures; the app's own future
+    resolves to the joined result(s).
+    """
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()

@@ -13,20 +13,36 @@ messaging patterns without an external dependency:
   thread-based deployments and unit tests.
 
 Messages are arbitrary picklable Python objects; framing is length-prefixed
-(see :mod:`repro.comms.protocol`).
+(see :mod:`repro.comms.protocol`). Batched variants (``encode_batch`` /
+``send_frames`` / per-endpoint ``send_many``) move N messages in one socket
+write — the multipart fast path used by the HTEX dispatch pipeline.
 """
 
-from repro.comms.protocol import FrameProtocolError, send_frame, recv_frame, encode_message, decode_message
+from repro.comms.protocol import (
+    FrameBatcher,
+    FrameProtocolError,
+    decode_batch,
+    decode_message,
+    encode_batch,
+    encode_message,
+    recv_frame,
+    send_frame,
+    send_frames,
+)
 from repro.comms.server import MessageServer
 from repro.comms.client import MessageClient
 from repro.comms.inproc import InprocRouter, InprocDealer, InprocFabric
 
 __all__ = [
+    "FrameBatcher",
     "FrameProtocolError",
     "send_frame",
+    "send_frames",
     "recv_frame",
     "encode_message",
+    "encode_batch",
     "decode_message",
+    "decode_batch",
     "MessageServer",
     "MessageClient",
     "InprocRouter",

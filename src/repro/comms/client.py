@@ -6,9 +6,9 @@ import queue
 import socket
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.comms.protocol import recv_frame, send_frame
+from repro.comms.protocol import recv_frame, send_frame, send_frames
 from repro.utils.ids import make_uid
 
 
@@ -81,6 +81,24 @@ class MessageClient:
         try:
             with self._send_lock:
                 send_frame(self._sock, message)
+            return True
+        except OSError:
+            self.connected = False
+            return False
+
+    def send_many(self, messages: List[Any]) -> bool:
+        """Send several messages with a single socket write (multipart batch).
+
+        Used by managers to coalesce e.g. a results batch and the follow-up
+        capacity advertisement into one TCP segment train.
+        """
+        if not messages:
+            return True
+        if not self.connected:
+            return False
+        try:
+            with self._send_lock:
+                send_frames(self._sock, messages)
             return True
         except OSError:
             self.connected = False

@@ -87,6 +87,20 @@ class InprocRouter:
         peer.put(message)
         return True
 
+    def send_many(self, identity: str, messages: List[Any]) -> bool:
+        """Deliver several messages to one dealer atomically (API parity
+        with :meth:`MessageServer.send_many`; in-process there is no write
+        syscall to amortize, so this is just a loop)."""
+        if not messages:
+            return True
+        with self._lock:
+            peer = self._peers.get(identity)
+        if peer is None or self._closed:
+            return False
+        for message in messages:
+            peer.put(message)
+        return True
+
     def broadcast(self, message: Any) -> int:
         with self._lock:
             peers = list(self._peers.values())
@@ -135,6 +149,14 @@ class InprocDealer:
         if not self.connected:
             return False
         self._router._deliver(self.identity, message)
+        return True
+
+    def send_many(self, messages: List[Any]) -> bool:
+        """Deliver several messages (API parity with :meth:`MessageClient.send_many`)."""
+        if not self.connected:
+            return False
+        for message in messages:
+            self._router._deliver(self.identity, message)
         return True
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Any]:

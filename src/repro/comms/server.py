@@ -16,7 +16,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.comms.protocol import recv_frame, send_frame
+from repro.comms.protocol import recv_frame, send_frame, send_frames
 from repro.utils.ids import make_uid
 
 
@@ -135,6 +135,27 @@ class MessageServer:
         try:
             with peer.send_lock:
                 send_frame(peer.sock, message)
+            return True
+        except OSError:
+            peer.alive = False
+            return False
+
+    def send_many(self, identity: str, messages: List[Any]) -> bool:
+        """Send several messages to one peer with a single socket write.
+
+        The messages arrive individually on the peer's ``recv`` — this is
+        purely a transport optimization (one syscall instead of N), used by
+        hot paths like the interchange's batched task dispatch.
+        """
+        if not messages:
+            return True
+        with self._peers_lock:
+            peer = self._peers.get(identity)
+        if peer is None or not peer.alive:
+            return False
+        try:
+            with peer.send_lock:
+                send_frames(peer.sock, messages)
             return True
         except OSError:
             peer.alive = False

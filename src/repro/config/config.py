@@ -9,6 +9,11 @@ A Config bundles:
 
 * the list of executors (each optionally carrying a provider/channel/launcher),
 * fault-tolerance settings (``retries``),
+* the dispatcher tuning for the batched submission hot path:
+  ``dispatch_batch_size`` (max ready tasks handed to an executor per
+  ``submit_batch`` call, default 64) and ``dispatch_drain_interval`` (the
+  dispatcher thread's idle poll in seconds, default 0.05 — arrival of work
+  wakes it immediately, so this only bounds shutdown responsiveness),
 * memoization and checkpointing settings,
 * the elasticity strategy and its cadence,
 * monitoring,
@@ -38,6 +43,8 @@ class Config:
         checkpoint_period: float = 30.0,
         retries: int = 0,
         retry_backoff_s: float = 0.0,
+        dispatch_batch_size: int = 64,
+        dispatch_drain_interval: float = 0.05,
         strategy: str = "simple",
         strategy_period: float = 0.2,
         max_idletime: float = 2.0,
@@ -62,6 +69,10 @@ class Config:
             raise ConfigurationError("strategy_period must be positive")
         if checkpoint_period <= 0:
             raise ConfigurationError("checkpoint_period must be positive")
+        if dispatch_batch_size < 1:
+            raise ConfigurationError("dispatch_batch_size must be >= 1")
+        if dispatch_drain_interval <= 0:
+            raise ConfigurationError("dispatch_drain_interval must be positive")
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -70,6 +81,8 @@ class Config:
         self.checkpoint_period = checkpoint_period
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.dispatch_batch_size = dispatch_batch_size
+        self.dispatch_drain_interval = dispatch_drain_interval
         self.strategy = strategy
         self.strategy_period = strategy_period
         self.max_idletime = max_idletime

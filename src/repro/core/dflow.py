@@ -6,9 +6,13 @@ The DFK constructs and orchestrates the dynamic task dependency graph:
   Apps become edges, encoded as callbacks on the dependency futures, so the
   DFK is event-driven and the cost of executing a graph with *n* tasks and
   *e* edges is O(n + e);
-* once all of a task's dependencies resolve successfully the task is
-  scheduled onto a configured executor (chosen at random when the App gives
-  no hint);
+* once all of a task's dependencies resolve successfully the task is placed
+  on an internal submission queue; a dedicated dispatcher thread drains that
+  queue and hands the configured executor (chosen at random when the App
+  gives no hint) *batches* of ready tasks via ``submit_batch``, so executor
+  selection and task serialization happen off the app submission path and
+  bursts of ready tasks travel as one batch (tuned by
+  ``Config.dispatch_batch_size`` / ``Config.dispatch_drain_interval``);
 * failures are retried up to ``Config.retries`` times; exhausted retries (or
   failed dependencies) surface through the AppFuture as wrapped exceptions;
 * memoization and checkpointing short-circuit tasks whose function body and
@@ -26,11 +30,12 @@ from __future__ import annotations
 import atexit
 import logging
 import os
+import queue
 import random
 import threading
 import time
-from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Sequence, Union
+from concurrent.futures import CancelledError, Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.config import Config
 from repro.core.checkpoint import load_checkpoints, write_checkpoint
@@ -112,6 +117,17 @@ class DataFlowKernel:
         self._tasks_lock = threading.Lock()
         self._cleanup_called = False
         self._rng = random.Random()
+
+        # Batched dispatch -------------------------------------------------
+        # Ready tasks are queued here and drained by the dispatcher thread,
+        # which hands executors *batches* via submit_batch — moving executor
+        # selection and serialization off the app submission path.
+        self._dispatch_queue: "queue.Queue[Tuple[TaskRecord, tuple, dict]]" = queue.Queue()
+        self._dispatch_stop = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="dfk-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
 
         atexit.register(self._atexit_cleanup)
         logger.info("DataFlowKernel %s started with executors %s", self.run_id, list(self.executors))
@@ -287,7 +303,8 @@ class DataFlowKernel:
         return args, kwargs
 
     def _launch_task(self, task: TaskRecord, args, kwargs) -> None:
-        # Memoization / checkpoint lookup.
+        # Memoization / checkpoint lookup (synchronous, so repeated
+        # invocations short-circuit without a trip through the dispatcher).
         memo = self.memoizer.check(task)
         if isinstance(memo, _MemoHit):
             task.from_memo = True
@@ -298,20 +315,78 @@ class DataFlowKernel:
             self._launch_join_task(task, args, kwargs)
             return
 
-        executor = self.executors.get(task.executor)
-        if executor is None:
-            # 'all' or a failed label at submit time: re-choose now.
-            task.executor = self._choose_executor("all", join=False)
-            executor = self.executors[task.executor]
+        self._enqueue_for_dispatch(task, args, kwargs)
+
+    def _enqueue_for_dispatch(self, task: TaskRecord, args, kwargs) -> None:
+        """Mark the task launched and queue it for the batching dispatcher."""
+        if self._dispatch_stop.is_set():
+            # The kernel is (or has finished) cleaning up — e.g. a retry
+            # backoff timer fired after shutdown. Fail rather than enqueue
+            # onto a queue nobody drains, so the AppFuture always resolves.
+            self._fail_task(
+                task, CancelledError(f"task {task.id} not dispatched: DataFlowKernel is shut down"), States.failed
+            )
+            return
         task.status = States.launched
         self._send_task_state(task, States.launched)
-        try:
-            exec_fu = executor.submit(task.func, task.resource_specification, *args, **kwargs)
-        except Exception as exc:  # noqa: BLE001 - submission failure is a task failure
-            self._handle_failure(task, exc, args, kwargs)
-            return
-        task.exec_fu = exec_fu
-        exec_fu.add_done_callback(lambda fut, t=task, a=args, k=kwargs: self._handle_exec_update(t, fut, a, k))
+        self._dispatch_queue.put((task, args, kwargs))
+
+    # ------------------------------------------------------------------
+    # Batched dispatch (the submission hot path)
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Drain ready tasks and hand executors batches instead of singles.
+
+        Blocks for the first ready task, then greedily collects whatever else
+        is already queued (up to ``Config.dispatch_batch_size``), so bursts of
+        ready tasks — wide fan-outs, many independent submissions — reach the
+        executor as one ``submit_batch`` call while a lone task is dispatched
+        immediately.
+        """
+        batch_size = self.config.dispatch_batch_size
+        drain_interval = self.config.dispatch_drain_interval
+        while not self._dispatch_stop.is_set():
+            try:
+                entry = self._dispatch_queue.get(timeout=drain_interval)
+            except queue.Empty:
+                continue
+            entries = [entry]
+            while len(entries) < batch_size:
+                try:
+                    entries.append(self._dispatch_queue.get_nowait())
+                except queue.Empty:
+                    break
+            try:
+                self._dispatch_entries(entries)
+            except Exception:  # noqa: BLE001 - the dispatcher must not die
+                logger.exception("dispatcher failed on a batch of %d tasks", len(entries))
+
+    def _dispatch_entries(self, entries: List[Tuple[TaskRecord, tuple, dict]]) -> None:
+        """Group a drained batch by executor and submit each group in one call."""
+        groups: Dict[str, List[Tuple[TaskRecord, tuple, dict]]] = {}
+        for task, args, kwargs in entries:
+            executor = self.executors.get(task.executor)
+            if executor is None or (executor.bad_state_is_set and task.fail_count > 0):
+                # Unresolvable label, or a retry whose executor has gone bad:
+                # re-choose. A first launch keeps its requested placement even
+                # on a bad executor — the submission failure flows through the
+                # normal retry path, which re-chooses then.
+                task.executor = self._choose_executor("all", join=False)
+            groups.setdefault(task.executor, []).append((task, args, kwargs))
+        for label, group in groups.items():
+            executor = self.executors[label]
+            requests = [(t.func, t.resource_specification, a, k) for t, a, k in group]
+            try:
+                exec_futures = executor.submit_batch(requests)
+            except Exception as exc:  # noqa: BLE001 - whole-batch submission failure
+                for t, a, k in group:
+                    self._handle_failure(t, exc, a, k)
+                continue
+            for (t, a, k), exec_fu in zip(group, exec_futures):
+                t.exec_fu = exec_fu
+                exec_fu.add_done_callback(
+                    lambda fut, t=t, a=a, k=k: self._handle_exec_update(t, fut, a, k)
+                )
 
     # ------------------------------------------------------------------
     def _launch_join_task(self, task: TaskRecord, args, kwargs) -> None:
@@ -358,6 +433,12 @@ class DataFlowKernel:
     # Completion handling
     # ==================================================================
     def _handle_exec_update(self, task: TaskRecord, exec_fu: Future, args, kwargs) -> None:
+        if exec_fu.cancelled():
+            # Executor shutdown cancelled the task (Future.exception() would
+            # raise here, not return). Cancellation is deliberate — fail the
+            # task without retrying so its AppFuture always resolves.
+            self._fail_task(task, CancelledError(f"task {task.id} cancelled at executor shutdown"), States.failed)
+            return
         exc = exec_fu.exception()
         if exc is not None:
             self._handle_failure(task, exc, args, kwargs)
@@ -377,25 +458,23 @@ class DataFlowKernel:
             task.status = States.retry
             self._send_task_state(task, States.retry)
             if self.config.retry_backoff_s:
-                time.sleep(self.config.retry_backoff_s)
-            self._launch_task_retry(task, args, kwargs)
+                # Schedule the re-enqueue instead of sleeping: this callback
+                # may run on the dispatcher thread, and a sleep there would
+                # stall dispatch for every task on every executor.
+                timer = threading.Timer(
+                    self.config.retry_backoff_s, self._launch_task_retry, args=(task, args, kwargs)
+                )
+                timer.daemon = True
+                timer.start()
+            else:
+                self._launch_task_retry(task, args, kwargs)
         else:
             self._fail_task(task, exc, States.failed)
 
     def _launch_task_retry(self, task: TaskRecord, args, kwargs) -> None:
-        executor = self.executors.get(task.executor)
-        if executor is None or executor.bad_state_is_set:
-            task.executor = self._choose_executor("all", join=False)
-            executor = self.executors[task.executor]
-        task.status = States.launched
-        self._send_task_state(task, States.launched)
-        try:
-            exec_fu = executor.submit(task.func, task.resource_specification, *args, **kwargs)
-        except Exception as submit_exc:  # noqa: BLE001
-            self._handle_failure(task, submit_exc, args, kwargs)
-            return
-        task.exec_fu = exec_fu
-        exec_fu.add_done_callback(lambda fut, t=task, a=args, k=kwargs: self._handle_exec_update(t, fut, a, k))
+        # Retries rejoin the batched dispatch path; the dispatcher re-chooses
+        # the executor if the original one has since gone bad.
+        self._enqueue_for_dispatch(task, args, kwargs)
 
     def _complete_task(self, task: TaskRecord, result: Any, state: States) -> None:
         task.status = state
@@ -487,6 +566,23 @@ class DataFlowKernel:
         if self._cleanup_called:
             return
         self._cleanup_called = True
+        self._dispatch_stop.set()
+        self._dispatcher.join(timeout=2)
+        # Hand any still-queued tasks to their executors (which are still up
+        # at this point) so no AppFuture is left dangling: executor shutdown
+        # below either runs or cancels them, exactly as with the old
+        # synchronous launch path.
+        leftovers: List[Tuple[TaskRecord, tuple, dict]] = []
+        while True:
+            try:
+                leftovers.append(self._dispatch_queue.get_nowait())
+            except queue.Empty:
+                break
+        if leftovers:
+            try:
+                self._dispatch_entries(leftovers)
+            except Exception:  # noqa: BLE001
+                logger.exception("failed to flush %d queued tasks during cleanup", len(leftovers))
         self._strategy_timer.close()
         if self._checkpoint_timer is not None:
             self._checkpoint_timer.close()
@@ -500,6 +596,16 @@ class DataFlowKernel:
                 executor.shutdown()
             except Exception:  # noqa: BLE001
                 logger.exception("executor %s failed to shut down", executor.label)
+        # Belt and braces: anything enqueued concurrently with shutdown (a
+        # racing retry timer) is failed here so its AppFuture resolves.
+        while True:
+            try:
+                task, args, kwargs = self._dispatch_queue.get_nowait()
+            except queue.Empty:
+                break
+            self._fail_task(
+                task, CancelledError(f"task {task.id} not dispatched: DataFlowKernel is shut down"), States.failed
+            )
         if self.monitoring is not None:
             self.monitoring.send(
                 MessageType.WORKFLOW_INFO,

@@ -12,11 +12,14 @@ from __future__ import annotations
 import concurrent.futures as cf
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ScalingFailed
 from repro.providers.base import ExecutionProvider, JobStatus
 from repro.utils.ids import make_block_id
+
+#: One entry of a batched submission: (func, resource_specification, args, kwargs).
+SubmitRequest = Tuple[Callable, Dict[str, Any], Tuple[Any, ...], Dict[str, Any]]
 
 
 class ReproExecutor(ABC):
@@ -55,6 +58,25 @@ class ReproExecutor(ABC):
     @abstractmethod
     def shutdown(self, block: bool = True) -> None:
         """Tear down the executor and release all resources."""
+
+    def submit_batch(self, requests: Sequence[SubmitRequest]) -> List[cf.Future]:
+        """Submit many tasks at once, returning one future per request.
+
+        Executors with a batched wire protocol (HTEX) override this to move
+        the whole batch in one hop. The default simply loops over
+        :meth:`submit`, converting a raised submission error into an exception
+        set on that request's future — so callers (the DFK dispatcher) always
+        get exactly ``len(requests)`` futures and handle failures uniformly.
+        """
+        futures: List[cf.Future] = []
+        for func, resource_specification, args, kwargs in requests:
+            try:
+                futures.append(self.submit(func, resource_specification, *args, **kwargs))
+            except Exception as exc:  # noqa: BLE001 - surfaced via the future
+                failed: cf.Future = cf.Future()
+                failed.set_exception(exc)
+                futures.append(failed)
+        return futures
 
     # ------------------------------------------------------------------
     # Error state

@@ -24,10 +24,10 @@ import concurrent.futures as cf
 import logging
 import sys
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SerializationError, UnsupportedFeatureError
-from repro.executors.base import ReproExecutor
+from repro.executors.base import ReproExecutor, SubmitRequest
 from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
 from repro.providers.base import ExecutionProvider
@@ -37,7 +37,30 @@ logger = logging.getLogger(__name__)
 
 
 class HighThroughputExecutor(ReproExecutor):
-    """Pilot-job executor with an interchange and per-node managers."""
+    """Pilot-job executor with an interchange and per-node managers (§4.3.1).
+
+    Defaults follow the paper's deployment guidance:
+
+    * ``batch_size=8`` — tasks per interchange→manager message; the dispatch
+      loop packs up to this many tasks into one socket write, capped by the
+      target manager's advertised free capacity.
+    * ``prefetch_capacity=None`` — defaults to ``workers_per_node``, letting a
+      manager buffer one extra task per worker so workers never idle between
+      result send and next dispatch (the paper's pipelining knob). Pass ``0``
+      to disable prefetching.
+    * ``poll_period=0.005`` — the interchange's idle poll; under load the loop
+      is driven by message arrival, so this only bounds first-dispatch latency.
+    * heartbeats every ``heartbeat_period`` seconds; a manager silent for
+      ``heartbeat_threshold`` seconds is declared lost and its in-flight tasks
+      are settled individually: requeued onto a surviving manager while each
+      has redispatch budget (``max_task_redispatches``, default 1), otherwise
+      failed with :class:`~repro.errors.ManagerLost`. Note that loss detection
+      is heartbeat-based, so a merely *slow* manager may still complete a task
+      that was requeued — redispatch trades at-most-once execution for
+      availability. Pass ``max_task_redispatches=0`` for strict at-most-once
+      (every in-flight task on a lost manager fails, and ``Config.retries``
+      decides what happens next).
+    """
 
     def __init__(
         self,
@@ -45,7 +68,7 @@ class HighThroughputExecutor(ReproExecutor):
         provider: Optional[ExecutionProvider] = None,
         address: str = "127.0.0.1",
         workers_per_node: int = 2,
-        prefetch_capacity: int = 0,
+        prefetch_capacity: Optional[int] = None,
         heartbeat_period: float = 1.0,
         heartbeat_threshold: float = 5.0,
         batch_size: int = 8,
@@ -53,13 +76,14 @@ class HighThroughputExecutor(ReproExecutor):
         worker_mode: str = "process",
         internal_managers: int = 1,
         scheduling_policy: str = "random",
+        max_task_redispatches: int = 1,
         worker_debug: bool = False,
         launch_cmd: Optional[str] = None,
     ):
         super().__init__(label=label, provider=provider)
         self.address = address
         self.workers_per_node = workers_per_node
-        self.prefetch_capacity = prefetch_capacity
+        self.prefetch_capacity = workers_per_node if prefetch_capacity is None else prefetch_capacity
         self.heartbeat_period = heartbeat_period
         self.heartbeat_threshold = heartbeat_threshold
         self.batch_size = batch_size
@@ -67,6 +91,7 @@ class HighThroughputExecutor(ReproExecutor):
         self.worker_mode = worker_mode
         self.internal_managers = internal_managers
         self.scheduling_policy = scheduling_policy
+        self.max_task_redispatches = max_task_redispatches
         self.worker_debug = worker_debug
         self.launch_cmd = launch_cmd or (
             "{python} -m repro.executors.htex.process_worker_pool "
@@ -97,6 +122,7 @@ class HighThroughputExecutor(ReproExecutor):
             batch_size=self.batch_size,
             poll_period=self.poll_period,
             scheduling_policy=self.scheduling_policy,
+            max_task_redispatches=self.max_task_redispatches,
             label=f"{self.label}-interchange",
         )
         self.interchange.start()
@@ -177,6 +203,45 @@ class HighThroughputExecutor(ReproExecutor):
             self._tasks[task_id] = future
         self.interchange.submit_task(task_id, buffer)
         return future
+
+    def submit_batch(self, requests: Sequence[SubmitRequest]) -> List[cf.Future]:
+        """Submit many tasks in one call, handing the interchange one batch.
+
+        Serialization happens here — on the dispatcher's thread, off the app
+        submission path — and per-request failures (resource specs, pickling
+        errors) surface as exceptions *on that request's future* so one bad
+        task never poisons the rest of the batch.
+        """
+        if not self._started or self.interchange is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        futures: List[cf.Future] = []
+        items: List[Dict[str, Any]] = []
+        for func, resource_specification, args, kwargs in requests:
+            future: cf.Future = cf.Future()
+            futures.append(future)
+            if resource_specification:
+                future.set_exception(
+                    UnsupportedFeatureError(
+                        "HTEX does not accept per-task resource specifications; use a dedicated executor"
+                    )
+                )
+                continue
+            if self.bad_state_is_set:
+                future.set_exception(self.executor_exception or RuntimeError("executor is in a failed state"))
+                continue
+            try:
+                buffer = pack_apply_message(func, args, kwargs)
+            except Exception as exc:  # noqa: BLE001 - per-task serialization failure
+                future.set_exception(exc)
+                continue
+            with self._tasks_lock:
+                task_id = self._task_counter
+                self._task_counter += 1
+                self._tasks[task_id] = future
+            items.append({"task_id": task_id, "buffer": buffer})
+        if items:
+            self.interchange.submit_tasks(items)
+        return futures
 
     def _handle_result(self, item: Dict[str, Any]) -> None:
         """Callback invoked by the interchange for every completed task."""

@@ -9,10 +9,15 @@ Responsibilities reproduced from the paper:
 
 * match queued tasks to managers with advertised free capacity, using
   *randomized* manager selection for fairness,
-* batch task dispatch and honour manager prefetch capacity,
+* coalesce task dispatch: the outbound queue is drained into messages of up
+  to ``batch_size`` tasks, capped by the selected manager's advertised
+  ``free_capacity`` (worker slots + prefetch), so one socket write carries a
+  whole batch,
 * exchange heartbeats with managers and declare a manager lost when it misses
-  ``heartbeat_threshold`` seconds of heartbeats, raising
-  :class:`~repro.errors.ManagerLost` for every task outstanding on it,
+  ``heartbeat_threshold`` seconds of heartbeats, settling that manager's
+  in-flight tasks *individually* — each is requeued onto a surviving manager
+  while it has redispatch budget (``max_task_redispatches``), else fails with
+  its own :class:`~repro.errors.ManagerLost`,
 * expose a synchronous *command channel* (outstanding-task info, connected
   managers, blacklisting, shutdown).
 """
@@ -25,7 +30,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.comms.server import MessageServer
 from repro.errors import ManagerLost
@@ -44,7 +49,9 @@ class ManagerRecord:
     worker_count: int
     prefetch_capacity: int = 0
     free_capacity: int = 0
-    outstanding: Set[int] = field(default_factory=set)
+    #: task_id -> the dispatched task item, kept so a lost manager's
+    #: in-flight tasks can be requeued individually.
+    outstanding: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     last_heartbeat: float = field(default_factory=time.time)
     active: bool = True
     blacklisted: bool = False
@@ -68,6 +75,7 @@ class Interchange:
         poll_period: float = 0.01,
         selection_seed: Optional[int] = None,
         scheduling_policy: str = "random",
+        max_task_redispatches: int = 1,
         label: str = "interchange",
     ):
         self.result_callback = result_callback
@@ -75,6 +83,7 @@ class Interchange:
         self.heartbeat_threshold = heartbeat_threshold
         self.batch_size = batch_size
         self.poll_period = poll_period
+        self.max_task_redispatches = max_task_redispatches
         self.scheduling_policy = scheduling_policy
         self.label = label
         self.server = MessageServer(host=host, port=port, name=f"{label}-server")
@@ -120,6 +129,16 @@ class Interchange:
     # ------------------------------------------------------------------
     def submit_task(self, task_id: int, buffer: bytes) -> None:
         self.pending_tasks.put({"task_id": task_id, "buffer": buffer})
+
+    def submit_tasks(self, items: List[Dict[str, Any]]) -> None:
+        """Enqueue a pre-packed batch of tasks (each item: ``task_id``, ``buffer``).
+
+        This is the executor's batched submission entry point: the whole batch
+        lands on the outbound queue in one call and the dispatch loop coalesces
+        it into as few manager messages as capacity allows.
+        """
+        for item in items:
+            self.pending_tasks.put(item)
 
     def command(self, cmd: str, **kwargs) -> Any:
         """Synchronous command channel (§4.3.1).
@@ -214,7 +233,7 @@ class Interchange:
                 record = self._managers.get(identity)
                 for item in items:
                     if record is not None:
-                        record.outstanding.discard(item["task_id"])
+                        record.outstanding.pop(item["task_id"], None)
                         record.free_capacity = min(record.free_capacity + 1, record.max_queue_depth)
             for item in items:
                 self.results_received += 1
@@ -275,7 +294,7 @@ class Interchange:
                 live = self._managers.get(record.identity)
                 if live is not None:
                     for item in batch:
-                        live.outstanding.add(item["task_id"])
+                        live.outstanding[item["task_id"]] = item
                     live.free_capacity = max(live.free_capacity - len(batch), 0)
             self.tasks_dispatched += len(batch)
 
@@ -295,20 +314,38 @@ class Interchange:
             self._manager_lost(identity, reason="missed heartbeats")
 
     def _manager_lost(self, identity: str, reason: str) -> None:
+        """Handle the loss of a manager, settling its in-flight tasks one by one.
+
+        Tasks were dispatched to the dead manager in *batches*, but they are
+        settled *individually*: each task is requeued for another manager when
+        one is available and the task still has a redispatch budget, and
+        otherwise fails with its own :class:`~repro.errors.ManagerLost` — never
+        one exception shared across a whole batch message.
+        """
         with self._managers_lock:
             record = self._managers.get(identity)
             if record is None or not record.active:
                 return
             record.active = False
-            outstanding = list(record.outstanding)
+            outstanding = list(record.outstanding.values())
             record.outstanding.clear()
             hostname = record.hostname
             del self._managers[identity]
+            survivors = any(m.active and not m.blacklisted for m in self._managers.values())
+        requeued = 0
+        for item in outstanding:
+            if survivors and item.get("redispatches", 0) < self.max_task_redispatches:
+                item["redispatches"] = item.get("redispatches", 0) + 1
+                self.pending_tasks.put(item)
+                requeued += 1
+            else:
+                self.result_callback(
+                    {"task_id": item["task_id"], "exception": ManagerLost(identity, hostname)}
+                )
         if outstanding:
-            logger.warning("manager %s lost (%s) with %d outstanding tasks", identity, reason, len(outstanding))
-        for task_id in outstanding:
-            self.result_callback(
-                {"task_id": task_id, "exception": ManagerLost(identity, hostname)}
+            logger.warning(
+                "manager %s lost (%s) with %d outstanding tasks (%d requeued, %d failed)",
+                identity, reason, len(outstanding), requeued, len(outstanding) - requeued,
             )
         self.server.disconnect(identity)
 

@@ -172,32 +172,44 @@ class Manager:
                 self._stop_event.set()
 
     def _result_push_loop(self) -> None:
+        """Return results to the interchange with opportunistic batching.
+
+        Blocks for the first result, then greedily drains whatever else has
+        already completed (up to ``result_batch_size``) and flushes
+        immediately: bursts travel as dense batches while a lone result is
+        never delayed by a flush timer. The results message and the follow-up
+        capacity advertisement share one socket write.
+        """
         assert self._client is not None
-        batch: List[Dict[str, Any]] = []
-        last_flush = time.time()
         while not self._stop_event.is_set():
             try:
                 item = self._result_queue.get(timeout=0.05)
-                batch.append({"task_id": item["task_id"], "buffer": item["buffer"]})
             except queue_module.Empty:
-                item = None
+                continue
             except (EOFError, OSError):
                 break
-            now = time.time()
-            if batch and (len(batch) >= self.result_batch_size or now - last_flush > 0.05):
-                with self._capacity_lock:
-                    self._in_flight = max(self._in_flight - len(batch), 0)
-                self.results_sent += len(batch)
-                self._client.send(msg.results_message(batch))
-                self._client.send(msg.ready_message(self._free_capacity()))
-                batch = []
-                last_flush = now
+            batch: List[Dict[str, Any]] = [{"task_id": item["task_id"], "buffer": item["buffer"]}]
+            while len(batch) < self.result_batch_size:
+                try:
+                    extra = self._result_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (EOFError, OSError):
+                    break
+                batch.append({"task_id": extra["task_id"], "buffer": extra["buffer"]})
+            with self._capacity_lock:
+                self._in_flight = max(self._in_flight - len(batch), 0)
+            self.results_sent += len(batch)
+            self._client.send_many(
+                [msg.results_message(batch), msg.ready_message(self._free_capacity())]
+            )
 
     def _heartbeat_loop(self) -> None:
         assert self._client is not None
         while not self._stop_event.is_set():
-            self._client.send(msg.heartbeat_message())
-            self._client.send(msg.ready_message(self._free_capacity()))
+            self._client.send_many(
+                [msg.heartbeat_message(), msg.ready_message(self._free_capacity())]
+            )
             if time.time() - self._last_interchange_contact > self.heartbeat_threshold:
                 logger.warning(
                     "manager %s: no interchange contact for %.1fs; exiting to avoid waste",

@@ -5,6 +5,7 @@ from repro.serialize.facade import (
     deserialize,
     pack_apply_message,
     unpack_apply_message,
+    serialize_callable,
     serialize_object,
     deserialize_object,
 )
@@ -12,6 +13,7 @@ from repro.serialize.facade import (
 __all__ = [
     "serialize",
     "deserialize",
+    "serialize_callable",
     "pack_apply_message",
     "unpack_apply_message",
     "serialize_object",

@@ -23,7 +23,10 @@ from __future__ import annotations
 import importlib
 import marshal
 import pickle
+import sys
+import threading
 import types
+import weakref
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import DeserializationError, SerializationError
@@ -247,6 +250,57 @@ serialize_object = serialize
 deserialize_object = deserialize
 
 
+# ---------------------------------------------------------------------------
+# Cached callable serialization (the batched-dispatch fast path)
+# ---------------------------------------------------------------------------
+
+#: func -> serialized buffer, held weakly so app bodies can be collected.
+_CALLABLE_CACHE: "weakref.WeakKeyDictionary[Callable, bytes]" = weakref.WeakKeyDictionary()
+_CALLABLE_CACHE_LOCK = threading.Lock()
+
+
+def serialize_callable(func: Callable) -> bytes:
+    """Serialize ``func``, memoizing by-reference buffers process-wide.
+
+    A batch of N tasks sharing one app body pays the function-serialization
+    cost once instead of N times; repeated batches pay it once per process.
+
+    Only buffers that actually took the pickle-by-*reference* path (a
+    qualified-name lookup, tag ``01``) are cached: those bytes are a pure
+    function of the callable's identity. Anything that ended up serialized
+    by *value* — ``__main__`` functions, lambdas, closures, and module-level
+    functions whose name has been rebound (e.g. by an ``@python_app``
+    decorator) — snapshots mutable state such as closure cells and captured
+    globals, and is re-serialized on every call so later mutations are seen.
+    """
+    if not isinstance(func, types.FunctionType) or _needs_by_value(func):
+        return serialize(func)
+    if not _resolves_to_self(func):
+        # The module name no longer resolves to this function (it was
+        # rebound after we cached it); a by-reference buffer would make the
+        # worker execute whatever the name points at *now*. Drop the entry
+        # and re-serialize, which falls back to by-value.
+        with _CALLABLE_CACHE_LOCK:
+            _CALLABLE_CACHE.pop(func, None)
+        return serialize(func)
+    with _CALLABLE_CACHE_LOCK:
+        cached = _CALLABLE_CACHE.get(func)
+    if cached is not None:
+        return cached
+    buffer = serialize(func)
+    if buffer[:_HEADER_LEN] == _TAG_PICKLE:
+        with _CALLABLE_CACHE_LOCK:
+            _CALLABLE_CACHE[func] = buffer
+    return buffer
+
+
+def _resolves_to_self(func: types.FunctionType) -> bool:
+    """True when ``func.__module__.__name__`` still looks up ``func`` itself —
+    pickle's by-reference precondition, re-checked on every cache access."""
+    module = sys.modules.get(func.__module__)
+    return module is not None and getattr(module, func.__name__, None) is func
+
+
 class ByValueCallable:
     """Pickle adapter that transports a function by value inside containers.
 
@@ -280,7 +334,7 @@ def pack_apply_message(func: Callable, args: Sequence[Any], kwargs: Dict[str, An
     """
     safe_args = [_transportable(a) for a in args]
     safe_kwargs = {k: _transportable(v) for k, v in kwargs.items()}
-    parts: List[bytes] = [serialize(func), serialize(safe_args), serialize(safe_kwargs)]
+    parts: List[bytes] = [serialize_callable(func), serialize(safe_args), serialize(safe_kwargs)]
     return pickle.dumps(parts, protocol=pickle.HIGHEST_PROTOCOL)
 
 

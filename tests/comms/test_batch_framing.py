@@ -1,0 +1,148 @@
+"""Tests for multipart/batch framing: one write carrying N payloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comms import (
+    FrameBatcher,
+    FrameProtocolError,
+    InprocDealer,
+    InprocFabric,
+    InprocRouter,
+    MessageClient,
+    MessageServer,
+    decode_batch,
+    decode_message,
+    encode_batch,
+    encode_message,
+)
+
+
+class TestBatchEncoding:
+    def test_encode_decode_roundtrip(self):
+        messages = [{"type": "tasks", "items": [1, 2]}, "plain", 42, [None, True]]
+        assert decode_batch(encode_batch(messages)) == messages
+
+    def test_single_message_batch_is_one_plain_frame(self):
+        # A 1-batch is byte-identical to a single frame: receivers need no
+        # batch awareness at all.
+        assert encode_batch([{"a": 1}]) == encode_message({"a": 1})
+        assert decode_message(encode_batch([{"a": 1}])) == {"a": 1}
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(FrameProtocolError):
+            encode_batch([])
+
+    def test_empty_buffer_rejected_on_decode(self):
+        with pytest.raises(FrameProtocolError):
+            decode_batch(b"")
+
+    def test_truncated_batch_rejected(self):
+        buffer = encode_batch([{"a": 1}, {"b": 2}])
+        with pytest.raises(FrameProtocolError):
+            decode_batch(buffer[:-3])
+
+    def test_trailing_garbage_header_rejected(self):
+        buffer = encode_batch([{"a": 1}]) + b"\x01"
+        with pytest.raises(FrameProtocolError):
+            decode_batch(buffer)
+
+    @given(st.lists(st.dictionaries(st.text(max_size=6), st.integers(), max_size=4), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, messages):
+        assert decode_batch(encode_batch(messages)) == messages
+
+
+class TestFrameBatcher:
+    def test_flushes_when_full(self):
+        batcher = FrameBatcher(max_items=3, max_delay=100.0)
+        assert batcher.add("a") is None
+        assert batcher.add("b") is None
+        batch = batcher.add("c")
+        assert batch is not None
+        assert decode_batch(batch) == ["a", "b", "c"]
+        assert len(batcher) == 0
+
+    def test_partial_batch_flush_on_timeout(self):
+        clock = {"now": 0.0}
+        batcher = FrameBatcher(max_items=16, max_delay=0.05, clock=lambda: clock["now"])
+        batcher.add("only")
+        assert not batcher.due()
+        clock["now"] = 0.049
+        assert not batcher.due()
+        clock["now"] = 0.051
+        assert batcher.due()
+        assert decode_batch(batcher.flush()) == ["only"]
+        # Once drained, nothing is due and flush yields None (not an empty batch).
+        assert not batcher.due()
+        assert batcher.flush() is None
+
+    def test_age_measured_from_oldest_message(self):
+        clock = {"now": 0.0}
+        batcher = FrameBatcher(max_items=16, max_delay=0.05, clock=lambda: clock["now"])
+        batcher.add("first")
+        clock["now"] = 0.04
+        batcher.add("second")  # newer message must not reset the clock
+        clock["now"] = 0.06
+        assert batcher.due()
+        assert decode_batch(batcher.flush()) == ["first", "second"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FrameBatcher(max_items=0)
+        with pytest.raises(ValueError):
+            FrameBatcher(max_delay=-1)
+
+
+class TestSendManyTCP:
+    def test_server_send_many_arrives_individually(self):
+        with MessageServer() as server:
+            client = MessageClient(server.host, server.port, identity="w0")
+            server.recv(timeout=2)  # registration
+            assert server.send_many("w0", [{"n": i} for i in range(5)])
+            for i in range(5):
+                assert client.recv(timeout=2) == {"n": i}
+            client.close()
+
+    def test_client_send_many_arrives_individually(self):
+        with MessageServer() as server:
+            client = MessageClient(server.host, server.port, identity="w0")
+            server.recv(timeout=2)  # registration
+            assert client.send_many([{"k": i} for i in range(4)])
+            for i in range(4):
+                ident, msg = server.recv(timeout=2)
+                assert (ident, msg) == ("w0", {"k": i})
+            client.close()
+
+    def test_send_many_to_unknown_identity_returns_false(self):
+        with MessageServer() as server:
+            assert server.send_many("ghost", [{"x": 1}]) is False
+
+    def test_send_many_empty_is_a_noop(self):
+        with MessageServer() as server:
+            client = MessageClient(server.host, server.port, identity="w0")
+            server.recv(timeout=2)
+            assert server.send_many("w0", []) is True
+            assert client.send_many([]) is True
+            client.close()
+
+
+class TestSendManyInproc:
+    def test_router_and_dealer_send_many(self):
+        fabric = InprocFabric()
+        router = InprocRouter("batch", fabric=fabric)
+        dealer = InprocDealer("batch", identity="d1", fabric=fabric)
+        router.recv(timeout=1)  # registration
+        assert router.send_many("d1", [1, 2, 3])
+        assert [dealer.recv(timeout=1) for _ in range(3)] == [1, 2, 3]
+        assert dealer.send_many(["x", "y"])
+        assert router.recv(timeout=1) == ("d1", "x")
+        assert router.recv(timeout=1) == ("d1", "y")
+        dealer.close()
+        router.close()
+
+    def test_send_many_unknown_peer_returns_false(self):
+        fabric = InprocFabric()
+        router = InprocRouter("nobody", fabric=fabric)
+        assert router.send_many("ghost", [1]) is False
+        router.close()

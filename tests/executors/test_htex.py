@@ -4,10 +4,12 @@ import time
 
 import pytest
 
+from repro.comms import MessageClient
 from repro.errors import ManagerLost, UnsupportedFeatureError
 from repro.executors import HighThroughputExecutor
 from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
+from repro.executors.htex import messages as msg
 from repro.providers import LocalProvider
 
 
@@ -142,6 +144,82 @@ class TestHTEXFaultTolerance:
     def test_unknown_command_rejected(self, htex_internal):
         with pytest.raises(ValueError):
             htex_internal.interchange.command("destroy_everything")
+
+
+class TestManagerLossRequeue:
+    """On manager loss, batched in-flight tasks are settled individually."""
+
+    @staticmethod
+    def _fake_manager(interchange, identity):
+        return MessageClient(
+            interchange.host,
+            interchange.port,
+            identity=identity,
+            registration_info=msg.manager_registration_info(
+                block_id=identity, hostname=identity, worker_count=1, prefetch_capacity=0
+            ),
+        )
+
+    @staticmethod
+    def _await_tasks(client, timeout=5.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            message = client.recv(timeout=0.2)
+            if message is not None and message.get("type") == "tasks":
+                return message["items"]
+        return None
+
+    def test_task_requeued_to_surviving_manager(self):
+        results = []
+        interchange = Interchange(result_callback=results.append, heartbeat_threshold=60)
+        interchange.start()
+        first = self._fake_manager(interchange, "mgr-a")
+        second = self._fake_manager(interchange, "mgr-b")
+        try:
+            assert wait_for(lambda: interchange.connected_manager_count == 2)
+            interchange.submit_task(0, b"payload")
+            # Whichever manager received the task dies holding it.
+            items = self._await_tasks(first)
+            victim, survivor = (first, second) if items else (second, first)
+            if items is None:
+                items = self._await_tasks(victim)
+            assert items is not None and items[0]["task_id"] == 0
+            victim.close()
+            # The task is requeued onto the survivor rather than failed.
+            requeued = self._await_tasks(survivor)
+            assert requeued is not None and requeued[0]["task_id"] == 0
+            survivor.send(msg.results_message([{"task_id": 0, "buffer": b"done"}]))
+            assert wait_for(lambda: len(results) == 1)
+            assert results[0] == {"task_id": 0, "buffer": b"done"}
+        finally:
+            first.close()
+            second.close()
+            interchange.stop()
+
+    def test_exhausted_redispatch_budget_fails_each_task_individually(self):
+        results = []
+        interchange = Interchange(result_callback=results.append, heartbeat_threshold=60)
+        interchange.start()
+        first = self._fake_manager(interchange, "mgr-a")
+        second = self._fake_manager(interchange, "mgr-b")
+        try:
+            assert wait_for(lambda: interchange.connected_manager_count == 2)
+            interchange.submit_task(7, b"payload")
+            items = self._await_tasks(first)
+            victim, survivor = (first, second) if items else (second, first)
+            if items is None:
+                items = self._await_tasks(victim)
+            assert items is not None
+            victim.close()
+            assert self._await_tasks(survivor) is not None  # one redispatch allowed
+            survivor.close()  # second loss: budget exhausted, no survivors
+            assert wait_for(lambda: len(results) == 1)
+            assert results[0]["task_id"] == 7
+            assert isinstance(results[0]["exception"], ManagerLost)
+        finally:
+            first.close()
+            second.close()
+            interchange.stop()
 
 
 class TestInterchangeUnit:

@@ -129,6 +129,19 @@ class TestRetriesAndFaultTolerance:
         finally:
             repro.clear()
 
+    def test_retry_pending_backoff_resolves_at_cleanup(self, run_dir):
+        """A retry waiting out its backoff when the DFK shuts down must still
+        resolve its AppFuture (with an error) rather than hang forever."""
+        dfk = repro.load(make_local_config(run_dir, retries=1, retry_backoff_s=1.0))
+        fut = always_raise()
+        deadline = time.time() + 10
+        while dfk.tasks[0].fail_count < 1 and time.time() < deadline:
+            time.sleep(0.02)
+        assert dfk.tasks[0].fail_count >= 1
+        repro.clear()  # cleanup lands inside the 1s backoff window
+        with pytest.raises(Exception):
+            fut.result(timeout=10)
+
     def test_submit_after_cleanup_rejected(self, run_dir):
         from repro.errors import DataFlowKernelClosedError
 

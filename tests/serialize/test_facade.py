@@ -160,3 +160,68 @@ class TestPropertyBased:
         buffer = pack_apply_message(module_level_function, (a,), {"y": b})
         func, args, kwargs = unpack_apply_message(buffer)
         assert func(*args, **kwargs) == a * b
+
+
+class TestSerializeCallableCache:
+    def test_by_reference_function_is_cached(self):
+        from repro.serialize import serialize_callable
+
+        first = serialize_callable(module_level_function)
+        second = serialize_callable(module_level_function)
+        assert first is second  # cache hit returns the identical buffer
+        assert deserialize(first)(4) == 12
+
+    def test_lambda_bypasses_cache(self):
+        from repro.serialize import serialize_callable
+
+        offset = [10]
+        fn = lambda x: x + offset[0]  # noqa: E731
+        assert deserialize(serialize_callable(fn))(1) == 11
+        offset[0] = 20
+        assert deserialize(serialize_callable(fn))(1) == 21
+
+    def test_rebound_module_function_sees_global_mutation(self):
+        """A function whose module name was rebound (the @python_app pattern)
+        falls back to by-value serialization and must NOT be cached: later
+        mutations of its captured globals have to reach the workers."""
+        import sys
+        import types as types_module
+
+        from repro.serialize import serialize_callable
+
+        mod = types_module.ModuleType("repro_test_rebound_mod")
+        exec("THRESHOLD = 5\ndef above(x):\n    return x > THRESHOLD\n", mod.__dict__)
+        sys.modules["repro_test_rebound_mod"] = mod
+        try:
+            func = mod.above
+            mod.above = object()  # rebinding breaks pickle-by-reference
+            with pytest.raises(Exception):
+                pickle.dumps(func)
+            assert deserialize(serialize_callable(func))(10) is True
+            mod.THRESHOLD = 50
+            assert deserialize(serialize_callable(func))(10) is False
+        finally:
+            del sys.modules["repro_test_rebound_mod"]
+
+    def test_cached_function_rebound_after_caching_goes_by_value(self):
+        """Rebinding a module name AFTER its function was cached must
+        invalidate the cached by-reference buffer, or workers would resolve
+        the name to the new (wrong) object."""
+        import sys
+        import types as types_module
+
+        from repro.serialize import serialize_callable
+
+        mod = types_module.ModuleType("repro_test_late_rebound_mod")
+        exec("def double(x):\n    return 2 * x\n", mod.__dict__)
+        sys.modules["repro_test_late_rebound_mod"] = mod
+        try:
+            func = mod.double
+            cached = serialize_callable(func)  # by reference, cached
+            assert deserialize(cached)(4) == 8
+            mod.double = lambda x: -1  # rebind the name out from under the cache
+            fresh = serialize_callable(func)
+            assert fresh != cached  # must not serve the stale by-reference buffer
+            assert deserialize(fresh)(4) == 8  # by-value: still the original body
+        finally:
+            del sys.modules["repro_test_late_rebound_mod"]
