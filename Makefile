@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench quickstart
+.PHONY: test test-fast bench bench-smoke lint ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -16,6 +16,24 @@ test-fast:
 # The paper-figure benchmark harness only.
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+# The CI smoke subset: shrunken workloads, raw numbers to BENCH_smoke.json.
+bench-smoke:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks \
+		-k "fig3 or fig6 or ablation" --benchmark-json=BENCH_smoke.json
+
+# Ruff config lives in pyproject.toml; skip gracefully where ruff is absent.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed — skipping lint (pip install ruff)"; \
+	fi
+
+# What the CI workflow runs: lint, then the tier-1 suite.
+ci: lint test
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

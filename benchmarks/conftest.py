@@ -10,10 +10,20 @@ comparison is visible directly in the pytest-benchmark output.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List
 
 import pytest
+
+#: CI smoke mode: shrink workloads so the benchmark job finishes in seconds.
+#: Set REPRO_BENCH_FAST=1 (the CI benchmark-smoke job does) to enable.
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "").lower() in ("1", "true", "yes")
+
+
+def fast_scaled(value, fast_value):
+    """Pick the fast-mode variant of a workload parameter when enabled."""
+    return fast_value if FAST_MODE else value
 
 
 def print_table(title: str, headers: List[str], rows: List[List[object]]) -> None:

@@ -17,7 +17,7 @@ import repro
 from repro import Config
 from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
 
-from conftest import measure_throughput, noop, print_table
+from conftest import measure_throughput, print_table
 
 
 @pytest.mark.parametrize("batch_size", [1, 16])

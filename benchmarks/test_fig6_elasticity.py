@@ -6,16 +6,25 @@ elasticity, and 84.28 % / 331 s with it — a 23.6 % utilization improvement
 for a 9.9 % makespan increase.
 
 The full-scale experiment is regenerated with the elasticity simulation
-(seconds of wall time instead of ~10 minutes); a scaled-down run on the real
-HTEX + LocalProvider + Strategy stack lives in
-``examples/elastic_montage.py`` and the elasticity integration test.
+(seconds of wall time instead of ~10 minutes); ``test_fig6_real_stack_elasticity``
+below re-runs the same four-stage shape *on the real stack* — HTEX +
+LocalProvider + the block-aware Strategy, with managers in forked worker-pool
+processes — at laptop scale, verifying the paper's trade-off (utilization up,
+makespan bounded) and that scale-in drains only sufficiently idle blocks.
 """
+
+import os
+import time
 
 import pytest
 
+from repro.config.config import Config
+from repro.core.dflow import DataFlowKernel
+from repro.executors.htex import HighThroughputExecutor
+from repro.providers.local import LocalProvider
 from repro.simulation.elasticity import ElasticitySimulation, compare_elastic_vs_static, four_stage_workflow
 
-from conftest import print_table
+from conftest import fast_scaled, print_table
 
 PAPER = {
     "static": {"utilization": 0.6815, "makespan_s": 301.0},
@@ -66,6 +75,113 @@ def test_fig5_task_lifecycle_records(benchmark):
     # Wide-stage tasks run for 100 s, reduce tasks for 50 s.
     assert max(executes) == pytest.approx(100.0, abs=1.0)
     assert min(executes) == pytest.approx(50.0, abs=1.0)
+
+
+def _run_real_stack_workflow(elastic: bool, workdir: str, width: int, task_s: float, max_idletime: float):
+    """One four-stage run (wide → reduce → wide → reduce) on the real stack.
+
+    Returns makespan, worker-sampled utilization, and — for elastic runs —
+    the strategy's scaling history plus the final block registry snapshot.
+    """
+    provider = LocalProvider(
+        init_blocks=1 if elastic else 3,
+        min_blocks=1,
+        max_blocks=3,
+        parallelism=1.0,
+        script_dir=os.path.join(workdir, "scripts"),
+    )
+    executor = HighThroughputExecutor(
+        label="htex_fig6",
+        provider=provider,
+        workers_per_node=2,
+        heartbeat_period=0.5,
+        heartbeat_threshold=30.0,
+    )
+    config = Config(
+        executors=[executor],
+        run_dir=os.path.join(workdir, "runinfo"),
+        strategy="htex_auto_scale" if elastic else "none",
+        strategy_period=0.15,
+        max_idletime=max_idletime,
+        app_cache=False,
+    )
+    dfk = DataFlowKernel(config)
+    try:
+        stages = [width, 1, width, 1]
+        start = time.perf_counter()
+        busy_seconds = 0.0
+        worker_samples = []
+        for stage_width in stages:
+            # Wide stages run `width` tasks of task_s; reduce stages run one
+            # longer task, giving surplus blocks an idle window to drain in.
+            durations = [task_s] * stage_width if stage_width > 1 else [task_s * 2.5]
+            futures = [dfk.submit(time.sleep, (d,), cache=False) for d in durations]
+            while any(not f.done() for f in futures):
+                worker_samples.append(executor.connected_workers)
+                time.sleep(0.05)
+            for f in futures:
+                f.result(timeout=60)
+            busy_seconds += sum(durations)
+        makespan = time.perf_counter() - start
+        mean_workers = sum(worker_samples) / max(len(worker_samples), 1)
+        utilization = busy_seconds / max(mean_workers * makespan, 1e-9)
+        history = list(dfk.strategy.history)
+        registry_snapshot = executor.block_registry.snapshot()
+        return {
+            "makespan_s": makespan,
+            "utilization": utilization,
+            "mean_workers": mean_workers,
+            "history": history,
+            "blocks": registry_snapshot,
+        }
+    finally:
+        dfk.cleanup()
+
+
+def test_fig6_real_stack_elasticity(benchmark, tmp_path, quiet_logging):
+    """The elasticity trade-off on the real HTEX + LocalProvider + Strategy stack.
+
+    Scaled down from the paper's 20×100 s stages to laptop scale: the elastic
+    run must improve utilization over the static one with a bounded makespan
+    increase, and every block the strategy drained must have been idle at
+    least ``max_idletime`` (the engine never cancels busy blocks).
+    """
+    width = fast_scaled(6, 4)
+    task_s = fast_scaled(0.6, 0.4)
+    max_idletime = 0.4
+
+    def run_both():
+        static = _run_real_stack_workflow(False, str(tmp_path / "static"), width, task_s, max_idletime)
+        elastic = _run_real_stack_workflow(True, str(tmp_path / "elastic"), width, task_s, max_idletime)
+        return {"static": static, "elastic": elastic}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    static, elastic = results["static"], results["elastic"]
+    print_table(
+        "Figure 6 — elasticity on the real stack (HTEX + LocalProvider)",
+        ["mode", "utilization", "makespan (s)", "mean workers"],
+        [
+            [m, f"{results[m]['utilization']*100:.1f}%", f"{results[m]['makespan_s']:.1f}",
+             f"{results[m]['mean_workers']:.1f}"]
+            for m in ("static", "elastic")
+        ],
+    )
+    # Paper-shaped facts at laptop scale: utilization rises, makespan is
+    # bounded (block boot latency dominates more here than on Midway).
+    assert elastic["utilization"] > static["utilization"]
+    assert elastic["makespan_s"] <= 3.0 * static["makespan_s"]
+    # The engine actually scaled: out under the wide stages, in during reduces.
+    actions = {h["action"] for h in elastic["history"]}
+    assert "scale_out" in actions and "scale_in" in actions
+    # Scale-in hysteresis: every drained block had been idle >= max_idletime.
+    for event in elastic["history"]:
+        if event["action"] == "scale_in":
+            assert event["idle_s"], "scale-in events must record per-block idle times"
+            for idle in event["idle_s"].values():
+                assert idle >= max_idletime
+    # And no busy block was ever selected: drained blocks settled cleanly.
+    drained = [r for r in elastic["blocks"] if r.idle_at_drain is not None]
+    assert drained and all(r.idle_at_drain >= max_idletime for r in drained)
 
 
 def test_fig6_parallelism_ablation(benchmark):

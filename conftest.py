@@ -1,0 +1,66 @@
+"""Repo-root pytest configuration: the per-test timeout watchdog.
+
+``pyproject.toml`` sets a suite-wide ``timeout`` so a hung interchange or
+manager thread *fails* CI instead of stalling it. When the ``pytest-timeout``
+plugin is installed (the CI images install it) it enforces the limit and this
+file stays out of the way. In bare environments without the plugin, the
+fallback below registers the same ini option/marker and enforces the limit
+with a SIGALRM timer: the alarm interrupts whatever blocking call the main
+thread is stuck in (``future.result()``, ``Thread.join``, a socket read) and
+raises, failing the test while still letting fixtures clean up.
+
+The fallback is deliberately signal-based (pytest-timeout's "signal" method)
+rather than process-killing: it cannot recover a wedged *background* thread,
+but every hang mode the suite has exhibited blocks the main thread, and a
+recoverable failure beats losing the whole session's report.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import signal
+
+    class TestTimeoutError(Exception):
+        """Raised in the main thread when a test exceeds its timeout."""
+
+    def pytest_addoption(parser):
+        parser.addini("timeout", "per-test timeout in seconds (fallback watchdog)", default="0")
+        parser.addini("timeout_method", "ignored by the fallback watchdog", default="signal")
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers", "timeout(seconds): override the suite-wide per-test timeout"
+        )
+
+    def _timeout_for(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        timeout = _timeout_for(item)
+        if timeout <= 0 or not hasattr(signal, "SIGALRM"):
+            yield
+            return
+
+        def _alarm(signum, frame):
+            raise TestTimeoutError(f"{item.nodeid} exceeded the {timeout:.0f}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -2,8 +2,10 @@
 
 This example runs a scaled-down version of the paper's elasticity workflow —
 wide stage → reduce → wide stage → reduce — on the real HTEX + LocalProvider
-stack with the block-level strategy enabled, and reports worker utilization
-and makespan with and without elasticity, mirroring Figure 6.
+stack with the block-aware strategy enabled (``htex_auto_scale``: surplus
+blocks whose managers report no in-flight work for ``max_idletime`` are
+drained block-by-block), and reports worker utilization and makespan with
+and without elasticity, mirroring Figure 6.
 
 The full-scale (20 workers × 100 s tasks) version of this experiment is
 regenerated analytically by ``benchmarks/test_fig6_elasticity.py``; here the
@@ -50,7 +52,7 @@ def run_workflow(width, task_seconds, elastic, workdir):
     config = Config(
         executors=[executor],
         run_dir=os.path.join(workdir, "runinfo"),
-        strategy="simple" if elastic else "none",
+        strategy="htex_auto_scale" if elastic else "none",
         strategy_period=0.5,
         max_idletime=1.0,
     )

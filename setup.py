@@ -18,5 +18,8 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis"],
+        "dev": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis", "ruff"],
+    },
 )

@@ -20,7 +20,7 @@ Three decorators are provided:
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.apps.bash import remote_side_bash_executor
 from repro.apps.python import timeout_python_executor

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import os
-import pickle
 import sqlite3
 import tempfile
 import threading

@@ -63,7 +63,10 @@ class MessageServer:
     # Accept / read loops
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
-        self._listener.settimeout(0.2)
+        try:
+            self._listener.settimeout(0.2)
+        except OSError:
+            return  # close() already shut the listener down
         while not self._stop_event.is_set():
             try:
                 conn, addr = self._listener.accept()

@@ -15,7 +15,10 @@ A Config bundles:
   dispatcher thread's idle poll in seconds, default 0.05 — arrival of work
   wakes it immediately, so this only bounds shutdown responsiveness),
 * memoization and checkpointing settings,
-* the elasticity strategy and its cadence,
+* the elasticity strategy and its cadence: ``strategy`` selects the engine
+  (``none`` / ``simple`` / ``htex_auto_scale``), ``strategy_period`` its
+  decision interval, and ``max_idletime`` the scale-in hysteresis — a block
+  must be continuously idle this long before it may be drained (§4.4),
 * monitoring,
 * the run directory where logs, checkpoints, and monitoring land.
 """
@@ -67,6 +70,8 @@ class Config:
             raise ConfigurationError(f"unknown strategy {strategy!r}")
         if strategy_period <= 0:
             raise ConfigurationError("strategy_period must be positive")
+        if max_idletime < 0:
+            raise ConfigurationError("max_idletime must be >= 0")
         if checkpoint_period <= 0:
             raise ConfigurationError("checkpoint_period must be positive")
         if dispatch_batch_size < 1:

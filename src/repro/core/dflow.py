@@ -82,6 +82,9 @@ class DataFlowKernel:
         self.executors: Dict[str, Any] = {}
         for executor in self.config.executors:
             executor.run_dir = self.run_dir
+            # Wire monitoring before start() so block state changes made
+            # while bringing up init_blocks are captured as BLOCK_INFO.
+            executor.monitoring_radio = self.monitoring
             executor.start()
             self.executors[executor.label] = executor
 
@@ -566,6 +569,10 @@ class DataFlowKernel:
         if self._cleanup_called:
             return
         self._cleanup_called = True
+        # Stop the elasticity engine FIRST — close() joins the timer thread,
+        # so no strategize round (and no scale_out) can race the executor
+        # shutdowns below and leak freshly provisioned blocks.
+        self._strategy_timer.close()
         self._dispatch_stop.set()
         self._dispatcher.join(timeout=2)
         # Hand any still-queued tasks to their executors (which are still up
@@ -583,7 +590,6 @@ class DataFlowKernel:
                 self._dispatch_entries(leftovers)
             except Exception:  # noqa: BLE001
                 logger.exception("failed to flush %d queued tasks during cleanup", len(leftovers))
-        self._strategy_timer.close()
         if self._checkpoint_timer is not None:
             self._checkpoint_timer.close()
         if self.config.checkpoint_mode in ("dfk_exit", "periodic", "task_exit"):

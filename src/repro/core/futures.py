@@ -15,7 +15,7 @@ Futures are the only synchronization primitive Parsl offers. Two kinds exist:
 from __future__ import annotations
 
 from concurrent.futures import Future
-from typing import Any, List, Optional
+from typing import List, Optional
 
 from repro.data.files import File
 

@@ -1,23 +1,30 @@
-"""The elasticity strategy (§3.6, §4.4).
+"""The block-aware elasticity engine (§3.6, §4.4).
 
 Parsl implements a cloud-like elasticity model in which resource *blocks* are
-provisioned and de-provisioned in response to workload pressure. The
-strategy module tracks outstanding tasks and available capacity on connected
-executors and talks to each executor's provider to scale to match real-time
-requirements.
+provisioned and de-provisioned in response to workload pressure. This module
+is the decision engine: each round it computes, per executor, a **target
+block count** from the outstanding-task depth and the provider's block shape
+(``min_blocks`` / ``max_blocks`` / ``parallelism``), then closes the gap —
+scaling out immediately when demand exceeds capacity, and scaling in with
+hysteresis by *selecting specific idle blocks* from the executor's
+:class:`~repro.executors.blocks.BlockRegistry`.
 
 Three built-in strategies are provided, selected by ``Config.strategy``:
 
 * ``none``    — never touch blocks after ``init_blocks``;
-* ``simple``  — scale out when demand exceeds capacity (scaled by the
-  provider's ``parallelism``); scale in to ``min_blocks`` only when the
-  executor has been idle for ``max_idletime``;
+* ``simple``  — scale out on demand; scale in toward ``min_blocks`` only once
+  the executor has been fully idle for ``max_idletime``;
 * ``htex_auto_scale`` — like ``simple`` but additionally scales in partially
-  (block by block) as demand shrinks.
+  while work remains: blocks whose managers report no in-flight tasks for at
+  least ``max_idletime`` are drained block-by-block as demand shrinks.
 
-The strategy is deliberately extensible: any object implementing
-``strategize(executors)`` can be passed, which is how the LSST-style
-program-specific rate limiting described in §2.2 would plug in.
+Scale-in never cancels a busy block: eligibility comes from the registry's
+per-block ``idle_since`` stamps, which are fed either by the interchange's
+per-manager activity reports (HTEX) or, for executors without per-block
+telemetry, by the executor-wide outstanding count (whole-executor
+hysteresis, exactly the paper's original behaviour). The actual teardown is
+the executor's business — HTEX drains the block's managers before the
+provider job is cancelled (see ``executors/htex``).
 """
 
 from __future__ import annotations
@@ -25,24 +32,21 @@ from __future__ import annotations
 import logging
 import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.executors.base import ReproExecutor
-from repro.providers.base import JobState
 
 logger = logging.getLogger(__name__)
 
 
 class Strategy:
-    """Block-level elasticity decisions for a set of executors."""
+    """Per-executor block-level elasticity decisions."""
 
     def __init__(self, strategy_type: str = "simple", max_idletime: float = 2.0):
         if strategy_type not in ("none", "simple", "htex_auto_scale"):
             raise ValueError(f"unknown strategy {strategy_type!r}")
         self.strategy_type = strategy_type
         self.max_idletime = max_idletime
-        #: executor label -> timestamp at which it became idle (None = busy).
-        self._idle_since: Dict[str, Optional[float]] = {}
         #: record of scaling actions, for tests/benchmarks/monitoring.
         self.history: List[dict] = []
 
@@ -60,65 +64,86 @@ class Strategy:
                 logger.exception("strategy error for executor %s", executor.label)
 
     # ------------------------------------------------------------------
-    def _active_blocks(self, executor: ReproExecutor) -> int:
-        status = executor.status()
-        return sum(1 for s in status.values() if s.state in (JobState.PENDING, JobState.RUNNING))
-
     def _strategize_one(self, executor: ReproExecutor) -> None:
         provider = executor.provider
-        label = executor.label
+        registry = executor.block_registry
         outstanding = executor.outstanding
-        active_blocks = self._active_blocks(executor)
         workers_per_block = max(executor.workers_per_block, 1)
-        active_slots = active_blocks * workers_per_block
-        parallelism = provider.parallelism
 
-        if outstanding > 0:
-            self._idle_since[label] = None
-        # Case 1: nothing to do — consider scaling in to min_blocks.
-        if outstanding == 0:
-            if active_blocks <= provider.min_blocks:
-                return
-            idle_since = self._idle_since.get(label)
-            if idle_since is None:
-                self._idle_since[label] = time.time()
-                return
-            if time.time() - idle_since >= self.max_idletime:
-                excess = active_blocks - provider.min_blocks
-                logger.info("scaling in %s by %d idle blocks", label, excess)
-                executor.scale_in(excess)
-                self._record(label, "scale_in", excess, outstanding, active_blocks)
-            return
+        # Refresh the registry's busy/idle view. Executors with per-block
+        # telemetry (HTEX) report per manager; otherwise fall back to
+        # executor-wide idleness, which reproduces whole-executor hysteresis.
+        if not executor.update_block_activity():
+            if outstanding == 0:
+                registry.mark_all_idle()
+            else:
+                registry.mark_all_busy()
 
-        # Case 2: demand exceeds capacity — scale out.
-        if outstanding > active_slots and active_blocks < provider.max_blocks:
-            excess_slots = math.ceil((outstanding - active_slots) * parallelism)
-            needed_blocks = math.ceil(excess_slots / workers_per_block)
-            headroom = provider.max_blocks - active_blocks
-            to_add = min(needed_blocks, headroom)
+        active = registry.active_count()
+        target = self._target_blocks(outstanding, workers_per_block, provider)
+
+        if target > active:
+            # Draining blocks still hold live provider jobs until their
+            # in-flight tasks settle, so they count against max_blocks:
+            # never exceed the provider's concurrent-job ceiling.
+            headroom = provider.max_blocks - active - registry.draining_count()
+            to_add = min(target - active, headroom)
             if to_add > 0:
-                logger.info("scaling out %s by %d blocks (outstanding=%d, slots=%d)", label, to_add, outstanding, active_slots)
+                logger.info(
+                    "scaling out %s by %d blocks (outstanding=%d, active=%d, target=%d)",
+                    executor.label, to_add, outstanding, active, target,
+                )
                 executor.scale_out(to_add)
-                self._record(label, "scale_out", to_add, outstanding, active_blocks)
+                self._record(executor.label, "scale_out", to_add, outstanding, active)
             return
 
-        # Case 3 (htex_auto_scale only): partial scale-in when demand shrank.
-        if self.strategy_type == "htex_auto_scale" and active_blocks > provider.min_blocks:
-            needed_blocks = max(math.ceil(outstanding / workers_per_block), provider.min_blocks)
-            if needed_blocks < active_blocks:
-                to_remove = active_blocks - needed_blocks
-                logger.info("auto-scaling in %s by %d blocks", label, to_remove)
-                executor.scale_in(to_remove)
-                self._record(label, "scale_in", to_remove, outstanding, active_blocks)
+        if target < active and (outstanding == 0 or self.strategy_type == "htex_auto_scale"):
+            # Hysteresis: only blocks continuously idle for max_idletime are
+            # eligible, and we retire at most the surplus over the target.
+            eligible = registry.idle_blocks(min_idle=self.max_idletime)
+            to_remove = min(active - target, len(eligible))
+            if to_remove <= 0:
+                return
+            chosen = eligible[:to_remove]
+            idle_s = {r.block_id: round(r.idle_for(), 3) for r in chosen}
+            logger.info(
+                "scaling in %s: draining %d idle blocks %s (outstanding=%d, active=%d, target=%d)",
+                executor.label, to_remove, list(idle_s), outstanding, active, target,
+            )
+            executor.scale_in(
+                to_remove,
+                block_ids=[r.block_id for r in chosen],
+                max_idletime=self.max_idletime,
+            )
+            self._record(
+                executor.label, "scale_in", to_remove, outstanding, active, idle_s=idle_s
+            )
 
-    def _record(self, label: str, action: str, blocks: int, outstanding: int, active_blocks: int) -> None:
-        self.history.append(
-            {
-                "time": time.time(),
-                "executor": label,
-                "action": action,
-                "blocks": blocks,
-                "outstanding": outstanding,
-                "active_blocks_before": active_blocks,
-            }
-        )
+    # ------------------------------------------------------------------
+    def _target_blocks(self, outstanding: int, workers_per_block: int, provider) -> int:
+        """Blocks needed for the current demand, clamped to the provider shape."""
+        if outstanding <= 0:
+            return provider.min_blocks
+        demand = math.ceil((outstanding * provider.parallelism) / workers_per_block)
+        return max(provider.min_blocks, min(demand, provider.max_blocks))
+
+    def _record(
+        self,
+        label: str,
+        action: str,
+        blocks: int,
+        outstanding: int,
+        active_blocks: int,
+        idle_s: Dict[str, float] | None = None,
+    ) -> None:
+        entry = {
+            "time": time.time(),
+            "executor": label,
+            "action": action,
+            "blocks": blocks,
+            "outstanding": outstanding,
+            "active_blocks_before": active_blocks,
+        }
+        if idle_s is not None:
+            entry["idle_s"] = idle_s
+        self.history.append(entry)

@@ -15,7 +15,6 @@ mirroring Globus Auth integration (§4.6).
 from __future__ import annotations
 
 import os
-from typing import Optional
 
 from repro.data.files import File
 from repro.data.staging.base import Staging

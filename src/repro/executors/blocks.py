@@ -1,0 +1,331 @@
+"""Block lifecycle tracking for the elasticity engine (§3.6, §4.4).
+
+Every provider-backed executor owns a :class:`BlockRegistry`: the
+authoritative, thread-safe record of each pilot-job block it has requested.
+A block moves through a small state machine::
+
+    PENDING ──▶ RUNNING ◀──▶ IDLE ──▶ DRAINING ──▶ TERMINATED
+       │           │           │          │
+       └───────────┴───────────┴──────────┴──────▶ FAILED / TERMINATED
+                  (provider reports a terminal job state)
+
+Two information sources feed the registry:
+
+* **provider status polls** — a background timer on the executor calls the
+  provider's ``status()`` and maps job states onto block states (a terminal
+  job state retires the block even if the strategy never asked for it);
+* **activity reports** — per-manager idle/capacity data from the HTEX
+  interchange (or, for executors without per-block telemetry, the strategy's
+  executor-wide outstanding count) drives the RUNNING ⟷ IDLE edge and stamps
+  ``idle_since``, which is what the strategy's ``max_idletime`` hysteresis
+  keys off.
+
+The registry is deliberately executor-agnostic: it never talks to a provider
+or an interchange itself, it only records what the executor observed, so it
+can be unit-tested (and reasoned about) in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.providers.base import JobState
+
+logger = logging.getLogger(__name__)
+
+
+class BlockState(enum.Enum):
+    """Lifecycle states of one pilot-job block."""
+
+    PENDING = "PENDING"        # requested from the provider, no activity seen yet
+    RUNNING = "RUNNING"        # managers connected and executing tasks
+    IDLE = "IDLE"              # managers connected (or block booted) with no work
+    DRAINING = "DRAINING"      # selected for scale-in; no new dispatches
+    TERMINATED = "TERMINATED"  # cancelled or exited cleanly
+    FAILED = "FAILED"          # provider reported a failure
+
+    @property
+    def active(self) -> bool:
+        """Whether the block still counts toward executor capacity."""
+        return self in (BlockState.PENDING, BlockState.RUNNING, BlockState.IDLE)
+
+    @property
+    def terminal(self) -> bool:
+        return self in (BlockState.TERMINATED, BlockState.FAILED)
+
+
+#: Provider job states that retire a block outright.
+_TERMINAL_FAILURES = (JobState.FAILED, JobState.TIMEOUT, JobState.MISSING)
+
+
+@dataclass
+class BlockRecord:
+    """Everything the executor knows about one block."""
+
+    block_id: str
+    job_id: str
+    state: BlockState = BlockState.PENDING
+    created_at: float = field(default_factory=time.time)
+    state_since: float = field(default_factory=time.time)
+    #: When the block was last observed to have no outstanding work
+    #: (``None`` while busy / pending). The strategy's hysteresis input.
+    idle_since: Optional[float] = None
+    #: Managers currently connected for this block (interchange report).
+    managers: int = 0
+    #: Tasks in flight on this block's managers (interchange report).
+    outstanding_tasks: int = 0
+    #: Last job state the provider reported.
+    provider_state: Optional[JobState] = None
+    #: How long the block had been idle when scale-in selected it.
+    idle_at_drain: Optional[float] = None
+    #: Human-readable reason for the final transition.
+    reason: str = ""
+
+    def idle_for(self, now: Optional[float] = None) -> float:
+        """Seconds this block has been continuously idle (0.0 while busy)."""
+        if self.idle_since is None:
+            return 0.0
+        return max((now or time.time()) - self.idle_since, 0.0)
+
+
+class BlockRegistry:
+    """Thread-safe block table with state-transition notifications.
+
+    ``on_transition(record, old_state, new_state)`` is invoked *outside* the
+    registry lock for every state change — the executor uses it to emit
+    ``BLOCK_INFO`` monitoring events.
+    """
+
+    def __init__(
+        self,
+        label: str = "executor",
+        on_transition: Optional[Callable[[BlockRecord, BlockState, BlockState], None]] = None,
+        max_terminal_records: int = 256,
+    ):
+        self.label = label
+        self.on_transition = on_transition
+        #: Retired records kept for introspection (benchmarks, monitoring
+        #: snapshots); beyond this many, the oldest are pruned so a long
+        #: elastic run cycling thousands of blocks cannot grow the table —
+        #: and the strategy's per-round scans — without bound.
+        self.max_terminal_records = max_terminal_records
+        self._records: Dict[str, BlockRecord] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping primitives
+    # ------------------------------------------------------------------
+    def add(self, block_id: str, job_id: str) -> BlockRecord:
+        """Register a freshly requested block in the PENDING state."""
+        record = BlockRecord(block_id=block_id, job_id=job_id)
+        with self._lock:
+            self._records[block_id] = record
+        self._notify(record, None, BlockState.PENDING)
+        return record
+
+    def get(self, block_id: str) -> Optional[BlockRecord]:
+        with self._lock:
+            return self._records.get(block_id)
+
+    def __contains__(self, block_id: str) -> bool:
+        with self._lock:
+            return block_id in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self) -> List[BlockRecord]:
+        """A point-in-time copy of all records (including terminated ones)."""
+        with self._lock:
+            return list(self._records.values())
+
+    # ------------------------------------------------------------------
+    # Queries used by the strategy
+    # ------------------------------------------------------------------
+    def active_blocks(self) -> List[BlockRecord]:
+        with self._lock:
+            return [r for r in self._records.values() if r.state.active]
+
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._records.values() if r.state.active)
+
+    def draining_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._records.values() if r.state is BlockState.DRAINING)
+
+    def idle_blocks(self, min_idle: float = 0.0, now: Optional[float] = None) -> List[BlockRecord]:
+        """Blocks eligible for scale-in: idle at least ``min_idle`` seconds.
+
+        Sorted longest-idle first, so the strategy retires the block that has
+        wasted allocation time the longest.
+        """
+        now = now or time.time()
+        with self._lock:
+            eligible = [
+                r
+                for r in self._records.values()
+                if r.state is BlockState.IDLE and r.idle_for(now) >= min_idle
+            ]
+        eligible.sort(key=lambda r: r.idle_for(now), reverse=True)
+        return eligible
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe_provider(self, block_id: str, job_state: JobState) -> None:
+        """Fold one provider status poll into the block's state."""
+        with self._lock:
+            record = self._records.get(block_id)
+            if record is None or record.state.terminal:
+                return
+            record.provider_state = job_state
+            old = record.state
+            if job_state in _TERMINAL_FAILURES:
+                new = BlockState.FAILED
+            elif job_state.terminal:
+                # COMPLETED / CANCELLED: the block exited.
+                new = BlockState.TERMINATED
+            elif job_state is JobState.RUNNING and record.state is BlockState.PENDING:
+                # The job is up but no manager has reported yet: treat the
+                # boot window as idle so a block that never receives work is
+                # still reclaimable by the max_idletime hysteresis.
+                new = BlockState.IDLE
+            else:
+                return
+            self._transition_locked(record, new, reason=f"provider reported {job_state.value}")
+        self._notify(record, old, record.state)
+
+    def observe_activity(self, block_id: str, managers: int, outstanding: int) -> None:
+        """Fold one interchange activity report into the block's state."""
+        with self._lock:
+            record = self._records.get(block_id)
+            if record is None or record.state.terminal or record.state is BlockState.DRAINING:
+                return
+            record.managers = managers
+            record.outstanding_tasks = outstanding
+            old = record.state
+            if managers <= 0:
+                return
+            new = BlockState.RUNNING if outstanding > 0 else BlockState.IDLE
+            if new is old:
+                return
+            self._transition_locked(record, new)
+        self._notify(record, old, record.state)
+
+    def observe_managers_lost(self, block_id: str) -> None:
+        """All managers of a previously reporting block are gone.
+
+        The provider job may still be alive (e.g. the managers were
+        OOM-killed inside a batch job whose launcher survives). The block can
+        do no work in that state, so it counts as idle from now — making it
+        reclaimable by the ``max_idletime`` hysteresis instead of burning
+        allocation until walltime.
+        """
+        with self._lock:
+            record = self._records.get(block_id)
+            if record is None or record.state.terminal or record.state is BlockState.DRAINING:
+                return
+            record.managers = 0
+            record.outstanding_tasks = 0
+            if record.state is not BlockState.RUNNING:
+                return
+            old = record.state
+            self._transition_locked(record, BlockState.IDLE, reason="managers lost")
+        self._notify(record, old, record.state)
+
+    def mark_all_idle(self) -> None:
+        """Executor-wide fallback: no outstanding work anywhere.
+
+        Used by the strategy for executors without per-block telemetry;
+        already-idle blocks keep their original ``idle_since``.
+        """
+        self._mark_all(BlockState.IDLE)
+
+    def mark_all_busy(self) -> None:
+        """Executor-wide fallback: there is outstanding work somewhere.
+
+        Without per-block telemetry we cannot tell *which* blocks are busy,
+        so the conservative reading is that none are reclaimable — this is
+        exactly the whole-executor hysteresis the paper's ``simple`` strategy
+        uses.
+        """
+        self._mark_all(BlockState.RUNNING)
+
+    def _mark_all(self, state: BlockState) -> None:
+        changed = []
+        with self._lock:
+            for record in self._records.values():
+                if not record.state.active or record.state is state:
+                    continue
+                old = record.state
+                self._transition_locked(record, state)
+                changed.append((record, old))
+        for record, old in changed:
+            self._notify(record, old, record.state)
+
+    # ------------------------------------------------------------------
+    # Scale-in bookkeeping
+    # ------------------------------------------------------------------
+    def mark_draining(self, block_id: str, reason: str = "selected for scale-in") -> None:
+        with self._lock:
+            record = self._records.get(block_id)
+            if record is None or record.state.terminal:
+                return
+            old = record.state
+            record.idle_at_drain = record.idle_for()
+            self._transition_locked(record, BlockState.DRAINING, reason=reason)
+        self._notify(record, old, record.state)
+
+    def mark_terminated(self, block_id: str, reason: str = "", failed: bool = False) -> None:
+        with self._lock:
+            record = self._records.get(block_id)
+            if record is None or record.state.terminal:
+                return
+            old = record.state
+            new = BlockState.FAILED if failed else BlockState.TERMINATED
+            self._transition_locked(record, new, reason=reason)
+        self._notify(record, old, record.state)
+
+    # ------------------------------------------------------------------
+    def _transition_locked(self, record: BlockRecord, new: BlockState, reason: str = "") -> None:
+        """Apply one transition; caller holds the lock and handles notify."""
+        now = time.time()
+        if new is BlockState.IDLE:
+            if record.idle_since is None:
+                record.idle_since = now
+        elif new in (BlockState.RUNNING, BlockState.PENDING):
+            record.idle_since = None
+        record.state = new
+        record.state_since = now
+        if reason:
+            record.reason = reason
+        if new.terminal:
+            self._prune_terminal_locked()
+
+    def _prune_terminal_locked(self) -> None:
+        terminal = [r for r in self._records.values() if r.state.terminal]
+        excess = len(terminal) - self.max_terminal_records
+        if excess <= 0:
+            return
+        terminal.sort(key=lambda r: r.state_since)
+        for record in terminal[:excess]:
+            del self._records[record.block_id]
+
+    def _notify(self, record: BlockRecord, old: Optional[BlockState], new: BlockState) -> None:
+        if old is new or self.on_transition is None:
+            return
+        try:
+            self.on_transition(record, old, new)
+        except Exception:  # noqa: BLE001 - observers must not break scaling
+            logger.exception(
+                "block transition observer failed for %s/%s (%s -> %s)",
+                self.label, record.block_id,
+                old.value if old is not None else None, new.value,
+            )

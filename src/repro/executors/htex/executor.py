@@ -24,10 +24,11 @@ import concurrent.futures as cf
 import logging
 import sys
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SerializationError, UnsupportedFeatureError
 from repro.executors.base import ReproExecutor, SubmitRequest
+from repro.executors.blocks import BlockState
 from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
 from repro.providers.base import ExecutionProvider
@@ -77,6 +78,7 @@ class HighThroughputExecutor(ReproExecutor):
         internal_managers: int = 1,
         scheduling_policy: str = "random",
         max_task_redispatches: int = 1,
+        drain_timeout: float = 60.0,
         worker_debug: bool = False,
         launch_cmd: Optional[str] = None,
     ):
@@ -92,6 +94,7 @@ class HighThroughputExecutor(ReproExecutor):
         self.internal_managers = internal_managers
         self.scheduling_policy = scheduling_policy
         self.max_task_redispatches = max_task_redispatches
+        self.drain_timeout = drain_timeout
         self.worker_debug = worker_debug
         self.launch_cmd = launch_cmd or (
             "{python} -m repro.executors.htex.process_worker_pool "
@@ -123,6 +126,8 @@ class HighThroughputExecutor(ReproExecutor):
             poll_period=self.poll_period,
             scheduling_policy=self.scheduling_policy,
             max_task_redispatches=self.max_task_redispatches,
+            block_drained_callback=self._on_block_drained,
+            drain_timeout=self.drain_timeout,
             label=f"{self.label}-interchange",
         )
         self.interchange.start()
@@ -130,6 +135,7 @@ class HighThroughputExecutor(ReproExecutor):
         if self.provider is not None:
             if self.provider.init_blocks > 0:
                 self.scale_out(self.provider.init_blocks)
+            self.start_block_monitoring()
         else:
             self._start_internal_managers()
 
@@ -164,6 +170,7 @@ class HighThroughputExecutor(ReproExecutor):
         )
 
     def shutdown(self, block: bool = True) -> None:
+        self.stop_block_monitoring()
         for manager in self._internal_manager_objs:
             manager.shutdown()
         self._internal_manager_objs = []
@@ -263,6 +270,74 @@ class HighThroughputExecutor(ReproExecutor):
             future.set_exception(wrapper.e_value)
         else:
             future.set_result(outcome.get("result"))
+
+    # ------------------------------------------------------------------
+    # Block lifecycle (scale-in by draining)
+    # ------------------------------------------------------------------
+    def update_block_activity(self) -> bool:
+        """Feed the interchange's per-manager report into the block registry.
+
+        Gives the strategy real per-block busy/idle data: a block is IDLE only
+        when its managers are connected and hold no in-flight tasks, so
+        scale-in can target specific blocks without touching busy ones.
+        """
+        if self.interchange is None or self.provider is None:
+            return False
+        report = self.interchange.block_report()
+        for block_id in list(self.blocks):
+            activity = report.get(block_id)
+            if activity is None:
+                # No manager connected. For a booting block the provider
+                # polls cover it; but if managers HAD reported and are now
+                # gone (crashed while the provider job survives), the block
+                # can do no work — record it idle so it stays reclaimable.
+                record = self.block_registry.get(block_id)
+                if record is not None and record.managers > 0:
+                    self.block_registry.observe_managers_lost(block_id)
+                continue
+            self.block_registry.observe_activity(
+                block_id, activity["managers"], activity["outstanding"]
+            )
+        return True
+
+    def _terminate_blocks(self, block_ids, reason: str = "") -> None:
+        for block_id in block_ids:
+            self._terminate_block(block_id, reason=reason)
+
+    def _terminate_block(self, block_id: str, reason: str = "") -> None:
+        """Retire one block gracefully: drain its managers, then cancel.
+
+        The interchange immediately stops dispatching to the block's managers;
+        once their in-flight tasks settle it shuts them down and invokes
+        :meth:`_on_block_drained`, which cancels the provider job. A block with
+        no connected managers (still booting, or already dead) is cancelled
+        outright — there is nothing to drain.
+        """
+        record = self.block_registry.get(block_id)
+        if record is not None and record.state is BlockState.DRAINING:
+            return  # drain already in progress; terminating again would kill its in-flight tasks
+        if self.interchange is None:
+            self._cancel_block_job(block_id, reason=reason or "scale-in")
+            return
+        self.block_registry.mark_draining(block_id, reason=reason or "scale-in")
+        managers_draining = self.interchange.command("drain_block", block_id=block_id)
+        if managers_draining == 0:
+            self._cancel_block_job(block_id, reason=reason or "scale-in (no managers)")
+
+    def _on_block_drained(self, block_id: str) -> None:
+        """Interchange callback: the block's managers settled and shut down."""
+        self._cancel_block_job(block_id, reason="drained")
+
+    def _cancel_block_job(self, block_id: str, reason: str) -> None:
+        job_id = self.blocks.pop(block_id, None)
+        if job_id is not None:
+            self.block_mapping.pop(job_id, None)
+            if self.provider is not None:
+                try:
+                    self.provider.cancel([job_id])
+                except Exception:  # noqa: BLE001 - the job may already have exited
+                    logger.exception("failed to cancel job %s for block %s", job_id, block_id)
+        self.block_registry.mark_terminated(block_id, reason=reason)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -55,6 +55,9 @@ class ManagerRecord:
     last_heartbeat: float = field(default_factory=time.time)
     active: bool = True
     blacklisted: bool = False
+    #: Draining managers receive no new dispatches; once their in-flight
+    #: tasks settle the interchange shuts them down (block scale-in).
+    draining: bool = False
 
     @property
     def max_queue_depth(self) -> int:
@@ -76,6 +79,8 @@ class Interchange:
         selection_seed: Optional[int] = None,
         scheduling_policy: str = "random",
         max_task_redispatches: int = 1,
+        block_drained_callback: Optional[Callable[[str], None]] = None,
+        drain_timeout: float = 60.0,
         label: str = "interchange",
     ):
         self.result_callback = result_callback
@@ -85,6 +90,10 @@ class Interchange:
         self.poll_period = poll_period
         self.max_task_redispatches = max_task_redispatches
         self.scheduling_policy = scheduling_policy
+        self.block_drained_callback = block_drained_callback
+        self.drain_timeout = drain_timeout
+        #: block_id -> time the drain was requested.
+        self._draining_blocks: Dict[str, float] = {}
         self.label = label
         self.server = MessageServer(host=host, port=port, name=f"{label}-server")
         self.pending_tasks: "queue.Queue[Dict[str, Any]]" = queue.Queue()
@@ -144,7 +153,8 @@ class Interchange:
         """Synchronous command channel (§4.3.1).
 
         Supported commands: ``outstanding``, ``connected_managers``,
-        ``worker_count``, ``blacklist`` (kwargs: identity), ``shutdown``.
+        ``worker_count``, ``blacklist`` (kwargs: identity), ``drain_block``
+        (kwargs: block_id), ``block_report``, ``shutdown``.
         """
         if cmd == "outstanding":
             with self._managers_lock:
@@ -161,6 +171,7 @@ class Interchange:
                         "free_capacity": m.free_capacity,
                         "outstanding": len(m.outstanding),
                         "blacklisted": m.blacklisted,
+                        "draining": m.draining,
                     }
                     for m in self._managers.values()
                     if m.active
@@ -176,10 +187,52 @@ class Interchange:
                     return False
                 record.blacklisted = True
             return True
+        if cmd == "drain_block":
+            return self._drain_block(kwargs["block_id"])
+        if cmd == "block_report":
+            return self.block_report()
         if cmd == "shutdown":
             self.stop()
             return True
         raise ValueError(f"unknown interchange command {cmd!r}")
+
+    def block_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-block aggregate of manager activity, for the block registry."""
+        report: Dict[str, Dict[str, Any]] = {}
+        with self._managers_lock:
+            for m in self._managers.values():
+                if not m.active or m.block_id is None:
+                    continue
+                entry = report.setdefault(
+                    m.block_id,
+                    {"managers": 0, "outstanding": 0, "free_capacity": 0, "draining": False},
+                )
+                entry["managers"] += 1
+                entry["outstanding"] += len(m.outstanding)
+                entry["free_capacity"] += m.free_capacity
+                entry["draining"] = entry["draining"] or m.draining
+        return report
+
+    def _drain_block(self, block_id: str) -> int:
+        """Stop dispatching to ``block_id``'s managers; shut them down once idle.
+
+        Returns the number of managers marked draining. ``0`` means no manager
+        of that block is connected — the caller should cancel the provider job
+        directly instead of waiting for a drain that can never complete.
+        """
+        drained: List[str] = []
+        with self._managers_lock:
+            for m in self._managers.values():
+                if m.active and m.block_id == block_id and not m.draining:
+                    m.draining = True
+                    drained.append(m.identity)
+            if drained:
+                self._draining_blocks.setdefault(block_id, time.time())
+        for identity in drained:
+            # Belt and braces: tell the manager too, so it stops advertising
+            # capacity even if a 'ready' message was already in flight.
+            self.server.send(identity, msg.drain_message())
+        return len(drained)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -189,6 +242,7 @@ class Interchange:
             try:
                 self._process_incoming()
                 self._dispatch_tasks()
+                self._drain_sweep()
                 self._heartbeat_sweep()
             except Exception:  # noqa: BLE001 - the broker must not die
                 logger.exception("interchange loop error")
@@ -215,8 +269,19 @@ class Interchange:
             )
             record.free_capacity = record.max_queue_depth
             with self._managers_lock:
+                # A manager booting into a block that is already being
+                # drained (scale-in raced its registration) must never
+                # become dispatch-eligible — mark it draining on arrival so
+                # the drain can settle instead of stalling to drain_timeout.
+                if record.block_id in self._draining_blocks:
+                    record.draining = True
                 self._managers[identity] = record
-            logger.info("manager %s registered (%s workers)", identity, record.worker_count)
+            if record.draining:
+                self.server.send(identity, msg.drain_message())
+            logger.info(
+                "manager %s registered (%s workers)%s",
+                identity, record.worker_count, " [draining block]" if record.draining else "",
+            )
         elif mtype == "heartbeat":
             self._touch(identity)
             self.server.send(identity, msg.heartbeat_reply_message())
@@ -238,6 +303,8 @@ class Interchange:
             for item in items:
                 self.results_received += 1
                 self.result_callback(item)
+        elif mtype == "drain_ack":
+            self._touch(identity)
         elif mtype == "peer_lost":
             self._manager_lost(identity, reason="connection lost")
         # Unknown message types are ignored (forward compatibility).
@@ -254,7 +321,7 @@ class Interchange:
             return [
                 m
                 for m in self._managers.values()
-                if m.active and not m.blacklisted and m.free_capacity > 0
+                if m.active and not m.blacklisted and not m.draining and m.free_capacity > 0
             ]
 
     def _select_manager(self, eligible: List[ManagerRecord]) -> ManagerRecord:
@@ -299,6 +366,60 @@ class Interchange:
             self.tasks_dispatched += len(batch)
 
     # ------------------------------------------------------------------
+    def _drain_sweep(self) -> None:
+        """Settle draining blocks: shut managers down once their tasks finish.
+
+        A draining manager receives no new dispatches (see
+        :meth:`_eligible_managers`); when every in-flight task it holds has
+        returned, it is sent a shutdown message and disconnected, and once the
+        last manager of a block settles the ``block_drained_callback`` fires so
+        the executor can cancel the provider job. A block that fails to settle
+        within ``drain_timeout`` is treated like a lost manager: its in-flight
+        tasks are requeued individually and the drain completes anyway.
+        """
+        if not self._draining_blocks:
+            return
+        now = time.time()
+        to_shutdown: List[str] = []   # settled managers: shutdown + disconnect
+        to_lose: List[str] = []       # stuck managers past drain_timeout
+        drained: List[str] = []       # blocks whose drain completed this sweep
+        with self._managers_lock:
+            for block_id, since in list(self._draining_blocks.items()):
+                managers = [
+                    m for m in self._managers.values() if m.active and m.block_id == block_id
+                ]
+                if not managers:
+                    # Every manager already gone (lost or settled earlier).
+                    del self._draining_blocks[block_id]
+                    drained.append(block_id)
+                    continue
+                settled = [m for m in managers if not m.outstanding]
+                timed_out = now - since > self.drain_timeout
+                if len(settled) < len(managers) and not timed_out:
+                    continue  # tasks still in flight; check again next loop
+                for m in settled:
+                    m.active = False
+                    del self._managers[m.identity]
+                    to_shutdown.append(m.identity)
+                to_lose.extend(m.identity for m in managers if m.outstanding)
+                del self._draining_blocks[block_id]
+                drained.append(block_id)
+        # Socket work and callbacks happen outside the lock.
+        for identity in to_shutdown:
+            self.server.send(identity, msg.shutdown_message())
+            self.server.disconnect(identity)
+        for identity in to_lose:
+            # Past the drain timeout: settle in-flight tasks individually,
+            # exactly like a lost manager (requeue within redispatch budget).
+            self._manager_lost(identity, reason="drain timeout")
+        for block_id in drained:
+            logger.info("block %s drained", block_id)
+            if self.block_drained_callback is not None:
+                try:
+                    self.block_drained_callback(block_id)
+                except Exception:  # noqa: BLE001 - executor-side bookkeeping error
+                    logger.exception("block_drained_callback failed for %s", block_id)
+
     def _heartbeat_sweep(self) -> None:
         now = time.time()
         if now - self._last_heartbeat_sweep < self.heartbeat_period:
@@ -331,7 +452,13 @@ class Interchange:
             record.outstanding.clear()
             hostname = record.hostname
             del self._managers[identity]
-            survivors = any(m.active and not m.blacklisted for m in self._managers.values())
+            # Draining managers are not survivors: they accept no new
+            # dispatches, so requeueing onto them would strand the tasks in
+            # the pending queue forever — better to fail with ManagerLost.
+            survivors = any(
+                m.active and not m.blacklisted and not m.draining
+                for m in self._managers.values()
+            )
         requeued = 0
         for item in outstanding:
             if survivors and item.get("redispatches", 0) < self.max_task_redispatches:

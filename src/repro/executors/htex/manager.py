@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
-import os
 import queue as queue_module
 import socket
 import threading
@@ -81,6 +80,7 @@ class Manager:
             self._result_queue = queue_module.Queue()
             self._ctx = None
         self._stop_event = threading.Event()
+        self._draining = threading.Event()
         self._threads: List[threading.Thread] = []
         self._last_interchange_contact = time.time()
         self._in_flight = 0
@@ -94,6 +94,11 @@ class Manager:
         return self.worker_count + self.prefetch_capacity
 
     def _free_capacity(self) -> int:
+        if self._draining.is_set():
+            # A draining manager never advertises capacity: the interchange
+            # already excludes it from dispatch, and this closes the race
+            # where a 'ready' message was in flight when the drain started.
+            return 0
         with self._capacity_lock:
             return max(self.max_queue_depth - self._in_flight, 0)
 
@@ -163,6 +168,11 @@ class Manager:
                 self._last_interchange_contact = time.time()
             elif mtype == "heartbeat_reply":
                 self._last_interchange_contact = time.time()
+            elif mtype == "drain":
+                logger.info("manager %s draining (block scale-in)", self.manager_id)
+                self._draining.set()
+                self._last_interchange_contact = time.time()
+                self._client.send(msg.drain_ack_message())
             elif mtype == "shutdown":
                 logger.info("manager %s received shutdown", self.manager_id)
                 self._stop_event.set()

@@ -60,6 +60,11 @@ def tasks_message(items: List[Dict[str, Any]]) -> Dict[str, Any]:
     return {"type": "tasks", "items": items}
 
 
+def drain_message() -> Dict[str, Any]:
+    """Scale-in: stop advertising capacity; finish in-flight work, then exit."""
+    return {"type": "drain"}
+
+
 def shutdown_message() -> Dict[str, Any]:
     return {"type": "shutdown"}
 

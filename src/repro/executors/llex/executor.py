@@ -68,6 +68,7 @@ class LowLatencyExecutor(ReproExecutor):
         if self.provider is not None:
             if self.provider.init_blocks > 0:
                 self.scale_out(self.provider.init_blocks)
+            self.start_block_monitoring()
         else:
             for _ in range(self.internal_workers):
                 worker = LLEXWorker(self.relay.host, self.relay.port)
@@ -96,10 +97,12 @@ class LowLatencyExecutor(ReproExecutor):
             job_id = self.provider.submit(cmd, tasks_per_node=self.workers_per_node, job_name=f"{self.label}.{block_id}")
             self.blocks[block_id] = job_id
             self.block_mapping[job_id] = block_id
+            self.block_registry.add(block_id, job_id)
             new_blocks.append(block_id)
         return new_blocks
 
     def shutdown(self, block: bool = True) -> None:
+        self.stop_block_monitoring()
         if self._retry_timer is not None:
             self._retry_timer.close()
         for worker in self._internal_workers_objs:

@@ -14,7 +14,7 @@ import collections
 import logging
 import queue
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.comms.server import MessageServer
 

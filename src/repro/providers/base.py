@@ -107,7 +107,15 @@ class ExecutionProvider(ABC):
     # ------------------------------------------------------------------
     @property
     def status_polling_interval(self) -> float:
-        """How often (seconds) the strategy should poll for block status."""
+        """How often (seconds) block status should be polled.
+
+        Executors run this poll on a background thread
+        (:meth:`~repro.executors.base.ReproExecutor.start_block_monitoring`)
+        and fold the results into their block registry, so the elasticity
+        engine sees crashed or expired blocks without a synchronous provider
+        round-trip on its decision path. Batch schedulers should report a
+        value that respects scheduler rate limits.
+        """
         return 1.0
 
     @property

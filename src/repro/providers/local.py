@@ -95,8 +95,13 @@ class LocalProvider(ExecutionProvider):
         results = []
         for job_id in job_ids:
             proc = self._processes.get(job_id)
-            if proc is None or proc.poll() is not None:
+            if proc is None:
                 results.append(False)
+                continue
+            if proc.poll() is not None:
+                # Already exited — normal for a drained block whose manager
+                # shut down cleanly before the provider was asked to cancel.
+                results.append(True)
                 continue
             try:
                 # The block was started in its own session so the whole

@@ -9,7 +9,7 @@ and the qualitatively tighter spread of LLEX that the paper calls out.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, Union
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the @python_app, @bash_app, and @join_app decorators."""
 
-import os
 import time
 
 import pytest

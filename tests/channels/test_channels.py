@@ -1,6 +1,5 @@
 """Tests for the local and (simulated) SSH channels."""
 
-import os
 
 import pytest
 

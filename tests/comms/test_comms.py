@@ -1,7 +1,6 @@
 """Tests for the TCP and in-process message fabrics."""
 
 import threading
-import time
 
 import pytest
 from hypothesis import given, settings, strategies as st

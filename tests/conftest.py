@@ -10,8 +10,6 @@ DFK must clear the loader afterwards (enforced by ``_loader_guard``).
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 import repro

@@ -1,0 +1,60 @@
+"""Regression tests for DataFlowKernel.cleanup() ordering.
+
+The elasticity engine runs on a timer thread; cleanup() must stop (and join)
+that thread *before* executors shut down, otherwise a strategize round racing
+teardown can scale out fresh blocks that nobody will ever cancel.
+"""
+
+from repro import Config
+from repro.core.dflow import DataFlowKernel
+from repro.executors import ThreadPoolExecutor
+
+
+def test_cleanup_stops_strategy_timer_before_executor_shutdown(run_dir):
+    events = []
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+        run_dir=run_dir,
+        strategy="simple",
+        strategy_period=0.05,
+    )
+    dfk = DataFlowKernel(cfg)
+    executor = dfk.executors["threads"]
+
+    orig_close = dfk._strategy_timer.close
+    orig_shutdown = executor.shutdown
+
+    def tracked_close():
+        events.append("strategy-close")
+        orig_close()
+
+    def tracked_shutdown(block=True):
+        events.append("executor-shutdown")
+        orig_shutdown(block)
+
+    dfk._strategy_timer.close = tracked_close
+    executor.shutdown = tracked_shutdown
+
+    dfk.cleanup()
+
+    assert "strategy-close" in events and "executor-shutdown" in events
+    assert events.index("strategy-close") < events.index("executor-shutdown")
+    # close() joins the timer thread, so by the time executors shut down no
+    # strategize round can still be in flight.
+    assert not dfk._strategy_timer._thread.is_alive()
+
+
+def test_no_scaling_actions_after_cleanup(run_dir):
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+        run_dir=run_dir,
+        strategy="simple",
+        strategy_period=0.05,
+    )
+    dfk = DataFlowKernel(cfg)
+    dfk.cleanup()
+    before = list(dfk.strategy.history)
+    import time
+
+    time.sleep(0.2)  # several strategy periods
+    assert dfk.strategy.history == before

@@ -1,6 +1,5 @@
 """Tests for memoization hashing and checkpointing."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.checkpoint import (

@@ -1,7 +1,6 @@
 """Tests for the elasticity strategy and the Figure 7 executor-selection guidelines."""
 
 import time
-from typing import Dict
 
 import pytest
 
@@ -39,12 +38,25 @@ class FakeProvider(ExecutionProvider):
 
 
 class FakeExecutor(ReproExecutor):
-    """Executor whose outstanding count is set directly by the test."""
+    """Executor whose outstanding count is set directly by the test.
+
+    Setting ``block_activity`` (a ``{block_id: outstanding}`` dict) simulates
+    per-manager activity reports, the telemetry HTEX pulls from its
+    interchange; ``None`` leaves the executor on the whole-executor fallback.
+    """
 
     def __init__(self, label="fake_ex", provider=None, workers_per_block=4):
         super().__init__(label=label, provider=provider)
         self._outstanding = 0
         self._workers_per_block = workers_per_block
+        self.block_activity = None
+
+    def update_block_activity(self):
+        if self.block_activity is None:
+            return False
+        for block_id, outstanding in self.block_activity.items():
+            self.block_registry.observe_activity(block_id, managers=1, outstanding=outstanding)
+        return True
 
     def start(self):
         pass
@@ -116,8 +128,20 @@ class TestStrategy:
     def test_htex_auto_scale_partial_scale_in(self):
         ex = make_executor(min_blocks=0, max_blocks=4, init_blocks=4, workers_per_block=4)
         ex._outstanding = 4  # needs only one block
-        Strategy("htex_auto_scale").strategize([ex])
+        ids = list(ex.blocks)
+        # Managers report one busy block; the other three are idle.
+        ex.block_activity = {ids[0]: 4, ids[1]: 0, ids[2]: 0, ids[3]: 0}
+        strategy = Strategy("htex_auto_scale", max_idletime=0.05)
+        strategy.strategize([ex])
+        # Hysteresis: the idle blocks have not been idle long enough yet.
+        assert len(ex.blocks) == 4
+        time.sleep(0.1)
+        strategy.strategize([ex])
         assert len(ex.blocks) == 1
+        # The busy block survived; scale-in recorded per-block idle times.
+        assert ids[0] in ex.blocks
+        scale_ins = [h for h in strategy.history if h["action"] == "scale_in"]
+        assert scale_ins and all(v >= 0.05 for v in scale_ins[0]["idle_s"].values())
 
     def test_no_provider_executors_skipped(self):
         ex = FakeExecutor(provider=None)

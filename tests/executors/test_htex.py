@@ -101,7 +101,12 @@ class TestHTEXProviderMode:
             assert wait_for(lambda: ex.connected_workers >= 2, timeout=20)
             removed = ex.scale_in(1)
             assert len(removed) == 1
-            assert len(ex.blocks) == 1
+            # Scale-in drains: the block leaves `blocks` only after its
+            # manager settles and is shut down, then the job is cancelled.
+            assert wait_for(lambda: len(ex.blocks) == 1, timeout=20)
+            assert wait_for(lambda: ex.connected_workers <= 1, timeout=20)
+            record = ex.block_registry.get(removed[0])
+            assert record is not None and record.state.terminal
         finally:
             ex.shutdown()
 

@@ -6,8 +6,8 @@ import time
 import pytest
 
 import repro
-from repro import Config, File, python_app, bash_app
-from repro.data.object_store import ObjectStore, get_default_store
+from repro import Config, File, python_app
+from repro.data.object_store import get_default_store
 from repro.errors import DependencyError
 from repro.executors import HighThroughputExecutor, ThreadPoolExecutor
 from repro.monitoring import MessageType, MonitoringHub, workflow_summary

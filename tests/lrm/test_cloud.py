@@ -66,7 +66,7 @@ class TestInstances:
         )
         try:
             marker = tmp_path / "cloud_ran.txt"
-            iid = sim.request_instance("t2.micro", command=f"echo up > {marker}")
+            sim.request_instance("t2.micro", command=f"echo up > {marker}")
             deadline = time.time() + 5
             while time.time() < deadline and not marker.exists():
                 time.sleep(0.05)

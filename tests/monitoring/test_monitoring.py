@@ -80,7 +80,6 @@ class TestReports:
     def _populated_hub(self):
         hub = MonitoringHub()
         hub.start()
-        base = time.time()
         for task_id in range(3):
             for offset, state in enumerate(["pending", "launched", "running", "exec_done"]):
                 hub.send(

@@ -11,7 +11,6 @@ from repro.providers import (
     AWSProvider,
     CobaltProvider,
     CondorProvider,
-    ExecutionProvider,
     GoogleCloudProvider,
     GridEngineProvider,
     JobState,

@@ -5,7 +5,6 @@ scaling behaviour and breakdown points (Fig. 4), the capacity table
 (Table 2), and the elasticity utilization/makespan trade-off (Fig. 6).
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

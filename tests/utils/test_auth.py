@@ -1,6 +1,5 @@
 """Tests for the simulated Globus-Auth-style token flow."""
 
-import time
 
 from repro.auth import NativeAppAuthClient, TokenStore
 
