@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke lint ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead lint ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -20,7 +20,13 @@ bench:
 # The CI smoke subset: shrunken workloads, raw numbers to BENCH_smoke.json.
 bench-smoke:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks \
-		-k "fig3 or fig6 or ablation" --benchmark-json=BENCH_smoke.json
+		-k "fig3 or fig6 or ablation or overhead" --benchmark-json=BENCH_smoke.json
+
+# DFK per-task overhead gate: fails if sustained submit throughput drops
+# below the recorded floor in BENCH_overhead_floor.json (repo root).
+bench-overhead:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_dfk_overhead.py \
+		--benchmark-json=BENCH_overhead.json
 
 # Ruff config lives in pyproject.toml; skip gracefully where ruff is absent.
 lint:

@@ -82,11 +82,41 @@ def test_fig3_single_task_latency(benchmark, framework, quiet_logging):
         executor.shutdown()
 
 
+def test_fig3_dfk_round_trip(benchmark, tmp_path, quiet_logging):
+    """The full submit→AppFuture round trip through the DataFlowKernel (task
+    registration, dependency wiring, dispatch, completion callbacks) over the
+    thread pool, so kernel overhead is tracked next to bare executor latency."""
+    from repro.config.config import Config
+    from repro.core.dflow import DataFlowKernel
+
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=1)],
+        run_dir=str(tmp_path),
+        strategy="none",
+    )
+    dfk = DataFlowKernel(cfg)
+
+    def dfk_submit(func, _resource_spec):
+        # Memoization off per task: identical no-op calls must traverse the
+        # whole kernel+executor path, not short-circuit via the memo table.
+        return dfk.submit(func, app_args=(), cache=False)
+
+    try:
+        dfk_submit(noop, {}).result(timeout=60)  # warm-up
+        stats = measure_sequential_latency(dfk_submit, N_TASKS)
+        _RESULTS["dfk"] = stats
+        benchmark.pedantic(
+            lambda: dfk_submit(noop, {}).result(timeout=60), rounds=10, iterations=1
+        )
+    finally:
+        dfk.cleanup()
+
+
 def test_fig3_summary_and_ordering(benchmark, quiet_logging):
     """Print measured-vs-paper table and assert the paper's latency ordering."""
     modelled = benchmark(latency_summary, ["threads", "llex", "htex", "exex", "ipp", "dask"])
     rows = []
-    for name in ["threads", "llex", "htex", "exex", "ipp", "dask", "fireworks"]:
+    for name in ["threads", "dfk", "llex", "htex", "exex", "ipp", "dask", "fireworks"]:
         measured = _RESULTS.get(name, {})
         rows.append(
             [

@@ -15,6 +15,10 @@ A Config bundles:
   dispatcher thread's idle poll in seconds, default 0.05 — arrival of work
   wakes it immediately, so this only bounds shutdown responsiveness),
 * memoization and checkpointing settings,
+* ``retain_task_records`` — by default the DFK *retires* a task record when
+  the task reaches a final state, dropping its callable/arguments/futures so
+  long runs hold O(1) memory per completed task; set True to keep the full
+  records for post-run debugging,
 * the elasticity strategy and its cadence: ``strategy`` selects the engine
   (``none`` / ``simple`` / ``htex_auto_scale``), ``strategy_period`` its
   decision interval, and ``max_idletime`` the scale-in hysteresis — a block
@@ -46,6 +50,7 @@ class Config:
         checkpoint_period: float = 30.0,
         retries: int = 0,
         retry_backoff_s: float = 0.0,
+        retain_task_records: bool = False,
         dispatch_batch_size: int = 64,
         dispatch_drain_interval: float = 0.05,
         strategy: str = "simple",
@@ -86,6 +91,7 @@ class Config:
         self.checkpoint_period = checkpoint_period
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.retain_task_records = bool(retain_task_records)
         self.dispatch_batch_size = dispatch_batch_size
         self.dispatch_drain_interval = dispatch_drain_interval
         self.strategy = strategy

@@ -10,8 +10,18 @@ the same arguments. Checkpoint *modes* control when checkpoints are written:
 * ``dfk_exit``    — when the DataFlowKernel is cleaned up,
 * ``manual``      — only when the user calls ``dfk.checkpoint()``.
 
-Checkpoints are plain pickle files under ``<run_dir>/checkpoint/`` and can be
-loaded into a later run via ``Config.checkpoint_files``.
+A checkpoint is two files under ``<run_dir>/checkpoint/``:
+
+* ``tasks.pkl`` — a full snapshot of the memo table, written atomically
+  (temp file + fsync + rename) so a reader never sees a torn snapshot;
+* ``tasks.delta.pkl`` — an append-only log of pickled *segments*, each the
+  entries added since the previous write. ``task_exit`` and ``periodic``
+  modes append here, so checkpointing the Nth task costs O(delta) bytes,
+  not O(N). Writing a full snapshot supersedes (and removes) the log.
+
+Loading replays the snapshot then the delta segments; a truncated trailing
+segment (a crash mid-append) is ignored, keeping everything before it.
+Checkpoints can be loaded into a later run via ``Config.checkpoint_files``.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ logger = logging.getLogger(__name__)
 CHECKPOINT_MODES = (None, "task_exit", "periodic", "dfk_exit", "manual")
 
 _CHECKPOINT_FILENAME = "tasks.pkl"
+_DELTA_FILENAME = "tasks.delta.pkl"
 
 
 def checkpoint_dir_for_run(run_dir: str) -> str:
@@ -35,7 +46,13 @@ def checkpoint_dir_for_run(run_dir: str) -> str:
 
 
 def write_checkpoint(run_dir: str, table: Dict[str, Any]) -> str:
-    """Write the memo table to ``<run_dir>/checkpoint/tasks.pkl``; returns the path."""
+    """Atomically write a full memo-table snapshot; returns the path.
+
+    The payload lands in a temp file which is fsync'd and renamed over
+    ``tasks.pkl``, so a concurrent or post-crash reader sees either the old
+    or the new snapshot, never a partial one. Any delta log is removed —
+    the snapshot covers everything the log recorded.
+    """
     cp_dir = checkpoint_dir_for_run(run_dir)
     os.makedirs(cp_dir, exist_ok=True)
     path = os.path.join(cp_dir, _CHECKPOINT_FILENAME)
@@ -43,8 +60,35 @@ def write_checkpoint(run_dir: str, table: Dict[str, Any]) -> str:
     payload = {"written_at": time.time(), "entries": table}
     with open(tmp_path, "wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp_path, path)
+    delta_path = os.path.join(cp_dir, _DELTA_FILENAME)
+    try:
+        os.remove(delta_path)
+    except FileNotFoundError:
+        pass
     logger.info("wrote checkpoint with %d entries to %s", len(table), path)
+    return path
+
+
+def append_checkpoint(run_dir: str, entries: Dict[str, Any]) -> Optional[str]:
+    """Append one delta segment (entries since the last write) to the log.
+
+    This is the O(delta) path used by ``task_exit`` and ``periodic``
+    checkpoint modes. Empty deltas are a no-op. Appends are flushed but not
+    fsync'd — a crash can lose the tail segment, which the loader tolerates.
+    """
+    if not entries:
+        return None
+    cp_dir = checkpoint_dir_for_run(run_dir)
+    os.makedirs(cp_dir, exist_ok=True)
+    path = os.path.join(cp_dir, _DELTA_FILENAME)
+    segment = {"written_at": time.time(), "entries": entries}
+    with open(path, "ab") as fh:
+        pickle.dump(segment, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+    logger.debug("appended checkpoint delta with %d entries to %s", len(entries), path)
     return path
 
 
@@ -58,26 +102,66 @@ def _resolve_checkpoint_path(entry: str) -> Optional[str]:
     candidate = os.path.join(entry, "checkpoint", _CHECKPOINT_FILENAME)
     if os.path.isfile(candidate):
         return candidate
+    # A run that only ever appended deltas has no snapshot file.
+    for candidate in (os.path.join(entry, _DELTA_FILENAME),
+                      os.path.join(entry, "checkpoint", _DELTA_FILENAME)):
+        if os.path.isfile(candidate):
+            return candidate
     return None
 
 
+def _load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    return payload.get("entries", {}) if isinstance(payload, dict) else {}
+
+
+def _load_delta(path: str) -> Dict[str, Any]:
+    """Replay an append-only delta log; a truncated tail segment is dropped."""
+    merged: Dict[str, Any] = {}
+    with open(path, "rb") as fh:
+        while True:
+            try:
+                segment = pickle.load(fh)
+            except EOFError:
+                break
+            except (pickle.UnpicklingError, AttributeError, ValueError) as exc:
+                logger.warning(
+                    "truncated/corrupt delta segment in %s (%s); keeping %d entries loaded so far",
+                    path, exc, len(merged),
+                )
+                break
+            if isinstance(segment, dict):
+                merged.update(segment.get("entries", {}))
+    return merged
+
+
 def load_checkpoints(sources: Optional[Iterable[str]]) -> Dict[str, Any]:
-    """Merge the memo tables from the given checkpoint files/dirs."""
+    """Merge the memo tables from the given checkpoint files/dirs.
+
+    For each source the full snapshot (if any) is loaded first, then the
+    delta log replayed over it, so the result reflects every completed write.
+    """
     merged: Dict[str, Any] = {}
     for entry in sources or []:
         path = _resolve_checkpoint_path(entry)
         if path is None:
             logger.warning("no checkpoint found at %s; skipping", entry)
             continue
+        loaded: Dict[str, Any] = {}
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
+            if os.path.basename(path) == _DELTA_FILENAME:
+                loaded.update(_load_delta(path))
+            else:
+                loaded.update(_load_snapshot(path))
+                delta_path = os.path.join(os.path.dirname(path), _DELTA_FILENAME)
+                if os.path.isfile(delta_path):
+                    loaded.update(_load_delta(delta_path))
         except (OSError, pickle.UnpicklingError) as exc:
             logger.warning("failed to load checkpoint %s: %s", path, exc)
             continue
-        entries = payload.get("entries", {}) if isinstance(payload, dict) else {}
-        merged.update(entries)
-        logger.info("loaded %d checkpoint entries from %s", len(entries), path)
+        merged.update(loaded)
+        logger.info("loaded %d checkpoint entries from %s", len(loaded), path)
     return merged
 
 

@@ -23,6 +23,12 @@ The DFK constructs and orchestrates the dynamic task dependency graph:
   to the monitoring hub;
 * an elasticity strategy runs on a timer, growing and shrinking executor
   blocks to match the outstanding load.
+
+Per-task overhead is O(1) in time and resident memory: completion tracking
+is counter-based (no table scans — see ``_set_task_status``), finished task
+records are *retired* to compact shells (``Config.retain_task_records``
+keeps them whole), and ``task_exit``/``periodic`` checkpoints append only
+the delta since the last write.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from concurrent.futures import CancelledError, Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.config import Config
-from repro.core.checkpoint import load_checkpoints, write_checkpoint
+from repro.core.checkpoint import append_checkpoint, load_checkpoints, write_checkpoint
 from repro.core.futures import AppFuture, DataFuture
 from repro.core.memoization import Memoizer, _MemoHit
 from repro.core.states import FINAL_STATES, States
@@ -94,13 +100,21 @@ class DataFlowKernel:
 
         # Memoization / checkpointing -------------------------------------
         seed_table = load_checkpoints(self.config.checkpoint_files)
-        self.memoizer = Memoizer(enabled=self.config.app_cache, seed_table=seed_table)
+        self.memoizer = Memoizer(
+            enabled=self.config.app_cache,
+            seed_table=seed_table,
+            # Dirty-delta tracking only pays off for modes that write while
+            # the run is live; with checkpointing off it would just be a
+            # second, never-drained copy of the table.
+            track_dirty=self.config.checkpoint_mode in ("task_exit", "periodic", "manual"),
+        )
         self._checkpoint_lock = threading.Lock()
-        self._checkpointable_tasks: List[TaskRecord] = []
         self._checkpoint_timer: Optional[RepeatedTimer] = None
         if self.config.checkpoint_mode == "periodic":
             self._checkpoint_timer = RepeatedTimer(
-                self.config.checkpoint_period, self.checkpoint, name="checkpoint-timer"
+                self.config.checkpoint_period,
+                lambda: self.checkpoint(incremental=True),
+                name="checkpoint-timer",
             )
             self._checkpoint_timer.start()
 
@@ -120,6 +134,15 @@ class DataFlowKernel:
         self._tasks_lock = threading.Lock()
         self._cleanup_called = False
         self._rng = random.Random()
+
+        # Event-driven completion tracking ---------------------------------
+        # Per-state counters and the outstanding (non-final) count are kept
+        # exact at transition time under this condition, so task_summary(),
+        # outstanding_tasks(), and wait_for_current_tasks() are O(1) reads
+        # (the latter waking on notification) instead of O(n) table scans.
+        self._completion_cv = threading.Condition()
+        self._state_counts: Dict[States, int] = {state: 0 for state in States}
+        self._outstanding_count = 0
 
         # Batched dispatch -------------------------------------------------
         # Ready tasks are queued here and drained by the dispatcher thread,
@@ -178,6 +201,9 @@ class DataFlowKernel:
         task.app_fu = app_fu
         with self._tasks_lock:
             self.tasks[task_id] = task
+        with self._completion_cv:
+            self._state_counts[States.pending] += 1
+            self._outstanding_count += 1
 
         # Declared outputs become DataFutures on the AppFuture.
         outputs = app_kwargs.get("outputs", [])
@@ -267,6 +293,30 @@ class DataFlowKernel:
             if not dep.done():
                 dep.add_done_callback(lambda _fut, t=task: self.launch_if_ready(t))
 
+    # ------------------------------------------------------------------
+    def _set_task_status(self, task: TaskRecord, new_state: States) -> None:
+        """The single place task states change: keeps the per-state counters
+        and the outstanding count exact, and wakes ``wait_for_current_tasks``
+        waiters when the last outstanding task reaches a final state."""
+        with self._completion_cv:
+            old_state = task.status
+            if old_state == new_state:
+                return
+            task.status = new_state
+            self._state_counts[old_state] -= 1
+            self._state_counts[new_state] += 1
+            if old_state not in FINAL_STATES and new_state in FINAL_STATES:
+                self._outstanding_count -= 1
+                if self._outstanding_count == 0:
+                    self._completion_cv.notify_all()
+            elif old_state in FINAL_STATES and new_state not in FINAL_STATES:
+                self._outstanding_count += 1
+
+    def _retire_task(self, task: TaskRecord) -> None:
+        """Release a finished task's heavy references (unless retention is on)."""
+        if not self.config.retain_task_records:
+            task.retire()
+
     # ==================================================================
     # Launching
     # ==================================================================
@@ -312,6 +362,7 @@ class DataFlowKernel:
         if isinstance(memo, _MemoHit):
             task.from_memo = True
             self._complete_task(task, memo.result, States.memo_done)
+            self._retire_task(task)
             return
 
         if task.join:
@@ -330,7 +381,7 @@ class DataFlowKernel:
                 task, CancelledError(f"task {task.id} not dispatched: DataFlowKernel is shut down"), States.failed
             )
             return
-        task.status = States.launched
+        self._set_task_status(task, States.launched)
         self._send_task_state(task, States.launched)
         self._dispatch_queue.put((task, args, kwargs))
 
@@ -363,6 +414,12 @@ class DataFlowKernel:
                 self._dispatch_entries(entries)
             except Exception:  # noqa: BLE001 - the dispatcher must not die
                 logger.exception("dispatcher failed on a batch of %d tasks", len(entries))
+            finally:
+                # Drop the batch before blocking again: these loop locals
+                # would otherwise pin the last batch's callables and
+                # arguments for as long as the dispatcher sits idle,
+                # defeating task-record retirement.
+                del entry, entries
 
     def _dispatch_entries(self, entries: List[Tuple[TaskRecord, tuple, dict]]) -> None:
         """Group a drained batch by executor and submit each group in one call."""
@@ -394,7 +451,7 @@ class DataFlowKernel:
     # ------------------------------------------------------------------
     def _launch_join_task(self, task: TaskRecord, args, kwargs) -> None:
         """Run a join app's body locally; its result must be a future (or list of futures)."""
-        task.status = States.joining
+        self._set_task_status(task, States.joining)
         self._send_task_state(task, States.joining)
         try:
             inner = task.func(*args, **kwargs)
@@ -428,6 +485,7 @@ class DataFlowKernel:
             else:
                 result = futures[0].result() if scalar else [f.result() for f in futures]
                 self._complete_task(task, result, States.exec_done)
+                self._retire_task(task)
 
         for fut in futures:
             fut.add_done_callback(_joined)
@@ -449,16 +507,24 @@ class DataFlowKernel:
         result = exec_fu.result()
         self.memoizer.update(task, result)
         if self.config.checkpoint_mode in ("task_exit",):
-            self.checkpoint()
+            try:
+                # O(delta): append only the entries recorded since the last
+                # checkpoint write, never the whole table.
+                self.checkpoint(incremental=True)
+            except Exception:  # noqa: BLE001 - the entries stay dirty for the
+                # next append/snapshot; a checkpoint hiccup must not stop this
+                # task's completion from being delivered.
+                logger.exception("task_exit checkpoint failed for task %s", task.id)
         self._complete_task(task, result, States.exec_done)
         self._stage_outputs(task)
+        self._retire_task(task)
 
     def _handle_failure(self, task: TaskRecord, exc: BaseException, args, kwargs) -> None:
         task.fail_count += 1
         task.fail_history.append(repr(exc))
         if task.fail_count <= self.config.retries:
             logger.info("task %s (%s) failed (attempt %d); retrying", task.id, task.func_name, task.fail_count)
-            task.status = States.retry
+            self._set_task_status(task, States.retry)
             self._send_task_state(task, States.retry)
             if self.config.retry_backoff_s:
                 # Schedule the re-enqueue instead of sleeping: this callback
@@ -480,22 +546,20 @@ class DataFlowKernel:
         self._enqueue_for_dispatch(task, args, kwargs)
 
     def _complete_task(self, task: TaskRecord, result: Any, state: States) -> None:
-        task.status = state
         task.time_returned = time.time()
+        self._set_task_status(task, state)
         self._send_task_state(task, state)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_result(result)
-        if self.config.checkpoint_mode == "task_exit" and state == States.memo_done:
-            # memo hits need no re-checkpointing
-            pass
 
     def _fail_task(self, task: TaskRecord, exc: BaseException, state: States) -> None:
-        task.status = state
         task.time_returned = time.time()
+        self._set_task_status(task, state)
         self._send_task_state(task, state)
         logger.info("task %s (%s) marked %s: %r", task.id, task.func_name, state.name, exc)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_exception(exc)
+        self._retire_task(task)
 
     def _stage_outputs(self, task: TaskRecord) -> None:
         """Publish remote-scheme output files after a successful task."""
@@ -530,39 +594,58 @@ class DataFlowKernel:
     # ==================================================================
     # Checkpointing
     # ==================================================================
-    def checkpoint(self) -> Optional[str]:
-        """Write the memoization table to the run's checkpoint file."""
+    def checkpoint(self, incremental: bool = False) -> Optional[str]:
+        """Write the memoization table to the run's checkpoint files.
+
+        ``incremental=True`` (used by the ``task_exit`` and ``periodic``
+        modes) appends only the entries recorded since the last write to the
+        delta log — O(delta) bytes per call. The default writes a full
+        atomic snapshot, which supersedes and clears the delta log.
+        """
         if self.config.checkpoint_mode is None and not self.memoizer.enabled:
             return None
         with self._checkpoint_lock:
-            return write_checkpoint(self.run_dir, self.memoizer.table_snapshot())
+            # Both paths drain the dirty delta first and put it back if the
+            # write fails, so a transient failure (disk full, permissions)
+            # never silently drops entries from future checkpoints.
+            delta = self.memoizer.checkpoint_delta()
+            try:
+                if incremental:
+                    return append_checkpoint(self.run_dir, delta)
+                # The full snapshot (taken after the drain, so it covers every
+                # drained entry) supersedes the delta log.
+                return write_checkpoint(self.run_dir, self.memoizer.table_snapshot())
+            except Exception:
+                self.memoizer.restore_delta(delta)
+                raise
 
     # ==================================================================
     # Introspection / lifecycle
     # ==================================================================
     def task_summary(self) -> Dict[str, int]:
-        """Count of tasks per state (useful in notebooks and tests)."""
-        counts: Dict[str, int] = {}
-        with self._tasks_lock:
-            for task in self.tasks.values():
-                counts[task.status.name] = counts.get(task.status.name, 0) + 1
-        return counts
+        """Count of tasks per state (useful in notebooks and tests).
+
+        O(states), not O(tasks): read from the transition-time counters.
+        """
+        with self._completion_cv:
+            return {state.name: count for state, count in self._state_counts.items() if count}
 
     def outstanding_tasks(self) -> int:
-        with self._tasks_lock:
-            return sum(1 for t in self.tasks.values() if t.status not in FINAL_STATES)
+        """Number of submitted tasks not yet in a final state — an O(1) read."""
+        with self._completion_cv:
+            return self._outstanding_count
 
     def wait_for_current_tasks(self, timeout: Optional[float] = None) -> bool:
-        """Block until every submitted task reaches a final state."""
-        deadline = None if timeout is None else time.time() + timeout
-        while True:
-            with self._tasks_lock:
-                pending = [t.app_fu for t in self.tasks.values() if t.status not in FINAL_STATES]
-            if not pending:
-                return True
-            if deadline is not None and time.time() > deadline:
-                return False
-            time.sleep(0.01)
+        """Block until every submitted task reaches a final state.
+
+        Event-driven: sleeps on the completion condition and is woken by the
+        state transition that drops the outstanding count to zero — no
+        polling loop, no O(n) scans.
+        """
+        with self._completion_cv:
+            return self._completion_cv.wait_for(
+                lambda: self._outstanding_count == 0, timeout=timeout
+            )
 
     def cleanup(self) -> None:
         """Shut down executors, timers, monitoring, and write a final checkpoint."""

@@ -10,6 +10,22 @@ its cached results, while re-running an identical program reuses them.
 Memoization can be controlled at the program level (``Config.app_cache``)
 and per-App (``cache=True/False`` on the decorator), because caching is
 rarely useful for non-deterministic Apps.
+
+Hashing is on the task-submission hot path, so the expensive, per-callable
+part of the hash — reading and tokenizing the function's source — is done
+once per callable: a :class:`weakref.WeakKeyDictionary` maps each callable
+to a ``hashlib`` hasher pre-seeded with the function name and body, and
+``make_hash`` clones that seed (``hasher.copy()``) before folding in the
+task's arguments. Submitting N tasks of the same App therefore costs one
+source read plus N cheap argument updates, not N source reads.
+
+Hash *values* are process-portable: arguments are serialized with a pinned
+pickle protocol (:data:`PICKLE_PROTOCOL`, the interpreter's
+``HIGHEST_PROTOCOL``, matching the rest of the codebase), so two processes
+running the same Python version compute identical hashes for identical
+calls and checkpoints transfer between them. A checkpoint written under a
+*different* pickle protocol simply misses — memoization degrades to
+re-execution, never to a wrong hit.
 """
 
 from __future__ import annotations
@@ -19,17 +35,23 @@ import inspect
 import logging
 import pickle
 import threading
+import weakref
 from typing import Any, Dict, Optional
 
 from repro.core.taskrecord import TaskRecord
 
 logger = logging.getLogger(__name__)
 
+#: Pinned argument-serialization protocol. The executors and checkpoint
+#: writer use ``HIGHEST_PROTOCOL`` throughout; the memo hash pins the same
+#: value so hashes are stable across processes of one Python version.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
 
 def _stable_bytes(obj: Any) -> bytes:
     """Best-effort deterministic byte representation of an argument."""
     try:
-        return pickle.dumps(obj, protocol=4)
+        return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
     except Exception:
         return repr(obj).encode("utf-8")
 
@@ -46,11 +68,69 @@ def _function_body_bytes(func) -> bytes:
         return repr(target).encode("utf-8")
 
 
-def make_hash(task: TaskRecord) -> str:
-    """Compute the memoization key for a task."""
+# ----------------------------------------------------------------------
+# Per-callable hash-seed cache
+# ----------------------------------------------------------------------
+#: callable -> {func_name: hasher seeded with name + body}. Weak keys mean
+#: a dynamically created App that goes out of scope releases its seed.
+_seed_cache: "weakref.WeakKeyDictionary[Any, Dict[str, Any]]" = weakref.WeakKeyDictionary()
+_seed_cache_lock = threading.Lock()
+
+
+def _fresh_seed(func, func_name: str):
     hasher = hashlib.sha256()
-    hasher.update(task.func_name.encode("utf-8"))
-    hasher.update(_function_body_bytes(task.func))
+    hasher.update(func_name.encode("utf-8"))
+    hasher.update(_function_body_bytes(func))
+    return hasher
+
+
+def _seeded_hasher_uncached(func, func_name: str):
+    """The pre-cache seed path: re-reads the source on every call.
+
+    Kept as a named function so the overhead benchmark can measure the
+    cached fast path against this baseline in the same run.
+    """
+    return _fresh_seed(func, func_name)
+
+
+def _seeded_hasher(func, func_name: str):
+    """A sha256 hasher pre-fed with the callable's name and body, cached.
+
+    Callers MUST ``.copy()`` the returned hasher before updating it. Falls
+    back to an uncached seed for callables that cannot be weak-referenced
+    or hashed (rare: some builtins, exotic callables).
+    """
+    try:
+        with _seed_cache_lock:
+            seeds = _seed_cache.get(func)
+            if seeds is not None:
+                cached = seeds.get(func_name)
+                if cached is not None:
+                    return cached
+    except TypeError:
+        return _fresh_seed(func, func_name)
+    hasher = _fresh_seed(func, func_name)
+    try:
+        with _seed_cache_lock:
+            _seed_cache.setdefault(func, {})[func_name] = hasher
+    except TypeError:
+        pass
+    return hasher
+
+
+def clear_seed_cache() -> None:
+    """Drop all cached per-callable hash seeds (tests/benchmarks)."""
+    with _seed_cache_lock:
+        _seed_cache.clear()
+
+
+def make_hash(task: TaskRecord) -> str:
+    """Compute the memoization key for a task.
+
+    Keyword arguments are folded in sorted-key order, so two calls whose
+    kwarg dicts differ only in insertion order hash identically.
+    """
+    hasher = _seeded_hasher(task.func, task.func_name).copy()
     for arg in task.args:
         hasher.update(_stable_bytes(arg))
     for key in sorted(task.kwargs):
@@ -65,9 +145,20 @@ def make_hash(task: TaskRecord) -> str:
 class Memoizer:
     """The memoization table consulted and updated by the DataFlowKernel."""
 
-    def __init__(self, enabled: bool = True, seed_table: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        seed_table: Optional[Dict[str, Any]] = None,
+        track_dirty: bool = True,
+    ):
         self.enabled = enabled
         self._table: Dict[str, Any] = dict(seed_table or {})
+        # Entries added since the last checkpoint drain; lets task_exit /
+        # periodic checkpointing append O(delta) instead of rewriting O(n).
+        # Callers that never checkpoint pass track_dirty=False so the delta
+        # dict doesn't shadow the table's growth for nothing.
+        self.track_dirty = track_dirty
+        self._dirty: Dict[str, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -98,11 +189,29 @@ class Memoizer:
             task.hashsum = make_hash(task)
         with self._lock:
             self._table[task.hashsum] = result
+            if self.track_dirty:
+                self._dirty[task.hashsum] = result
 
     # ------------------------------------------------------------------
     def table_snapshot(self) -> Dict[str, Any]:
+        """A copy of the full table."""
         with self._lock:
             return dict(self._table)
+
+    def checkpoint_delta(self) -> Dict[str, Any]:
+        """Atomically drain and return the entries added since the last drain
+        (or full snapshot). The basis of O(delta) incremental checkpoints."""
+        with self._lock:
+            delta, self._dirty = self._dirty, {}
+            return delta
+
+    def restore_delta(self, entries: Dict[str, Any]) -> None:
+        """Put a drained delta back (the append that consumed it failed), so
+        the entries reappear in the next incremental checkpoint. Entries
+        re-dirtied since the drain keep their newer values."""
+        with self._lock:
+            for key, value in entries.items():
+                self._dirty.setdefault(key, value)
 
     def load_table(self, table: Dict[str, Any]) -> int:
         """Merge entries (e.g. from checkpoint files); returns the number loaded."""

@@ -40,7 +40,13 @@ logger = logging.getLogger(__name__)
 
 
 class Strategy:
-    """Per-executor block-level elasticity decisions."""
+    """Per-executor block-level elasticity decisions.
+
+    Each round reads the executor's ``outstanding`` property, which every
+    executor maintains as a done-callback-fed counter — an O(1) read, so
+    the strategy timer's cost per round is independent of how many tasks
+    the run has submitted or has in flight.
+    """
 
     def __init__(self, strategy_type: str = "simple", max_idletime: float = 2.0):
         if strategy_type not in ("none", "simple", "htex_auto_scale"):

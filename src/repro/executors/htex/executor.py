@@ -33,6 +33,7 @@ from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
 from repro.providers.base import ExecutionProvider
 from repro.serialize import deserialize, pack_apply_message
+from repro.utils.threads import AtomicCounter
 
 logger = logging.getLogger(__name__)
 
@@ -109,6 +110,7 @@ class HighThroughputExecutor(ReproExecutor):
         self._tasks: Dict[int, cf.Future] = {}
         self._tasks_lock = threading.Lock()
         self._task_counter = 0
+        self._outstanding = AtomicCounter()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -208,6 +210,7 @@ class HighThroughputExecutor(ReproExecutor):
             task_id = self._task_counter
             self._task_counter += 1
             self._tasks[task_id] = future
+        self._track_outstanding(future)
         self.interchange.submit_task(task_id, buffer)
         return future
 
@@ -245,6 +248,7 @@ class HighThroughputExecutor(ReproExecutor):
                 task_id = self._task_counter
                 self._task_counter += 1
                 self._tasks[task_id] = future
+            self._track_outstanding(future)
             items.append({"task_id": task_id, "buffer": buffer})
         if items:
             self.interchange.submit_tasks(items)
@@ -342,10 +346,15 @@ class HighThroughputExecutor(ReproExecutor):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _track_outstanding(self, future: cf.Future) -> None:
+        self._outstanding.increment()
+        future.add_done_callback(lambda _f: self._outstanding.decrement())
+
     @property
     def outstanding(self) -> int:
-        with self._tasks_lock:
-            return sum(1 for f in self._tasks.values() if not f.done())
+        # An exact counter fed by future done-callbacks: the strategy timer
+        # reads this every round, so it must not scan the task table.
+        return self._outstanding.value
 
     @property
     def connected_workers(self) -> int:

@@ -21,6 +21,7 @@ from repro.executors.llex.relay import LLEXRelay
 from repro.executors.llex.worker import LLEXWorker
 from repro.providers.base import ExecutionProvider
 from repro.serialize import deserialize, pack_apply_message
+from repro.utils.threads import AtomicCounter
 from repro.utils.timers import RepeatedTimer
 
 logger = logging.getLogger(__name__)
@@ -52,6 +53,7 @@ class LowLatencyExecutor(ReproExecutor):
         self.relay: Optional[LLEXRelay] = None
         self._internal_workers_objs: List[LLEXWorker] = []
         self._tasks: Dict[int, cf.Future] = {}
+        self._outstanding = AtomicCounter()
         self._task_meta: Dict[int, Dict[str, Any]] = {}
         self._tasks_lock = threading.Lock()
         self._task_counter = 0
@@ -136,6 +138,8 @@ class LowLatencyExecutor(ReproExecutor):
             self._task_counter += 1
             self._tasks[task_id] = future
             self._task_meta[task_id] = {"buffer": buffer, "submitted_at": _time.time(), "retries": 0}
+        self._outstanding.increment()
+        future.add_done_callback(lambda _f: self._outstanding.decrement())
         self.relay.submit_task(task_id, buffer)
         return future
 
@@ -187,8 +191,8 @@ class LowLatencyExecutor(ReproExecutor):
     # ------------------------------------------------------------------
     @property
     def outstanding(self) -> int:
-        with self._tasks_lock:
-            return sum(1 for f in self._tasks.values() if not f.done())
+        # Exact counter fed by future done-callbacks; O(1) for the strategy.
+        return self._outstanding.value
 
     @property
     def connected_workers(self) -> int:

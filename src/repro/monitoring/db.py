@@ -9,13 +9,16 @@ tests) and a SQLite store (durable, queryable with SQL after the run).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.monitoring.messages import MessageType, MonitoringMessage
+
+logger = logging.getLogger(__name__)
 
 
 class MonitoringStore(ABC):
@@ -24,6 +27,15 @@ class MonitoringStore(ABC):
     @abstractmethod
     def insert(self, message: MonitoringMessage) -> None:
         """Persist one monitoring record."""
+
+    def insert_many(self, messages: Sequence[MonitoringMessage]) -> None:
+        """Persist a batch of records in order.
+
+        Stores with a bulk write primitive (SQLite ``executemany``) override
+        this; the default loops over :meth:`insert`.
+        """
+        for message in messages:
+            self.insert(message)
 
     @abstractmethod
     def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
@@ -43,6 +55,10 @@ class InMemoryStore(MonitoringStore):
     def insert(self, message: MonitoringMessage) -> None:
         with self._lock:
             self._rows.append(message.as_row())
+
+    def insert_many(self, messages: Sequence[MonitoringMessage]) -> None:
+        with self._lock:
+            self._rows.extend(message.as_row() for message in messages)
 
     def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
         with self._lock:
@@ -99,20 +115,55 @@ class SQLiteStore(MonitoringStore):
                 self._conn.execute(f"CREATE INDEX IF NOT EXISTS idx_{table}_run ON {table} (run_id)")
                 self._conn.execute(f"CREATE INDEX IF NOT EXISTS idx_{table}_task ON {table} (task_id)")
 
+    @staticmethod
+    def _row_params(message: MonitoringMessage):
+        payload = message.payload
+        return (
+            payload.get("run_id"),
+            payload.get("task_id"),
+            payload.get("state"),
+            message.timestamp,
+            json.dumps(payload, default=str),
+        )
+
     def insert(self, message: MonitoringMessage) -> None:
         table = self._TABLES[message.message_type]
-        payload = message.payload
         with self._lock, self._conn:
             self._conn.execute(
                 f"INSERT INTO {table} (run_id, task_id, state, timestamp, payload) VALUES (?, ?, ?, ?, ?)",
-                (
-                    payload.get("run_id"),
-                    payload.get("task_id"),
-                    payload.get("state"),
-                    message.timestamp,
-                    json.dumps(payload, default=str),
-                ),
+                self._row_params(message),
             )
+
+    def insert_many(self, messages: Sequence[MonitoringMessage]) -> None:
+        """Bulk insert: one transaction, one ``executemany`` per table.
+
+        Grouping preserves in-order persistence per table, which is all the
+        reports rely on (rows are re-sorted by timestamp when queried). If
+        the batched transaction fails (e.g. the database is locked), fall
+        back to per-message inserts so one bad moment costs at most single
+        rows — matching the pre-batching blast radius.
+        """
+        if not messages:
+            return
+        grouped: Dict[str, List[tuple]] = {}
+        for message in messages:
+            grouped.setdefault(self._TABLES[message.message_type], []).append(
+                self._row_params(message)
+            )
+        try:
+            with self._lock, self._conn:
+                for table, params in grouped.items():
+                    self._conn.executemany(
+                        f"INSERT INTO {table} (run_id, task_id, state, timestamp, payload) VALUES (?, ?, ?, ?, ?)",
+                        params,
+                    )
+        except sqlite3.Error:
+            logger.exception("batched monitoring insert failed; retrying row by row")
+            for message in messages:
+                try:
+                    self.insert(message)
+                except sqlite3.Error:
+                    logger.exception("dropped one monitoring row (%s)", message.message_type)
 
     def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
         tables = [self._TABLES[message_type]] if message_type else list(self._TABLES.values())

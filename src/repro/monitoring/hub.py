@@ -3,6 +3,16 @@
 Components (the DFK, executors, the strategy) call ``send`` with a message;
 a background thread drains the queue into the configured store so that
 monitoring never blocks the task-launch path.
+
+TASK_STATE traffic — a task's ~3 lifecycle transitions, by far the highest
+message volume — is *coalesced*: sends append to a bounded buffer that is
+flushed to the queue as one batch when it reaches ``batch_size`` messages
+or ``batch_flush_interval`` seconds of age, whichever comes first. The
+drain thread hands whole batches to the store's ``insert_many`` (SQLite:
+one ``executemany`` transaction), so a state transition costs an amortized
+fraction of a queue operation and a store write. Low-volume message types
+(workflow, block, node events) first flush the buffer — preserving global
+ordering — then travel individually. ``batch_size=1`` disables coalescing.
 """
 
 from __future__ import annotations
@@ -10,12 +20,16 @@ from __future__ import annotations
 import logging
 import queue
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.monitoring.db import InMemoryStore, MonitoringStore, SQLiteStore
 from repro.monitoring.messages import MessageType, MonitoringMessage
+from repro.utils.timers import RepeatedTimer
 
 logger = logging.getLogger(__name__)
+
+#: Message types coalesced into batches (high-volume, per-task traffic).
+_BATCHED_TYPES = frozenset({MessageType.TASK_STATE, MessageType.RESOURCE_INFO})
 
 
 class MonitoringHub:
@@ -27,6 +41,8 @@ class MonitoringHub:
         db_path: Optional[str] = None,
         resource_monitoring_enabled: bool = True,
         flush_timeout: float = 5.0,
+        batch_size: int = 64,
+        batch_flush_interval: float = 0.05,
     ):
         if store is not None:
             self.store = store
@@ -34,10 +50,19 @@ class MonitoringHub:
             self.store = SQLiteStore(db_path)
         else:
             self.store = InMemoryStore()
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_flush_interval <= 0:
+            raise ValueError("batch_flush_interval must be positive")
         self.resource_monitoring_enabled = resource_monitoring_enabled
         self.flush_timeout = flush_timeout
-        self._queue: "queue.Queue[Optional[MonitoringMessage]]" = queue.Queue()
+        self.batch_size = batch_size
+        self.batch_flush_interval = batch_flush_interval
+        self._queue: "queue.Queue[Union[None, MonitoringMessage, List[MonitoringMessage]]]" = queue.Queue()
         self._thread = threading.Thread(target=self._drain, name="monitoring-hub", daemon=True)
+        self._batch: List[MonitoringMessage] = []
+        self._batch_lock = threading.Lock()
+        self._flush_timer: Optional[RepeatedTimer] = None
         self._started = False
         self._closed = False
 
@@ -46,6 +71,11 @@ class MonitoringHub:
         if not self._started:
             self._started = True
             self._thread.start()
+            if self.batch_size > 1:
+                self._flush_timer = RepeatedTimer(
+                    self.batch_flush_interval, self._flush_batch, name="monitoring-flush"
+                )
+                self._flush_timer.start()
 
     def send(self, message_type: MessageType, payload: Dict[str, Any]) -> None:
         """Queue one monitoring record (no-op after close)."""
@@ -53,17 +83,44 @@ class MonitoringHub:
             return
         if message_type == MessageType.RESOURCE_INFO and not self.resource_monitoring_enabled:
             return
-        self._queue.put(MonitoringMessage(message_type, dict(payload)))
+        message = MonitoringMessage(message_type, dict(payload))
+        # Every queue put happens under _batch_lock, so the drain queue sees
+        # a total order consistent with send order (an unbatched message can
+        # never overtake — or be overtaken by — states buffered before it).
+        if message_type in _BATCHED_TYPES and self.batch_size > 1:
+            with self._batch_lock:
+                self._batch.append(message)
+                if len(self._batch) >= self.batch_size:
+                    self._flush_batch_locked()
+        else:
+            # Low-volume types: flush pending state batches first so the
+            # store sees events in global send order, then go direct.
+            with self._batch_lock:
+                self._flush_batch_locked()
+                self._queue.put(message)
+
+    def _flush_batch(self) -> None:
+        """Push any buffered high-volume messages to the drain queue."""
+        with self._batch_lock:
+            self._flush_batch_locked()
+
+    def _flush_batch_locked(self) -> None:
+        if self._batch:
+            pending, self._batch = self._batch, []
+            self._queue.put(pending)
 
     def _drain(self) -> None:
         while True:
-            message = self._queue.get()
-            if message is None:
+            item = self._queue.get()
+            if item is None:
                 break
+            messages = item if isinstance(item, list) else [item]
             try:
-                self.store.insert(message)
+                self.store.insert_many(messages)
             except Exception:  # noqa: BLE001 - monitoring must never kill the run
-                logger.exception("failed to store monitoring message")
+                logger.exception("failed to store %d monitoring message(s)", len(messages))
+            finally:
+                del item, messages  # don't pin the batch while blocked on get()
 
     # ------------------------------------------------------------------
     def query(self, message_type: Optional[MessageType] = None, **filters) -> List[Dict[str, Any]]:
@@ -73,7 +130,10 @@ class MonitoringHub:
         if self._closed:
             return
         self._closed = True
+        if self._flush_timer is not None:
+            self._flush_timer.close()
         if self._started:
+            self._flush_batch()
             self._queue.put(None)
             self._thread.join(timeout=self.flush_timeout)
         self.store.close()

@@ -1,13 +1,24 @@
 """Tests for memoization hashing and checkpointing."""
 
+import os
+import pickle
+
 from hypothesis import given, settings, strategies as st
 
+from repro.core import memoization
 from repro.core.checkpoint import (
+    append_checkpoint,
     get_all_checkpoints,
     load_checkpoints,
     write_checkpoint,
 )
-from repro.core.memoization import Memoizer, _MemoHit, make_hash
+from repro.core.memoization import (
+    Memoizer,
+    _MemoHit,
+    _seeded_hasher_uncached,
+    clear_seed_cache,
+    make_hash,
+)
 from repro.core.taskrecord import TaskRecord
 
 
@@ -54,6 +65,45 @@ class TestHashing:
     @settings(max_examples=40, deadline=None)
     def test_hash_deterministic_property(self, args):
         assert make_hash(record(args=tuple(args))) == make_hash(record(args=tuple(args)))
+
+    @given(st.permutations(["alpha", "beta", "gamma", "delta"]))
+    @settings(max_examples=24, deadline=None)
+    def test_kwarg_insertion_order_never_changes_hash(self, key_order):
+        """Kwargs are folded in sorted-key order, so any insertion order of
+        the same bindings hashes identically (dict-ordering stability)."""
+        canonical = {"alpha": 1, "beta": [2], "gamma": "g", "delta": None}
+        permuted = {key: canonical[key] for key in key_order}
+        assert make_hash(record(kwargs=permuted)) == make_hash(record(kwargs=canonical))
+
+    def test_cached_seed_matches_uncached_baseline(self, monkeypatch):
+        """The per-callable seed cache is a pure fast path: digests must be
+        byte-identical to the re-read-the-source baseline."""
+        clear_seed_cache()
+        cached_cold = make_hash(record(args=(1, "x")))
+        cached_warm = make_hash(record(args=(1, "x")))
+        monkeypatch.setattr(memoization, "_seeded_hasher", _seeded_hasher_uncached)
+        uncached = make_hash(record(args=(1, "x")))
+        assert cached_cold == cached_warm == uncached
+
+    def test_seed_cache_distinguishes_functions_and_names(self):
+        clear_seed_cache()
+        h_a = make_hash(record(func=func_a, args=(1,)))
+        h_b = make_hash(record(func=func_b, args=(1,)))
+        assert h_a != h_b
+        renamed = record(func=func_a, args=(1,))
+        renamed.func_name = "alias"
+        assert make_hash(renamed) != h_a
+
+    def test_uncacheable_callable_still_hashes(self):
+        # Builtins cannot be weak-referenced; hashing must fall back cleanly.
+        task = TaskRecord(id=0, func=len, func_name="len", args=((1, 2),))
+        assert make_hash(task) == make_hash(TaskRecord(id=1, func=len, func_name="len", args=((1, 2),)))
+
+    def test_stable_bytes_uses_highest_protocol(self):
+        assert memoization.PICKLE_PROTOCOL == pickle.HIGHEST_PROTOCOL
+        assert memoization._stable_bytes((1, "a")) == pickle.dumps(
+            (1, "a"), protocol=pickle.HIGHEST_PROTOCOL
+        )
 
 
 class TestMemoizer:
@@ -144,3 +194,94 @@ class TestCheckpointing:
         second = Memoizer(enabled=True, seed_table=load_checkpoints([run_dir]))
         hit = second.check(record(args=(3,)))
         assert isinstance(hit, _MemoHit) and hit.result == 99
+
+
+class TestIncrementalCheckpointing:
+    def test_append_then_load_merges_with_snapshot(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        write_checkpoint(run_dir, {"h1": 1})
+        append_checkpoint(run_dir, {"h2": 2})
+        append_checkpoint(run_dir, {"h3": 3, "h1": 10})  # delta overrides snapshot
+        assert load_checkpoints([run_dir]) == {"h1": 10, "h2": 2, "h3": 3}
+
+    def test_delta_only_run_is_loadable(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        append_checkpoint(run_dir, {"a": 1})
+        append_checkpoint(run_dir, {"b": 2})
+        assert load_checkpoints([run_dir]) == {"a": 1, "b": 2}
+
+    def test_empty_delta_is_noop(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert append_checkpoint(run_dir, {}) is None
+
+    def test_append_writes_o_delta_bytes(self, tmp_path):
+        """The Nth single-entry append must cost about as many bytes as the
+        first — O(delta), never O(N)."""
+        run_dir = str(tmp_path / "run")
+        path = append_checkpoint(run_dir, {"h0": 0})
+        first_size = os.path.getsize(path)
+        sizes = []
+        for i in range(1, 40):
+            append_checkpoint(run_dir, {f"h{i}": i})
+            sizes.append(os.path.getsize(path))
+        growths = [b - a for a, b in zip([first_size] + sizes, sizes)]
+        assert max(growths) <= 4 * first_size
+        assert load_checkpoints([run_dir]) == {f"h{i}": i for i in range(40)}
+
+    def test_full_snapshot_supersedes_delta(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        append_checkpoint(run_dir, {"stale": 1})
+        delta_path = os.path.join(run_dir, "checkpoint", "tasks.delta.pkl")
+        assert os.path.exists(delta_path)
+        write_checkpoint(run_dir, {"fresh": 2})
+        assert not os.path.exists(delta_path)
+        assert load_checkpoints([run_dir]) == {"fresh": 2}
+
+    def test_truncated_delta_tail_is_tolerated(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        append_checkpoint(run_dir, {"good": 1})
+        delta_path = os.path.join(run_dir, "checkpoint", "tasks.delta.pkl")
+        with open(delta_path, "ab") as fh:
+            fh.write(b"\x80\x05partial-crash-garbage")
+        assert load_checkpoints([run_dir]) == {"good": 1}
+
+    def test_memoizer_checkpoint_delta_drains(self):
+        memo = Memoizer(enabled=True)
+        memo.update(record(args=(1,), task_id=1), 2)
+        memo.update(record(args=(2,), task_id=2), 3)
+        delta = memo.checkpoint_delta()
+        assert len(delta) == 2
+        assert memo.checkpoint_delta() == {}
+        memo.update(record(args=(3,), task_id=3), 4)
+        assert len(memo.checkpoint_delta()) == 1
+
+    def test_track_dirty_off_skips_delta_accounting(self):
+        # Runs that never checkpoint (the default Config) must not grow a
+        # shadow dict of every memoized result.
+        memo = Memoizer(enabled=True, track_dirty=False)
+        memo.update(record(args=(1,)), 2)
+        assert memo.checkpoint_delta() == {}
+        assert len(memo) == 1  # the table itself still memoizes
+
+    def test_restore_delta_after_failed_append(self):
+        """A drained delta whose append failed must reappear in the next
+        drain, without clobbering entries re-dirtied in the meantime."""
+        memo = Memoizer(enabled=True)
+        task = record(args=(1,), task_id=1)
+        memo.update(task, "old")
+        drained = memo.checkpoint_delta()
+        memo.update(task, "new")  # re-dirtied while the append was failing
+        memo.restore_delta(drained)
+        assert memo.checkpoint_delta() == {task.hashsum: "new"}
+        memo.restore_delta({"other": 5})
+        assert memo.checkpoint_delta() == {"other": 5}
+
+    def test_snapshot_covers_drained_delta(self):
+        # The DFK's full-checkpoint sequence: drain first, snapshot second —
+        # the snapshot must include every drained entry.
+        memo = Memoizer(enabled=True)
+        memo.update(record(args=(1,)), 2)
+        drained = memo.checkpoint_delta()
+        snapshot = memo.table_snapshot()
+        assert set(drained) <= set(snapshot)
+        assert memo.checkpoint_delta() == {}

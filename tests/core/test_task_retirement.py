@@ -1,0 +1,182 @@
+"""Tests for task-record retirement and counter-based completion tracking.
+
+Retirement is the memory half of the constant-overhead DFK core: once a
+task reaches a final state its record drops the callable, arguments, and
+futures (verified here via weakrefs), unless ``retain_task_records=True``.
+The counters half — ``task_summary()`` / ``outstanding_tasks()`` /
+``wait_for_current_tasks()`` — must agree with the O(n) scans they replaced,
+including under concurrent completions.
+"""
+
+import gc
+import threading
+import time
+import weakref
+
+import repro
+from repro import Config
+from repro.core.states import FINAL_STATES
+from repro.core.taskrecord import RetiredTaskSummary, TaskRecord
+from repro.executors import ThreadPoolExecutor
+
+
+class Payload:
+    """A weakref-able argument object."""
+
+
+def _make_function():
+    """A per-call function object, so it can be garbage collected."""
+
+    def dynamic_app(obj, extra=None):
+        return "ran"
+
+    return dynamic_app
+
+
+def _wait_retired(record, deadline_s=10.0):
+    """Retirement happens just after the AppFuture resolves; poll briefly."""
+    deadline = time.time() + deadline_s
+    while record.retired is None and time.time() < deadline:
+        time.sleep(0.005)
+    return record.retired
+
+
+class TestRetirement:
+    def test_retired_record_frees_args_kwargs_func(self, threads_dfk):
+        payload = Payload()
+        kw_payload = Payload()
+        func = _make_function()
+        refs = [weakref.ref(payload), weakref.ref(kw_payload), weakref.ref(func)]
+
+        fut = threads_dfk.submit(
+            func, app_args=(payload,), app_kwargs={"extra": kw_payload}, cache=False
+        )
+        assert fut.result(timeout=30) == "ran"
+        record = threads_dfk.tasks[0]
+        assert _wait_retired(record) is not None
+
+        del payload, kw_payload, func, fut
+        gc.collect()
+        assert [r() for r in refs] == [None, None, None], "retired record pinned heavy fields"
+        assert record.args == () and record.kwargs == {}
+        assert record.exec_fu is None and record.depends == []
+
+    def test_retired_summary_is_frozen_and_complete(self, threads_dfk):
+        fut = threads_dfk.submit(_make_function(), app_args=(Payload(),), cache=False)
+        fut.result(timeout=30)
+        record = threads_dfk.tasks[0]
+        summary = _wait_retired(record)
+        assert isinstance(summary, RetiredTaskSummary)
+        assert summary.task_id == 0
+        assert summary.func_name == "dynamic_app"
+        assert summary.time_returned is not None
+        # The record's dict-style summary still works after retirement.
+        assert record.summary()["status"] == "exec_done"
+        # And the status stays readable through the AppFuture.
+        assert fut.task_status() == "exec_done"
+
+    def test_failed_tasks_also_retire(self, threads_dfk):
+        def boom():
+            raise RuntimeError("nope")
+
+        fut = threads_dfk.submit(boom, cache=False)
+        try:
+            fut.result(timeout=30)
+        except RuntimeError:
+            pass
+        record = threads_dfk.tasks[0]
+        assert _wait_retired(record) is not None
+        assert record.status.name == "failed"
+        assert record.fail_count >= 1  # cheap scalars survive retirement
+
+    def test_retain_task_records_keeps_heavy_fields(self, run_dir):
+        cfg = Config(
+            executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+            run_dir=run_dir,
+            strategy="none",
+            retain_task_records=True,
+        )
+        dfk = repro.load(cfg)
+        try:
+            payload = Payload()
+            func = _make_function()
+            fut = dfk.submit(func, app_args=(payload,), cache=False)
+            assert fut.result(timeout=30) == "ran"
+            dfk.wait_for_current_tasks(timeout=30)
+            record = dfk.tasks[0]
+            assert record.retired is None
+            assert record.func is func
+            assert record.args == (payload,)
+        finally:
+            repro.clear()
+
+    def test_retire_is_idempotent(self):
+        record = TaskRecord(id=1, func=lambda: None, func_name="noop", args=(1, 2))
+        first = record.retire()
+        second = record.retire()
+        assert first is second
+
+
+class TestCounterTracking:
+    def test_summary_and_outstanding_agree_with_table_scan(self, threads_dfk):
+        def quick(x):
+            return x
+
+        futures = [threads_dfk.submit(quick, app_args=(i,), cache=False) for i in range(50)]
+        # Mid-flight: every sample must account for all 50 registered tasks.
+        while threads_dfk.outstanding_tasks() > 0:
+            summary = threads_dfk.task_summary()
+            assert sum(summary.values()) == 50
+        assert [f.result(timeout=30) for f in futures] == list(range(50))
+        assert threads_dfk.wait_for_current_tasks(timeout=30)
+        # Settled: counters must equal a full O(n) scan of the task table.
+        scan = {}
+        for task in threads_dfk.tasks.values():
+            scan[task.status.name] = scan.get(task.status.name, 0) + 1
+        assert threads_dfk.task_summary() == scan
+        assert threads_dfk.outstanding_tasks() == sum(
+            1 for t in threads_dfk.tasks.values() if t.status not in FINAL_STATES
+        ) == 0
+
+    def test_counters_agree_under_concurrent_completions(self, threads_dfk):
+        stop = threading.Event()
+        violations = []
+
+        def sampler():
+            while not stop.is_set():
+                total = sum(threads_dfk.task_summary().values())
+                outstanding = threads_dfk.outstanding_tasks()
+                if outstanding < 0 or total < 0:
+                    violations.append((total, outstanding))
+
+        thread = threading.Thread(target=sampler, daemon=True)
+        thread.start()
+        try:
+            futures = [
+                threads_dfk.submit(time.sleep, app_args=(0.001,), cache=False)
+                for _ in range(200)
+            ]
+            for f in futures:
+                f.result(timeout=60)
+            assert threads_dfk.wait_for_current_tasks(timeout=60)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not violations
+        assert sum(threads_dfk.task_summary().values()) == 200
+        assert threads_dfk.task_summary().get("exec_done") == 200
+
+    def test_wait_for_current_tasks_times_out_then_completes(self, threads_dfk):
+        fut = threads_dfk.submit(time.sleep, app_args=(0.5,), cache=False)
+        assert threads_dfk.wait_for_current_tasks(timeout=0.05) is False
+        assert threads_dfk.wait_for_current_tasks(timeout=30) is True
+        assert fut.done()
+
+    def test_wait_wakes_promptly_on_completion(self, threads_dfk):
+        """The waiter must be woken by the completing transition, not a poll
+        deadline: a 0.3 s task should release the barrier well under the
+        generous timeout."""
+        threads_dfk.submit(time.sleep, app_args=(0.3,), cache=False)
+        start = time.perf_counter()
+        assert threads_dfk.wait_for_current_tasks(timeout=30)
+        assert time.perf_counter() - start < 5.0

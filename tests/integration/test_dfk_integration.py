@@ -180,6 +180,39 @@ class TestMemoizationAndCheckpointing:
         finally:
             repro.clear()
 
+    def test_task_exit_checkpoints_append_o_delta(self, run_dir):
+        """task_exit mode appends per-task deltas during the run (never
+        rewriting the table), and cleanup collapses them into one snapshot."""
+        import glob
+
+        dfk = repro.load(make_local_config(run_dir, checkpoint_mode="task_exit"))
+        run1_dir = dfk.run_dir
+        delta_path = os.path.join(run1_dir, "checkpoint", "tasks.delta.pkl")
+        snapshot_path = os.path.join(run1_dir, "checkpoint", "tasks.pkl")
+        sizes = []
+        try:
+            for i in range(100, 105):
+                # The delta append happens before the AppFuture resolves, so
+                # the file is current as soon as result() returns.
+                increment(i).result(timeout=30)
+                sizes.append(os.path.getsize(delta_path))
+            # Each completed task appended roughly one entry's worth of
+            # bytes: growth per task must not scale with the table size.
+            growths = [b - a for a, b in zip(sizes, sizes[1:])]
+            assert all(g > 0 for g in growths)
+            assert max(growths) <= 4 * sizes[0]
+            # No full snapshot was written while the run was live.
+            assert not os.path.exists(snapshot_path)
+        finally:
+            repro.clear()
+        # Cleanup wrote the full snapshot and removed the delta log.
+        assert os.path.exists(snapshot_path)
+        assert not os.path.exists(delta_path)
+        from repro.core.checkpoint import load_checkpoints
+
+        assert len(load_checkpoints([run1_dir])) == 5
+        assert glob.glob(os.path.join(run1_dir, "checkpoint", "*.tmp")) == []
+
     def test_manual_checkpoint_writes_file(self, run_dir):
         dfk = repro.load(make_local_config(run_dir, checkpoint_mode="manual"))
         try:

@@ -76,6 +76,87 @@ class TestHub:
         assert len(hub.query(MessageType.NODE_INFO)) == 1
 
 
+class TestBatching:
+    """TASK_STATE traffic is coalesced into size/interval-bounded batches."""
+
+    def test_flush_on_batch_size(self):
+        hub = MonitoringHub(batch_size=3, batch_flush_interval=60.0)
+        hub.start()
+        try:
+            for task_id in range(3):
+                hub.send(MessageType.TASK_STATE, {"task_id": task_id, "state": "pending"})
+            deadline = time.time() + 5
+            while time.time() < deadline and len(hub.store) < 3:
+                time.sleep(0.01)
+            # The size threshold flushed without waiting for the interval.
+            assert len(hub.query(MessageType.TASK_STATE)) == 3
+        finally:
+            hub.close()
+
+    def test_flush_on_interval(self):
+        hub = MonitoringHub(batch_size=10_000, batch_flush_interval=0.02)
+        hub.start()
+        try:
+            hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"})
+            deadline = time.time() + 5
+            while time.time() < deadline and len(hub.store) < 1:
+                time.sleep(0.01)
+            assert len(hub.query(MessageType.TASK_STATE)) == 1
+        finally:
+            hub.close()
+
+    def test_close_flushes_partial_batch(self):
+        hub = MonitoringHub(batch_size=10_000, batch_flush_interval=60.0)
+        hub.start()
+        hub.send(MessageType.TASK_STATE, {"task_id": 7, "state": "pending"})
+        hub.close()
+        assert len(hub.query(MessageType.TASK_STATE)) == 1
+
+    def test_low_volume_types_preserve_global_order(self):
+        hub = MonitoringHub(batch_size=10_000, batch_flush_interval=60.0)
+        hub.start()
+        hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"})
+        hub.send(MessageType.WORKFLOW_INFO, {"run_id": "r1"})
+        hub.close()
+        rows = hub.query()
+        types = [r["message_type"] for r in rows]
+        assert types.index(MessageType.TASK_STATE.value) < types.index(MessageType.WORKFLOW_INFO.value)
+
+    def test_batch_size_one_disables_coalescing(self):
+        hub = MonitoringHub(batch_size=1, batch_flush_interval=60.0)
+        hub.start()
+        hub.send(MessageType.TASK_STATE, {"task_id": 1, "state": "pending"})
+        deadline = time.time() + 5
+        while time.time() < deadline and len(hub.store) < 1:
+            time.sleep(0.01)
+        assert len(hub.query(MessageType.TASK_STATE)) == 1
+        hub.close()
+
+    def test_invalid_batch_settings_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringHub(batch_size=0)
+        with pytest.raises(ValueError):
+            MonitoringHub(batch_flush_interval=0)
+
+    def test_sqlite_insert_many_mixed_types(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "batch.db"))
+        messages = [
+            MonitoringMessage(MessageType.TASK_STATE, {"run_id": "r1", "task_id": i, "state": "pending"})
+            for i in range(10)
+        ] + [MonitoringMessage(MessageType.WORKFLOW_INFO, {"run_id": "r1", "tasks": 10})]
+        store.insert_many(messages)
+        assert len(store.query(MessageType.TASK_STATE, run_id="r1")) == 10
+        assert store.query(MessageType.WORKFLOW_INFO)[0]["tasks"] == 10
+        store.close()
+
+    def test_inmemory_insert_many(self):
+        store = InMemoryStore()
+        store.insert_many(
+            [MonitoringMessage(MessageType.TASK_STATE, {"task_id": i, "state": "pending"}) for i in range(4)]
+        )
+        assert len(store) == 4
+
+
 class TestReports:
     def _populated_hub(self):
         hub = MonitoringHub()
