@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead lint ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched lint mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -27,6 +27,23 @@ bench-smoke:
 bench-overhead:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_dfk_overhead.py \
 		--benchmark-json=BENCH_overhead.json
+
+# The fig7 resource-aware scheduling bench (priority overtaking, bin-packed
+# multi-core placement, default-path throughput guard) at full scale.
+bench-sched:
+	$(PYTHON) -m pytest -q benchmarks/test_fig7_scheduling.py \
+		--benchmark-json=BENCH_fig7_scheduling.json
+
+# Strict typing is scoped to the scheduling package (config in pyproject.toml);
+# skip gracefully where mypy is absent, mirroring the lint target.
+mypy-sched:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict src/repro/scheduling; \
+	elif $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --strict src/repro/scheduling; \
+	else \
+		echo "mypy not installed — skipping strict typing pass (pip install mypy)"; \
+	fi
 
 # Ruff config lives in pyproject.toml; skip gracefully where ruff is absent.
 lint:

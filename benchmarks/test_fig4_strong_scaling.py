@@ -13,9 +13,13 @@ paper's qualitative findings:
 * Dask slightly beats HTEX below 1024 workers but loses above.
 """
 
+import random
+import time
+
 import pytest
 
 from repro.executors import HighThroughputExecutor
+from repro.scheduling.placement import ManagerSlot, make_placement_view
 from repro.simulation.scaling import (
     FIREWORKS_STRONG_SCALING_TASKS,
     STRONG_SCALING_TASKS,
@@ -105,3 +109,32 @@ def test_fig4_anchor_real_htex_throughput(benchmark, quiet_logging):
         assert rate > 50, "local HTEX throughput is implausibly low"
     finally:
         executor.shutdown()
+
+
+def test_fig4_dispatch_placement_cost_microassert(benchmark):
+    """Micro-assert: batch dispatch placement is O(batch · log managers).
+
+    The interchange used to re-scan every eligible manager per task inside a
+    dispatch batch; placement now goes through a per-round index (a heap for
+    the default least-loaded policy). This pins the per-task placement cost
+    so a regression back to O(batch · managers) scanning fails loudly: 10k
+    placements over 64 managers must stay well under the old scan's cost
+    (and under a generous 50 µs/task CI ceiling).
+    """
+    n_tasks, n_managers = 10_000, 64
+
+    def place_all():
+        slots = [ManagerSlot(f"m{i}", n_tasks, 0) for i in range(n_managers)]
+        view = make_placement_view("least_loaded", slots, random.Random(0))
+        start = time.perf_counter()
+        for _ in range(n_tasks):
+            assert view.place(1) is not None
+        return (time.perf_counter() - start) / n_tasks
+
+    per_task_s = benchmark.pedantic(place_all, rounds=3, iterations=1)
+    print_table(
+        "Figure 4 companion — placement cost per task (least-loaded index)",
+        ["managers", "tasks placed", "cost per task (µs)", "ceiling (µs)"],
+        [[n_managers, n_tasks, f"{per_task_s * 1e6:.2f}", 50]],
+    )
+    assert per_task_s < 50e-6, "dispatch placement cost regressed (per-task re-scan?)"

@@ -32,6 +32,9 @@ Paper provenance of each export:
 * :class:`AppFuture` / :class:`DataFuture` — §3.3's two future types:
   task futures and output-file futures.
 * :class:`File` — §4.5's location-transparent file abstraction.
+* :class:`ResourceSpec` — the per-task resource specification (cores,
+  memory/walltime hints, priority, executor affinity) threaded by the
+  scheduling subsystem from app invocation to worker slots.
 * :func:`wait_for_current_tasks` — barrier over every submitted task.
 * :func:`recommend_executor` — §4.4's executor-selection guidelines.
 
@@ -48,6 +51,7 @@ from repro.core.futures import AppFuture, DataFuture
 from repro.core.guidelines import recommend_executor
 from repro.data.files import File
 from repro.errors import ReproException
+from repro.scheduling.spec import ResourceSpec
 
 #: Load a DataFlowKernel from a Config (module-level convenience, as in Parsl).
 load = DataFlowKernelLoader.load
@@ -70,6 +74,7 @@ __all__ = [
     "DataFuture",
     "File",
     "ReproException",
+    "ResourceSpec",
     "recommend_executor",
     "load",
     "dfk",

@@ -20,6 +20,7 @@ Three decorators are provided:
 from __future__ import annotations
 
 import functools
+import inspect
 from typing import Callable, Optional, Sequence, Union
 
 from repro.apps.bash import remote_side_bash_executor
@@ -32,12 +33,25 @@ class AppBase:
     Decorator keywords (shared by all three decorators, defaults shown):
 
     * ``executors="all"`` — labels of the executors this app may run on; the
-      DFK picks randomly among healthy candidates (§4.1).
+      DFK routes among healthy candidates, spilling load to the least-loaded
+      one (§4.1).
     * ``cache=True`` — enable memoization for this app (§4.6): repeated
       invocations with identical arguments return the recorded result.
     * ``ignore_for_cache=None`` — keyword names excluded from the memo hash.
+    * ``resource_spec=None`` — the app's default per-task resource
+      specification (a mapping or :class:`~repro.scheduling.spec.ResourceSpec`:
+      ``cores``, ``memory_mb``, ``walltime_s``, ``priority``, ``executors``).
+    * ``priority=None`` — shorthand for the spec's ``priority`` field.
     * ``data_flow_kernel=None`` — an explicit kernel; defaults to the
       process-wide one installed by :func:`repro.load`.
+
+    ``resource_spec=`` and ``priority=`` may also be passed at *call* time to
+    override the decorator defaults per invocation; they are consumed by the
+    submission machinery, never forwarded to the app body, and excluded from
+    the memo hash (the same inputs at a different priority are still the
+    same computation). Exception: a function whose own signature declares
+    one of these names keeps receiving it as an ordinary argument — only
+    the decorator-level scheduling value applies to such apps.
     """
 
     def __init__(
@@ -47,13 +61,48 @@ class AppBase:
         executors: Union[str, Sequence[str]] = "all",
         cache: bool = True,
         ignore_for_cache: Optional[Sequence[str]] = None,
+        resource_spec=None,
+        priority: Optional[int] = None,
     ):
         self.func = func
         self.data_flow_kernel = data_flow_kernel
         self.executors = executors
         self.cache = cache
         self.ignore_for_cache = list(ignore_for_cache or [])
+        self.resource_spec = resource_spec
+        self.priority = priority
+        # A function whose own signature declares one of the scheduling
+        # keyword names keeps it: stealing `priority=3` from an app that
+        # takes a `priority` parameter would silently run the body with its
+        # default. Such apps set scheduling behaviour at decorator level.
+        try:
+            params = inspect.signature(func).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            params = {}
+        accepts_any_kwarg = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        self._own_scheduling_params = {
+            name
+            for name in ("resource_spec", "priority")
+            if name in params or accepts_any_kwarg
+        }
         functools.update_wrapper(self, func)
+
+    def _pop_scheduling_kwargs(self, kwargs: dict) -> dict:
+        """Split call-time scheduling keywords from the app's own kwargs.
+
+        Names the wrapped function itself declares are left in ``kwargs``
+        (see ``__init__``); for those, only the decorator-level value
+        applies.
+        """
+        scheduling = {}
+        for name, default in (("resource_spec", self.resource_spec), ("priority", self.priority)):
+            if name in self._own_scheduling_params:
+                scheduling[name] = default
+            else:
+                scheduling[name] = kwargs.pop(name, default)
+        return scheduling
 
     # ------------------------------------------------------------------
     def _resolve_dfk(self):
@@ -78,6 +127,7 @@ class PythonApp(AppBase):
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()
+        scheduling = self._pop_scheduling_kwargs(kwargs)
         walltime = kwargs.pop("walltime", None)
         if walltime is not None:
             submit_func: Callable = timeout_python_executor
@@ -93,6 +143,7 @@ class PythonApp(AppBase):
             cache=self.cache,
             func_name=self.func.__name__,
             ignore_for_cache=self.ignore_for_cache,
+            **scheduling,
         )
 
 
@@ -107,6 +158,7 @@ class BashApp(AppBase):
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()
+        scheduling = self._pop_scheduling_kwargs(kwargs)
         return dfk.submit(
             remote_side_bash_executor,
             app_args=(self.func, *args),
@@ -115,6 +167,7 @@ class BashApp(AppBase):
             cache=self.cache,
             func_name=self.func.__name__,
             ignore_for_cache=self.ignore_for_cache,
+            **scheduling,
         )
 
 
@@ -129,6 +182,10 @@ class JoinApp(AppBase):
 
     def __call__(self, *args, **kwargs):
         dfk = self._resolve_dfk()
+        # Join apps run locally, so cores/placement do not apply — but the
+        # scheduling keywords are still consumed (never forwarded into the
+        # body) and the priority is recorded for monitoring.
+        scheduling = self._pop_scheduling_kwargs(kwargs)
         return dfk.submit(
             self.func,
             app_args=args,
@@ -138,6 +195,7 @@ class JoinApp(AppBase):
             func_name=self.func.__name__,
             join=True,
             ignore_for_cache=self.ignore_for_cache,
+            **scheduling,
         )
 
 
@@ -148,6 +206,8 @@ def _make_decorator(app_cls):
         executors: Union[str, Sequence[str]] = "all",
         cache: bool = True,
         ignore_for_cache: Optional[Sequence[str]] = None,
+        resource_spec=None,
+        priority: Optional[int] = None,
     ):
         def wrap(func: Callable):
             return app_cls(
@@ -156,6 +216,8 @@ def _make_decorator(app_cls):
                 executors=executors,
                 cache=cache,
                 ignore_for_cache=ignore_for_cache,
+                resource_spec=resource_spec,
+                priority=priority,
             )
 
         if function is not None:

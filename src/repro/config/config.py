@@ -19,6 +19,10 @@ A Config bundles:
   the task reaches a final state, dropping its callable/arguments/futures so
   long runs hold O(1) memory per completed task; set True to keep the full
   records for post-run debugging,
+* the multi-executor router's backpressure cap (``router_backpressure``):
+  when set, an executor already holding that many outstanding tasks stops
+  receiving new work while any peer is below the cap (load-aware spillover
+  is always on; the cap bounds skew under sustained overload),
 * the elasticity strategy and its cadence: ``strategy`` selects the engine
   (``none`` / ``simple`` / ``htex_auto_scale``), ``strategy_period`` its
   decision interval, and ``max_idletime`` the scale-in hysteresis — a block
@@ -53,6 +57,7 @@ class Config:
         retain_task_records: bool = False,
         dispatch_batch_size: int = 64,
         dispatch_drain_interval: float = 0.05,
+        router_backpressure: Optional[int] = None,
         strategy: str = "simple",
         strategy_period: float = 0.2,
         max_idletime: float = 2.0,
@@ -83,6 +88,8 @@ class Config:
             raise ConfigurationError("dispatch_batch_size must be >= 1")
         if dispatch_drain_interval <= 0:
             raise ConfigurationError("dispatch_drain_interval must be positive")
+        if router_backpressure is not None and router_backpressure < 1:
+            raise ConfigurationError("router_backpressure must be >= 1 when set")
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -94,6 +101,7 @@ class Config:
         self.retain_task_records = bool(retain_task_records)
         self.dispatch_batch_size = dispatch_batch_size
         self.dispatch_drain_interval = dispatch_drain_interval
+        self.router_backpressure = router_backpressure
         self.strategy = strategy
         self.strategy_period = strategy_period
         self.max_idletime = max_idletime

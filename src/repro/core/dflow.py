@@ -8,11 +8,17 @@ The DFK constructs and orchestrates the dynamic task dependency graph:
   *e* edges is O(n + e);
 * once all of a task's dependencies resolve successfully the task is placed
   on an internal submission queue; a dedicated dispatcher thread drains that
-  queue and hands the configured executor (chosen at random when the App
-  gives no hint) *batches* of ready tasks via ``submit_batch``, so executor
-  selection and task serialization happen off the app submission path and
-  bursts of ready tasks travel as one batch (tuned by
-  ``Config.dispatch_batch_size`` / ``Config.dispatch_drain_interval``);
+  queue and hands the chosen executor *batches* of ready tasks via
+  ``submit_batch``, so executor selection and task serialization happen off
+  the app submission path and bursts of ready tasks travel as one batch
+  (tuned by ``Config.dispatch_batch_size`` /
+  ``Config.dispatch_drain_interval``);
+* executor choice goes through the scheduling subsystem's
+  :class:`~repro.scheduling.router.ExecutorRouter`: label match (the spec's
+  affinity, else the decorator's ``executors=`` hint) → load-aware spillover
+  → the ``Config.router_backpressure`` cap; per-task
+  :class:`~repro.scheduling.spec.ResourceSpec` objects (cores, memory and
+  walltime hints, priority) ride along to the executor;
 * failures are retried up to ``Config.retries`` times; exhausted retries (or
   failed dependencies) surface through the AppFuture as wrapped exceptions;
 * memoization and checkpointing short-circuit tasks whose function body and
@@ -56,9 +62,12 @@ from repro.errors import (
     DataFlowKernelClosedError,
     DependencyError,
     JoinError,
-    NoSuchExecutorError,
+    ResourceSpecError,
+    UnsupportedFeatureError,
 )
 from repro.monitoring.messages import MessageType
+from repro.scheduling.router import ExecutorRouter
+from repro.scheduling.spec import ResourceSpec, ResourceSpecLike
 from repro.utils.ids import make_uid
 from repro.utils.timers import RepeatedTimer
 
@@ -135,6 +144,18 @@ class DataFlowKernel:
         self._cleanup_called = False
         self._rng = random.Random()
 
+        # Multi-executor routing (label match → load-aware spillover →
+        # backpressure cap) lives in the scheduling subsystem.
+        self.router = ExecutorRouter(
+            self.executors, rng=self._rng, backpressure=self.config.router_backpressure
+        )
+
+        # Pending retry-backoff timers: timer -> (task, args, kwargs). Tracked
+        # so cleanup() can cancel them and fail their tasks fast instead of
+        # letting a late timer enqueue into a dead dispatcher.
+        self._retry_timers: Dict[threading.Timer, Tuple[TaskRecord, tuple, dict]] = {}
+        self._retry_timers_lock = threading.Lock()
+
         # Event-driven completion tracking ---------------------------------
         # Per-state counters and the outstanding (non-final) count are kept
         # exact at transition time under this condition, so task_summary(),
@@ -172,18 +193,37 @@ class DataFlowKernel:
         join: bool = False,
         ignore_for_cache: Optional[Sequence[str]] = None,
         is_staging: bool = False,
+        resource_spec: ResourceSpecLike = None,
+        priority: Optional[int] = None,
     ) -> AppFuture:
-        """Register one task with the dataflow graph and return its AppFuture."""
+        """Register one task with the dataflow graph and return its AppFuture.
+
+        ``resource_spec`` (a mapping or :class:`ResourceSpec`) declares what
+        the task asks of the scheduling layer; ``priority`` is a convenience
+        override for its ``priority`` field. A *malformed* spec (unknown
+        keys, bad types) raises here, in the caller's stack; a well-formed
+        spec the chosen executor cannot satisfy (e.g. more cores than its
+        managers run) surfaces through the AppFuture as a
+        :class:`~repro.errors.ResourceSpecError` without burning retries —
+        the failure is deterministic, so the retry machinery skips it.
+        """
         if self._cleanup_called:
             raise DataFlowKernelClosedError("cannot submit to a DataFlowKernel after cleanup()")
         app_kwargs = dict(app_kwargs or {})
         func_name = func_name or getattr(func, "__name__", "app")
 
+        spec = ResourceSpec.from_user(resource_spec)
+        if priority is not None:
+            # with_priority rebuilds the (frozen) spec, so the replacement
+            # value goes through the same validation as a spec-borne one —
+            # priority=9.7 raises ResourceSpecError rather than truncating.
+            spec = spec.with_priority(priority)
+
         with self._task_counter_lock:
             task_id = self._task_counter
             self._task_counter += 1
 
-        executor_label = self._choose_executor(executors, join)
+        executor_label = self._choose_executor(executors, join, spec)
 
         task = TaskRecord(
             id=task_id,
@@ -196,6 +236,8 @@ class DataFlowKernel:
             memoize=cache,
             join=join,
             is_staging=is_staging,
+            resource_specification=spec.to_wire(),
+            priority=spec.priority,
         )
         app_fu = AppFuture(task_record=task)
         task.app_fu = app_fu
@@ -228,27 +270,14 @@ class DataFlowKernel:
         return app_fu
 
     # ------------------------------------------------------------------
-    def _choose_executor(self, executors: Union[str, Sequence[str]], join: bool) -> str:
-        if join:
-            return "_dfk_internal"
-        available = [
-            label for label, ex in self.executors.items() if not ex.bad_state_is_set
-        ]
-        if not available:
-            available = list(self.executors)
-        if executors == "all" or executors is None:
-            return self._rng.choice(available)
-        if isinstance(executors, str):
-            requested = [executors]
-        else:
-            requested = [e for e in executors if e is not None]
-        if not requested:
-            return self._rng.choice(available)
-        for label in requested:
-            if label not in self.executors:
-                raise NoSuchExecutorError(label, list(self.executors))
-        usable = [label for label in requested if label in available] or requested
-        return self._rng.choice(usable)
+    def _choose_executor(
+        self,
+        executors: Union[str, Sequence[str]],
+        join: bool,
+        spec: Optional[ResourceSpec] = None,
+    ) -> str:
+        """Route a task to an executor label (see :class:`ExecutorRouter`)."""
+        return self.router.route(executors, spec=spec, join=join)
 
     # ------------------------------------------------------------------
     def _inject_staging(self, task: TaskRecord) -> None:
@@ -428,10 +457,13 @@ class DataFlowKernel:
             executor = self.executors.get(task.executor)
             if executor is None or (executor.bad_state_is_set and task.fail_count > 0):
                 # Unresolvable label, or a retry whose executor has gone bad:
-                # re-choose. A first launch keeps its requested placement even
-                # on a bad executor — the submission failure flows through the
-                # normal retry path, which re-chooses then.
-                task.executor = self._choose_executor("all", join=False)
+                # re-route (the spec's affinity still applies). A first launch
+                # keeps its requested placement even on a bad executor — the
+                # submission failure flows through the normal retry path,
+                # which re-routes then.
+                task.executor = self._choose_executor(
+                    "all", join=False, spec=ResourceSpec.from_wire(task.resource_specification)
+                )
             groups.setdefault(task.executor, []).append((task, args, kwargs))
         for label, group in groups.items():
             executor = self.executors[label]
@@ -494,6 +526,9 @@ class DataFlowKernel:
     # Completion handling
     # ==================================================================
     def _handle_exec_update(self, task: TaskRecord, exec_fu: Future, args, kwargs) -> None:
+        placed = getattr(exec_fu, "placed_manager", None)
+        if placed is not None:
+            task.placed_manager = placed
         if exec_fu.cancelled():
             # Executor shutdown cancelled the task (Future.exception() would
             # raise here, not return). Cancellation is deliberate — fail the
@@ -522,6 +557,13 @@ class DataFlowKernel:
     def _handle_failure(self, task: TaskRecord, exc: BaseException, args, kwargs) -> None:
         task.fail_count += 1
         task.fail_history.append(repr(exc))
+        if isinstance(exc, (ResourceSpecError, UnsupportedFeatureError)):
+            # Deterministic capability mismatches — a spec no manager can
+            # ever satisfy, or a feature the executor categorically rejects
+            # — would re-fail identically N times; retrying with backoff
+            # only delays the same answer. Fail fast instead.
+            self._fail_task(task, exc, States.failed)
+            return
         if task.fail_count <= self.config.retries:
             logger.info("task %s (%s) failed (attempt %d); retrying", task.id, task.func_name, task.fail_count)
             self._set_task_status(task, States.retry)
@@ -529,16 +571,37 @@ class DataFlowKernel:
             if self.config.retry_backoff_s:
                 # Schedule the re-enqueue instead of sleeping: this callback
                 # may run on the dispatcher thread, and a sleep there would
-                # stall dispatch for every task on every executor.
+                # stall dispatch for every task on every executor. The timer
+                # is tracked so cleanup() can cancel it and fail the task
+                # fast — an untracked timer firing after shutdown would
+                # enqueue into a dead dispatcher and strand the AppFuture.
                 timer = threading.Timer(
-                    self.config.retry_backoff_s, self._launch_task_retry, args=(task, args, kwargs)
+                    self.config.retry_backoff_s, lambda: self._fire_retry_timer(timer)
                 )
                 timer.daemon = True
+                with self._retry_timers_lock:
+                    self._retry_timers[timer] = (task, args, kwargs)
                 timer.start()
             else:
                 self._launch_task_retry(task, args, kwargs)
         else:
             self._fail_task(task, exc, States.failed)
+
+    def _fire_retry_timer(self, timer: threading.Timer) -> None:
+        """A backoff timer elapsed: claim its entry and re-enqueue the task.
+
+        The pop is the ownership handshake with cleanup(): whichever side
+        removes the entry settles the task (here by re-enqueueing — which
+        itself fail-fasts if the kernel has shut down meanwhile — and in
+        cleanup() by cancelling and failing), so the AppFuture resolves
+        exactly once either way.
+        """
+        with self._retry_timers_lock:
+            entry = self._retry_timers.pop(timer, None)
+        if entry is None:
+            return  # cleanup() claimed (cancelled + failed) this retry
+        task, args, kwargs = entry
+        self._launch_task_retry(task, args, kwargs)
 
     def _launch_task_retry(self, task: TaskRecord, args, kwargs) -> None:
         # Retries rejoin the batched dispatch path; the dispatcher re-chooses
@@ -588,6 +651,8 @@ class DataFlowKernel:
                 "func_name": task.func_name,
                 "executor": task.executor,
                 "fail_count": task.fail_count,
+                "priority": task.priority,
+                "manager": task.placed_manager,
             },
         )
 
@@ -658,6 +723,20 @@ class DataFlowKernel:
         self._strategy_timer.close()
         self._dispatch_stop.set()
         self._dispatcher.join(timeout=2)
+        # Pending retry-backoff timers must not outlive the kernel: cancel
+        # each and fail its task fast so the AppFuture resolves now instead
+        # of a late timer enqueueing into the dead dispatcher. The lock-held
+        # pop hands ownership to exactly one side (see _fire_retry_timer).
+        with self._retry_timers_lock:
+            pending_retries = list(self._retry_timers.items())
+            self._retry_timers.clear()
+        for timer, (task, _args, _kwargs) in pending_retries:
+            timer.cancel()
+            self._fail_task(
+                task,
+                CancelledError(f"task {task.id} retry abandoned: DataFlowKernel is shut down"),
+                States.failed,
+            )
         # Hand any still-queued tasks to their executors (which are still up
         # at this point) so no AppFuture is left dangling: executor shutdown
         # below either runs or cancels them, exactly as with the old

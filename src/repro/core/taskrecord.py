@@ -68,6 +68,11 @@ class TaskRecord:
     join: bool = False
     joins: Any = None
     resource_specification: Dict[str, Any] = field(default_factory=dict)
+    #: Dispatch priority from the task's resource spec (higher runs sooner);
+    #: kept as a scalar so monitoring rows carry it even after retirement.
+    priority: int = 0
+    #: Identity of the manager that ran the task (set on completion).
+    placed_manager: Optional[str] = None
     outputs: List[Any] = field(default_factory=list)
     time_invoked: float = field(default_factory=time.time)
     time_returned: Optional[float] = None

@@ -190,6 +190,10 @@ class UnsupportedFeatureError(ReproException):
     """A feature not supported by the selected executor was requested."""
 
 
+class ResourceSpecError(ReproException):
+    """A per-task resource specification is malformed or unsatisfiable."""
+
+
 # ---------------------------------------------------------------------------
 # Provider / channel / launcher errors
 # ---------------------------------------------------------------------------

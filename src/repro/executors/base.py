@@ -124,6 +124,18 @@ class ReproExecutor(ABC):
         """Whether the strategy may scale this executor through its provider."""
         return self.provider is not None
 
+    @property
+    def supports_resource_specs(self) -> bool:
+        """Whether this executor honors per-task resource specifications.
+
+        The DFK router only sends a task carrying a non-default spec to an
+        executor that can honor it (when any is configured): an executor
+        that rejects specs (LLEX) would fail the task terminally, and one
+        that ignores them (the thread pool) would silently drop the cores
+        reservation and priority.
+        """
+        return False
+
     def status(self) -> Dict[str, JobStatus]:
         """Status of every block owned by this executor, keyed by block id."""
         if self.provider is None or not self.blocks:

@@ -26,12 +26,15 @@ import sys
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import SerializationError, UnsupportedFeatureError
+from repro.errors import ResourceSpecError, SerializationError
 from repro.executors.base import ReproExecutor, SubmitRequest
 from repro.executors.blocks import BlockState
+from repro.executors.htex import messages as msg
 from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
 from repro.providers.base import ExecutionProvider
+from repro.scheduling.queues import DEFAULT_AGING_S
+from repro.scheduling.spec import ResourceSpec
 from repro.serialize import deserialize, pack_apply_message
 from repro.utils.threads import AtomicCounter
 
@@ -52,6 +55,14 @@ class HighThroughputExecutor(ReproExecutor):
       to disable prefetching.
     * ``poll_period=0.005`` — the interchange's idle poll; under load the loop
       is driven by message arrival, so this only bounds first-dispatch latency.
+    * ``scheduling_policy="least_loaded"`` — task→manager placement (see
+      :mod:`repro.scheduling.placement`): ``least_loaded``, ``bin_pack``,
+      ``spread``, ``random``, ``round_robin``. Tasks carry per-task resource
+      specs: ``{"cores": N}`` consumes N worker slots on one manager,
+      ``{"priority": P}`` orders the interchange's starvation-safe priority
+      queue (``priority_aging_s`` seconds of waiting outweigh one priority
+      level; ``placement_lookahead`` bounds how many unplaceable multi-core
+      tasks a dispatch round may hold aside while smaller tasks flow past).
     * heartbeats every ``heartbeat_period`` seconds; a manager silent for
       ``heartbeat_threshold`` seconds is declared lost and its in-flight tasks
       are settled individually: requeued onto a surviving manager while each
@@ -77,9 +88,11 @@ class HighThroughputExecutor(ReproExecutor):
         poll_period: float = 0.005,
         worker_mode: str = "process",
         internal_managers: int = 1,
-        scheduling_policy: str = "random",
+        scheduling_policy: str = "least_loaded",
         max_task_redispatches: int = 1,
         drain_timeout: float = 60.0,
+        priority_aging_s: float = DEFAULT_AGING_S,
+        placement_lookahead: int = 32,
         worker_debug: bool = False,
         launch_cmd: Optional[str] = None,
     ):
@@ -96,6 +109,8 @@ class HighThroughputExecutor(ReproExecutor):
         self.scheduling_policy = scheduling_policy
         self.max_task_redispatches = max_task_redispatches
         self.drain_timeout = drain_timeout
+        self.priority_aging_s = priority_aging_s
+        self.placement_lookahead = placement_lookahead
         self.worker_debug = worker_debug
         self.launch_cmd = launch_cmd or (
             "{python} -m repro.executors.htex.process_worker_pool "
@@ -130,6 +145,8 @@ class HighThroughputExecutor(ReproExecutor):
             max_task_redispatches=self.max_task_redispatches,
             block_drained_callback=self._on_block_drained,
             drain_timeout=self.drain_timeout,
+            priority_aging_s=self.priority_aging_s,
+            placement_lookahead=self.placement_lookahead,
             label=f"{self.label}-interchange",
         )
         self.interchange.start()
@@ -192,13 +209,31 @@ class HighThroughputExecutor(ReproExecutor):
     # ------------------------------------------------------------------
     # Submission and results
     # ------------------------------------------------------------------
+    @property
+    def supports_resource_specs(self) -> bool:
+        """HTEX (and its EXEX subclass) honors cores/priority specs."""
+        return True
+
+    def _resolve_spec(self, resource_specification: Any) -> ResourceSpec:
+        """Validate one task's resource spec against this executor's slots.
+
+        A spec asking for more cores than one manager runs workers could
+        never be placed, so it is rejected at submit time rather than left to
+        starve in the pending queue. ``memory_mb``/``walltime_s`` are
+        advisory hints (recorded, not metered).
+        """
+        spec = ResourceSpec.from_user(resource_specification)
+        if spec.cores > self.workers_per_node:
+            raise ResourceSpecError(
+                f"task asks for {spec.cores} cores but executor {self.label!r} runs "
+                f"{self.workers_per_node} workers per node; no manager could ever fit it"
+            )
+        return spec
+
     def submit(self, func: Callable, resource_specification: Dict[str, Any], *args, **kwargs) -> cf.Future:
         if not self._started or self.interchange is None:
             raise RuntimeError(f"executor {self.label!r} has not been started")
-        if resource_specification:
-            raise UnsupportedFeatureError(
-                "HTEX does not accept per-task resource specifications; use a dedicated executor"
-            )
+        spec = self._resolve_spec(resource_specification)
         if self.bad_state_is_set:
             raise self.executor_exception or RuntimeError("executor is in a failed state")
         try:
@@ -211,7 +246,7 @@ class HighThroughputExecutor(ReproExecutor):
             self._task_counter += 1
             self._tasks[task_id] = future
         self._track_outstanding(future)
-        self.interchange.submit_task(task_id, buffer)
+        self.interchange.submit_task(task_id, buffer, priority=spec.priority, cores=spec.cores)
         return future
 
     def submit_batch(self, requests: Sequence[SubmitRequest]) -> List[cf.Future]:
@@ -229,19 +264,13 @@ class HighThroughputExecutor(ReproExecutor):
         for func, resource_specification, args, kwargs in requests:
             future: cf.Future = cf.Future()
             futures.append(future)
-            if resource_specification:
-                future.set_exception(
-                    UnsupportedFeatureError(
-                        "HTEX does not accept per-task resource specifications; use a dedicated executor"
-                    )
-                )
-                continue
             if self.bad_state_is_set:
                 future.set_exception(self.executor_exception or RuntimeError("executor is in a failed state"))
                 continue
             try:
+                spec = self._resolve_spec(resource_specification)
                 buffer = pack_apply_message(func, args, kwargs)
-            except Exception as exc:  # noqa: BLE001 - per-task serialization failure
+            except Exception as exc:  # noqa: BLE001 - per-task spec/serialization failure
                 future.set_exception(exc)
                 continue
             with self._tasks_lock:
@@ -249,7 +278,7 @@ class HighThroughputExecutor(ReproExecutor):
                 self._task_counter += 1
                 self._tasks[task_id] = future
             self._track_outstanding(future)
-            items.append({"task_id": task_id, "buffer": buffer})
+            items.append(msg.task_item(task_id, buffer, priority=spec.priority, cores=spec.cores))
         if items:
             self.interchange.submit_tasks(items)
         return futures
@@ -261,6 +290,9 @@ class HighThroughputExecutor(ReproExecutor):
             future = self._tasks.pop(task_id, None)
         if future is None or future.done():
             return
+        # Which manager ran (or lost) the task; the DFK forwards it into the
+        # TASK_STATE monitoring row so placement is auditable per task.
+        future.placed_manager = item.get("manager")  # type: ignore[attr-defined]
         if "exception" in item and "buffer" not in item:
             future.set_exception(item["exception"])
             return

@@ -5,14 +5,26 @@ managers connect over TCP. The executor client in the same process hands it
 tasks through an in-memory queue (the equivalent of Parsl's client-side
 ZeroMQ pipe) and receives results through a callback.
 
-Responsibilities reproduced from the paper:
+Responsibilities reproduced from the paper (plus the resource-aware
+scheduling subsystem layered on top):
 
-* match queued tasks to managers with advertised free capacity, using
-  *randomized* manager selection for fairness,
-* coalesce task dispatch: the outbound queue is drained into messages of up
-  to ``batch_size`` tasks, capped by the selected manager's advertised
-  ``free_capacity`` (worker slots + prefetch), so one socket write carries a
-  whole batch,
+* order queued tasks by priority: the pending queue is a
+  :class:`~repro.scheduling.queues.PriorityTaskQueue` (heap keyed on
+  priority then submit order, starvation-safe via aging), so a high-priority
+  task submitted behind a bulk backlog overtakes it, and a requeued task
+  re-enters at its *original* position,
+* match queued tasks to managers through a pluggable placement policy
+  (:mod:`repro.scheduling.placement`): ``least_loaded`` (default),
+  ``bin_pack``, ``spread``, ``random``, ``round_robin``. Capacity is
+  accounted in worker *core-slots*: a task whose resource spec asks for
+  ``cores`` consumes that many slots on the one manager it is placed on, and
+  the interchange's own accounting (not the managers' advertisements) is
+  authoritative, so no manager is ever handed more in-flight cores than it
+  advertises,
+* coalesce task dispatch: each round snapshots manager capacity once, places
+  a whole window of tasks through the policy's index (O(batch · log
+  managers)), and ships each manager's share in messages of up to
+  ``batch_size`` tasks so one socket write carries a whole batch,
 * exchange heartbeats with managers and declare a manager lost when it misses
   ``heartbeat_threshold`` seconds of heartbeats, settling that manager's
   in-flight tasks *individually* — each is requeued onto a surviving manager
@@ -25,7 +37,6 @@ Responsibilities reproduced from the paper:
 from __future__ import annotations
 
 import logging
-import queue
 import random
 import threading
 import time
@@ -35,6 +46,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.comms.server import MessageServer
 from repro.errors import ManagerLost
 from repro.executors.htex import messages as msg
+from repro.scheduling.placement import ManagerSlot, make_placement_view
+from repro.scheduling.queues import DEFAULT_AGING_S, PriorityTaskQueue
 
 logger = logging.getLogger(__name__)
 
@@ -48,10 +61,15 @@ class ManagerRecord:
     hostname: str
     worker_count: int
     prefetch_capacity: int = 0
-    free_capacity: int = 0
     #: task_id -> the dispatched task item, kept so a lost manager's
     #: in-flight tasks can be requeued individually.
     outstanding: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Core-slots currently consumed by the outstanding tasks. Maintained by
+    #: the interchange itself at dispatch/result time, which makes it immune
+    #: to advertisement reordering — this is what the no-oversubscription
+    #: guarantee is asserted from.
+    in_flight_cores: int = 0
+    peak_in_flight_cores: int = 0
     last_heartbeat: float = field(default_factory=time.time)
     active: bool = True
     blacklisted: bool = False
@@ -62,6 +80,32 @@ class ManagerRecord:
     @property
     def max_queue_depth(self) -> int:
         return self.worker_count + self.prefetch_capacity
+
+    @property
+    def capacity_remaining(self) -> int:
+        """Queue slots still dispatchable, by the interchange's own accounting."""
+        return max(self.max_queue_depth - self.in_flight_cores, 0)
+
+    @property
+    def exec_slots_remaining(self) -> int:
+        """Execution slots (actual workers) not yet reserved by in-flight cores.
+
+        Multi-core placement is constrained by this, not by
+        :attr:`capacity_remaining`: prefetch slots are buffer space, and
+        reserving N cores against buffer would let two multi-core tasks
+        co-schedule on the same workers.
+        """
+        return max(self.worker_count - self.in_flight_cores, 0)
+
+    @property
+    def free_capacity(self) -> int:
+        """Reporting alias for :attr:`capacity_remaining`.
+
+        The managers' ``ready`` advertisements are *telemetry*; the
+        interchange's own in-flight accounting is authoritative for both
+        dispatch and reporting, so the two can never drift.
+        """
+        return self.capacity_remaining
 
 
 class Interchange:
@@ -77,10 +121,12 @@ class Interchange:
         batch_size: int = 8,
         poll_period: float = 0.01,
         selection_seed: Optional[int] = None,
-        scheduling_policy: str = "random",
+        scheduling_policy: str = "least_loaded",
         max_task_redispatches: int = 1,
         block_drained_callback: Optional[Callable[[str], None]] = None,
         drain_timeout: float = 60.0,
+        priority_aging_s: float = DEFAULT_AGING_S,
+        placement_lookahead: int = 32,
         label: str = "interchange",
     ):
         self.result_callback = result_callback
@@ -90,22 +136,35 @@ class Interchange:
         self.poll_period = poll_period
         self.max_task_redispatches = max_task_redispatches
         self.scheduling_policy = scheduling_policy
+        self.placement_lookahead = placement_lookahead
         self.block_drained_callback = block_drained_callback
         self.drain_timeout = drain_timeout
         #: block_id -> time the drain was requested.
         self._draining_blocks: Dict[str, float] = {}
         self.label = label
         self.server = MessageServer(host=host, port=port, name=f"{label}-server")
-        self.pending_tasks: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+        self.pending_tasks = PriorityTaskQueue(aging_s=priority_aging_s)
         self._managers: Dict[str, ManagerRecord] = {}
         self._managers_lock = threading.RLock()
         self._rng = random.Random(selection_seed)
-        self._rr_index = 0
+        self._rr_cursor = [0]
         self._stop_event = threading.Event()
         self._threads: List[threading.Thread] = []
         self._last_heartbeat_sweep = time.time()
         self.tasks_dispatched = 0
         self.results_received = 0
+        #: Times a dispatch pushed a manager past its advertised slots; the
+        #: placement accounting makes this impossible, so the fig7 bench
+        #: asserts it stays zero.
+        self.oversubscription_events = 0
+        #: Final per-manager accounting for managers that have disconnected,
+        #: so post-run stats still cover the whole campaign.
+        self._retired_manager_stats: Dict[str, Dict[str, int]] = {}
+        #: (manager identity, cores) held in reserve for the highest-priority
+        #: deferred multi-core task (see _dispatch_tasks): the manager gets no
+        #: new work, so it drains until the task's execution slots free up.
+        #: Rebuilt every round; cleared the moment nothing multi-core defers.
+        self._exec_reservation: Optional[tuple] = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -136,25 +195,26 @@ class Interchange:
     # ------------------------------------------------------------------
     # Client-facing API (called from the executor in the same process)
     # ------------------------------------------------------------------
-    def submit_task(self, task_id: int, buffer: bytes) -> None:
-        self.pending_tasks.put({"task_id": task_id, "buffer": buffer})
+    def submit_task(self, task_id: int, buffer: bytes, priority: int = 0, cores: int = 1) -> None:
+        self.pending_tasks.put(msg.task_item(task_id, buffer, priority=priority, cores=cores))
 
     def submit_tasks(self, items: List[Dict[str, Any]]) -> None:
-        """Enqueue a pre-packed batch of tasks (each item: ``task_id``, ``buffer``).
+        """Enqueue a pre-packed batch of tasks (each item: ``task_id``,
+        ``buffer``, and optionally ``priority`` / ``cores``).
 
         This is the executor's batched submission entry point: the whole batch
-        lands on the outbound queue in one call and the dispatch loop coalesces
-        it into as few manager messages as capacity allows.
+        lands on the outbound priority queue in one call and the dispatch loop
+        coalesces it into as few manager messages as capacity allows.
         """
-        for item in items:
-            self.pending_tasks.put(item)
+        self.pending_tasks.put_many(items)
 
     def command(self, cmd: str, **kwargs) -> Any:
         """Synchronous command channel (§4.3.1).
 
         Supported commands: ``outstanding``, ``connected_managers``,
         ``worker_count``, ``blacklist`` (kwargs: identity), ``drain_block``
-        (kwargs: block_id), ``block_report``, ``shutdown``.
+        (kwargs: block_id), ``block_report``, ``scheduling_stats``,
+        ``shutdown``.
         """
         if cmd == "outstanding":
             with self._managers_lock:
@@ -170,6 +230,7 @@ class Interchange:
                         "worker_count": m.worker_count,
                         "free_capacity": m.free_capacity,
                         "outstanding": len(m.outstanding),
+                        "in_flight_cores": m.in_flight_cores,
                         "blacklisted": m.blacklisted,
                         "draining": m.draining,
                     }
@@ -191,10 +252,45 @@ class Interchange:
             return self._drain_block(kwargs["block_id"])
         if cmd == "block_report":
             return self.block_report()
+        if cmd == "scheduling_stats":
+            return self.scheduling_stats()
         if cmd == "shutdown":
             self.stop()
             return True
         raise ValueError(f"unknown interchange command {cmd!r}")
+
+    def scheduling_stats(self) -> Dict[str, Any]:
+        """Placement accounting for the whole campaign (fig7's assertion feed).
+
+        Covers every manager ever seen — live records plus the frozen stats
+        of managers that have since disconnected — so "no manager ever held
+        more in-flight cores than it advertised" can be asserted post-run.
+        """
+        with self._managers_lock:
+            managers = {
+                m.identity: {
+                    "capacity": m.max_queue_depth,
+                    "in_flight_cores": m.in_flight_cores,
+                    "peak_in_flight_cores": m.peak_in_flight_cores,
+                }
+                for m in self._managers.values()
+            }
+            retired = dict(self._retired_manager_stats)
+        retired.update(managers)
+        return {
+            "policy": self.scheduling_policy,
+            "queue_depth": self.pending_tasks.qsize(),
+            "oversubscription_events": self.oversubscription_events,
+            "managers": retired,
+        }
+
+    def _retire_manager_stats(self, record: ManagerRecord) -> None:
+        """Freeze a disconnecting manager's accounting (caller holds the lock)."""
+        self._retired_manager_stats[record.identity] = {
+            "capacity": record.max_queue_depth,
+            "in_flight_cores": 0,
+            "peak_in_flight_cores": record.peak_in_flight_cores,
+        }
 
     def block_report(self) -> Dict[str, Dict[str, Any]]:
         """Per-block aggregate of manager activity, for the block registry."""
@@ -267,7 +363,6 @@ class Interchange:
                 worker_count=int(info.get("worker_count", 1)),
                 prefetch_capacity=int(info.get("prefetch_capacity", 0)),
             )
-            record.free_capacity = record.max_queue_depth
             with self._managers_lock:
                 # A manager booting into a block that is already being
                 # drained (scale-in raced its registration) must never
@@ -286,11 +381,10 @@ class Interchange:
             self._touch(identity)
             self.server.send(identity, msg.heartbeat_reply_message())
         elif mtype == "ready":
+            # The advertisement is liveness telemetry only: dispatch capacity
+            # is derived from the interchange's own in-flight accounting
+            # (immune to message reordering), so there is nothing to record.
             self._touch(identity)
-            with self._managers_lock:
-                record = self._managers.get(identity)
-                if record is not None:
-                    record.free_capacity = int(message.get("free_capacity", 0))
         elif mtype == "results":
             self._touch(identity)
             items = message.get("items", [])
@@ -298,10 +392,13 @@ class Interchange:
                 record = self._managers.get(identity)
                 for item in items:
                     if record is not None:
-                        record.outstanding.pop(item["task_id"], None)
-                        record.free_capacity = min(record.free_capacity + 1, record.max_queue_depth)
+                        settled = record.outstanding.pop(item["task_id"], None)
+                        if settled is not None:
+                            freed = msg.task_cores(settled)
+                            record.in_flight_cores = max(record.in_flight_cores - freed, 0)
             for item in items:
                 self.results_received += 1
+                item.setdefault("manager", identity)
                 self.result_callback(item)
         elif mtype == "drain_ack":
             self._touch(identity)
@@ -316,54 +413,126 @@ class Interchange:
                 record.last_heartbeat = time.time()
 
     # ------------------------------------------------------------------
-    def _eligible_managers(self) -> List[ManagerRecord]:
-        with self._managers_lock:
-            return [
-                m
-                for m in self._managers.values()
-                if m.active and not m.blacklisted and not m.draining and m.free_capacity > 0
-            ]
-
-    def _select_manager(self, eligible: List[ManagerRecord]) -> ManagerRecord:
-        """Pick a manager for the next batch.
-
-        The paper's interchange uses randomized selection for fairness; a
-        round-robin policy is available for the scheduling ablation bench.
-        """
-        if self.scheduling_policy == "round_robin":
-            self._rr_index = (self._rr_index + 1) % len(eligible)
-            return eligible[self._rr_index]
-        return self._rng.choice(eligible)
-
     def _dispatch_tasks(self) -> None:
-        while not self.pending_tasks.empty():
-            eligible = self._eligible_managers()
-            if not eligible:
-                return
-            record = self._select_manager(eligible)
-            batch: List[Dict[str, Any]] = []
-            while len(batch) < min(self.batch_size, record.free_capacity):
-                try:
-                    batch.append(self.pending_tasks.get_nowait())
-                except queue.Empty:
+        """One placement round: snapshot capacity once, place a whole window.
+
+        The eligible managers are snapshotted into
+        :class:`~repro.scheduling.placement.ManagerSlot` views under the lock
+        *once per round* (not once per task, as the old ``_select_manager``
+        re-scan did), and the policy's index answers each placement in
+        O(log managers) — a batch dispatches in O(batch · log managers).
+
+        Tasks are popped in priority order. A task no manager can currently
+        fit (e.g. a 4-core task while only single slots are free) is held
+        aside and restored to its exact queue position afterwards — up to
+        ``placement_lookahead`` such tasks per round, so smaller tasks behind
+        it keep flowing without the scan degenerating to O(queue).
+
+        Deferred *multi-core* tasks additionally place a **reservation**:
+        under sustained 1-core traffic every manager stays saturated, so
+        without one a cores-N task would starve — its execution-slot window
+        never opens. The round that defers one picks a capable manager and
+        holds it out of the next round's snapshot; receiving no new work, it
+        drains until the task fits (the reservation is re-evaluated every
+        round and vanishes as soon as nothing multi-core is deferred).
+        """
+        if self.pending_tasks.empty():
+            return
+        with self._managers_lock:
+            reservation = self._exec_reservation
+            slots = []
+            for m in self._managers.values():
+                if not (m.active and not m.blacklisted and not m.draining):
+                    continue
+                if (
+                    reservation is not None
+                    and m.identity == reservation[0]
+                    and m.exec_slots_remaining < reservation[1]
+                ):
+                    continue  # held in reserve: drains toward the blocked multi-core task
+                if m.capacity_remaining > 0:
+                    slots.append(
+                        ManagerSlot(
+                            m.identity,
+                            m.capacity_remaining,
+                            len(m.outstanding),
+                            exec_free=m.exec_slots_remaining,
+                        )
+                    )
+        if not slots:
+            return
+        view = make_placement_view(self.scheduling_policy, slots, self._rng, rr_cursor=self._rr_cursor)
+        budget = sum(slot.free for slot in slots)
+        assignments: Dict[str, List[Dict[str, Any]]] = {}
+        deferred: List[Dict[str, Any]] = []
+        while budget > 0:
+            item = self.pending_tasks.pop()
+            if item is None:
+                break
+            cores = msg.task_cores(item)
+            identity = view.place(cores)
+            if identity is None:
+                deferred.append(item)
+                if len(deferred) >= self.placement_lookahead:
                     break
-            if not batch:
-                return
-            delivered = self.server.send(record.identity, msg.tasks_message(batch))
-            if not delivered:
-                # Connection died between selection and send: requeue and let
-                # the heartbeat sweep clean the manager up.
-                for item in batch:
-                    self.pending_tasks.put(item)
-                self._manager_lost(record.identity, reason="send failed")
+                continue
+            assignments.setdefault(identity, []).append(item)
+            budget -= cores
+        self.pending_tasks.put_many(deferred)  # stamped keys restore their positions
+        self._update_exec_reservation(deferred)
+        for identity, items in assignments.items():
+            self._send_assignment(identity, items)
+
+    def _update_exec_reservation(self, deferred: List[Dict[str, Any]]) -> None:
+        """Hold one manager back for the best deferred multi-core task.
+
+        ``deferred`` is in priority order, so the first multi-core entry is
+        the one strict priority says should run next. The chosen manager is
+        the capable one (enough workers) closest to fitting it.
+        """
+        for item in deferred:
+            cores = msg.task_cores(item)
+            if cores <= 1:
                 continue
             with self._managers_lock:
-                live = self._managers.get(record.identity)
+                candidates = [
+                    m
+                    for m in self._managers.values()
+                    if m.active and not m.blacklisted and not m.draining and m.worker_count >= cores
+                ]
+                if candidates:
+                    best = max(
+                        candidates, key=lambda m: (m.exec_slots_remaining, -len(m.outstanding))
+                    )
+                    self._exec_reservation = (best.identity, cores)
+                    return
+            break  # no capable manager connected; nothing to reserve
+        self._exec_reservation = None
+
+    def _send_assignment(self, identity: str, items: List[Dict[str, Any]]) -> None:
+        """Ship one manager's share of the round in batch-sized messages."""
+        for start in range(0, len(items), self.batch_size):
+            chunk = items[start : start + self.batch_size]
+            delivered = self.server.send(identity, msg.tasks_message(chunk))
+            if not delivered:
+                # Connection died between placement and send: requeue (at
+                # original priority) and let the loss path clean up.
+                self.pending_tasks.put_many(items[start:])
+                self._manager_lost(identity, reason="send failed")
+                return
+            chunk_cores = sum(msg.task_cores(item) for item in chunk)
+            with self._managers_lock:
+                live = self._managers.get(identity)
                 if live is not None:
-                    for item in batch:
+                    for item in chunk:
                         live.outstanding[item["task_id"]] = item
-                    live.free_capacity = max(live.free_capacity - len(batch), 0)
-            self.tasks_dispatched += len(batch)
+                    live.in_flight_cores += chunk_cores
+                    live.peak_in_flight_cores = max(
+                        live.peak_in_flight_cores, live.in_flight_cores
+                    )
+                    if live.in_flight_cores > live.max_queue_depth:
+                        self.oversubscription_events += 1
+            self.tasks_dispatched += len(chunk)
 
     # ------------------------------------------------------------------
     def _drain_sweep(self) -> None:
@@ -400,6 +569,7 @@ class Interchange:
                 for m in settled:
                     m.active = False
                     del self._managers[m.identity]
+                    self._retire_manager_stats(m)
                     to_shutdown.append(m.identity)
                 to_lose.extend(m.identity for m in managers if m.outstanding)
                 del self._draining_blocks[block_id]
@@ -441,7 +611,9 @@ class Interchange:
         settled *individually*: each task is requeued for another manager when
         one is available and the task still has a redispatch budget, and
         otherwise fails with its own :class:`~repro.errors.ManagerLost` — never
-        one exception shared across a whole batch message.
+        one exception shared across a whole batch message. A requeued task
+        keeps its ``_vtime`` stamp, so it re-enters the pending queue at its
+        original priority and accrued age, not at the back.
         """
         with self._managers_lock:
             record = self._managers.get(identity)
@@ -450,8 +622,10 @@ class Interchange:
             record.active = False
             outstanding = list(record.outstanding.values())
             record.outstanding.clear()
+            record.in_flight_cores = 0
             hostname = record.hostname
             del self._managers[identity]
+            self._retire_manager_stats(record)
             # Draining managers are not survivors: they accept no new
             # dispatches, so requeueing onto them would strand the tasks in
             # the pending queue forever — better to fail with ManagerLost.
@@ -467,7 +641,11 @@ class Interchange:
                 requeued += 1
             else:
                 self.result_callback(
-                    {"task_id": item["task_id"], "exception": ManagerLost(identity, hostname)}
+                    {
+                        "task_id": item["task_id"],
+                        "exception": ManagerLost(identity, hostname),
+                        "manager": identity,
+                    }
                 )
         if outstanding:
             logger.warning(

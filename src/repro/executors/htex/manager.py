@@ -83,7 +83,12 @@ class Manager:
         self._draining = threading.Event()
         self._threads: List[threading.Thread] = []
         self._last_interchange_contact = time.time()
+        #: In-flight load in worker core-slots: a multi-core task (resource
+        #: spec ``cores=N``) holds N slots from receipt until its result is
+        #: flushed, so the capacity this manager advertises never co-schedules
+        #: more cores than it has.
         self._in_flight = 0
+        self._task_cores: Dict[int, int] = {}
         self._capacity_lock = threading.Lock()
         self.tasks_received = 0
         self.results_sent = 0
@@ -162,7 +167,10 @@ class Manager:
                 items = message.get("items", [])
                 self.tasks_received += len(items)
                 with self._capacity_lock:
-                    self._in_flight += len(items)
+                    for item in items:
+                        cores = msg.task_cores(item)
+                        self._task_cores[item["task_id"]] = cores
+                        self._in_flight += cores
                 for item in items:
                     self._task_queue.put(item)
                 self._last_interchange_contact = time.time()
@@ -208,7 +216,8 @@ class Manager:
                     break
                 batch.append({"task_id": extra["task_id"], "buffer": extra["buffer"]})
             with self._capacity_lock:
-                self._in_flight = max(self._in_flight - len(batch), 0)
+                freed = sum(self._task_cores.pop(result["task_id"], 1) for result in batch)
+                self._in_flight = max(self._in_flight - freed, 0)
             self.results_sent += len(batch)
             self._client.send_many(
                 [msg.results_message(batch), msg.ready_message(self._free_capacity())]

@@ -52,6 +52,32 @@ def drain_ack_message() -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Task items (executor -> interchange -> manager)
+# ---------------------------------------------------------------------------
+
+def task_item(task_id: int, buffer: bytes, priority: int = 0, cores: int = 1) -> Dict[str, Any]:
+    """One task as it travels the dispatch path.
+
+    ``priority`` orders the interchange's pending queue (higher runs sooner);
+    ``cores`` is the number of worker core-slots the task occupies on the one
+    manager it is placed on. Both default to the pre-scheduling behaviour
+    (FIFO one-slot tasks), and the scheduling fields are simply absent from
+    the minimal form so old captures/tests remain valid.
+    """
+    item: Dict[str, Any] = {"task_id": task_id, "buffer": buffer}
+    if priority:
+        item["priority"] = priority
+    if cores != 1:
+        item["cores"] = cores
+    return item
+
+
+def task_cores(item: Dict[str, Any]) -> int:
+    """Core-slots an in-flight task item occupies (1 when unspecified)."""
+    return int(item.get("cores") or 1)
+
+
+# ---------------------------------------------------------------------------
 # Interchange -> Manager
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,27 @@
+"""Resource-aware scheduling: per-task resource specs, priorities, placement.
+
+The subsystem threads a :class:`~repro.scheduling.spec.ResourceSpec` from the
+app decorators down to worker slots:
+
+* :mod:`repro.scheduling.spec` — the validated, wire-serializable spec
+  (cores, memory hint, walltime hint, priority, executor affinity);
+* :mod:`repro.scheduling.queues` — the starvation-safe priority queue that
+  replaces the FIFO pending queue in the HTEX interchange;
+* :mod:`repro.scheduling.placement` — pluggable task→manager placement
+  policies (least-loaded, bin-pack, spread, random, round-robin);
+* :mod:`repro.scheduling.router` — the DFK-level multi-executor router
+  (label match → load-aware spillover → backpressure cap).
+"""
+
+from repro.scheduling.placement import ManagerSlot, make_placement_view
+from repro.scheduling.queues import PriorityTaskQueue
+from repro.scheduling.router import ExecutorRouter
+from repro.scheduling.spec import ResourceSpec
+
+__all__ = [
+    "ResourceSpec",
+    "PriorityTaskQueue",
+    "ManagerSlot",
+    "make_placement_view",
+    "ExecutorRouter",
+]

@@ -1,0 +1,243 @@
+"""Pluggable task→manager placement policies for the HTEX interchange.
+
+A *placement view* is built once per dispatch round from a snapshot of the
+eligible managers (taken under the interchange's manager lock) and then
+answers ``place(cores)`` for every task popped from the priority queue,
+updating its private free-slot accounting as it assigns. This replaces the
+old per-task re-scan of all eligible managers: with the default least-loaded
+policy one batch dispatches in O(batch · log managers).
+
+Policies:
+
+* ``least_loaded`` (default) — the manager with the most free core-slots
+  takes the next task; a max-heap over free capacity makes each placement
+  O(log m), and since the heap top has the *most* free slots, a task that
+  does not fit there fits nowhere — the fit check is a single comparison.
+* ``bin_pack`` — best-fit: the fullest manager that still fits the task
+  takes it, concentrating load so whole managers stay free for subsequent
+  multi-core tasks (the classic decreasing-fit packing applied in priority
+  order). A sorted free-list with bisect lookup keeps each placement
+  O(log m) search (+ O(m) re-insert on the small per-round list).
+* ``spread`` — the manager with the fewest in-flight tasks takes the next
+  one, evening work across managers (a min-heap over load).
+* ``random`` — the pre-subsystem behaviour: uniform choice among managers
+  with room (single probe for 1-core tasks, circular scan otherwise).
+* ``round_robin`` — cycle managers in connection order (the scheduling
+  ablation's comparison policy); the cursor persists across rounds.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+#: Registered policy names, in documentation order.
+PLACEMENT_POLICIES: Tuple[str, ...] = ("least_loaded", "bin_pack", "spread", "random", "round_robin")
+
+
+@dataclass
+class ManagerSlot:
+    """One manager's mutable capacity view for a single dispatch round.
+
+    ``free`` counts *queue* slots (workers + prefetch − in-flight cores):
+    how much more the manager may buffer. ``exec_free`` counts *execution*
+    slots (workers − in-flight cores): how many cores could actually run
+    concurrently. A 1-core task only needs a queue slot — prefetching it is
+    the paper's pipelining optimization, it runs when a worker frees. A
+    multi-core task must additionally fit ``exec_free``: reserving N cores
+    against buffer space that includes prefetch would let two 4-core tasks
+    co-schedule on a 4-worker node. ``exec_free`` defaults to ``free`` for
+    callers without a prefetch distinction (tests, benchmarks).
+    """
+
+    identity: str
+    free: int          # free queue slots (workers + prefetch − in-flight cores)
+    outstanding: int   # in-flight tasks, used by the spread policy
+    exec_free: Optional[int] = None  # free execution slots (workers − in-flight cores)
+
+    def __post_init__(self) -> None:
+        if self.exec_free is None:
+            self.exec_free = self.free
+
+    def fits(self, cores: int) -> bool:
+        if cores > self.free:
+            return False
+        return cores <= 1 or (self.exec_free is not None and cores <= self.exec_free)
+
+    def consume(self, cores: int) -> None:
+        self.free -= cores
+        if self.exec_free is not None:
+            self.exec_free -= cores
+
+
+class PlacementView(Protocol):
+    """What the interchange's dispatch loop drives, one round at a time."""
+
+    def place(self, cores: int) -> Optional[str]:
+        """Assign a ``cores``-slot task; returns the manager identity or
+        ``None`` when no manager has that many free slots."""
+        ...
+
+
+class LeastLoadedView:
+    """Max-heap over free slots: every placement is O(log m)."""
+
+    def __init__(self, slots: List[ManagerSlot]):
+        self._seq = itertools.count()
+        self._heap: List[Tuple[int, int, ManagerSlot]] = [
+            (-slot.free, next(self._seq), slot) for slot in slots if slot.free > 0
+        ]
+        heapq.heapify(self._heap)
+
+    def place(self, cores: int) -> Optional[str]:
+        if not self._heap or -self._heap[0][0] < cores:
+            return None  # the most-free manager lacks the queue slots, so nobody fits
+        if cores <= 1:
+            _, _, slot = heapq.heappop(self._heap)
+            return self._assign(slot, cores)
+        # Multi-core: the freest-by-queue-slots manager may still lack
+        # execution slots (prefetch inflates `free`), so scan down the heap.
+        unfit: List[Tuple[int, int, ManagerSlot]] = []
+        placed: Optional[str] = None
+        while self._heap and -self._heap[0][0] >= cores:
+            entry = heapq.heappop(self._heap)
+            if entry[2].fits(cores):
+                placed = self._assign(entry[2], cores)
+                break
+            unfit.append(entry)
+        for entry in unfit:
+            heapq.heappush(self._heap, entry)
+        return placed
+
+    def _assign(self, slot: ManagerSlot, cores: int) -> str:
+        slot.consume(cores)
+        if slot.free > 0:
+            heapq.heappush(self._heap, (-slot.free, next(self._seq), slot))
+        return slot.identity
+
+
+class BinPackView:
+    """Best-fit over a bisect-sorted free-list: fullest fitting manager wins."""
+
+    def __init__(self, slots: List[ManagerSlot]):
+        self._seq = itertools.count()
+        self._entries: List[Tuple[int, int, ManagerSlot]] = sorted(
+            (slot.free, next(self._seq), slot) for slot in slots if slot.free > 0
+        )
+        self._keys: List[int] = [entry[0] for entry in self._entries]
+
+    def place(self, cores: int) -> Optional[str]:
+        index = bisect.bisect_left(self._keys, cores)
+        # Best fit by queue slots; for multi-core tasks walk up until the
+        # execution-slot constraint is satisfied too.
+        while index < len(self._entries) and not self._entries[index][2].fits(cores):
+            index += 1
+        if index == len(self._entries):
+            return None
+        _, _, slot = self._entries.pop(index)
+        self._keys.pop(index)
+        slot.consume(cores)
+        if slot.free > 0:
+            entry = (slot.free, next(self._seq), slot)
+            at = bisect.bisect_left(self._keys, slot.free)
+            self._entries.insert(at, entry)
+            self._keys.insert(at, slot.free)
+        return slot.identity
+
+
+class SpreadView:
+    """Min-heap over in-flight load: even tasks out across managers."""
+
+    def __init__(self, slots: List[ManagerSlot]):
+        self._seq = itertools.count()
+        self._heap: List[Tuple[int, int, ManagerSlot]] = [
+            (slot.outstanding, next(self._seq), slot) for slot in slots if slot.free > 0
+        ]
+        heapq.heapify(self._heap)
+
+    def place(self, cores: int) -> Optional[str]:
+        unfit: List[Tuple[int, int, ManagerSlot]] = []
+        placed: Optional[str] = None
+        while self._heap:
+            load, seq, slot = heapq.heappop(self._heap)
+            if not slot.fits(cores):
+                unfit.append((load, seq, slot))
+                continue
+            slot.consume(cores)
+            slot.outstanding += 1
+            if slot.free > 0:
+                heapq.heappush(self._heap, (slot.outstanding, next(self._seq), slot))
+            placed = slot.identity
+            break
+        for entry in unfit:  # managers too full for THIS task may fit the next
+            heapq.heappush(self._heap, entry)
+        return placed
+
+
+class RandomView:
+    """Uniform choice among managers with room (the legacy behaviour)."""
+
+    def __init__(self, slots: List[ManagerSlot], rng: random.Random):
+        self._slots = [slot for slot in slots if slot.free > 0]
+        self._rng = rng
+
+    def place(self, cores: int) -> Optional[str]:
+        n = len(self._slots)
+        if n == 0:
+            return None
+        start = self._rng.randrange(n)
+        for offset in range(n):  # circular scan; first probe fits for 1-core tasks
+            slot = self._slots[(start + offset) % n]
+            if slot.fits(cores):
+                slot.consume(cores)
+                if slot.free == 0:
+                    self._slots.remove(slot)
+                return slot.identity
+        return None
+
+
+class RoundRobinView:
+    """Cycle managers in connection order; the cursor outlives the round."""
+
+    def __init__(self, slots: List[ManagerSlot], cursor: List[int]):
+        self._slots = slots
+        self._cursor = cursor  # single-element mutable cell owned by the caller
+
+    def place(self, cores: int) -> Optional[str]:
+        n = len(self._slots)
+        for offset in range(n):
+            index = (self._cursor[0] + 1 + offset) % n
+            slot = self._slots[index]
+            if slot.fits(cores):
+                slot.consume(cores)
+                self._cursor[0] = index
+                return slot.identity
+        return None
+
+
+def make_placement_view(
+    policy: str,
+    slots: List[ManagerSlot],
+    rng: random.Random,
+    rr_cursor: Optional[List[int]] = None,
+) -> PlacementView:
+    """Build the per-round placement view for ``policy``.
+
+    ``rr_cursor`` is the round-robin policy's persistent cursor (a
+    one-element list owned by the interchange); other policies ignore it.
+    """
+    if policy == "least_loaded":
+        return LeastLoadedView(slots)
+    if policy == "bin_pack":
+        return BinPackView(slots)
+    if policy == "spread":
+        return SpreadView(slots)
+    if policy == "random":
+        return RandomView(slots, rng)
+    if policy == "round_robin":
+        return RoundRobinView(slots, rr_cursor if rr_cursor is not None else [0])
+    raise ValueError(f"unknown placement policy {policy!r}; known policies: {list(PLACEMENT_POLICIES)}")

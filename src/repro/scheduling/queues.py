@@ -1,0 +1,95 @@
+"""The starvation-safe priority queue behind the HTEX interchange.
+
+:class:`PriorityTaskQueue` replaces the FIFO pending deque: entries are held
+in a binary heap keyed on *virtual time*, so ``put``/``pop`` are O(log n).
+
+The key for a task enqueued at wall-clock time ``t`` with priority ``p`` is::
+
+    vtime = t - p * aging_s
+
+and the queue always pops the smallest ``vtime`` (ties broken by submission
+order). This single static key gives both orderings the scheduler needs:
+
+* **priority** — among tasks enqueued around the same moment, a higher
+  priority means an earlier virtual time, so priority-9 work submitted behind
+  a backlog of priority-0 work overtakes it immediately;
+* **aging (starvation safety)** — a waiting task's *lead* over fresher,
+  higher-priority work grows with real time: once a priority-0 task has
+  waited ``9 * aging_s`` seconds, a newly arriving priority-9 task no longer
+  jumps ahead of it. No entry can be deferred forever.
+
+Because the key is computed once at first enqueue and travels with the item
+(the ``_vtime`` stamp), re-enqueueing a dispatched task — manager loss, drain
+timeout, placement deferral — restores it to its *original* position: it
+keeps both its priority and the age it had accrued, rather than going to the
+back of the line.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Key under which an item's virtual time is stamped (and preserved across
+#: requeues). Leading underscore: transport-internal, never user-facing.
+VTIME_KEY = "_vtime"
+#: Key under which an item's priority travels.
+PRIORITY_KEY = "priority"
+
+#: Default aging rate: one priority level is worth this many seconds of wait.
+DEFAULT_AGING_S = 60.0
+
+
+class PriorityTaskQueue:
+    """A thread-safe priority queue over task items (dicts).
+
+    Items are plain dicts (the interchange's wire shape). ``put`` reads the
+    item's ``"priority"`` entry (default 0) and stamps ``"_vtime"``; an item
+    that already carries a ``"_vtime"`` stamp is restored to that position,
+    which is how requeues preserve priority and accrued age.
+
+    The API mirrors the parts of :class:`queue.Queue` the interchange used
+    (``put`` / ``empty`` / ``qsize``) plus a non-blocking ``pop``.
+    """
+
+    def __init__(self, aging_s: float = DEFAULT_AGING_S):
+        if aging_s <= 0:
+            raise ValueError("aging_s must be positive")
+        self.aging_s = aging_s
+        self._heap: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def put(self, item: Dict[str, Any]) -> None:
+        """Enqueue ``item`` by priority, or restore it to a stamped position."""
+        vtime = item.get(VTIME_KEY)
+        if not isinstance(vtime, float):
+            priority = int(item.get(PRIORITY_KEY) or 0)
+            vtime = time.time() - priority * self.aging_s
+            item[VTIME_KEY] = vtime
+        with self._lock:
+            heapq.heappush(self._heap, (vtime, next(self._seq), item))
+
+    def put_many(self, items: List[Dict[str, Any]]) -> None:
+        for item in items:
+            self.put(item)
+
+    def pop(self) -> Optional[Dict[str, Any]]:
+        """Remove and return the frontmost item, or ``None`` when empty."""
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    # ------------------------------------------------------------------
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._heap
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._heap)

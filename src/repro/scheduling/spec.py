@@ -1,0 +1,147 @@
+"""Per-task resource specifications.
+
+A :class:`ResourceSpec` is the unit of information the scheduling subsystem
+threads from an app invocation down to worker slots: how many worker
+core-slots the task occupies, advisory memory and walltime hints, a dispatch
+priority, and an optional executor-label affinity. The spec is immutable,
+validates on construction, and serializes to a minimal dict (the *wire form*)
+so that the default spec costs nothing on the hot path — an all-default spec
+serializes to ``{}``, which is exactly what executors received before this
+subsystem existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ResourceSpecError
+
+#: Keys accepted in a user-supplied resource specification mapping.
+ALLOWED_KEYS: Tuple[str, ...] = ("cores", "memory_mb", "walltime_s", "priority", "executors")
+
+#: Anything :meth:`ResourceSpec.from_user` accepts.
+ResourceSpecLike = Union["ResourceSpec", Mapping[str, Any], None]
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """What one task asks of the scheduling layer.
+
+    * ``cores`` — worker core-slots the task occupies on one manager; a
+      multi-core task is dispatched only to a manager with that many free
+      slots, all consumed on that single manager (no fragment spans nodes).
+    * ``memory_mb`` — advisory memory footprint. Managers do not meter
+      memory, so this is a placement *hint* recorded for monitoring, not an
+      enforced limit.
+    * ``walltime_s`` — advisory runtime hint (the enforced walltime remains
+      the app-level ``walltime=`` keyword).
+    * ``priority`` — dispatch priority; higher runs sooner. Queues age
+      waiting tasks so low priorities cannot starve (see
+      :class:`~repro.scheduling.queues.PriorityTaskQueue`).
+    * ``executors`` — executor labels the task may run on; overrides the
+      decorator-level ``executors=`` hint when given.
+    """
+
+    cores: int = 1
+    memory_mb: Optional[int] = None
+    walltime_s: Optional[float] = None
+    priority: int = 0
+    executors: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cores, int) or isinstance(self.cores, bool) or self.cores < 1:
+            raise ResourceSpecError(f"cores must be a positive integer, got {self.cores!r}")
+        if self.memory_mb is not None and (
+            not isinstance(self.memory_mb, int) or isinstance(self.memory_mb, bool) or self.memory_mb < 1
+        ):
+            raise ResourceSpecError(f"memory_mb must be a positive integer, got {self.memory_mb!r}")
+        if self.walltime_s is not None:
+            if not isinstance(self.walltime_s, (int, float)) or isinstance(self.walltime_s, bool):
+                raise ResourceSpecError(f"walltime_s must be a number, got {self.walltime_s!r}")
+            if self.walltime_s <= 0:
+                raise ResourceSpecError(f"walltime_s must be positive, got {self.walltime_s!r}")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ResourceSpecError(f"priority must be an integer, got {self.priority!r}")
+        if self.executors is not None:
+            if isinstance(self.executors, str) or not all(
+                isinstance(label, str) and label for label in self.executors
+            ):
+                raise ResourceSpecError(
+                    f"executors must be a sequence of non-empty labels, got {self.executors!r}"
+                )
+            if not tuple(self.executors):
+                raise ResourceSpecError(
+                    "executors affinity must not be empty; omit the key to allow any executor"
+                )
+            object.__setattr__(self, "executors", tuple(self.executors))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_user(cls, value: ResourceSpecLike) -> "ResourceSpec":
+        """Normalize user input: ``None``, a mapping, or a ready spec.
+
+        Unknown mapping keys raise :class:`~repro.errors.ResourceSpecError`
+        (listing the permitted keys) rather than being silently dropped — a
+        typoed ``"core"`` must not demote a 16-core task to one slot.
+        """
+        if value is None:
+            return DEFAULT_SPEC
+        if isinstance(value, ResourceSpec):
+            return value
+        if not isinstance(value, Mapping):
+            raise ResourceSpecError(
+                f"resource specification must be a mapping or ResourceSpec, got {type(value).__name__}"
+            )
+        unknown = sorted(set(value) - set(ALLOWED_KEYS))
+        if unknown:
+            raise ResourceSpecError(
+                f"unknown resource specification keys {unknown}; allowed keys are {list(ALLOWED_KEYS)}"
+            )
+        kwargs: Dict[str, Any] = dict(value)
+        executors = kwargs.get("executors")
+        if isinstance(executors, str):
+            kwargs["executors"] = (executors,)
+        elif executors is not None:
+            kwargs["executors"] = tuple(executors)
+        return cls(**kwargs)
+
+    def with_priority(self, priority: int) -> "ResourceSpec":
+        """A copy of this spec with ``priority`` replaced."""
+        return replace(self, priority=priority)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """True when the spec requests nothing beyond the pre-spec defaults."""
+        return self == DEFAULT_SPEC
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Minimal dict form: only non-default fields, ``{}`` for the default.
+
+        This is what lands in ``TaskRecord.resource_specification`` and in
+        ``submit_batch`` requests, so executors that predate the scheduling
+        subsystem (and tests asserting on the old shape) see exactly the
+        empty dict they always did.
+        """
+        wire: Dict[str, Any] = {}
+        if self.cores != 1:
+            wire["cores"] = self.cores
+        if self.memory_mb is not None:
+            wire["memory_mb"] = self.memory_mb
+        if self.walltime_s is not None:
+            wire["walltime_s"] = self.walltime_s
+        if self.priority != 0:
+            wire["priority"] = self.priority
+        if self.executors is not None:
+            wire["executors"] = list(self.executors)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Optional[Mapping[str, Any]]) -> "ResourceSpec":
+        """Inverse of :meth:`to_wire` (also tolerates user-shaped mappings)."""
+        return cls.from_user(wire or None)
+
+
+#: The shared all-default spec (``to_wire() == {}``).
+DEFAULT_SPEC = ResourceSpec()

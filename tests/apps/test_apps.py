@@ -175,3 +175,42 @@ class TestDecoratorForms:
 
     def test_wrapping_preserves_metadata(self):
         assert py_add.__name__ == "py_add"
+
+
+class TestSchedulingKeywords:
+    def test_call_time_priority_consumed_not_forwarded(self, threads_dfk):
+        @python_app
+        def plain(x):
+            return x
+
+        # priority= is a scheduling keyword: never reaches the body.
+        assert plain(5, priority=9).result(timeout=10) == 5
+
+    def test_app_declaring_priority_param_keeps_receiving_it(self, threads_dfk):
+        @python_app
+        def rank(items, priority=1):
+            return [priority] * len(items)
+
+        # The function's own signature wins: priority=3 is an ordinary
+        # argument here, not a scheduling hint.
+        assert rank([1, 2], priority=3).result(timeout=10) == [3, 3]
+
+    def test_var_keyword_app_keeps_receiving_priority(self, threads_dfk):
+        @python_app
+        def render(**opts):
+            return opts
+
+        # **kwargs counts as the function declaring the name: the value
+        # reaches the body exactly as it did before the scheduling kwargs
+        # existed.
+        assert render(priority=2).result(timeout=10) == {"priority": 2}
+
+    def test_decorator_spec_still_applies_when_name_clashes(self, threads_dfk):
+        @python_app(priority=7)
+        def rank(items, priority=1):
+            return priority
+
+        dfk = repro.dfk()
+        fut = rank([1], priority=2)
+        assert fut.result(timeout=10) == 2  # call-time value reached the body
+        assert dfk.tasks[fut.task_record.id].priority == 7  # decorator value scheduled it

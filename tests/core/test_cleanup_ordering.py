@@ -2,8 +2,16 @@
 
 The elasticity engine runs on a timer thread; cleanup() must stop (and join)
 that thread *before* executors shut down, otherwise a strategize round racing
-teardown can scale out fresh blocks that nobody will ever cancel.
+teardown can scale out fresh blocks that nobody will ever cancel. Retry
+backoff timers are similarly tracked: cleanup() cancels pending ones and
+fails their tasks fast, so no AppFuture is left unresolved by a timer firing
+into a dead dispatcher.
 """
+
+import time
+from concurrent.futures import CancelledError
+
+import pytest
 
 from repro import Config
 from repro.core.dflow import DataFlowKernel
@@ -54,7 +62,66 @@ def test_no_scaling_actions_after_cleanup(run_dir):
     dfk = DataFlowKernel(cfg)
     dfk.cleanup()
     before = list(dfk.strategy.history)
-    import time
 
     time.sleep(0.2)  # several strategy periods
     assert dfk.strategy.history == before
+
+
+def _always_fails():
+    raise RuntimeError("boom")
+
+
+class TestRetryTimerCleanup:
+    def test_pending_backoff_timer_cancelled_and_task_failed_fast(self, run_dir):
+        """cleanup() during a retry backoff must resolve the AppFuture now.
+
+        Before timers were tracked, cleanup() could complete while a backoff
+        timer was still pending; the timer then enqueued into the dead
+        dispatcher and the task's AppFuture never resolved.
+        """
+        cfg = Config(
+            executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+            run_dir=run_dir,
+            retries=1,
+            retry_backoff_s=30.0,  # far longer than the test: the timer must be cancelled, not waited out
+            strategy="none",
+        )
+        dfk = DataFlowKernel(cfg)
+        fut = dfk.submit(_always_fails)
+        # Wait for the first failure to schedule its backoff timer.
+        deadline = time.time() + 10
+        while not dfk._retry_timers and time.time() < deadline:
+            time.sleep(0.01)
+        assert dfk._retry_timers, "retry backoff timer was never scheduled"
+
+        start = time.time()
+        dfk.cleanup()
+        assert fut.done(), "AppFuture left unresolved by cleanup() during retry backoff"
+        assert time.time() - start < 10  # did not sit out the 30 s backoff
+        with pytest.raises(CancelledError):
+            fut.result(timeout=0)
+        assert not dfk._retry_timers
+
+    def test_fired_timer_after_cleanup_still_resolves_future(self, run_dir):
+        """A timer that fires concurrently with shutdown fail-fasts via the
+        dispatcher guard rather than stranding the task."""
+        cfg = Config(
+            executors=[ThreadPoolExecutor(label="threads", max_threads=2)],
+            run_dir=run_dir,
+            retries=1,
+            retry_backoff_s=0.05,
+            strategy="none",
+        )
+        dfk = DataFlowKernel(cfg)
+        fut = dfk.submit(_always_fails)
+        # Catch the kernel in (or just past) the backoff window; the timer
+        # may already have fired and settled the retry, which is fine — the
+        # point is that no interleaving strands the future.
+        deadline = time.time() + 1.0
+        while not dfk._retry_timers and not fut.done() and time.time() < deadline:
+            time.sleep(0.005)
+        dfk.cleanup()
+        # Whichever side won the race (timer fired vs cleanup cancelled),
+        # the future must resolve.
+        assert fut.done()
+        assert fut.exception(timeout=0) is not None

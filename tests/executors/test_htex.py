@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro.comms import MessageClient
-from repro.errors import ManagerLost, UnsupportedFeatureError
+from repro.errors import ManagerLost, ResourceSpecError
 from repro.executors import HighThroughputExecutor
 from repro.executors.htex.interchange import Interchange
 from repro.executors.htex.manager import Manager
@@ -54,9 +54,16 @@ class TestHTEXInternal:
             f.result(timeout=30)
         assert wait_for(lambda: htex_internal.outstanding == 0)
 
-    def test_resource_specification_rejected(self, htex_internal):
-        with pytest.raises(UnsupportedFeatureError):
-            htex_internal.submit(square, {"cores": 4}, 2)
+    def test_resource_specification_accepted(self, htex_internal):
+        """Specs within the executor's slots run; a multi-core task completes."""
+        fut = htex_internal.submit(square, {"cores": 4, "priority": 2}, 2)
+        assert fut.result(timeout=30) == 4
+
+    def test_resource_specification_unsatisfiable_or_malformed_rejected(self, htex_internal):
+        with pytest.raises(ResourceSpecError):
+            htex_internal.submit(square, {"cores": 99}, 2)  # more than any manager has
+        with pytest.raises(ResourceSpecError):
+            htex_internal.submit(square, {"coars": 2}, 2)  # typoed key must not be dropped
 
     def test_submit_before_start_rejected(self):
         ex = HighThroughputExecutor(label="unstarted")
@@ -72,6 +79,27 @@ class TestHTEXInternal:
         offset = 100
         fut = htex_internal.submit(lambda x: x + offset, {}, 1)
         assert fut.result(timeout=30) == 101
+
+    def test_multicore_task_not_starved_by_sustained_onecore_stream(self, htex_internal):
+        """A cores=4 task under a stream of 1-core tasks (default prefetch).
+
+        Multi-core placement needs free *execution* slots, and sustained
+        1-core traffic keeps every slot busy — without the interchange's
+        reservation (holding one capable manager back so it drains), the
+        4-core task would only run after the whole backlog."""
+        order = []
+        backlog = [htex_internal.submit(time.sleep, {}, 0.003) for _ in range(150)]
+        for fut in backlog:
+            fut.add_done_callback(lambda _f: order.append("bulk"))
+        wide = htex_internal.submit(time.sleep, {"cores": 4, "priority": 9}, 0)
+        wide.add_done_callback(lambda _f: order.append("wide"))
+        for fut in backlog:
+            fut.result(timeout=60)
+        wide.result(timeout=60)
+        position = order.index("wide") + 1
+        assert position <= len(order) // 4, f"4-core task starved: finished {position}/{len(order)}"
+        stats = htex_internal.interchange.command("scheduling_stats")
+        assert stats["oversubscription_events"] == 0
 
 
 class TestHTEXProviderMode:
@@ -195,7 +223,10 @@ class TestManagerLossRequeue:
             assert requeued is not None and requeued[0]["task_id"] == 0
             survivor.send(msg.results_message([{"task_id": 0, "buffer": b"done"}]))
             assert wait_for(lambda: len(results) == 1)
-            assert results[0] == {"task_id": 0, "buffer": b"done"}
+            assert results[0]["task_id"] == 0
+            assert results[0]["buffer"] == b"done"
+            # The result is annotated with the manager that actually ran it.
+            assert results[0]["manager"] in ("mgr-a", "mgr-b")
         finally:
             first.close()
             second.close()

@@ -150,6 +150,48 @@ class TestRetriesAndFaultTolerance:
         with pytest.raises(DataFlowKernelClosedError):
             dfk.submit(lambda: 1, app_args=())
 
+    def test_spec_rejecting_executor_fails_fast_without_retries(self, run_dir):
+        """LLEX's categorical spec rejection is deterministic too: it must
+        not burn retries × backoff any more than an unsatisfiable spec."""
+        from repro.executors.llex.executor import LowLatencyExecutor
+        from repro.errors import UnsupportedFeatureError
+
+        cfg = Config(
+            executors=[LowLatencyExecutor(label="llex", internal_workers=1)],
+            retries=2,
+            retry_backoff_s=5.0,
+            run_dir=run_dir,
+            strategy="none",
+        )
+        dfk = repro.load(cfg)
+        try:
+            start = time.time()
+            fut = increment(1, resource_spec={"priority": 1})
+            with pytest.raises(UnsupportedFeatureError):
+                fut.result(timeout=10)
+            assert time.time() - start < 5
+            assert dfk.tasks[0].fail_count == 1
+        finally:
+            repro.clear()
+
+    def test_unsatisfiable_resource_spec_fails_fast_without_retries(self, run_dir):
+        """A spec no manager can ever fit is deterministic: it must fail
+        through the AppFuture immediately, not burn retries × backoff."""
+        from repro.errors import ResourceSpecError
+
+        dfk = repro.load(make_local_config(run_dir, retries=3, retry_backoff_s=5.0))
+        try:
+            start = time.time()
+            # The spec's affinity pins the task to HTEX (the thread pool
+            # would ignore a core request it cannot interpret).
+            fut = increment(1, resource_spec={"cores": 99, "executors": ["htex_local"]})
+            with pytest.raises(ResourceSpecError):
+                fut.result(timeout=10)
+            assert time.time() - start < 5, "unsatisfiable spec went through retry backoff"
+            assert dfk.tasks[0].fail_count == 1  # one attempt, no retries
+        finally:
+            repro.clear()
+
 
 class TestMemoizationAndCheckpointing:
     def test_memoization_within_run(self, run_dir):

@@ -191,3 +191,42 @@ class TestReports:
         hub = self._populated_hub()
         text = format_summary_text(hub, run_id="r1")
         assert "tasks:" in text and "exec_done" in text
+
+
+class TestSchedulingFields:
+    def test_task_state_rows_carry_priority_and_placed_manager(self, run_dir):
+        """The DFK's TASK_STATE rows expose the scheduling subsystem's
+        placement decisions: the task's priority and, once it has run,
+        the manager that executed it."""
+        import repro
+        from repro import Config, python_app
+        from repro.executors import HighThroughputExecutor
+
+        store = InMemoryStore()
+        hub = MonitoringHub(store=store)
+        dfk = repro.load(
+            Config(
+                executors=[
+                    HighThroughputExecutor(label="htex_mon", workers_per_node=2, worker_mode="thread")
+                ],
+                monitoring=hub,
+                run_dir=run_dir,
+                strategy="none",
+            )
+        )
+
+        @python_app(data_flow_kernel=dfk)
+        def double(x):
+            return 2 * x
+
+        assert double(3, priority=4).result(timeout=30) == 6
+        repro.clear()
+
+        done = store.query(MessageType.TASK_STATE, state="exec_done")
+        assert len(done) == 1
+        assert done[0]["priority"] == 4
+        assert done[0]["manager"], "TASK_STATE row is missing the placed manager"
+        # The pending row predates placement: priority known, manager not yet.
+        pending = store.query(MessageType.TASK_STATE, state="pending")
+        assert pending[0]["priority"] == 4
+        assert pending[0]["manager"] is None

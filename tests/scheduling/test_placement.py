@@ -1,0 +1,135 @@
+"""Unit tests for the placement policies' per-round views."""
+
+import random
+
+import pytest
+
+from repro.scheduling.placement import ManagerSlot, PLACEMENT_POLICIES, make_placement_view
+
+
+def slots(*frees):
+    return [ManagerSlot(f"m{i}", free, 0) for i, free in enumerate(frees)]
+
+
+class TestLeastLoaded:
+    def test_picks_most_free(self):
+        view = make_placement_view("least_loaded", slots(1, 5, 3), random.Random(0))
+        assert view.place(1) == "m1"  # 5 free
+        assert view.place(1) == "m1"  # still 4 free, most of anyone
+        assert view.place(1) == "m2"  # tied at 3 free; earlier entry wins
+        assert view.place(1) == "m1"  # m1 (3) beats m2 (2) again
+
+    def test_unfit_task_returns_none_without_blocking_capacity(self):
+        view = make_placement_view("least_loaded", slots(2, 3), random.Random(0))
+        assert view.place(4) is None  # nobody has 4 slots
+        assert view.place(3) == "m1"  # but smaller tasks still place
+
+    def test_exhaustion(self):
+        view = make_placement_view("least_loaded", slots(1, 1), random.Random(0))
+        assert view.place(1) is not None
+        assert view.place(1) is not None
+        assert view.place(1) is None
+
+
+class TestBinPack:
+    def test_best_fit_prefers_fullest_fitting_manager(self):
+        view = make_placement_view("bin_pack", slots(8, 4, 2), random.Random(0))
+        assert view.place(2) == "m2"  # exactly fits the tightest manager
+        assert view.place(3) == "m1"  # m2 is gone; 4-free beats 8-free
+        assert view.place(4) == "m0"
+
+    def test_packing_keeps_whole_managers_free_for_big_tasks(self):
+        # Four 1-core tasks then a 4-core task over two 4-slot managers:
+        # bin-pack fills one manager completely, so the 4-core task fits.
+        view = make_placement_view("bin_pack", slots(4, 4), random.Random(0))
+        first_four = {view.place(1) for _ in range(4)}
+        assert first_four == {"m0"}
+        assert view.place(4) == "m1"
+
+    def test_never_oversubscribes(self):
+        view = make_placement_view("bin_pack", slots(4, 4), random.Random(0))
+        placed = [view.place(4), view.place(4), view.place(4)]
+        assert placed[:2] == ["m0", "m1"] or placed[:2] == ["m1", "m0"]
+        assert placed[2] is None
+
+
+class TestSpread:
+    def test_evens_out_load(self):
+        view = make_placement_view("spread", slots(4, 4), random.Random(0))
+        assignments = [view.place(1) for _ in range(4)]
+        assert assignments.count("m0") == 2 and assignments.count("m1") == 2
+
+    def test_respects_existing_outstanding(self):
+        managers = [ManagerSlot("busy", 4, 10), ManagerSlot("idle", 4, 0)]
+        view = make_placement_view("spread", managers, random.Random(0))
+        assert view.place(1) == "idle"
+
+    def test_unfit_managers_stay_available_for_smaller_tasks(self):
+        managers = [ManagerSlot("small", 1, 0), ManagerSlot("big", 4, 5)]
+        view = make_placement_view("spread", managers, random.Random(0))
+        assert view.place(2) == "big"  # 'small' cannot fit it despite lower load
+        assert view.place(1) == "small"  # but is still there for a 1-core task
+
+
+class TestRandomAndRoundRobin:
+    def test_random_only_places_where_it_fits(self):
+        rng = random.Random(42)
+        view = make_placement_view("random", slots(1, 4), rng)
+        assert view.place(3) == "m1"
+
+    def test_random_respects_capacity(self):
+        rng = random.Random(7)
+        view = make_placement_view("random", slots(2, 2), rng)
+        places = [view.place(1) for _ in range(5)]
+        assert places[4] is None
+        assert sorted(p for p in places if p) == ["m0", "m0", "m1", "m1"]
+
+    def test_round_robin_cycles_and_cursor_persists(self):
+        cursor = [0]
+        view = make_placement_view("round_robin", slots(2, 2, 2), random.Random(0), rr_cursor=cursor)
+        assert [view.place(1) for _ in range(3)] == ["m1", "m2", "m0"]
+        # A later round resumes from the shared cursor rather than restarting.
+        view2 = make_placement_view("round_robin", slots(2, 2, 2), random.Random(0), rr_cursor=cursor)
+        assert view2.place(1) == "m1"
+
+
+class TestExecutionSlotConstraint:
+    """Multi-core tasks reserve *execution* slots (workers), never prefetch
+    buffer — otherwise two 4-core tasks could co-schedule on a 4-worker node."""
+
+    def prefetching_slots(self):
+        # Two managers, 4 workers each, prefetch 4: queue slots 8, exec slots 4.
+        return [ManagerSlot(f"m{i}", 8, 0, exec_free=4) for i in range(2)]
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_multicore_never_exceeds_workers(self, policy):
+        view = make_placement_view(policy, self.prefetching_slots(), random.Random(0), rr_cursor=[0])
+        placements = [view.place(4) for _ in range(3)]
+        assert sorted(p for p in placements if p) == ["m0", "m1"]
+        assert placements[2] is None  # both managers' workers fully reserved
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_one_core_tasks_still_use_prefetch_buffer(self, policy):
+        view = make_placement_view(policy, self.prefetching_slots(), random.Random(0), rr_cursor=[0])
+        assert all(view.place(1) is not None for _ in range(16))  # full queue depth
+        assert view.place(1) is None
+
+    def test_exec_free_defaults_to_free(self):
+        slot = ManagerSlot("m0", 4, 0)
+        assert slot.exec_free == 4
+        assert slot.fits(4)
+        slot.consume(4)
+        assert (slot.free, slot.exec_free) == (0, 0)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        make_placement_view("best_effort", slots(1), random.Random(0))
+
+
+@pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+def test_all_policies_place_everything_when_capacity_suffices(policy):
+    view = make_placement_view(policy, slots(4, 4, 4), random.Random(0), rr_cursor=[0])
+    placements = [view.place(1) for _ in range(12)]
+    assert all(p is not None for p in placements)
+    assert view.place(1) is None

@@ -1,0 +1,108 @@
+"""Unit tests for the starvation-safe priority task queue."""
+
+import threading
+
+from repro.scheduling.queues import PriorityTaskQueue
+
+
+def item(task_id, priority=0):
+    return {"task_id": task_id, "buffer": b"", "priority": priority}
+
+
+def drain_ids(q):
+    out = []
+    while True:
+        entry = q.pop()
+        if entry is None:
+            return out
+        out.append(entry["task_id"])
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority(self):
+        q = PriorityTaskQueue()
+        for i in range(5):
+            q.put(item(i))
+        assert drain_ids(q) == [0, 1, 2, 3, 4]
+
+    def test_higher_priority_overtakes(self):
+        q = PriorityTaskQueue()
+        for i in range(5):
+            q.put(item(i, priority=0))
+        q.put(item(99, priority=9))
+        assert drain_ids(q)[0] == 99
+
+    def test_negative_priority_defers(self):
+        q = PriorityTaskQueue()
+        q.put(item(1, priority=-5))
+        q.put(item(2, priority=0))
+        assert drain_ids(q) == [2, 1]
+
+    def test_pop_empty_returns_none(self):
+        q = PriorityTaskQueue()
+        assert q.pop() is None
+        assert q.empty() and q.qsize() == 0
+
+
+class TestAging:
+    def test_aged_low_priority_beats_fresh_high_priority(self):
+        """Starvation safety: enough accrued wait outweighs any priority gap."""
+        q = PriorityTaskQueue(aging_s=0.001)  # 1 ms of waiting == 1 priority level
+        old = item(1, priority=0)
+        old["_vtime"] = old_vtime = -100.0  # enqueued "long ago"
+        q.put(old)
+        assert old["_vtime"] == old_vtime  # an existing stamp is preserved
+        q.put(item(2, priority=9))  # fresh, max priority
+        assert drain_ids(q) == [1, 2]
+
+    def test_requeue_restores_original_position(self):
+        """A dispatched-then-requeued task re-enters where it left, not at the back."""
+        q = PriorityTaskQueue()
+        first, second = item(1, priority=5), item(2, priority=5)
+        q.put(first)
+        q.put(second)
+        popped = q.pop()
+        assert popped["task_id"] == 1
+        q.put(popped)  # e.g. its manager was lost
+        assert drain_ids(q) == [1, 2]  # still ahead of the task enqueued after it
+
+    def test_requeue_keeps_priority_over_later_bulk(self):
+        q = PriorityTaskQueue()
+        q.put(item(1, priority=9))
+        requeued = q.pop()
+        for i in range(10, 15):
+            q.put(item(i, priority=0))
+        q.put(requeued)
+        assert drain_ids(q)[0] == 1
+
+
+class TestThreading:
+    def test_concurrent_put_pop(self):
+        q = PriorityTaskQueue()
+        n_producers, per_producer = 4, 200
+        popped = []
+        pop_lock = threading.Lock()
+        done = threading.Event()
+
+        def produce(base):
+            for i in range(per_producer):
+                q.put(item(base + i, priority=i % 3))
+
+        def consume():
+            while not (done.is_set() and q.empty()):
+                entry = q.pop()
+                if entry is not None:
+                    with pop_lock:
+                        popped.append(entry["task_id"])
+
+        consumers = [threading.Thread(target=consume) for _ in range(2)]
+        producers = [threading.Thread(target=produce, args=(k * 1000,)) for k in range(n_producers)]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        done.set()
+        for t in consumers:
+            t.join(timeout=5)
+        assert sorted(popped) == sorted(k * 1000 + i for k in range(n_producers) for i in range(per_producer))
+

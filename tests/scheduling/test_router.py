@@ -1,0 +1,132 @@
+"""Unit tests for the DFK-level multi-executor router."""
+
+import random
+
+import pytest
+
+from repro.errors import NoSuchExecutorError
+from repro.scheduling.router import ExecutorRouter, INTERNAL_EXECUTOR
+from repro.scheduling.spec import ResourceSpec
+
+
+class FakeExecutor:
+    def __init__(self, outstanding=0, workers=1, bad=False, specs=True):
+        self.outstanding = outstanding
+        self.connected_workers = workers
+        self.bad_state_is_set = bad
+        self.supports_resource_specs = specs
+
+
+def make_router(execs, **kwargs):
+    return ExecutorRouter(execs, rng=random.Random(0), **kwargs)
+
+
+class TestLabelMatch:
+    def test_join_routes_internally(self):
+        router = make_router({"a": FakeExecutor()})
+        assert router.route("all", join=True) == INTERNAL_EXECUTOR
+
+    def test_single_label_string(self):
+        router = make_router({"a": FakeExecutor(), "b": FakeExecutor()})
+        assert router.route("b") == "b"
+
+    def test_unknown_label_raises(self):
+        router = make_router({"a": FakeExecutor()})
+        with pytest.raises(NoSuchExecutorError):
+            router.route("missing")
+        with pytest.raises(NoSuchExecutorError):
+            router.route(["a", "missing"])
+
+    def test_spec_affinity_overrides_requested(self):
+        router = make_router({"a": FakeExecutor(), "b": FakeExecutor()})
+        spec = ResourceSpec(executors=("b",))
+        assert router.route("a", spec=spec) == "b"
+
+    def test_empty_request_falls_back_to_all(self):
+        router = make_router({"a": FakeExecutor()})
+        assert router.route([]) == "a"
+        assert router.route(None) == "a"
+
+
+class TestLoadAwareSpillover:
+    def test_least_loaded_wins(self):
+        router = make_router({"hot": FakeExecutor(outstanding=100, workers=2), "cold": FakeExecutor(workers=2)})
+        assert all(router.route("all") == "cold" for _ in range(10))
+
+    def test_load_is_per_worker(self):
+        # 10 tasks over 100 workers is lighter than 2 tasks over 1 worker.
+        router = make_router(
+            {"big": FakeExecutor(outstanding=10, workers=100), "small": FakeExecutor(outstanding=2, workers=1)}
+        )
+        assert router.route("all") == "big"
+
+    def test_ties_are_randomized(self):
+        router = make_router({"a": FakeExecutor(), "b": FakeExecutor()})
+        chosen = {router.route("all") for _ in range(50)}
+        assert chosen == {"a", "b"}
+
+    def test_bad_state_excluded_while_healthy_peers_exist(self):
+        router = make_router({"bad": FakeExecutor(bad=True), "ok": FakeExecutor(outstanding=1000)})
+        assert router.route("all") == "ok"
+
+    def test_all_bad_keeps_requested_placement(self):
+        # The submission failure then flows through the normal retry path.
+        router = make_router({"bad": FakeExecutor(bad=True)})
+        assert router.route("all") == "bad"
+
+
+class TestSpecCapability:
+    def test_nondefault_spec_avoids_executors_that_cannot_honor_it(self):
+        # "llex" would reject the spec terminally; "threads" would silently
+        # drop the cores reservation. Both must be skipped while a capable
+        # executor exists — regardless of load.
+        router = make_router(
+            {
+                "llex": FakeExecutor(specs=False),
+                "threads": FakeExecutor(specs=False),
+                "htex": FakeExecutor(outstanding=1000, specs=True),
+            }
+        )
+        spec = ResourceSpec(cores=4, priority=2)
+        assert all(router.route("all", spec=spec) == "htex" for _ in range(10))
+
+    def test_default_spec_uses_every_executor(self):
+        router = make_router({"a": FakeExecutor(specs=False), "b": FakeExecutor(specs=True)})
+        chosen = {router.route("all", spec=ResourceSpec()) for _ in range(50)}
+        assert chosen == {"a", "b"}
+
+    def test_no_capable_executor_keeps_candidates_for_advisory_fields(self):
+        # Priority is advisory: without a spec-capable executor the task
+        # still runs, and the candidate handles (or rejects) it itself.
+        router = make_router({"llex": FakeExecutor(specs=False)})
+        assert router.route("all", spec=ResourceSpec(priority=1)) == "llex"
+
+    def test_cores_reservation_with_no_capable_executor_raises(self):
+        # A cores reservation is a hard constraint: silently running a
+        # multi-core task as one slot would be wrong, so refuse at submit.
+        from repro.errors import ResourceSpecError
+
+        router = make_router({"threads": FakeExecutor(specs=False)})
+        with pytest.raises(ResourceSpecError, match="4 cores"):
+            router.route("all", spec=ResourceSpec(cores=4))
+
+
+class TestBackpressure:
+    def test_saturated_executor_sheds_to_peer(self):
+        execs = {"full": FakeExecutor(outstanding=5, workers=100), "free": FakeExecutor(outstanding=4, workers=1)}
+        # Without a cap, per-worker load prefers "full" (0.05 vs 4.0)...
+        assert make_router(execs).route("all") == "full"
+        # ...but at the cap it stops taking new work while a peer is below it.
+        assert make_router(execs, backpressure=5).route("all") == "free"
+
+    def test_every_executor_saturated_degrades_to_least_loaded(self):
+        execs = {
+            "a": FakeExecutor(outstanding=50, workers=1),
+            "b": FakeExecutor(outstanding=9, workers=1),
+        }
+        router = make_router(execs, backpressure=5)
+        assert router.route("all") == "b"
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            make_router({"a": FakeExecutor()}, backpressure=0)

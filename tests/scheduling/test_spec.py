@@ -1,0 +1,98 @@
+"""Unit tests for ResourceSpec validation and serialization."""
+
+import pytest
+
+from repro.errors import ResourceSpecError
+from repro.scheduling.spec import DEFAULT_SPEC, ResourceSpec
+
+
+class TestValidation:
+    def test_defaults(self):
+        spec = ResourceSpec()
+        assert spec.cores == 1
+        assert spec.priority == 0
+        assert spec.memory_mb is None and spec.walltime_s is None and spec.executors is None
+        assert spec.is_default
+
+    @pytest.mark.parametrize("cores", [0, -1, 1.5, "2", True])
+    def test_bad_cores(self, cores):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(cores=cores)
+
+    @pytest.mark.parametrize("memory", [0, -5, 2.5, True])
+    def test_bad_memory(self, memory):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(memory_mb=memory)
+
+    @pytest.mark.parametrize("walltime", [0, -1.0, "10", True])
+    def test_bad_walltime(self, walltime):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(walltime_s=walltime)
+
+    @pytest.mark.parametrize("priority", [1.5, "high", None, True])
+    def test_bad_priority(self, priority):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(priority=priority)
+
+    def test_bad_executors(self):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(executors="htex")  # must be a sequence, not a bare string
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec(executors=("htex", ""))
+        with pytest.raises(ResourceSpecError, match="must not be empty"):
+            ResourceSpec(executors=())  # empty affinity would leave no candidates
+
+    def test_negative_priority_allowed(self):
+        assert ResourceSpec(priority=-3).priority == -3
+
+
+class TestFromUser:
+    def test_none_is_the_shared_default(self):
+        assert ResourceSpec.from_user(None) is DEFAULT_SPEC
+        assert ResourceSpec.from_user({}) == DEFAULT_SPEC
+
+    def test_spec_passthrough(self):
+        spec = ResourceSpec(cores=2)
+        assert ResourceSpec.from_user(spec) is spec
+
+    def test_mapping(self):
+        spec = ResourceSpec.from_user(
+            {"cores": 4, "memory_mb": 512, "walltime_s": 30, "priority": 9, "executors": ["a", "b"]}
+        )
+        assert spec.cores == 4
+        assert spec.executors == ("a", "b")
+
+    def test_executors_string_normalized(self):
+        assert ResourceSpec.from_user({"executors": "htex"}).executors == ("htex",)
+
+    def test_unknown_keys_rejected_with_allowed_list(self):
+        with pytest.raises(ResourceSpecError, match="core_count") as exc:
+            ResourceSpec.from_user({"core_count": 4})
+        assert "cores" in str(exc.value)  # the error teaches the allowed keys
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec.from_user(4)
+
+    def test_with_priority(self):
+        spec = ResourceSpec(cores=2).with_priority(7)
+        assert (spec.cores, spec.priority) == (2, 7)
+
+    @pytest.mark.parametrize("priority", [9.7, True, "high"])
+    def test_with_priority_validates_like_construction(self, priority):
+        with pytest.raises(ResourceSpecError):
+            ResourceSpec().with_priority(priority)
+
+
+class TestWireForm:
+    def test_default_spec_serializes_empty(self):
+        # Executors that predate the subsystem must keep seeing {}.
+        assert ResourceSpec().to_wire() == {}
+
+    def test_round_trip(self):
+        spec = ResourceSpec(cores=4, memory_mb=256, walltime_s=10.0, priority=3, executors=("x",))
+        assert ResourceSpec.from_wire(spec.to_wire()) == spec
+
+    def test_wire_is_minimal(self):
+        assert ResourceSpec(priority=2).to_wire() == {"priority": 2}
+        assert ResourceSpec(cores=8).to_wire() == {"cores": 8}
