@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched lint mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service lint mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -33,6 +33,12 @@ bench-overhead:
 bench-sched:
 	$(PYTHON) -m pytest -q benchmarks/test_fig7_scheduling.py \
 		--benchmark-json=BENCH_fig7_scheduling.json
+
+# The multi-tenant gateway bench (8-client aggregate throughput vs direct
+# DFK, 1:10 weighted fair share, reconnect-and-resume) at full scale.
+bench-service:
+	$(PYTHON) -m pytest -q benchmarks/test_service_gateway.py \
+		--benchmark-json=BENCH_service_gateway.json
 
 # Strict typing is scoped to the scheduling package (config in pyproject.toml);
 # skip gracefully where mypy is absent, mirroring the lint target.

@@ -1,0 +1,201 @@
+"""Gateway service benchmark: many tenants sharing one DataFlowKernel.
+
+Three acceptance behaviours of the multi-tenant workflow gateway:
+
+* **aggregate throughput** — N≥8 concurrent :class:`ServiceClient` tenants
+  pushing submit→result traffic through the gateway must sustain ≥80% of a
+  single client submitting straight into an identically configured DFK (the
+  executor is the shared bottleneck; the gateway's auth/session/fair-share
+  machinery must stay off the critical path);
+* **weighted fair share** — a 1:10 weighted tenant pair driving the same
+  backlog must observe completions in ~1:10 ratio (within 2×) at the moment
+  half the combined work is done, i.e. the deficit-weighted virtual-time
+  queue actually shapes service, not just admission order;
+* **reconnect-and-resume** — a client whose connection is severed mid-run
+  re-attaches to its session and recovers every result, including tasks that
+  completed while it was disconnected.
+
+Run via ``make bench-service`` to emit ``BENCH_service_gateway.json``.
+"""
+
+import threading
+import time
+
+import repro
+from repro import Config
+from repro.executors import ThreadPoolExecutor
+from repro.service import ServiceClient, WorkflowGateway
+
+from conftest import fast_scaled, print_table
+
+#: Concurrent tenants for the throughput scenario (the acceptance floor is 8).
+N_CLIENTS = 8
+#: Per-task busy time; the executor (not the gateway) must be the bottleneck.
+TASK_S = 0.005
+#: Total tasks pushed through the gateway in the throughput scenario.
+N_TASKS = fast_scaled(1600, 320)
+#: Gateway throughput acceptance: fraction of direct-DFK throughput.
+THROUGHPUT_FLOOR = 0.80
+
+
+def busy_task(duration=TASK_S):
+    time.sleep(duration)
+    return "done"
+
+
+def make_dfk(run_dir, max_threads=8):
+    return repro.DataFlowKernel(
+        Config(
+            executors=[ThreadPoolExecutor(label="threads", max_threads=max_threads)],
+            run_dir=run_dir,
+            strategy="none",
+            app_cache=False,
+        )
+    )
+
+
+def wait_for(predicate, timeout=120.0, interval=0.01):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_gateway_throughput_vs_direct_dfk(benchmark, quiet_logging, tmp_path):
+    """8 concurrent tenants sustain ≥80% of single-client DFK throughput."""
+    # Baseline: one client, straight into the DFK -----------------------
+    dfk = make_dfk(str(tmp_path / "direct"))
+    try:
+        start = time.perf_counter()
+        futures = [dfk.submit(busy_task) for _ in range(N_TASKS)]
+        for f in futures:
+            f.result(timeout=120)
+        direct_rate = N_TASKS / (time.perf_counter() - start)
+    finally:
+        dfk.cleanup()
+
+    # Gateway: the same load split over 8 remote tenants ----------------
+    dfk = make_dfk(str(tmp_path / "gateway"))
+    gateway = WorkflowGateway(dfk, window=256, max_inflight_per_tenant=256).start()
+    clients = [
+        ServiceClient(gateway.host, gateway.port, tenant=f"tenant{i}")
+        for i in range(N_CLIENTS)
+    ]
+    per_client = N_TASKS // N_CLIENTS
+
+    def run():
+        futures_by_client = [[] for _ in clients]
+
+        def feed(idx):
+            client = clients[idx]
+            futures_by_client[idx] = [client.submit(busy_task) for _ in range(per_client)]
+
+        start = time.perf_counter()
+        feeders = [threading.Thread(target=feed, args=(i,)) for i in range(N_CLIENTS)]
+        for t in feeders:
+            t.start()
+        for t in feeders:
+            t.join()
+        for futures in futures_by_client:
+            for f in futures:
+                assert f.result(timeout=120) == "done"
+        return (per_client * N_CLIENTS) / (time.perf_counter() - start)
+
+    try:
+        gateway_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+        stats = gateway.stats()
+        assert all(stats[f"tenant{i}"]["completed"] == per_client for i in range(N_CLIENTS))
+    finally:
+        for c in clients:
+            c.close()
+        gateway.stop()
+        dfk.cleanup()
+    print_table(
+        f"Gateway throughput — {N_CLIENTS} tenants vs 1 direct client ({N_TASKS} tasks of {TASK_S * 1000:.0f} ms)",
+        ["direct (tasks/s)", f"gateway ×{N_CLIENTS} (tasks/s)", "ratio", "floor"],
+        [[f"{direct_rate:.0f}", f"{gateway_rate:.0f}", f"{gateway_rate / direct_rate:.2f}", THROUGHPUT_FLOOR]],
+    )
+    assert gateway_rate >= THROUGHPUT_FLOOR * direct_rate, (
+        f"gateway sustained {gateway_rate:.0f} tasks/s vs {direct_rate:.0f} direct "
+        f"({gateway_rate / direct_rate:.0%}, floor {THROUGHPUT_FLOOR:.0%})"
+    )
+
+
+def test_gateway_weighted_fair_share(benchmark, quiet_logging, tmp_path):
+    """1:10 weighted tenants complete work in ~1:10 ratio (within 2×)."""
+    n_each = fast_scaled(240, 120)
+    dfk = make_dfk(str(tmp_path / "fair"), max_threads=2)
+    gateway = WorkflowGateway(
+        dfk,
+        window=4,
+        max_inflight_per_tenant=2 * n_each,
+        tenant_weights={"heavy": 10, "light": 1},
+    ).start()
+    heavy = ServiceClient(gateway.host, gateway.port, tenant="heavy")
+    light = ServiceClient(gateway.host, gateway.port, tenant="light")
+
+    def run():
+        futures = [heavy.submit(busy_task, 0.004) for _ in range(n_each)]
+        futures += [light.submit(busy_task, 0.004) for _ in range(n_each)]
+        # Sample the completion split when half the combined work is done:
+        # both tenants are continuously backlogged up to that point.
+        assert wait_for(
+            lambda: sum(s["completed"] for s in gateway.stats().values()) >= n_each
+        )
+        snapshot = gateway.stats()
+        for f in futures:
+            assert f.result(timeout=120) == "done"
+        return snapshot
+
+    try:
+        snapshot = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        heavy.close()
+        light.close()
+        gateway.stop()
+        dfk.cleanup()
+    ratio = snapshot["heavy"]["completed"] / max(snapshot["light"]["completed"], 1)
+    print_table(
+        f"Gateway fair share — 10:1 weights, {n_each} tasks per tenant, 2 workers",
+        ["heavy completed", "light completed", "observed ratio", "acceptance band"],
+        [[snapshot["heavy"]["completed"], snapshot["light"]["completed"], f"{ratio:.1f}", "5 – 20"]],
+    )
+    assert 5 <= ratio <= 20, (
+        f"10:1 weighted tenants completed at {ratio:.1f}:1 — outside the 2× band"
+    )
+
+
+def test_gateway_client_reconnects_and_recovers(benchmark, quiet_logging, tmp_path):
+    """A client severed mid-run resumes its session and recovers all results."""
+    n_tasks = fast_scaled(60, 30)
+    dfk = make_dfk(str(tmp_path / "resume"), max_threads=2)
+    gateway = WorkflowGateway(dfk, session_ttl_s=30.0).start()
+    client = ServiceClient(
+        gateway.host, gateway.port, tenant="flaky", reconnect_interval=0.05
+    )
+
+    def run():
+        futures = [client.submit(busy_task, 0.01) for _ in range(n_tasks)]
+        # Let some results land, then sever the connection without goodbye
+        # (a crash): tasks keep completing while nobody is listening.
+        assert wait_for(lambda: gateway.stats()["flaky"]["completed"] >= n_tasks // 6)
+        client.drop_connection()
+        results = [f.result(timeout=120) for f in futures]
+        return results
+
+    try:
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert results == ["done"] * n_tasks
+        assert client.reconnects >= 1, "the run must actually have resumed a session"
+        assert gateway.stats()["flaky"]["completed"] == n_tasks
+    finally:
+        client.close()
+        gateway.stop()
+        dfk.cleanup()
+    print_table(
+        "Gateway reconnect-and-resume",
+        ["tasks", "recovered results", "session resumes"],
+        [[n_tasks, len(results), client.reconnects]],
+    )

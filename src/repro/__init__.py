@@ -37,6 +37,9 @@ Paper provenance of each export:
   scheduling subsystem from app invocation to worker slots.
 * :func:`wait_for_current_tasks` — barrier over every submitted task.
 * :func:`recommend_executor` — §4.4's executor-selection guidelines.
+* :class:`WorkflowGateway` / :class:`ServiceClient` — the hosted-service
+  layer: many authenticated remote tenants sharing one kernel with weighted
+  fair-share admission (see :mod:`repro.service`).
 
 See ``README.md`` for the package-to-paper-section map and
 ``docs/ARCHITECTURE.md`` for the dispatch pipeline.
@@ -52,6 +55,7 @@ from repro.core.guidelines import recommend_executor
 from repro.data.files import File
 from repro.errors import ReproException
 from repro.scheduling.spec import ResourceSpec
+from repro.service import ServiceClient, WorkflowGateway
 
 #: Load a DataFlowKernel from a Config (module-level convenience, as in Parsl).
 load = DataFlowKernelLoader.load
@@ -75,6 +79,8 @@ __all__ = [
     "File",
     "ReproException",
     "ResourceSpec",
+    "ServiceClient",
+    "WorkflowGateway",
     "recommend_executor",
     "load",
     "dfk",

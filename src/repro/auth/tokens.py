@@ -96,6 +96,27 @@ class TokenStore:
         cached = self.get_token(resource)
         return cached is not None and cached == token
 
+    def refresh(self, resource: str, client: Optional[NativeAppAuthClient] = None) -> str:
+        """Issue and cache a fresh token for ``resource``, returning it.
+
+        This is the refresh leg of the native-app flow: when a cached token
+        has expired (``get_token`` returns None) callers re-mint one for the
+        same scope without a new consent step, exactly like exchanging a
+        Globus refresh token. The new entry overwrites the expired one and is
+        persisted, so a gateway checking ``validate`` accepts the holder
+        again.
+        """
+        client = client or NativeAppAuthClient()
+        client.start_flow([resource])
+        self.store_tokens(client.complete_flow("ok"))
+        token = self.get_token(resource)
+        if token is None:
+            raise ValueError(
+                f"refresh for {resource!r} produced an already-expired token "
+                f"(client lifetime {client.token_lifetime_s}s)"
+            )
+        return token
+
     def revoke(self, resource: str) -> None:
         self._tokens.pop(resource, None)
         self._save()

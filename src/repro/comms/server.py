@@ -20,6 +20,20 @@ from repro.comms.protocol import recv_frame, send_frame, send_frames
 from repro.utils.ids import make_uid
 
 
+def _close_socket(sock: socket.socket) -> None:
+    """Shut down then close: the shutdown sends FIN and wakes any thread
+    blocked in ``recv`` on the peer side (a bare ``close`` does neither
+    reliably while our own reader is still blocked on the fd)."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
 class _PeerConnection:
     """Book-keeping for one connected peer."""
 
@@ -29,6 +43,10 @@ class _PeerConnection:
         self.address = address
         self.send_lock = threading.Lock()
         self.alive = True
+        #: Set when a newer connection registered the same identity and this
+        #: one was evicted: its reader must exit silently (the evictor already
+        #: reported the loss) and must stop attributing frames to the identity.
+        self.evicted = False
         self.connected_at = time.time()
 
 
@@ -79,6 +97,10 @@ class MessageServer:
                 target=self._reader_loop, args=(conn, addr), name=f"{self.name}-reader", daemon=True
             )
             reader.start()
+            # Prune finished readers before tracking the new one: a long-lived
+            # server with churny clients would otherwise accumulate one dead
+            # Thread object per connection ever accepted.
+            self._reader_threads = [t for t in self._reader_threads if t.is_alive()]
             self._reader_threads.append(reader)
 
     def _reader_loop(self, conn: socket.socket, addr) -> None:
@@ -94,20 +116,44 @@ class MessageServer:
         identity = registration["identity"] or make_uid("peer")
         peer = _PeerConnection(identity, conn, addr)
         with self._peers_lock:
+            # A re-registration of a live identity evicts the old connection
+            # *atomically* (close + peer_lost, then install) rather than
+            # silently overwriting it: the stale socket's reader would
+            # otherwise keep attributing its frames — and eventually its
+            # disconnect — to an identity that now belongs to someone else.
+            previous = self._peers.pop(identity, None)
+            if previous is not None and previous is not peer:
+                previous.alive = False
+                previous.evicted = True
+                _close_socket(previous.sock)
+                self._inbound.put((identity, {"type": "peer_lost", "reason": "superseded"}))
             self._peers[identity] = peer
-        self._inbound.put((identity, {"type": "registration", "info": registration}))
+            self._inbound.put((identity, {"type": "registration", "info": registration}))
         while not self._stop_event.is_set():
             try:
                 msg = recv_frame(conn)
             except Exception:
                 break
-            self._inbound.put((identity, msg))
+            # The check and the enqueue share the peers lock with the
+            # eviction path, so a frame read just before an eviction either
+            # lands *before* the eviction's peer_lost/registration pair or
+            # is dropped — never attributed to the identity's new owner.
+            with self._peers_lock:
+                if not peer.alive:
+                    break  # evicted mid-read: never attribute this frame
+                self._inbound.put((identity, msg))
         peer.alive = False
         with self._peers_lock:
             existing = self._peers.get(identity)
             if existing is peer:
                 del self._peers[identity]
-        self._inbound.put((identity, {"type": "peer_lost"}))
+                if not peer.evicted:
+                    # Enqueued under the lock: a same-identity reconnect
+                    # racing this exit cannot slot its registration in
+                    # first, which would make this loss read as the *new*
+                    # connection dying. (An evicted connection's loss was
+                    # already reported by the evictor.)
+                    self._inbound.put((identity, {"type": "peer_lost"}))
         try:
             conn.close()
         except OSError:
@@ -181,10 +227,7 @@ class MessageServer:
             peer = self._peers.pop(identity, None)
         if peer is not None:
             peer.alive = False
-            try:
-                peer.sock.close()
-            except OSError:
-                pass
+            _close_socket(peer.sock)
 
     def close(self) -> None:
         """Shut the server down and drop all peers."""
@@ -197,10 +240,11 @@ class MessageServer:
             peers = list(self._peers.values())
             self._peers.clear()
         for peer in peers:
-            try:
-                peer.sock.close()
-            except OSError:
-                pass
+            _close_socket(peer.sock)
+        # Reap reader threads: sockets are closed, so each loop exits promptly.
+        for thread in self._reader_threads:
+            thread.join(timeout=1.0)
+        self._reader_threads = [t for t in self._reader_threads if t.is_alive()]
 
     def __enter__(self) -> "MessageServer":
         return self

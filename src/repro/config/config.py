@@ -28,12 +28,21 @@ A Config bundles:
   decision interval, and ``max_idletime`` the scale-in hysteresis — a block
   must be continuously idle this long before it may be drained (§4.4),
 * monitoring,
+* the workflow-gateway service knobs (``service_*``): where the gateway
+  binds (``service_host`` / ``service_port``), the per-tenant admission cap
+  (``service_max_inflight_per_tenant`` — beyond it a tenant's submits get
+  backpressure replies), the global dispatch window
+  (``service_window`` — how many gateway tasks may sit in the DFK at once;
+  the weighted fair-share queue orders everything beyond it), tenant
+  weights (``service_tenant_weights`` / ``service_default_weight``),
+  disconnected-session retention (``service_session_ttl_s``), and the
+  per-session completed-result replay buffer (``service_replay_limit``),
 * the run directory where logs, checkpoints, and monitoring land.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.checkpoint import CHECKPOINT_MODES
 from repro.errors import ConfigurationError, DuplicateExecutorLabelError
@@ -65,6 +74,14 @@ class Config:
         monitoring: Optional[MonitoringHub] = None,
         usage_tracking: bool = False,
         initialize_logging: bool = False,
+        service_host: str = "127.0.0.1",
+        service_port: int = 0,
+        service_max_inflight_per_tenant: int = 64,
+        service_window: int = 128,
+        service_session_ttl_s: float = 60.0,
+        service_replay_limit: int = 1024,
+        service_default_weight: int = 1,
+        service_tenant_weights: Optional[Dict[str, int]] = None,
     ):
         if executors is None or len(list(executors)) == 0:
             executors = [ThreadPoolExecutor(label="threads", max_threads=4)]
@@ -90,6 +107,22 @@ class Config:
             raise ConfigurationError("dispatch_drain_interval must be positive")
         if router_backpressure is not None and router_backpressure < 1:
             raise ConfigurationError("router_backpressure must be >= 1 when set")
+        if service_max_inflight_per_tenant < 1:
+            raise ConfigurationError("service_max_inflight_per_tenant must be >= 1")
+        if service_window < 1:
+            raise ConfigurationError("service_window must be >= 1")
+        if service_session_ttl_s <= 0:
+            raise ConfigurationError("service_session_ttl_s must be positive")
+        if service_replay_limit < 1:
+            raise ConfigurationError("service_replay_limit must be >= 1")
+        if service_default_weight < 1:
+            raise ConfigurationError("service_default_weight must be >= 1")
+        if service_tenant_weights is not None:
+            for tenant, weight in service_tenant_weights.items():
+                if not isinstance(weight, int) or isinstance(weight, bool) or weight < 1:
+                    raise ConfigurationError(
+                        f"service tenant weight for {tenant!r} must be a positive integer, got {weight!r}"
+                    )
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -109,6 +142,14 @@ class Config:
         self.monitoring = monitoring
         self.usage_tracking = usage_tracking
         self.initialize_logging = initialize_logging
+        self.service_host = service_host
+        self.service_port = service_port
+        self.service_max_inflight_per_tenant = service_max_inflight_per_tenant
+        self.service_window = service_window
+        self.service_session_ttl_s = service_session_ttl_s
+        self.service_replay_limit = service_replay_limit
+        self.service_default_weight = service_default_weight
+        self.service_tenant_weights = dict(service_tenant_weights or {})
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -63,6 +63,7 @@ from repro.errors import (
     DependencyError,
     JoinError,
     ResourceSpecError,
+    TaskWalltimeExceeded,
     UnsupportedFeatureError,
 )
 from repro.monitoring.messages import MessageType
@@ -156,6 +157,13 @@ class DataFlowKernel:
         self._retry_timers: Dict[threading.Timer, Tuple[TaskRecord, tuple, dict]] = {}
         self._retry_timers_lock = threading.Lock()
 
+        # Completion fan-out hooks -----------------------------------------
+        # Called once per task when it reaches a final state, *after* its
+        # AppFuture has resolved. The gateway service uses this to stream
+        # results to remote tenants without polling the task table.
+        self._completion_hooks: List[Any] = []
+        self._completion_hooks_lock = threading.Lock()
+
         # Event-driven completion tracking ---------------------------------
         # Per-state counters and the outstanding (non-final) count are kept
         # exact at transition time under this condition, so task_summary(),
@@ -195,6 +203,7 @@ class DataFlowKernel:
         is_staging: bool = False,
         resource_spec: ResourceSpecLike = None,
         priority: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> AppFuture:
         """Register one task with the dataflow graph and return its AppFuture.
 
@@ -206,6 +215,10 @@ class DataFlowKernel:
         managers run) surfaces through the AppFuture as a
         :class:`~repro.errors.ResourceSpecError` without burning retries —
         the failure is deterministic, so the retry machinery skips it.
+
+        ``tag`` is an opaque submitter label (the gateway service sets the
+        tenant name): it rides on the task record, survives retirement, and
+        lands in every TASK_STATE monitoring row.
         """
         if self._cleanup_called:
             raise DataFlowKernelClosedError("cannot submit to a DataFlowKernel after cleanup()")
@@ -238,6 +251,7 @@ class DataFlowKernel:
             is_staging=is_staging,
             resource_specification=spec.to_wire(),
             priority=spec.priority,
+            tag=tag,
         )
         app_fu = AppFuture(task_record=task)
         task.app_fu = app_fu
@@ -557,10 +571,11 @@ class DataFlowKernel:
     def _handle_failure(self, task: TaskRecord, exc: BaseException, args, kwargs) -> None:
         task.fail_count += 1
         task.fail_history.append(repr(exc))
-        if isinstance(exc, (ResourceSpecError, UnsupportedFeatureError)):
+        if isinstance(exc, (ResourceSpecError, UnsupportedFeatureError, TaskWalltimeExceeded)):
             # Deterministic capability mismatches — a spec no manager can
-            # ever satisfy, or a feature the executor categorically rejects
-            # — would re-fail identically N times; retrying with backoff
+            # ever satisfy, a feature the executor categorically rejects,
+            # or a task killed for exceeding its own walltime spec —
+            # would re-fail identically N times; retrying with backoff
             # only delays the same answer. Fail fast instead.
             self._fail_task(task, exc, States.failed)
             return
@@ -614,6 +629,7 @@ class DataFlowKernel:
         self._send_task_state(task, state)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_result(result)
+        self._run_completion_hooks(task, state)
 
     def _fail_task(self, task: TaskRecord, exc: BaseException, state: States) -> None:
         task.time_returned = time.time()
@@ -622,7 +638,38 @@ class DataFlowKernel:
         logger.info("task %s (%s) marked %s: %r", task.id, task.func_name, state.name, exc)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_exception(exc)
+        self._run_completion_hooks(task, state)
         self._retire_task(task)
+
+    # ------------------------------------------------------------------
+    # Completion fan-out hooks
+    # ------------------------------------------------------------------
+    def add_completion_hook(self, hook) -> None:
+        """Register ``hook(task_record, final_state)`` to run once per task.
+
+        Hooks fire after the task's AppFuture has resolved (so
+        ``task.app_fu.result()`` / ``.exception()`` never block) and before
+        the record is retired. They run on the completing thread — keep them
+        short or hand off to a queue. A raising hook is logged, never fatal.
+        """
+        with self._completion_hooks_lock:
+            self._completion_hooks.append(hook)
+
+    def remove_completion_hook(self, hook) -> None:
+        with self._completion_hooks_lock:
+            try:
+                self._completion_hooks.remove(hook)
+            except ValueError:
+                pass
+
+    def _run_completion_hooks(self, task: TaskRecord, state: States) -> None:
+        with self._completion_hooks_lock:
+            hooks = list(self._completion_hooks)
+        for hook in hooks:
+            try:
+                hook(task, state)
+            except Exception:  # noqa: BLE001 - a hook must not break completion
+                logger.exception("completion hook failed for task %s", task.id)
 
     def _stage_outputs(self, task: TaskRecord) -> None:
         """Publish remote-scheme output files after a successful task."""
@@ -653,6 +700,7 @@ class DataFlowKernel:
                 "fail_count": task.fail_count,
                 "priority": task.priority,
                 "manager": task.placed_manager,
+                "tag": task.tag,
             },
         )
 

@@ -71,6 +71,10 @@ class TaskRecord:
     #: Dispatch priority from the task's resource spec (higher runs sooner);
     #: kept as a scalar so monitoring rows carry it even after retirement.
     priority: int = 0
+    #: Opaque submitter tag (the gateway sets the tenant name here); carried
+    #: into TASK_STATE monitoring rows and surviving retirement, so a
+    #: multi-tenant run's per-tenant timeline is reconstructable post-run.
+    tag: Optional[str] = None
     #: Identity of the manager that ran the task (set on completion).
     placed_manager: Optional[str] = None
     outputs: List[Any] = field(default_factory=list)

@@ -81,6 +81,22 @@ class AppTimeout(AppException):
     """An app exceeded its configured walltime."""
 
 
+class TaskWalltimeExceeded(AppException):
+    """A task ran past the ``walltime_s`` in its resource specification.
+
+    Raised *on the worker* (the spec's walltime is enforced, not advisory):
+    the task is killed and the error travels back through the executor
+    future. The DataFlowKernel treats it as deterministic and fails the
+    AppFuture without burning retries — a task that ran out of time once
+    will run out of time again.
+    """
+
+    def __init__(self, message: str = "task exceeded its walltime"):
+        # Single-positional-arg constructor so the exception round-trips
+        # through pickle (RemoteExceptionWrapper ships it off the worker).
+        super().__init__(message)
+
+
 class MissingOutputs(AppException):
     """An app completed but did not produce one or more declared output files."""
 
@@ -274,6 +290,22 @@ class FileNotAvailable(DataManagerError):
 
 class MonitoringError(ReproException):
     """A monitoring component failed (hub, router, or database)."""
+
+
+# ---------------------------------------------------------------------------
+# Gateway service errors
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproException):
+    """Base class for workflow-gateway failures (server or client side)."""
+
+
+class AuthenticationError(ServiceError):
+    """The gateway rejected a client's tenant token or session credentials."""
+
+
+class SessionExpiredError(ServiceError):
+    """A resume attempt referenced a session the gateway has evicted."""
 
 
 # ---------------------------------------------------------------------------

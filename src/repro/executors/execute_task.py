@@ -11,14 +11,85 @@ from __future__ import annotations
 
 import os
 import resource
+import signal
+import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import RemoteExceptionWrapper
+from repro.errors import RemoteExceptionWrapper, TaskWalltimeExceeded
 from repro.serialize import pack_apply_message, serialize, deserialize, unpack_apply_message
 
 
-def execute_task(buffer: bytes, sandbox_dir: Optional[str] = None) -> bytes:
+def _run_with_walltime(func, args, kwargs, walltime_s: float) -> Any:
+    """Run ``func`` but kill it once ``walltime_s`` elapses.
+
+    Two enforcement mechanisms, picked by context:
+
+    * **signal** — in the main thread of a worker process, ``SIGALRM``
+      interrupts the user code wherever it is (even a C-level sleep) and
+      raises :class:`TaskWalltimeExceeded` inside it; the worker slot is
+      genuinely reclaimed.
+    * **watchdog thread** — thread-mode workers cannot receive per-thread
+      signals, so the call runs in a daemon thread joined with a timeout.
+      On expiry the worker moves on (the slot is reclaimed and the failure
+      reported) while the overrun code is abandoned to finish in the
+      background — the closest Python gets to killing a thread.
+    """
+    use_signal = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_signal:
+        completed = False
+
+        def _expired(_signum, _frame):
+            if completed:
+                # The task returned just under the wire and the pending
+                # alarm fired before the timer was disarmed: its (real)
+                # result must stand — raising here would discard a success
+                # as a never-retried TaskWalltimeExceeded.
+                return
+            raise TaskWalltimeExceeded(
+                f"task exceeded its walltime_s resource spec of {walltime_s}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, walltime_s)
+        try:
+            result = func(*args, **kwargs)
+            completed = True
+            return result
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+    outcome: List[Any] = [None, None]  # [result, exception]
+    finished = threading.Event()
+
+    def _call() -> None:
+        try:
+            outcome[0] = func(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - travels back to the caller
+            outcome[1] = exc
+        finally:
+            finished.set()
+
+    runner = threading.Thread(target=_call, name="walltime-runner", daemon=True)
+    runner.start()
+    if not finished.wait(timeout=walltime_s):
+        raise TaskWalltimeExceeded(
+            f"task exceeded its walltime_s resource spec of {walltime_s}s"
+        )
+    if outcome[1] is not None:
+        raise outcome[1]
+    return outcome[0]
+
+
+def execute_task(
+    buffer: bytes,
+    sandbox_dir: Optional[str] = None,
+    walltime_s: Optional[float] = None,
+) -> bytes:
     """Run one serialized task and return a serialized outcome.
 
     The returned buffer deserializes to a dict with keys:
@@ -26,6 +97,11 @@ def execute_task(buffer: bytes, sandbox_dir: Optional[str] = None) -> bytes:
     * ``result`` — the function's return value (present on success),
     * ``exception`` — a :class:`RemoteExceptionWrapper` (present on failure),
     * ``resource`` — a small resource-usage record (always present).
+
+    ``walltime_s`` (from the task's resource spec) is *enforced*: a task
+    still running when it elapses is killed and the outcome carries a
+    :class:`TaskWalltimeExceeded`, which the DataFlowKernel fails through
+    the AppFuture without retrying.
     """
     start = time.perf_counter()
     usage_start = _sample_usage()
@@ -36,7 +112,10 @@ def execute_task(buffer: bytes, sandbox_dir: Optional[str] = None) -> bytes:
         if sandbox_dir:
             os.makedirs(sandbox_dir, exist_ok=True)
             os.chdir(sandbox_dir)
-        result = func(*args, **kwargs)
+        if walltime_s:
+            result = _run_with_walltime(func, args, kwargs, float(walltime_s))
+        else:
+            result = func(*args, **kwargs)
         outcome["result"] = result
     except BaseException as exc:  # noqa: BLE001 - user exceptions must travel back
         outcome["exception"] = RemoteExceptionWrapper.from_exception(exc)

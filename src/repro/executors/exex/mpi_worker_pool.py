@@ -119,7 +119,10 @@ def _manager_rank(
             while task_backlog and idle_ranks:
                 dest = idle_ranks.popleft()
                 item = task_backlog.popleft()
-                comm.send({"task_id": item["task_id"], "buffer": item["buffer"]}, dest, tag=TAG_TASK)
+                task = {"task_id": item["task_id"], "buffer": item["buffer"]}
+                if item.get("walltime_s") is not None:
+                    task["walltime_s"] = item["walltime_s"]
+                comm.send(task, dest, tag=TAG_TASK)
                 rank_task[dest] = item["task_id"]
             # 3. Collect results from workers.
             while comm.iprobe(source=ANY_SOURCE, tag=TAG_RESULT):
@@ -166,7 +169,7 @@ def _worker_rank(comm: SimComm) -> Dict[str, Any]:
                 time.sleep(0.001)
                 continue
             item = comm.recv(source=0, tag=TAG_TASK)
-            buffer = execute_task(item["buffer"])
+            buffer = execute_task(item["buffer"], walltime_s=item.get("walltime_s"))
             comm.send({"task_id": item["task_id"], "buffer": buffer, "rank": comm.rank}, 0, tag=TAG_RESULT)
             executed += 1
     except MPIAbort:

@@ -219,8 +219,10 @@ class HighThroughputExecutor(ReproExecutor):
 
         A spec asking for more cores than one manager runs workers could
         never be placed, so it is rejected at submit time rather than left to
-        starve in the pending queue. ``memory_mb``/``walltime_s`` are
-        advisory hints (recorded, not metered).
+        starve in the pending queue. ``memory_mb`` is an advisory hint
+        (recorded, not metered); ``walltime_s`` is enforced at the worker —
+        a task still running past it is killed and fails with
+        :class:`~repro.errors.TaskWalltimeExceeded` (not retried).
         """
         spec = ResourceSpec.from_user(resource_specification)
         if spec.cores > self.workers_per_node:
@@ -246,7 +248,9 @@ class HighThroughputExecutor(ReproExecutor):
             self._task_counter += 1
             self._tasks[task_id] = future
         self._track_outstanding(future)
-        self.interchange.submit_task(task_id, buffer, priority=spec.priority, cores=spec.cores)
+        self.interchange.submit_task(
+            task_id, buffer, priority=spec.priority, cores=spec.cores, walltime_s=spec.walltime_s
+        )
         return future
 
     def submit_batch(self, requests: Sequence[SubmitRequest]) -> List[cf.Future]:
@@ -278,7 +282,15 @@ class HighThroughputExecutor(ReproExecutor):
                 self._task_counter += 1
                 self._tasks[task_id] = future
             self._track_outstanding(future)
-            items.append(msg.task_item(task_id, buffer, priority=spec.priority, cores=spec.cores))
+            items.append(
+                msg.task_item(
+                    task_id,
+                    buffer,
+                    priority=spec.priority,
+                    cores=spec.cores,
+                    walltime_s=spec.walltime_s,
+                )
+            )
         if items:
             self.interchange.submit_tasks(items)
         return futures

@@ -195,8 +195,17 @@ class Interchange:
     # ------------------------------------------------------------------
     # Client-facing API (called from the executor in the same process)
     # ------------------------------------------------------------------
-    def submit_task(self, task_id: int, buffer: bytes, priority: int = 0, cores: int = 1) -> None:
-        self.pending_tasks.put(msg.task_item(task_id, buffer, priority=priority, cores=cores))
+    def submit_task(
+        self,
+        task_id: int,
+        buffer: bytes,
+        priority: int = 0,
+        cores: int = 1,
+        walltime_s: Optional[float] = None,
+    ) -> None:
+        self.pending_tasks.put(
+            msg.task_item(task_id, buffer, priority=priority, cores=cores, walltime_s=walltime_s)
+        )
 
     def submit_tasks(self, items: List[Dict[str, Any]]) -> None:
         """Enqueue a pre-packed batch of tasks (each item: ``task_id``,

@@ -55,20 +55,30 @@ def drain_ack_message() -> Dict[str, Any]:
 # Task items (executor -> interchange -> manager)
 # ---------------------------------------------------------------------------
 
-def task_item(task_id: int, buffer: bytes, priority: int = 0, cores: int = 1) -> Dict[str, Any]:
+def task_item(
+    task_id: int,
+    buffer: bytes,
+    priority: int = 0,
+    cores: int = 1,
+    walltime_s: Optional[float] = None,
+) -> Dict[str, Any]:
     """One task as it travels the dispatch path.
 
     ``priority`` orders the interchange's pending queue (higher runs sooner);
     ``cores`` is the number of worker core-slots the task occupies on the one
-    manager it is placed on. Both default to the pre-scheduling behaviour
-    (FIFO one-slot tasks), and the scheduling fields are simply absent from
-    the minimal form so old captures/tests remain valid.
+    manager it is placed on; ``walltime_s`` is the runtime limit the worker
+    *enforces* (the task is killed past it). All default to the
+    pre-scheduling behaviour (FIFO one-slot unlimited tasks), and the
+    scheduling fields are simply absent from the minimal form so old
+    captures/tests remain valid.
     """
     item: Dict[str, Any] = {"task_id": task_id, "buffer": buffer}
     if priority:
         item["priority"] = priority
     if cores != 1:
         item["cores"] = cores
+    if walltime_s is not None:
+        item["walltime_s"] = float(walltime_s)
     return item
 
 

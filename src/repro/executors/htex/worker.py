@@ -37,7 +37,9 @@ def worker_loop(worker_id: int, task_queue, result_queue, sandbox_root: Optional
             break
         if item is STOP:
             break
-        buffer = execute_task(item["buffer"], sandbox_dir=sandbox_dir)
+        buffer = execute_task(
+            item["buffer"], sandbox_dir=sandbox_dir, walltime_s=item.get("walltime_s")
+        )
         result_queue.put({"task_id": item["task_id"], "buffer": buffer, "worker_id": worker_id})
         executed += 1
     return executed

@@ -6,7 +6,9 @@ app decorators down to worker slots:
 * :mod:`repro.scheduling.spec` — the validated, wire-serializable spec
   (cores, memory hint, walltime hint, priority, executor affinity);
 * :mod:`repro.scheduling.queues` — the starvation-safe priority queue that
-  replaces the FIFO pending queue in the HTEX interchange;
+  replaces the FIFO pending queue in the HTEX interchange, plus the
+  weighted fair-share queue the gateway service uses for multi-tenant
+  admission;
 * :mod:`repro.scheduling.placement` — pluggable task→manager placement
   policies (least-loaded, bin-pack, spread, random, round-robin);
 * :mod:`repro.scheduling.router` — the DFK-level multi-executor router
@@ -14,13 +16,14 @@ app decorators down to worker slots:
 """
 
 from repro.scheduling.placement import ManagerSlot, make_placement_view
-from repro.scheduling.queues import PriorityTaskQueue
+from repro.scheduling.queues import PriorityTaskQueue, WeightedFairShareQueue
 from repro.scheduling.router import ExecutorRouter
 from repro.scheduling.spec import ResourceSpec
 
 __all__ = [
     "ResourceSpec",
     "PriorityTaskQueue",
+    "WeightedFairShareQueue",
     "ManagerSlot",
     "make_placement_view",
     "ExecutorRouter",

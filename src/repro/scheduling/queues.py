@@ -93,3 +93,122 @@ class PriorityTaskQueue:
     def qsize(self) -> int:
         with self._lock:
             return len(self._heap)
+
+
+class _TenantLane:
+    """One tenant's backlog inside a :class:`WeightedFairShareQueue`."""
+
+    __slots__ = ("queue", "weight", "vtime")
+
+    def __init__(self, weight: int, aging_s: float):
+        self.queue = PriorityTaskQueue(aging_s=aging_s)
+        self.weight = weight
+        self.vtime = 0.0
+
+
+class WeightedFairShareQueue:
+    """Start-time fair queueing over per-tenant priority queues.
+
+    The gateway service admits many tenants into one DataFlowKernel; this
+    queue decides *whose* task is dispensed next so a chatty tenant cannot
+    starve the others. Each tenant owns a :class:`PriorityTaskQueue` lane
+    (so intra-tenant priority and aging still apply) plus a **virtual time**:
+
+    * popping a task from a lane advances that lane's virtual time by
+      ``cost / weight`` (cost = the item's ``cores``, default 1), so a
+      weight-10 tenant's clock runs ten times slower per unit of service —
+      over any backlogged interval it receives ~10× the throughput of a
+      weight-1 tenant;
+    * :meth:`pop` always serves the backlogged lane with the smallest
+      virtual time, which is the classic SFQ approximation of weighted
+      processor sharing;
+    * a lane that *becomes* backlogged after idling has its clock advanced
+      to the system virtual time (the clock of the lane last served), so
+      idle tenants accumulate no credit — they resume sharing from "now"
+      rather than replaying their idle period as a burst.
+
+    Thread-safe; pops are O(tenants) (the tenant population of one gateway
+    is small — the per-task log n cost stays inside the lanes).
+    """
+
+    def __init__(self, default_weight: int = 1, aging_s: float = DEFAULT_AGING_S):
+        if default_weight < 1:
+            raise ValueError("default_weight must be >= 1")
+        if aging_s <= 0:
+            raise ValueError("aging_s must be positive")
+        self.default_weight = default_weight
+        self.aging_s = aging_s
+        self._lanes: Dict[str, _TenantLane] = {}
+        self._lock = threading.Lock()
+        #: System virtual time: the pre-service clock of the last lane served.
+        self._vclock = 0.0
+
+    # ------------------------------------------------------------------
+    def _lane(self, tenant: str) -> _TenantLane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _TenantLane(self.default_weight, self.aging_s)
+            lane.vtime = self._vclock
+            self._lanes[tenant] = lane
+        return lane
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        """Set a tenant's fair-share weight (creating its lane if needed)."""
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        with self._lock:
+            self._lane(tenant).weight = weight
+
+    def weight_of(self, tenant: str) -> int:
+        with self._lock:
+            lane = self._lanes.get(tenant)
+            return lane.weight if lane is not None else self.default_weight
+
+    # ------------------------------------------------------------------
+    def put(self, tenant: str, item: Dict[str, Any]) -> None:
+        """Enqueue one task item on the tenant's lane."""
+        with self._lock:
+            lane = self._lane(tenant)
+            if lane.queue.empty():
+                # Newly backlogged: no credit for the idle period.
+                lane.vtime = max(lane.vtime, self._vclock)
+            lane.queue.put(item)
+
+    def pop(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """Serve the backlogged tenant with the smallest virtual time.
+
+        Returns ``(tenant, item)`` or ``None`` when every lane is empty.
+        """
+        with self._lock:
+            best: Optional[Tuple[str, _TenantLane]] = None
+            for tenant, lane in self._lanes.items():
+                if lane.queue.empty():
+                    continue
+                if best is None or lane.vtime < best[1].vtime:
+                    best = (tenant, lane)
+            if best is None:
+                return None
+            tenant, lane = best
+            item = lane.queue.pop()
+            assert item is not None  # lane was non-empty under the lock
+            self._vclock = lane.vtime
+            cost = float(item.get("cores") or 1)
+            lane.vtime += cost / lane.weight
+            return tenant, item
+
+    # ------------------------------------------------------------------
+    def qsize(self, tenant: Optional[str] = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                lane = self._lanes.get(tenant)
+                return lane.queue.qsize() if lane is not None else 0
+            return sum(lane.queue.qsize() for lane in self._lanes.values())
+
+    def empty(self) -> bool:
+        with self._lock:
+            return all(lane.queue.empty() for lane in self._lanes.values())
+
+    def backlog(self) -> Dict[str, int]:
+        """Per-tenant queued counts (includes zero-backlog known tenants)."""
+        with self._lock:
+            return {tenant: lane.queue.qsize() for tenant, lane in self._lanes.items()}

@@ -34,8 +34,12 @@ class ResourceSpec:
     * ``memory_mb`` — advisory memory footprint. Managers do not meter
       memory, so this is a placement *hint* recorded for monitoring, not an
       enforced limit.
-    * ``walltime_s`` — advisory runtime hint (the enforced walltime remains
-      the app-level ``walltime=`` keyword).
+    * ``walltime_s`` — runtime limit, *enforced at the worker* on
+      spec-capable executors (HTEX/EXEX): a task still running past it is
+      killed and fails through its AppFuture with
+      :class:`~repro.errors.TaskWalltimeExceeded`, which the DFK never
+      retries. On executors without spec support it degrades to an advisory
+      hint (like the app-level ``walltime=`` keyword's thread-based check).
     * ``priority`` — dispatch priority; higher runs sooner. Queues age
       waiting tasks so low priorities cannot starve (see
       :class:`~repro.scheduling.queues.PriorityTaskQueue`).

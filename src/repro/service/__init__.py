@@ -1,0 +1,16 @@
+"""The multi-tenant workflow gateway service.
+
+One :class:`~repro.service.gateway.WorkflowGateway` serves a single
+DataFlowKernel to many concurrent remote tenants: token-authenticated
+sessions, weighted fair-share admission, per-tenant backpressure, streamed
+results with reconnect-and-resume. :class:`~repro.service.client.ServiceClient`
+is the tenant-side handle; its ``submit()`` mirrors a local app invocation.
+
+See ``docs/ARCHITECTURE.md`` ("Gateway service") for the wire protocol and
+the tunables table, and ``examples/service_clients.py`` for a runnable tour.
+"""
+
+from repro.service.client import ServiceClient, ServiceFuture
+from repro.service.gateway import WorkflowGateway
+
+__all__ = ["WorkflowGateway", "ServiceClient", "ServiceFuture"]

@@ -1,0 +1,589 @@
+"""The workflow gateway: many remote tenants sharing one DataFlowKernel.
+
+The paper's ecosystem hosts the execution fabric behind services (science
+gateways, hosted endpoints) rather than handing every user their own kernel.
+This module composes the pieces built in earlier layers into exactly that:
+
+* a :class:`~repro.comms.server.MessageServer` accepts remote
+  :class:`~repro.service.client.ServiceClient` connections
+  (:mod:`repro.service.protocol` defines the frames),
+* every registration is authenticated against
+  :class:`~repro.auth.tokens.TokenStore`-scoped tokens
+  (scope ``gateway/<tenant>``),
+* each tenant gets a *session namespace*: a session id + secret, its own
+  result sequence, and a bounded replay buffer so a client that reconnects
+  recovers results that completed while it was away,
+* submitted callables (``pack_apply_message`` buffers) are admitted through
+  a :class:`~repro.scheduling.queues.WeightedFairShareQueue` — per-tenant
+  weighted virtual time, so a chatty tenant cannot starve the rest — and a
+  bounded dispatch *window* into the DFK keeps the executor pipeline full
+  while leaving ordering decisions to the fair-share queue,
+* per-tenant in-flight caps answer overload with explicit ``busy``
+  backpressure frames instead of unbounded queueing,
+* results and exceptions stream back as tasks complete, via the DFK's
+  completion fan-out hooks (no polling), and TASK_STATE monitoring rows
+  carry the tenant in their ``tag`` column,
+* a ``stats`` admin command reports per-tenant queued/running/completed/
+  failed counts.
+
+Threading model: one **service thread** owns all protocol handling (so
+session state transitions are single-writer), one **pump thread** moves
+tasks from the fair-share queue into the DFK, and delivery happens on the
+DFK's completing threads through the hook. All shared state sits behind one
+re-entrant lock.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import secrets
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.auth.tokens import TokenStore
+from repro.comms.server import MessageServer
+from repro.core.dflow import DataFlowKernel
+from repro.core.states import States
+from repro.core.taskrecord import TaskRecord
+from repro.scheduling.queues import WeightedFairShareQueue
+from repro.scheduling.spec import ResourceSpec
+from repro.serialize import serialize, unpack_apply_message
+from repro.service import protocol
+from repro.utils.ids import make_uid
+
+logger = logging.getLogger(__name__)
+
+
+class _TenantState:
+    """Admission accounting for one tenant (shared across its sessions)."""
+
+    __slots__ = ("name", "weight", "queued", "running", "completed", "failed")
+
+    def __init__(self, name: str, weight: int):
+        self.name = name
+        self.weight = weight
+        self.queued = 0     # held in the fair-share queue
+        self.running = 0    # inside the DFK, not yet final
+        self.completed = 0
+        self.failed = 0
+
+    @property
+    def inflight(self) -> int:
+        return self.queued + self.running
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "queued": self.queued,
+            "running": self.running,
+            "completed": self.completed,
+            "failed": self.failed,
+            "weight": self.weight,
+        }
+
+
+class _Session:
+    """One tenant session: identity binding, dedup table, replay buffer."""
+
+    def __init__(self, session_id: str, session_token: str, tenant: str, identity: str):
+        self.session_id = session_id
+        self.session_token = session_token
+        self.tenant = tenant
+        self.identity: Optional[str] = identity
+        self.disconnected_at: Optional[float] = None
+        self.seq = 0
+        #: client_task_id -> "queued" | "running" | "done" (duplicate guard;
+        #: resent submits after a reconnect must not run twice).
+        self.seen: Dict[int, str] = {}
+        #: Completed-result frames kept for replay, oldest first.
+        self.replay: Deque[Dict[str, Any]] = deque()
+        #: client_task_id -> its replay frame (for duplicate-submit replies).
+        self.done_results: Dict[int, Dict[str, Any]] = {}
+
+
+class WorkflowGateway:
+    """Serve one DataFlowKernel to many concurrent remote tenants.
+
+    Construction defaults come from the kernel's ``Config.service_*`` knobs;
+    every knob can be overridden per-gateway. ``start()`` binds the port and
+    registers the completion hook; use as a context manager or call
+    ``stop()``.
+    """
+
+    def __init__(
+        self,
+        dfk: DataFlowKernel,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        token_store: Optional[TokenStore] = None,
+        max_inflight_per_tenant: Optional[int] = None,
+        window: Optional[int] = None,
+        session_ttl_s: Optional[float] = None,
+        replay_limit: Optional[int] = None,
+        default_weight: Optional[int] = None,
+        tenant_weights: Optional[Dict[str, int]] = None,
+        max_client_weight: int = 16,
+        poll_period: float = 0.005,
+    ):
+        cfg = dfk.config
+        self.dfk = dfk
+        self.token_store = token_store
+        self.max_inflight_per_tenant = max_inflight_per_tenant or cfg.service_max_inflight_per_tenant
+        self.window = window or cfg.service_window
+        self.session_ttl_s = session_ttl_s or cfg.service_session_ttl_s
+        self.replay_limit = replay_limit or cfg.service_replay_limit
+        self.default_weight = default_weight or cfg.service_default_weight
+        #: Weights pinned by configuration; a tenant listed here ignores any
+        #: weight its hello proposes (clients cannot promote themselves).
+        self.pinned_weights = dict(cfg.service_tenant_weights)
+        if tenant_weights:
+            self.pinned_weights.update(tenant_weights)
+        #: Ceiling on hello-proposed weights for unpinned tenants. Without
+        #: one, any authenticated tenant could claim weight 10**9 and
+        #: monopolize the fair-share queue — the exact starvation this
+        #: subsystem exists to prevent. Operator-pinned weights are exempt.
+        self.max_client_weight = max_client_weight
+        self.poll_period = poll_period
+
+        self.server = MessageServer(
+            host=host if host is not None else cfg.service_host,
+            port=port if port is not None else cfg.service_port,
+            name="gateway",
+        )
+        self._queue = WeightedFairShareQueue(default_weight=self.default_weight)
+        for tenant, weight in self.pinned_weights.items():
+            self._queue.set_weight(tenant, weight)
+
+        self._lock = threading.RLock()
+        self._window_cv = threading.Condition(self._lock)
+        self._tenants: Dict[str, _TenantState] = {}
+        self._sessions: Dict[str, _Session] = {}
+        self._identity_sessions: Dict[str, str] = {}
+        #: DFK task id -> (session id, client task id).
+        self._tasks: Dict[int, Tuple[str, int]] = {}
+        #: Result frames awaiting transmission. Completion hooks run on the
+        #: DFK's completing threads, and a TCP send can block on a client
+        #: that stopped reading — so hooks enqueue here and a dedicated
+        #: sender thread does the socket work, keeping one stalled tenant
+        #: from blocking every other tenant's completions.
+        self._outbound: "queue.Queue[Tuple[str, Dict[str, Any]]]" = queue.Queue()
+        self._inflight_window = 0
+        self._stop_event = threading.Event()
+        self._threads: list = []
+        self._last_sweep = time.time()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "WorkflowGateway":
+        if self._started:
+            return self
+        self._started = True
+        self.dfk.add_completion_hook(self._on_task_final)
+        for name, target in [
+            ("gateway-service", self._service_loop),
+            ("gateway-pump", self._pump_loop),
+            ("gateway-sender", self._sender_loop),
+        ]:
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        logger.info("gateway serving DFK %s on %s:%s", self.dfk.run_id, self.host, self.port)
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._stop_event.set()
+        with self._window_cv:
+            self._window_cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=2)
+        self.dfk.remove_completion_hook(self._on_task_final)
+        self.server.close()
+
+    def __enter__(self) -> "WorkflowGateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Service loop: all protocol handling happens on this one thread
+    # ------------------------------------------------------------------
+    def _service_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                received = self.server.recv(timeout=self.poll_period)
+                while received is not None:
+                    identity, message = received
+                    self._handle(identity, message)
+                    received = self.server.recv(timeout=0.0)
+                self._sweep_sessions()
+            except Exception:  # noqa: BLE001 - the gateway must not die
+                logger.exception("gateway service loop error")
+
+    def _handle(self, identity: str, message: Any) -> None:
+        if not isinstance(message, dict):
+            self.server.send(identity, protocol.error("messages must be dicts"))
+            return
+        mtype = message.get("type")
+        if mtype == "registration":
+            return  # comms-level; the session starts at hello
+        if mtype == "hello":
+            self._handle_hello(identity, message)
+        elif mtype == "submit":
+            self._handle_submit(identity, message)
+        elif mtype == "stats":
+            self.server.send(
+                identity, protocol.stats_reply(int(message.get("req_id") or 0), self.stats())
+            )
+        elif mtype == "goodbye":
+            self._drop_identity(identity, evict_session=True)
+        elif mtype == "peer_lost":
+            self._drop_identity(identity, evict_session=False)
+        else:
+            self.server.send(identity, protocol.error(f"unknown message type {mtype!r}"))
+
+    # ------------------------------------------------------------------
+    def _handle_hello(self, identity: str, message: Dict[str, Any]) -> None:
+        tenant = message.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            self.server.send(identity, protocol.auth_error("hello carries no tenant name"))
+            return
+        if self.token_store is not None and not self.token_store.validate(
+            protocol.token_scope(tenant), message.get("token")
+        ):
+            self.server.send(
+                identity,
+                protocol.auth_error(f"invalid or expired token for tenant {tenant!r}"),
+            )
+            return
+        if "session" in message:
+            self._resume_session(identity, tenant, message)
+            return
+        # Fresh session ------------------------------------------------
+        with self._lock:
+            # A fresh hello on a connection that already owns a session
+            # abandons the old one: unbind it so the TTL sweep can evict it
+            # (left bound, it would never be swept and would leak — and its
+            # results would be sent to a connection that no longer serves it).
+            stale_id = self._identity_sessions.pop(identity, None)
+            stale = self._sessions.get(stale_id) if stale_id else None
+            if stale is not None and stale.identity == identity:
+                stale.identity = None
+                stale.disconnected_at = time.time()
+            state = self._tenant_state(tenant)
+            proposed = message.get("weight")
+            if (
+                tenant not in self.pinned_weights
+                and isinstance(proposed, int)
+                and not isinstance(proposed, bool)
+                and proposed >= 1
+            ):
+                granted = min(proposed, self.max_client_weight)
+                state.weight = granted
+                self._queue.set_weight(tenant, granted)
+            session = _Session(
+                session_id=make_uid("sess"),
+                session_token=secrets.token_hex(16),
+                tenant=tenant,
+                identity=identity,
+            )
+            self._sessions[session.session_id] = session
+            self._identity_sessions[identity] = session.session_id
+            weight = state.weight
+        self.server.send(
+            identity,
+            protocol.welcome(
+                session.session_id,
+                session.session_token,
+                resumed=False,
+                max_inflight=self.max_inflight_per_tenant,
+                weight=weight,
+            ),
+        )
+
+    def _resume_session(self, identity: str, tenant: str, message: Dict[str, Any]) -> None:
+        last_seq = int(message.get("last_seq") or 0)
+        with self._lock:
+            session = self._sessions.get(message.get("session"))
+            if session is None:
+                outcome = protocol.auth_error("unknown or expired session")
+                replay: list = []
+            elif (
+                session.tenant != tenant
+                or session.session_token != message.get("session_token")
+            ):
+                outcome = protocol.auth_error("session credentials mismatch")
+                replay = []
+                session = None
+            else:
+                # Unbind whatever session this connection served before (as
+                # the fresh-hello path does): left bound, it would never be
+                # TTL-swept and its results would be routed to a connection
+                # that now serves a different session.
+                stale_id = self._identity_sessions.pop(identity, None)
+                stale = self._sessions.get(stale_id) if stale_id else None
+                if stale is not None and stale is not session and stale.identity == identity:
+                    stale.identity = None
+                    stale.disconnected_at = time.time()
+                previous = session.identity
+                if previous is not None and previous != identity:
+                    self._identity_sessions.pop(previous, None)
+                session.identity = identity
+                session.disconnected_at = None
+                self._identity_sessions[identity] = session.session_id
+                weight = self._tenant_state(tenant).weight
+                outcome = protocol.welcome(
+                    session.session_id,
+                    session.session_token,
+                    resumed=True,
+                    max_inflight=self.max_inflight_per_tenant,
+                    weight=weight,
+                )
+                replay = [frame for frame in session.replay if frame["seq"] > last_seq]
+        # One socket write carries the welcome and the whole replay train.
+        self.server.send_many(identity, [outcome] + replay)
+
+    # ------------------------------------------------------------------
+    def _handle_submit(self, identity: str, message: Dict[str, Any]) -> None:
+        with self._lock:
+            session_id = self._identity_sessions.get(identity)
+            session = self._sessions.get(session_id) if session_id else None
+        if session is None:
+            self.server.send(identity, protocol.error("no session; send hello first"))
+            return
+        cid = message.get("client_task_id")
+        if not isinstance(cid, int):
+            self.server.send(identity, protocol.error("submit carries no client_task_id"))
+            return
+        with self._lock:
+            status = session.seen.get(cid)
+            if status == "done":
+                # Duplicate of a finished task (client resent after a
+                # reconnect race): replay its result instead of re-running.
+                frame = session.done_results.get(cid)
+                self.server.send(identity, frame or protocol.accepted(cid))
+                return
+            if status is not None:
+                self.server.send(identity, protocol.accepted(cid))  # idempotent resend
+                return
+            tenant = self._tenant_state(session.tenant)
+            if tenant.inflight >= self.max_inflight_per_tenant:
+                self.server.send(
+                    identity, protocol.busy(cid, tenant.inflight, self.max_inflight_per_tenant)
+                )
+                return
+        try:
+            func, args, kwargs = unpack_apply_message(message["buffer"])
+            spec = ResourceSpec.from_user(message.get("resource_spec"))
+        except Exception as exc:  # noqa: BLE001 - bad task must not kill the loop
+            self.server.send(identity, protocol.error(f"undecodable task: {exc!r}", cid))
+            return
+        item: Dict[str, Any] = {
+            "priority": spec.priority,
+            "cores": spec.cores,
+            "session": session.session_id,
+            "client_task_id": cid,
+            "func": func,
+            "args": args,
+            "kwargs": kwargs,
+            "spec": spec.to_wire(),
+        }
+        with self._window_cv:
+            session.seen[cid] = "queued"
+            tenant.queued += 1
+            self._queue.put(session.tenant, item)
+            self._window_cv.notify()
+        self.server.send(identity, protocol.accepted(cid))
+
+    # ------------------------------------------------------------------
+    # Pump: fair-share queue -> DFK, bounded by the dispatch window
+    # ------------------------------------------------------------------
+    def _pump_loop(self) -> None:
+        while not self._stop_event.is_set():
+            with self._window_cv:
+                while not self._stop_event.is_set() and (
+                    self._inflight_window >= self.window or self._queue.empty()
+                ):
+                    self._window_cv.wait(timeout=0.1)
+                if self._stop_event.is_set():
+                    return
+                popped = self._queue.pop()
+                if popped is None:
+                    continue
+                tenant_name, item = popped
+                tenant = self._tenant_state(tenant_name)
+                tenant.queued -= 1
+                session = self._sessions.get(item["session"])
+                if session is None:
+                    # The session was evicted while the task queued; there is
+                    # nobody to deliver to, so do not spend executor time.
+                    tenant.failed += 1
+                    continue
+                try:
+                    # Submit while holding the lock so a completion hook
+                    # firing on another thread always finds the task-id
+                    # mapping already recorded (the RLock re-enters for the
+                    # same-thread synchronous case handled below).
+                    future = self.dfk.submit(
+                        item["func"],
+                        app_args=item["args"],
+                        app_kwargs=item["kwargs"],
+                        cache=False,
+                        resource_spec=item["spec"] or None,
+                        tag=tenant_name,
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-task submit failure
+                    tenant.failed += 1
+                    session.seen[item["client_task_id"]] = "done"
+                    self._deliver(item["session"], item["client_task_id"], False, exc)
+                    continue
+                session.seen[item["client_task_id"]] = "running"
+                tenant.running += 1
+                self._inflight_window += 1
+                self._tasks[future.tid] = (item["session"], item["client_task_id"])
+                if future.done():
+                    # The task completed *inside* submit on this very thread
+                    # (e.g. a kernel shutting down fail-fasts synchronously;
+                    # the re-entrant lock let the hook run and find no
+                    # mapping). Settle it now — _on_task_final pops the
+                    # mapping exactly once, so a hook that already ran on
+                    # another thread makes this a no-op.
+                    task = future.task_record
+                    if task is not None:
+                        self._on_task_final(task, task.status)
+
+    # ------------------------------------------------------------------
+    # Completion fan-out (runs on DFK completing threads)
+    # ------------------------------------------------------------------
+    def _on_task_final(self, task: TaskRecord, state: States) -> None:
+        with self._window_cv:
+            entry = self._tasks.pop(task.id, None)
+            if entry is None:
+                return  # not a gateway task
+            session_id, cid = entry
+            tenant = self._tenant_state(task.tag or "")
+            tenant.running -= 1
+            self._inflight_window -= 1
+            self._window_cv.notify()
+        app_fu = task.app_fu
+        exc = app_fu.exception() if app_fu is not None else None
+        if exc is None:
+            success, payload = True, (app_fu.result() if app_fu is not None else None)
+        else:
+            success, payload = False, exc
+        with self._lock:
+            if success:
+                tenant.completed += 1
+            else:
+                tenant.failed += 1
+        self._deliver(session_id, cid, success, payload)
+
+    def _deliver(self, session_id: str, cid: int, success: bool, payload: Any) -> None:
+        try:
+            buffer = serialize(payload)
+        except Exception as exc:  # noqa: BLE001 - unpicklable result
+            success = False
+            buffer = serialize(
+                TypeError(f"task result could not be serialized for transport: {exc!r}")
+            )
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                return  # session evicted; the result has no audience
+            session.seq += 1
+            frame = protocol.result(session.seq, cid, success, buffer)
+            session.seen[cid] = "done"
+            session.replay.append(frame)
+            session.done_results[cid] = frame
+            while len(session.replay) > self.replay_limit:
+                evicted = session.replay.popleft()
+                # Drop the dedup entry with the replay frame: memory per
+                # session stays O(replay_limit) over an unbounded task
+                # stream, at the cost of no longer deduplicating a resend
+                # of a task so old its result already aged out of replay.
+                session.done_results.pop(evicted["client_task_id"], None)
+                session.seen.pop(evicted["client_task_id"], None)
+            identity = session.identity
+        if identity is not None:
+            self._outbound.put((identity, frame))
+
+    def _sender_loop(self) -> None:
+        """Drain result frames to clients off the DFK's completing threads."""
+        while not self._stop_event.is_set():
+            try:
+                identity, frame = self._outbound.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                # send() returns False for a vanished peer — the frame stays
+                # in the session's replay buffer for the eventual resume.
+                self.server.send(identity, frame)
+            except Exception:  # noqa: BLE001 - one bad peer must not stop the drain
+                logger.exception("gateway failed sending a result to %s", identity)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def _drop_identity(self, identity: str, evict_session: bool) -> None:
+        with self._lock:
+            session_id = self._identity_sessions.pop(identity, None)
+            session = self._sessions.get(session_id) if session_id else None
+            if session is None or session.identity != identity:
+                return  # already superseded by a resume on a new connection
+            if evict_session:
+                self._sessions.pop(session.session_id, None)
+            else:
+                session.identity = None
+                session.disconnected_at = time.time()
+
+    def _sweep_sessions(self) -> None:
+        now = time.time()
+        if now - self._last_sweep < min(1.0, self.session_ttl_s / 2):
+            return
+        self._last_sweep = now
+        with self._lock:
+            expired = [
+                s
+                for s in self._sessions.values()
+                if s.identity is None
+                and s.disconnected_at is not None
+                and now - s.disconnected_at > self.session_ttl_s
+            ]
+            for session in expired:
+                del self._sessions[session.session_id]
+        for session in expired:
+            logger.info(
+                "gateway evicted session %s (tenant %s) after %.1fs disconnected",
+                session.session_id, session.tenant, self.session_ttl_s,
+            )
+
+    # ------------------------------------------------------------------
+    def _tenant_state(self, tenant: str) -> _TenantState:
+        """Caller must hold the lock."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(tenant, self.pinned_weights.get(tenant, self.default_weight))
+            self._tenants[tenant] = state
+        return state
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant queued/running/completed/failed counts (admin view)."""
+        with self._lock:
+            return {name: state.counts() for name, state in self._tenants.items()}
+
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,139 @@
+"""Wire protocol of the workflow gateway service.
+
+Gateway traffic rides the same length-prefixed pickle framing as every other
+part of the system (:mod:`repro.comms.protocol`); this module pins down the
+*message shapes* exchanged on top of it, as plain dict constructors — the
+same idiom the HTEX interchange uses — so every message is trivially
+picklable and easy to assert on in tests.
+
+Session handshake::
+
+    client                                  gateway
+      | -- hello(tenant, token[, session]) --> |   authenticate against the
+      | <-- welcome(session, session_token,    |   TokenStore scope
+      |            resumed, max_inflight) ---- |   ``gateway/<tenant>``
+      | <-- result(seq > last_seq) … (replay) -|   (resume only)
+
+Steady state::
+
+      | -- submit(client_task_id, buffer) ---> |   admission check
+      | <-- accepted(client_task_id) --------- |   … or busy(...) backpressure
+      | <-- result(seq, client_task_id, ...) - |   as tasks complete
+      | -- stats(req_id) --------------------> |
+      | <-- stats_reply(req_id, tenants) ----- |
+
+Every result carries a per-session monotonically increasing ``seq``; a
+resuming client reports the highest ``seq`` it saw and the gateway replays
+everything newer from the session's replay buffer, which is how results that
+completed during a disconnect are recovered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: TokenStore scope prefix the gateway authenticates tenants against.
+TOKEN_SCOPE_PREFIX = "gateway/"
+
+
+def token_scope(tenant: str) -> str:
+    """The TokenStore resource name guarding ``tenant``'s registrations."""
+    return TOKEN_SCOPE_PREFIX + tenant
+
+
+# ---------------------------------------------------------------------------
+# Client -> gateway
+# ---------------------------------------------------------------------------
+
+def hello(
+    tenant: str,
+    token: Optional[str] = None,
+    session: Optional[str] = None,
+    session_token: Optional[str] = None,
+    last_seq: int = 0,
+    weight: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Open (or resume, when ``session`` is given) a tenant session."""
+    message: Dict[str, Any] = {"type": "hello", "tenant": tenant, "token": token}
+    if session is not None:
+        message["session"] = session
+        message["session_token"] = session_token
+        message["last_seq"] = last_seq
+    if weight is not None:
+        message["weight"] = weight
+    return message
+
+
+def submit(client_task_id: int, buffer: bytes, resource_spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """One task submission: a ``pack_apply_message`` buffer plus its spec."""
+    message: Dict[str, Any] = {"type": "submit", "client_task_id": client_task_id, "buffer": buffer}
+    if resource_spec:
+        message["resource_spec"] = resource_spec
+    return message
+
+
+def stats(req_id: int = 0) -> Dict[str, Any]:
+    """Admin request for per-tenant queued/running/completed counts."""
+    return {"type": "stats", "req_id": req_id}
+
+
+def goodbye() -> Dict[str, Any]:
+    """Deliberate disconnect: the session is released immediately (no TTL)."""
+    return {"type": "goodbye"}
+
+
+# ---------------------------------------------------------------------------
+# Gateway -> client
+# ---------------------------------------------------------------------------
+
+def welcome(
+    session: str,
+    session_token: str,
+    resumed: bool,
+    max_inflight: int,
+    weight: int,
+) -> Dict[str, Any]:
+    return {
+        "type": "welcome",
+        "session": session,
+        "session_token": session_token,
+        "resumed": resumed,
+        "max_inflight": max_inflight,
+        "weight": weight,
+    }
+
+
+def auth_error(reason: str) -> Dict[str, Any]:
+    return {"type": "auth_error", "reason": reason}
+
+
+def accepted(client_task_id: int) -> Dict[str, Any]:
+    return {"type": "accepted", "client_task_id": client_task_id}
+
+
+def busy(client_task_id: int, in_flight: int, cap: int) -> Dict[str, Any]:
+    """Backpressure: the tenant is at its in-flight cap; resubmit later."""
+    return {"type": "busy", "client_task_id": client_task_id, "in_flight": in_flight, "cap": cap}
+
+
+def result(seq: int, client_task_id: int, success: bool, buffer: bytes) -> Dict[str, Any]:
+    """One completed task: ``buffer`` deserializes to the value or exception."""
+    return {
+        "type": "result",
+        "seq": seq,
+        "client_task_id": client_task_id,
+        "success": success,
+        "buffer": buffer,
+    }
+
+
+def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]]) -> Dict[str, Any]:
+    return {"type": "stats_reply", "req_id": req_id, "tenants": tenants}
+
+
+def error(reason: str, client_task_id: Optional[int] = None) -> Dict[str, Any]:
+    """A request the gateway could not act on (e.g. an undecodable buffer)."""
+    message: Dict[str, Any] = {"type": "error", "reason": reason}
+    if client_task_id is not None:
+        message["client_task_id"] = client_task_id
+    return message

@@ -1,6 +1,7 @@
 """Tests for the TCP and in-process message fabrics."""
 
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -97,6 +98,76 @@ class TestTCPServerClient:
     def test_client_connect_timeout(self):
         with pytest.raises(ConnectionError):
             MessageClient("127.0.0.1", 1, connect_timeout=0.3, retry_interval=0.05)
+
+    def test_duplicate_identity_evicts_old_connection(self):
+        """Re-registering an identity closes the old peer atomically.
+
+        The inbound queue must show: old registration, then the old
+        connection's eviction (peer_lost), then the new registration — and
+        traffic for the identity must flow over the *new* socket only.
+        """
+        with MessageServer() as server:
+            first = MessageClient(server.host, server.port, identity="dup")
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg["type"]) == ("dup", "registration")
+
+            second = MessageClient(server.host, server.port, identity="dup")
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg["type"]) == ("dup", "peer_lost")
+            assert msg.get("reason") == "superseded"
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg["type"]) == ("dup", "registration")
+
+            # Outbound goes to the new connection; the old socket is dead.
+            assert server.send("dup", {"type": "probe"})
+            assert second.recv(timeout=2) == {"type": "probe"}
+            assert first.recv(timeout=2) == {"type": "connection_lost"}
+
+            # Frames from the new connection are attributed to the identity.
+            second.send({"type": "data", "v": 1})
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg.get("v")) == ("dup", 1)
+
+            # The eviction must not be re-reported when the old reader exits:
+            # the only peer_lost left should come from closing the NEW socket.
+            second.close()
+            ident, msg = server.recv(timeout=2)
+            assert (ident, msg["type"]) == ("dup", "peer_lost")
+            assert server.recv(timeout=0.3) is None
+            first.close()
+
+    def test_reader_threads_pruned_on_churn(self):
+        """Churny clients must not leak one Thread object per connection."""
+        with MessageServer() as server:
+            for i in range(10):
+                client = MessageClient(server.host, server.port, identity=f"churn{i}")
+                server.recv(timeout=2)  # registration
+                client.close()
+                server.recv(timeout=2)  # peer_lost
+            # One live connection triggers the prune on accept.
+            survivor = MessageClient(server.host, server.port, identity="survivor")
+            server.recv(timeout=2)
+            deadline = time.time() + 5
+            while time.time() < deadline and len(server._reader_threads) > 3:
+                time.sleep(0.05)
+                probe = MessageClient(server.host, server.port, identity="probe")
+                server.recv(timeout=2)
+                probe.close()
+                server.recv(timeout=2)
+            assert len(server._reader_threads) <= 3, (
+                f"{len(server._reader_threads)} reader threads tracked after churn"
+            )
+            survivor.close()
+
+    def test_close_reaps_reader_threads(self):
+        server = MessageServer()
+        clients = [MessageClient(server.host, server.port, identity=f"c{i}") for i in range(4)]
+        for _ in range(4):
+            server.recv(timeout=2)
+        server.close()
+        assert server._reader_threads == []
+        for c in clients:
+            c.close()
 
     def test_concurrent_clients_roundtrip(self):
         """Many clients sending concurrently all get their own replies."""

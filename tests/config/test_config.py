@@ -63,3 +63,38 @@ class TestConfig:
     def test_repr_mentions_labels(self):
         cfg = Config(executors=[ThreadPoolExecutor(label="tp")], retries=2)
         assert "tp" in repr(cfg) and "retries=2" in repr(cfg)
+
+
+class TestServiceKnobs:
+    def test_defaults(self):
+        cfg = Config()
+        assert cfg.service_host == "127.0.0.1"
+        assert cfg.service_port == 0
+        assert cfg.service_max_inflight_per_tenant == 64
+        assert cfg.service_window == 128
+        assert cfg.service_session_ttl_s == 60.0
+        assert cfg.service_replay_limit == 1024
+        assert cfg.service_default_weight == 1
+        assert cfg.service_tenant_weights == {}
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(service_max_inflight_per_tenant=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_window=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_session_ttl_s=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_replay_limit=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_default_weight=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_tenant_weights={"alice": 0})
+        with pytest.raises(ConfigurationError):
+            Config(service_tenant_weights={"alice": 1.5})
+
+    def test_tenant_weights_copied(self):
+        weights = {"alice": 3}
+        cfg = Config(service_tenant_weights=weights)
+        weights["alice"] = 99
+        assert cfg.service_tenant_weights == {"alice": 3}

@@ -77,3 +77,71 @@ class TestStates:
         summary = record.summary()
         assert summary["task_id"] == 9
         assert summary["status"] == "running"
+
+
+class TestCompletionHooksAndTags:
+    """DFK task tagging and completion fan-out (the gateway's feed)."""
+
+    def test_hook_fires_on_success_and_failure(self, threads_dfk):
+        import threading
+
+        seen = []
+        fired = threading.Event()
+
+        def hook(task, state):
+            seen.append((task.id, task.tag, state.name))
+            if len(seen) >= 2:
+                fired.set()
+
+        threads_dfk.add_completion_hook(hook)
+        try:
+            ok = threads_dfk.submit(lambda: 42, tag="tenant-a")
+            assert ok.result(timeout=10) == 42
+
+            def boom():
+                raise RuntimeError("nope")
+
+            bad = threads_dfk.submit(boom, tag="tenant-b")
+            with pytest.raises(RuntimeError):
+                bad.result(timeout=10)
+            assert fired.wait(timeout=10)
+        finally:
+            threads_dfk.remove_completion_hook(hook)
+        by_id = {tid: (tag, state) for tid, tag, state in seen}
+        assert by_id[ok.tid] == ("tenant-a", "exec_done")
+        assert by_id[bad.tid] == ("tenant-b", "failed")
+
+    def test_hook_sees_resolved_app_future(self, threads_dfk):
+        import threading
+
+        resolved = []
+        fired = threading.Event()
+
+        def hook(task, state):
+            resolved.append(task.app_fu.done())
+            fired.set()
+
+        threads_dfk.add_completion_hook(hook)
+        try:
+            assert threads_dfk.submit(lambda: "x").result(timeout=10) == "x"
+            assert fired.wait(timeout=10)
+        finally:
+            threads_dfk.remove_completion_hook(hook)
+        assert resolved == [True]
+
+    def test_raising_hook_does_not_break_completion(self, threads_dfk):
+        def angry_hook(task, state):
+            raise RuntimeError("hook bug")
+
+        threads_dfk.add_completion_hook(angry_hook)
+        try:
+            assert threads_dfk.submit(lambda: 7).result(timeout=10) == 7
+        finally:
+            threads_dfk.remove_completion_hook(angry_hook)
+
+    def test_tag_survives_retirement(self, threads_dfk):
+        future = threads_dfk.submit(lambda: 1, tag="tenant-z")
+        assert future.result(timeout=10) == 1
+        task = threads_dfk.tasks[future.tid]
+        # Record is retired by default; the tag is a scalar and must remain.
+        assert task.tag == "tenant-z"

@@ -1,8 +1,10 @@
-"""Unit tests for the starvation-safe priority task queue."""
+"""Unit tests for the priority and weighted fair-share task queues."""
 
 import threading
 
-from repro.scheduling.queues import PriorityTaskQueue
+import pytest
+
+from repro.scheduling.queues import PriorityTaskQueue, WeightedFairShareQueue
 
 
 def item(task_id, priority=0):
@@ -106,3 +108,87 @@ class TestThreading:
             t.join(timeout=5)
         assert sorted(popped) == sorted(k * 1000 + i for k in range(n_producers) for i in range(per_producer))
 
+
+
+class TestWeightedFairShare:
+    """The gateway's multi-tenant admission queue."""
+
+    def _fill(self, q, tenants, n=100):
+        for tenant in tenants:
+            for i in range(n):
+                q.put(tenant, item(i))
+
+    def test_pop_empty_returns_none(self):
+        q = WeightedFairShareQueue()
+        assert q.pop() is None
+        assert q.empty() and q.qsize() == 0
+
+    def test_equal_weights_share_evenly(self):
+        q = WeightedFairShareQueue()
+        self._fill(q, ["a", "b"], n=50)
+        served = [q.pop()[0] for _ in range(40)]
+        assert abs(served.count("a") - served.count("b")) <= 1
+
+    def test_weighted_tenants_served_in_ratio(self):
+        q = WeightedFairShareQueue()
+        q.set_weight("big", 10)
+        q.set_weight("small", 1)
+        self._fill(q, ["big", "small"], n=110)
+        served = [q.pop()[0] for _ in range(110)]
+        big, small = served.count("big"), served.count("small")
+        assert big / max(small, 1) == pytest.approx(10, rel=0.25), (big, small)
+
+    def test_idle_tenant_accrues_no_credit(self):
+        """A tenant that idles must not burst ahead when it returns."""
+        q = WeightedFairShareQueue()
+        self._fill(q, ["busy"], n=200)
+        for _ in range(100):  # 'busy' is served alone for a long while
+            q.pop()
+        self._fill(q, ["latecomer"], n=200)
+        served = [q.pop()[0] for _ in range(50)]
+        count = served.count("latecomer")
+        assert 20 <= count <= 30, (
+            f"latecomer took {count}/50 pops; an idle tenant must resume at "
+            f"a fair share, not drain its backlog first"
+        )
+
+    def test_chatty_tenant_cannot_starve_others(self):
+        q = WeightedFairShareQueue()
+        self._fill(q, ["chatty"], n=1000)
+        q.put("quiet", item(0))
+        served = [q.pop()[0] for _ in range(4)]
+        assert "quiet" in served
+
+    def test_intra_tenant_priority_preserved(self):
+        q = WeightedFairShareQueue()
+        for i in range(5):
+            q.put("a", item(i, priority=0))
+        q.put("a", item(99, priority=9))
+        first_of_a = next(entry for tenant, entry in iter(q.pop, None) if tenant == "a")
+        assert first_of_a["task_id"] == 99
+
+    def test_cores_weight_the_service_cost(self):
+        """A multi-core task advances its tenant's clock proportionally."""
+        q = WeightedFairShareQueue()
+        for _ in range(10):
+            q.put("wide", {"task_id": 0, "buffer": b"", "cores": 4})
+            q.put("narrow", item(1))
+        served = [q.pop()[0] for _ in range(10)]
+        wide, narrow = served.count("wide"), served.count("narrow")
+        assert narrow >= 3 * wide, (wide, narrow)
+
+    def test_bad_weight_rejected(self):
+        q = WeightedFairShareQueue()
+        with pytest.raises(ValueError):
+            q.set_weight("t", 0)
+        with pytest.raises(ValueError):
+            WeightedFairShareQueue(default_weight=0)
+
+    def test_backlog_and_qsize_views(self):
+        q = WeightedFairShareQueue()
+        self._fill(q, ["a"], n=3)
+        self._fill(q, ["b"], n=2)
+        assert q.backlog() == {"a": 3, "b": 2}
+        assert q.qsize("a") == 3 and q.qsize() == 5
+        q.pop()
+        assert q.qsize() == 4

@@ -1,5 +1,6 @@
 """Tests for the simulated Globus-Auth-style token flow."""
 
+import pytest
 
 from repro.auth import NativeAppAuthClient, TokenStore
 
@@ -35,6 +36,50 @@ class TestTokenStore:
         client.start_flow(["svc"])
         store.store_tokens(client.complete_flow("ok"))
         assert store.get_token("svc") is None
+
+    def test_expired_token_fails_validation(self, tmp_path):
+        """The gateway's auth check path: an expired token must not validate."""
+        store = TokenStore(path=str(tmp_path / "exp2.json"))
+        client = NativeAppAuthClient(token_lifetime_s=-1)
+        client.start_flow(["gateway/alice"])
+        tokens = client.complete_flow("ok")
+        store.store_tokens(tokens)
+        stale = str(tokens["gateway/alice"]["access_token"])
+        # Neither the (correct but expired) token nor no-token passes: the
+        # scope still has an entry, so access demands a *valid* token.
+        assert not store.validate("gateway/alice", stale)
+        assert not store.validate("gateway/alice", None)
+
+    def test_refresh_issues_new_valid_token(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "ref.json"))
+        client = NativeAppAuthClient(token_lifetime_s=-1)
+        client.start_flow(["svc"])
+        tokens = client.complete_flow("ok")
+        store.store_tokens(tokens)
+        stale = str(tokens["svc"]["access_token"])
+        assert store.get_token("svc") is None  # expired
+        fresh = store.refresh("svc")
+        assert fresh != stale
+        assert store.get_token("svc") == fresh
+        assert store.validate("svc", fresh)
+        assert not store.validate("svc", stale)
+
+    def test_refresh_persists_across_reload(self, tmp_path):
+        """The refreshed token round-trips through the on-disk store."""
+        path = str(tmp_path / "refdisk.json")
+        store = TokenStore(path=path)
+        expired = NativeAppAuthClient(token_lifetime_s=-1)
+        expired.start_flow(["svc"])
+        store.store_tokens(expired.complete_flow("ok"))
+        fresh = store.refresh("svc")
+        reloaded = TokenStore(path=path)
+        assert reloaded.get_token("svc") == fresh
+        assert reloaded.validate("svc", fresh)
+
+    def test_refresh_rejects_nonpositive_lifetime_client(self, tmp_path):
+        store = TokenStore(path=str(tmp_path / "bad.json"))
+        with pytest.raises(ValueError):
+            store.refresh("svc", client=NativeAppAuthClient(token_lifetime_s=-1))
 
     def test_revoke_and_clear(self, tmp_path):
         store = TokenStore(path=str(tmp_path / "rev.json"))
