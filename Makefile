@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service lint mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http coverage lint mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -39,6 +39,22 @@ bench-sched:
 bench-service:
 	$(PYTHON) -m pytest -q benchmarks/test_service_gateway.py \
 		--benchmark-json=BENCH_service_gateway.json
+
+# The HTTP/SSE edge bench (64 streaming AsyncServiceClients vs the raw-TCP
+# path; acceptance floor 70% of TCP throughput) at full scale.
+bench-http:
+	$(PYTHON) -m pytest -q benchmarks/test_http_edge.py \
+		--benchmark-json=BENCH_http_edge.json
+
+# Line coverage with a floor on the service layer (gateway + HTTP edge +
+# both SDKs). Needs pytest-cov; skips gracefully where absent.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q tests --cov=repro --cov-report=xml --cov-report=term && \
+		$(PYTHON) -m coverage report --include="*/repro/service/*" --fail-under=75; \
+	else \
+		echo "pytest-cov not installed — skipping coverage (pip install pytest-cov)"; \
+	fi
 
 # Strict typing is scoped to the scheduling package (config in pyproject.toml);
 # skip gracefully where mypy is absent, mirroring the lint target.

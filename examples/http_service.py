@@ -1,0 +1,125 @@
+"""The HTTP/SSE edge: the workflow gateway for clients without pickle.
+
+A tour of `repro.service.HttpEdge` and `AsyncServiceClient` in a single
+process (everything rides real HTTP over localhost, so splitting this
+across machines only changes the URL):
+
+1. host a DataFlowKernel behind a WorkflowGateway and an HttpEdge,
+2. drive it like curl would — raw JSON submits by registered name, status
+   polling, and a Server-Sent-Events result stream,
+3. resume the stream with Last-Event-ID and receive exactly the unseen
+   results,
+4. run the asyncio SDK: pickled callables, futures resolved off one SSE
+   stream, and automatic recovery when the session disappears.
+
+Run with::
+
+    python examples/http_service.py
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import tempfile
+import time
+
+import repro
+from repro import Config
+from repro.executors import HighThroughputExecutor
+from repro.service import AsyncServiceClient, HttpEdge, WorkflowGateway
+
+
+def simulate(x, duration=0.01):
+    time.sleep(duration)
+    return x * x
+
+
+def http_json(host, port, method, path, body=None, headers=None):
+    """What curl does: one request, JSON in, JSON out."""
+    conn = http.client.HTTPConnection(host, port, timeout=15)
+    conn.request(method, path, json.dumps(body) if body is not None else None,
+                 dict(headers or {}))
+    resp = conn.getresponse()
+    data = resp.read()
+    conn.close()
+    return resp.status, json.loads(data) if data else {}
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-http-")
+
+    # 1. Host: kernel + gateway + HTTP edge ------------------------------
+    dfk = repro.load(Config(
+        executors=[HighThroughputExecutor(label="htex", workers_per_node=4)],
+        run_dir=os.path.join(workdir, "runinfo"),
+    ))
+    gateway = WorkflowGateway(dfk).start()
+    edge = HttpEdge(gateway, registry={"simulate": simulate})
+    edge.start()
+    print(f"HTTP edge on http://{edge.host}:{edge.port} (gateway {gateway.host}:{gateway.port})")
+
+    # 2. The curl view: submit by registered name, poll, stream ----------
+    tenant = {"X-Repro-Tenant": "curl-user"}
+    _status, opened = http_json(edge.host, edge.port, "POST", "/v1/session", {}, tenant)
+    session = {**tenant,
+               "X-Repro-Session": opened["session"],
+               "X-Repro-Session-Token": opened["session_token"]}
+    print(f"opened session {opened['session']} (max_inflight={opened['max_inflight']})")
+
+    status, accepted = http_json(edge.host, edge.port, "POST", "/v1/tasks",
+                                 {"fn": "simulate", "args": [12]}, session)
+    print(f"POST /v1/tasks -> {status} task_id={accepted['task_id']}")
+    while True:
+        _status, polled = http_json(edge.host, edge.port, "GET",
+                                    f"/v1/tasks/{accepted['task_id']}", None, session)
+        if polled["status"] == "done":
+            print(f"GET /v1/tasks/{accepted['task_id']} -> done, value={polled['value']}")
+            break
+        time.sleep(0.05)
+
+    # 3. The SSE stream, and resuming it with Last-Event-ID --------------
+    for i in range(5):
+        http_json(edge.host, edge.port, "POST", "/v1/tasks",
+                  {"fn": "simulate", "args": [i]}, session)
+
+    def read_events(last_event_id, count):
+        conn = http.client.HTTPConnection(edge.host, edge.port, timeout=15)
+        conn.request("GET", "/v1/stream", None,
+                     {**session, "Last-Event-ID": str(last_event_id)})
+        resp = conn.getresponse()
+        seen = []
+        while len(seen) < count:
+            line = resp.fp.readline().decode().rstrip("\r\n")
+            if line.startswith("id:"):
+                seen.append(int(line[3:].strip()))
+        conn.close()
+        return seen
+
+    first = read_events(0, 3)           # take the first three events…
+    print(f"stream from id 0 delivered ids {first}")
+    resumed = read_events(first[-1], 3)  # …then resume from the last one seen
+    print(f"stream resumed from id {first[-1]} delivered ids {resumed} "
+          "(exactly the unseen suffix)")
+
+    # 4. The asyncio SDK: pickled callables, futures off one stream ------
+    async def sdk_tour():
+        url = f"http://{edge.host}:{edge.port}"
+        async with AsyncServiceClient(url, tenant="asyncio-user") as client:
+            handles = [await client.submit(simulate, i) for i in range(10)]
+            values = await client.gather(*handles)
+            print(f"AsyncServiceClient resolved {len(values)} futures: "
+                  f"sum(x*x)={sum(values)}")
+            stats = await client.stats()
+            print(f"tenant stats: completed={stats.completed} failed={stats.failed}")
+
+    asyncio.run(sdk_tour())
+
+    edge.stop()
+    gateway.stop()
+    repro.clear()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

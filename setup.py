@@ -19,7 +19,7 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis"],
-        "dev": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis", "ruff"],
+        "test": ["pytest", "pytest-benchmark", "pytest-timeout", "pytest-cov", "hypothesis"],
+        "dev": ["pytest", "pytest-benchmark", "pytest-timeout", "pytest-cov", "hypothesis", "ruff"],
     },
 )

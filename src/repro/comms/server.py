@@ -169,6 +169,16 @@ class MessageServer:
         except queue.Empty:
             return None
 
+    def inject(self, identity: str, message: Any) -> None:
+        """Enqueue a message as if peer ``identity`` had sent it over TCP.
+
+        In-process front-ends (e.g. the gateway's HTTP edge) use this to feed
+        the owner's service loop through the same single inbound queue as
+        remote peers, so all protocol handling stays single-writer no matter
+        which transport a message arrived on.
+        """
+        self._inbound.put((identity, message))
+
     def send(self, identity: str, message: Any) -> bool:
         """Send ``message`` to the peer with the given identity.
 

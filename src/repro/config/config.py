@@ -35,8 +35,11 @@ A Config bundles:
   (``service_window`` — how many gateway tasks may sit in the DFK at once;
   the weighted fair-share queue orders everything beyond it), tenant
   weights (``service_tenant_weights`` / ``service_default_weight``),
-  disconnected-session retention (``service_session_ttl_s``), and the
+  disconnected-session retention (``service_session_ttl_s``), the
   per-session completed-result replay buffer (``service_replay_limit``),
+  and the HTTP/SSE edge knobs (``service_http_host`` / ``service_http_port``
+  for the bind address, ``service_http_max_body`` for the request-body
+  ceiling, ``service_http_keepalive_s`` for the SSE heartbeat interval),
 * the run directory where logs, checkpoints, and monitoring land.
 """
 
@@ -82,6 +85,10 @@ class Config:
         service_replay_limit: int = 1024,
         service_default_weight: int = 1,
         service_tenant_weights: Optional[Dict[str, int]] = None,
+        service_http_host: str = "127.0.0.1",
+        service_http_port: int = 0,
+        service_http_max_body: int = 8 * 1024 * 1024,
+        service_http_keepalive_s: float = 15.0,
     ):
         if executors is None or len(list(executors)) == 0:
             executors = [ThreadPoolExecutor(label="threads", max_threads=4)]
@@ -123,6 +130,10 @@ class Config:
                     raise ConfigurationError(
                         f"service tenant weight for {tenant!r} must be a positive integer, got {weight!r}"
                     )
+        if service_http_max_body < 1024:
+            raise ConfigurationError("service_http_max_body must be >= 1024 bytes")
+        if service_http_keepalive_s <= 0:
+            raise ConfigurationError("service_http_keepalive_s must be positive")
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -150,6 +161,10 @@ class Config:
         self.service_replay_limit = service_replay_limit
         self.service_default_weight = service_default_weight
         self.service_tenant_weights = dict(service_tenant_weights or {})
+        self.service_http_host = service_http_host
+        self.service_http_port = service_http_port
+        self.service_http_max_body = service_http_max_body
+        self.service_http_keepalive_s = service_http_keepalive_s
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -308,6 +308,24 @@ class SessionExpiredError(ServiceError):
     """A resume attempt referenced a session the gateway has evicted."""
 
 
+class TaskCancelledError(ServiceError):
+    """A queued gateway task was cancelled before it was dispatched."""
+
+
+class HttpEdgeError(ServiceError):
+    """The HTTP edge rejected or could not complete a request.
+
+    Carries the HTTP status code the edge answered (or would answer) with,
+    so SDK callers can branch on e.g. 429 (backpressure) vs 410 (session
+    expired) without string matching.
+    """
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(f"HTTP {status}: {reason}")
+        self.status = status
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
 # Remote exception wrapping
 # ---------------------------------------------------------------------------

@@ -6,11 +6,41 @@ sessions, weighted fair-share admission, per-tenant backpressure, streamed
 results with reconnect-and-resume. :class:`~repro.service.client.ServiceClient`
 is the tenant-side handle; its ``submit()`` mirrors a local app invocation.
 
-See ``docs/ARCHITECTURE.md`` ("Gateway service") for the wire protocol and
-the tunables table, and ``examples/service_clients.py`` for a runnable tour.
+:class:`~repro.service.http_edge.HttpEdge` fronts the same gateway with an
+HTTP/1.1 + Server-Sent-Events surface for non-pickle clients, and
+:class:`~repro.service.aclient.AsyncServiceClient` is the asyncio SDK that
+speaks it (429 backoff, SSE resume, session recovery).
+
+See ``docs/ARCHITECTURE.md`` ("Gateway service" and "HTTP edge") for the
+wire protocol and the tunables table, and ``examples/service_clients.py`` /
+``examples/http_service.py`` for runnable tours.
 """
 
+from repro.service.aclient import AsyncServiceClient, AsyncTaskHandle, RetryPolicy
+from repro.service.api_types import (
+    SessionInfo,
+    StreamEvent,
+    TaskAccepted,
+    TaskStatus,
+    TaskSubmit,
+    TenantStats,
+)
 from repro.service.client import ServiceClient, ServiceFuture
 from repro.service.gateway import WorkflowGateway
+from repro.service.http_edge import HttpEdge
 
-__all__ = ["WorkflowGateway", "ServiceClient", "ServiceFuture"]
+__all__ = [
+    "WorkflowGateway",
+    "ServiceClient",
+    "ServiceFuture",
+    "HttpEdge",
+    "AsyncServiceClient",
+    "AsyncTaskHandle",
+    "RetryPolicy",
+    "SessionInfo",
+    "StreamEvent",
+    "TaskAccepted",
+    "TaskStatus",
+    "TaskSubmit",
+    "TenantStats",
+]

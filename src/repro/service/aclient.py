@@ -1,0 +1,586 @@
+"""Asyncio SDK for the HTTP/SSE edge.
+
+:class:`AsyncServiceClient` is the Python-native way to talk to
+:class:`~repro.service.http_edge.HttpEdge`: an ``async with`` client that
+opens a gateway session, submits arbitrary callables (pickled through the
+same ``pack_apply_message`` buffers TCP clients send), and resolves each
+submission's :class:`asyncio.Future` from a single Server-Sent-Events
+stream — no polling.
+
+The client is built for the edge's failure surface:
+
+* **Backpressure** — a 429 reply is retried with jittered exponential
+  backoff (honouring the server's ``retry_after_s`` hint) using the *same*
+  ``client_task_id``, so a retry that races a late acceptance deduplicates
+  at the gateway instead of running twice.
+* **Disconnects** — the SSE consumer reconnects with ``Last-Event-ID``, and
+  the gateway replays exactly the unseen results. Futures resolve at most
+  once, so replay overlap is harmless.
+* **Session loss** (gateway restart / TTL eviction) — a 410 reply triggers
+  recovery: open a fresh session and resubmit every unresolved task from
+  its stored buffer. Callers just keep awaiting their original futures.
+* **Transport faults** — every request retries on connection errors with
+  backoff across a bounded keep-alive connection pool.
+
+Everything rides stdlib ``asyncio`` streams; there is no third-party HTTP
+dependency. The transport is deliberately minimal (HTTP/1.1,
+``Content-Length`` bodies) because the edge is the only server it speaks to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import logging
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import HttpEdgeError, ServiceError, SessionExpiredError
+from repro.serialize import deserialize, pack_apply_message
+from repro.service.api_types import (
+    SessionInfo,
+    StreamEvent,
+    TaskAccepted,
+    TaskStatus,
+    TenantStats,
+    make_task_id,
+)
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RetryPolicy:
+    """Jittered exponential backoff for transport faults and 429 replies.
+
+    ``attempts`` bounds *consecutive* failures of one logical operation; a
+    success resets the clock. ``rng`` is injectable so tests can pin the
+    jitter.
+    """
+
+    attempts: int = 8
+    base_s: float = 0.05
+    max_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    rng: random.Random = field(default_factory=random.Random)
+
+    def delay(self, attempt: int, floor: Optional[float] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_s, self.base_s * (self.multiplier ** attempt))
+        jittered = raw * (1.0 + self.jitter * (self.rng.random() * 2 - 1))
+        if floor is not None:
+            jittered = max(jittered, floor)
+        return max(0.0, jittered)
+
+
+class AsyncTaskHandle:
+    """One submitted task: await :meth:`result` for the value (or raise)."""
+
+    def __init__(self, client: "AsyncServiceClient", client_task_id: int):
+        self._client = client
+        self.client_task_id = client_task_id
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    @property
+    def task_id(self) -> str:
+        """The current HTTP task id (changes if the session is recovered)."""
+        return make_task_id(self._client.session.session, self.client_task_id)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    async def result(self, timeout: Optional[float] = None) -> Any:
+        if timeout is None:
+            return await self.future
+        return await asyncio.wait_for(asyncio.shield(self.future), timeout)
+
+    async def cancel(self) -> str:
+        """Ask the gateway to cancel; returns the gateway's verdict."""
+        return await self._client.cancel(self.client_task_id)
+
+
+class _Pool:
+    """A bounded pool of keep-alive connections to one host:port."""
+
+    def __init__(self, host: str, port: int, limit: int, connect_timeout: float):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._sem = asyncio.Semaphore(limit)
+
+    async def acquire(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        await self._sem.acquire()
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            self._discard(writer)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        except BaseException:
+            self._sem.release()
+            raise
+
+    def release(self, conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter],
+                reusable: bool) -> None:
+        reader, writer = conn
+        if reusable and not writer.is_closing():
+            self._idle.append((reader, writer))
+        else:
+            self._discard(writer)
+        self._sem.release()
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def close(self) -> None:
+        while self._idle:
+            _reader, writer = self._idle.pop()
+            self._discard(writer)
+
+
+class AsyncServiceClient:
+    """Submit tasks to an :class:`HttpEdge` and await their results.
+
+    ::
+
+        async with AsyncServiceClient(url, tenant="alice", token=tok) as client:
+            handle = await client.submit(math.factorial, 10)
+            assert await handle.result() == 3628800
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: str,
+        token: Optional[str] = None,
+        max_connections: int = 8,
+        max_inflight: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        request_timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+    ):
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceError(f"unsupported scheme {parts.scheme!r} (http only)")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.tenant = tenant
+        self.token = token
+        self.retry = retry or RetryPolicy()
+        self.request_timeout = request_timeout
+        self._pool = _Pool(self.host, self.port, max_connections, connect_timeout)
+        self._max_inflight = max_inflight
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self.session: Optional[SessionInfo] = None
+        self._cid_counter = 0
+        #: cid -> handle, for result delivery and session recovery.
+        self._handles: Dict[int, AsyncTaskHandle] = {}
+        #: cid -> resubmittable request body, so session recovery can replay
+        #: every unresolved submission verbatim.
+        self._pending_bodies: Dict[int, Dict[str, Any]] = {}
+        self._last_event_id = 0
+        self._consumer: Optional[asyncio.Task] = None
+        self._recover_lock = asyncio.Lock()
+        self._session_epoch = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncServiceClient":
+        await self.open()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def open(self) -> None:
+        status, _headers, body = await self._request(
+            "POST", "/v1/session", {"weight": None}, with_session=False
+        )
+        if status != 201:
+            raise self._error(status, body)
+        self.session = SessionInfo.from_json(json.loads(body))
+        cap = self.session.max_inflight
+        if self._max_inflight is not None:
+            cap = min(cap, self._max_inflight)
+        self._inflight = asyncio.Semaphore(max(1, cap))
+        self._consumer = asyncio.ensure_future(self._consume_stream())
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self.session is not None:
+            try:
+                await self._request("DELETE", f"/v1/session/{self.session.session}", None)
+            except Exception:  # noqa: BLE001 - best-effort goodbye
+                pass
+        for handle in self._handles.values():
+            if not handle.future.done():
+                handle.future.set_exception(ServiceError("client closed"))
+        self._handles.clear()
+        self._pending_bodies.clear()
+        self._pool.close()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    async def submit(self, fn: Callable, *args: Any,
+                     resource_spec: Optional[Dict[str, Any]] = None,
+                     priority: Optional[int] = None, **kwargs: Any) -> AsyncTaskHandle:
+        """Submit ``fn(*args, **kwargs)``; the callable travels pickled."""
+        buffer = pack_apply_message(fn, args, kwargs)
+        payload_b64 = base64.b64encode(buffer).decode("ascii")
+        return await self._submit_body({"payload_b64": payload_b64},
+                                       resource_spec, priority)
+
+    async def submit_named(self, fn_name: str, args: Tuple = (),
+                           kwargs: Optional[Dict[str, Any]] = None,
+                           resource_spec: Optional[Dict[str, Any]] = None,
+                           priority: Optional[int] = None) -> AsyncTaskHandle:
+        """Submit a server-registered callable by name with JSON arguments."""
+        return await self._submit_body(
+            {"fn": fn_name, "args": list(args), "kwargs": dict(kwargs or {})},
+            resource_spec, priority,
+        )
+
+    async def _submit_body(self, base_body: Dict[str, Any],
+                           resource_spec: Optional[Dict[str, Any]],
+                           priority: Optional[int]) -> AsyncTaskHandle:
+        if self.session is None:
+            raise ServiceError("client is not open; use 'async with' or await open()")
+        assert self._inflight is not None
+        await self._inflight.acquire()
+        cid = self._cid_counter
+        self._cid_counter += 1
+        handle = AsyncTaskHandle(self, cid)
+        self._handles[cid] = handle
+        body = dict(base_body)
+        if resource_spec:
+            body["resource_spec"] = resource_spec
+        if priority is not None:
+            body["priority"] = priority
+        self._pending_bodies[cid] = body
+        try:
+            await self._submit_with_retry({**body, "client_task_id": cid}, cid)
+        except BaseException:
+            self._handles.pop(cid, None)
+            self._pending_bodies.pop(cid, None)
+            self._inflight.release()
+            raise
+        return handle
+
+    async def _submit_with_retry(self, body: Dict[str, Any], cid: int) -> TaskAccepted:
+        attempt = 0
+        epoch = self._session_epoch
+        while True:
+            try:
+                status, _headers, reply = await self._request("POST", "/v1/tasks", body)
+            except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+                attempt += 1
+                if attempt >= self.retry.attempts:
+                    raise ServiceError(f"submit failed after {attempt} attempts: {exc!r}")
+                await asyncio.sleep(self.retry.delay(attempt))
+                continue
+            if status == 202:
+                return TaskAccepted.from_json(json.loads(reply))
+            if status == 429:
+                attempt += 1
+                if attempt >= self.retry.attempts:
+                    raise HttpEdgeError(429, "tenant stayed at its in-flight cap")
+                hint = None
+                try:
+                    hint = json.loads(reply).get("retry_after_s")
+                except Exception:  # noqa: BLE001
+                    pass
+                await asyncio.sleep(self.retry.delay(attempt, floor=hint))
+                continue
+            if status == 410:
+                await self._recover_session(epoch)
+                epoch = self._session_epoch
+                continue  # the recovery resubmitted cid; confirm via next loop
+            raise self._error(status, reply)
+
+    async def cancel(self, client_task_id: int) -> str:
+        task_id = make_task_id(self.session.session, client_task_id)
+        status, _headers, body = await self._request(
+            "POST", f"/v1/tasks/{task_id}/cancel", {}
+        )
+        if status not in (200, 404):
+            raise self._error(status, body)
+        return str(json.loads(body).get("status", "unknown"))
+
+    async def task_status(self, client_task_id: int) -> TaskStatus:
+        task_id = make_task_id(self.session.session, client_task_id)
+        status, _headers, body = await self._request("GET", f"/v1/tasks/{task_id}", None)
+        if status != 200:
+            raise self._error(status, body)
+        return TaskStatus.from_json(json.loads(body))
+
+    async def stats(self) -> TenantStats:
+        status, _headers, body = await self._request("GET", "/v1/tenants/me/stats", None)
+        if status != 200:
+            raise self._error(status, body)
+        return TenantStats.from_json(json.loads(body))
+
+    async def gather(self, *handles: AsyncTaskHandle) -> List[Any]:
+        return list(await asyncio.gather(*(h.result() for h in handles)))
+
+    # ------------------------------------------------------------------
+    # Session recovery
+    # ------------------------------------------------------------------
+    async def _recover_session(self, seen_epoch: int) -> None:
+        """Open a fresh session and resubmit every unresolved task.
+
+        Called when the gateway no longer knows our session (410). Concurrent
+        callers race here; the epoch check makes recovery run once per loss.
+        """
+        async with self._recover_lock:
+            if self._session_epoch != seen_epoch or self._closed:
+                return  # somebody else already recovered (or we're done)
+            logger.warning("session %s lost; recovering",
+                           self.session.session if self.session else "?")
+            status, _headers, body = await self._request(
+                "POST", "/v1/session", {}, with_session=False
+            )
+            if status != 201:
+                raise SessionExpiredError(
+                    f"session lost and recovery failed with HTTP {status}"
+                )
+            self.session = SessionInfo.from_json(json.loads(body))
+            self._last_event_id = 0
+            self._session_epoch += 1
+            # Resubmit everything unresolved under the original ids: the new
+            # session is a fresh dedup namespace, so ids carry over cleanly.
+            for cid, body in sorted(self._pending_bodies.items()):
+                handle = self._handles.get(cid)
+                if handle is None or handle.future.done():
+                    continue
+                await self._resubmit_one({**body, "client_task_id": cid})
+
+    async def _resubmit_one(self, body: Dict[str, Any]) -> None:
+        attempt = 0
+        while True:
+            status, _headers, reply = await self._request("POST", "/v1/tasks", body)
+            if status == 202:
+                return
+            if status == 429:
+                attempt += 1
+                await asyncio.sleep(self.retry.delay(attempt, floor=0.05))
+                continue
+            raise self._error(status, reply)
+
+    # ------------------------------------------------------------------
+    # SSE consumer
+    # ------------------------------------------------------------------
+    async def _consume_stream(self) -> None:
+        while not self._closed:
+            epoch = self._session_epoch
+            try:
+                await self._stream_once()
+            except asyncio.CancelledError:
+                raise
+            except HttpEdgeError as exc:
+                if exc.status == 410:
+                    try:
+                        await self._recover_session(epoch)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:  # noqa: BLE001
+                        await asyncio.sleep(self.retry.delay(2))
+                else:
+                    logger.warning("stream rejected (%s); retrying", exc)
+                    await asyncio.sleep(self.retry.delay(1))
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    asyncio.IncompleteReadError):
+                await asyncio.sleep(self.retry.delay(0))
+            except Exception:  # noqa: BLE001 - the consumer must survive
+                logger.exception("stream consumer error; reconnecting")
+                await asyncio.sleep(self.retry.delay(1))
+
+    async def _stream_once(self) -> None:
+        """One SSE connection: attach, then deliver events until it ends."""
+        session = self.session
+        if session is None:
+            return
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self._pool.connect_timeout,
+        )
+        try:
+            headers = self._headers(with_session=True)
+            headers["Last-Event-ID"] = str(self._last_event_id)
+            headers["Accept"] = "text/event-stream"
+            request = self._encode_request("GET", "/v1/stream", headers, b"")
+            writer.write(request)
+            await writer.drain()
+            status, _resp_headers = await self._read_response_head(reader)
+            if status != 200:
+                body = await self._read_error_body(reader, _resp_headers)
+                raise self._error(status, body)
+            async for event in self._iter_events(reader):
+                if event.event == "done":
+                    return  # server ended the stream; reconnect resumes
+                self._deliver(event)
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _iter_events(self, reader: asyncio.StreamReader):
+        event_type = "message"
+        event_id: Optional[int] = None
+        data_lines: List[str] = []
+        idle_timeout = self.request_timeout * 2
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=idle_timeout)
+            if not line:
+                raise ConnectionError("stream closed")
+            text = line.decode("utf-8").rstrip("\r\n")
+            if text == "":
+                if data_lines:
+                    yield StreamEvent(event=event_type, id=event_id,
+                                      data=json.loads("\n".join(data_lines)))
+                elif event_type == "done":
+                    yield StreamEvent(event="done", id=event_id, data={})
+                event_type, event_id, data_lines = "message", None, []
+                continue
+            if text.startswith(":"):
+                continue  # keepalive comment
+            name, _sep, value = text.partition(":")
+            value = value[1:] if value.startswith(" ") else value
+            if name == "event":
+                event_type = value
+            elif name == "id":
+                try:
+                    event_id = int(value)
+                except ValueError:
+                    event_id = None
+            elif name == "data":
+                data_lines.append(value)
+
+    def _deliver(self, event: StreamEvent) -> None:
+        if event.id is not None:
+            self._last_event_id = max(self._last_event_id, event.id)
+        status = event.task_status()
+        try:
+            _session, cid = status.task_id.rsplit(":", 1)
+            cid_int = int(cid)
+        except ValueError:
+            logger.warning("stream event with malformed task id %r", status.task_id)
+            return
+        handle = self._handles.get(cid_int)
+        if handle is None or handle.future.done():
+            return  # duplicate delivery (replay overlap): futures fire once
+        payload = status.payload()
+        if status.success:
+            handle.future.set_result(payload)
+        else:
+            if isinstance(payload, BaseException):
+                handle.future.set_exception(payload)
+            else:
+                handle.future.set_exception(
+                    ServiceError(status.error_message or "task failed")
+                )
+        self._pending_bodies.pop(cid_int, None)
+        if self._inflight is not None:
+            self._inflight.release()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _headers(self, with_session: bool) -> Dict[str, str]:
+        headers = {"X-Repro-Tenant": self.tenant}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if with_session and self.session is not None:
+            headers["X-Repro-Session"] = self.session.session
+            headers["X-Repro-Session-Token"] = self.session.session_token
+        return headers
+
+    def _encode_request(self, method: str, path: str, headers: Dict[str, str],
+                        body: bytes) -> bytes:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(body)}")
+        if body:
+            lines.append("Content-Type: application/json")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def _read_response_head(self, reader: asyncio.StreamReader
+                                  ) -> Tuple[int, Dict[str, str]]:
+        line = await asyncio.wait_for(reader.readline(), timeout=self.request_timeout)
+        if not line:
+            raise ConnectionError("connection closed before response")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=self.request_timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_error_body(self, reader: asyncio.StreamReader,
+                               headers: Dict[str, str]) -> bytes:
+        length = int(headers.get("content-length") or 0)
+        if not length:
+            return b""
+        return await asyncio.wait_for(reader.readexactly(length),
+                                      timeout=self.request_timeout)
+
+    async def _request(self, method: str, path: str, body_obj: Optional[Dict[str, Any]],
+                       with_session: bool = True) -> Tuple[int, Dict[str, str], bytes]:
+        if body_obj is not None:
+            body_obj = {k: v for k, v in body_obj.items() if v is not None}
+        body = json.dumps(body_obj).encode("utf-8") if body_obj is not None else b""
+        request = self._encode_request(method, path, self._headers(with_session), body)
+        conn = await self._pool.acquire()
+        reader, writer = conn
+        reusable = False
+        try:
+            writer.write(request)
+            await writer.drain()
+            status, headers = await self._read_response_head(reader)
+            payload = await self._read_error_body(reader, headers)
+            reusable = headers.get("connection", "keep-alive").lower() != "close"
+            return status, headers, payload
+        finally:
+            self._pool.release(conn, reusable)
+
+    @staticmethod
+    def _error(status: int, body: bytes) -> HttpEdgeError:
+        try:
+            reason = str(json.loads(body).get("error", ""))
+        except Exception:  # noqa: BLE001
+            reason = body.decode("utf-8", "replace")[:200]
+        if status == 410:
+            return HttpEdgeError(410, reason or "session expired")
+        return HttpEdgeError(status, reason or "request failed")

@@ -1,0 +1,292 @@
+"""Typed request/response shapes of the HTTP edge.
+
+The HTTP/JSON surface (:mod:`repro.service.http_edge`) and the asyncio SDK
+(:mod:`repro.service.aclient`) share these dataclasses so both sides agree on
+field names by construction rather than by convention. Every type maps 1:1
+onto a JSON object; ``to_json``/``from_json`` are plain dict translations
+with no hidden coercions.
+
+Result payloads travel in two encodings at once:
+
+* ``payload_b64`` — the gateway's pickled result buffer, base64-encoded.
+  Python consumers (the SDK) decode this for full fidelity: the exact return
+  value, or the exact exception instance a failed task raised.
+* ``value`` / ``value_repr`` / ``error_type`` + ``error_message`` —
+  best-effort JSON projections for non-Python consumers (``curl``,
+  dashboards). ``value`` is present only when the result round-trips JSON.
+
+Task ids on the HTTP surface are strings of the form
+``"<session id>:<client task id>"`` — globally routable (the session names
+the replay/dedup namespace) while the integer suffix remains the gateway's
+dedup key.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.serialize import deserialize
+
+
+def make_task_id(session: str, client_task_id: int) -> str:
+    return f"{session}:{client_task_id}"
+
+
+def split_task_id(task_id: str) -> tuple[str, int]:
+    """Inverse of :func:`make_task_id`; raises ``ValueError`` on junk."""
+    session, sep, cid = task_id.rpartition(":")
+    if not sep or not session:
+        raise ValueError(f"malformed task id {task_id!r}")
+    return session, int(cid)
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SessionInfo:
+    """One gateway session as surfaced over HTTP (``POST /v1/session``)."""
+
+    session: str
+    session_token: str
+    max_inflight: int
+    weight: int
+    resumed: bool = False
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "SessionInfo":
+        return cls(
+            session=str(obj["session"]),
+            session_token=str(obj["session_token"]),
+            max_inflight=int(obj["max_inflight"]),
+            weight=int(obj["weight"]),
+            resumed=bool(obj.get("resumed", False)),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "session": self.session,
+            "session_token": self.session_token,
+            "max_inflight": self.max_inflight,
+            "weight": self.weight,
+            "resumed": self.resumed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Submissions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskSubmit:
+    """Body of ``POST /v1/tasks``.
+
+    Exactly one of ``fn`` (a registered/importable callable name, invoked
+    with JSON ``args``/``kwargs``) or ``payload_b64`` (a base64
+    ``pack_apply_message`` buffer, the SDK's arbitrary-callable path) must be
+    set. ``client_task_id`` is optional — the edge assigns the next free id
+    in the session when omitted — but resubmitting with the same id is the
+    exactly-once lever: the gateway deduplicates on it.
+    """
+
+    fn: Optional[str] = None
+    args: tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    payload_b64: Optional[str] = None
+    client_task_id: Optional[int] = None
+    resource_spec: Optional[Dict[str, Any]] = None
+    priority: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {}
+        if self.fn is not None:
+            obj["fn"] = self.fn
+            if self.args:
+                obj["args"] = list(self.args)
+            if self.kwargs:
+                obj["kwargs"] = dict(self.kwargs)
+        if self.payload_b64 is not None:
+            obj["payload_b64"] = self.payload_b64
+        if self.client_task_id is not None:
+            obj["client_task_id"] = self.client_task_id
+        if self.resource_spec:
+            obj["resource_spec"] = dict(self.resource_spec)
+        if self.priority is not None:
+            obj["priority"] = self.priority
+        return obj
+
+
+@dataclass
+class TaskAccepted:
+    """Body of the 202 reply to ``POST /v1/tasks``."""
+
+    task_id: str
+    client_task_id: int
+    session: str
+    #: Present only when this request implicitly created the session; callers
+    #: need it to attach streams / resume later.
+    session_token: Optional[str] = None
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "TaskAccepted":
+        return cls(
+            task_id=str(obj["task_id"]),
+            client_task_id=int(obj["client_task_id"]),
+            session=str(obj["session"]),
+            session_token=obj.get("session_token"),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {
+            "task_id": self.task_id,
+            "client_task_id": self.client_task_id,
+            "session": self.session,
+        }
+        if self.session_token is not None:
+            obj["session_token"] = self.session_token
+        return obj
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskStatus:
+    """Body of ``GET /v1/tasks/{id}`` and the data of SSE result events."""
+
+    task_id: str
+    status: str  # "queued" | "running" | "done"
+    seq: Optional[int] = None
+    success: Optional[bool] = None
+    value: Any = None
+    value_repr: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    payload_b64: Optional[str] = None
+    #: True when the task finished but its result aged out of the session's
+    #: replay buffer before anyone asked.
+    result_expired: bool = False
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "TaskStatus":
+        return cls(
+            task_id=str(obj["task_id"]),
+            status=str(obj["status"]),
+            seq=obj.get("seq"),
+            success=obj.get("success"),
+            value=obj.get("value"),
+            value_repr=obj.get("value_repr"),
+            error_type=obj.get("error_type"),
+            error_message=obj.get("error_message"),
+            payload_b64=obj.get("payload_b64"),
+            result_expired=bool(obj.get("result_expired", False)),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {"task_id": self.task_id, "status": self.status}
+        for key in ("seq", "success", "value", "value_repr", "error_type",
+                    "error_message", "payload_b64"):
+            val = getattr(self, key)
+            if val is not None:
+                obj[key] = val
+        if self.result_expired:
+            obj["result_expired"] = True
+        return obj
+
+    def payload(self) -> Any:
+        """Decode the full-fidelity pickled payload (value or exception)."""
+        if self.payload_b64 is None:
+            return None
+        return deserialize(base64.b64decode(self.payload_b64))
+
+
+def result_frame_to_status(session: str, frame: Dict[str, Any]) -> TaskStatus:
+    """Project a gateway ``result`` frame onto the HTTP result shape."""
+    cid = int(frame["client_task_id"])
+    buffer: bytes = frame["buffer"]
+    success = bool(frame["success"])
+    status = TaskStatus(
+        task_id=make_task_id(session, cid),
+        status="done",
+        seq=int(frame["seq"]),
+        success=success,
+        payload_b64=base64.b64encode(buffer).decode("ascii"),
+    )
+    try:
+        payload = deserialize(buffer)
+    except Exception as exc:  # noqa: BLE001 - non-importable result type on this side
+        status.value_repr = f"<undecodable: {exc!r}>"
+        return status
+    if success:
+        try:
+            json.dumps(payload)
+            status.value = payload
+        except (TypeError, ValueError):
+            status.value_repr = repr(payload)
+    else:
+        status.error_type = type(payload).__name__
+        status.error_message = str(payload)
+    return status
+
+
+# ---------------------------------------------------------------------------
+# Stats and stream events
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TenantStats:
+    """Body of ``GET /v1/tenants/me/stats`` (one tenant's admission view)."""
+
+    tenant: str
+    queued: int = 0
+    running: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    weight: int = 1
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "TenantStats":
+        return cls(
+            tenant=str(obj.get("tenant", "")),
+            queued=int(obj.get("queued", 0)),
+            running=int(obj.get("running", 0)),
+            completed=int(obj.get("completed", 0)),
+            failed=int(obj.get("failed", 0)),
+            cancelled=int(obj.get("cancelled", 0)),
+            weight=int(obj.get("weight", 1)),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "queued": self.queued,
+            "running": self.running,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "weight": self.weight,
+        }
+
+
+@dataclass
+class StreamEvent:
+    """One parsed SSE frame from ``GET /v1/stream``.
+
+    ``event`` is ``result`` (task succeeded), ``error`` (task raised), or
+    ``done`` (the server is ending this stream; reconnect with
+    ``Last-Event-ID`` to continue). ``id`` carries the session result
+    sequence number — the resume cursor.
+    """
+
+    event: str
+    id: Optional[int]
+    data: Dict[str, Any]
+
+    def task_status(self) -> TaskStatus:
+        return TaskStatus.from_json(self.data)

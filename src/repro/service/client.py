@@ -91,6 +91,9 @@ class ServiceClient:
         self._task_counter = 0
         self._stats_counter = 0
         self._closed = False
+        #: Set by close(): wakes the reconnect loop out of its backoff sleep
+        #: so shutdown never waits out reconnect_interval.
+        self._closing = threading.Event()
 
         self.session: Optional[str] = None
         self._session_token: Optional[str] = None
@@ -350,7 +353,10 @@ class ServiceClient:
                     "reconnect attempt %d/%d failed: %r",
                     attempt, self.max_reconnect_attempts, exc,
                 )
-                time.sleep(self.reconnect_interval)
+                # Interruptible backoff: close() sets _closing, so shutdown
+                # doesn't hang for reconnect_interval (or the whole budget).
+                if self._closing.wait(self.reconnect_interval):
+                    return False
                 continue
             with self._lock:
                 self._transport = transport
@@ -398,6 +404,7 @@ class ServiceClient:
         """Deliberate shutdown: releases the gateway session immediately."""
         if self._closed:
             return
+        self._closing.set()
         with self._slots:
             self._closed = True
             self._slots.notify_all()

@@ -41,11 +41,12 @@ import secrets
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.auth.tokens import TokenStore
 from repro.comms.server import MessageServer
 from repro.core.dflow import DataFlowKernel
+from repro.errors import TaskCancelledError
 from repro.core.states import States
 from repro.core.taskrecord import TaskRecord
 from repro.scheduling.queues import WeightedFairShareQueue
@@ -60,7 +61,7 @@ logger = logging.getLogger(__name__)
 class _TenantState:
     """Admission accounting for one tenant (shared across its sessions)."""
 
-    __slots__ = ("name", "weight", "queued", "running", "completed", "failed")
+    __slots__ = ("name", "weight", "queued", "running", "completed", "failed", "cancelled")
 
     def __init__(self, name: str, weight: int):
         self.name = name
@@ -69,6 +70,7 @@ class _TenantState:
         self.running = 0    # inside the DFK, not yet final
         self.completed = 0
         self.failed = 0
+        self.cancelled = 0  # cancelled while still queued
 
     @property
     def inflight(self) -> int:
@@ -80,6 +82,7 @@ class _TenantState:
             "running": self.running,
             "completed": self.completed,
             "failed": self.failed,
+            "cancelled": self.cancelled,
             "weight": self.weight,
         }
 
@@ -101,6 +104,9 @@ class _Session:
         self.replay: Deque[Dict[str, Any]] = deque()
         #: client_task_id -> its replay frame (for duplicate-submit replies).
         self.done_results: Dict[int, Dict[str, Any]] = {}
+        #: client_task_ids cancelled while still queued: the pump skips them
+        #: instead of submitting, delivering a TaskCancelledError result.
+        self.cancelled: Set[int] = set()
 
 
 class WorkflowGateway:
@@ -158,6 +164,11 @@ class WorkflowGateway:
 
         self._lock = threading.RLock()
         self._window_cv = threading.Condition(self._lock)
+        #: In-process peers (e.g. HTTP edge sessions): identity -> outbound
+        #: sink. A registered identity's frames bypass the TCP server; its
+        #: inbound messages arrive via :meth:`post`. Sinks must not block —
+        #: they run on the gateway's service and sender threads.
+        self._local_peers: Dict[str, Callable[[Dict[str, Any]], None]] = {}
         self._tenants: Dict[str, _TenantState] = {}
         self._sessions: Dict[str, _Session] = {}
         self._identity_sessions: Dict[str, str] = {}
@@ -219,6 +230,54 @@ class WorkflowGateway:
         self.stop()
 
     # ------------------------------------------------------------------
+    # In-process transport: local peers (the HTTP edge rides this)
+    # ------------------------------------------------------------------
+    def attach_local(self, identity: str, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Register an in-process peer: outbound frames for ``identity`` are
+        handed to ``sink`` instead of a TCP connection. The sink is called on
+        gateway threads and must return quickly (enqueue, don't process)."""
+        with self._lock:
+            self._local_peers[identity] = sink
+
+    def detach_local(self, identity: str) -> None:
+        with self._lock:
+            self._local_peers.pop(identity, None)
+
+    def post(self, identity: str, message: Dict[str, Any]) -> None:
+        """Inject an inbound protocol message from an in-process peer.
+
+        The message flows through the same single-threaded service loop as
+        TCP traffic, so local and remote peers share every admission,
+        session, and dedup rule.
+        """
+        self.server.inject(identity, message)
+
+    def _send(self, identity: str, frame: Dict[str, Any]) -> bool:
+        with self._lock:
+            sink = self._local_peers.get(identity)
+        if sink is not None:
+            try:
+                sink(frame)
+                return True
+            except Exception:  # noqa: BLE001 - a dead edge session must not kill the loop
+                logger.exception("local peer %s sink failed", identity)
+                return False
+        return self.server.send(identity, frame)
+
+    def _send_many(self, identity: str, frames: List[Dict[str, Any]]) -> bool:
+        with self._lock:
+            sink = self._local_peers.get(identity)
+        if sink is not None:
+            try:
+                for frame in frames:
+                    sink(frame)
+                return True
+            except Exception:  # noqa: BLE001
+                logger.exception("local peer %s sink failed", identity)
+                return False
+        return self.server.send_many(identity, frames)
+
+    # ------------------------------------------------------------------
     # Service loop: all protocol handling happens on this one thread
     # ------------------------------------------------------------------
     def _service_loop(self) -> None:
@@ -235,7 +294,7 @@ class WorkflowGateway:
 
     def _handle(self, identity: str, message: Any) -> None:
         if not isinstance(message, dict):
-            self.server.send(identity, protocol.error("messages must be dicts"))
+            self._send(identity, protocol.error("messages must be dicts"))
             return
         mtype = message.get("type")
         if mtype == "registration":
@@ -244,8 +303,10 @@ class WorkflowGateway:
             self._handle_hello(identity, message)
         elif mtype == "submit":
             self._handle_submit(identity, message)
+        elif mtype == "cancel":
+            self._handle_cancel(identity, message)
         elif mtype == "stats":
-            self.server.send(
+            self._send(
                 identity, protocol.stats_reply(int(message.get("req_id") or 0), self.stats())
             )
         elif mtype == "goodbye":
@@ -253,18 +314,18 @@ class WorkflowGateway:
         elif mtype == "peer_lost":
             self._drop_identity(identity, evict_session=False)
         else:
-            self.server.send(identity, protocol.error(f"unknown message type {mtype!r}"))
+            self._send(identity, protocol.error(f"unknown message type {mtype!r}"))
 
     # ------------------------------------------------------------------
     def _handle_hello(self, identity: str, message: Dict[str, Any]) -> None:
         tenant = message.get("tenant")
         if not isinstance(tenant, str) or not tenant:
-            self.server.send(identity, protocol.auth_error("hello carries no tenant name"))
+            self._send(identity, protocol.auth_error("hello carries no tenant name"))
             return
         if self.token_store is not None and not self.token_store.validate(
             protocol.token_scope(tenant), message.get("token")
         ):
-            self.server.send(
+            self._send(
                 identity,
                 protocol.auth_error(f"invalid or expired token for tenant {tenant!r}"),
             )
@@ -303,7 +364,7 @@ class WorkflowGateway:
             self._sessions[session.session_id] = session
             self._identity_sessions[identity] = session.session_id
             weight = state.weight
-        self.server.send(
+        self._send(
             identity,
             protocol.welcome(
                 session.session_id,
@@ -353,8 +414,14 @@ class WorkflowGateway:
                     weight=weight,
                 )
                 replay = [frame for frame in session.replay if frame["seq"] > last_seq]
-        # One socket write carries the welcome and the whole replay train.
-        self.server.send_many(identity, [outcome] + replay)
+            # Enqueue the welcome + replay train while still holding the
+            # lock. _deliver enqueues under the same lock, so the sender
+            # thread — the single writer per peer — observes result frames
+            # in seq order: a task completing during the resume cannot
+            # overtake its own replay and trick the client's duplicate
+            # filter into discarding the rest of the train.
+            for frame in [outcome] + replay:
+                self._outbound.put((identity, frame))
 
     # ------------------------------------------------------------------
     def _handle_submit(self, identity: str, message: Dict[str, Any]) -> None:
@@ -362,11 +429,11 @@ class WorkflowGateway:
             session_id = self._identity_sessions.get(identity)
             session = self._sessions.get(session_id) if session_id else None
         if session is None:
-            self.server.send(identity, protocol.error("no session; send hello first"))
+            self._send(identity, protocol.error("no session; send hello first"))
             return
         cid = message.get("client_task_id")
         if not isinstance(cid, int):
-            self.server.send(identity, protocol.error("submit carries no client_task_id"))
+            self._send(identity, protocol.error("submit carries no client_task_id"))
             return
         with self._lock:
             status = session.seen.get(cid)
@@ -374,14 +441,14 @@ class WorkflowGateway:
                 # Duplicate of a finished task (client resent after a
                 # reconnect race): replay its result instead of re-running.
                 frame = session.done_results.get(cid)
-                self.server.send(identity, frame or protocol.accepted(cid))
+                self._send(identity, frame or protocol.accepted(cid))
                 return
             if status is not None:
-                self.server.send(identity, protocol.accepted(cid))  # idempotent resend
+                self._send(identity, protocol.accepted(cid))  # idempotent resend
                 return
             tenant = self._tenant_state(session.tenant)
             if tenant.inflight >= self.max_inflight_per_tenant:
-                self.server.send(
+                self._send(
                     identity, protocol.busy(cid, tenant.inflight, self.max_inflight_per_tenant)
                 )
                 return
@@ -389,7 +456,7 @@ class WorkflowGateway:
             func, args, kwargs = unpack_apply_message(message["buffer"])
             spec = ResourceSpec.from_user(message.get("resource_spec"))
         except Exception as exc:  # noqa: BLE001 - bad task must not kill the loop
-            self.server.send(identity, protocol.error(f"undecodable task: {exc!r}", cid))
+            self._send(identity, protocol.error(f"undecodable task: {exc!r}", cid))
             return
         item: Dict[str, Any] = {
             "priority": spec.priority,
@@ -406,7 +473,50 @@ class WorkflowGateway:
             tenant.queued += 1
             self._queue.put(session.tenant, item)
             self._window_cv.notify()
-        self.server.send(identity, protocol.accepted(cid))
+        self._send(identity, protocol.accepted(cid))
+
+    # ------------------------------------------------------------------
+    def _handle_cancel(self, identity: str, message: Dict[str, Any]) -> None:
+        cid = message.get("client_task_id")
+        if not isinstance(cid, int):
+            self._send(identity, protocol.error("cancel carries no client_task_id"))
+            return
+        with self._lock:
+            session_id = self._identity_sessions.get(identity)
+            session = self._sessions.get(session_id) if session_id else None
+            if session is None:
+                self._send(identity, protocol.error("no session; send hello first"))
+                return
+            status = session.seen.get(cid)
+            if status == "queued":
+                # The item stays in the fair-share queue; the pump discards
+                # it at pop time and delivers the cancellation result, so
+                # ordering/accounting stay single-writer.
+                session.cancelled.add(cid)
+                reply = "cancelled"
+            elif status in ("running", "done"):
+                reply = status
+            else:
+                reply = "unknown"
+        self._send(identity, protocol.cancel_reply(cid, reply))
+
+    def task_state(self, session_id: str, cid: int) -> Optional[Tuple[str, Optional[Dict[str, Any]]]]:
+        """In-process status probe: ``(status, result_frame)`` or ``None``.
+
+        ``status`` is the session's dedup-table view (``queued`` / ``running``
+        / ``done``); the frame is present only once the task finished and its
+        result is still within the replay buffer. Used by the HTTP edge's
+        ``GET /v1/tasks/{id}``, which must answer without perturbing the
+        stream protocol.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                return None
+            status = session.seen.get(cid)
+            if status is None:
+                return None
+            return status, session.done_results.get(cid)
 
     # ------------------------------------------------------------------
     # Pump: fair-share queue -> DFK, bounded by the dispatch window
@@ -431,6 +541,20 @@ class WorkflowGateway:
                     # The session was evicted while the task queued; there is
                     # nobody to deliver to, so do not spend executor time.
                     tenant.failed += 1
+                    continue
+                if item["client_task_id"] in session.cancelled:
+                    # Cancelled while queued: never reaches the kernel. The
+                    # client sees an ordinary failure result carrying
+                    # TaskCancelledError (so futures resolve and SSE streams
+                    # emit an error event through the one delivery path).
+                    cid = item["client_task_id"]
+                    session.cancelled.discard(cid)
+                    session.seen[cid] = "done"
+                    tenant.cancelled += 1
+                    self._deliver(
+                        item["session"], cid, False,
+                        TaskCancelledError(f"task {cid} cancelled before dispatch"),
+                    )
                     continue
                 try:
                     # Submit while holding the lock so a completion hook
@@ -517,8 +641,11 @@ class WorkflowGateway:
                 session.done_results.pop(evicted["client_task_id"], None)
                 session.seen.pop(evicted["client_task_id"], None)
             identity = session.identity
-        if identity is not None:
-            self._outbound.put((identity, frame))
+            if identity is not None:
+                # Enqueued under the lock so the sender thread sees frames
+                # in seq order even when a resume is replaying concurrently
+                # (see _resume_session).
+                self._outbound.put((identity, frame))
 
     def _sender_loop(self) -> None:
         """Drain result frames to clients off the DFK's completing threads."""
@@ -530,7 +657,7 @@ class WorkflowGateway:
             try:
                 # send() returns False for a vanished peer — the frame stays
                 # in the session's replay buffer for the eventual resume.
-                self.server.send(identity, frame)
+                self._send(identity, frame)
             except Exception:  # noqa: BLE001 - one bad peer must not stop the drain
                 logger.exception("gateway failed sending a result to %s", identity)
 

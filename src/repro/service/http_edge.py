@@ -1,0 +1,883 @@
+"""The HTTP/SSE edge: what production clients actually hit.
+
+The PR-5 :class:`~repro.service.gateway.WorkflowGateway` speaks a bespoke
+pickle-over-TCP protocol — fine for trusted Python peers, useless for the
+"millions of users" tier of the paper's ecosystem, which arrives over HTTP
+through load balancers and language-agnostic tooling. :class:`HttpEdge` is
+an HTTP/1.1 front-end built on stdlib ``asyncio`` (no third-party server
+dependency) that translates a JSON surface onto the gateway's existing
+session machinery:
+
+====== ============================ ==========================================
+Verb   Path                         Meaning
+====== ============================ ==========================================
+POST   ``/v1/session``              open (or resume) a tenant session
+DELETE ``/v1/session/{id}``         release a session immediately (goodbye)
+POST   ``/v1/tasks``                submit one task (202, or 429 busy)
+GET    ``/v1/tasks/{id}``           status / result of one task
+POST   ``/v1/tasks/{id}/cancel``    cancel a still-queued task
+GET    ``/v1/tenants/me/stats``     the calling tenant's admission counters
+GET    ``/v1/stream``               SSE result stream (``Last-Event-ID``
+                                    resume; ``result``/``error``/``done``)
+GET    ``/v1/healthz``              liveness probe (no auth)
+====== ============================ ==========================================
+
+Every edge session is an **in-process gateway peer**: the edge registers a
+local sink (:meth:`WorkflowGateway.attach_local`) and injects protocol
+frames through :meth:`WorkflowGateway.post`, so submissions take exactly the
+``pack_apply_message`` path remote TCP clients take — token auth, fair-share
+admission, per-tenant backpressure (surfaced as HTTP **429** with a
+``Retry-After`` header), dedup, replay, and walltime enforcement all apply
+unchanged, and a tenant's HTTP and TCP traffic share one set of admission
+counters.
+
+Auth mirrors the TCP handshake: ``Authorization: Bearer <token>`` checked
+against the gateway's TokenStore scope ``gateway/<tenant>``, with the tenant
+named by the ``X-Repro-Tenant`` header. Session-scoped requests additionally
+carry ``X-Repro-Session`` / ``X-Repro-Session-Token`` (query parameters
+``session`` / ``session_token`` work too, for SSE consumers that cannot set
+headers). An unknown session id with valid credentials is *resumed* through
+the gateway (this is how clients survive an edge restart); a session the
+gateway no longer knows answers **410 Gone**, the signal for SDKs to open a
+fresh session and resubmit unfinished work.
+
+Submissions name their callable either as ``fn`` — a name registered via
+:meth:`HttpEdge.register` (or, when ``allow_dotted_paths`` is enabled, an
+importable ``"pkg.mod:func"`` path) invoked with JSON args — or as
+``payload_b64``, a base64 ``pack_apply_message`` buffer (the SDK's
+arbitrary-callable path; exactly what TCP clients send).
+
+The SSE stream maps ``Last-Event-ID`` straight onto the session's
+``last_seq`` replay machinery: attaching re-runs the gateway's resume
+handshake with that cursor, so the replayed suffix is exactly the unseen
+results. One stream per session is live at a time; a newer attach gracefully
+ends the older one with a ``done`` event. A stream whose reader stalls past
+its bounded buffer is dropped (the results stay in the replay buffer for the
+next resume) so one slow consumer cannot pin edge memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import importlib
+import itertools
+import json
+import logging
+import threading
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service import protocol
+from repro.service.api_types import (
+    SessionInfo,
+    TaskAccepted,
+    TenantStats,
+    make_task_id,
+    result_frame_to_status,
+    split_task_id,
+)
+from repro.service.gateway import WorkflowGateway
+from repro.serialize import pack_apply_message
+from repro.utils.ids import make_uid
+
+logger = logging.getLogger(__name__)
+
+#: Reason phrases for the subset of statuses the edge answers with.
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    410: "Gone", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Hint (seconds) clients should wait before retrying a 429; also sent as
+#: ``retry_after_s`` in the body for sub-second-capable SDKs (the header is
+#: integer-valued per RFC 9110).
+RETRY_AFTER_S = 0.1
+
+#: Per-stream buffered-event bound: a reader this far behind is disconnected
+#: and must resume via Last-Event-ID (results stay in the replay buffer).
+STREAM_QUEUE_LIMIT = 256
+
+_STREAM_CLOSE = object()  # sentinel: end the SSE stream gracefully
+
+
+class _HttpError(Exception):
+    """Internal control flow: unwind a handler into one JSON error reply."""
+
+    def __init__(self, status: int, reason: str, headers: Optional[Dict[str, str]] = None):
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+        self.headers = headers or {}
+
+
+class _Request:
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: Dict[str, str],
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Dict[str, Any]:
+        if not self.body:
+            return {}
+        try:
+            obj = json.loads(self.body)
+        except ValueError as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return obj
+
+
+class _EdgeSession:
+    """Edge-side state for one gateway session (one local-peer identity)."""
+
+    def __init__(self, identity: str, tenant: str):
+        self.identity = identity
+        self.tenant = tenant
+        self.info: Optional[SessionInfo] = None
+        self.cid_counter = itertools.count()
+        self.last_used = time.monotonic()
+        #: cid -> future resolved by the accepted/busy/error reply.
+        self.acks: Dict[int, asyncio.Future] = {}
+        #: cid -> future resolved by a cancel_reply.
+        self.cancels: Dict[int, asyncio.Future] = {}
+        #: Pending welcome/auth_error waiter for an in-flight hello.
+        self.hello_waiter: Optional[asyncio.Future] = None
+        #: The one live SSE stream queue (newer attach supersedes older).
+        self.stream: Optional[asyncio.Queue] = None
+
+    @property
+    def session_id(self) -> str:
+        assert self.info is not None
+        return self.info.session
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def claim_cid(self, requested: Optional[int]) -> int:
+        if requested is not None:
+            # Keep the auto-assign counter ahead of explicit ids so the two
+            # schemes can mix within a session without colliding.
+            while True:
+                nxt = next(self.cid_counter)
+                if nxt > requested:
+                    self.cid_counter = itertools.count(nxt)
+                    break
+            return requested
+        return next(self.cid_counter)
+
+
+class HttpEdge:
+    """Serve a :class:`WorkflowGateway` over HTTP/1.1 + Server-Sent-Events.
+
+    Runs its own asyncio event loop on a daemon thread; ``start()`` returns
+    once the port is bound. Defaults come from the kernel's
+    ``Config.service_http_*`` knobs; the token store defaults to the
+    gateway's. Use as a context manager or call ``stop()``.
+    """
+
+    def __init__(
+        self,
+        gateway: WorkflowGateway,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        registry: Optional[Dict[str, Callable]] = None,
+        allow_dotted_paths: bool = False,
+        max_body: Optional[int] = None,
+        sse_keepalive_s: Optional[float] = None,
+        request_timeout: float = 30.0,
+    ):
+        cfg = gateway.dfk.config
+        self.gateway = gateway
+        self._host = host if host is not None else cfg.service_http_host
+        self._port = port if port is not None else cfg.service_http_port
+        self.max_body = max_body or cfg.service_http_max_body
+        self.sse_keepalive_s = sse_keepalive_s or cfg.service_http_keepalive_s
+        self.request_timeout = request_timeout
+        self.registry: Dict[str, Callable] = dict(registry or {})
+        self.allow_dotted_paths = allow_dotted_paths
+
+        self.host: str = self._host
+        self.port: int = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stopping = False
+        #: session id -> edge session; mutated only on the loop thread.
+        self._sessions: Dict[str, _EdgeSession] = {}
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "HttpEdge":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run, name="http-edge", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise RuntimeError(f"HTTP edge failed to start: {self._startup_error!r}")
+        if not self._started.is_set():
+            raise RuntimeError("HTTP edge did not start within 10s")
+        return self
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        self._stopping = True
+        try:
+            loop.call_soon_threadsafe(lambda: asyncio.ensure_future(self._shutdown()))
+        except RuntimeError:
+            pass  # loop already closed
+        thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "HttpEdge":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def register(self, name: str, func: Callable) -> None:
+        """Expose ``func`` to JSON submissions under ``fn: name``."""
+        self.registry[name] = func
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle_connection, self._host, self._port)
+            )
+            self.host, self.port = self._server.sockets[0].getsockname()[:2]
+            self._sweeper = loop.create_task(self._sweep_idle_sessions())
+            self._started.set()
+            loop.run_forever()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            except Exception:  # noqa: BLE001
+                pass
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        for ses in list(self._sessions.values()):
+            self._close_session(ses, goodbye=True)
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        loop = asyncio.get_running_loop()
+        loop.stop()
+
+    def _close_session(self, ses: _EdgeSession, goodbye: bool) -> None:
+        self._sessions.pop(ses.info.session if ses.info else "", None)
+        if ses.stream is not None:
+            self._stream_put(ses, _STREAM_CLOSE)
+            ses.stream = None
+        if goodbye:
+            try:
+                self.gateway.post(ses.identity, protocol.goodbye())
+            except Exception:  # noqa: BLE001 - gateway may already be down
+                pass
+        self.gateway.detach_local(ses.identity)
+
+    async def _sweep_idle_sessions(self) -> None:
+        """Release sessions no request or stream has touched for the TTL.
+
+        Local peers never 'disconnect', so without this sweep an abandoned
+        curl session would pin its replay buffer forever — the edge applies
+        the same TTL the gateway applies to vanished TCP clients.
+        """
+        ttl = self.gateway.session_ttl_s
+        while True:
+            await asyncio.sleep(min(ttl / 2, 5.0))
+            now = time.monotonic()
+            for ses in list(self._sessions.values()):
+                if ses.stream is None and now - ses.last_used > ttl:
+                    logger.info("http edge releasing idle session %s", ses.session_id)
+                    self._close_session(ses, goodbye=True)
+
+    # ------------------------------------------------------------------
+    # Gateway frame plumbing (sink runs on gateway threads)
+    # ------------------------------------------------------------------
+    def _make_sink(self, ses: _EdgeSession) -> Callable[[Dict[str, Any]], None]:
+        def sink(frame: Dict[str, Any]) -> None:
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            try:
+                loop.call_soon_threadsafe(self._dispatch_frame, ses, frame)
+            except RuntimeError:
+                pass  # loop shut down between the check and the call
+        return sink
+
+    def _dispatch_frame(self, ses: _EdgeSession, frame: Dict[str, Any]) -> None:
+        mtype = frame.get("type")
+        if mtype in ("welcome", "auth_error"):
+            waiter, ses.hello_waiter = ses.hello_waiter, None
+            if waiter is not None and not waiter.done():
+                waiter.set_result(frame)
+            else:
+                # A stream-resume handshake (no waiter) takes its reply
+                # through the stream queue so the welcome stays ordered with
+                # the replay train behind it (see _route_stream).
+                self._stream_put(ses, frame)
+        elif mtype in ("accepted", "busy"):
+            waiter = ses.acks.pop(frame.get("client_task_id"), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(frame)
+        elif mtype == "cancel_reply":
+            waiter = ses.cancels.pop(frame.get("client_task_id"), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(frame)
+        elif mtype == "result":
+            # A duplicate submit of a finished task is answered with the
+            # result frame itself; a pending ack waiter counts that as
+            # acceptance (the stream/replay still carries the result).
+            waiter = ses.acks.pop(frame.get("client_task_id"), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result({"type": "accepted",
+                                   "client_task_id": frame.get("client_task_id")})
+            ses.touch()
+            self._stream_put(ses, frame)
+        elif mtype == "error":
+            cid = frame.get("client_task_id")
+            waiter = ses.acks.pop(cid, None) if cid is not None else None
+            if waiter is not None and not waiter.done():
+                waiter.set_result(frame)
+            else:
+                logger.warning("gateway error on %s: %s", ses.identity, frame.get("reason"))
+
+    def _stream_put(self, ses: _EdgeSession, item: Any) -> None:
+        queue = ses.stream
+        if queue is None:
+            return  # no stream attached: the replay buffer is the record
+        try:
+            queue.put_nowait(item)
+        except asyncio.QueueFull:
+            # A reader this far behind is presumed stalled: drop the stream
+            # (it resumes with Last-Event-ID) instead of buffering unboundedly.
+            logger.warning("http edge dropping stalled stream for %s", ses.identity)
+            ses.stream = None
+
+    # ------------------------------------------------------------------
+    # Session management (all on the loop thread)
+    # ------------------------------------------------------------------
+    async def _hello(self, ses: _EdgeSession, hello_frame: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        ses.hello_waiter = waiter
+        self.gateway.post(ses.identity, hello_frame)
+        try:
+            return await asyncio.wait_for(waiter, timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            ses.hello_waiter = None
+            raise _HttpError(503, "gateway handshake timed out")
+
+    async def _open_session(self, tenant: str, token: Optional[str],
+                            weight: Optional[int] = None) -> _EdgeSession:
+        ses = _EdgeSession(make_uid("http"), tenant)
+        self.gateway.attach_local(ses.identity, self._make_sink(ses))
+        try:
+            frame = await self._hello(ses, protocol.hello(tenant, token, weight=weight))
+            if frame["type"] != "welcome":
+                raise _HttpError(401, str(frame.get("reason", "authentication failed")))
+        except BaseException:
+            self.gateway.detach_local(ses.identity)
+            raise
+        ses.info = SessionInfo.from_json(frame)
+        self._sessions[ses.info.session] = ses
+        return ses
+
+    async def _resume_session(self, tenant: str, token: Optional[str], session_id: str,
+                              session_token: str, last_seq: int = 0) -> _EdgeSession:
+        """Re-attach to a gateway session this edge doesn't hold (edge
+        restart, or a TCP client migrating to HTTP). 410 when the gateway
+        evicted it — the SDK's cue to start over."""
+        ses = _EdgeSession(make_uid("http"), tenant)
+        self.gateway.attach_local(ses.identity, self._make_sink(ses))
+        try:
+            frame = await self._hello(
+                ses,
+                protocol.hello(tenant, token, session=session_id,
+                               session_token=session_token, last_seq=last_seq),
+            )
+            if frame["type"] != "welcome":
+                reason = str(frame.get("reason", ""))
+                if "unknown or expired" in reason:
+                    status = 410
+                elif "mismatch" in reason:
+                    status = 403
+                else:
+                    status = 401
+                raise _HttpError(status, reason or "authentication failed")
+        except BaseException:
+            self.gateway.detach_local(ses.identity)
+            raise
+        ses.info = SessionInfo.from_json(frame)
+        self._sessions[ses.info.session] = ses
+        return ses
+
+    # ------------------------------------------------------------------
+    # Auth / request helpers
+    # ------------------------------------------------------------------
+    def _authenticate(self, request: _Request) -> Tuple[str, Optional[str]]:
+        tenant = request.headers.get("x-repro-tenant") or request.query.get("tenant")
+        if not tenant:
+            raise _HttpError(400, "missing X-Repro-Tenant header")
+        token: Optional[str] = None
+        auth = request.headers.get("authorization", "")
+        if auth.lower().startswith("bearer "):
+            token = auth[7:].strip()
+        store = self.gateway.token_store
+        if store is not None and not store.validate(protocol.token_scope(tenant), token):
+            raise _HttpError(401, f"invalid or expired token for tenant {tenant!r}")
+        return tenant, token
+
+    def _session_credentials(self, request: _Request) -> Tuple[Optional[str], Optional[str]]:
+        sid = request.headers.get("x-repro-session") or request.query.get("session")
+        stoken = (request.headers.get("x-repro-session-token")
+                  or request.query.get("session_token"))
+        return sid, stoken
+
+    async def _session_for(self, request: _Request, tenant: str, token: Optional[str],
+                           sid: Optional[str], stoken: Optional[str],
+                           auto_create: bool, last_seq: int = 0) -> Tuple[_EdgeSession, bool]:
+        """Resolve the request's session; returns ``(session, created)``."""
+        if sid is None:
+            if not auto_create:
+                raise _HttpError(400, "missing X-Repro-Session header")
+            return await self._open_session(tenant, token), True
+        ses = self._sessions.get(sid)
+        if ses is not None:
+            if ses.tenant != tenant or not ses.info or ses.info.session_token != stoken:
+                raise _HttpError(403, "session credentials mismatch")
+            ses.touch()
+            return ses, False
+        if stoken is None:
+            raise _HttpError(403, "missing X-Repro-Session-Token header")
+        ses = await self._resume_session(tenant, token, sid, stoken, last_seq=last_seq)
+        return ses, False
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            return None
+        if not line or line.strip() == b"":
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > self.max_body:
+            raise _HttpError(413, f"body of {length} bytes exceeds limit {self.max_body}")
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        query = {k: v[0] for k, v in parse_qs(parts.query).items()}
+        return _Request(method.upper(), parts.path, query, headers, body)
+
+    @staticmethod
+    def _encode_response(status: int, body: bytes, content_type: str,
+                         extra: Optional[Dict[str, str]] = None,
+                         keep_alive: bool = True) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def _respond_json(self, writer: asyncio.StreamWriter, status: int, obj: Any,
+                            extra: Optional[Dict[str, str]] = None,
+                            keep_alive: bool = True) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        writer.write(self._encode_response(status, body, "application/json",
+                                           extra, keep_alive))
+        await writer.drain()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._respond_json(writer, exc.status, {"error": exc.reason},
+                                             exc.headers, keep_alive=False)
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                try:
+                    keep_alive = await self._dispatch_request(request, reader, writer)
+                except _HttpError as exc:
+                    await self._respond_json(writer, exc.status, {"error": exc.reason},
+                                             exc.headers)
+                    keep_alive = True
+                except (ConnectionError, asyncio.CancelledError):
+                    break
+                except Exception:  # noqa: BLE001 - one request must not kill the server
+                    logger.exception("http edge request failed")
+                    await self._respond_json(writer, 500, {"error": "internal error"},
+                                             keep_alive=False)
+                    break
+                if not keep_alive or request.headers.get("connection", "").lower() == "close":
+                    break
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch_request(self, request: _Request, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> bool:
+        method, path = request.method, request.path
+        if path == "/v1/healthz":
+            await self._respond_json(writer, 200, {"status": "ok",
+                                                   "sessions": len(self._sessions)})
+            return True
+        if path == "/v1/session" and method == "POST":
+            return await self._route_open_session(request, writer)
+        if path.startswith("/v1/session/") and method == "DELETE":
+            return await self._route_close_session(request, writer,
+                                                   path[len("/v1/session/"):])
+        if path == "/v1/tasks" and method == "POST":
+            return await self._route_submit(request, writer)
+        if path.startswith("/v1/tasks/") and path.endswith("/cancel") and method == "POST":
+            task_id = path[len("/v1/tasks/"):-len("/cancel")]
+            return await self._route_cancel(request, writer, task_id)
+        if path.startswith("/v1/tasks/") and method == "GET":
+            return await self._route_status(request, writer, path[len("/v1/tasks/"):])
+        if path == "/v1/tenants/me/stats" and method == "GET":
+            return await self._route_stats(request, writer)
+        if path == "/v1/stream" and method == "GET":
+            return await self._route_stream(request, writer)
+        raise _HttpError(404 if path.startswith("/v1/") else 404,
+                         f"no route for {method} {path}")
+
+    async def _route_open_session(self, request: _Request,
+                                  writer: asyncio.StreamWriter) -> bool:
+        tenant, token = self._authenticate(request)
+        body = request.json()
+        session_id = body.get("session")
+        if session_id:
+            ses = await self._resume_session(
+                tenant, token, str(session_id), str(body.get("session_token") or ""),
+                last_seq=int(body.get("last_seq") or 0),
+            )
+        else:
+            weight = body.get("weight")
+            ses = await self._open_session(
+                tenant, token, weight=int(weight) if weight is not None else None
+            )
+        await self._respond_json(writer, 201, ses.info.to_json())
+        return True
+
+    async def _route_close_session(self, request: _Request, writer: asyncio.StreamWriter,
+                                   session_id: str) -> bool:
+        tenant, _token = self._authenticate(request)
+        ses = self._sessions.get(session_id)
+        if ses is None:
+            raise _HttpError(410, "unknown or expired session")
+        _sid, stoken = self._session_credentials(request)
+        if ses.tenant != tenant or not ses.info or ses.info.session_token != stoken:
+            raise _HttpError(403, "session credentials mismatch")
+        self._close_session(ses, goodbye=True)
+        await self._respond_json(writer, 200, {"released": session_id})
+        return True
+
+    async def _route_submit(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        tenant, token = self._authenticate(request)
+        sid, stoken = self._session_credentials(request)
+        ses, created = await self._session_for(request, tenant, token, sid, stoken,
+                                               auto_create=True)
+        body = request.json()
+        buffer = self._build_buffer(body)
+        spec = dict(body.get("resource_spec") or {})
+        if body.get("priority") is not None:
+            spec["priority"] = int(body["priority"])
+        requested = body.get("client_task_id")
+        if requested is not None and not isinstance(requested, int):
+            raise _HttpError(400, "client_task_id must be an integer")
+        cid = ses.claim_cid(requested)
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        ses.acks[cid] = waiter
+        ses.touch()
+        self.gateway.post(ses.identity, protocol.submit(cid, buffer, spec or None))
+        try:
+            frame = await asyncio.wait_for(waiter, timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            ses.acks.pop(cid, None)
+            raise _HttpError(503, "gateway did not acknowledge the submission")
+        mtype = frame.get("type")
+        if mtype == "accepted":
+            accepted = TaskAccepted(
+                task_id=make_task_id(ses.session_id, cid),
+                client_task_id=cid,
+                session=ses.session_id,
+                session_token=ses.info.session_token if created else None,
+            )
+            await self._respond_json(writer, 202, accepted.to_json())
+        elif mtype == "busy":
+            payload = {
+                "error": "busy",
+                "in_flight": frame.get("in_flight"),
+                "cap": frame.get("cap"),
+                "retry_after_s": RETRY_AFTER_S,
+                "client_task_id": cid,
+                "session": ses.session_id,
+            }
+            if created:
+                payload["session_token"] = ses.info.session_token
+            await self._respond_json(writer, 429, payload,
+                                     extra={"Retry-After": str(max(1, int(RETRY_AFTER_S)))})
+        else:
+            raise _HttpError(400, str(frame.get("reason", "submission rejected")))
+        return True
+
+    def _build_buffer(self, body: Dict[str, Any]) -> bytes:
+        payload_b64 = body.get("payload_b64")
+        fn = body.get("fn")
+        if (payload_b64 is None) == (fn is None):
+            raise _HttpError(400, "exactly one of 'fn' or 'payload_b64' is required")
+        if payload_b64 is not None:
+            try:
+                return base64.b64decode(payload_b64, validate=True)
+            except Exception as exc:  # noqa: BLE001
+                raise _HttpError(400, f"payload_b64 is not valid base64: {exc}")
+        func = self._resolve_callable(str(fn))
+        args = body.get("args") or []
+        kwargs = body.get("kwargs") or {}
+        if not isinstance(args, list) or not isinstance(kwargs, dict):
+            raise _HttpError(400, "'args' must be a list and 'kwargs' an object")
+        return pack_apply_message(func, tuple(args), kwargs)
+
+    def _resolve_callable(self, name: str) -> Callable:
+        func = self.registry.get(name)
+        if func is not None:
+            return func
+        if not self.allow_dotted_paths:
+            raise _HttpError(404, f"unknown function {name!r} (not registered)")
+        modname, sep, qual = name.partition(":")
+        if not sep:
+            modname, _, qual = name.rpartition(".")
+        if not modname or not qual:
+            raise _HttpError(400, f"cannot parse callable path {name!r}")
+        try:
+            obj: Any = importlib.import_module(modname)
+            for part in qual.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError) as exc:
+            raise _HttpError(404, f"cannot import {name!r}: {exc}")
+        if not callable(obj):
+            raise _HttpError(400, f"{name!r} is not callable")
+        return obj
+
+    async def _route_status(self, request: _Request, writer: asyncio.StreamWriter,
+                            task_id: str) -> bool:
+        tenant, token = self._authenticate(request)
+        try:
+            session_id, cid = split_task_id(task_id)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc))
+        _sid, stoken = self._session_credentials(request)
+        ses, _ = await self._session_for(request, tenant, token, session_id, stoken,
+                                         auto_create=False)
+        state = self.gateway.task_state(ses.session_id, cid)
+        if state is None:
+            raise _HttpError(404, f"unknown task {task_id!r}")
+        status, frame = state
+        if status != "done":
+            await self._respond_json(writer, 200, {"task_id": task_id, "status": status})
+        elif frame is None:
+            await self._respond_json(
+                writer, 200,
+                {"task_id": task_id, "status": "done", "result_expired": True},
+            )
+        else:
+            await self._respond_json(
+                writer, 200, result_frame_to_status(ses.session_id, frame).to_json()
+            )
+        return True
+
+    async def _route_cancel(self, request: _Request, writer: asyncio.StreamWriter,
+                            task_id: str) -> bool:
+        tenant, token = self._authenticate(request)
+        try:
+            session_id, cid = split_task_id(task_id)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc))
+        _sid, stoken = self._session_credentials(request)
+        ses, _ = await self._session_for(request, tenant, token, session_id, stoken,
+                                         auto_create=False)
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        ses.cancels[cid] = waiter
+        ses.touch()
+        self.gateway.post(ses.identity, protocol.cancel(cid))
+        try:
+            frame = await asyncio.wait_for(waiter, timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            ses.cancels.pop(cid, None)
+            raise _HttpError(503, "gateway did not answer the cancel request")
+        status = str(frame.get("status"))
+        http_status = 404 if status == "unknown" else 200
+        await self._respond_json(writer, http_status,
+                                 {"task_id": task_id, "status": status})
+        return True
+
+    async def _route_stats(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        tenant, _token = self._authenticate(request)
+        counts = self.gateway.stats().get(tenant, {})
+        stats = TenantStats.from_json({"tenant": tenant, **counts})
+        await self._respond_json(writer, 200, stats.to_json())
+        return True
+
+    # ------------------------------------------------------------------
+    # SSE
+    # ------------------------------------------------------------------
+    async def _route_stream(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        tenant, token = self._authenticate(request)
+        sid, stoken = self._session_credentials(request)
+        if sid is None:
+            raise _HttpError(400, "streaming requires a session (X-Repro-Session)")
+        raw_cursor = (request.headers.get("last-event-id")
+                      or request.query.get("last_event_id") or "0")
+        try:
+            last_seq = int(raw_cursor)
+        except ValueError:
+            raise _HttpError(400, f"Last-Event-ID must be an integer, got {raw_cursor!r}")
+        ses, _ = await self._session_for(request, tenant, token, sid, stoken,
+                                         auto_create=False, last_seq=last_seq)
+        # Supersede any previous stream, then replay the unseen suffix by
+        # re-running the gateway's resume handshake with the client's cursor.
+        if ses.stream is not None:
+            self._stream_put(ses, _STREAM_CLOSE)
+        ses.stream = asyncio.Queue(maxsize=STREAM_QUEUE_LIMIT)
+        queue = ses.stream
+        # The handshake reply arrives *through the queue* (no hello_waiter —
+        # see _dispatch_frame), so welcome-then-replay ordering here is
+        # exactly the gateway sender thread's ordering. A result frame
+        # already queued ahead of the welcome raced in before the gateway
+        # processed the hello; it is therefore covered by the replay train
+        # and must be discarded — written as a live event it would advance
+        # the duplicate filter past the very replay that carries its
+        # predecessors.
+        self.gateway.post(
+            ses.identity,
+            protocol.hello(tenant, token, session=ses.session_id,
+                           session_token=ses.info.session_token, last_seq=last_seq),
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.request_timeout
+        superseded = False
+        frame: Optional[Dict[str, Any]] = None
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                if ses.stream is queue:
+                    ses.stream = None
+                raise _HttpError(503, "gateway handshake timed out")
+            try:
+                item = await asyncio.wait_for(queue.get(), timeout=remaining)
+            except asyncio.TimeoutError:
+                continue
+            if item is _STREAM_CLOSE:
+                superseded = True  # a newer stream took over mid-handshake
+                break
+            if isinstance(item, dict) and item.get("type") in ("welcome", "auth_error"):
+                frame = item
+                break
+            # else: a pre-welcome racer — drop it, the replay re-delivers it
+        if not superseded and frame["type"] != "welcome":
+            ses.stream = None
+            raise _HttpError(410, str(frame.get("reason", "session lost")))
+
+        headers = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "X-Accel-Buffering: no\r\n\r\n"
+        )
+        writer.write(headers.encode("latin-1"))
+        await writer.drain()
+        if superseded:
+            writer.write(b"event: done\ndata: {\"reason\": \"superseded\"}\n\n")
+            await writer.drain()
+            return False
+        written_seq = last_seq
+        try:
+            while True:
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout=self.sse_keepalive_s)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                if item is _STREAM_CLOSE:
+                    writer.write(b"event: done\ndata: {\"reason\": \"superseded\"}\n\n")
+                    await writer.drain()
+                    break
+                seq = int(item.get("seq") or 0)
+                if seq <= written_seq:
+                    continue  # replay overlap: the client already saw this
+                written_seq = seq
+                status = result_frame_to_status(ses.session_id, item)
+                event = "result" if status.success else "error"
+                data = json.dumps(status.to_json())
+                writer.write(f"id: {seq}\nevent: {event}\ndata: {data}\n\n".encode("utf-8"))
+                await writer.drain()
+                ses.touch()
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            if ses.stream is queue:
+                ses.stream = None
+        return False  # the SSE response consumed the connection

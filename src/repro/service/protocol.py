@@ -72,6 +72,16 @@ def submit(client_task_id: int, buffer: bytes, resource_spec: Optional[Dict[str,
     return message
 
 
+def cancel(client_task_id: int) -> Dict[str, Any]:
+    """Ask the gateway to cancel a submitted task.
+
+    Only tasks still waiting in the fair-share queue can be cancelled; a task
+    already dispatched into the kernel runs to completion (the reply says
+    ``running``), and a finished task replies ``done``.
+    """
+    return {"type": "cancel", "client_task_id": client_task_id}
+
+
 def stats(req_id: int = 0) -> Dict[str, Any]:
     """Admin request for per-tenant queued/running/completed counts."""
     return {"type": "stats", "req_id": req_id}
@@ -125,6 +135,17 @@ def result(seq: int, client_task_id: int, success: bool, buffer: bytes) -> Dict[
         "success": success,
         "buffer": buffer,
     }
+
+
+def cancel_reply(client_task_id: int, status: str) -> Dict[str, Any]:
+    """Outcome of a cancel request.
+
+    ``status`` is ``cancelled`` (removed from the queue; a failure result
+    carrying :class:`~repro.errors.TaskCancelledError` follows), ``running``
+    (already dispatched, not cancellable), ``done`` (already finished), or
+    ``unknown`` (no such task in this session).
+    """
+    return {"type": "cancel_reply", "client_task_id": client_task_id, "status": status}
 
 
 def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]]) -> Dict[str, Any]:

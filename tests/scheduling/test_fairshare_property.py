@@ -1,0 +1,192 @@
+"""Property-based tests for :class:`WeightedFairShareQueue` (Hypothesis).
+
+The example-based suite (test_queues.py) pins behaviour on hand-picked
+scenarios; these properties assert the start-time-fair-queueing *invariants*
+over generated workloads:
+
+* the system virtual clock never runs backwards;
+* a full drain returns every enqueued item exactly once, preserving each
+  tenant's internal order (equal priorities);
+* over any K pops of an all-backlogged system with unit costs, tenant i
+  receives at least ``floor(K * w_i / W) - 1`` services (the classic SFQ
+  fairness floor), so no lane can be starved;
+* the gap between consecutive services of a continuously backlogged lane is
+  bounded by its weighted share of one "round".
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+from hypothesis.stateful import (  # noqa: E402
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.scheduling import WeightedFairShareQueue  # noqa: E402
+
+TENANTS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+weights_st = st.dictionaries(
+    st.sampled_from(TENANTS),
+    st.integers(min_value=1, max_value=10),
+    min_size=2,
+    max_size=len(TENANTS),
+)
+
+
+def preload(queue, weights, depth):
+    for tenant, weight in weights.items():
+        queue.set_weight(tenant, weight)
+        for n in range(depth):
+            queue.put(tenant, {"tenant": tenant, "n": n})
+
+
+class TestDrainProperties:
+    @given(
+        plan=st.lists(
+            st.tuples(st.sampled_from(TENANTS), st.integers(0, 5)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_full_drain_conserves_items_and_lane_order(self, plan):
+        """Every item comes back exactly once; within a tenant, FIFO."""
+        queue = WeightedFairShareQueue()
+        expected = {}
+        for serial, (tenant, weight_nudge) in enumerate(plan):
+            if weight_nudge:
+                queue.set_weight(tenant, weight_nudge)
+            queue.put(tenant, {"serial": serial})
+            expected.setdefault(tenant, []).append(serial)
+        drained = {}
+        while True:
+            entry = queue.pop()
+            if entry is None:
+                break
+            tenant, item = entry
+            drained.setdefault(tenant, []).append(item["serial"])
+        assert drained == expected
+        assert queue.empty() and queue.qsize() == 0
+
+    @given(
+        weights=weights_st,
+        pops=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vclock_is_monotone_nondecreasing(self, weights, pops):
+        queue = WeightedFairShareQueue()
+        preload(queue, weights, depth=60)
+        last = queue._vclock
+        for _ in range(pops):
+            assert queue.pop() is not None
+            assert queue._vclock >= last
+            last = queue._vclock
+
+
+class TestFairnessProperties:
+    @given(
+        weights=weights_st,
+        rounds=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_backlogged_lanes_get_their_weighted_floor(self, weights, rounds):
+        """SFQ fairness: with every lane backlogged throughout and unit
+        costs, K pops give lane i at least floor(K * w_i / W) - 1 services."""
+        total_weight = sum(weights.values())
+        k = rounds * total_weight
+        queue = WeightedFairShareQueue()
+        preload(queue, weights, depth=k)
+        served = {tenant: 0 for tenant in weights}
+        for _ in range(k):
+            tenant, _item = queue.pop()
+            served[tenant] += 1
+        for tenant, weight in weights.items():
+            floor = math.floor(k * weight / total_weight) - 1
+            assert served[tenant] >= floor, (
+                f"{tenant} (w={weight}) got {served[tenant]} of {k} pops; "
+                f"fair floor is {floor} (weights={weights})"
+            )
+
+    @given(weights=weights_st)
+    @settings(max_examples=60, deadline=None)
+    def test_no_lane_waits_longer_than_one_weighted_round(self, weights):
+        """Starvation bound: a continuously backlogged lane is served at
+        least once in every ceil(W / w_i) + lanes consecutive pops."""
+        total_weight = sum(weights.values())
+        k = 6 * total_weight
+        queue = WeightedFairShareQueue()
+        preload(queue, weights, depth=k)
+        last_served = {tenant: 0 for tenant in weights}
+        for popno in range(1, k + 1):
+            tenant, _item = queue.pop()
+            last_served[tenant] = popno
+            for other, weight in weights.items():
+                bound = math.ceil(total_weight / weight) + len(weights)
+                gap = popno - last_served[other]
+                assert gap <= bound, (
+                    f"{other} (w={weight}) unserved for {gap} pops "
+                    f"(bound {bound}, weights={weights})"
+                )
+
+
+class FairShareMachine(RuleBasedStateMachine):
+    """Stateful interleavings of put/pop/set_weight.
+
+    Tracks a model of what is queued per tenant; checks conservation (pops
+    return exactly the still-queued items), vclock monotonicity, and that
+    qsize/empty agree with the model after every step.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.queue = WeightedFairShareQueue()
+        self.model = {}  # tenant -> list of serials, in put order
+        self.serial = 0
+        self.last_vclock = 0.0
+
+    @rule(tenant=st.sampled_from(TENANTS))
+    def put(self, tenant):
+        self.queue.put(tenant, {"serial": self.serial})
+        self.model.setdefault(tenant, []).append(self.serial)
+        self.serial += 1
+
+    @rule(tenant=st.sampled_from(TENANTS), weight=st.integers(1, 10))
+    def set_weight(self, tenant, weight):
+        self.queue.set_weight(tenant, weight)
+        assert self.queue.weight_of(tenant) == weight
+
+    @precondition(lambda self: any(self.model.values()))
+    @rule()
+    def pop_returns_a_queued_item(self):
+        tenant, item = self.queue.pop()
+        assert self.model.get(tenant), f"pop invented work for {tenant}"
+        # Lanes are FIFO at equal priority: the oldest serial comes first.
+        assert item["serial"] == self.model[tenant].pop(0)
+
+    @precondition(lambda self: not any(self.model.values()))
+    @rule()
+    def pop_empty_returns_none(self):
+        assert self.queue.pop() is None
+
+    @invariant()
+    def vclock_never_rewinds(self):
+        assert self.queue._vclock >= self.last_vclock
+        self.last_vclock = self.queue._vclock
+
+    @invariant()
+    def sizes_agree_with_model(self):
+        for tenant, serials in self.model.items():
+            assert self.queue.qsize(tenant) == len(serials)
+        assert self.queue.qsize() == sum(len(s) for s in self.model.values())
+        assert self.queue.empty() == (self.queue.qsize() == 0)
+
+
+TestFairShareStateful = FairShareMachine.TestCase
+TestFairShareStateful.settings = settings(max_examples=40, deadline=None)

@@ -1,0 +1,359 @@
+"""Fault-injection helpers shared by the TCP and HTTP gateway test suites.
+
+Three fault shapes, matching how the service layer actually fails in the
+wild:
+
+* :class:`FaultyProxy` — a TCP proxy that understands the repo's 4-byte
+  length-prefixed framing and can sever connections after forwarding a
+  chosen number of server->client frames (deterministic mid-stream cuts),
+  sever everything immediately, or stall (stop forwarding while keeping the
+  sockets open — the classic half-dead connection).
+* :class:`StalledReader` — a protocol-correct peer that registers, says
+  hello, then never reads again, so the server-side socket buffer fills.
+  Exercises the gateway's dedicated-sender isolation: one comatose tenant
+  must not block anyone else's results.
+* :class:`GatewayHarness` — runs a gateway (and optionally an HTTP edge) on
+  *stable* ports over one long-lived DataFlowKernel, with ``kill()`` /
+  ``restart()``, so tests can crash the service mid-run and assert that
+  clients reconnect to the reincarnation at the same address.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.comms.protocol import recv_frame, send_frame
+from repro.service import protocol
+from repro.service.gateway import WorkflowGateway
+from repro.service.http_edge import HttpEdge
+
+_HEADER = struct.Struct("!I")
+
+
+def wait_for(predicate, timeout=10.0, interval=0.01):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port number (released immediately; SO_REUSEADDR
+    on the eventual listener makes the tiny race window a non-issue here)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class _ProxyLink:
+    """One proxied connection: client socket + upstream socket + pumps."""
+
+    def __init__(self, proxy: "FaultyProxy", client: socket.socket):
+        self.proxy = proxy
+        self.client = client
+        self.upstream = socket.create_connection(
+            (proxy.target_host, proxy.target_port), timeout=5.0
+        )
+        self.upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.alive = True
+        self.threads = [
+            threading.Thread(target=self._pump_up, name="proxy-up", daemon=True),
+            threading.Thread(target=self._pump_down, name="proxy-down", daemon=True),
+        ]
+        for t in self.threads:
+            t.start()
+
+    def _pump_up(self) -> None:
+        """client -> server: raw byte relay (frames counted downstream only)."""
+        try:
+            while self.alive:
+                self.proxy.stall_gate.wait()
+                data = self.client.recv(65536)
+                if not data:
+                    break
+                self.upstream.sendall(data)
+        except OSError:
+            pass
+        self.close()
+
+    def _pump_down(self) -> None:
+        """server -> client: frame-by-frame relay so cuts land on frame
+        boundaries and ``drop_after`` counts are exact. In unframed mode
+        (HTTP) the relay is raw chunks and ``drop_after`` counts chunks."""
+        if not self.proxy.framed:
+            try:
+                while self.alive:
+                    self.proxy.stall_gate.wait()
+                    data = self.upstream.recv(65536)
+                    if not data:
+                        break
+                    if not self.proxy._admit_frame():
+                        self.close()
+                        return
+                    self.client.sendall(data)
+            except OSError:
+                pass
+            self.close()
+            return
+        buffer = b""
+        try:
+            while self.alive:
+                self.proxy.stall_gate.wait()
+                while len(buffer) >= _HEADER.size:
+                    (length,) = _HEADER.unpack_from(buffer)
+                    end = _HEADER.size + length
+                    if len(buffer) < end:
+                        break
+                    frame, buffer = buffer[:end], buffer[end:]
+                    if not self.proxy._admit_frame():
+                        self.close()
+                        return
+                    self.client.sendall(frame)
+                data = self.upstream.recv(65536)
+                if not data:
+                    break
+                buffer += data
+        except OSError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        self.alive = False
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class FaultyProxy:
+    """TCP proxy between a client and a gateway with injectable faults.
+
+    Point a client at ``proxy.host:proxy.port``; traffic flows to
+    ``target_host:target_port`` until a fault is injected. Reconnections
+    through the proxy get fresh, healthy links (faults are one-shot unless
+    re-armed), which is exactly what reconnect-and-resume tests need.
+    """
+
+    def __init__(self, target_host: str, target_port: int, host: str = "127.0.0.1",
+                 framed: bool = True):
+        self.target_host = target_host
+        self.target_port = target_port
+        #: True for the gateway's length-prefixed TCP protocol (cuts land on
+        #: frame boundaries); False for byte streams like HTTP/SSE, where
+        #: ``drop_after`` counts relay chunks instead of protocol frames.
+        self.framed = framed
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()
+        self.frames_forwarded = 0
+        self._drop_after: Optional[int] = None
+        #: Cleared to pause both pump directions (stalled connection).
+        self.stall_gate = threading.Event()
+        self.stall_gate.set()
+        self._lock = threading.Lock()
+        self._links: List[_ProxyLink] = []
+        self._stopping = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                link = _ProxyLink(self, client)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._links = [lnk for lnk in self._links if lnk.alive]
+                self._links.append(link)
+
+    def _admit_frame(self) -> bool:
+        """Called by pumps before forwarding each server->client frame."""
+        with self._lock:
+            if self._drop_after is not None and self.frames_forwarded >= self._drop_after:
+                self._drop_after = None  # one-shot: reconnects start healthy
+                return False
+            self.frames_forwarded += 1
+            return True
+
+    # -- fault controls -------------------------------------------------
+    def drop_after(self, n_more_frames: int) -> None:
+        """Sever the link carrying the (current + n)-th server->client frame."""
+        with self._lock:
+            self._drop_after = self.frames_forwarded + n_more_frames
+
+    def sever_all(self) -> None:
+        """Cut every live proxied connection right now (partition)."""
+        with self._lock:
+            links, self._links = self._links, []
+        for link in links:
+            link.close()
+
+    def stall(self) -> None:
+        """Stop forwarding in both directions, keeping sockets open."""
+        self.stall_gate.clear()
+
+    def resume(self) -> None:
+        self.stall_gate.set()
+
+    def live_links(self) -> int:
+        with self._lock:
+            self._links = [lnk for lnk in self._links if lnk.alive]
+            return len(self._links)
+
+    def close(self) -> None:
+        self._stopping = True
+        self.resume()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.sever_all()
+
+    def __enter__(self) -> "FaultyProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StalledReader:
+    """A registered, authenticated peer that stops reading after hello.
+
+    Submits can still be pushed through :meth:`send`; the receive side is
+    never drained, so gateway->client results pile up in kernel socket
+    buffers. The gateway's sender thread must skip past this tenant without
+    stalling others.
+    """
+
+    def __init__(self, host: str, port: int, tenant: str,
+                 token: Optional[str] = None, identity: str = "stalled-reader"):
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Shrink our receive buffer so "stalled" bites after a handful of
+        # frames instead of megabytes of kernel buffering.
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        send_frame(self.sock, {"identity": identity, "kind": "stalled-reader"})
+        send_frame(self.sock, protocol.hello(tenant, token))
+        self.sock.settimeout(5.0)
+        self.welcome = recv_frame(self.sock)  # the last read we ever do
+        self.sock.settimeout(None)
+
+    def submit(self, cid: int, buffer: bytes) -> None:
+        send_frame(self.sock, protocol.submit(cid, buffer))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class GatewayHarness:
+    """A killable/restartable gateway (+ optional HTTP edge) on fixed ports.
+
+    The DataFlowKernel survives restarts — only the service layer dies, the
+    same blast radius as a real gateway crash — and because the ports are
+    pinned, clients retrying their last-known address reach the new
+    incarnation. A restarted gateway has **no sessions**: resumes are
+    answered with auth errors (HTTP 410 through the edge), which is what
+    drives the client-side fresh-session + resubmit recovery path.
+    """
+
+    def __init__(self, dfk, token_store=None, with_http: bool = False,
+                 registry=None, **gateway_kwargs):
+        self.dfk = dfk
+        self.token_store = token_store
+        self.with_http = with_http
+        self.registry = dict(registry or {})
+        self.gateway_kwargs = gateway_kwargs
+        self.gw_port = free_port()
+        self.http_port = free_port() if with_http else None
+        self.gateway: Optional[WorkflowGateway] = None
+        self.edge: Optional[HttpEdge] = None
+        self.incarnation = 0
+
+    # -- addresses ------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return ("127.0.0.1", self.gw_port)
+
+    @property
+    def http_url(self) -> str:
+        assert self.http_port is not None
+        return f"http://127.0.0.1:{self.http_port}"
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "GatewayHarness":
+        assert self.gateway is None, "already running"
+        # Rebinding the pinned port can race sockets of the previous
+        # incarnation that are still draining; retry briefly.
+        deadline = time.time() + 5.0
+        while True:
+            try:
+                self.gateway = WorkflowGateway(
+                    self.dfk, host="127.0.0.1", port=self.gw_port,
+                    token_store=self.token_store, **self.gateway_kwargs,
+                ).start()
+                break
+            except OSError:
+                if time.time() > deadline:
+                    raise
+                time.sleep(0.05)
+        if self.with_http:
+            self.edge = HttpEdge(self.gateway, host="127.0.0.1", port=self.http_port,
+                                 registry=self.registry)
+            self.edge.start()
+        self.incarnation += 1
+        return self
+
+    def kill(self) -> None:
+        """Tear the service down (edge first, then gateway). In-flight DFK
+        tasks keep running; their results go nowhere until a client
+        resubmits after the restart."""
+        if self.edge is not None:
+            self.edge.stop()
+            self.edge = None
+        if self.gateway is not None:
+            self.gateway.stop()
+            self.gateway = None
+
+    def restart(self, settle_s: float = 0.05) -> "GatewayHarness":
+        self.kill()
+        # SO_REUSEADDR lets the new listener take the port immediately, but
+        # give lingering reader threads a beat to drain on a 1-core box.
+        time.sleep(settle_s)
+        return self.start()
+
+    def close(self) -> None:
+        self.kill()
+
+    def __enter__(self) -> "GatewayHarness":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,232 @@
+"""Reconnect-and-resume behaviour of the HTTP/SSE edge and the
+:class:`AsyncServiceClient` SDK under injected faults (see :mod:`faults`).
+
+The acceptance bar (mirrors ISSUE 6): kill the gateway mid-run with a fleet
+of streaming HTTP clients — every client recovers every acked result, with
+zero duplicate deliveries.
+"""
+
+import asyncio
+import http.client
+import json
+import time
+
+import pytest
+
+import repro
+from repro import Config
+from repro.executors import ThreadPoolExecutor
+from repro.service import AsyncServiceClient, WorkflowGateway
+from repro.service.http_edge import HttpEdge
+
+from faults import FaultyProxy, GatewayHarness, wait_for
+
+
+def double(x):
+    return x * 2
+
+
+def slow_double(x, duration=0.2):
+    time.sleep(duration)
+    return x * 2
+
+
+#: (arg) log of executions of the registered ``bump`` fn, for dedup asserts.
+BUMP_CALLS = []
+
+
+def bump(x, duration=0.0):
+    if duration:
+        time.sleep(duration)
+    BUMP_CALLS.append(x)
+    return x + 1
+
+
+REGISTRY = {"double": double, "bump": bump}
+
+
+@pytest.fixture
+def gw_dfk(run_dir):
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=8)],
+        run_dir=run_dir,
+        strategy="none",
+    )
+    dfk = repro.load(cfg)
+    yield dfk
+    repro.clear()
+
+
+@pytest.fixture
+def edge(gw_dfk):
+    with WorkflowGateway(gw_dfk, session_ttl_s=10.0) as gw:
+        server = HttpEdge(gw, registry=REGISTRY)
+        server.start()
+        try:
+            yield server
+        finally:
+            server.stop()
+
+
+def http_json(host, port, method, path, body=None, headers=None, timeout=15):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, path, payload, dict(headers or {}))
+    resp = conn.getresponse()
+    data = resp.read()
+    conn.close()
+    return resp.status, json.loads(data) if data else {}
+
+
+class RecordingClient(AsyncServiceClient):
+    """An AsyncServiceClient that records which cid each delivery resolved,
+    so tests can assert exactly-once delivery (not just eventual results)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.resolved = []  # cids, in resolution order
+
+    def _deliver(self, event):
+        try:
+            cid = int(event.task_status().task_id.rsplit(":", 1)[1])
+        except (ValueError, KeyError):
+            cid = None
+        handle = self._handles.get(cid) if cid is not None else None
+        was_done = handle is not None and handle.future.done()
+        super()._deliver(event)
+        if handle is not None and handle.future.done() and not was_done:
+            self.resolved.append(cid)
+
+
+class TestSseResumeUnderFaults:
+    def test_sse_cut_mid_stream_delivers_everything_exactly_once(self, edge):
+        """Sever every HTTP connection (SSE included) partway through the
+        result stream: the SDK reconnects with Last-Event-ID and the replay
+        fills in exactly what was missed — every future resolves, and no cid
+        is delivered twice."""
+
+        async def main():
+            with FaultyProxy(edge.host, edge.port, framed=False) as proxy:
+                client = RecordingClient(f"http://{proxy.host}:{proxy.port}",
+                                         tenant="alice")
+                async with client:
+                    handles = [await client.submit(slow_double, i)
+                               for i in range(6)]
+                    # Let at least one result flow through the doomed
+                    # connection so the cut lands mid-stream.
+                    assert await handles[0].result(timeout=30) == 0
+                    proxy.sever_all()
+                    values = [await h.result(timeout=30) for h in handles]
+                    assert values == [i * 2 for i in range(6)]
+                    assert sorted(client.resolved) == list(range(6))
+                    assert len(client.resolved) == 6  # exactly once each
+
+        asyncio.run(main())
+
+
+class TestDuplicateResubmission:
+    def test_duplicate_cid_of_finished_task_does_not_rerun(self, edge):
+        """Resubmitting a client_task_id whose result is already known is
+        answered 202 without executing the function again."""
+        BUMP_CALLS.clear()
+        headers = {"X-Repro-Tenant": "alice"}
+        _status, opened = http_json(edge.host, edge.port, "POST", "/v1/session",
+                                    {}, headers)
+        sess = {**headers, "X-Repro-Session": opened["session"],
+                "X-Repro-Session-Token": opened["session_token"]}
+        body = {"fn": "bump", "args": [41], "client_task_id": 3}
+        status, reply = http_json(edge.host, edge.port, "POST", "/v1/tasks",
+                                  body, sess)
+        assert status == 202
+        task_id = reply["task_id"]
+        assert wait_for(
+            lambda: http_json(edge.host, edge.port, "GET", f"/v1/tasks/{task_id}",
+                              None, sess)[1].get("status") == "done",
+            timeout=15,
+        )
+        status, reply = http_json(edge.host, edge.port, "POST", "/v1/tasks",
+                                  body, sess)
+        assert status == 202
+        assert reply["task_id"] == task_id
+        assert BUMP_CALLS.count(41) == 1
+
+    def test_duplicate_cid_while_running_executes_once(self, edge):
+        """A duplicate submit racing the original's execution is coalesced:
+        both get 202, the function runs once, one result is delivered."""
+        BUMP_CALLS.clear()
+        headers = {"X-Repro-Tenant": "alice"}
+        _status, opened = http_json(edge.host, edge.port, "POST", "/v1/session",
+                                    {}, headers)
+        sess = {**headers, "X-Repro-Session": opened["session"],
+                "X-Repro-Session-Token": opened["session_token"]}
+        body = {"fn": "bump", "args": [7], "kwargs": {"duration": 0.3},
+                "client_task_id": 9}
+        for _ in range(2):  # original + racing duplicate
+            status, reply = http_json(edge.host, edge.port, "POST", "/v1/tasks",
+                                      body, sess)
+            assert status == 202
+        task_id = reply["task_id"]
+        assert wait_for(
+            lambda: http_json(edge.host, edge.port, "GET", f"/v1/tasks/{task_id}",
+                              None, sess)[1].get("status") == "done",
+            timeout=15,
+        )
+        assert BUMP_CALLS.count(7) == 1
+
+
+class TestGatewayRestartAcceptance:
+    N_CLIENTS = 32
+
+    def test_32_streaming_clients_recover_every_acked_result(self, gw_dfk):
+        """ISSUE 6 acceptance: 32 HTTP clients streaming, gateway killed
+        mid-run. Every acked submission resolves to the right value, every
+        client's delivery log covers each cid exactly once, and submissions
+        made after the restart land in the recovered sessions."""
+
+        async def run_client(i, client):
+            base = i * 100
+            # Acked AND delivered before the crash.
+            warm = await client.submit(double, base)
+            assert await warm.result(timeout=60) == base * 2
+            # Acked, still running at the crash: their results are lost with
+            # the old gateway and must come back via resubmission.
+            inflight = [await client.submit(slow_double, base + j)
+                        for j in (1, 2)]
+            return [warm] + inflight
+
+        async def finish_client(i, client, handles):
+            base = i * 100
+            # Post-restart submission: exercises 410 -> fresh session.
+            late = await client.submit(double, base + 3)
+            handles.append(late)
+            values = [await h.result(timeout=60) for h in handles]
+            assert values == [base * 2, (base + 1) * 2, (base + 2) * 2,
+                              (base + 3) * 2]
+            assert sorted(client.resolved) == [0, 1, 2, 3]
+            assert len(client.resolved) == 4  # zero duplicate deliveries
+
+        async def main(harness):
+            clients = [
+                RecordingClient(harness.http_url, tenant=f"tenant-{i:02d}",
+                                request_timeout=15)
+                for i in range(self.N_CLIENTS)
+            ]
+            await asyncio.gather(*(c.open() for c in clients))
+            try:
+                all_handles = await asyncio.gather(
+                    *(run_client(i, c) for i, c in enumerate(clients))
+                )
+                # Off-loop so the clients live through the outage in real
+                # time (reconnect backoff, refused connections) instead of
+                # the world pausing while the gateway restarts.
+                await asyncio.to_thread(harness.restart, 0.2)
+                await asyncio.gather(
+                    *(finish_client(i, c, h)
+                      for i, (c, h) in enumerate(zip(clients, all_handles)))
+                )
+            finally:
+                await asyncio.gather(*(c.close() for c in clients),
+                                     return_exceptions=True)
+
+        with GatewayHarness(gw_dfk, with_http=True, registry=REGISTRY) as harness:
+            asyncio.run(main(harness))

@@ -1,0 +1,226 @@
+"""Reconnect-and-resume behaviour of the TCP service stack under injected
+faults (see :mod:`faults` for the injection helpers)."""
+
+import time
+
+import pytest
+
+import repro
+from repro import Config
+from repro.comms.client import MessageClient
+from repro.errors import ServiceError
+from repro.executors import ThreadPoolExecutor
+from repro.serialize import pack_apply_message
+from repro.service import ServiceClient, WorkflowGateway, protocol
+
+from faults import FaultyProxy, GatewayHarness, StalledReader, wait_for
+
+
+def double(x):
+    return x * 2
+
+
+def slow_double(x, duration=0.02):
+    time.sleep(duration)
+    return x * 2
+
+
+@pytest.fixture
+def gw_dfk(run_dir):
+    cfg = Config(
+        executors=[ThreadPoolExecutor(label="threads", max_threads=4)],
+        run_dir=run_dir,
+        strategy="none",
+    )
+    dfk = repro.load(cfg)
+    yield dfk
+    repro.clear()
+
+
+@pytest.fixture
+def gateway(gw_dfk):
+    with WorkflowGateway(gw_dfk, session_ttl_s=10.0) as gw:
+        yield gw
+
+
+class TestFaultyProxy:
+    def test_passthrough_roundtrip(self, gateway):
+        """The proxy itself is transparent when no fault is armed."""
+        with FaultyProxy(gateway.host, gateway.port) as proxy:
+            with ServiceClient(proxy.host, proxy.port, tenant="alice") as client:
+                futures = [client.submit(double, i) for i in range(5)]
+                assert [f.result(timeout=10) for f in futures] == [0, 2, 4, 6, 8]
+            assert proxy.frames_forwarded >= 6  # welcome + 5 results at least
+
+    def test_drop_mid_stream_recovers_every_acked_result(self, gateway):
+        """Cut the link partway through the result stream: the client must
+        resume the session and recover every result, including those that
+        completed while it was disconnected."""
+        with FaultyProxy(gateway.host, gateway.port) as proxy:
+            client = ServiceClient(
+                proxy.host, proxy.port, tenant="alice",
+                reconnect_interval=0.05, max_reconnect_attempts=20,
+            )
+            try:
+                # Arm the cut mid-run: welcome(1) + ~20 accepted frames land
+                # first, so frame ~30 falls inside the result stream.
+                proxy.drop_after(30)
+                futures = [client.submit(slow_double, i) for i in range(20)]
+                assert [f.result(timeout=30) for f in futures] == [
+                    i * 2 for i in range(20)
+                ]
+                assert client.reconnects >= 1
+            finally:
+                client.close()
+
+    def test_partition_heals(self, gateway):
+        """sever_all mid-flight looks like a network partition; reconnects
+        through the proxy get fresh healthy links and the run completes."""
+        with FaultyProxy(gateway.host, gateway.port) as proxy:
+            client = ServiceClient(
+                proxy.host, proxy.port, tenant="alice",
+                reconnect_interval=0.05, max_reconnect_attempts=20,
+            )
+            try:
+                futures = [client.submit(slow_double, i) for i in range(16)]
+                proxy.sever_all()
+                assert [f.result(timeout=30) for f in futures] == [
+                    i * 2 for i in range(16)
+                ]
+                assert client.reconnects >= 1
+            finally:
+                client.close()
+
+    def test_stall_then_resume_delivers_without_reconnect(self, gateway):
+        """A stalled (not severed) link delays results; once forwarding
+        resumes they arrive on the same connection — no resume needed."""
+        with FaultyProxy(gateway.host, gateway.port) as proxy:
+            client = ServiceClient(proxy.host, proxy.port, tenant="alice")
+            try:
+                first = client.submit(double, 1)
+                assert first.result(timeout=10) == 2
+                proxy.stall()
+                futures = [client.submit(double, i) for i in range(4)]
+                time.sleep(0.3)
+                assert not any(f.done() for f in futures)
+                proxy.resume()
+                assert [f.result(timeout=10) for f in futures] == [0, 2, 4, 6]
+                assert client.reconnects == 0
+            finally:
+                client.close()
+
+
+class TestExactResume:
+    def test_replay_is_exactly_the_unseen_suffix(self, gateway):
+        """Resume with last_seq=k replays seqs {k+1..n} — nothing more,
+        nothing less, no duplicates."""
+        first = MessageClient(gateway.host, gateway.port)
+        first.send(protocol.hello("alice"))
+        welcome = first.recv(timeout=5)
+        assert welcome["type"] == "welcome"
+
+        for cid in range(10):
+            first.send(protocol.submit(cid, pack_apply_message(double, (cid,), {})))
+        seqs = []
+        deadline = time.time() + 15
+        while len(seqs) < 10 and time.time() < deadline:
+            message = first.recv(timeout=deadline - time.time())
+            if message and message.get("type") == "result":
+                seqs.append(message["seq"])
+        assert sorted(seqs) == list(range(1, 11))
+        first.close()  # abrupt: no goodbye, session stays resumable
+
+        second = MessageClient(gateway.host, gateway.port)
+        second.send(
+            protocol.hello(
+                "alice",
+                session=welcome["session"],
+                session_token=welcome["session_token"],
+                last_seq=6,
+            )
+        )
+        replayed = []
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            message = second.recv(timeout=0.5)
+            if message is None:
+                break  # the replay train has drained
+            if message.get("type") == "welcome":
+                assert message["resumed"] is True
+            elif message.get("type") == "result":
+                replayed.append(message["seq"])
+        second.close()
+        assert replayed == [7, 8, 9, 10]
+
+
+class TestStalledReader:
+    def test_stalled_tenant_does_not_block_others(self, gateway):
+        """A tenant that stops reading must not stall result delivery for
+        healthy tenants (the dedicated sender thread's whole purpose)."""
+        sloth = StalledReader(gateway.host, gateway.port, tenant="sloth")
+        try:
+            for cid in range(20):
+                sloth.submit(cid, pack_apply_message(double, (cid,), {}))
+            with ServiceClient(gateway.host, gateway.port, tenant="alice") as client:
+                futures = [client.submit(double, i) for i in range(10)]
+                assert [f.result(timeout=15) for f in futures] == [
+                    i * 2 for i in range(10)
+                ]
+            # The gateway finished sloth's work server-side even though the
+            # results can't drain to it.
+            assert wait_for(
+                lambda: gateway.stats().get("sloth", {}).get("completed") == 20,
+                timeout=15,
+            )
+        finally:
+            sloth.close()
+
+
+class TestGatewayRestart:
+    def test_restart_fails_tcp_futures_cleanly(self, gw_dfk):
+        """A gateway restart loses sessions: the TCP client's resume is
+        rejected and outstanding futures fail with ServiceError — a clean,
+        prompt signal, never a silent hang."""
+        with GatewayHarness(gw_dfk) as harness:
+            client = ServiceClient(
+                *harness.address, tenant="alice",
+                reconnect_interval=0.05, max_reconnect_attempts=30,
+                connect_timeout=2.0,
+            )
+            try:
+                warm = client.submit(double, 1)
+                assert warm.result(timeout=10) == 2
+                # Slow enough that nothing completes before the restart.
+                futures = [client.submit(slow_double, i, 0.5) for i in range(8)]
+                harness.restart()
+                for future in futures:
+                    with pytest.raises(ServiceError):
+                        future.result(timeout=30)
+            finally:
+                client.close()
+
+    def test_close_interrupts_reconnect_backoff(self, gw_dfk):
+        """Regression: close() used to wait out time.sleep(reconnect_interval)
+        inside the reconnect loop. With a long interval, closing a
+        reconnecting client must still return promptly and reap its receiver
+        thread."""
+        harness = GatewayHarness(gw_dfk).start()
+        client = ServiceClient(
+            *harness.address, tenant="alice",
+            reconnect_interval=60.0,  # pathological on purpose
+            max_reconnect_attempts=5,
+            connect_timeout=0.2,
+        )
+        try:
+            assert client.submit(double, 2).result(timeout=10) == 4
+            harness.kill()  # connection dies; reconnect loop starts failing
+            # Let the receiver enter the reconnect backoff sleep.
+            assert wait_for(lambda: not client._transport.connected, timeout=5)
+            time.sleep(0.5)
+            started = time.monotonic()
+            client.close()
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0, f"close() took {elapsed:.1f}s (stuck in backoff)"
+            assert wait_for(lambda: not client._receiver.is_alive(), timeout=5)
+        finally:
+            harness.close()
