@@ -195,6 +195,9 @@ class AsyncServiceClient:
         self._consumer: Optional[asyncio.Task] = None
         self._recover_lock = asyncio.Lock()
         self._session_epoch = 0
+        #: Epoch captured when the live SSE stream attached; _deliver drops
+        #: events once _recover_session has bumped _session_epoch past it.
+        self._stream_epoch = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -423,6 +426,11 @@ class AsyncServiceClient:
         session = self.session
         if session is None:
             return
+        # Events buffered in this connection's reader can arrive after a
+        # concurrent _recover_session reset _last_event_id; the epoch captured
+        # at attach time lets _deliver drop such stale deliveries instead of
+        # re-advancing the cursor and skipping the new session's replay.
+        epoch = self._stream_epoch = self._session_epoch
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.host, self.port),
             timeout=self._pool.connect_timeout,
@@ -442,6 +450,8 @@ class AsyncServiceClient:
                 if event.event == "done":
                     return  # server ended the stream; reconnect resumes
                 self._deliver(event)
+                if self._session_epoch != epoch:
+                    return  # session recovered underneath us; reattach fresh
         finally:
             try:
                 writer.close()
@@ -481,6 +491,12 @@ class AsyncServiceClient:
                 data_lines.append(value)
 
     def _deliver(self, event: StreamEvent) -> None:
+        if self._stream_epoch != self._session_epoch:
+            # Stale stream: the event was buffered before _recover_session
+            # superseded this connection. Neither advance the cursor (it was
+            # reset for the new session's replay) nor resolve futures from
+            # old-session data.
+            return
         if event.id is not None:
             self._last_event_id = max(self._last_event_id, event.id)
         status = event.task_status()
@@ -503,6 +519,9 @@ class AsyncServiceClient:
                 handle.future.set_exception(
                     ServiceError(status.error_message or "task failed")
                 )
+        # The task is finished: drop its bookkeeping so a long-lived client
+        # does not accumulate one resolved handle (+ payload) per task.
+        self._handles.pop(cid_int, None)
         self._pending_bodies.pop(cid_int, None)
         if self._inflight is not None:
             self._inflight.release()

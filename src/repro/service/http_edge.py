@@ -61,7 +61,6 @@ from __future__ import annotations
 import asyncio
 import base64
 import importlib
-import itertools
 import json
 import logging
 import threading
@@ -101,6 +100,10 @@ RETRY_AFTER_S = 0.1
 #: Per-stream buffered-event bound: a reader this far behind is disconnected
 #: and must resume via Last-Event-ID (results stay in the replay buffer).
 STREAM_QUEUE_LIMIT = 256
+
+#: Largest client-supplied ``client_task_id`` the edge accepts (2**53 - 1,
+#: the largest integer every JSON consumer can represent exactly).
+MAX_CLIENT_TASK_ID = (1 << 53) - 1
 
 _STREAM_CLOSE = object()  # sentinel: end the SSE stream gracefully
 
@@ -145,7 +148,7 @@ class _EdgeSession:
         self.identity = identity
         self.tenant = tenant
         self.info: Optional[SessionInfo] = None
-        self.cid_counter = itertools.count()
+        self.next_cid = 0
         self.last_used = time.monotonic()
         #: cid -> future resolved by the accepted/busy/error reply.
         self.acks: Dict[int, asyncio.Future] = {}
@@ -166,15 +169,18 @@ class _EdgeSession:
 
     def claim_cid(self, requested: Optional[int]) -> int:
         if requested is not None:
+            if not 0 <= requested <= MAX_CLIENT_TASK_ID:
+                raise _HttpError(
+                    400,
+                    f"client_task_id must be in [0, {MAX_CLIENT_TASK_ID}]",
+                )
             # Keep the auto-assign counter ahead of explicit ids so the two
             # schemes can mix within a session without colliding.
-            while True:
-                nxt = next(self.cid_counter)
-                if nxt > requested:
-                    self.cid_counter = itertools.count(nxt)
-                    break
+            self.next_cid = max(self.next_cid, requested + 1)
             return requested
-        return next(self.cid_counter)
+        cid = self.next_cid
+        self.next_cid += 1
+        return cid
 
 
 class HttpEdge:
@@ -382,8 +388,16 @@ class HttpEdge:
         except asyncio.QueueFull:
             # A reader this far behind is presumed stalled: drop the stream
             # (it resumes with Last-Event-ID) instead of buffering unboundedly.
+            # Make room for the close sentinel so the serving coroutine stops
+            # draining into the stalled socket instead of sitting on ~256
+            # buffered events; the dropped event stays in the replay buffer.
             logger.warning("http edge dropping stalled stream for %s", ses.identity)
             ses.stream = None
+            try:
+                queue.get_nowait()
+                queue.put_nowait(_STREAM_CLOSE)
+            except (asyncio.QueueEmpty, asyncio.QueueFull):
+                pass
 
     # ------------------------------------------------------------------
     # Session management (all on the loop thread)
@@ -506,7 +520,13 @@ class HttpEdge:
             name, sep, value = line.decode("latin-1").partition(":")
             if sep:
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length") or 0)
+        raw_length = headers.get("content-length")
+        try:
+            length = int(raw_length) if raw_length else 0
+        except ValueError:
+            raise _HttpError(400, f"malformed Content-Length {raw_length!r}")
+        if length < 0:
+            raise _HttpError(400, f"negative Content-Length {length}")
         if length > self.max_body:
             raise _HttpError(413, f"body of {length} bytes exceeds limit {self.max_body}")
         body = await reader.readexactly(length) if length else b""
@@ -782,6 +802,14 @@ class HttpEdge:
     # ------------------------------------------------------------------
     # SSE
     # ------------------------------------------------------------------
+    async def _drain_bounded(self, writer: asyncio.StreamWriter) -> None:
+        """``drain()`` with a deadline: a reader that stops consuming must
+        not pin the serving coroutine in a flow-control wait forever."""
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            raise ConnectionError("SSE client stopped reading; dropping stream")
+
     async def _route_stream(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
         tenant, token = self._authenticate(request)
         sid, stoken = self._session_credentials(request)
@@ -846,24 +874,24 @@ class HttpEdge:
             "Connection: close\r\n"
             "X-Accel-Buffering: no\r\n\r\n"
         )
-        writer.write(headers.encode("latin-1"))
-        await writer.drain()
-        if superseded:
-            writer.write(b"event: done\ndata: {\"reason\": \"superseded\"}\n\n")
-            await writer.drain()
-            return False
         written_seq = last_seq
         try:
+            writer.write(headers.encode("latin-1"))
+            await self._drain_bounded(writer)
+            if superseded:
+                writer.write(b"event: done\ndata: {\"reason\": \"superseded\"}\n\n")
+                await self._drain_bounded(writer)
+                return False
             while True:
                 try:
                     item = await asyncio.wait_for(queue.get(), timeout=self.sse_keepalive_s)
                 except asyncio.TimeoutError:
                     writer.write(b": keepalive\n\n")
-                    await writer.drain()
+                    await self._drain_bounded(writer)
                     continue
                 if item is _STREAM_CLOSE:
                     writer.write(b"event: done\ndata: {\"reason\": \"superseded\"}\n\n")
-                    await writer.drain()
+                    await self._drain_bounded(writer)
                     break
                 seq = int(item.get("seq") or 0)
                 if seq <= written_seq:
@@ -873,7 +901,7 @@ class HttpEdge:
                 event = "result" if status.success else "error"
                 data = json.dumps(status.to_json())
                 writer.write(f"id: {seq}\nevent: {event}\ndata: {data}\n\n".encode("utf-8"))
-                await writer.drain()
+                await self._drain_bounded(writer)
                 ses.touch()
         except (ConnectionError, asyncio.CancelledError, OSError):
             pass

@@ -123,6 +123,22 @@ class TestSseResumeUnderFaults:
 
         asyncio.run(main())
 
+    def test_resolved_handles_are_released(self, edge):
+        """Regression: a long-lived client used to keep one AsyncTaskHandle
+        (and its result payload) per finished task forever; delivery must
+        drop the bookkeeping once the future resolves."""
+
+        async def main():
+            async with AsyncServiceClient(f"http://{edge.host}:{edge.port}",
+                                          tenant="alice") as client:
+                handles = [await client.submit(double, i) for i in range(8)]
+                assert [await h.result(timeout=30) for h in handles] \
+                    == [i * 2 for i in range(8)]
+                assert client._handles == {}
+                assert client._pending_bodies == {}
+
+        asyncio.run(main())
+
 
 class TestDuplicateResubmission:
     def test_duplicate_cid_of_finished_task_does_not_rerun(self, edge):

@@ -138,6 +138,24 @@ class TestBasics:
         assert response.status == 400
         conn.close()
 
+    @pytest.mark.parametrize("raw_length", ["nope", "-1", "1e3"])
+    def test_bad_content_length_is_clean_400(self, edge, raw_length):
+        """Regression: a malformed or negative Content-Length used to raise
+        an uncaught ValueError that killed the connection with no reply."""
+        import socket
+
+        with socket.create_connection((edge.host, edge.port), timeout=10) as sock:
+            sock.sendall(
+                (
+                    "POST /v1/session HTTP/1.1\r\n"
+                    "Host: test\r\n"
+                    "X-Repro-Tenant: alice\r\n"
+                    f"Content-Length: {raw_length}\r\n\r\n"
+                ).encode("latin-1")
+            )
+            reply = sock.recv(65536).decode("latin-1", "replace")
+        assert reply.startswith("HTTP/1.1 400 "), reply
+
     def test_session_open_and_release(self, edge):
         session = open_session(edge)
         assert session["session"] and session["session_token"]
@@ -208,6 +226,46 @@ class TestSubmission:
             session_headers(session),
         )
         assert status == 400
+
+    def test_huge_client_task_id_accepted_in_constant_time(self, edge):
+        """Regression: an explicit client_task_id near the top of the allowed
+        range must not spin the event loop catching the auto-assign counter
+        up one step at a time (it used to iterate `requested` times)."""
+        from repro.service.http_edge import MAX_CLIENT_TASK_ID
+
+        session = open_session(edge)
+        big = MAX_CLIENT_TASK_ID - 1
+        start = time.monotonic()
+        status, _h, accepted = request(
+            edge, "POST", "/v1/tasks",
+            {"fn": "double", "args": [3], "client_task_id": big},
+            session_headers(session),
+        )
+        elapsed = time.monotonic() - start
+        assert status == 202
+        assert accepted["client_task_id"] == big
+        assert elapsed < 5.0  # O(1) bookkeeping, not O(requested) spinning
+        # The auto-assign counter jumped past the explicit id: a follow-up
+        # implicit submit must not collide with it.
+        status, _h, follow = request(
+            edge, "POST", "/v1/tasks",
+            {"fn": "double", "args": [4]}, session_headers(session),
+        )
+        assert status == 202
+        assert follow["client_task_id"] == big + 1
+
+    def test_out_of_range_client_task_id_is_400(self, edge):
+        from repro.service.http_edge import MAX_CLIENT_TASK_ID
+
+        session = open_session(edge)
+        for bad in (-1, MAX_CLIENT_TASK_ID + 1, 10**18):
+            status, _h, body = request(
+                edge, "POST", "/v1/tasks",
+                {"fn": "double", "args": [1], "client_task_id": bad},
+                session_headers(session),
+            )
+            assert status == 400, bad
+            assert "client_task_id" in body["error"]
 
     def test_failure_surfaces_error_type_and_message(self, edge):
         session = open_session(edge)
