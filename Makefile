@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http coverage lint mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http bench-shard coverage lint docs-lint linkcheck mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -46,6 +46,13 @@ bench-http:
 	$(PYTHON) -m pytest -q benchmarks/test_http_edge.py \
 		--benchmark-json=BENCH_http_edge.json
 
+# The sharded-gateway bench (4-shard vs 1-shard aggregate throughput,
+# shard-kill recovery with 32 clients, gateway kill -9 over the durable
+# SQLite store) at full scale.
+bench-shard:
+	$(PYTHON) -m pytest -q benchmarks/test_shard_scale.py \
+		--benchmark-json=BENCH_shard_scale.json
+
 # Line coverage with a floor on the service layer (gateway + HTTP edge +
 # both SDKs). Needs pytest-cov; skips gracefully where absent.
 coverage:
@@ -77,8 +84,24 @@ lint:
 		echo "ruff not installed — skipping lint (pip install ruff)"; \
 	fi
 
+# Public-API docstring gate for the service layer: the stdlib AST checker
+# always runs; ruff's pydocstyle D1 rules run additionally when available.
+docs-lint:
+	$(PYTHON) tools/check_docstrings.py
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check --select D1 src/repro/service; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check --select D1 src/repro/service; \
+	else \
+		echo "ruff not installed — stdlib docstring check only (pip install ruff)"; \
+	fi
+
+# Intra-repo markdown link check (stdlib only).
+linkcheck:
+	$(PYTHON) tools/check_links.py
+
 # What the CI workflow runs: lint, then the tier-1 suite.
-ci: lint test
+ci: lint docs-lint linkcheck test
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,259 @@
+"""Sharded-gateway benchmark: N DFK kernels behind one gateway.
+
+Three acceptance behaviours of the sharded service (the paper's scaling
+argument applied to the gateway tier — each DataFlowKernel is a bounded
+dispatch/completion pipeline, so capacity must come from adding kernels,
+not from pushing one kernel harder):
+
+* **shard scaling** — with per-shard capacity held fixed, 4 shards must
+  sustain ≥2.5× the aggregate submit→result throughput of 1 shard under
+  identical multi-tenant load (consistent-hash placement plus load-aware
+  spillover has to actually spread the work);
+* **shard death** — kill one of the shards abruptly mid-run with 32
+  connected clients: every client recovers every result (queued and
+  in-flight work re-routes to the survivors) and observes **zero duplicate
+  deliveries**;
+* **gateway death** — kill -9 the whole gateway mid-run over a durable
+  SQLite session store, restart it at the same address: 32 clients resume
+  their sessions, every acked result stays valid, unfinished work re-runs
+  from the write-ahead task log, and again no result arrives twice.
+
+Run via ``make bench-shard`` to emit ``BENCH_shard_scale.json``.
+"""
+
+import threading
+import time
+
+import repro
+from repro import Config
+from repro.executors import ThreadPoolExecutor
+from repro.service import ServiceClient, WorkflowGateway
+
+from conftest import fast_scaled, print_table
+
+#: Worker threads per shard — held fixed so shards are the capacity axis.
+WORKERS_PER_SHARD = 4
+#: Tenants driving the scaling scenario (enough to cover a 4-shard ring).
+N_TENANTS = 8
+#: Per-task busy time for the scaling scenario.
+TASK_S = 0.01
+#: Total tasks per scaling run.
+N_TASKS = fast_scaled(1280, 320)
+#: Acceptance: 4 shards must beat 1 shard by at least this factor.
+SCALE_FLOOR = 2.5
+#: Clients in the two kill scenarios (the acceptance bar is 32).
+N_KILL_CLIENTS = 32
+#: Tasks per client in the kill scenarios.
+KILL_TASKS_EACH = fast_scaled(8, 4)
+
+
+def busy_task(duration=TASK_S):
+    time.sleep(duration)
+    return "done"
+
+
+def make_dfks(run_dir, n_shards):
+    return [
+        repro.DataFlowKernel(
+            Config(
+                executors=[
+                    ThreadPoolExecutor(
+                        label="threads", max_threads=WORKERS_PER_SHARD
+                    )
+                ],
+                run_dir=f"{run_dir}/shard-{i}",
+                strategy="none",
+                app_cache=False,
+            )
+        )
+        for i in range(n_shards)
+    ]
+
+
+def wait_for(predicate, timeout=120.0, interval=0.01):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def drive_clients(clients, tasks_each, task_s=TASK_S):
+    """Feed ``tasks_each`` busy tasks from every client concurrently and
+    return the per-client future lists (submission overlaps execution)."""
+    futures_by_client = [[] for _ in clients]
+
+    def feed(idx):
+        futures_by_client[idx] = [
+            clients[idx].submit(busy_task, task_s) for _ in range(tasks_each)
+        ]
+
+    feeders = [
+        threading.Thread(target=feed, args=(i,)) for i in range(len(clients))
+    ]
+    for t in feeders:
+        t.start()
+    for t in feeders:
+        t.join()
+    return futures_by_client
+
+
+def run_scaling_round(tmp_path, n_shards):
+    """Aggregate submit→result rate for N_TASKS over ``n_shards`` shards."""
+    dfks = make_dfks(str(tmp_path / f"scale-{n_shards}"), n_shards)
+    gateway = WorkflowGateway(
+        dfks, window=256, max_inflight_per_tenant=512,
+    ).start()
+    clients = [
+        ServiceClient(gateway.host, gateway.port, tenant=f"tenant{i}")
+        for i in range(N_TENANTS)
+    ]
+    per_client = N_TASKS // N_TENANTS
+    try:
+        start = time.perf_counter()
+        futures_by_client = drive_clients(clients, per_client)
+        for futures in futures_by_client:
+            for f in futures:
+                assert f.result(timeout=180) == "done"
+        rate = (per_client * N_TENANTS) / (time.perf_counter() - start)
+        shard_stats = gateway.shard_stats()
+    finally:
+        for c in clients:
+            c.close()
+        gateway.stop()
+        for dfk in dfks:
+            dfk.cleanup()
+    return rate, shard_stats
+
+
+def test_shard_scaling_throughput(benchmark, quiet_logging, tmp_path):
+    """4 shards sustain ≥2.5× the aggregate throughput of 1 shard."""
+    one_shard_rate, _ = run_scaling_round(tmp_path, 1)
+
+    def run():
+        return run_scaling_round(tmp_path, 4)
+
+    four_shard_rate, shard_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = four_shard_rate / one_shard_rate
+    print_table(
+        f"Shard scaling — {N_TASKS} tasks of {TASK_S * 1000:.0f} ms over "
+        f"{N_TENANTS} tenants, {WORKERS_PER_SHARD} workers/shard",
+        ["1 shard (tasks/s)", "4 shards (tasks/s)", "speedup", "floor",
+         "per-shard dispatched"],
+        [[f"{one_shard_rate:.0f}", f"{four_shard_rate:.0f}", f"{ratio:.2f}x",
+          f"{SCALE_FLOOR}x",
+          "/".join(str(s["dispatched"]) for s in shard_stats)]],
+    )
+    # Placement must actually spread the tenants: every shard saw work.
+    assert all(s["dispatched"] > 0 for s in shard_stats), (
+        f"dead shard in the scaling run: {shard_stats}"
+    )
+    assert ratio >= SCALE_FLOOR, (
+        f"4 shards gave {ratio:.2f}x over 1 shard (floor {SCALE_FLOOR}x)"
+    )
+
+
+def test_shard_kill_recovers_all_results(benchmark, quiet_logging, tmp_path):
+    """Kill one of 2 shards mid-run with 32 clients: every result arrives,
+    none twice."""
+    dfks = make_dfks(str(tmp_path / "shardkill"), 2)
+    gateway = WorkflowGateway(
+        dfks, window=16, max_inflight_per_tenant=64, session_ttl_s=60.0,
+    ).start()
+    clients = [
+        ServiceClient(gateway.host, gateway.port, tenant=f"tenant{i}")
+        for i in range(N_KILL_CLIENTS)
+    ]
+
+    def run():
+        futures_by_client = drive_clients(clients, KILL_TASKS_EACH, 0.02)
+        # Let the run get properly underway, then kill the busier shard.
+        assert wait_for(
+            lambda: sum(s["completed"] for s in gateway.shard_stats())
+            >= N_KILL_CLIENTS
+        )
+        victim = max(gateway.shards, key=lambda s: s.load()).index
+        rerouted = gateway.kill_shard(victim)
+        results = [
+            f.result(timeout=180)
+            for futures in futures_by_client
+            for f in futures
+        ]
+        return results, rerouted, victim
+
+    try:
+        results, rerouted, victim = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert results == ["done"] * (N_KILL_CLIENTS * KILL_TASKS_EACH)
+        duplicates = sum(c.duplicate_results for c in clients)
+        assert duplicates == 0, f"{duplicates} duplicate deliveries after shard kill"
+    finally:
+        for c in clients:
+            c.close()
+        gateway.stop()
+        for dfk in dfks:
+            dfk.cleanup()
+    print_table(
+        f"Shard death — {N_KILL_CLIENTS} clients x {KILL_TASKS_EACH} tasks, "
+        "kill 1 of 2 shards mid-run",
+        ["killed shard", "tasks re-routed", "results recovered", "duplicates"],
+        [[victim, rerouted, len(results), 0]],
+    )
+
+
+def test_gateway_hard_kill_durable_recovery(benchmark, quiet_logging, tmp_path):
+    """kill -9 the gateway mid-run over a durable store: 32 clients resume
+    and recover everything, exactly once."""
+    import sys
+
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve()
+                          .parent.parent / "tests" / "service"))
+    from faults import GatewayHarness
+
+    dfks = make_dfks(str(tmp_path / "gwkill"), 2)
+    harness = GatewayHarness(
+        dfks, store_path=str(tmp_path / "sessions.db"),
+        session_ttl_s=120.0, window=16, max_inflight_per_tenant=64,
+    ).start()
+    clients = [
+        ServiceClient(
+            "127.0.0.1", harness.gw_port, tenant=f"tenant{i}",
+            reconnect_interval=0.05, max_reconnect_attempts=200,
+        )
+        for i in range(N_KILL_CLIENTS)
+    ]
+
+    def run():
+        futures_by_client = drive_clients(clients, KILL_TASKS_EACH, 0.02)
+        all_futures = [f for futures in futures_by_client for f in futures]
+        # Wait until a meaningful prefix of results has been acked/delivered,
+        # then kill -9 (abandon un-flushed store writes) and restart.
+        assert wait_for(
+            lambda: sum(f.done() for f in all_futures) >= N_KILL_CLIENTS
+        )
+        acked_before = sum(f.done() for f in all_futures)
+        harness.restart(hard=True)
+        results = [f.result(timeout=180) for f in all_futures]
+        return results, acked_before
+
+    try:
+        results, acked_before = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert results == ["done"] * (N_KILL_CLIENTS * KILL_TASKS_EACH)
+        duplicates = sum(c.duplicate_results for c in clients)
+        assert duplicates == 0, f"{duplicates} duplicate deliveries after gateway kill"
+        resumed = sum(1 for c in clients if c.reconnects >= 1)
+        assert resumed == N_KILL_CLIENTS, (
+            f"only {resumed}/{N_KILL_CLIENTS} clients resumed after the restart"
+        )
+    finally:
+        for c in clients:
+            c.close()
+        harness.close()
+        for dfk in dfks:
+            dfk.cleanup()
+    print_table(
+        f"Gateway kill -9 + durable restart — {N_KILL_CLIENTS} clients x "
+        f"{KILL_TASKS_EACH} tasks, SQLite session store",
+        ["acked before kill", "results recovered", "clients resumed", "duplicates"],
+        [[acked_before, len(results), N_KILL_CLIENTS, 0]],
+    )

@@ -42,7 +42,7 @@ Paper provenance of each export:
   fair-share admission (see :mod:`repro.service`).
 
 See ``README.md`` for the package-to-paper-section map and
-``docs/ARCHITECTURE.md`` for the dispatch pipeline.
+``docs/architecture/dispatch-pipeline.md`` for the dispatch pipeline.
 """
 
 from repro.version import VERSION as __version__

@@ -251,9 +251,21 @@ class MessageServer:
             self._peers.clear()
         for peer in peers:
             _close_socket(peer.sock)
+        # Join the accept thread before declaring the port free: a thread
+        # blocked inside accept(2) keeps the kernel LISTEN socket alive even
+        # after the fd is closed (up to its 0.2 s poll timeout), so without
+        # this join a caller that closes and immediately rebinds the same
+        # port races EADDRINUSE.
+        if self._accept_thread.is_alive() and self._accept_thread is not threading.current_thread():
+            self._accept_thread.join(timeout=5.0)
         # Reap reader threads: sockets are closed, so each loop exits promptly.
+        # One shared deadline rather than a fixed per-thread slice — under
+        # heavy CPU contention a single thread can take longer than a second
+        # to observe its dead socket, while the whole group still drains well
+        # inside the budget.
+        deadline = time.monotonic() + 5.0
         for thread in self._reader_threads:
-            thread.join(timeout=1.0)
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
         self._reader_threads = [t for t in self._reader_threads if t.is_alive()]
 
     def __enter__(self) -> "MessageServer":

@@ -40,6 +40,13 @@ A Config bundles:
   and the HTTP/SSE edge knobs (``service_http_host`` / ``service_http_port``
   for the bind address, ``service_http_max_body`` for the request-body
   ceiling, ``service_http_keepalive_s`` for the SSE heartbeat interval),
+  the durable-session store (``service_store_path`` — a SQLite file; when
+  set, sessions, replay buffers, and accepted-but-unfinished tasks survive
+  a gateway restart — and ``service_store_flush_ms``, the group-commit
+  linger bounding how long an fsync batch may accumulate), and the shard
+  router (``service_shard_vnodes`` hash-ring virtual nodes per shard,
+  ``service_shard_spillover`` — how overloaded a tenant's home shard may be,
+  relative to the least-loaded live shard, before work spills over),
 * the run directory where logs, checkpoints, and monitoring land.
 """
 
@@ -89,6 +96,10 @@ class Config:
         service_http_port: int = 0,
         service_http_max_body: int = 8 * 1024 * 1024,
         service_http_keepalive_s: float = 15.0,
+        service_store_path: Optional[str] = None,
+        service_store_flush_ms: float = 2.0,
+        service_shard_vnodes: int = 64,
+        service_shard_spillover: float = 2.0,
     ):
         if executors is None or len(list(executors)) == 0:
             executors = [ThreadPoolExecutor(label="threads", max_threads=4)]
@@ -134,6 +145,12 @@ class Config:
             raise ConfigurationError("service_http_max_body must be >= 1024 bytes")
         if service_http_keepalive_s <= 0:
             raise ConfigurationError("service_http_keepalive_s must be positive")
+        if service_store_flush_ms < 0:
+            raise ConfigurationError("service_store_flush_ms must be >= 0")
+        if service_shard_vnodes < 1:
+            raise ConfigurationError("service_shard_vnodes must be >= 1")
+        if service_shard_spillover < 1.0:
+            raise ConfigurationError("service_shard_spillover must be >= 1.0")
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -165,6 +182,10 @@ class Config:
         self.service_http_port = service_http_port
         self.service_http_max_body = service_http_max_body
         self.service_http_keepalive_s = service_http_keepalive_s
+        self.service_store_path = service_store_path
+        self.service_store_flush_ms = service_store_flush_ms
+        self.service_shard_vnodes = service_shard_vnodes
+        self.service_shard_spillover = service_shard_spillover
 
     # ------------------------------------------------------------------
     @staticmethod

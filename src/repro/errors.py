@@ -312,6 +312,23 @@ class TaskCancelledError(ServiceError):
     """A queued gateway task was cancelled before it was dispatched."""
 
 
+class ShardUnavailableError(ServiceError):
+    """No live DFK shard could take the task, though the gateway is up.
+
+    Raised on the client side when the gateway answers a submit with a
+    ``shard_unavailable`` error frame. Distinguishes *retry-later* (the
+    gateway is reachable but every shard that could serve this tenant is
+    down or draining — the task was never admitted, so resubmitting once a
+    shard returns is safe) from *re-route* (the gateway itself is gone,
+    which surfaces as :class:`ServiceError`/connection failures instead).
+    """
+
+    def __init__(self, reason: str, shard: "int | None" = None):
+        super().__init__(reason)
+        #: Index of the tenant's home shard when the gateway reported one.
+        self.shard = shard
+
+
 class HttpEdgeError(ServiceError):
     """The HTTP edge rejected or could not complete a request.
 

@@ -36,7 +36,14 @@ INTERNAL_EXECUTOR = "_dfk_internal"
 
 
 class ExecutorRouter:
-    """Route each task to one executor label."""
+    """Route each task to one executor label.
+
+    One router instance lives on the DataFlowKernel
+    (``DataFlowKernel._choose_executor`` delegates here for every task).
+    The gateway's :class:`~repro.service.shard.ShardRouter` reuses the same
+    load-aware/random-tie-break policy shape at the coarser tenant→kernel
+    grain.
+    """
 
     def __init__(
         self,
@@ -44,6 +51,16 @@ class ExecutorRouter:
         rng: Optional[random.Random] = None,
         backpressure: Optional[int] = None,
     ):
+        """Wrap the DFK's executor table.
+
+        :param executors: label → executor mapping (shared, not copied —
+            the router always sees the DFK's current fleet).
+        :param rng: tie-break randomness source; injectable for
+            deterministic tests.
+        :param backpressure: ``Config.router_backpressure`` — outstanding
+            cap per executor before new work spills to peers; ``None``
+            disables the cap.
+        """
         if backpressure is not None and backpressure < 1:
             raise ValueError("backpressure must be >= 1 when set")
         self.executors = executors
@@ -57,7 +74,19 @@ class ExecutorRouter:
         spec: Optional["ResourceSpec"] = None,
         join: bool = False,
     ) -> str:
-        """Pick the executor label for one task."""
+        """Pick the executor label for one task.
+
+        :param requested: the app decorator's ``executors=`` hint — a
+            label, a sequence of labels, or ``"all"``/``None`` for any.
+            A spec-level ``executors`` affinity overrides it.
+        :param spec: the task's :class:`ResourceSpec`; a non-default spec
+            restricts candidates to executors that support specs (and a
+            multi-core spec with no capable candidate raises
+            :class:`~repro.errors.ResourceSpecError`).
+        :param join: join apps bypass routing and run inside the DFK
+            (:data:`INTERNAL_EXECUTOR`).
+        :raises NoSuchExecutorError: for a label not in the config.
+        """
         if join:
             return INTERNAL_EXECUTOR
         candidates = self._candidate_labels(requested, spec)

@@ -1,19 +1,26 @@
 """The multi-tenant workflow gateway service.
 
-One :class:`~repro.service.gateway.WorkflowGateway` serves a single
-DataFlowKernel to many concurrent remote tenants: token-authenticated
-sessions, weighted fair-share admission, per-tenant backpressure, streamed
-results with reconnect-and-resume. :class:`~repro.service.client.ServiceClient`
-is the tenant-side handle; its ``submit()`` mirrors a local app invocation.
+One :class:`~repro.service.gateway.WorkflowGateway` serves one or more
+DataFlowKernel **shards** to many concurrent remote tenants:
+token-authenticated sessions, weighted fair-share admission, per-tenant
+backpressure, streamed results with reconnect-and-resume. A
+:class:`~repro.service.shard.ShardRouter` places tenants across shards
+(consistent hashing with load-aware spillover), and an optional
+:class:`~repro.service.store.SessionStore` makes sessions **durable**: a
+write-ahead SQLite log from which a restarted gateway resumes every
+session without losing an acknowledged result.
+:class:`~repro.service.client.ServiceClient` is the tenant-side handle;
+its ``submit()`` mirrors a local app invocation.
 
 :class:`~repro.service.http_edge.HttpEdge` fronts the same gateway with an
 HTTP/1.1 + Server-Sent-Events surface for non-pickle clients, and
 :class:`~repro.service.aclient.AsyncServiceClient` is the asyncio SDK that
-speaks it (429 backoff, SSE resume, session recovery).
+speaks it (429/503 backoff, SSE resume, session recovery).
 
-See ``docs/ARCHITECTURE.md`` ("Gateway service" and "HTTP edge") for the
-wire protocol and the tunables table, and ``examples/service_clients.py`` /
-``examples/http_service.py`` for runnable tours.
+See ``docs/architecture/gateway.md`` and ``docs/architecture/http-edge.md``
+for the wire protocol, ``docs/OPERATIONS.md`` for deployment topologies and
+tuning, and ``examples/service_clients.py`` / ``examples/http_service.py``
+for runnable tours.
 """
 
 from repro.service.aclient import AsyncServiceClient, AsyncTaskHandle, RetryPolicy
@@ -28,9 +35,14 @@ from repro.service.api_types import (
 from repro.service.client import ServiceClient, ServiceFuture
 from repro.service.gateway import WorkflowGateway
 from repro.service.http_edge import HttpEdge
+from repro.service.shard import GatewayShard, ShardRouter
+from repro.service.store import SessionStore
 
 __all__ = [
     "WorkflowGateway",
+    "GatewayShard",
+    "ShardRouter",
+    "SessionStore",
     "ServiceClient",
     "ServiceFuture",
     "HttpEdge",

@@ -91,9 +91,11 @@ class AsyncTaskHandle:
         return make_task_id(self._client.session.session, self.client_task_id)
 
     def done(self) -> bool:
+        """True once the task's future has resolved (result or exception)."""
         return self.future.done()
 
     async def result(self, timeout: Optional[float] = None) -> Any:
+        """Await the task's result (or raise its exception), optionally bounded by ``timeout`` seconds (``asyncio.TimeoutError`` beyond it)."""
         if timeout is None:
             return await self.future
         return await asyncio.wait_for(asyncio.shield(self.future), timeout)
@@ -211,6 +213,7 @@ class AsyncServiceClient:
         await self.close()
 
     async def open(self) -> None:
+        """Open the HTTP session (``POST /v1/session``) and start the SSE consumer. Called by ``async with``; idempotent per client."""
         status, _headers, body = await self._request(
             "POST", "/v1/session", {"weight": None}, with_session=False
         )
@@ -224,6 +227,7 @@ class AsyncServiceClient:
         self._consumer = asyncio.ensure_future(self._consume_stream())
 
     async def close(self) -> None:
+        """Stop the SSE consumer, close the session server-side, and release the connection pool. Unresolved futures are cancelled."""
         if self._closed:
             return
         self._closed = True
@@ -322,9 +326,26 @@ class AsyncServiceClient:
                 await self._recover_session(epoch)
                 epoch = self._session_epoch
                 continue  # the recovery resubmitted cid; confirm via next loop
+            if status == 503:
+                # Shard-unavailable (every kernel that could serve this
+                # tenant is down or draining) or a gateway ack timeout.
+                # Either way the task was never admitted, so retry-later is
+                # safe — unlike 410, the session itself is still good, so
+                # no recovery/re-route is involved.
+                attempt += 1
+                if attempt >= self.retry.attempts:
+                    raise self._error(status, reply)
+                hint = None
+                try:
+                    hint = json.loads(reply).get("retry_after_s")
+                except Exception:  # noqa: BLE001
+                    pass
+                await asyncio.sleep(self.retry.delay(attempt, floor=hint))
+                continue
             raise self._error(status, reply)
 
     async def cancel(self, client_task_id: int) -> str:
+        """Best-effort cancel; returns the server's status string (``cancelled``/``running``/``done``/``unknown``)."""
         task_id = make_task_id(self.session.session, client_task_id)
         status, _headers, body = await self._request(
             "POST", f"/v1/tasks/{task_id}/cancel", {}
@@ -334,6 +355,7 @@ class AsyncServiceClient:
         return str(json.loads(body).get("status", "unknown"))
 
     async def task_status(self, client_task_id: int) -> TaskStatus:
+        """Poll one task's status/result (``GET /v1/tasks/{id}``)."""
         task_id = make_task_id(self.session.session, client_task_id)
         status, _headers, body = await self._request("GET", f"/v1/tasks/{task_id}", None)
         if status != 200:
@@ -341,12 +363,14 @@ class AsyncServiceClient:
         return TaskStatus.from_json(json.loads(body))
 
     async def stats(self) -> TenantStats:
+        """This tenant's gateway counters (``GET /v1/tenants/me/stats``)."""
         status, _headers, body = await self._request("GET", "/v1/tenants/me/stats", None)
         if status != 200:
             raise self._error(status, body)
         return TenantStats.from_json(json.loads(body))
 
     async def gather(self, *handles: AsyncTaskHandle) -> List[Any]:
+        """Await several handles' results in order (``asyncio.gather`` semantics: the first exception propagates)."""
         return list(await asyncio.gather(*(h.result() for h in handles)))
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.serialize import deserialize
 
 
 def make_task_id(session: str, client_task_id: int) -> str:
+    """Compose the HTTP-surface task id ``"<session>:<client_task_id>"``."""
     return f"{session}:{client_task_id}"
 
 
@@ -56,25 +57,34 @@ class SessionInfo:
     max_inflight: int
     weight: int
     resumed: bool = False
+    #: The tenant's home-shard index on a sharded gateway (placement may
+    #: still spill elsewhere under load); ``None`` from older gateways.
+    shard: Optional[int] = None
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "SessionInfo":
+        """Parse a ``POST /v1/session`` (or welcome-shaped) JSON body."""
         return cls(
             session=str(obj["session"]),
             session_token=str(obj["session_token"]),
             max_inflight=int(obj["max_inflight"]),
             weight=int(obj["weight"]),
             resumed=bool(obj.get("resumed", False)),
+            shard=int(obj["shard"]) if obj.get("shard") is not None else None,
         )
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        """Wire form; the ``shard`` key is present only on sharded gateways."""
+        obj: Dict[str, Any] = {
             "session": self.session,
             "session_token": self.session_token,
             "max_inflight": self.max_inflight,
             "weight": self.weight,
             "resumed": self.resumed,
         }
+        if self.shard is not None:
+            obj["shard"] = self.shard
+        return obj
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +112,7 @@ class TaskSubmit:
     priority: Optional[int] = None
 
     def to_json(self) -> Dict[str, Any]:
+        """Wire form of a submit body (only the populated submission mode's keys)."""
         obj: Dict[str, Any] = {}
         if self.fn is not None:
             obj["fn"] = self.fn
@@ -133,6 +144,7 @@ class TaskAccepted:
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "TaskAccepted":
+        """Parse a 202 submit-acknowledgement JSON body."""
         return cls(
             task_id=str(obj["task_id"]),
             client_task_id=int(obj["client_task_id"]),
@@ -141,6 +153,7 @@ class TaskAccepted:
         )
 
     def to_json(self) -> Dict[str, Any]:
+        """Wire form; ``session_token`` included only when the session was auto-created."""
         obj: Dict[str, Any] = {
             "task_id": self.task_id,
             "client_task_id": self.client_task_id,
@@ -174,6 +187,7 @@ class TaskStatus:
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "TaskStatus":
+        """Parse a ``GET /v1/tasks/{id}`` JSON body (or an SSE payload)."""
         return cls(
             task_id=str(obj["task_id"]),
             status=str(obj["status"]),
@@ -188,6 +202,7 @@ class TaskStatus:
         )
 
     def to_json(self) -> Dict[str, Any]:
+        """Wire form of a status reply (unset optional fields omitted)."""
         obj: Dict[str, Any] = {"task_id": self.task_id, "status": self.status}
         for key in ("seq", "success", "value", "value_repr", "error_type",
                     "error_message", "payload_b64"):
@@ -252,6 +267,7 @@ class TenantStats:
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "TenantStats":
+        """Parse a ``GET /v1/tenants/me/stats`` JSON body (missing keys default to zero)."""
         return cls(
             tenant=str(obj.get("tenant", "")),
             queued=int(obj.get("queued", 0)),
@@ -263,6 +279,7 @@ class TenantStats:
         )
 
     def to_json(self) -> Dict[str, Any]:
+        """Wire form: the flat counter dict the stats endpoint returns."""
         return {
             "tenant": self.tenant,
             "queued": self.queued,
@@ -289,4 +306,5 @@ class StreamEvent:
     data: Dict[str, Any]
 
     def task_status(self) -> TaskStatus:
+        """Parse this event's payload as a :class:`TaskStatus`."""
         return TaskStatus.from_json(self.data)

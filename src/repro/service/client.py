@@ -26,7 +26,12 @@ from concurrent.futures import Future
 from typing import Any, Dict, List, Optional
 
 from repro.comms.client import MessageClient
-from repro.errors import AuthenticationError, ServiceError, SessionExpiredError
+from repro.errors import (
+    AuthenticationError,
+    ServiceError,
+    SessionExpiredError,
+    ShardUnavailableError,
+)
 from repro.scheduling.spec import ResourceSpec, ResourceSpecLike
 from repro.serialize import deserialize, pack_apply_message
 from repro.service import protocol
@@ -99,8 +104,16 @@ class ServiceClient:
         self._session_token: Optional[str] = None
         self._last_seq = 0
         self.max_inflight = 1 << 30  # replaced by the welcome frame
+        #: Home-shard index the gateway reported in its welcome (None on a
+        #: pre-shard gateway); refreshed on every resume.
+        self.shard: Optional[int] = None
         #: Successful resume count (observability; asserted by the benchmark).
         self.reconnects = 0
+        #: Result frames that arrived for an already-settled (or unknown)
+        #: task. The replay protocol only re-sends frames the client never
+        #: saw, so any nonzero count here is a delivered duplicate — the
+        #: fault-harness acceptance tests assert it stays zero.
+        self.duplicate_results = 0
 
         self._transport = self._connect(resume=False)
         self._receiver = threading.Thread(
@@ -149,6 +162,8 @@ class ServiceClient:
                     self.session = message["session"]
                     self._session_token = message["session_token"]
                     self.max_inflight = int(message.get("max_inflight") or self.max_inflight)
+                    if message.get("shard") is not None:
+                        self.shard = int(message["shard"])
                 # Frames that raced ahead of the welcome go back to the
                 # inbound queue for the receive loop (order preserved).
                 for stray in stashed:
@@ -222,6 +237,7 @@ class ServiceClient:
         return reply.result(timeout=timeout)
 
     def outstanding(self) -> int:
+        """Number of submitted tasks whose results have not arrived yet."""
         with self._lock:
             return len(self._futures)
 
@@ -274,7 +290,8 @@ class ServiceClient:
         # (a steady inbound stream would otherwise starve them).
         self._retry_parked()
         if future is None or future.done():
-            return  # replayed duplicate
+            self.duplicate_results += 1
+            return  # delivered duplicate (should never happen; see counter)
         try:
             payload = deserialize(message["buffer"])
         except Exception as exc:  # noqa: BLE001 - undecodable result
@@ -329,7 +346,15 @@ class ServiceClient:
             self._parked.pop(cid, None)
             self._slots.notify_all()
         if future is not None and not future.done():
-            future.set_exception(ServiceError(reason))
+            if message.get("code") == "shard_unavailable":
+                # Typed so callers can branch retry-later (gateway is up,
+                # its shards are not) from re-route (gateway unreachable,
+                # which surfaces as a plain ServiceError instead).
+                future.set_exception(
+                    ShardUnavailableError(reason, shard=message.get("shard"))
+                )
+            else:
+                future.set_exception(ServiceError(reason))
 
     # ------------------------------------------------------------------
     # Reconnect-and-resume

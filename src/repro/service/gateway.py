@@ -1,4 +1,4 @@
-"""The workflow gateway: many remote tenants sharing one DataFlowKernel.
+"""The workflow gateway: many remote tenants sharing a fleet of DFK shards.
 
 The paper's ecosystem hosts the execution fabric behind services (science
 gateways, hosted endpoints) rather than handing every user their own kernel.
@@ -13,24 +13,36 @@ This module composes the pieces built in earlier layers into exactly that:
 * each tenant gets a *session namespace*: a session id + secret, its own
   result sequence, and a bounded replay buffer so a client that reconnects
   recovers results that completed while it was away,
-* submitted callables (``pack_apply_message`` buffers) are admitted through
-  a :class:`~repro.scheduling.queues.WeightedFairShareQueue` — per-tenant
-  weighted virtual time, so a chatty tenant cannot starve the rest — and a
-  bounded dispatch *window* into the DFK keeps the executor pipeline full
-  while leaving ordering decisions to the fair-share queue,
+* execution is spread over one or more **DFK shards**
+  (:class:`~repro.service.shard.GatewayShard`): each shard wraps one
+  DataFlowKernel with its own weighted fair-share queue, bounded dispatch
+  window, pump thread, and completion hook, while a
+  :class:`~repro.service.shard.ShardRouter` (consistent hashing on the
+  tenant, load-aware spillover) decides placement — so fair-share ordering
+  and the window cap apply *per shard* and admission/backpressure/dedup
+  stay global,
 * per-tenant in-flight caps answer overload with explicit ``busy``
   backpressure frames instead of unbounded queueing,
-* results and exceptions stream back as tasks complete, via the DFK's
+* results and exceptions stream back as tasks complete, via each DFK's
   completion fan-out hooks (no polling), and TASK_STATE monitoring rows
   carry the tenant in their ``tag`` column,
-* a ``stats`` admin command reports per-tenant queued/running/completed/
-  failed counts.
+* with a :class:`~repro.service.store.SessionStore` attached, sessions,
+  replay buffers, and accepted-but-unfinished tasks are **durable**: a
+  submit is acknowledged only after its write-ahead record committed, a
+  result is delivered only after it committed, and a restarted gateway
+  reloads every session and re-executes every unfinished task — so no
+  acknowledged frame is ever lost to a crash,
+* ``stats`` admin commands report per-tenant counters plus per-shard
+  queue/window occupancy.
 
 Threading model: one **service thread** owns all protocol handling (so
-session state transitions are single-writer), one **pump thread** moves
-tasks from the fair-share queue into the DFK, and delivery happens on the
-DFK's completing threads through the hook. All shared state sits behind one
-re-entrant lock.
+session state transitions are single-writer), one **pump thread per shard**
+moves tasks from that shard's fair-share queue into its DFK, delivery
+happens on the DFKs' completing threads through the hooks, and one
+**sender thread** does all socket writes. All shared state sits behind one
+re-entrant lock; each shard's pump sleeps on its own Condition tied to
+that lock. The store adds a single writer thread of its own whose
+group-commit callbacks enqueue client-visible acknowledgements.
 """
 
 from __future__ import annotations
@@ -41,18 +53,19 @@ import secrets
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.auth.tokens import TokenStore
 from repro.comms.server import MessageServer
 from repro.core.dflow import DataFlowKernel
-from repro.errors import TaskCancelledError
+from repro.errors import ShardUnavailableError, TaskCancelledError
 from repro.core.states import States
 from repro.core.taskrecord import TaskRecord
-from repro.scheduling.queues import WeightedFairShareQueue
 from repro.scheduling.spec import ResourceSpec
-from repro.serialize import serialize, unpack_apply_message
+from repro.serialize import deserialize, serialize, unpack_apply_message
 from repro.service import protocol
+from repro.service.shard import GatewayShard, ShardRouter
+from repro.service.store import SessionStore
 from repro.utils.ids import make_uid
 
 logger = logging.getLogger(__name__)
@@ -66,8 +79,8 @@ class _TenantState:
     def __init__(self, name: str, weight: int):
         self.name = name
         self.weight = weight
-        self.queued = 0     # held in the fair-share queue
-        self.running = 0    # inside the DFK, not yet final
+        self.queued = 0     # held in a fair-share queue
+        self.running = 0    # inside a DFK, not yet final
         self.completed = 0
         self.failed = 0
         self.cancelled = 0  # cancelled while still queued
@@ -90,13 +103,19 @@ class _TenantState:
 class _Session:
     """One tenant session: identity binding, dedup table, replay buffer."""
 
-    def __init__(self, session_id: str, session_token: str, tenant: str, identity: str):
+    def __init__(self, session_id: str, session_token: str, tenant: str,
+                 identity: Optional[str]):
         self.session_id = session_id
         self.session_token = session_token
         self.tenant = tenant
         self.identity: Optional[str] = identity
         self.disconnected_at: Optional[float] = None
         self.seq = 0
+        #: Highest seq whose result frame has durably committed. Without a
+        #: store this tracks ``seq`` exactly; with one, frames above it are
+        #: committing and must not be sent yet (a client may never see a
+        #: seq the store could forget — that is the crash-safety invariant).
+        self.durable_seq = 0
         #: client_task_id -> "queued" | "running" | "done" (duplicate guard;
         #: resent submits after a reconnect must not run twice).
         self.seen: Dict[int, str] = {}
@@ -110,17 +129,31 @@ class _Session:
 
 
 class WorkflowGateway:
-    """Serve one DataFlowKernel to many concurrent remote tenants.
+    """Serve one or more DataFlowKernel shards to many remote tenants.
 
-    Construction defaults come from the kernel's ``Config.service_*`` knobs;
-    every knob can be overridden per-gateway. ``start()`` binds the port and
-    registers the completion hook; use as a context manager or call
-    ``stop()``.
+    ``dfk`` may be a single kernel (the classic single-shard topology —
+    behaviour is identical to earlier revisions) or a sequence of kernels,
+    each becoming one shard. Construction defaults come from the first
+    kernel's ``Config.service_*`` knobs; every knob can be overridden
+    per-gateway. ``start()`` binds the port, recovers durable sessions when
+    a store is configured, and registers the completion hooks; use as a
+    context manager or call ``stop()``.
+
+    Thread-safety: all public methods may be called from any thread.
+
+    :param dfk: the kernel (or kernels) to execute on. The first one is
+        exposed as ``self.dfk`` and supplies configuration defaults.
+    :param store: a :class:`~repro.service.store.SessionStore` to make
+        sessions durable, or ``None`` to build one from ``store_path`` /
+        ``Config.service_store_path`` (in-memory-only when all are unset).
+    :param window: per-shard dispatch window (``Config.service_window``).
+    :raises repro.errors.ConfigurationError: via ``Config`` validation when
+        knob overrides are out of range.
     """
 
     def __init__(
         self,
-        dfk: DataFlowKernel,
+        dfk: Union[DataFlowKernel, Sequence[DataFlowKernel]],
         host: Optional[str] = None,
         port: Optional[int] = None,
         token_store: Optional[TokenStore] = None,
@@ -132,9 +165,21 @@ class WorkflowGateway:
         tenant_weights: Optional[Dict[str, int]] = None,
         max_client_weight: int = 16,
         poll_period: float = 0.005,
+        store: Optional[SessionStore] = None,
+        store_path: Optional[str] = None,
+        shard_vnodes: Optional[int] = None,
+        shard_spillover: Optional[float] = None,
     ):
-        cfg = dfk.config
-        self.dfk = dfk
+        dfks: List[DataFlowKernel] = (
+            list(dfk) if isinstance(dfk, (list, tuple)) else [dfk]
+        )
+        if not dfks:
+            raise ValueError("WorkflowGateway needs at least one DataFlowKernel")
+        cfg = dfks[0].config
+        #: The first shard's kernel (kept for single-shard callers and for
+        #: configuration defaults; prefer ``shards[i].dfk`` in shard-aware
+        #: code).
+        self.dfk = dfks[0]
         self.token_store = token_store
         self.max_inflight_per_tenant = max_inflight_per_tenant or cfg.service_max_inflight_per_tenant
         self.window = window or cfg.service_window
@@ -158,12 +203,36 @@ class WorkflowGateway:
             port=port if port is not None else cfg.service_port,
             name="gateway",
         )
-        self._queue = WeightedFairShareQueue(default_weight=self.default_weight)
-        for tenant, weight in self.pinned_weights.items():
-            self._queue.set_weight(tenant, weight)
 
         self._lock = threading.RLock()
-        self._window_cv = threading.Condition(self._lock)
+        #: The execution fabric: one shard per kernel, each with its own
+        #: fair-share queue and dispatch window (``self.window`` each).
+        self.shards: List[GatewayShard] = []
+        for index, kernel in enumerate(dfks):
+            shard = GatewayShard(index, kernel, self.window, self.default_weight)
+            shard.cv = threading.Condition(self._lock)
+            for tenant, weight in self.pinned_weights.items():
+                shard.queue.set_weight(tenant, weight)
+            self.shards.append(shard)
+        self._router = ShardRouter(
+            self.shards,
+            vnodes=shard_vnodes if shard_vnodes is not None else cfg.service_shard_vnodes,
+            spillover=(
+                shard_spillover if shard_spillover is not None
+                else cfg.service_shard_spillover
+            ),
+        )
+
+        #: Durable session store (None = in-memory sessions, the classic
+        #: behaviour: a restart forgets everything).
+        path = store_path if store_path is not None else cfg.service_store_path
+        if store is not None:
+            self._store: Optional[SessionStore] = store
+        elif path:
+            self._store = SessionStore(path, flush_ms=cfg.service_store_flush_ms)
+        else:
+            self._store = None
+
         #: In-process peers (e.g. HTTP edge sessions): identity -> outbound
         #: sink. A registered identity's frames bypass the TCP server; its
         #: inbound messages arrive via :meth:`post`. Sinks must not block —
@@ -172,15 +241,15 @@ class WorkflowGateway:
         self._tenants: Dict[str, _TenantState] = {}
         self._sessions: Dict[str, _Session] = {}
         self._identity_sessions: Dict[str, str] = {}
-        #: DFK task id -> (session id, client task id).
-        self._tasks: Dict[int, Tuple[str, int]] = {}
+        #: (shard index, DFK task id) -> the queued item dict (kept whole so
+        #: a dying shard's in-flight work can be re-routed to survivors).
+        self._tasks: Dict[Tuple[int, int], Dict[str, Any]] = {}
         #: Result frames awaiting transmission. Completion hooks run on the
-        #: DFK's completing threads, and a TCP send can block on a client
+        #: DFKs' completing threads, and a TCP send can block on a client
         #: that stopped reading — so hooks enqueue here and a dedicated
         #: sender thread does the socket work, keeping one stalled tenant
         #: from blocking every other tenant's completions.
         self._outbound: "queue.Queue[Tuple[str, Dict[str, Any]]]" = queue.Queue()
-        self._inflight_window = 0
         self._stop_event = threading.Event()
         self._threads: list = []
         self._last_sweep = time.time()
@@ -189,38 +258,80 @@ class WorkflowGateway:
     # ------------------------------------------------------------------
     @property
     def host(self) -> str:
+        """Bound listen address (stable across the gateway's lifetime)."""
         return self.server.host
 
     @property
     def port(self) -> int:
+        """Bound TCP port (resolved from 0 at construction)."""
         return self.server.port
 
     def start(self) -> "WorkflowGateway":
+        """Recover durable sessions, hook the shards, launch the threads."""
         if self._started:
             return self
         self._started = True
-        self.dfk.add_completion_hook(self._on_task_final)
-        for name, target in [
-            ("gateway-service", self._service_loop),
-            ("gateway-pump", self._pump_loop),
-            ("gateway-sender", self._sender_loop),
-        ]:
+        if self._store is not None:
+            self._recover()
+            self._store.start()
+        for shard in self.shards:
+            # One closure per shard so the hook knows which window/counter
+            # to credit (and so kill_shard can detach exactly one hook).
+            shard.hook = (
+                lambda task, state, _shard=shard: self._on_task_final(_shard, task, state)
+            )
+            shard.dfk.add_completion_hook(shard.hook)
+        names = [("gateway-service", self._service_loop), ("gateway-sender", self._sender_loop)]
+        names += [
+            (f"gateway-pump-{shard.index}", (lambda _shard=shard: self._pump_loop(_shard)))
+            for shard in self.shards
+        ]
+        for name, target in names:
             t = threading.Thread(target=target, name=name, daemon=True)
             t.start()
             self._threads.append(t)
-        logger.info("gateway serving DFK %s on %s:%s", self.dfk.run_id, self.host, self.port)
+        logger.info(
+            "gateway serving %d shard(s) on %s:%s (durable=%s)",
+            len(self.shards), self.host, self.port, self._store is not None,
+        )
         return self
 
     def stop(self) -> None:
+        """Graceful shutdown: stop threads, flush the store, close the port."""
+        self._shutdown(flush=True)
+
+    def kill(self) -> None:
+        """Crash-style shutdown (test hook): queued store writes are LOST.
+
+        Approximates ``kill -9`` for durability tests — only group-committed
+        state survives into the next incarnation, exactly the guarantee the
+        write-ahead protocol makes to clients.
+        """
+        self._shutdown(flush=False)
+
+    def _shutdown(self, flush: bool) -> None:
         if not self._started:
             return
         self._started = False
         self._stop_event.set()
-        with self._window_cv:
-            self._window_cv.notify_all()
+        with self._lock:
+            for shard in self.shards:
+                if shard.cv is not None:
+                    shard.cv.notify_all()
         for t in self._threads:
             t.join(timeout=2)
-        self.dfk.remove_completion_hook(self._on_task_final)
+        for shard in self.shards:
+            if shard.hook is not None:
+                try:
+                    shard.dfk.remove_completion_hook(shard.hook)
+                except Exception:  # noqa: BLE001 - kernel may already be closed
+                    pass
+                shard.hook = None
+        if self._store is not None:
+            if flush:
+                self._store.close()
+            else:
+                self._store.abandon()
         self.server.close()
 
     def __enter__(self) -> "WorkflowGateway":
@@ -228,6 +339,55 @@ class WorkflowGateway:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # Durable recovery (runs in start(), before any thread exists)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        assert self._store is not None
+        records = self._store.load()
+        if not records:
+            return
+        now = time.time()
+        requeued = 0
+        with self._lock:
+            for rec in records.values():
+                session = _Session(rec.session_id, rec.session_token, rec.tenant,
+                                   identity=None)
+                session.disconnected_at = now  # TTL clock restarts at boot
+                session.seq = rec.seq
+                session.durable_seq = rec.seq
+                for seq, cid, success, buffer in rec.results:
+                    frame = protocol.result(seq, cid, success, buffer)
+                    session.replay.append(frame)
+                    session.done_results[cid] = frame
+                    session.seen[cid] = "done"
+                self._sessions[session.session_id] = session
+                tenant = self._tenant_state(rec.tenant)
+                # Accepted-but-unfinished tasks are re-executed from their
+                # write-ahead records: the client was promised a result.
+                for cid, (buffer, spec_blob) in sorted(rec.tasks.items()):
+                    try:
+                        func, args, kwargs = unpack_apply_message(buffer)
+                        spec = ResourceSpec.from_user(
+                            deserialize(spec_blob) if spec_blob else None
+                        )
+                    except Exception as exc:  # noqa: BLE001 - poison row
+                        session.seen[cid] = "done"
+                        tenant.failed += 1
+                        self._deliver(rec.session_id, cid, False, exc)
+                        continue
+                    item = self._make_item(session, cid, func, args, kwargs, spec)
+                    session.seen[cid] = "queued"
+                    tenant.queued += 1
+                    shard = self._router.route(rec.tenant)
+                    assert shard is not None  # all shards alive at boot
+                    shard.queue.put(rec.tenant, item)
+                    requeued += 1
+        logger.info(
+            "gateway recovered %d session(s), requeued %d task(s) from %s",
+            len(records), requeued, self._store.path,
+        )
 
     # ------------------------------------------------------------------
     # In-process transport: local peers (the HTTP edge rides this)
@@ -240,6 +400,7 @@ class WorkflowGateway:
             self._local_peers[identity] = sink
 
     def detach_local(self, identity: str) -> None:
+        """Unregister a peer installed by :meth:`attach_local` (idempotent)."""
         with self._lock:
             self._local_peers.pop(identity, None)
 
@@ -263,19 +424,6 @@ class WorkflowGateway:
                 logger.exception("local peer %s sink failed", identity)
                 return False
         return self.server.send(identity, frame)
-
-    def _send_many(self, identity: str, frames: List[Dict[str, Any]]) -> bool:
-        with self._lock:
-            sink = self._local_peers.get(identity)
-        if sink is not None:
-            try:
-                for frame in frames:
-                    sink(frame)
-                return True
-            except Exception:  # noqa: BLE001
-                logger.exception("local peer %s sink failed", identity)
-                return False
-        return self.server.send_many(identity, frames)
 
     # ------------------------------------------------------------------
     # Service loop: all protocol handling happens on this one thread
@@ -307,7 +455,10 @@ class WorkflowGateway:
             self._handle_cancel(identity, message)
         elif mtype == "stats":
             self._send(
-                identity, protocol.stats_reply(int(message.get("req_id") or 0), self.stats())
+                identity,
+                protocol.stats_reply(
+                    int(message.get("req_id") or 0), self.stats(), shards=self.shard_stats()
+                ),
             )
         elif mtype == "goodbye":
             self._drop_identity(identity, evict_session=True)
@@ -354,7 +505,8 @@ class WorkflowGateway:
             ):
                 granted = min(proposed, self.max_client_weight)
                 state.weight = granted
-                self._queue.set_weight(tenant, granted)
+                for shard in self.shards:
+                    shard.queue.set_weight(tenant, granted)
             session = _Session(
                 session_id=make_uid("sess"),
                 session_token=secrets.token_hex(16),
@@ -364,6 +516,10 @@ class WorkflowGateway:
             self._sessions[session.session_id] = session
             self._identity_sessions[identity] = session.session_id
             weight = state.weight
+        if self._store is not None:
+            # Enqueued before any of the session's results can be, so the
+            # writer commits the row first: a durable result never orphans.
+            self._store.save_session(session.session_id, tenant, session.session_token)
         self._send(
             identity,
             protocol.welcome(
@@ -372,6 +528,7 @@ class WorkflowGateway:
                 resumed=False,
                 max_inflight=self.max_inflight_per_tenant,
                 weight=weight,
+                shard=self._router.home(tenant).index,
             ),
         )
 
@@ -412,8 +569,16 @@ class WorkflowGateway:
                     resumed=True,
                     max_inflight=self.max_inflight_per_tenant,
                     weight=weight,
+                    shard=self._router.home(tenant).index,
                 )
-                replay = [frame for frame in session.replay if frame["seq"] > last_seq]
+                # Replay stops at durable_seq: frames still committing are
+                # delivered by their own store callbacks (which run after
+                # this enqueue and observe the new identity) — the client
+                # never sees a seq the store could forget in a crash.
+                replay = [
+                    frame for frame in session.replay
+                    if last_seq < frame["seq"] <= session.durable_seq
+                ]
             # Enqueue the welcome + replay train while still holding the
             # lock. _deliver enqueues under the same lock, so the sender
             # thread — the single writer per peer — observes result frames
@@ -424,6 +589,21 @@ class WorkflowGateway:
                 self._outbound.put((identity, frame))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_item(session: _Session, cid: int, func: Any, args: Any,
+                   kwargs: Any, spec: ResourceSpec) -> Dict[str, Any]:
+        return {
+            "priority": spec.priority,
+            "cores": spec.cores,
+            "session": session.session_id,
+            "tenant": session.tenant,
+            "client_task_id": cid,
+            "func": func,
+            "args": args,
+            "kwargs": kwargs,
+            "spec": spec.to_wire(),
+        }
+
     def _handle_submit(self, identity: str, message: Dict[str, Any]) -> None:
         with self._lock:
             session_id = self._identity_sessions.get(identity)
@@ -439,8 +619,12 @@ class WorkflowGateway:
             status = session.seen.get(cid)
             if status == "done":
                 # Duplicate of a finished task (client resent after a
-                # reconnect race): replay its result instead of re-running.
+                # reconnect race): replay its result instead of re-running —
+                # unless the frame is still committing, in which case its
+                # store callback will deliver it and an ack suffices here.
                 frame = session.done_results.get(cid)
+                if frame is not None and frame["seq"] > session.durable_seq:
+                    frame = None
                 self._send(identity, frame or protocol.accepted(cid))
                 return
             if status is not None:
@@ -458,22 +642,34 @@ class WorkflowGateway:
         except Exception as exc:  # noqa: BLE001 - bad task must not kill the loop
             self._send(identity, protocol.error(f"undecodable task: {exc!r}", cid))
             return
-        item: Dict[str, Any] = {
-            "priority": spec.priority,
-            "cores": spec.cores,
-            "session": session.session_id,
-            "client_task_id": cid,
-            "func": func,
-            "args": args,
-            "kwargs": kwargs,
-            "spec": spec.to_wire(),
-        }
-        with self._window_cv:
+        shard = self._router.route(session.tenant)
+        if shard is None:
+            self._send(
+                identity,
+                protocol.error(
+                    "no live shard available; retry later", cid,
+                    code="shard_unavailable", shard=self._router.home(session.tenant).index,
+                ),
+            )
+            return
+        item = self._make_item(session, cid, func, args, kwargs, spec)
+        assert shard.cv is not None
+        with shard.cv:
             session.seen[cid] = "queued"
             tenant.queued += 1
-            self._queue.put(session.tenant, item)
-            self._window_cv.notify()
-        self._send(identity, protocol.accepted(cid))
+            shard.queue.put(session.tenant, item)
+            shard.cv.notify()
+        if self._store is not None:
+            # Write-ahead: the client's ack waits for the commit (execution
+            # may overlap it — the fsync and the task race harmlessly, since
+            # results are themselves gated on durability).
+            self._store.append_task(
+                session.session_id, cid, message["buffer"],
+                serialize(message.get("resource_spec")) if message.get("resource_spec") else None,
+                on_durable=lambda: self._outbound.put((identity, protocol.accepted(cid))),
+            )
+        else:
+            self._send(identity, protocol.accepted(cid))
 
     # ------------------------------------------------------------------
     def _handle_cancel(self, identity: str, message: Dict[str, Any]) -> None:
@@ -519,18 +715,22 @@ class WorkflowGateway:
             return status, session.done_results.get(cid)
 
     # ------------------------------------------------------------------
-    # Pump: fair-share queue -> DFK, bounded by the dispatch window
+    # Pumps: per-shard fair-share queue -> that shard's DFK
     # ------------------------------------------------------------------
-    def _pump_loop(self) -> None:
+    def _pump_loop(self, shard: GatewayShard) -> None:
+        cv = shard.cv
+        assert cv is not None
         while not self._stop_event.is_set():
-            with self._window_cv:
+            with cv:
                 while not self._stop_event.is_set() and (
-                    self._inflight_window >= self.window or self._queue.empty()
+                    not shard.alive
+                    or shard.inflight >= shard.window
+                    or shard.queue.empty()
                 ):
-                    self._window_cv.wait(timeout=0.1)
+                    cv.wait(timeout=0.1)
                 if self._stop_event.is_set():
                     return
-                popped = self._queue.pop()
+                popped = shard.queue.pop()
                 if popped is None:
                     continue
                 tenant_name, item = popped
@@ -561,7 +761,7 @@ class WorkflowGateway:
                     # firing on another thread always finds the task-id
                     # mapping already recorded (the RLock re-enters for the
                     # same-thread synchronous case handled below).
-                    future = self.dfk.submit(
+                    future = shard.dfk.submit(
                         item["func"],
                         app_args=item["args"],
                         app_kwargs=item["kwargs"],
@@ -576,8 +776,9 @@ class WorkflowGateway:
                     continue
                 session.seen[item["client_task_id"]] = "running"
                 tenant.running += 1
-                self._inflight_window += 1
-                self._tasks[future.tid] = (item["session"], item["client_task_id"])
+                shard.inflight += 1
+                shard.dispatched_total += 1
+                self._tasks[(shard.index, future.tid)] = item
                 if future.done():
                     # The task completed *inside* submit on this very thread
                     # (e.g. a kernel shutting down fail-fasts synchronously;
@@ -587,21 +788,24 @@ class WorkflowGateway:
                     # another thread makes this a no-op.
                     task = future.task_record
                     if task is not None:
-                        self._on_task_final(task, task.status)
+                        self._on_task_final(shard, task, task.status)
 
     # ------------------------------------------------------------------
-    # Completion fan-out (runs on DFK completing threads)
+    # Completion fan-out (runs on the DFKs' completing threads)
     # ------------------------------------------------------------------
-    def _on_task_final(self, task: TaskRecord, state: States) -> None:
-        with self._window_cv:
-            entry = self._tasks.pop(task.id, None)
-            if entry is None:
-                return  # not a gateway task
-            session_id, cid = entry
+    def _on_task_final(self, shard: GatewayShard, task: TaskRecord, state: States) -> None:
+        cv = shard.cv
+        assert cv is not None
+        with cv:
+            item = self._tasks.pop((shard.index, task.id), None)
+            if item is None:
+                return  # not a gateway task (or re-routed off this shard)
+            session_id, cid = item["session"], item["client_task_id"]
             tenant = self._tenant_state(task.tag or "")
             tenant.running -= 1
-            self._inflight_window -= 1
-            self._window_cv.notify()
+            shard.inflight -= 1
+            shard.completed_total += 1
+            cv.notify()
         app_fu = task.app_fu
         exc = app_fu.exception() if app_fu is not None else None
         if exc is None:
@@ -640,15 +844,39 @@ class WorkflowGateway:
                 # of a task so old its result already aged out of replay.
                 session.done_results.pop(evicted["client_task_id"], None)
                 session.seen.pop(evicted["client_task_id"], None)
+            if self._store is None:
+                session.durable_seq = session.seq
+                identity = session.identity
+                if identity is not None:
+                    # Enqueued under the lock so the sender thread sees
+                    # frames in seq order even when a resume is replaying
+                    # concurrently (see _resume_session).
+                    self._outbound.put((identity, frame))
+            else:
+                # Durable delivery: the frame leaves the building only after
+                # its commit. Callbacks fire in enqueue order on the store's
+                # writer thread (and _deliver runs under the lock), so per-
+                # session seq order is preserved end to end; reading the
+                # identity at callback time routes to wherever the session
+                # lives by then.
+                self._store.append_result(
+                    session_id, frame["seq"], cid, success, buffer, self.replay_limit,
+                    on_durable=lambda: self._finish_durable(session_id, frame),
+                )
+
+    def _finish_durable(self, session_id: str, frame: Dict[str, Any]) -> None:
+        """Store callback: mark the frame durable and release it for sending."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                return
+            session.durable_seq = max(session.durable_seq, frame["seq"])
             identity = session.identity
             if identity is not None:
-                # Enqueued under the lock so the sender thread sees frames
-                # in seq order even when a resume is replaying concurrently
-                # (see _resume_session).
                 self._outbound.put((identity, frame))
 
     def _sender_loop(self) -> None:
-        """Drain result frames to clients off the DFK's completing threads."""
+        """Drain result frames to clients off the DFKs' completing threads."""
         while not self._stop_event.is_set():
             try:
                 identity, frame = self._outbound.get(timeout=0.1)
@@ -662,6 +890,77 @@ class WorkflowGateway:
                 logger.exception("gateway failed sending a result to %s", identity)
 
     # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+    def kill_shard(self, index: int) -> int:
+        """Simulate the abrupt death of one shard; returns tasks re-routed.
+
+        Mirrors what a production gateway does when a kernel process dies
+        under it: the shard's completion hook is detached *first* (any
+        result the doomed kernel still produces is discarded — the dedup
+        table must never see double deliveries), then every queued and
+        in-flight task of that shard is re-routed through the
+        :class:`~repro.service.shard.ShardRouter` onto the surviving
+        shards. With no survivor, affected tasks fail with
+        :class:`~repro.errors.ShardUnavailableError` results instead of
+        hanging. Callable from any thread.
+        """
+        with self._lock:
+            shard = self.shards[index]
+            if not shard.alive:
+                return 0
+            shard.alive = False
+            hook = shard.hook
+        if hook is not None:
+            try:
+                shard.dfk.remove_completion_hook(hook)
+            except Exception:  # noqa: BLE001 - kernel may already be gone
+                pass
+        moved: List[Dict[str, Any]] = []
+        with self._lock:
+            popped = shard.queue.pop()
+            while popped is not None:
+                moved.append(popped[1])
+                popped = shard.queue.pop()
+            for key in [k for k in self._tasks if k[0] == index]:
+                item = self._tasks.pop(key)
+                tenant = self._tenant_state(item["tenant"])
+                tenant.running -= 1
+                tenant.queued += 1
+                session = self._sessions.get(item["session"])
+                if session is not None:
+                    session.seen[item["client_task_id"]] = "queued"
+                moved.append(item)
+            shard.inflight = 0
+            rerouted = 0
+            for item in moved:
+                target = self._router.route(item["tenant"])
+                tenant = self._tenant_state(item["tenant"])
+                session = self._sessions.get(item["session"])
+                if target is None or session is None:
+                    tenant.queued -= 1
+                    tenant.failed += 1
+                    if session is not None:
+                        session.seen[item["client_task_id"]] = "done"
+                        self._deliver(
+                            item["session"], item["client_task_id"], False,
+                            ShardUnavailableError(
+                                f"shard {index} died with no live shard to adopt its work",
+                                shard=index,
+                            ),
+                        )
+                    continue
+                assert target.cv is not None
+                target.queue.put(item["tenant"], item)
+                target.cv.notify()
+                rerouted += 1
+        logger.warning(
+            "gateway shard %d killed: %d task(s) re-routed to survivors",
+            index, rerouted,
+        )
+        return rerouted
+
+    # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
     def _drop_identity(self, identity: str, evict_session: bool) -> None:
@@ -672,6 +971,8 @@ class WorkflowGateway:
                 return  # already superseded by a resume on a new connection
             if evict_session:
                 self._sessions.pop(session.session_id, None)
+                if self._store is not None:
+                    self._store.delete_session(session.session_id)
             else:
                 session.identity = None
                 session.disconnected_at = time.time()
@@ -691,6 +992,8 @@ class WorkflowGateway:
             ]
             for session in expired:
                 del self._sessions[session.session_id]
+                if self._store is not None:
+                    self._store.delete_session(session.session_id)
         for session in expired:
             logger.info(
                 "gateway evicted session %s (tenant %s) after %.1fs disconnected",
@@ -707,10 +1010,18 @@ class WorkflowGateway:
         return state
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-tenant queued/running/completed/failed counts (admin view)."""
+        """Per-tenant queued/running/completed/failed counts, aggregated
+        across every shard (admin view; safe from any thread)."""
         with self._lock:
             return {name: state.counts() for name, state in self._tenants.items()}
 
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard occupancy: alive flag, window, in-flight, queue depth,
+        lifetime dispatch/completion counters. Safe from any thread."""
+        with self._lock:
+            return [shard.stats() for shard in self.shards]
+
     def session_count(self) -> int:
+        """Number of live (connected or within-TTL) sessions."""
         with self._lock:
             return len(self._sessions)

@@ -229,6 +229,7 @@ class HttpEdge:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "HttpEdge":
+        """Start the edge's asyncio server on its own daemon thread and block until it is accepting connections (raises on bind failure)."""
         if self._thread is not None:
             return self
         self._thread = threading.Thread(target=self._run, name="http-edge", daemon=True)
@@ -241,6 +242,7 @@ class HttpEdge:
         return self
 
     def stop(self) -> None:
+        """Shut the server down: close listeners, end live SSE streams, detach every HTTP session from the gateway. Idempotent."""
         loop, thread = self._loop, self._thread
         if loop is None or thread is None:
             return
@@ -598,8 +600,12 @@ class HttpEdge:
                                 writer: asyncio.StreamWriter) -> bool:
         method, path = request.method, request.path
         if path == "/v1/healthz":
-            await self._respond_json(writer, 200, {"status": "ok",
-                                                   "sessions": len(self._sessions)})
+            shards = self.gateway.shard_stats()
+            await self._respond_json(writer, 200, {
+                "status": "ok" if any(s.get("alive") for s in shards) else "degraded",
+                "sessions": len(self._sessions),
+                "shards": shards,
+            })
             return True
         if path == "/v1/session" and method == "POST":
             return await self._route_open_session(request, writer)
@@ -696,6 +702,21 @@ class HttpEdge:
             if created:
                 payload["session_token"] = ses.info.session_token
             await self._respond_json(writer, 429, payload,
+                                     extra={"Retry-After": str(max(1, int(RETRY_AFTER_S)))})
+        elif mtype == "error" and frame.get("code") == "shard_unavailable":
+            # No live shard: the task was never admitted, so this is a
+            # clean retry-later for the client (503 + Retry-After), not a
+            # session problem (410) or a request problem (400).
+            payload = {
+                "error": "shard_unavailable",
+                "shard": frame.get("shard"),
+                "retry_after_s": RETRY_AFTER_S,
+                "client_task_id": cid,
+                "session": ses.session_id,
+            }
+            if created:
+                payload["session_token"] = ses.info.session_token
+            await self._respond_json(writer, 503, payload,
                                      extra={"Retry-After": str(max(1, int(RETRY_AFTER_S)))})
         else:
             raise _HttpError(400, str(frame.get("reason", "submission rejected")))

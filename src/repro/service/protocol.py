@@ -102,8 +102,11 @@ def welcome(
     resumed: bool,
     max_inflight: int,
     weight: int,
+    shard: Optional[int] = None,
 ) -> Dict[str, Any]:
-    return {
+    """Session grant. ``shard`` is the tenant's home-shard index
+    (informational: placement may still spill to other shards under load)."""
+    message = {
         "type": "welcome",
         "session": session,
         "session_token": session_token,
@@ -111,13 +114,18 @@ def welcome(
         "max_inflight": max_inflight,
         "weight": weight,
     }
+    if shard is not None:
+        message["shard"] = shard
+    return message
 
 
 def auth_error(reason: str) -> Dict[str, Any]:
+    """Handshake rejection (bad token, unknown/expired session)."""
     return {"type": "auth_error", "reason": reason}
 
 
 def accepted(client_task_id: int) -> Dict[str, Any]:
+    """Submit acknowledgement: the task is admitted (and, with a durable store, its write-ahead row is committed)."""
     return {"type": "accepted", "client_task_id": client_task_id}
 
 
@@ -148,13 +156,30 @@ def cancel_reply(client_task_id: int, status: str) -> Dict[str, Any]:
     return {"type": "cancel_reply", "client_task_id": client_task_id, "status": status}
 
 
-def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]]) -> Dict[str, Any]:
-    return {"type": "stats_reply", "req_id": req_id, "tenants": tenants}
+def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]],
+                shards: Optional[list] = None) -> Dict[str, Any]:
+    """Admin counters: per-tenant admission state, plus (when the gateway
+    runs more than zero shards — always, in practice) per-shard occupancy."""
+    message: Dict[str, Any] = {"type": "stats_reply", "req_id": req_id, "tenants": tenants}
+    if shards is not None:
+        message["shards"] = shards
+    return message
 
 
-def error(reason: str, client_task_id: Optional[int] = None) -> Dict[str, Any]:
-    """A request the gateway could not act on (e.g. an undecodable buffer)."""
+def error(reason: str, client_task_id: Optional[int] = None,
+          code: Optional[str] = None, shard: Optional[int] = None) -> Dict[str, Any]:
+    """A request the gateway could not act on (e.g. an undecodable buffer).
+
+    ``code`` is a machine-readable discriminator for errors clients should
+    branch on; ``"shard_unavailable"`` (with ``shard`` naming the tenant's
+    home shard) means no live shard could take the task — retry later,
+    the submission was never admitted.
+    """
     message: Dict[str, Any] = {"type": "error", "reason": reason}
     if client_task_id is not None:
         message["client_task_id"] = client_task_id
+    if code is not None:
+        message["code"] = code
+    if shard is not None:
+        message["shard"] = shard
     return message

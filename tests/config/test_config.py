@@ -98,3 +98,21 @@ class TestServiceKnobs:
         cfg = Config(service_tenant_weights=weights)
         weights["alice"] = 99
         assert cfg.service_tenant_weights == {"alice": 3}
+
+    def test_store_and_shard_defaults(self):
+        cfg = Config()
+        assert cfg.service_store_path is None
+        assert cfg.service_store_flush_ms == 2.0
+        assert cfg.service_shard_vnodes == 64
+        assert cfg.service_shard_spillover == 2.0
+
+    def test_store_and_shard_validation(self):
+        with pytest.raises(ConfigurationError):
+            Config(service_store_flush_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            Config(service_shard_vnodes=0)
+        with pytest.raises(ConfigurationError):
+            Config(service_shard_spillover=0.5)
+        cfg = Config(service_store_path="/tmp/sessions.db", service_store_flush_ms=0.0)
+        assert cfg.service_store_path == "/tmp/sessions.db"
+        assert cfg.service_store_flush_ms == 0.0

@@ -276,20 +276,28 @@ class StalledReader:
 class GatewayHarness:
     """A killable/restartable gateway (+ optional HTTP edge) on fixed ports.
 
-    The DataFlowKernel survives restarts — only the service layer dies, the
-    same blast radius as a real gateway crash — and because the ports are
-    pinned, clients retrying their last-known address reach the new
-    incarnation. A restarted gateway has **no sessions**: resumes are
-    answered with auth errors (HTTP 410 through the edge), which is what
-    drives the client-side fresh-session + resubmit recovery path.
+    The DataFlowKernel(s) survive restarts — only the service layer dies,
+    the same blast radius as a real gateway crash — and because the ports
+    are pinned, clients retrying their last-known address reach the new
+    incarnation. ``dfk`` may be a list of kernels to run a sharded gateway.
+
+    Without a ``store_path``, a restarted gateway has **no sessions**:
+    resumes are answered with auth errors (HTTP 410 through the edge),
+    which is what drives the client-side fresh-session + resubmit recovery
+    path. *With* a ``store_path``, the new incarnation reloads every
+    durable session, so clients transparently resume — including after
+    ``kill(hard=True)``, which abandons un-flushed store writes the way a
+    kill -9 would.
     """
 
     def __init__(self, dfk, token_store=None, with_http: bool = False,
-                 registry=None, **gateway_kwargs):
+                 registry=None, store_path: Optional[str] = None,
+                 **gateway_kwargs):
         self.dfk = dfk
         self.token_store = token_store
         self.with_http = with_http
         self.registry = dict(registry or {})
+        self.store_path = store_path
         self.gateway_kwargs = gateway_kwargs
         self.gw_port = free_port()
         self.http_port = free_port() if with_http else None
@@ -317,7 +325,8 @@ class GatewayHarness:
             try:
                 self.gateway = WorkflowGateway(
                     self.dfk, host="127.0.0.1", port=self.gw_port,
-                    token_store=self.token_store, **self.gateway_kwargs,
+                    token_store=self.token_store, store_path=self.store_path,
+                    **self.gateway_kwargs,
                 ).start()
                 break
             except OSError:
@@ -331,19 +340,24 @@ class GatewayHarness:
         self.incarnation += 1
         return self
 
-    def kill(self) -> None:
+    def kill(self, hard: bool = False) -> None:
         """Tear the service down (edge first, then gateway). In-flight DFK
         tasks keep running; their results go nowhere until a client
-        resubmits after the restart."""
+        resubmits (or, with a durable store, resumes) after the restart.
+        ``hard=True`` abandons queued store writes — the kill -9 double:
+        only group-committed state reaches the next incarnation."""
         if self.edge is not None:
             self.edge.stop()
             self.edge = None
         if self.gateway is not None:
-            self.gateway.stop()
+            if hard:
+                self.gateway.kill()
+            else:
+                self.gateway.stop()
             self.gateway = None
 
-    def restart(self, settle_s: float = 0.05) -> "GatewayHarness":
-        self.kill()
+    def restart(self, settle_s: float = 0.05, hard: bool = False) -> "GatewayHarness":
+        self.kill(hard=hard)
         # SO_REUSEADDR lets the new listener take the port immediately, but
         # give lingering reader threads a beat to drain on a 1-core box.
         time.sleep(settle_s)

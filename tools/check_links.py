@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links (stdlib only).
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and reference definitions (``[ref]: target``),
+resolves relative targets against the file's directory, and fails if the
+target file does not exist. External links (``http(s)://``, ``mailto:``),
+pure fragments (``#section``), and bare anchors inside code spans are
+ignored; a ``target#fragment`` link checks only the file part.
+
+Usage: python tools/check_links.py [root]   (default: repo root = cwd)
+Exits 1 listing each broken link as path:line: target.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline [text](target) — target up to the first unescaped ')' or space;
+#: titles ("...") after a space are dropped.
+_INLINE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference definitions: [name]: target
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*(?:\"[^\"]*\")?\s*$")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "tel:")
+
+
+def _iter_md_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.parts)
+        if {".git", "node_modules", "__pycache__", ".venv", "runinfo"} & parts:
+            continue
+        yield path
+
+
+def _targets(line: str):
+    for match in _INLINE.finditer(line):
+        yield match.group(1)
+    match = _REFDEF.match(line)
+    if match:
+        yield match.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    broken = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for target in _targets(line):
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                broken.append((lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                broken.append((lineno, target, "no such file"))
+    return broken
+
+
+def main(argv: list) -> int:
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path.cwd()
+    n_files = 0
+    n_broken = 0
+    for path in _iter_md_files(root):
+        n_files += 1
+        for lineno, target, why in check_file(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: broken link: {target} ({why})")
+            n_broken += 1
+    if n_broken:
+        print(f"\n{n_broken} broken intra-repo link(s) across {n_files} markdown file(s)")
+        return 1
+    print(f"links OK: {n_files} markdown file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
