@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http bench-shard coverage lint docs-lint linkcheck mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http bench-shard bench-chaos chaos coverage lint docs-lint linkcheck mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -52,6 +52,18 @@ bench-http:
 bench-shard:
 	$(PYTHON) -m pytest -q benchmarks/test_shard_scale.py \
 		--benchmark-json=BENCH_shard_scale.json
+
+# The chaos-recovery bench (goodput retention under sustained worker
+# SIGKILLs, manager-loss detection/resettle time) at full scale. The
+# explicit `-m chaos` overrides the default `-m "not chaos"` deselection.
+bench-chaos:
+	$(PYTHON) -m pytest -q benchmarks/test_chaos_recovery.py -m chaos \
+		--benchmark-json=BENCH_chaos.json
+
+# The full-scale chaos acceptance campaigns (500 tasks under sustained
+# random worker kills plus one manager kill).
+chaos:
+	$(PYTHON) -m pytest -q tests/executors/test_chaos.py -m chaos
 
 # Line coverage with a floor on the service layer (gateway + HTTP edge +
 # both SDKs). Needs pytest-cov; skips gracefully where absent.

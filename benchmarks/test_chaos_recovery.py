@@ -1,0 +1,177 @@
+"""Chaos recovery benchmark: goodput under kills, and manager-loss recovery.
+
+Two numbers quantify what the fault-containment stack (worker supervision,
+per-worker pipes, poison quarantine, redispatch) actually costs and buys:
+
+* **goodput retention** — the same fixed workload is run clean and then
+  under a :class:`ChaosMonkey` SIGKILLing random workers on a cadence; the
+  ratio of the two completed-tasks/s rates is the fraction of throughput
+  that survives sustained worker churn. Every task must still complete
+  with the right answer in both rounds.
+* **manager-loss recovery** — a whole manager (its own process group) is
+  SIGKILLed mid-run; we measure how long the interchange takes to *detect*
+  the loss (heartbeat sweep) and how long until every outstanding future
+  has settled on the surviving manager.
+
+Chaos-marked: real signals on a timer make these load-sensitive, so they
+run via ``make bench-chaos`` (emitting ``BENCH_chaos.json``) and the CI
+chaos-smoke step, not in tier-1.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.executors import HighThroughputExecutor
+
+from conftest import fast_scaled, print_table
+
+# The chaos harness lives with the executor tests; benchmarks/ is a separate
+# rootdir-relative import root, so reach over explicitly.
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tests", "executors")
+)
+from chaos import ChaosMonkey, ExternalManagerProc, attach_process_manager, make_sleeper, wait_for  # noqa: E402
+
+pytestmark = pytest.mark.chaos
+
+WORKERS_PER_MANAGER = 4
+N_MANAGERS = 2
+N_TASKS = fast_scaled(200, 60)
+TASK_S = 0.1
+MONKEY_INTERVAL = fast_scaled(0.4, 0.15)
+#: Fraction of clean-run goodput that must survive the monkey. Deliberately
+#: generous: the cost of a kill is a respawn plus a redispatched task, and
+#: the point of the number is to catch a collapse (a wedged pool scores ~0),
+#: not to gate normal scheduling jitter.
+GOODPUT_FLOOR = 0.2
+#: Slack over the heartbeat threshold allowed for manager-loss detection.
+DETECT_SLACK_S = 3.0
+HEARTBEAT_THRESHOLD = 3.0
+
+
+def _make_executor(label):
+    ex = HighThroughputExecutor(
+        label=label,
+        workers_per_node=WORKERS_PER_MANAGER,
+        internal_managers=0,
+        heartbeat_period=0.25,
+        heartbeat_threshold=HEARTBEAT_THRESHOLD,
+        # High budgets: the benchmark measures throughput under churn, not
+        # quarantine policy, so a hot task absorbing several unlucky kills
+        # must retry rather than fail typed.
+        poison_threshold=16,
+        worker_respawn_limit=1000,
+    )
+    ex.start()
+    return ex
+
+
+def _run_round(label, with_monkey):
+    """One fixed workload; returns (tasks/s, kills delivered, fault stats)."""
+    ex = _make_executor(label)
+    managers = [
+        attach_process_manager(
+            ex.interchange,
+            worker_count=WORKERS_PER_MANAGER,
+            worker_respawn_limit=1000,
+            block_id=f"{label}-{i}",
+        )
+        for i in range(N_MANAGERS)
+    ]
+    monkey = None
+    try:
+        assert wait_for(
+            lambda: ex.connected_workers >= N_MANAGERS * WORKERS_PER_MANAGER, timeout=30
+        )
+        start = time.perf_counter()
+        if with_monkey:
+            monkey = ChaosMonkey(managers, interval=MONKEY_INTERVAL, seed=99).start()
+        futures = [ex.submit(make_sleeper(TASK_S), {}, i) for i in range(N_TASKS)]
+        results = [f.result(timeout=240) for f in futures]
+        elapsed = time.perf_counter() - start
+        kills = monkey.stop() if monkey else 0
+        monkey = None
+        assert results == list(range(N_TASKS))
+        return N_TASKS / elapsed, kills, ex.interchange.fault_stats()
+    finally:
+        if monkey is not None:
+            monkey.stop()
+        for m in managers:
+            m.shutdown()
+        ex.shutdown()
+
+
+def test_goodput_under_sustained_worker_kills(benchmark, quiet_logging):
+    """Worker churn degrades throughput; it must never collapse it."""
+    clean_rate, _, _ = _run_round("htex_bench_clean", with_monkey=False)
+
+    def run():
+        return _run_round("htex_bench_chaos", with_monkey=True)
+
+    chaos_rate, kills, faults = benchmark.pedantic(run, rounds=1, iterations=1)
+    retention = chaos_rate / clean_rate
+    print_table(
+        f"Goodput under chaos — {N_TASKS} tasks of {TASK_S * 1000:.0f} ms, "
+        f"{N_MANAGERS}x{WORKERS_PER_MANAGER} workers, kill every {MONKEY_INTERVAL}s",
+        ["clean (tasks/s)", "chaos (tasks/s)", "retention", "floor",
+         "kills", "workers lost", "redispatched"],
+        [[f"{clean_rate:.1f}", f"{chaos_rate:.1f}", f"{retention:.2f}",
+          f"{GOODPUT_FLOOR}", kills, faults["workers_lost"],
+          faults["tasks_redispatched"]]],
+    )
+    if kills:
+        assert faults["workers_lost"] >= 1
+    assert retention >= GOODPUT_FLOOR, (
+        f"goodput collapsed under chaos: {chaos_rate:.1f}/{clean_rate:.1f} tasks/s "
+        f"({retention:.2f} < {GOODPUT_FLOOR})"
+    )
+    assert wait_for(lambda: faults["in_flight_cores"] == 0, timeout=5)
+
+
+def test_manager_loss_detection_and_resettle(benchmark, quiet_logging):
+    """Kill a whole manager mid-run: bounded detection, full resettlement."""
+
+    def run():
+        ex = _make_executor("htex_bench_mgr")
+        survivor = attach_process_manager(
+            ex.interchange, worker_count=WORKERS_PER_MANAGER,
+            worker_respawn_limit=1000, block_id="bench-keep",
+        )
+        doomed = ExternalManagerProc(
+            ex.interchange, worker_count=WORKERS_PER_MANAGER, block_id="bench-doom"
+        )
+        try:
+            assert wait_for(
+                lambda: ex.connected_workers >= 2 * WORKERS_PER_MANAGER, timeout=30
+            )
+            futures = [ex.submit(make_sleeper(TASK_S), {}, i) for i in range(N_TASKS)]
+            wait_for(lambda: sum(f.done() for f in futures) >= N_TASKS // 4, timeout=120)
+            killed_at = time.perf_counter()
+            doomed.kill()
+            assert wait_for(
+                lambda: ex.interchange.fault_stats()["managers_lost"] >= 1,
+                timeout=HEARTBEAT_THRESHOLD + DETECT_SLACK_S,
+            )
+            detect_s = time.perf_counter() - killed_at
+            results = [f.result(timeout=240) for f in futures]
+            settle_s = time.perf_counter() - killed_at
+            assert results == list(range(N_TASKS))
+            return detect_s, settle_s, ex.interchange.fault_stats()
+        finally:
+            doomed.close()
+            survivor.shutdown()
+            ex.shutdown()
+
+    detect_s, settle_s, faults = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Manager-loss recovery — {N_TASKS} tasks of {TASK_S * 1000:.0f} ms, "
+        f"heartbeat threshold {HEARTBEAT_THRESHOLD}s",
+        ["detection (s)", "resettle (s)", "threshold (s)", "redispatched"],
+        [[f"{detect_s:.2f}", f"{settle_s:.2f}", f"{HEARTBEAT_THRESHOLD:.1f}",
+          faults["tasks_redispatched"]]],
+    )
+    assert detect_s <= HEARTBEAT_THRESHOLD + DETECT_SLACK_S
+    assert faults["in_flight_cores"] == 0

@@ -35,6 +35,11 @@ Paper provenance of each export:
 * :class:`ResourceSpec` — the per-task resource specification (cores,
   memory/walltime hints, priority, executor affinity) threaded by the
   scheduling subsystem from app invocation to worker slots.
+* :class:`RetryPolicy` — failure classification and jittered-backoff
+  schedule for the kernel's retry machinery; :class:`WorkerPoisonError` is
+  the typed failure a task receives once it has been quarantined for
+  repeatedly killing its workers (see
+  ``docs/architecture/fault-tolerance.md``).
 * :func:`wait_for_current_tasks` — barrier over every submitted task.
 * :func:`recommend_executor` — §4.4's executor-selection guidelines.
 * :class:`WorkflowGateway` / :class:`ServiceClient` — the hosted-service
@@ -52,8 +57,9 @@ from repro.config.config import Config
 from repro.core.dflow import DataFlowKernel, DataFlowKernelLoader
 from repro.core.futures import AppFuture, DataFuture
 from repro.core.guidelines import recommend_executor
+from repro.core.retry import RetryPolicy
 from repro.data.files import File
-from repro.errors import ReproException
+from repro.errors import ReproException, WorkerPoisonError
 from repro.scheduling.spec import ResourceSpec
 from repro.service import ServiceClient, WorkflowGateway
 
@@ -79,6 +85,8 @@ __all__ = [
     "File",
     "ReproException",
     "ResourceSpec",
+    "RetryPolicy",
+    "WorkerPoisonError",
     "ServiceClient",
     "WorkflowGateway",
     "recommend_executor",

@@ -8,7 +8,13 @@ validate settings, and edit configurations dynamically.
 A Config bundles:
 
 * the list of executors (each optionally carrying a provider/channel/launcher),
-* fault-tolerance settings (``retries``),
+* fault-tolerance settings: ``retries`` bounds attempts per task;
+  ``retry_policy`` (a :class:`~repro.core.retry.RetryPolicy`) classifies
+  failures — infrastructure faults (lost workers/managers, unavailable
+  shards) retry under capped exponential backoff with jitter, deterministic
+  faults (poison tasks, impossible resource specs, walltime kills) fail
+  fast — defaulting to a policy built from the flat ``retry_backoff_s``
+  delay when unset,
 * the dispatcher tuning for the batched submission hot path:
   ``dispatch_batch_size`` (max ready tasks handed to an executor per
   ``submit_batch`` call, default 64) and ``dispatch_drain_interval`` (the
@@ -55,6 +61,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.checkpoint import CHECKPOINT_MODES
+from repro.core.retry import RetryPolicy
 from repro.errors import ConfigurationError, DuplicateExecutorLabelError
 from repro.executors.base import ReproExecutor
 from repro.executors.threads import ThreadPoolExecutor
@@ -73,6 +80,7 @@ class Config:
         checkpoint_period: float = 30.0,
         retries: int = 0,
         retry_backoff_s: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
         retain_task_records: bool = False,
         dispatch_batch_size: int = 64,
         dispatch_drain_interval: float = 0.05,
@@ -111,6 +119,12 @@ class Config:
             )
         if retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ConfigurationError(
+                f"retry_policy must be a RetryPolicy, got {retry_policy!r}"
+            )
         if strategy not in ("none", "simple", "htex_auto_scale"):
             raise ConfigurationError(f"unknown strategy {strategy!r}")
         if strategy_period <= 0:
@@ -159,6 +173,10 @@ class Config:
         self.checkpoint_period = checkpoint_period
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        # The policy classifies failures (fail-fast vs transient vs ordinary)
+        # and computes per-attempt backoff; None means "derive from the
+        # legacy retry_backoff_s knob", which the DFK does at construction.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy.from_config(retry_backoff_s)
         self.retain_task_records = bool(retain_task_records)
         self.dispatch_batch_size = dispatch_batch_size
         self.dispatch_drain_interval = dispatch_drain_interval

@@ -50,6 +50,7 @@ from concurrent.futures import CancelledError, Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.config import Config
+from repro.core import retry as retry_mod
 from repro.core.checkpoint import append_checkpoint, load_checkpoints, write_checkpoint
 from repro.core.futures import AppFuture, DataFuture
 from repro.core.memoization import Memoizer, _MemoHit
@@ -62,9 +63,6 @@ from repro.errors import (
     DataFlowKernelClosedError,
     DependencyError,
     JoinError,
-    ResourceSpecError,
-    TaskWalltimeExceeded,
-    UnsupportedFeatureError,
 )
 from repro.monitoring.messages import MessageType
 from repro.scheduling.router import ExecutorRouter
@@ -80,6 +78,9 @@ class DataFlowKernel:
 
     def __init__(self, config: Optional[Config] = None):
         self.config = config or Config()
+        #: Failure classification + backoff (Config builds a default from
+        #: retry_backoff_s when no explicit policy is given).
+        self.retry_policy = self.config.retry_policy
         self.run_id = make_uid("run")
         timestamp = time.strftime("%Y%m%d-%H%M%S")
         self.run_dir = os.path.join(self.config.run_dir, f"{timestamp}-{self.run_id[-6:]}")
@@ -571,28 +572,31 @@ class DataFlowKernel:
     def _handle_failure(self, task: TaskRecord, exc: BaseException, args, kwargs) -> None:
         task.fail_count += 1
         task.fail_history.append(repr(exc))
-        if isinstance(exc, (ResourceSpecError, UnsupportedFeatureError, TaskWalltimeExceeded)):
-            # Deterministic capability mismatches — a spec no manager can
-            # ever satisfy, a feature the executor categorically rejects,
-            # or a task killed for exceeding its own walltime spec —
-            # would re-fail identically N times; retrying with backoff
-            # only delays the same answer. Fail fast instead.
+        policy = self.retry_policy
+        if policy.classify(exc) == retry_mod.FAIL_FAST:
+            # Deterministic failures — a quarantined poison task, a spec no
+            # manager can ever satisfy, a feature the executor categorically
+            # rejects, a task killed for exceeding its own walltime spec —
+            # would re-fail identically N times; retrying with backoff only
+            # delays the same answer. Fail fast instead.
             self._fail_task(task, exc, States.failed)
             return
         if task.fail_count <= self.config.retries:
-            logger.info("task %s (%s) failed (attempt %d); retrying", task.id, task.func_name, task.fail_count)
+            delay = policy.delay_for(exc, task.fail_count)
+            logger.info(
+                "task %s (%s) failed (attempt %d); retrying in %.2fs",
+                task.id, task.func_name, task.fail_count, delay,
+            )
             self._set_task_status(task, States.retry)
             self._send_task_state(task, States.retry)
-            if self.config.retry_backoff_s:
+            if delay > 0:
                 # Schedule the re-enqueue instead of sleeping: this callback
                 # may run on the dispatcher thread, and a sleep there would
                 # stall dispatch for every task on every executor. The timer
                 # is tracked so cleanup() can cancel it and fail the task
                 # fast — an untracked timer firing after shutdown would
                 # enqueue into a dead dispatcher and strand the AppFuture.
-                timer = threading.Timer(
-                    self.config.retry_backoff_s, lambda: self._fire_retry_timer(timer)
-                )
+                timer = threading.Timer(delay, lambda: self._fire_retry_timer(timer))
                 timer.daemon = True
                 with self._retry_timers_lock:
                     self._retry_timers[timer] = (task, args, kwargs)

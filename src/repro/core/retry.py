@@ -1,0 +1,165 @@
+"""Retry classification and backoff policy for the DataFlowKernel.
+
+The paper sells retries as the first line of fault tolerance, but not every
+failure deserves one. A :class:`RetryPolicy` splits failures into three
+classes:
+
+* **fail-fast** — deterministic failures that would re-fail identically on
+  every attempt: a quarantined poison task
+  (:class:`~repro.errors.WorkerPoisonError`), an unsatisfiable resource spec
+  (:class:`~repro.errors.ResourceSpecError`), a categorical executor
+  rejection (:class:`~repro.errors.UnsupportedFeatureError`), a task that
+  ran out of its own walltime
+  (:class:`~repro.errors.TaskWalltimeExceeded`). Retrying only delays the
+  same answer, so the AppFuture fails on the first attempt.
+* **transient** — infrastructure faults where the task itself is presumed
+  innocent: a crashed worker (:class:`~repro.errors.WorkerLost`), a lost
+  manager (:class:`~repro.errors.ManagerLost`), every gateway shard briefly
+  down (:class:`~repro.errors.ShardUnavailableError`). Retried under
+  capped exponential backoff with jitter, so a thousand tasks orphaned by
+  one dead node do not re-dispatch in one synchronized thundering herd.
+* **everything else** — user-code exceptions. Retried (Parsl semantics:
+  ``Config.retries`` bounds attempts for *any* failure) using the flat
+  ``base_backoff_s`` delay without growth, preserving the pre-policy
+  behaviour of ``Config.retry_backoff_s``.
+
+Delays follow ``base * factor**(attempt-1)`` capped at ``cap_s``, then
+spread by up to ``jitter`` (a fraction of the delay) of equal-jitter noise:
+``delay * (1 - jitter/2) + U(0, delay * jitter)``. The expected delay is
+unchanged by jitter; only the synchronization is broken.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional, Tuple, Type
+
+from repro.errors import (
+    ConfigurationError,
+    ManagerLost,
+    ResourceSpecError,
+    ShardUnavailableError,
+    TaskWalltimeExceeded,
+    UnsupportedFeatureError,
+    WorkerLost,
+    WorkerPoisonError,
+)
+
+#: Failures presumed transient: the task is innocent, the infrastructure died.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    WorkerLost,
+    ManagerLost,
+    ShardUnavailableError,
+)
+
+#: Failures presumed deterministic: the same attempt would fail the same way.
+DEFAULT_FAIL_FAST: Tuple[Type[BaseException], ...] = (
+    WorkerPoisonError,
+    ResourceSpecError,
+    UnsupportedFeatureError,
+    TaskWalltimeExceeded,
+)
+
+#: Classification labels returned by :meth:`RetryPolicy.classify`.
+FAIL_FAST = "fail_fast"
+TRANSIENT = "transient"
+RETRY = "retry"
+
+
+class RetryPolicy:
+    """Classify failures and schedule their retry delays.
+
+    Parameters
+    ----------
+    base_backoff_s:
+        First-retry delay for *transient* (infrastructure) failures, and the
+        flat per-retry delay for ordinary user-code failures. ``0`` retries
+        immediately (the historical default).
+    factor:
+        Exponential growth per transient attempt (``>= 1``).
+    cap_s:
+        Ceiling on any computed delay.
+    jitter:
+        Fraction of the delay randomized (``0`` disables, ``1`` spreads the
+        delay across ``[delay/2, 3*delay/2)``). Jitter keeps the *expected*
+        delay unchanged while desynchronizing mass retries.
+    retryable / fail_fast:
+        Exception-class tuples overriding the default classification.
+        ``fail_fast`` wins when a class appears in both.
+    rng:
+        Seedable randomness source (tests pin it; production leaves it None).
+    """
+
+    def __init__(
+        self,
+        base_backoff_s: float = 0.0,
+        factor: float = 2.0,
+        cap_s: float = 30.0,
+        jitter: float = 0.5,
+        retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+        fail_fast: Tuple[Type[BaseException], ...] = DEFAULT_FAIL_FAST,
+        rng: Optional[random.Random] = None,
+    ):
+        if base_backoff_s < 0:
+            raise ConfigurationError("base_backoff_s must be >= 0")
+        if factor < 1.0:
+            raise ConfigurationError("factor must be >= 1.0")
+        if cap_s < 0:
+            raise ConfigurationError("cap_s must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0.0, 1.0]")
+        self.base_backoff_s = float(base_backoff_s)
+        self.factor = float(factor)
+        self.cap_s = float(cap_s)
+        self.jitter = float(jitter)
+        self.retryable = tuple(retryable)
+        self.fail_fast = tuple(fail_fast)
+        self._rng = rng or random.Random()
+        # random.Random is documented thread-safe, but the lock also makes
+        # seeded test runs deterministic under concurrent failure callbacks.
+        self._rng_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def classify(self, exc: BaseException) -> str:
+        """Return :data:`FAIL_FAST`, :data:`TRANSIENT`, or :data:`RETRY`."""
+        if isinstance(exc, self.fail_fast):
+            return FAIL_FAST
+        if isinstance(exc, self.retryable):
+            return TRANSIENT
+        return RETRY
+
+    def delay_for(self, exc: BaseException, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of this failure.
+
+        Transient failures grow exponentially (jittered, capped); ordinary
+        failures reuse the flat base delay, matching the old
+        ``retry_backoff_s`` timer. Fail-fast failures never reach here, but
+        return ``0`` defensively if they do.
+        """
+        kind = self.classify(exc)
+        if kind == FAIL_FAST:
+            return 0.0
+        if kind == TRANSIENT:
+            delay = min(self.cap_s, self.base_backoff_s * (self.factor ** max(attempt - 1, 0)))
+        else:
+            delay = min(self.cap_s, self.base_backoff_s)
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            with self._rng_lock:
+                noise = self._rng.random()
+            delay = delay * (1.0 - self.jitter / 2.0) + delay * self.jitter * noise
+        return delay
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, retry_backoff_s: float) -> "RetryPolicy":
+        """Build the default policy from the legacy ``retry_backoff_s`` knob."""
+        return cls(base_backoff_s=retry_backoff_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(base_backoff_s={self.base_backoff_s}, factor={self.factor}, "
+            f"cap_s={self.cap_s}, jitter={self.jitter})"
+        )

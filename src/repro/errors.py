@@ -178,12 +178,51 @@ class ManagerLost(ReproException):
 
 
 class WorkerLost(ReproException):
-    """A worker process died while executing a task."""
+    """A worker process died while executing a task.
 
-    def __init__(self, worker_id, hostname: str = "unknown"):
-        super().__init__(f"Worker {worker_id} on host {hostname} was lost")
+    The manager's supervisor thread detects the death (``Process.exitcode``
+    went non-None without a shutdown being requested), synthesizes this
+    failure for the task the worker had claimed, and respawns the worker.
+    The interchange counts the kill against the task (see
+    :class:`WorkerPoisonError`) and redispatches it while the count stays
+    under the poison threshold. Classified *retryable* by the default
+    :class:`~repro.core.retry.RetryPolicy` — one crash is circumstance, not
+    destiny.
+    """
+
+    def __init__(self, worker_id, hostname: str = "unknown", exitcode: "int | None" = None):
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"Worker {worker_id} on host {hostname} was lost{detail}")
         self.worker_id = worker_id
         self.hostname = hostname
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (type(self), (self.worker_id, self.hostname, self.exitcode))
+
+
+class WorkerPoisonError(ReproException):
+    """A task's execution killed workers ``poison_threshold`` times.
+
+    Raised by the interchange *instead of redispatching* once the per-task
+    worker-kill count reaches the threshold: one bad task (a segfaulting
+    extension, an ``os._exit`` in user code, a reliable OOM) must not
+    serially murder every worker in a block. Deterministic by presumption,
+    so the DataFlowKernel's retry policy fails the AppFuture fast without
+    burning retries.
+    """
+
+    def __init__(self, task_id, kills: int = 0, hostname: str = "unknown"):
+        super().__init__(
+            f"Task {task_id} was quarantined as poison: its execution killed "
+            f"{kills} worker(s) (last on host {hostname})"
+        )
+        self.task_id = task_id
+        self.kills = kills
+        self.hostname = hostname
+
+    def __reduce__(self):
+        return (type(self), (self.task_id, self.kills, self.hostname))
 
 
 class SerializationError(ReproException):

@@ -73,6 +73,14 @@ class HighThroughputExecutor(ReproExecutor):
       availability. Pass ``max_task_redispatches=0`` for strict at-most-once
       (every in-flight task on a lost manager fails, and ``Config.retries``
       decides what happens next).
+    * worker crashes are contained one level below manager loss: each manager
+      supervises its workers, synthesizes a :class:`~repro.errors.WorkerLost`
+      for the task a dead worker had claimed, and respawns the worker up to
+      ``worker_respawn_limit`` times before exiting (handing its remaining
+      work to the ManagerLost path). The interchange charges each kill to the
+      task itself and quarantines a task that has killed
+      ``poison_threshold`` workers (default 2) with a typed
+      :class:`~repro.errors.WorkerPoisonError` instead of redispatching it.
     """
 
     def __init__(
@@ -90,6 +98,8 @@ class HighThroughputExecutor(ReproExecutor):
         internal_managers: int = 1,
         scheduling_policy: str = "least_loaded",
         max_task_redispatches: int = 1,
+        poison_threshold: int = 2,
+        worker_respawn_limit: int = 8,
         drain_timeout: float = 60.0,
         priority_aging_s: float = DEFAULT_AGING_S,
         placement_lookahead: int = 32,
@@ -108,6 +118,8 @@ class HighThroughputExecutor(ReproExecutor):
         self.internal_managers = internal_managers
         self.scheduling_policy = scheduling_policy
         self.max_task_redispatches = max_task_redispatches
+        self.poison_threshold = poison_threshold
+        self.worker_respawn_limit = worker_respawn_limit
         self.drain_timeout = drain_timeout
         self.priority_aging_s = priority_aging_s
         self.placement_lookahead = placement_lookahead
@@ -116,7 +128,8 @@ class HighThroughputExecutor(ReproExecutor):
             "{python} -m repro.executors.htex.process_worker_pool "
             "--host {host} --port {port} --workers {workers_per_node} "
             "--prefetch {prefetch} --block-id {block_id} "
-            "--heartbeat-period {heartbeat_period} --heartbeat-threshold {heartbeat_threshold}"
+            "--heartbeat-period {heartbeat_period} --heartbeat-threshold {heartbeat_threshold} "
+            "--worker-respawn-limit {worker_respawn_limit}"
             "{debug}"
         )
 
@@ -143,6 +156,7 @@ class HighThroughputExecutor(ReproExecutor):
             poll_period=self.poll_period,
             scheduling_policy=self.scheduling_policy,
             max_task_redispatches=self.max_task_redispatches,
+            poison_threshold=self.poison_threshold,
             block_drained_callback=self._on_block_drained,
             drain_timeout=self.drain_timeout,
             priority_aging_s=self.priority_aging_s,
@@ -170,6 +184,7 @@ class HighThroughputExecutor(ReproExecutor):
                 heartbeat_period=self.heartbeat_period,
                 heartbeat_threshold=max(self.heartbeat_threshold * 4, 30.0),
                 worker_mode="thread",
+                worker_respawn_limit=self.worker_respawn_limit,
             )
             manager.start()
             self._internal_manager_objs.append(manager)
@@ -185,6 +200,7 @@ class HighThroughputExecutor(ReproExecutor):
             block_id=block_id,
             heartbeat_period=self.heartbeat_period,
             heartbeat_threshold=self.heartbeat_threshold,
+            worker_respawn_limit=self.worker_respawn_limit,
             debug=" --debug" if self.worker_debug else "",
         )
 

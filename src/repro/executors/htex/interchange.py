@@ -30,8 +30,14 @@ scheduling subsystem layered on top):
   in-flight tasks *individually* — each is requeued onto a surviving manager
   while it has redispatch budget (``max_task_redispatches``), else fails with
   its own :class:`~repro.errors.ManagerLost`,
+* quarantine poison tasks: managers report workers that die mid-task
+  (``worker_lost`` result items); the kill count rides in the dispatched
+  task record, and a task that has killed workers ``poison_threshold``
+  times fails with a typed :class:`~repro.errors.WorkerPoisonError` instead
+  of being redispatched yet again,
 * expose a synchronous *command channel* (outstanding-task info, connected
-  managers, blacklisting, shutdown).
+  managers, blacklisting, shutdown) with campaign fault counters
+  (``scheduling_stats`` → ``faults``).
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.comms.server import MessageServer
-from repro.errors import ManagerLost
+from repro.errors import ManagerLost, WorkerLost, WorkerPoisonError
 from repro.executors.htex import messages as msg
 from repro.scheduling.placement import ManagerSlot, make_placement_view
 from repro.scheduling.queues import DEFAULT_AGING_S, PriorityTaskQueue
@@ -123,6 +129,7 @@ class Interchange:
         selection_seed: Optional[int] = None,
         scheduling_policy: str = "least_loaded",
         max_task_redispatches: int = 1,
+        poison_threshold: int = 2,
         block_drained_callback: Optional[Callable[[str], None]] = None,
         drain_timeout: float = 60.0,
         priority_aging_s: float = DEFAULT_AGING_S,
@@ -135,6 +142,13 @@ class Interchange:
         self.batch_size = batch_size
         self.poll_period = poll_period
         self.max_task_redispatches = max_task_redispatches
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+        #: Worker kills a single task may cause before it is quarantined:
+        #: at the threshold the task fails with WorkerPoisonError instead of
+        #: being redispatched, so one bad task cannot serially murder every
+        #: worker in a block.
+        self.poison_threshold = poison_threshold
         self.scheduling_policy = scheduling_policy
         self.placement_lookahead = placement_lookahead
         self.block_drained_callback = block_drained_callback
@@ -157,6 +171,12 @@ class Interchange:
         #: placement accounting makes this impossible, so the fig7 bench
         #: asserts it stays zero.
         self.oversubscription_events = 0
+        #: Fault counters for the whole campaign (surfaced by
+        #: ``scheduling_stats`` and the gateway's per-shard stats rows).
+        self.managers_lost = 0
+        self.workers_lost = 0
+        self.tasks_redispatched = 0
+        self.tasks_poisoned = 0
         #: Final per-manager accounting for managers that have disconnected,
         #: so post-run stats still cover the whole campaign.
         self._retired_manager_stats: Dict[str, Dict[str, int]] = {}
@@ -291,6 +311,25 @@ class Interchange:
             "queue_depth": self.pending_tasks.qsize(),
             "oversubscription_events": self.oversubscription_events,
             "managers": retired,
+            "faults": self.fault_stats(),
+        }
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Campaign fault counters: what died, and what happened to its work.
+
+        ``tasks_redispatched`` counts every requeue, whether the trigger was
+        a lost worker, a lost manager, or a drain timeout; ``in_flight_cores``
+        is the live sum across connected managers, which must return to zero
+        once a campaign settles (the chaos acceptance asserts exactly that).
+        """
+        with self._managers_lock:
+            in_flight = sum(m.in_flight_cores for m in self._managers.values() if m.active)
+        return {
+            "managers_lost": self.managers_lost,
+            "workers_lost": self.workers_lost,
+            "tasks_redispatched": self.tasks_redispatched,
+            "tasks_poisoned": self.tasks_poisoned,
+            "in_flight_cores": in_flight,
         }
 
     def _retire_manager_stats(self, record: ManagerRecord) -> None:
@@ -397,15 +436,22 @@ class Interchange:
         elif mtype == "results":
             self._touch(identity)
             items = message.get("items", [])
+            genuine = []
             with self._managers_lock:
                 record = self._managers.get(identity)
                 for item in items:
+                    if "worker_lost" in item:
+                        continue  # settled (and counted) in _handle_worker_lost
+                    genuine.append(item)
                     if record is not None:
                         settled = record.outstanding.pop(item["task_id"], None)
                         if settled is not None:
                             freed = msg.task_cores(settled)
                             record.in_flight_cores = max(record.in_flight_cores - freed, 0)
             for item in items:
+                if "worker_lost" in item:
+                    self._handle_worker_lost(identity, item)
+            for item in genuine:
                 self.results_received += 1
                 item.setdefault("manager", identity)
                 self.result_callback(item)
@@ -420,6 +466,73 @@ class Interchange:
             record = self._managers.get(identity)
             if record is not None:
                 record.last_heartbeat = time.time()
+
+    def _handle_worker_lost(self, identity: str, item: Dict[str, Any]) -> None:
+        """Settle a task whose worker died mid-execution (poison quarantine).
+
+        The kill is charged against the *task* (the count rides in the
+        dispatched item, so it survives requeues and manager failover):
+
+        * below ``poison_threshold`` the task is redispatched — it re-enters
+          the pending queue at its original priority stamp, and may well land
+          back on the reporting manager, whose worker was respawned;
+        * at the threshold it is failed with a typed
+          :class:`~repro.errors.WorkerPoisonError` instead, so one bad task
+          cannot keep killing freshly respawned workers forever;
+        * with no eligible manager left it fails with
+          :class:`~repro.errors.WorkerLost` rather than stranding in the
+          pending queue (mirroring the no-survivor ManagerLost rule).
+        """
+        info = item.get("worker_lost") or {}
+        task_id = item["task_id"]
+        hostname = str(info.get("hostname", "unknown"))
+        with self._managers_lock:
+            self.workers_lost += 1
+            record = self._managers.get(identity)
+            settled = record.outstanding.pop(task_id, None) if record is not None else None
+            if settled is not None and record is not None:
+                freed = msg.task_cores(settled)
+                record.in_flight_cores = max(record.in_flight_cores - freed, 0)
+            if settled is None:
+                # Already settled (e.g. the manager was declared lost and the
+                # task requeued before this straggler arrived): the kill was
+                # real, but there is nothing left to charge it against.
+                return
+            kills = settled["worker_kills"] = settled.get("worker_kills", 0) + 1
+            survivors = any(
+                m.active and not m.blacklisted and not m.draining
+                for m in self._managers.values()
+            )
+        if kills >= self.poison_threshold:
+            self.tasks_poisoned += 1
+            logger.warning(
+                "task %s quarantined as poison after killing %d workers (last: worker %s on %s)",
+                task_id, kills, info.get("worker_id"), hostname,
+            )
+            self.result_callback(
+                {
+                    "task_id": task_id,
+                    "exception": WorkerPoisonError(task_id, kills, hostname),
+                    "manager": identity,
+                }
+            )
+        elif survivors:
+            self.tasks_redispatched += 1
+            logger.info(
+                "task %s redispatched after losing worker %s on %s (kill %d/%d)",
+                task_id, info.get("worker_id"), hostname, kills, self.poison_threshold,
+            )
+            self.pending_tasks.put(settled)
+        else:
+            self.result_callback(
+                {
+                    "task_id": task_id,
+                    "exception": WorkerLost(
+                        info.get("worker_id"), hostname, info.get("exitcode")
+                    ),
+                    "manager": identity,
+                }
+            )
 
     # ------------------------------------------------------------------
     def _dispatch_tasks(self) -> None:
@@ -629,6 +742,7 @@ class Interchange:
             if record is None or not record.active:
                 return
             record.active = False
+            self.managers_lost += 1
             outstanding = list(record.outstanding.values())
             record.outstanding.clear()
             record.in_flight_cores = 0
@@ -648,6 +762,7 @@ class Interchange:
                 item["redispatches"] = item.get("redispatches", 0) + 1
                 self.pending_tasks.put(item)
                 requeued += 1
+                self.tasks_redispatched += 1
             else:
                 self.result_callback(
                     {

@@ -10,7 +10,27 @@ that:
 * aggregates results and returns them to the interchange in batches,
 * exchanges heartbeats with the interchange and **exits immediately** if the
   interchange goes silent, to avoid wasting allocation time — the behaviour
-  described in the paper.
+  described in the paper,
+* supervises its workers: each worker publishes the task it is executing in
+  a shared claims array, and a supervisor thread polls worker liveness. A
+  worker that dies mid-task (segfault, OOM kill, ``os._exit`` in user code)
+  gets a :class:`~repro.errors.WorkerLost` result synthesized for its
+  claimed task — releasing the in-flight cores it held — and is respawned,
+  up to ``worker_respawn_limit`` respawns per manager. Past the budget the
+  manager exits cleanly so the interchange's ``ManagerLost`` path requeues
+  whatever it still held.
+
+Tasks travel to process workers over **per-worker duplex pipes**, not a
+shared ``multiprocessing.Queue``: the shared queue's cross-process read
+lock is held by whichever idle worker is currently inside
+``get(timeout=...)``, so a SIGKILL landing on that worker would wedge the
+entire pool (and all future respawns) behind a lock nobody will ever
+release — a frozen pool that still heartbeats. With private pipes the
+manager routes each task to the least-loaded live worker, a per-slot
+reader thread funnels results into a manager-local (single-process, and
+therefore unpoisonable) queue, and when a worker dies the supervisor
+drains whatever the victim managed to send, synthesizes the loss for its
+claimed task, and re-routes the tasks it never started.
 
 The manager can be embedded (``Manager(...).start()`` from Python, used by
 tests and by the thread-mode executor) or run as a process via
@@ -29,7 +49,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.comms.client import MessageClient
 from repro.executors.htex import messages as msg
-from repro.executors.htex.worker import STOP, worker_loop, worker_process_main
+from repro.executors.htex.worker import (
+    NO_CLAIM,
+    STOP,
+    ThreadChannel,
+    worker_loop,
+    worker_process_main,
+)
 from repro.utils.ids import make_manager_id
 
 logger = logging.getLogger(__name__)
@@ -51,11 +77,15 @@ class Manager:
         worker_mode: str = "process",
         sandbox_root: Optional[str] = None,
         manager_id: Optional[str] = None,
+        worker_respawn_limit: int = 8,
+        supervision_period: float = 0.1,
     ):
         if worker_count < 1:
             raise ValueError("worker_count must be >= 1")
         if worker_mode not in ("process", "thread"):
             raise ValueError("worker_mode must be 'process' or 'thread'")
+        if worker_respawn_limit < 0:
+            raise ValueError("worker_respawn_limit must be >= 0")
         self.interchange_host = interchange_host
         self.interchange_port = interchange_port
         self.worker_count = worker_count
@@ -67,18 +97,44 @@ class Manager:
         self.worker_mode = worker_mode
         self.sandbox_root = sandbox_root
         self.manager_id = manager_id or make_manager_id()
+        self.worker_respawn_limit = worker_respawn_limit
+        self.supervision_period = supervision_period
 
         self._client: Optional[MessageClient] = None
         self._workers: List[Any] = []
         if worker_mode == "process":
             ctx = multiprocessing.get_context("fork")
-            self._task_queue: Any = ctx.Queue()
-            self._result_queue: Any = ctx.Queue()
             self._ctx = ctx
+            # One slot per worker in shared memory: the task id the worker is
+            # executing, NO_CLAIM when idle. Survives the worker's death (the
+            # whole point), unlike anything in flight on the worker's pipe.
+            self._claims: Any = ctx.Array("q", [NO_CLAIM] * worker_count, lock=False)
         else:
-            self._task_queue = queue_module.Queue()
-            self._result_queue = queue_module.Queue()
             self._ctx = None
+            self._claims = [NO_CLAIM] * worker_count
+        # Results funnel into a manager-local queue — plain queue.Queue, no
+        # cross-process locks a dying worker could poison. Process workers
+        # reach it via per-slot reader threads; thread workers deliver
+        # directly.
+        self._result_queue: Any = queue_module.Queue()
+        #: Per-slot manager-side channel to the worker: a duplex Connection
+        #: (process mode) or a ThreadChannel (thread mode).
+        self._channels: List[Any] = [None] * worker_count
+        #: Per-slot send lock: the task router, the supervisor's re-route and
+        #: shutdown's STOP pills may write the same pipe concurrently, and
+        #: Connection.send is not atomic across writers.
+        self._channel_locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(worker_count)
+        ]
+        #: Per-slot (reader thread, stop event); None for thread workers.
+        self._readers: List[Any] = [None] * worker_count
+        #: Per-slot task_id -> item for tasks routed to that worker and not
+        #: yet settled; guarded by ``_capacity_lock``. On worker death this
+        #: is exactly the set to recover: the claimed entry becomes a
+        #: synthesized loss, the rest never started and are re-routed.
+        self._assigned: List[Dict[int, Dict[str, Any]]] = [
+            {} for _ in range(worker_count)
+        ]
         self._stop_event = threading.Event()
         self._draining = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -92,6 +148,9 @@ class Manager:
         self._capacity_lock = threading.Lock()
         self.tasks_received = 0
         self.results_sent = 0
+        #: Workers that died unexpectedly / were respawned by the supervisor.
+        self.workers_lost = 0
+        self.workers_respawned = 0
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +186,7 @@ class Manager:
             ("task-puller", self._task_pull_loop),
             ("result-pusher", self._result_push_loop),
             ("heartbeat", self._heartbeat_loop),
+            ("supervisor", self._supervise_loop),
         ]:
             t = threading.Thread(target=target, name=f"{self.manager_id}-{name}", daemon=True)
             t.start()
@@ -134,24 +194,106 @@ class Manager:
 
     def _start_workers(self) -> None:
         for worker_id in range(self.worker_count):
-            if self.worker_mode == "process":
-                proc = self._ctx.Process(
-                    target=worker_process_main,
-                    args=(worker_id, self._task_queue, self._result_queue, self.sandbox_root),
-                    name=f"{self.manager_id}-worker-{worker_id}",
-                    daemon=True,
-                )
-                proc.start()
-                self._workers.append(proc)
-            else:
-                t = threading.Thread(
-                    target=worker_loop,
-                    args=(worker_id, self._task_queue, self._result_queue, self.sandbox_root),
-                    name=f"{self.manager_id}-worker-{worker_id}",
-                    daemon=True,
-                )
-                t.start()
-                self._workers.append(t)
+            self._workers.append(self._spawn_worker(worker_id))
+
+    def _spawn_worker(self, worker_id: int) -> Any:
+        """Start (or restart) the worker for one slot and return its handle."""
+        self._claims[worker_id] = NO_CLAIM
+        if self.worker_mode == "process":
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=worker_process_main,
+                args=(worker_id, child_conn, self.sandbox_root, self._claims),
+                name=f"{self.manager_id}-worker-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # the worker holds its own copy now
+            self._channels[worker_id] = parent_conn
+            stop_evt = threading.Event()
+            reader = threading.Thread(
+                target=self._reader_loop,
+                args=(worker_id, parent_conn, stop_evt),
+                name=f"{self.manager_id}-reader-{worker_id}",
+                daemon=True,
+            )
+            reader.start()
+            self._readers[worker_id] = (reader, stop_evt)
+            return proc
+        channel = ThreadChannel(
+            lambda item, wid=worker_id: self._deliver_result(wid, item)
+        )
+        self._channels[worker_id] = channel
+        t = threading.Thread(
+            target=worker_loop,
+            args=(worker_id, channel, self.sandbox_root, self._claims),
+            name=f"{self.manager_id}-worker-{worker_id}",
+            daemon=True,
+        )
+        t.start()
+        return t
+
+    # ------------------------------------------------------------------
+    # Per-worker channel plumbing
+    # ------------------------------------------------------------------
+    def _deliver_result(self, worker_id: int, item: Dict[str, Any]) -> None:
+        """Move one worker result into the local result queue.
+
+        Pops the task from the slot's assigned set first, so that when the
+        supervisor later sweeps a dead worker's slot, whatever is left there
+        is exactly the work that never produced a result.
+        """
+        with self._capacity_lock:
+            self._assigned[worker_id].pop(item.get("task_id"), None)
+        self._result_queue.put(item)
+
+    def _reader_loop(self, worker_id: int, conn: Any, stop_evt: threading.Event) -> None:
+        """Funnel one process worker's pipe into the local result queue."""
+        while not (stop_evt.is_set() or self._stop_event.is_set()):
+            try:
+                if conn.poll(0.1):
+                    item = conn.recv()
+                    if item is not None:
+                        self._deliver_result(worker_id, item)
+            except (EOFError, OSError):
+                return
+
+    def _send_to_worker(self, worker_id: int, payload: Any) -> None:
+        with self._channel_locks[worker_id]:
+            self._channels[worker_id].send(payload)
+
+    def _route_item(self, item: Dict[str, Any]) -> None:
+        """Send one task to the least-loaded live worker.
+
+        Blocks (politely) while every slot is mid-respawn; if the manager
+        stops before a live worker appears, the item stays charged in
+        ``_task_cores`` and the interchange's ManagerLost path requeues it.
+        """
+        task_id = item["task_id"]
+        while not self._stop_event.is_set():
+            with self._capacity_lock:
+                live = [
+                    wid
+                    for wid in range(self.worker_count)
+                    if not self._worker_is_dead(self._workers[wid])
+                ]
+                if live:
+                    target = min(live, key=lambda wid: len(self._assigned[wid]))
+                    self._assigned[target][task_id] = item
+                else:
+                    target = None
+            if target is None:
+                time.sleep(0.02)
+                continue
+            try:
+                self._send_to_worker(target, item)
+                return
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between the liveness check and the send;
+                # un-assign and pick again (the supervisor will respawn it).
+                with self._capacity_lock:
+                    self._assigned[target].pop(task_id, None)
+                time.sleep(0.01)
 
     # ------------------------------------------------------------------
     # Service loops
@@ -172,7 +314,7 @@ class Manager:
                         self._task_cores[item["task_id"]] = cores
                         self._in_flight += cores
                 for item in items:
-                    self._task_queue.put(item)
+                    self._route_item(item)
                 self._last_interchange_contact = time.time()
             elif mtype == "heartbeat_reply":
                 self._last_interchange_contact = time.time()
@@ -197,31 +339,203 @@ class Manager:
         immediately: bursts travel as dense batches while a lone result is
         never delayed by a flush timer. The results message and the follow-up
         capacity advertisement share one socket write.
+
+        Items are either genuine results (``buffer``) or supervisor-synthesized
+        losses (``worker_lost``); either way the first settle of a task id wins
+        — later items for an already-settled task are dropped, which is what
+        makes the claim-clearing race in the worker benign.
+
+        A broken result queue (EOFError/OSError) is fatal: the manager can no
+        longer deliver results, so it must *stop* — and stop heartbeating — so
+        the interchange declares it lost and requeues its work. Swallowing the
+        error and keeping the heartbeat alive would silently black-hole every
+        in-flight task.
         """
         assert self._client is not None
         while not self._stop_event.is_set():
+            queue_broken = False
             try:
-                item = self._result_queue.get(timeout=0.05)
+                item: Optional[Dict[str, Any]] = self._result_queue.get(timeout=0.05)
             except queue_module.Empty:
                 continue
             except (EOFError, OSError):
+                logger.error(
+                    "manager %s: result queue broke; exiting so the interchange requeues",
+                    self.manager_id,
+                )
+                self._stop_event.set()
                 break
-            batch: List[Dict[str, Any]] = [{"task_id": item["task_id"], "buffer": item["buffer"]}]
-            while len(batch) < self.result_batch_size:
+            raw: List[Dict[str, Any]] = [item] if item is not None else []
+            while len(raw) < self.result_batch_size:
                 try:
                     extra = self._result_queue.get_nowait()
                 except queue_module.Empty:
                     break
                 except (EOFError, OSError):
+                    queue_broken = True
                     break
-                batch.append({"task_id": extra["task_id"], "buffer": extra["buffer"]})
+                if extra is not None:
+                    raw.append(extra)
+            batch: List[Dict[str, Any]] = []
             with self._capacity_lock:
-                freed = sum(self._task_cores.pop(result["task_id"], 1) for result in batch)
+                freed = 0
+                for result in raw:
+                    cores = self._task_cores.pop(result["task_id"], None)
+                    if cores is None:
+                        continue  # already settled (result raced a synthesized loss)
+                    freed += cores
+                    entry: Dict[str, Any] = {"task_id": result["task_id"]}
+                    if "buffer" in result:
+                        entry["buffer"] = result["buffer"]
+                    else:
+                        entry["worker_lost"] = result["worker_lost"]
+                    batch.append(entry)
                 self._in_flight = max(self._in_flight - freed, 0)
-            self.results_sent += len(batch)
-            self._client.send_many(
-                [msg.results_message(batch), msg.ready_message(self._free_capacity())]
-            )
+            if batch:
+                self.results_sent += len(batch)
+                self._client.send_many(
+                    [msg.results_message(batch), msg.ready_message(self._free_capacity())]
+                )
+            if queue_broken:
+                logger.error(
+                    "manager %s: result queue broke; exiting so the interchange requeues",
+                    self.manager_id,
+                )
+                self._stop_event.set()
+                break
+
+    # ------------------------------------------------------------------
+    # Worker supervision
+    # ------------------------------------------------------------------
+    def _worker_is_dead(self, worker: Any) -> bool:
+        if hasattr(worker, "exitcode"):
+            return worker.exitcode is not None
+        return not worker.is_alive()
+
+    def _supervise_loop(self) -> None:
+        """Contain worker crashes: synthesize losses, release cores, respawn.
+
+        Polls every worker slot each ``supervision_period``. A worker that
+        died without a shutdown being requested has its claimed task (read
+        from the shared claims array) settled with a synthesized
+        ``worker_lost`` item pushed through the normal result path — so its
+        in-flight cores are released and the interchange learns about the
+        kill — and the slot is respawned, until ``worker_respawn_limit``
+        respawns have been spent. Past the budget the manager stops cleanly:
+        the interchange's ManagerLost machinery requeues everything it still
+        held, which is strictly better than a zombie manager heartbeating
+        over a shrinking (eventually empty) worker pool.
+        """
+        hostname = socket.gethostname()
+        respawns_left = self.worker_respawn_limit
+        while not self._stop_event.is_set():
+            self._stop_event.wait(self.supervision_period)
+            if self._stop_event.is_set():
+                return
+            for worker_id, worker in enumerate(self._workers):
+                if not self._worker_is_dead(worker):
+                    continue
+                if self._stop_event.is_set():
+                    return  # shutdown raced the poll: STOP-pill exits are not crashes
+                self.workers_lost += 1
+                exitcode = getattr(worker, "exitcode", None)
+                claimed = self._claims[worker_id]
+                logger.warning(
+                    "manager %s: worker %d died (exitcode %s) holding task %s",
+                    self.manager_id, worker_id, exitcode,
+                    claimed if claimed != NO_CLAIM else "none",
+                )
+                # Salvage first: results the victim sent before dying are
+                # still readable from its pipe, and delivering them pops the
+                # slot's assigned set — so the loss/re-route sweep below sees
+                # only work that genuinely never finished. FIFO through the
+                # local result queue then guarantees a salvaged genuine
+                # result settles before the synthesized loss reaches dedup.
+                self._retire_channel(worker_id)
+                if claimed != NO_CLAIM:
+                    self._claims[worker_id] = NO_CLAIM
+                    self._result_queue.put(
+                        msg.worker_lost_item(int(claimed), worker_id, hostname, exitcode)
+                    )
+                if respawns_left > 0:
+                    respawns_left -= 1
+                    self.workers_respawned += 1
+                    self._workers[worker_id] = self._spawn_worker(worker_id)
+                    self._reroute_orphans(worker_id, int(claimed))
+                else:
+                    logger.error(
+                        "manager %s: worker respawn budget (%d) exhausted; exiting so "
+                        "the interchange takes over",
+                        self.manager_id, self.worker_respawn_limit,
+                    )
+                    self._flush_then_stop(int(claimed) if claimed != NO_CLAIM else None)
+                    return
+
+    def _retire_channel(self, worker_id: int) -> None:
+        """Stop a dead worker's reader and salvage what its pipe still holds.
+
+        A SIGKILLed worker may have sent results the reader had not pulled
+        yet; pipe contents survive the writer's death, so drain them before
+        closing. Thread workers have no reader (they cannot die by signal),
+        so this is a no-op for them.
+        """
+        entry = self._readers[worker_id]
+        if entry is None:
+            return
+        reader, stop_evt = entry
+        stop_evt.set()
+        reader.join(timeout=1.0)
+        conn = self._channels[worker_id]
+        try:
+            while conn.poll(0):
+                item = conn.recv()
+                if item is not None:
+                    self._deliver_result(worker_id, item)
+        except (EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self._readers[worker_id] = None
+
+    def _reroute_orphans(self, worker_id: int, claimed: int) -> None:
+        """Re-route tasks the dead worker never started to live workers.
+
+        After the salvage in :meth:`_retire_channel`, the slot's assigned set
+        holds only unsettled work: the claimed task (mid-execution when the
+        worker died — it becomes a synthesized loss, charged as a kill) and
+        tasks still sitting unread in the dead pipe. The latter never
+        started, so they move to another worker silently: no kill is charged
+        and the interchange never knows.
+        """
+        with self._capacity_lock:
+            orphans = [
+                item
+                for task_id, item in self._assigned[worker_id].items()
+                if task_id != claimed and task_id in self._task_cores
+            ]
+            self._assigned[worker_id] = {}
+        for item in orphans:
+            self._route_item(item)
+
+    def _flush_then_stop(self, task_id: Optional[int]) -> None:
+        """Give a final synthesized loss a moment to reach the wire, then stop.
+
+        The worker-kill count for the task that exhausted the budget must
+        reach the interchange (else a poison task resets its tally on every
+        manager it chews through); the push loop clears ``_task_cores`` as it
+        flushes, so wait for that — bounded, since the manager is dying
+        either way.
+        """
+        if task_id is not None:
+            deadline = time.time() + 2.0
+            while time.time() < deadline:
+                with self._capacity_lock:
+                    if task_id not in self._task_cores:
+                        break
+                time.sleep(0.01)
+        self._stop_event.set()
 
     def _heartbeat_loop(self) -> None:
         assert self._client is not None
@@ -248,11 +562,11 @@ class Manager:
 
     def shutdown(self) -> None:
         self._stop_event.set()
-        for _ in self._workers:
+        for worker_id in range(len(self._workers)):
             try:
-                self._task_queue.put(STOP)
-            except (OSError, ValueError):
-                break
+                self._send_to_worker(worker_id, STOP)
+            except (OSError, ValueError, BrokenPipeError, AttributeError):
+                continue  # already-dead worker / retired channel: nothing to stop
         for worker in self._workers:
             if hasattr(worker, "terminate"):
                 worker.join(timeout=1)
@@ -260,6 +574,16 @@ class Manager:
                     worker.terminate()
             else:
                 worker.join(timeout=1)
+        for worker_id, entry in enumerate(self._readers):
+            if entry is None:
+                continue
+            reader, stop_evt = entry
+            stop_evt.set()
+            reader.join(timeout=1)
+            try:
+                self._channels[worker_id].close()
+            except (OSError, AttributeError):
+                pass
         if self._client is not None:
             self._client.close()
 

@@ -51,6 +51,32 @@ def drain_ack_message() -> Dict[str, Any]:
     return {"type": "drain_ack"}
 
 
+def worker_lost_item(
+    task_id: int,
+    worker_id: int,
+    hostname: str,
+    exitcode: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A synthesized result for a task whose worker died mid-execution.
+
+    Travels inside a normal ``results`` message (so ordering relative to
+    genuine results is preserved) but carries a ``worker_lost`` record
+    instead of a ``buffer``. The interchange settles the task's capacity,
+    bumps its worker-kill count, and either redispatches it or — past the
+    poison threshold — fails it with
+    :class:`~repro.errors.WorkerPoisonError`.
+    """
+    return {
+        "task_id": task_id,
+        "worker_lost": {
+            "worker_id": worker_id,
+            "hostname": hostname,
+            "exitcode": exitcode,
+            "lost_at": time.time(),
+        },
+    }
+
+
 # ---------------------------------------------------------------------------
 # Task items (executor -> interchange -> manager)
 # ---------------------------------------------------------------------------

@@ -29,6 +29,12 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--heartbeat-period", type=float, default=1.0)
     parser.add_argument("--heartbeat-threshold", type=float, default=10.0)
     parser.add_argument("--result-batch-size", type=int, default=16)
+    parser.add_argument(
+        "--worker-respawn-limit",
+        type=int,
+        default=8,
+        help="crashed-worker respawns before the manager gives up and exits",
+    )
     parser.add_argument("--worker-mode", choices=["process", "thread"], default="process")
     parser.add_argument("--sandbox-root", default=None, help="directory for per-worker sandboxes")
     parser.add_argument("--debug", action="store_true")
@@ -51,6 +57,7 @@ def main(argv=None) -> int:
         heartbeat_period=args.heartbeat_period,
         heartbeat_threshold=args.heartbeat_threshold,
         result_batch_size=args.result_batch_size,
+        worker_respawn_limit=args.worker_respawn_limit,
         worker_mode=args.worker_mode,
         sandbox_root=args.sandbox_root,
         manager_id=None if node_rank == "0" else None,

@@ -1015,9 +1015,11 @@ class WorkflowGateway:
         with self._lock:
             return {name: state.counts() for name, state in self._tenants.items()}
 
-    def shard_stats(self) -> List[Dict[str, int]]:
+    def shard_stats(self) -> List[Dict[str, Any]]:
         """Per-shard occupancy: alive flag, window, in-flight, queue depth,
-        lifetime dispatch/completion counters. Safe from any thread."""
+        lifetime dispatch/completion counters, plus a ``faults`` row with the
+        execution-layer fault counters aggregated across the shard's
+        interchange-backed executors. Safe from any thread."""
         with self._lock:
             return [shard.stats() for shard in self.shards]
 

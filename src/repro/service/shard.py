@@ -78,8 +78,31 @@ class GatewayShard:
         """Backlog metric the router compares shards by."""
         return self.inflight + self.queue.qsize()
 
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of this shard's counters for ``stats_reply``/healthz."""
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of this shard's counters for ``stats_reply``/healthz.
+
+        Includes a ``faults`` row aggregating the execution-layer fault
+        counters (managers lost, workers lost, tasks redispatched, tasks
+        poisoned) across every interchange-backed executor behind this
+        shard's DFK, so an operator polling gateway ``stats`` sees worker
+        crashes without shelling into the cluster.
+        """
+        faults: Dict[str, int] = {
+            "managers_lost": 0,
+            "workers_lost": 0,
+            "tasks_redispatched": 0,
+            "tasks_poisoned": 0,
+        }
+        for executor in getattr(self.dfk, "executors", {}).values():
+            interchange = getattr(executor, "interchange", None)
+            if interchange is None:
+                continue
+            try:
+                for key, value in interchange.fault_stats().items():
+                    if key in faults:
+                        faults[key] += int(value)
+            except Exception:  # noqa: BLE001 - stats must not kill the gateway
+                continue
         return {
             "alive": int(self.alive),
             "inflight": self.inflight,
@@ -87,6 +110,7 @@ class GatewayShard:
             "window": self.window,
             "dispatched": self.dispatched_total,
             "completed": self.completed_total,
+            "faults": faults,  # type: ignore[dict-item]
         }
 
 

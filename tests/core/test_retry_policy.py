@@ -1,0 +1,191 @@
+"""Unit tests for RetryPolicy: classification, backoff shape, Config wiring."""
+
+import random
+
+import pytest
+
+import repro
+from repro import Config, RetryPolicy
+from repro.apps.app import python_app
+from repro.core import retry as retry_mod
+from repro.errors import (
+    ConfigurationError,
+    ManagerLost,
+    ResourceSpecError,
+    ShardUnavailableError,
+    TaskWalltimeExceeded,
+    UnsupportedFeatureError,
+    WorkerLost,
+    WorkerPoisonError,
+)
+
+
+def _worker_lost():
+    return WorkerLost(7, "somehost")
+
+
+def _poison():
+    return WorkerPoisonError(7, 2, "somehost")
+
+
+class TestClassification:
+    def test_transient_infrastructure_failures(self):
+        policy = RetryPolicy()
+        for exc in (
+            _worker_lost(),
+            ManagerLost("mgr-1", "somehost"),
+            ShardUnavailableError("no shard"),
+        ):
+            assert policy.classify(exc) == retry_mod.TRANSIENT
+
+    def test_fail_fast_deterministic_failures(self):
+        policy = RetryPolicy()
+        for exc in (
+            _poison(),
+            ResourceSpecError("cores=999"),
+            UnsupportedFeatureError("nope"),
+            TaskWalltimeExceeded("task exceeded its walltime"),
+        ):
+            assert policy.classify(exc) == retry_mod.FAIL_FAST
+
+    def test_user_code_failures_are_plain_retries(self):
+        policy = RetryPolicy()
+        assert policy.classify(ValueError("boom")) == retry_mod.RETRY
+
+    def test_fail_fast_wins_when_listed_in_both(self):
+        policy = RetryPolicy(retryable=(WorkerLost,), fail_fast=(WorkerLost,))
+        assert policy.classify(_worker_lost()) == retry_mod.FAIL_FAST
+
+    def test_custom_classes_override_defaults(self):
+        policy = RetryPolicy(retryable=(KeyError,), fail_fast=(ValueError,))
+        assert policy.classify(KeyError("k")) == retry_mod.TRANSIENT
+        assert policy.classify(ValueError("v")) == retry_mod.FAIL_FAST
+        # WorkerLost is no longer listed anywhere: ordinary retry.
+        assert policy.classify(_worker_lost()) == retry_mod.RETRY
+
+
+class TestDelays:
+    def test_transient_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_backoff_s=0.5, factor=2.0, cap_s=100.0, jitter=0.0)
+        delays = [policy.delay_for(_worker_lost(), attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [0.5, 1.0, 2.0, 4.0]
+
+    def test_cap_bounds_the_growth(self):
+        policy = RetryPolicy(base_backoff_s=1.0, factor=10.0, cap_s=5.0, jitter=0.0)
+        assert policy.delay_for(_worker_lost(), 10) == 5.0
+
+    def test_ordinary_failures_use_flat_base_delay(self):
+        policy = RetryPolicy(base_backoff_s=0.25, factor=2.0, cap_s=100.0, jitter=0.0)
+        assert [policy.delay_for(ValueError(), a) for a in (1, 5)] == [0.25, 0.25]
+
+    def test_zero_base_means_immediate_retry(self):
+        policy = RetryPolicy(base_backoff_s=0.0, jitter=0.5)
+        assert policy.delay_for(_worker_lost(), 3) == 0.0
+        assert policy.delay_for(ValueError(), 1) == 0.0
+
+    def test_fail_fast_never_schedules_a_delay(self):
+        policy = RetryPolicy(base_backoff_s=1.0)
+        assert policy.delay_for(_poison(), 1) == 0.0
+
+    def test_jitter_stays_within_equal_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, factor=1.0, cap_s=10.0, jitter=0.5,
+            rng=random.Random(7),
+        )
+        for _ in range(200):
+            delay = policy.delay_for(_worker_lost(), 1)
+            # equal-jitter: delay * [1 - j/2, 1 + j/2) = [0.75, 1.25)
+            assert 0.75 <= delay < 1.25
+
+    def test_seeded_rng_is_reproducible(self):
+        a = RetryPolicy(base_backoff_s=0.5, jitter=0.5, rng=random.Random(42))
+        b = RetryPolicy(base_backoff_s=0.5, jitter=0.5, rng=random.Random(42))
+        seq_a = [a.delay_for(_worker_lost(), i) for i in range(1, 6)]
+        seq_b = [b.delay_for(_worker_lost(), i) for i in range(1, 6)]
+        assert seq_a == seq_b
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_backoff_s": -0.1},
+            {"factor": 0.5},
+            {"cap_s": -1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_from_config_mirrors_legacy_knob(self):
+        policy = RetryPolicy.from_config(0.75)
+        assert policy.base_backoff_s == 0.75
+        assert "RetryPolicy" in repr(policy)
+
+
+class TestConfigWiring:
+    def test_default_config_builds_policy_from_retry_backoff_s(self):
+        cfg = Config(retry_backoff_s=0.5)
+        assert isinstance(cfg.retry_policy, RetryPolicy)
+        assert cfg.retry_policy.base_backoff_s == 0.5
+
+    def test_explicit_policy_wins(self):
+        policy = RetryPolicy(base_backoff_s=2.0, factor=3.0)
+        cfg = Config(retry_policy=policy, retry_backoff_s=0.1)
+        assert cfg.retry_policy is policy
+
+    def test_non_policy_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(retry_policy="exponential")
+
+    def test_negative_retry_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(retry_backoff_s=-1.0)
+
+
+class TestDFKFailFast:
+    """Attempts are tallied through the filesystem: task arguments are
+    serialized by value into the executor, so a shared list would not see
+    worker-side mutations."""
+
+    def test_poison_error_skips_remaining_retries(self, run_dir, tmp_path):
+        """A fail-fast failure fails the AppFuture on attempt 1 of many."""
+        log = str(tmp_path / "poison_attempts")
+
+        @python_app
+        def poisoned(path):
+            with open(path, "a") as fh:
+                fh.write("x\n")
+            raise WorkerPoisonError(0, 2, "hostq")
+
+        repro.load(Config(retries=5, run_dir=run_dir))
+        try:
+            with pytest.raises(WorkerPoisonError):
+                poisoned(log).result(timeout=30)
+            with open(log) as fh:
+                assert len(fh.readlines()) == 1  # no retry ever launched
+        finally:
+            repro.clear()
+
+    def test_ordinary_failure_still_retries(self, run_dir, tmp_path):
+        log = str(tmp_path / "flaky_attempts")
+
+        @python_app
+        def flaky(path):
+            with open(path, "a") as fh:
+                fh.write("x\n")
+            with open(path) as fh:
+                if len(fh.readlines()) < 3:
+                    raise ValueError("transient-looking user bug")
+            return "ok"
+
+        repro.load(Config(retries=5, run_dir=run_dir))
+        try:
+            assert flaky(log).result(timeout=30) == "ok"
+            with open(log) as fh:
+                assert len(fh.readlines()) == 3
+        finally:
+            repro.clear()
