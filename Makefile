@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-sched bench-service bench-http bench-shard bench-chaos chaos coverage lint docs-lint linkcheck mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-obsv bench-sched bench-service bench-http bench-shard bench-chaos chaos coverage lint docs-lint linkcheck mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -27,6 +27,12 @@ bench-smoke:
 bench-overhead:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_dfk_overhead.py \
 		--benchmark-json=BENCH_overhead.json
+
+# Observability overhead gate: metrics + tracing on vs off on the Fig. 4
+# throughput anchor; fails if the instrumented best round loses >5%.
+bench-obsv:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_observability_overhead.py \
+		--benchmark-json=BENCH_observability.json
 
 # The fig7 resource-aware scheduling bench (priority overtaking, bin-packed
 # multi-core placement, default-path throughput guard) at full scale.

@@ -1,0 +1,155 @@
+"""Observability overhead gate: metrics + tracing must cost ≤ 5%.
+
+The tentpole instruments every hop of the submit → execute → deliver
+pipeline (registry counters/histograms plus trace-context stamps). All of
+it is O(1) appends and integer adds, so its cost must be invisible at the
+paper's throughput anchor: no-op tasks through a real in-process HTEX (the
+same fabric Fig. 4's laptop-scale anchor runs on), instrumentation on
+versus off, interleaved in one process. The gate is
+
+    best(on) >= 0.95 * best(off)
+
+Measurement protocol, tuned for noisy CI machines:
+
+* The MonitoringHub is attached in *both* modes — it predates the
+  observability plane, so the on/off delta isolates exactly what this
+  subsystem added (``metrics_enabled``/``trace_enabled``, including the
+  span-row flushes the trace path feeds through the hub).
+* One discarded warm-up run per mode absorbs import/thread-spawn costs.
+* Rounds alternate mode *and* flip their in-round order, so process-level
+  drift (thread churn, allocator growth) cannot systematically punish one
+  mode.
+* The gate compares the best round per mode: noise only ever makes a round
+  slower, so max() estimates true capability, while a genuine hot-path
+  regression shows up in every round including the best one.
+* If the gate still fails, extra alternating round pairs are added (up to
+  ``MAX_ROUNDS``) before judging: on a loaded machine a single quiet
+  round per mode is all max() needs, and a genuine regression cannot be
+  outwaited because no amount of extra sampling makes the instrumented
+  best exceed its true capability.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config.config import Config
+from repro.core.dflow import DataFlowKernel
+from repro.executors import HighThroughputExecutor
+from repro.monitoring.db import InMemoryStore
+from repro.monitoring.hub import MonitoringHub
+from conftest import fast_scaled, noop, print_table
+
+#: Alternating rounds per mode; the gate compares the best of each.
+ROUNDS = 5
+
+#: Ceiling on extra rounds added while the gate fails on a noisy machine.
+MAX_ROUNDS = 12
+
+#: Maximum throughput the instrumented mode may lose against the best
+#: uninstrumented round (the issue's acceptance number).
+MAX_OVERHEAD = 0.05
+
+
+def _throughput(run_dir, instrumented: bool, n_tasks: int) -> float:
+    """Completed no-op tasks/s through a fresh internal-mode HTEX kernel."""
+    cfg = Config(
+        executors=[
+            HighThroughputExecutor(
+                label="htex_obsv",
+                workers_per_node=4,
+                worker_mode="thread",
+                internal_managers=1,
+            )
+        ],
+        run_dir=str(run_dir),
+        strategy="none",
+        metrics_enabled=instrumented,
+        trace_enabled=instrumented,
+        monitoring=MonitoringHub(store=InMemoryStore()),
+    )
+    dfk = DataFlowKernel(cfg)
+    try:
+        start = time.perf_counter()
+        futures = [dfk.submit(noop) for _ in range(n_tasks)]
+        for f in futures:
+            f.result(timeout=300)
+        elapsed = time.perf_counter() - start
+    finally:
+        dfk.cleanup()
+    return n_tasks / elapsed
+
+
+def test_observability_overhead_under_five_percent(benchmark, tmp_path,
+                                                   quiet_logging):
+    """Fig. 4 anchor throughput, instrumentation on vs off, gated at 5%."""
+    n_tasks = fast_scaled(3000, 1500)
+    # One throwaway warm-up run per mode absorbs one-time costs.
+    _throughput(tmp_path / "warm_off", False, max(200, n_tasks // 4))
+    _throughput(tmp_path / "warm_on", True, max(200, n_tasks // 4))
+    tput = {"off": [], "on": []}
+
+    def _run_round(round_idx: int) -> None:
+        order = ["off", "on"] if round_idx % 2 == 0 else ["on", "off"]
+        for mode in order:
+            tput[mode].append(
+                _throughput(tmp_path / f"{mode}{round_idx}", mode == "on",
+                            n_tasks)
+            )
+
+    for round_idx in range(ROUNDS):
+        _run_round(round_idx)
+    # Noisy-machine escape hatch: add round pairs until the best
+    # instrumented round catches up or the ceiling proves it never will.
+    while (max(tput["on"]) < (1.0 - MAX_OVERHEAD) * max(tput["off"])
+           and len(tput["on"]) < MAX_ROUNDS):
+        _run_round(len(tput["on"]))
+
+    best_off, best_on = max(tput["off"]), max(tput["on"])
+    overhead = 1.0 - best_on / best_off
+    print_table(
+        f"Observability overhead ({n_tasks} no-op tasks, internal HTEX, "
+        f"best of {len(tput['on'])})",
+        ["instrumentation", "rounds (tasks/s)", "best (tasks/s)", "overhead"],
+        [
+            ["off", ", ".join(f"{t:,.0f}" for t in tput["off"]),
+             f"{best_off:,.0f}", "-"],
+            ["metrics + tracing", ", ".join(f"{t:,.0f}" for t in tput["on"]),
+             f"{best_on:,.0f}", f"{overhead:+.1%}"],
+        ],
+    )
+    benchmark.extra_info["tput_off_best"] = best_off
+    benchmark.extra_info["tput_on_best"] = best_on
+    benchmark.extra_info["overhead_fraction"] = overhead
+
+    # Record one instrumented submit as the benchmark quantity proper.
+    cfg = Config(
+        executors=[
+            HighThroughputExecutor(
+                label="htex_obsv_b",
+                workers_per_node=4,
+                worker_mode="thread",
+                internal_managers=1,
+            )
+        ],
+        run_dir=str(tmp_path / "bench"),
+        strategy="none",
+        monitoring=MonitoringHub(store=InMemoryStore()),
+    )
+    dfk = DataFlowKernel(cfg)
+    try:
+        benchmark.pedantic(
+            lambda: dfk.submit(noop),
+            rounds=50,
+            iterations=1,
+            warmup_rounds=5,
+        )
+        dfk.wait_for_current_tasks(timeout=120)
+    finally:
+        dfk.cleanup()
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"metrics + tracing cost {overhead:.1%} of throughput "
+        f"({best_off:,.0f} -> {best_on:,.0f} tasks/s); the budget is "
+        f"{MAX_OVERHEAD:.0%}"
+    )

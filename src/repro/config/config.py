@@ -33,7 +33,13 @@ A Config bundles:
   (``none`` / ``simple`` / ``htex_auto_scale``), ``strategy_period`` its
   decision interval, and ``max_idletime`` the scale-in hysteresis — a block
   must be continuously idle this long before it may be drained (§4.4),
-* monitoring,
+* monitoring, plus the live observability plane: ``metrics_enabled`` builds
+  the shared :class:`~repro.observability.metrics.MetricsRegistry` (off → a
+  zero-cost null registry), ``metrics_latency_buckets`` overrides the
+  default latency histogram bounds, ``trace_enabled`` /
+  ``trace_sampling`` control whether (and what fraction of) tasks carry an
+  end-to-end trace context whose per-hop spans land in the monitoring
+  store's ``task_spans`` table,
 * the workflow-gateway service knobs (``service_*``): where the gateway
   binds (``service_host`` / ``service_port``), the per-tenant admission cap
   (``service_max_inflight_per_tenant`` — beyond it a tenant's submits get
@@ -108,6 +114,10 @@ class Config:
         service_store_flush_ms: float = 2.0,
         service_shard_vnodes: int = 64,
         service_shard_spillover: float = 2.0,
+        metrics_enabled: bool = True,
+        metrics_latency_buckets: Optional[List[float]] = None,
+        trace_enabled: bool = True,
+        trace_sampling: float = 1.0,
     ):
         if executors is None or len(list(executors)) == 0:
             executors = [ThreadPoolExecutor(label="threads", max_threads=4)]
@@ -165,6 +175,15 @@ class Config:
             raise ConfigurationError("service_shard_vnodes must be >= 1")
         if service_shard_spillover < 1.0:
             raise ConfigurationError("service_shard_spillover must be >= 1.0")
+        if not 0.0 <= trace_sampling <= 1.0:
+            raise ConfigurationError("trace_sampling must be within [0.0, 1.0]")
+        if metrics_latency_buckets is not None:
+            buckets = list(metrics_latency_buckets)
+            if not buckets or buckets != sorted(buckets) or buckets[0] <= 0:
+                raise ConfigurationError(
+                    "metrics_latency_buckets must be a non-empty ascending "
+                    "sequence of positive upper bounds"
+                )
 
         self.executors: List[ReproExecutor] = executors
         self.app_cache = app_cache
@@ -204,6 +223,12 @@ class Config:
         self.service_store_flush_ms = service_store_flush_ms
         self.service_shard_vnodes = service_shard_vnodes
         self.service_shard_spillover = service_shard_spillover
+        self.metrics_enabled = bool(metrics_enabled)
+        self.metrics_latency_buckets = (
+            list(metrics_latency_buckets) if metrics_latency_buckets is not None else None
+        )
+        self.trace_enabled = bool(trace_enabled)
+        self.trace_sampling = float(trace_sampling)
 
     # ------------------------------------------------------------------
     @staticmethod

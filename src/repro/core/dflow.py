@@ -65,6 +65,8 @@ from repro.errors import (
     JoinError,
 )
 from repro.monitoring.messages import MessageType
+from repro.observability.metrics import NULL_REGISTRY, Counter, MetricsRegistry
+from repro.observability.trace import flush_spans, new_trace, next_attempt, stamp
 from repro.scheduling.router import ExecutorRouter
 from repro.scheduling.spec import ResourceSpec, ResourceSpecLike
 from repro.utils.ids import make_uid
@@ -95,6 +97,39 @@ class DataFlowKernel:
                 {"run_id": self.run_id, "run_dir": self.run_dir, "started_at": time.time()},
             )
 
+        # Live metrics ---------------------------------------------------
+        # One registry per kernel; executors share it (the interchange
+        # registers callback gauges over its existing plain-int counters).
+        # With metrics off the shared null registry makes every record call
+        # a no-op, so instrument sites never branch.
+        if self.config.metrics_enabled:
+            buckets = self.config.metrics_latency_buckets
+            self.metrics = MetricsRegistry(default_buckets=buckets) if buckets else MetricsRegistry()
+        else:
+            self.metrics = NULL_REGISTRY
+        self._m_submitted = self.metrics.counter(
+            "repro_dfk_tasks_submitted_total", "Tasks registered with the DataFlowKernel"
+        )
+        self._m_retries = self.metrics.counter(
+            "repro_dfk_task_retries_total", "Task attempts re-enqueued by the retry policy"
+        )
+        self._m_duration = self.metrics.histogram(
+            "repro_dfk_task_duration_seconds", "Submit-to-final-state latency per task"
+        )
+        self.metrics.gauge(
+            "repro_dfk_dispatch_queue_depth",
+            "Ready tasks waiting for the batching dispatcher",
+            callback=lambda: self._dispatch_queue.qsize(),
+        )
+        self.metrics.gauge(
+            "repro_dfk_outstanding_tasks",
+            "Submitted tasks not yet in a final state",
+            callback=self.outstanding_tasks,
+        )
+        #: Per-final-state children of repro_dfk_tasks_completed_total, cached
+        #: so the completion path never touches the registry lock.
+        self._m_completed: Dict[str, Counter] = {}
+
         # Executors ------------------------------------------------------
         self.executors: Dict[str, Any] = {}
         for executor in self.config.executors:
@@ -102,6 +137,7 @@ class DataFlowKernel:
             # Wire monitoring before start() so block state changes made
             # while bringing up init_blocks are captured as BLOCK_INFO.
             executor.monitoring_radio = self.monitoring
+            executor.metrics = self.metrics
             executor.start()
             self.executors[executor.label] = executor
 
@@ -205,6 +241,7 @@ class DataFlowKernel:
         resource_spec: ResourceSpecLike = None,
         priority: Optional[int] = None,
         tag: Optional[str] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> AppFuture:
         """Register one task with the dataflow graph and return its AppFuture.
 
@@ -220,6 +257,11 @@ class DataFlowKernel:
         ``tag`` is an opaque submitter label (the gateway service sets the
         tenant name): it rides on the task record, survives retirement, and
         lands in every TASK_STATE monitoring row.
+
+        ``trace`` adopts an existing trace context (the gateway mints one at
+        admission so the waterfall covers the fair-share wait); when None and
+        ``Config.trace_enabled``, a fresh context is minted here — subject to
+        ``Config.trace_sampling`` — and stamped ``submitted``.
         """
         if self._cleanup_called:
             raise DataFlowKernelClosedError("cannot submit to a DataFlowKernel after cleanup()")
@@ -237,6 +279,17 @@ class DataFlowKernel:
             task_id = self._task_counter
             self._task_counter += 1
 
+        if trace is not None:
+            # Adopted from the gateway: "submitted" is already stamped there.
+            trace["task"] = task_id
+        elif self.config.trace_enabled and (
+            self.config.trace_sampling >= 1.0
+            or self._rng.random() < self.config.trace_sampling
+        ):
+            trace = new_trace(task_id)
+            stamp(trace, "submitted")
+        self._m_submitted.inc()
+
         executor_label = self._choose_executor(executors, join, spec)
 
         task = TaskRecord(
@@ -253,6 +306,7 @@ class DataFlowKernel:
             resource_specification=spec.to_wire(),
             priority=spec.priority,
             tag=tag,
+            trace=trace,
         )
         app_fu = AppFuture(task_record=task)
         task.app_fu = app_fu
@@ -427,6 +481,7 @@ class DataFlowKernel:
             return
         self._set_task_status(task, States.launched)
         self._send_task_state(task, States.launched)
+        stamp(task.trace, "queued")
         self._dispatch_queue.put((task, args, kwargs))
 
     # ------------------------------------------------------------------
@@ -482,7 +537,9 @@ class DataFlowKernel:
             groups.setdefault(task.executor, []).append((task, args, kwargs))
         for label, group in groups.items():
             executor = self.executors[label]
-            requests = [(t.func, t.resource_specification, a, k) for t, a, k in group]
+            for t, _a, _k in group:
+                stamp(t.trace, "routed")
+            requests = [(t.func, t.resource_specification, a, k, t.trace) for t, a, k in group]
             try:
                 exec_futures = executor.submit_batch(requests)
             except Exception as exc:  # noqa: BLE001 - whole-batch submission failure
@@ -589,6 +646,11 @@ class DataFlowKernel:
             )
             self._set_task_status(task, States.retry)
             self._send_task_state(task, States.retry)
+            self._m_retries.inc()
+            # Close out this attempt's span rows now, so the retry's rows
+            # (same trace id, attempt+1) form their own waterfall.
+            flush_spans(task.trace, self.monitoring, self.run_id, task.id)
+            next_attempt(task.trace)
             if delay > 0:
                 # Schedule the re-enqueue instead of sleeping: this callback
                 # may run on the dispatcher thread, and a sleep there would
@@ -631,6 +693,7 @@ class DataFlowKernel:
         task.time_returned = time.time()
         self._set_task_status(task, state)
         self._send_task_state(task, state)
+        self._record_final(task, state)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_result(result)
         self._run_completion_hooks(task, state)
@@ -639,11 +702,33 @@ class DataFlowKernel:
         task.time_returned = time.time()
         self._set_task_status(task, state)
         self._send_task_state(task, state)
+        self._record_final(task, state)
         logger.info("task %s (%s) marked %s: %r", task.id, task.func_name, state.name, exc)
         if task.app_fu is not None and not task.app_fu.done():
             task.app_fu.set_exception(exc)
         self._run_completion_hooks(task, state)
         self._retire_task(task)
+
+    def _record_final(self, task: TaskRecord, state: States) -> None:
+        """Observability at a task's final transition: spans + metrics.
+
+        Runs before the AppFuture resolves and before completion hooks, so
+        by the time the gateway's hook stamps ``delivered`` every earlier
+        span row is already flushed and the metrics reflect this task.
+        """
+        stamp(task.trace, "result_committed")
+        flush_spans(task.trace, self.monitoring, self.run_id, task.id)
+        counter = self._m_completed.get(state.name)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_dfk_tasks_completed_total",
+                "Tasks reaching a final state, by state",
+                labels={"state": state.name},
+            )
+            self._m_completed[state.name] = counter
+        counter.inc()
+        if task.time_returned is not None:
+            self._m_duration.observe(task.time_returned - task.time_invoked)
 
     # ------------------------------------------------------------------
     # Completion fan-out hooks

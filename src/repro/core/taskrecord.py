@@ -77,6 +77,13 @@ class TaskRecord:
     tag: Optional[str] = None
     #: Identity of the manager that ran the task (set on completion).
     placed_manager: Optional[str] = None
+    #: Trace context (:func:`repro.observability.trace.new_trace` shape):
+    #: trace id + per-hop span events, shared by reference with the gateway
+    #: item and the interchange dispatch item. None when tracing is off or
+    #: the task was not sampled. Survives retirement — it is a small dict
+    #: whose spans are already flushed by then, but the gateway still reads
+    #: the id for its ``delivered`` stamp.
+    trace: Optional[Dict[str, Any]] = None
     outputs: List[Any] = field(default_factory=list)
     time_invoked: float = field(default_factory=time.time)
     time_returned: Optional[float] = None

@@ -23,8 +23,11 @@ from repro.utils.timers import RepeatedTimer
 
 logger = logging.getLogger(__name__)
 
-#: One entry of a batched submission: (func, resource_specification, args, kwargs).
-SubmitRequest = Tuple[Callable, Dict[str, Any], Tuple[Any, ...], Dict[str, Any]]
+#: One entry of a batched submission: (func, resource_specification, args,
+#: kwargs) plus an optional trailing trace context dict (see
+#: :mod:`repro.observability.trace`) — executors that don't propagate traces
+#: may ignore it, so unpack with ``request[:4]``.
+SubmitRequest = Tuple[Any, ...]
 
 
 class ReproExecutor(ABC):
@@ -50,6 +53,12 @@ class ReproExecutor(ABC):
         self._executor_exception: Optional[Exception] = None
         self.run_dir: str = "."
         self.monitoring_radio = None              # set by the DFK when monitoring is on
+        # Shared metrics registry; the DFK swaps in its real one before
+        # start() when Config.metrics_enabled. Imported lazily-by-value here
+        # so a bare executor (tests, standalone pools) records into a no-op.
+        from repro.observability.metrics import NULL_REGISTRY
+
+        self.metrics = NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -76,7 +85,8 @@ class ReproExecutor(ABC):
         get exactly ``len(requests)`` futures and handle failures uniformly.
         """
         futures: List[cf.Future] = []
-        for func, resource_specification, args, kwargs in requests:
+        for request in requests:
+            func, resource_specification, args, kwargs = request[:4]
             try:
                 futures.append(self.submit(func, resource_specification, *args, **kwargs))
             except Exception as exc:  # noqa: BLE001 - surfaced via the future

@@ -162,6 +162,7 @@ class HighThroughputExecutor(ReproExecutor):
             priority_aging_s=self.priority_aging_s,
             placement_lookahead=self.placement_lookahead,
             label=f"{self.label}-interchange",
+            metrics=self.metrics,
         )
         self.interchange.start()
         self._started = True
@@ -281,7 +282,9 @@ class HighThroughputExecutor(ReproExecutor):
             raise RuntimeError(f"executor {self.label!r} has not been started")
         futures: List[cf.Future] = []
         items: List[Dict[str, Any]] = []
-        for func, resource_specification, args, kwargs in requests:
+        for request in requests:
+            func, resource_specification, args, kwargs = request[:4]
+            trace = request[4] if len(request) > 4 else None
             future: cf.Future = cf.Future()
             futures.append(future)
             if self.bad_state_is_set:
@@ -305,6 +308,7 @@ class HighThroughputExecutor(ReproExecutor):
                     priority=spec.priority,
                     cores=spec.cores,
                     walltime_s=spec.walltime_s,
+                    trace=trace,
                 )
             )
         if items:
@@ -319,8 +323,11 @@ class HighThroughputExecutor(ReproExecutor):
         if future is None or future.done():
             return
         # Which manager ran (or lost) the task; the DFK forwards it into the
-        # TASK_STATE monitoring row so placement is auditable per task.
+        # TASK_STATE monitoring row so placement is auditable per task. The
+        # trace rides along too (same dict the DFK holds, now carrying the
+        # worker-side span stamps the interchange merged in).
         future.placed_manager = item.get("manager")  # type: ignore[attr-defined]
+        future.trace = item.get("trace")  # type: ignore[attr-defined]
         if "exception" in item and "buffer" not in item:
             future.set_exception(item["exception"])
             return

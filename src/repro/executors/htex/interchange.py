@@ -52,6 +52,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.comms.server import MessageServer
 from repro.errors import ManagerLost, WorkerLost, WorkerPoisonError
 from repro.executors.htex import messages as msg
+from repro.observability.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.observability.trace import stamp
 from repro.scheduling.placement import ManagerSlot, make_placement_view
 from repro.scheduling.queues import DEFAULT_AGING_S, PriorityTaskQueue
 
@@ -135,6 +137,7 @@ class Interchange:
         priority_aging_s: float = DEFAULT_AGING_S,
         placement_lookahead: int = 32,
         label: str = "interchange",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.result_callback = result_callback
         self.heartbeat_period = heartbeat_period
@@ -186,6 +189,49 @@ class Interchange:
         #: Rebuilt every round; cleared the moment nothing multi-core defers.
         self._exec_reservation: Optional[tuple] = None
         self._started = False
+
+        # Live metrics: the existing plain-int counters above stay the source
+        # of truth; the registry reads them through callbacks at scrape time,
+        # so the dispatch/result hot paths pay nothing. Only the execution
+        # latency histogram records inline (one observe per result).
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        mlabels = {"executor": label}
+        self.metrics.counter(
+            "repro_htex_tasks_dispatched_total", "Tasks shipped to managers",
+            labels=mlabels, callback=lambda: self.tasks_dispatched,
+        )
+        self.metrics.counter(
+            "repro_htex_results_received_total", "Task results returned by managers",
+            labels=mlabels, callback=lambda: self.results_received,
+        )
+        self.metrics.gauge(
+            "repro_htex_pending_tasks", "Tasks waiting in the interchange priority queue",
+            labels=mlabels, callback=lambda: self.pending_tasks.qsize(),
+        )
+        self.metrics.gauge(
+            "repro_htex_in_flight_cores", "Core-slots reserved by dispatched tasks",
+            labels=mlabels, callback=lambda: self.fault_stats()["in_flight_cores"],
+        )
+        self.metrics.counter(
+            "repro_htex_managers_lost_total", "Managers declared lost",
+            labels=mlabels, callback=lambda: self.managers_lost,
+        )
+        self.metrics.counter(
+            "repro_htex_workers_lost_total", "Workers that died mid-task",
+            labels=mlabels, callback=lambda: self.workers_lost,
+        )
+        self.metrics.counter(
+            "repro_htex_tasks_redispatched_total", "Task requeues after a fault",
+            labels=mlabels, callback=lambda: self.tasks_redispatched,
+        )
+        self.metrics.counter(
+            "repro_htex_tasks_poisoned_total", "Tasks quarantined as poison",
+            labels=mlabels, callback=lambda: self.tasks_poisoned,
+        )
+        self._m_exec_seconds = self.metrics.histogram(
+            "repro_htex_execution_seconds", "Worker-side task execution latency",
+            labels=mlabels,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -442,24 +488,53 @@ class Interchange:
                 for item in items:
                     if "worker_lost" in item:
                         continue  # settled (and counted) in _handle_worker_lost
-                    genuine.append(item)
+                    settled = None
                     if record is not None:
                         settled = record.outstanding.pop(item["task_id"], None)
                         if settled is not None:
                             freed = msg.task_cores(settled)
                             record.in_flight_cores = max(record.in_flight_cores - freed, 0)
+                    genuine.append((item, settled))
             for item in items:
                 if "worker_lost" in item:
                     self._handle_worker_lost(identity, item)
-            for item in genuine:
+            for item, settled in genuine:
                 self.results_received += 1
                 item.setdefault("manager", identity)
+                self._merge_result_timing(item, settled)
                 self.result_callback(item)
         elif mtype == "drain_ack":
             self._touch(identity)
         elif mtype == "peer_lost":
             self._manager_lost(identity, reason="connection lost")
         # Unknown message types are ignored (forward compatibility).
+
+    def _merge_result_timing(self, item: Dict[str, Any],
+                             settled: Optional[Dict[str, Any]]) -> None:
+        """Fold worker/manager-side timestamps into metrics and the trace.
+
+        Workers stamp ``exec_start``/``exec_end`` and managers ``sent_at``
+        unconditionally (plain floats on the result item), so the execution
+        histogram records whether or not the task carries a trace. The span
+        events merge only when the dispatched item held a trace context —
+        that merge mutates the same dict the DFK's TaskRecord references, so
+        the DFK's ``result_committed`` flush picks these hops up for free.
+        """
+        t_start = item.get("exec_start")
+        t_end = item.get("exec_end")
+        if t_start is not None and t_end is not None:
+            self._m_exec_seconds.observe(t_end - t_start)
+        trace = settled.get("trace") if settled is not None else None
+        if trace is None:
+            return
+        if t_start is not None:
+            stamp(trace, "executing", t_start)
+        if t_end is not None:
+            stamp(trace, "exec_done", t_end)
+        sent_at = item.get("sent_at")
+        if sent_at is not None:
+            stamp(trace, "result_sent", sent_at)
+        item["trace"] = trace
 
     def _touch(self, identity: str) -> None:
         with self._managers_lock:
@@ -635,6 +710,7 @@ class Interchange:
         """Ship one manager's share of the round in batch-sized messages."""
         for start in range(0, len(items), self.batch_size):
             chunk = items[start : start + self.batch_size]
+            t_send = time.time()
             delivered = self.server.send(identity, msg.tasks_message(chunk))
             if not delivered:
                 # Connection died between placement and send: requeue (at
@@ -642,6 +718,14 @@ class Interchange:
                 self.pending_tasks.put_many(items[start:])
                 self._manager_lost(identity, reason="send failed")
                 return
+            # Stamped only after the send succeeded (a failed-send requeue
+            # would otherwise leave an orphan hop per retry) but with the
+            # pre-send time, so "dispatched" always precedes the worker's
+            # "executing" even when a thread-mode worker starts instantly.
+            for item in chunk:
+                trace = item.get("trace")
+                if trace is not None:
+                    stamp(trace, "dispatched", t_send)
             chunk_cores = sum(msg.task_cores(item) for item in chunk)
             with self._managers_lock:
                 live = self._managers.get(identity)

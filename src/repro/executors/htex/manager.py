@@ -387,6 +387,14 @@ class Manager:
                     entry: Dict[str, Any] = {"task_id": result["task_id"]}
                     if "buffer" in result:
                         entry["buffer"] = result["buffer"]
+                        # Worker-side execution endpoints plus the moment this
+                        # manager shipped the result: the interchange merges
+                        # them into the task's trace span events and the
+                        # execution-latency histogram.
+                        for key in ("exec_start", "exec_end"):
+                            if key in result:
+                                entry[key] = result[key]
+                        entry["sent_at"] = time.time()
                     else:
                         entry["worker_lost"] = result["worker_lost"]
                     batch.append(entry)

@@ -87,15 +87,18 @@ def task_item(
     priority: int = 0,
     cores: int = 1,
     walltime_s: Optional[float] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One task as it travels the dispatch path.
 
     ``priority`` orders the interchange's pending queue (higher runs sooner);
     ``cores`` is the number of worker core-slots the task occupies on the one
     manager it is placed on; ``walltime_s`` is the runtime limit the worker
-    *enforces* (the task is killed past it). All default to the
-    pre-scheduling behaviour (FIFO one-slot unlimited tasks), and the
-    scheduling fields are simply absent from the minimal form so old
+    *enforces* (the task is killed past it). ``trace`` is the task's trace
+    context (:mod:`repro.observability.trace`) — carried by reference inside
+    the interchange so its span stamps land on the DFK's own dict. All
+    default to the pre-scheduling behaviour (FIFO one-slot unlimited tasks),
+    and the optional fields are simply absent from the minimal form so old
     captures/tests remain valid.
     """
     item: Dict[str, Any] = {"task_id": task_id, "buffer": buffer}
@@ -105,6 +108,8 @@ def task_item(
         item["cores"] = cores
     if walltime_s is not None:
         item["walltime_s"] = float(walltime_s)
+    if trace is not None:
+        item["trace"] = trace
     return item
 
 

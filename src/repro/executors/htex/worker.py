@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import queue as queue_module
+import time
 from typing import Optional
 
 from repro.executors.execute_task import execute_task
@@ -116,12 +117,23 @@ def worker_loop(
             break
         if claims is not None:
             claims[worker_id] = item["task_id"]
+        # Execution endpoints are stamped unconditionally (two time.time()
+        # calls): the interchange turns them into span events when the task
+        # carries a trace and into the execution-latency histogram always.
+        exec_start = time.time()
         buffer = execute_task(
             item["buffer"], sandbox_dir=sandbox_dir, walltime_s=item.get("walltime_s")
         )
+        exec_end = time.time()
         try:
             channel.put_result(
-                {"task_id": item["task_id"], "buffer": buffer, "worker_id": worker_id}
+                {
+                    "task_id": item["task_id"],
+                    "buffer": buffer,
+                    "worker_id": worker_id,
+                    "exec_start": exec_start,
+                    "exec_end": exec_end,
+                }
             )
         except (EOFError, OSError, BrokenPipeError):
             break

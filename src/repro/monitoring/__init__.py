@@ -3,7 +3,13 @@
 from repro.monitoring.messages import MessageType, MonitoringMessage
 from repro.monitoring.hub import MonitoringHub
 from repro.monitoring.db import SQLiteStore, InMemoryStore
-from repro.monitoring.report import workflow_summary, task_state_timeline, format_summary_text
+from repro.monitoring.report import (
+    critical_path,
+    format_summary_text,
+    span_timeline,
+    task_state_timeline,
+    workflow_summary,
+)
 
 __all__ = [
     "MessageType",
@@ -13,5 +19,7 @@ __all__ = [
     "InMemoryStore",
     "workflow_summary",
     "task_state_timeline",
+    "span_timeline",
+    "critical_path",
     "format_summary_text",
 ]

@@ -86,6 +86,7 @@ class SQLiteStore(MonitoringStore):
         MessageType.WORKFLOW_INFO: "workflow",
         MessageType.TASK_INFO: "task",
         MessageType.TASK_STATE: "status",
+        MessageType.TASK_SPAN: "task_spans",
         MessageType.RESOURCE_INFO: "resource",
         MessageType.NODE_INFO: "node",
         MessageType.BLOCK_INFO: "block",

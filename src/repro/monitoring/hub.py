@@ -29,7 +29,9 @@ from repro.utils.timers import RepeatedTimer
 logger = logging.getLogger(__name__)
 
 #: Message types coalesced into batches (high-volume, per-task traffic).
-_BATCHED_TYPES = frozenset({MessageType.TASK_STATE, MessageType.RESOURCE_INFO})
+_BATCHED_TYPES = frozenset(
+    {MessageType.TASK_STATE, MessageType.TASK_SPAN, MessageType.RESOURCE_INFO}
+)
 
 
 class MonitoringHub:
@@ -62,6 +64,11 @@ class MonitoringHub:
         self._thread = threading.Thread(target=self._drain, name="monitoring-hub", daemon=True)
         self._batch: List[MonitoringMessage] = []
         self._batch_lock = threading.Lock()
+        #: Hub-order sequence stamped into every payload (under _batch_lock,
+        #: so it is a total order consistent with send order). Reports sort
+        #: by (timestamp, seq): two transitions landing within one clock
+        #: tick can never reorder in a timeline.
+        self._seq = 0
         self._flush_timer: Optional[RepeatedTimer] = None
         self._started = False
         self._closed = False
@@ -89,6 +96,8 @@ class MonitoringHub:
         # never overtake — or be overtaken by — states buffered before it).
         if message_type in _BATCHED_TYPES and self.batch_size > 1:
             with self._batch_lock:
+                message.payload["seq"] = self._seq
+                self._seq += 1
                 self._batch.append(message)
                 if len(self._batch) >= self.batch_size:
                     self._flush_batch_locked()
@@ -96,6 +105,8 @@ class MonitoringHub:
             # Low-volume types: flush pending state batches first so the
             # store sees events in global send order, then go direct.
             with self._batch_lock:
+                message.payload["seq"] = self._seq
+                self._seq += 1
                 self._flush_batch_locked()
                 self._queue.put(message)
 

@@ -17,6 +17,7 @@ class MessageType(enum.Enum):
     WORKFLOW_INFO = "workflow_info"
     TASK_INFO = "task_info"
     TASK_STATE = "task_state"
+    TASK_SPAN = "task_span"
     RESOURCE_INFO = "resource_info"
     NODE_INFO = "node_info"
     BLOCK_INFO = "block_info"

@@ -14,6 +14,19 @@ from repro.monitoring.hub import MonitoringHub
 from repro.monitoring.messages import MessageType
 
 
+def _order_key(event: Dict[str, Any]):
+    """Sort key for timeline rows: (timestamp, hub seq).
+
+    Timestamps alone are not a total order — two transitions landing within
+    one clock tick (common for instant states like ``launched``->``running``
+    on a fast executor) used to sort arbitrarily. The hub stamps a
+    send-order ``seq`` into every batched payload; rows predating the seq
+    column (old databases) sort as seq -1, preserving their old behaviour.
+    """
+    seq = event.get("seq")
+    return (event["timestamp"], -1 if seq is None else seq)
+
+
 def task_state_timeline(hub: MonitoringHub, run_id: Optional[str] = None) -> Dict[int, List[Dict[str, Any]]]:
     """Per-task ordered list of (state, timestamp) transitions."""
     rows = hub.query(MessageType.TASK_STATE)
@@ -21,10 +34,91 @@ def task_state_timeline(hub: MonitoringHub, run_id: Optional[str] = None) -> Dic
         rows = [r for r in rows if r.get("run_id") == run_id]
     timeline: Dict[int, List[Dict[str, Any]]] = defaultdict(list)
     for row in rows:
-        timeline[row["task_id"]].append({"state": row["state"], "timestamp": row["timestamp"]})
+        timeline[row["task_id"]].append(
+            {"state": row["state"], "timestamp": row["timestamp"], "seq": row.get("seq")}
+        )
     for events in timeline.values():
-        events.sort(key=lambda e: e["timestamp"])
+        events.sort(key=_order_key)
     return dict(timeline)
+
+
+def span_timeline(hub: MonitoringHub, run_id: Optional[str] = None,
+                  task_id: Optional[int] = None,
+                  trace_id: Optional[str] = None) -> Dict[str, Dict[int, List[Dict[str, Any]]]]:
+    """Per-trace, per-attempt ordered span events from the task_spans table.
+
+    Returns ``{trace_id: {attempt: [event, ...]}}`` where each event dict
+    carries ``event`` (hop name), ``t`` (wall time stamped *at the hop*, not
+    at flush), ``task_id``, and ``seq``. Events within an attempt are
+    ordered by (t, seq). ``hub`` may be a :class:`MonitoringHub` or any
+    store with the same ``query`` signature (e.g. a SQLiteStore opened on a
+    finished run's database).
+    """
+    rows = hub.query(MessageType.TASK_SPAN)
+    if run_id is not None:
+        rows = [r for r in rows if r.get("run_id") == run_id]
+    if task_id is not None:
+        rows = [r for r in rows if r.get("task_id") == task_id]
+    if trace_id is not None:
+        rows = [r for r in rows if r.get("trace_id") == trace_id]
+    traces: Dict[str, Dict[int, List[Dict[str, Any]]]] = defaultdict(lambda: defaultdict(list))
+    for row in rows:
+        traces[row["trace_id"]][int(row.get("attempt") or 1)].append(
+            {
+                "event": row["state"],
+                "t": row.get("t", row["timestamp"]),
+                "task_id": row.get("task_id"),
+                "seq": row.get("seq"),
+            }
+        )
+    out: Dict[str, Dict[int, List[Dict[str, Any]]]] = {}
+    for tid, attempts in traces.items():
+        out[tid] = {}
+        for attempt, events in attempts.items():
+            events.sort(key=lambda e: (e["t"], -1 if e.get("seq") is None else e["seq"]))
+            out[tid][attempt] = events
+    return out
+
+
+def critical_path(hub: MonitoringHub, trace_id: str,
+                  run_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Where one trace's latency went: per-hop durations, final attempt.
+
+    Returns ordered segments ``{"from": hop, "to": hop, "duration_s": ...}``
+    computed between consecutive span events of the trace's last attempt —
+    the attempt that actually produced the delivered result — plus a
+    leading segment per earlier attempt summarizing the time it burned.
+    """
+    attempts = span_timeline(hub, run_id=run_id, trace_id=trace_id).get(trace_id)
+    if not attempts:
+        return []
+    segments: List[Dict[str, Any]] = []
+    last_attempt = max(attempts)
+    for attempt in sorted(attempts):
+        events = attempts[attempt]
+        if attempt != last_attempt:
+            if events:
+                segments.append(
+                    {
+                        "from": events[0]["event"],
+                        "to": events[-1]["event"],
+                        "duration_s": events[-1]["t"] - events[0]["t"],
+                        "attempt": attempt,
+                        "retried": True,
+                    }
+                )
+            continue
+        for prev, nxt in zip(events, events[1:]):
+            segments.append(
+                {
+                    "from": prev["event"],
+                    "to": nxt["event"],
+                    "duration_s": nxt["t"] - prev["t"],
+                    "attempt": attempt,
+                    "retried": False,
+                }
+            )
+    return segments
 
 
 def workflow_summary(hub: MonitoringHub, run_id: Optional[str] = None) -> Dict[str, Any]:

@@ -1,0 +1,47 @@
+"""Live observability: per-task tracing and a Prometheus-style metrics plane.
+
+Two halves, both dependency-free:
+
+* :mod:`repro.observability.trace` — a dict-shaped trace context minted at
+  submit and stamped at every hop of the client->edge->gateway->DFK->
+  interchange->manager->worker path, flushed into the monitoring store's
+  ``task_spans`` table (``tools/trace_report.py`` renders the waterfall).
+* :mod:`repro.observability.metrics` — counters/gauges/fixed-bucket
+  histograms with O(1) hot-path recording, rendered in Prometheus text
+  exposition via ``GET /metrics`` on the HTTP edge, the ``metrics`` admin
+  command on the TCP gateway, and per-shard ``stats`` rows.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_prometheus,
+)
+from repro.observability.trace import (
+    SPAN_EVENTS,
+    flush_spans,
+    new_trace,
+    next_attempt,
+    stamp,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "SPAN_EVENTS",
+    "new_trace",
+    "stamp",
+    "next_attempt",
+    "flush_spans",
+]

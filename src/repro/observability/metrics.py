@@ -1,0 +1,442 @@
+"""A lock-cheap, dependency-free metrics registry with Prometheus exposition.
+
+The paper's monitoring story is post-mortem (SQLite + reports); this module
+adds the *live* half: counters, gauges, and fixed-bucket histograms that the
+hot paths (DFK submit/completion, interchange dispatch, gateway delivery)
+can record into at O(1) cost with no allocation after registration.
+
+Design constraints, in order:
+
+* **Hot-path safe.** ``Counter.inc`` / ``Histogram.observe`` are a bucket
+  index plus a few integer adds under a per-metric ``threading.Lock``
+  (uncontended in CPython this is tens of nanoseconds). Nothing on the
+  record path allocates, formats, or touches shared registry state.
+* **Absorb existing counters for free.** Most subsystems already keep plain
+  ``int`` counters (``Interchange.tasks_dispatched``, ``fault_stats()``,
+  queue depths). Rather than double-bookkeeping, a :class:`Counter` or
+  :class:`Gauge` may be registered with a ``callback`` — the value is read
+  at *render* time and the hot path pays nothing at all.
+* **Prometheus text exposition.** :func:`render_prometheus` emits the
+  ``text/plain; version=0.0.4`` format (``# HELP``/``# TYPE``, cumulative
+  ``_bucket{le=...}`` + ``+Inf``, ``_sum``/``_count``). Rendering several
+  registries at once (one per gateway shard) *sums* samples that share a
+  (name, labels) identity, so N shards do not multiply label cardinality;
+  per-shard visibility comes from the gateway's ``stats`` rows instead.
+* **Zero-cost disable.** :data:`NULL_REGISTRY` hands out no-op metric
+  objects so instrumentation sites call unconditionally — no ``if`` forest
+  at every hop when ``Config(metrics_enabled=False)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+]
+
+#: Default histogram bucket upper bounds (seconds) for latency metrics:
+#: sub-millisecond DFK overheads through multi-second task runtimes.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: LabelSet, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing counter (optionally callback-valued)."""
+
+    __slots__ = ("labels", "_value", "_lock", "_callback")
+
+    def __init__(self, labels: LabelSet = (),
+                 callback: Optional[Callable[[], float]] = None):
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._callback = callback
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        """Current value (reads the callback for absorbed counters)."""
+        if self._callback is not None:
+            try:
+                return float(self._callback())
+            except Exception:  # noqa: BLE001 - a dying source must not kill a scrape
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (optionally callback-valued)."""
+
+    __slots__ = ("labels", "_value", "_lock", "_callback")
+
+    def __init__(self, labels: LabelSet = (),
+                 callback: Optional[Callable[[], float]] = None):
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    def value(self) -> float:
+        """Current value (reads the callback for absorbed gauges)."""
+        if self._callback is not None:
+            try:
+                return float(self._callback())
+            except Exception:  # noqa: BLE001 - a dying source must not kill a scrape
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram: O(1) observe, no allocation after init.
+
+    ``buckets`` are ascending upper bounds; an implicit ``+Inf`` bucket
+    catches overflow. :meth:`quantile` estimates percentiles by linear
+    interpolation inside the winning bucket (the standard Prometheus
+    ``histogram_quantile`` estimator), good enough for p50/p95/p99 ops
+    dashboards without storing samples.
+    """
+
+    __slots__ = ("labels", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float], labels: LabelSet = ()):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a non-empty ascending sequence")
+        self.labels = labels
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """``(per-bucket counts incl. +Inf, sum, count)`` — a consistent copy."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by intra-bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        counts, _total_sum, count = self.snapshot()
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for idx, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                upper = self.buckets[idx] if idx < len(self.buckets) else self.buckets[-1]
+                lower = self.buckets[idx - 1] if idx > 0 else 0.0
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
+
+class _Family:
+    """One metric name: its type, help text, and label-keyed children."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: Dict[LabelSet, Any] = {}
+
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricsRegistry:
+    """Create-once, record-forever registry of metric families.
+
+    Registration (``counter()``/``gauge()``/``histogram()``) takes a lock
+    and may allocate; it returns the *same* child object for the same
+    (name, labels), so hot paths register once at setup and only call
+    ``inc``/``observe`` afterwards.
+    """
+
+    def __init__(self, default_buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self.default_buckets = tuple(default_buckets)
+
+    #: True for real registries; the null registry overrides this so call
+    #: sites can cheaply skip optional work (e.g. stamping timestamps).
+    enabled = True
+
+    def _family(self, name: str, kind: str, help_text: str) -> _Family:
+        if not name or set(name) - _NAME_OK or name[0].isdigit():
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Dict[str, str]] = None,
+                callback: Optional[Callable[[], float]] = None) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        family = self._family(name, "counter", help_text)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Counter(key, callback=callback)
+                family.children[key] = child
+            return child
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Dict[str, str]] = None,
+              callback: Optional[Callable[[], float]] = None) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        family = self._family(name, "gauge", help_text)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Gauge(key, callback=callback)
+                family.children[key] = child
+            return child
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[Dict[str, str]] = None,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        family = self._family(name, "histogram", help_text)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Histogram(buckets or self.default_buckets, key)
+                family.children[key] = child
+            return child
+
+    def families(self) -> List[_Family]:
+        """A stable-order snapshot of the registered families."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat ``{name: value}`` view (labels summed; histograms -> count).
+
+        Cheap enough for the gateway's per-shard ``stats`` rows.
+        """
+        out: Dict[str, float] = {}
+        for family in self.families():
+            total = 0.0
+            for child in family.children.values():
+                if isinstance(child, Histogram):
+                    total += child.snapshot()[2]
+                else:
+                    total += child.value()
+            out[family.name] = total
+        return out
+
+    def render(self) -> str:
+        """This registry alone, in Prometheus text exposition format."""
+        return render_prometheus([self])
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose metrics record nothing (``metrics_enabled=False``).
+
+    Instrument sites keep calling ``inc``/``observe`` unconditionally; the
+    shared no-op children make that free.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._noop_counter = _NoopMetric()
+        self._noop_gauge = _NoopMetric()
+        self._noop_histogram = _NoopMetric()
+
+    def counter(self, name, help_text="", labels=None, callback=None):  # noqa: D102 - inherited
+        return self._noop_counter
+
+    def gauge(self, name, help_text="", labels=None, callback=None):  # noqa: D102 - inherited
+        return self._noop_gauge
+
+    def histogram(self, name, help_text="", labels=None, buckets=None):  # noqa: D102 - inherited
+        return self._noop_histogram
+
+    def families(self):  # noqa: D102 - inherited
+        return []
+
+    def render(self):  # noqa: D102 - inherited
+        return ""
+
+
+class _NoopMetric:
+    """Absorbs every metric-mutation call without doing anything."""
+
+    __slots__ = ()
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def value(self) -> float:  # noqa: D102
+        return 0.0
+
+    def quantile(self, q: float) -> float:  # noqa: D102
+        return 0.0
+
+    def snapshot(self):  # noqa: D102
+        return [], 0.0, 0
+
+
+#: Shared do-nothing registry for disabled-metrics configurations.
+NULL_REGISTRY = NullRegistry()
+
+
+def render_prometheus(registries: Iterable[MetricsRegistry]) -> str:
+    """Render one or more registries as one Prometheus text document.
+
+    Families with the same name across registries are merged; samples with
+    identical (name, labels) are **summed** — so a sharded gateway exposes
+    fleet totals without inventing a per-shard label dimension. Histogram
+    merging requires identical bucket layouts (guaranteed when every shard
+    is built from the same :class:`~repro.config.config.Config`); a layout
+    mismatch falls back to the first registry's buckets and folds the other
+    histogram's overflow into ``+Inf``.
+    """
+    merged: Dict[str, _Family] = {}
+    for registry in registries:
+        for family in registry.families():
+            target = merged.get(family.name)
+            if target is None:
+                target = _Family(family.name, family.kind, family.help)
+                merged[family.name] = target
+            elif target.kind != family.kind:
+                continue  # conflicting registration; first wins
+            for key, child in family.children.items():
+                target.children.setdefault(key, []).append(child)  # type: ignore[arg-type]
+
+    lines: List[str] = []
+    for name in sorted(merged):
+        family = merged[name]
+        help_text = family.help or family.name
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for key in sorted(family.children):
+            children = family.children[key]
+            if family.kind == "histogram":
+                _render_histogram(lines, name, key, children)
+            else:
+                total = sum(child.value() for child in children)
+                lines.append(f"{name}{_render_labels(key)} {_format_value(total)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_histogram(lines: List[str], name: str, key: LabelSet,
+                      children: List[Histogram]) -> None:
+    base = children[0]
+    counts = [0] * (len(base.buckets) + 1)
+    total_sum, total_count = 0.0, 0
+    for child in children:
+        child_counts, child_sum, child_count = child.snapshot()
+        if len(child_counts) == len(counts) and child.buckets == base.buckets:
+            for idx, value in enumerate(child_counts):
+                counts[idx] += value
+        else:  # mismatched layout: count everything, fold into +Inf
+            counts[-1] += child_count
+        total_sum += child_sum
+        total_count += child_count
+    cumulative = 0
+    for idx, upper in enumerate(base.buckets):
+        cumulative += counts[idx]
+        labels = _render_labels(key, extra=("le", _format_value(upper)))
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    labels = _render_labels(key, extra=("le", "+Inf"))
+    lines.append(f"{name}_bucket{labels} {total_count}")
+    lines.append(f"{name}_sum{_render_labels(key)} {_format_value(total_sum)}")
+    lines.append(f"{name}_count{_render_labels(key)} {total_count}")

@@ -84,6 +84,10 @@ class AsyncTaskHandle:
         self._client = client
         self.client_task_id = client_task_id
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        #: Server-assigned end-to-end trace id from the 202 acknowledgement
+        #: (``None`` when tracing is disabled server-side); keys the span
+        #: waterfall in the monitoring store (``tools/trace_report.py``).
+        self.trace_id: Optional[str] = None
 
     @property
     def task_id(self) -> str:
@@ -289,7 +293,8 @@ class AsyncServiceClient:
             body["priority"] = priority
         self._pending_bodies[cid] = body
         try:
-            await self._submit_with_retry({**body, "client_task_id": cid}, cid)
+            accepted = await self._submit_with_retry({**body, "client_task_id": cid}, cid)
+            handle.trace_id = accepted.trace_id
         except BaseException:
             self._handles.pop(cid, None)
             self._pending_bodies.pop(cid, None)
@@ -403,14 +408,16 @@ class AsyncServiceClient:
                 handle = self._handles.get(cid)
                 if handle is None or handle.future.done():
                     continue
-                await self._resubmit_one({**body, "client_task_id": cid})
+                accepted = await self._resubmit_one({**body, "client_task_id": cid})
+                # The re-execution is a fresh trace; surface the current one.
+                handle.trace_id = accepted.trace_id
 
-    async def _resubmit_one(self, body: Dict[str, Any]) -> None:
+    async def _resubmit_one(self, body: Dict[str, Any]) -> TaskAccepted:
         attempt = 0
         while True:
             status, _headers, reply = await self._request("POST", "/v1/tasks", body)
             if status == 202:
-                return
+                return TaskAccepted.from_json(json.loads(reply))
             if status == 429:
                 attempt += 1
                 await asyncio.sleep(self.retry.delay(attempt, floor=0.05))
@@ -533,6 +540,8 @@ class AsyncServiceClient:
         handle = self._handles.get(cid_int)
         if handle is None or handle.future.done():
             return  # duplicate delivery (replay overlap): futures fire once
+        if status.trace_id is not None:
+            handle.trace_id = status.trace_id
         payload = status.payload()
         if status.success:
             handle.future.set_result(payload)

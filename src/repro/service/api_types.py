@@ -141,6 +141,10 @@ class TaskAccepted:
     #: Present only when this request implicitly created the session; callers
     #: need it to attach streams / resume later.
     session_token: Optional[str] = None
+    #: Server-assigned end-to-end trace identifier (present only when the
+    #: gateway traced this task); keys the span waterfall in the monitoring
+    #: store and ``tools/trace_report.py``.
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "TaskAccepted":
@@ -150,10 +154,11 @@ class TaskAccepted:
             client_task_id=int(obj["client_task_id"]),
             session=str(obj["session"]),
             session_token=obj.get("session_token"),
+            trace_id=obj.get("trace_id"),
         )
 
     def to_json(self) -> Dict[str, Any]:
-        """Wire form; ``session_token`` included only when the session was auto-created."""
+        """Wire form; ``session_token``/``trace_id`` included only when set."""
         obj: Dict[str, Any] = {
             "task_id": self.task_id,
             "client_task_id": self.client_task_id,
@@ -161,6 +166,8 @@ class TaskAccepted:
         }
         if self.session_token is not None:
             obj["session_token"] = self.session_token
+        if self.trace_id is not None:
+            obj["trace_id"] = self.trace_id
         return obj
 
 
@@ -184,6 +191,9 @@ class TaskStatus:
     #: True when the task finished but its result aged out of the session's
     #: replay buffer before anyone asked.
     result_expired: bool = False
+    #: Server-assigned trace identifier (present only when the task was
+    #: traced); keys the span waterfall in the monitoring store.
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_json(cls, obj: Dict[str, Any]) -> "TaskStatus":
@@ -199,13 +209,14 @@ class TaskStatus:
             error_message=obj.get("error_message"),
             payload_b64=obj.get("payload_b64"),
             result_expired=bool(obj.get("result_expired", False)),
+            trace_id=obj.get("trace_id"),
         )
 
     def to_json(self) -> Dict[str, Any]:
         """Wire form of a status reply (unset optional fields omitted)."""
         obj: Dict[str, Any] = {"task_id": self.task_id, "status": self.status}
         for key in ("seq", "success", "value", "value_repr", "error_type",
-                    "error_message", "payload_b64"):
+                    "error_message", "payload_b64", "trace_id"):
             val = getattr(self, key)
             if val is not None:
                 obj[key] = val
@@ -231,6 +242,7 @@ def result_frame_to_status(session: str, frame: Dict[str, Any]) -> TaskStatus:
         seq=int(frame["seq"]),
         success=success,
         payload_b64=base64.b64encode(buffer).decode("ascii"),
+        trace_id=frame.get("trace_id"),
     )
     try:
         payload = deserialize(buffer)

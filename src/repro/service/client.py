@@ -46,6 +46,11 @@ class ServiceFuture(Future):
     def __init__(self, client_task_id: int):
         super().__init__()
         self._client_task_id = client_task_id
+        #: Server-assigned end-to-end trace id, filled in from the gateway's
+        #: ``accepted`` (or ``result``) frame; ``None`` until acknowledged or
+        #: when tracing is disabled server-side. Keys the span waterfall in
+        #: the monitoring store (``tools/trace_report.py --trace <id>``).
+        self.trace_id: Optional[str] = None
 
     @property
     def tid(self) -> int:
@@ -93,6 +98,7 @@ class ServiceClient:
         #: Submissions parked by a ``busy`` backpressure reply.
         self._parked: Dict[int, Dict[str, Any]] = {}
         self._stats_futures: Dict[int, Future] = {}
+        self._metrics_futures: Dict[int, Future] = {}
         self._task_counter = 0
         self._stats_counter = 0
         self._closed = False
@@ -236,6 +242,24 @@ class ServiceClient:
         transport.send(protocol.stats(req_id))
         return reply.result(timeout=timeout)
 
+    def metrics(self, timeout: float = 10.0) -> str:
+        """Fetch the gateway's live metrics plane (Prometheus text format).
+
+        The same document ``GET /metrics`` serves on the HTTP edge: fleet
+        totals across the gateway and every shard kernel. Empty when the
+        server runs with ``Config(metrics_enabled=False)``.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("client is closed")
+            req_id = self._stats_counter
+            self._stats_counter += 1
+            reply: Future = Future()
+            self._metrics_futures[req_id] = reply
+            transport = self._transport
+        transport.send(protocol.metrics(req_id))
+        return reply.result(timeout=timeout)
+
     def outstanding(self) -> int:
         """Number of submitted tasks whose results have not arrived yet."""
         with self._lock:
@@ -258,7 +282,12 @@ class ServiceClient:
                 self._handle_result(message)
             elif mtype == "accepted":
                 with self._lock:
-                    self._unacked.pop(message.get("client_task_id"), None)
+                    cid = message.get("client_task_id")
+                    self._unacked.pop(cid, None)
+                    if message.get("trace_id") is not None:
+                        future = self._futures.get(cid)
+                        if future is not None:
+                            future.trace_id = message["trace_id"]
             elif mtype == "busy":
                 self._handle_busy(message)
             elif mtype == "stats_reply":
@@ -266,6 +295,11 @@ class ServiceClient:
                     reply = self._stats_futures.pop(message.get("req_id"), None)
                 if reply is not None and not reply.done():
                     reply.set_result(message.get("tenants", {}))
+            elif mtype == "metrics_reply":
+                with self._lock:
+                    reply = self._metrics_futures.pop(message.get("req_id"), None)
+                if reply is not None and not reply.done():
+                    reply.set_result(str(message.get("text", "")))
             elif mtype == "error":
                 self._handle_error(message)
             elif mtype == "connection_lost":
@@ -292,6 +326,8 @@ class ServiceClient:
         if future is None or future.done():
             self.duplicate_results += 1
             return  # delivered duplicate (should never happen; see counter)
+        if message.get("trace_id") is not None:
+            future.trace_id = message["trace_id"]
         try:
             payload = deserialize(message["buffer"])
         except Exception as exc:  # noqa: BLE001 - undecodable result
@@ -405,7 +441,9 @@ class ServiceClient:
             self._unacked.clear()
             self._parked.clear()
             stats_futures = list(self._stats_futures.values())
+            stats_futures += list(self._metrics_futures.values())
             self._stats_futures.clear()
+            self._metrics_futures.clear()
             self._closed = True
             self._slots.notify_all()
         for future in futures:

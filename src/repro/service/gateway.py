@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import logging
 import queue
+import random
 import secrets
 import threading
 import time
@@ -61,6 +62,13 @@ from repro.core.dflow import DataFlowKernel
 from repro.errors import ShardUnavailableError, TaskCancelledError
 from repro.core.states import States
 from repro.core.taskrecord import TaskRecord
+from repro.observability.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.observability.trace import flush_spans, new_trace, stamp
 from repro.scheduling.spec import ResourceSpec
 from repro.serialize import deserialize, serialize, unpack_apply_message
 from repro.service import protocol
@@ -74,7 +82,8 @@ logger = logging.getLogger(__name__)
 class _TenantState:
     """Admission accounting for one tenant (shared across its sessions)."""
 
-    __slots__ = ("name", "weight", "queued", "running", "completed", "failed", "cancelled")
+    __slots__ = ("name", "weight", "queued", "running", "completed", "failed",
+                 "cancelled", "m_admission_wait", "m_e2e")
 
     def __init__(self, name: str, weight: int):
         self.name = name
@@ -84,6 +93,10 @@ class _TenantState:
         self.completed = 0
         self.failed = 0
         self.cancelled = 0  # cancelled while still queued
+        #: Per-tenant latency histograms, bound once by _tenant_state so the
+        #: hot paths observe without a registry lookup per task.
+        self.m_admission_wait: Optional[Histogram] = None
+        self.m_e2e: Optional[Histogram] = None
 
     @property
     def inflight(self) -> int:
@@ -233,6 +246,32 @@ class WorkflowGateway:
         else:
             self._store = None
 
+        #: Gateway-side metrics plane. Separate registry from the shard
+        #: kernels' (each DFK owns its own); :meth:`render_metrics` merges
+        #: them into one Prometheus document at scrape time.
+        if cfg.metrics_enabled:
+            buckets = cfg.metrics_latency_buckets
+            self.metrics: MetricsRegistry = (
+                MetricsRegistry(default_buckets=buckets) if buckets else MetricsRegistry()
+            )
+        else:
+            self.metrics = NULL_REGISTRY
+        self._m_delivered = self.metrics.counter(
+            "repro_gateway_tasks_delivered_total",
+            "Result frames committed to sessions for delivery",
+        )
+        self.metrics.gauge(
+            "repro_gateway_sessions",
+            "Live (connected or within-TTL) tenant sessions",
+            callback=lambda: len(self._sessions),
+        )
+        #: Trace minting at the gateway edge: the gateway is the first hop a
+        #: remote task crosses, so the trace context is created (and
+        #: "submitted" stamped) here and rides the queued item into the DFK.
+        self._trace_enabled = cfg.trace_enabled
+        self._trace_sampling = cfg.trace_sampling
+        self._trace_rng = random.Random()
+
         #: In-process peers (e.g. HTTP edge sessions): identity -> outbound
         #: sink. A registered identity's frames bypass the TCP server; its
         #: inbound messages arrive via :meth:`post`. Sinks must not block —
@@ -378,6 +417,7 @@ class WorkflowGateway:
                         self._deliver(rec.session_id, cid, False, exc)
                         continue
                     item = self._make_item(session, cid, func, args, kwargs, spec)
+                    self._admit_item(item)  # recovered attempt gets a fresh trace
                     session.seen[cid] = "queued"
                     tenant.queued += 1
                     shard = self._router.route(rec.tenant)
@@ -458,6 +498,13 @@ class WorkflowGateway:
                 identity,
                 protocol.stats_reply(
                     int(message.get("req_id") or 0), self.stats(), shards=self.shard_stats()
+                ),
+            )
+        elif mtype == "metrics":
+            self._send(
+                identity,
+                protocol.metrics_reply(
+                    int(message.get("req_id") or 0), self.render_metrics()
                 ),
             )
         elif mtype == "goodbye":
@@ -604,6 +651,27 @@ class WorkflowGateway:
             "spec": spec.to_wire(),
         }
 
+    def _admit_item(self, item: Dict[str, Any]) -> Optional[str]:
+        """Stamp admission clocks on ``item`` and (maybe) mint its trace.
+
+        Returns the trace id when tracing sampled this task, else ``None``.
+        ``_t0`` anchors the tenant's end-to-end latency histogram; ``_enq_t``
+        anchors the admission-wait histogram (reset by re-routing, so a task
+        adopted by a surviving shard measures its *second* wait).
+        """
+        now = time.time()
+        item["_t0"] = now
+        item["_enq_t"] = now
+        if self._trace_enabled and (
+            self._trace_sampling >= 1.0
+            or self._trace_rng.random() < self._trace_sampling
+        ):
+            trace = new_trace()
+            stamp(trace, "submitted", now)
+            item["trace"] = trace
+            return trace["id"]
+        return None
+
     def _handle_submit(self, identity: str, message: Dict[str, Any]) -> None:
         with self._lock:
             session_id = self._identity_sessions.get(identity)
@@ -653,6 +721,7 @@ class WorkflowGateway:
             )
             return
         item = self._make_item(session, cid, func, args, kwargs, spec)
+        trace_id = self._admit_item(item)
         assert shard.cv is not None
         with shard.cv:
             session.seen[cid] = "queued"
@@ -666,10 +735,12 @@ class WorkflowGateway:
             self._store.append_task(
                 session.session_id, cid, message["buffer"],
                 serialize(message.get("resource_spec")) if message.get("resource_spec") else None,
-                on_durable=lambda: self._outbound.put((identity, protocol.accepted(cid))),
+                on_durable=lambda: self._outbound.put(
+                    (identity, protocol.accepted(cid, trace_id=trace_id))
+                ),
             )
         else:
-            self._send(identity, protocol.accepted(cid))
+            self._send(identity, protocol.accepted(cid, trace_id=trace_id))
 
     # ------------------------------------------------------------------
     def _handle_cancel(self, identity: str, message: Dict[str, Any]) -> None:
@@ -754,8 +825,12 @@ class WorkflowGateway:
                     self._deliver(
                         item["session"], cid, False,
                         TaskCancelledError(f"task {cid} cancelled before dispatch"),
+                        trace_id=(item.get("trace") or {}).get("id"),
                     )
                     continue
+                enq_t = item.pop("_enq_t", None)
+                if enq_t is not None and tenant.m_admission_wait is not None:
+                    tenant.m_admission_wait.observe(time.time() - enq_t)
                 try:
                     # Submit while holding the lock so a completion hook
                     # firing on another thread always finds the task-id
@@ -768,11 +843,15 @@ class WorkflowGateway:
                         cache=False,
                         resource_spec=item["spec"] or None,
                         tag=tenant_name,
+                        trace=item.get("trace"),
                     )
                 except Exception as exc:  # noqa: BLE001 - per-task submit failure
                     tenant.failed += 1
                     session.seen[item["client_task_id"]] = "done"
-                    self._deliver(item["session"], item["client_task_id"], False, exc)
+                    self._deliver(
+                        item["session"], item["client_task_id"], False, exc,
+                        trace_id=(item.get("trace") or {}).get("id"),
+                    )
                     continue
                 session.seen[item["client_task_id"]] = "running"
                 tenant.running += 1
@@ -812,14 +891,29 @@ class WorkflowGateway:
             success, payload = True, (app_fu.result() if app_fu is not None else None)
         else:
             success, payload = False, exc
+        trace = task.trace if task.trace is not None else item.get("trace")
+        if trace is not None:
+            # Final hop: the result reached the gateway's delivery path. The
+            # tail flush picks up result_committed + delivered (the DFK's own
+            # flush already wrote everything earlier — the high-water mark in
+            # the trace keeps the rows disjoint).
+            stamp(trace, "delivered")
+            flush_spans(trace, shard.dfk.monitoring, shard.dfk.run_id, task.id)
+        t0 = item.get("_t0")
+        if t0 is not None and tenant.m_e2e is not None:
+            tenant.m_e2e.observe(time.time() - t0)
         with self._lock:
             if success:
                 tenant.completed += 1
             else:
                 tenant.failed += 1
-        self._deliver(session_id, cid, success, payload)
+        self._deliver(
+            session_id, cid, success, payload,
+            trace_id=trace["id"] if trace is not None else None,
+        )
 
-    def _deliver(self, session_id: str, cid: int, success: bool, payload: Any) -> None:
+    def _deliver(self, session_id: str, cid: int, success: bool, payload: Any,
+                 trace_id: Optional[str] = None) -> None:
         try:
             buffer = serialize(payload)
         except Exception as exc:  # noqa: BLE001 - unpicklable result
@@ -832,7 +926,8 @@ class WorkflowGateway:
             if session is None:
                 return  # session evicted; the result has no audience
             session.seq += 1
-            frame = protocol.result(session.seq, cid, success, buffer)
+            self._m_delivered.inc()
+            frame = protocol.result(session.seq, cid, success, buffer, trace_id=trace_id)
             session.seen[cid] = "done"
             session.replay.append(frame)
             session.done_results[cid] = frame
@@ -951,6 +1046,7 @@ class WorkflowGateway:
                         )
                     continue
                 assert target.cv is not None
+                item["_enq_t"] = time.time()  # admission-wait clock restarts
                 target.queue.put(item["tenant"], item)
                 target.cv.notify()
                 rerouted += 1
@@ -1006,6 +1102,16 @@ class WorkflowGateway:
         state = self._tenants.get(tenant)
         if state is None:
             state = _TenantState(tenant, self.pinned_weights.get(tenant, self.default_weight))
+            state.m_admission_wait = self.metrics.histogram(
+                "repro_gateway_admission_wait_seconds",
+                "Time a task spent in the fair-share queue before dispatch",
+                labels={"tenant": tenant},
+            )
+            state.m_e2e = self.metrics.histogram(
+                "repro_gateway_e2e_latency_seconds",
+                "Gateway admission to result delivery, per task",
+                labels={"tenant": tenant},
+            )
             self._tenants[tenant] = state
         return state
 
@@ -1014,6 +1120,26 @@ class WorkflowGateway:
         across every shard (admin view; safe from any thread)."""
         with self._lock:
             return {name: state.counts() for name, state in self._tenants.items()}
+
+    def render_metrics(self) -> str:
+        """The whole fleet's live metrics, as one Prometheus text document.
+
+        Merges the gateway's own registry (per-tenant admission-wait and
+        end-to-end latency histograms, delivery counter, session gauge) with
+        every shard kernel's registry (DFK submit/completion counters and
+        queue depths, interchange dispatch/in-flight/fault counters, worker
+        execution latency). Families sharing a name are merged and samples
+        with identical labels are summed, so the document reports fleet
+        totals; per-shard breakdowns live in :meth:`shard_stats`. Safe from
+        any thread; with ``Config(metrics_enabled=False)`` everywhere the
+        result is an empty document.
+        """
+        registries = [self.metrics]
+        for shard in self.shards:
+            reg = getattr(shard.dfk, "metrics", None)
+            if reg is not None and reg not in registries:
+                registries.append(reg)
+        return render_prometheus(registries)
 
     def shard_stats(self) -> List[Dict[str, Any]]:
         """Per-shard occupancy: alive flag, window, in-flight, queue depth,

@@ -19,7 +19,9 @@ POST   ``/v1/tasks/{id}/cancel``    cancel a still-queued task
 GET    ``/v1/tenants/me/stats``     the calling tenant's admission counters
 GET    ``/v1/stream``               SSE result stream (``Last-Event-ID``
                                     resume; ``result``/``error``/``done``)
-GET    ``/v1/healthz``              liveness probe (no auth)
+GET    ``/v1/healthz``              liveness + per-shard readiness (no auth;
+                                    503 when no shard can take work)
+GET    ``/metrics``                 Prometheus text-format scrape (no auth)
 ====== ============================ ==========================================
 
 Every edge session is an **in-process gateway peer**: the edge registers a
@@ -600,12 +602,33 @@ class HttpEdge:
                                 writer: asyncio.StreamWriter) -> bool:
         method, path = request.method, request.path
         if path == "/v1/healthz":
+            # Liveness + readiness in one probe: answering at all proves the
+            # edge process is alive; the status code reflects whether any
+            # shard can take work. 503 (zero live shards) tells a load
+            # balancer to stop routing here; partial shard loss stays 200
+            # ("degraded") because submissions still succeed on survivors.
             shards = self.gateway.shard_stats()
-            await self._respond_json(writer, 200, {
-                "status": "ok" if any(s.get("alive") for s in shards) else "degraded",
+            alive = sum(1 for s in shards if s.get("alive"))
+            if alive == len(shards):
+                health = "ok"
+            elif alive:
+                health = "degraded"
+            else:
+                health = "unavailable"
+            await self._respond_json(writer, 200 if alive else 503, {
+                "status": health,
                 "sessions": len(self._sessions),
                 "shards": shards,
             })
+            return True
+        if path == "/metrics" and method == "GET":
+            # Prometheus scrape endpoint: unauthenticated (like healthz) and
+            # rendered in the text exposition format scrapers expect.
+            body = self.gateway.render_metrics().encode("utf-8")
+            writer.write(self._encode_response(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            ))
+            await writer.drain()
             return True
         if path == "/v1/session" and method == "POST":
             return await self._route_open_session(request, writer)
@@ -688,6 +711,7 @@ class HttpEdge:
                 client_task_id=cid,
                 session=ses.session_id,
                 session_token=ses.info.session_token if created else None,
+                trace_id=frame.get("trace_id"),
             )
             await self._respond_json(writer, 202, accepted.to_json())
         elif mtype == "busy":

@@ -87,6 +87,11 @@ def stats(req_id: int = 0) -> Dict[str, Any]:
     return {"type": "stats", "req_id": req_id}
 
 
+def metrics(req_id: int = 0) -> Dict[str, Any]:
+    """Admin request for the live metrics plane (Prometheus text format)."""
+    return {"type": "metrics", "req_id": req_id}
+
+
 def goodbye() -> Dict[str, Any]:
     """Deliberate disconnect: the session is released immediately (no TTL)."""
     return {"type": "goodbye"}
@@ -124,9 +129,17 @@ def auth_error(reason: str) -> Dict[str, Any]:
     return {"type": "auth_error", "reason": reason}
 
 
-def accepted(client_task_id: int) -> Dict[str, Any]:
-    """Submit acknowledgement: the task is admitted (and, with a durable store, its write-ahead row is committed)."""
-    return {"type": "accepted", "client_task_id": client_task_id}
+def accepted(client_task_id: int, trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """Submit acknowledgement: the task is admitted (and, with a durable store, its write-ahead row is committed).
+
+    ``trace_id`` is the server-assigned end-to-end trace identifier (present
+    only when tracing is enabled), usable to look up the task's span
+    waterfall in the monitoring store after the run.
+    """
+    message: Dict[str, Any] = {"type": "accepted", "client_task_id": client_task_id}
+    if trace_id is not None:
+        message["trace_id"] = trace_id
+    return message
 
 
 def busy(client_task_id: int, in_flight: int, cap: int) -> Dict[str, Any]:
@@ -134,15 +147,23 @@ def busy(client_task_id: int, in_flight: int, cap: int) -> Dict[str, Any]:
     return {"type": "busy", "client_task_id": client_task_id, "in_flight": in_flight, "cap": cap}
 
 
-def result(seq: int, client_task_id: int, success: bool, buffer: bytes) -> Dict[str, Any]:
-    """One completed task: ``buffer`` deserializes to the value or exception."""
-    return {
+def result(seq: int, client_task_id: int, success: bool, buffer: bytes,
+           trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """One completed task: ``buffer`` deserializes to the value or exception.
+
+    ``trace_id`` (present only when the task was traced) identifies the
+    task's span waterfall in the monitoring store.
+    """
+    message: Dict[str, Any] = {
         "type": "result",
         "seq": seq,
         "client_task_id": client_task_id,
         "success": success,
         "buffer": buffer,
     }
+    if trace_id is not None:
+        message["trace_id"] = trace_id
+    return message
 
 
 def cancel_reply(client_task_id: int, status: str) -> Dict[str, Any]:
@@ -164,6 +185,11 @@ def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]],
     if shards is not None:
         message["shards"] = shards
     return message
+
+
+def metrics_reply(req_id: int, text: str) -> Dict[str, Any]:
+    """The rendered metrics plane: one Prometheus text-format document."""
+    return {"type": "metrics_reply", "req_id": req_id, "text": text}
 
 
 def error(reason: str, client_task_id: Optional[int] = None,

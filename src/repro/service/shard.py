@@ -85,7 +85,9 @@ class GatewayShard:
         counters (managers lost, workers lost, tasks redispatched, tasks
         poisoned) across every interchange-backed executor behind this
         shard's DFK, so an operator polling gateway ``stats`` sees worker
-        crashes without shelling into the cluster.
+        crashes without shelling into the cluster, and a ``metrics`` row
+        with the flat per-shard summary of the kernel's live metrics
+        registry (empty when ``Config(metrics_enabled=False)``).
         """
         faults: Dict[str, int] = {
             "managers_lost": 0,
@@ -103,6 +105,11 @@ class GatewayShard:
                         faults[key] += int(value)
             except Exception:  # noqa: BLE001 - stats must not kill the gateway
                 continue
+        registry = getattr(self.dfk, "metrics", None)
+        try:
+            metrics = registry.summary() if registry is not None else {}
+        except Exception:  # noqa: BLE001 - stats must not kill the gateway
+            metrics = {}
         return {
             "alive": int(self.alive),
             "inflight": self.inflight,
@@ -111,6 +118,7 @@ class GatewayShard:
             "dispatched": self.dispatched_total,
             "completed": self.completed_total,
             "faults": faults,  # type: ignore[dict-item]
+            "metrics": metrics,  # type: ignore[dict-item]
         }
 
 

@@ -10,6 +10,8 @@ DFK must clear the loader afterwards (enforced by ``_loader_guard``).
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 import repro
@@ -70,3 +72,90 @@ def threads_dfk(run_dir):
     dfk = repro.load(cfg)
     yield dfk
     repro.clear()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format (version 0.0.4) validation, shared by the metrics
+# unit tests and the HTTP edge's /metrics endpoint tests.
+# ---------------------------------------------------------------------------
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_PROM_SAMPLE = re.compile(
+    rf"^({_PROM_NAME})"
+    rf"(\{{{_PROM_LABEL}=\"(?:[^\"\\\n]|\\[\\\"n])*\""
+    rf"(?:,{_PROM_LABEL}=\"(?:[^\"\\\n]|\\[\\\"n])*\")*\}})?"
+    r" (-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf)|\+Inf|NaN)"
+    r"( -?\d+)?$"
+)
+_PROM_COMMENT = re.compile(rf"^# (HELP|TYPE) ({_PROM_NAME})(?: (.*))?$")
+_PROM_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _strip_le(labels: str) -> str:
+    """Drop the ``le`` pair from a rendered label block, keeping the rest."""
+    rest = re.sub(r'le="[^"]*",?', "", labels).replace(",}", "}")
+    return "" if rest == "{}" else rest
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Assert ``text`` parses as Prometheus exposition format 0.0.4.
+
+    Checks the line grammar (HELP/TYPE comments, sample lines with quoted
+    escaped label values, float values), that TYPE appears at most once per
+    family and before its samples, and histogram invariants: cumulative
+    ``_bucket`` counts are non-decreasing in ``le`` order and the ``+Inf``
+    bucket equals ``_count``. Raises ``AssertionError`` with the offending
+    line on any violation.
+    """
+    typed: dict = {}
+    seen_samples: set = set()
+    buckets: dict = {}  # family -> {labelset-minus-le: [(le, value)]}
+    counts: dict = {}  # family -> {labelset: value}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = _PROM_COMMENT.match(line)
+            assert m, f"malformed comment line: {line!r}"
+            if m.group(1) == "TYPE":
+                name = m.group(2)
+                assert name not in typed, f"duplicate TYPE for {name}"
+                assert m.group(3) in _PROM_TYPES, f"bad type in: {line!r}"
+                assert not any(s.startswith(name) for s in seen_samples), (
+                    f"TYPE for {name} after its samples"
+                )
+                typed[name] = m.group(3)
+            continue
+        m = _PROM_SAMPLE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        seen_samples.add(name)
+        if name.endswith("_bucket") and typed.get(name[:-7]) == "histogram":
+            le = re.search(r'le="([^"]*)"', labels)
+            assert le, f"histogram bucket without le label: {line!r}"
+            family_buckets = buckets.setdefault(name[:-7], {})
+            family_buckets.setdefault(_strip_le(labels), []).append(
+                (le.group(1), float(value))
+            )
+        elif name.endswith("_count") and typed.get(name[:-6]) == "histogram":
+            counts.setdefault(name[:-6], {})[labels] = float(value)
+    for family, by_labels in buckets.items():
+        for rest, entries in by_labels.items():
+            values = [v for _le, v in entries]
+            assert values == sorted(values), (
+                f"{family}{rest}: bucket counts not cumulative: {entries}"
+            )
+            by_le = dict(entries)
+            assert "+Inf" in by_le, f"{family}{rest}: no +Inf bucket"
+            count = counts.get(family, {}).get(rest)
+            assert count is not None and by_le["+Inf"] == count, (
+                f"{family}{rest}: +Inf bucket {by_le['+Inf']} != count {count}"
+            )
+
+
+@pytest.fixture
+def prom_validator():
+    """The Prometheus text-format validator, as a fixture both the metrics
+    unit tests and the service-layer scrape tests share."""
+    return validate_prometheus_text

@@ -193,6 +193,75 @@ class TestReports:
         assert "tasks:" in text and "exec_done" in text
 
 
+class TestTimelineSeqOrdering:
+    """Regression: same-timestamp transitions must sort by hub seq.
+
+    Fast executors routinely log ``launched`` -> ``running`` -> ``exec_done``
+    within one clock tick; sorting by timestamp alone made their timeline
+    order arbitrary (whatever the store returned). The hub stamps a
+    send-order ``seq`` into every payload, and reports sort by
+    ``(timestamp, seq)``.
+    """
+
+    def test_identical_timestamps_order_by_seq(self):
+        store = InMemoryStore()
+        t = 1000.0
+        states = ["pending", "launched", "running", "exec_done"]
+        # Insert in a scrambled order: only seq can restore the truth.
+        for seq in (2, 0, 3, 1):
+            store.insert(
+                MonitoringMessage(
+                    MessageType.TASK_STATE,
+                    {"run_id": "r1", "task_id": 1, "state": states[seq], "seq": seq},
+                    timestamp=t,
+                )
+            )
+        hub = MonitoringHub(store=store)
+        timeline = task_state_timeline(hub, run_id="r1")
+        assert [e["state"] for e in timeline[1]] == states
+
+    def test_rows_without_seq_sort_first_within_a_tick(self):
+        """Pre-seq databases keep working: a missing seq sorts as -1."""
+        store = InMemoryStore()
+        store.insert(
+            MonitoringMessage(
+                MessageType.TASK_STATE,
+                {"run_id": "r1", "task_id": 2, "state": "launched", "seq": 0},
+                timestamp=5.0,
+            )
+        )
+        store.insert(
+            MonitoringMessage(
+                MessageType.TASK_STATE,
+                {"run_id": "r1", "task_id": 2, "state": "pending"},  # no seq
+                timestamp=5.0,
+            )
+        )
+        hub = MonitoringHub(store=store)
+        timeline = task_state_timeline(hub, run_id="r1")
+        assert [e["state"] for e in timeline[2]] == ["pending", "launched"]
+
+    def test_timestamp_still_dominates_across_ticks(self):
+        store = InMemoryStore()
+        store.insert(
+            MonitoringMessage(
+                MessageType.TASK_STATE,
+                {"run_id": "r1", "task_id": 3, "state": "exec_done", "seq": 0},
+                timestamp=10.0,
+            )
+        )
+        store.insert(
+            MonitoringMessage(
+                MessageType.TASK_STATE,
+                {"run_id": "r1", "task_id": 3, "state": "pending", "seq": 99},
+                timestamp=1.0,
+            )
+        )
+        hub = MonitoringHub(store=store)
+        timeline = task_state_timeline(hub, run_id="r1")
+        assert [e["state"] for e in timeline[3]] == ["pending", "exec_done"]
+
+
 class TestSchedulingFields:
     def test_task_state_rows_carry_priority_and_placed_manager(self, run_dir):
         """The DFK's TASK_STATE rows expose the scheduling subsystem's

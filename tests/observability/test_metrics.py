@@ -1,0 +1,252 @@
+"""Unit tests for the dependency-free metrics registry.
+
+Covers the three metric kinds, callback-valued absorption, the same-child
+guarantee on re-registration, the summary/render views, the null registry,
+and multi-registry merge semantics in ``render_prometheus``.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5.0
+
+    def test_callback_counter_reads_at_render_time(self):
+        source = {"n": 0}
+        reg = MetricsRegistry()
+        c = reg.counter("repro_cb_total", callback=lambda: source["n"])
+        source["n"] = 7
+        assert c.value() == 7.0
+        assert "repro_cb_total 7" in reg.render()
+
+    def test_callback_exception_reads_zero(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_bad_total", callback=lambda: 1 / 0)
+        assert c.value() == 0.0
+        # The scrape must survive a dying callback too.
+        assert "repro_bad_total 0" in reg.render()
+
+    def test_same_child_on_reregister(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_same_total", labels={"x": "1"})
+        b = reg.counter("repro_same_total", labels={"x": "1"})
+        other = reg.counter("repro_same_total", labels={"x": "2"})
+        assert a is b
+        assert a is not other
+        a.inc()
+        assert b.value() == 1.0
+
+    def test_concurrent_inc_is_lossless(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_race_total")
+
+        def spin():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12.0
+
+    def test_callback_gauge(self):
+        items = [1, 2, 3]
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_len", callback=lambda: len(items))
+        assert g.value() == 3.0
+        items.append(4)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        counts, total_sum, count = h.snapshot()
+        assert counts == [1, 1, 1, 1]  # one per bucket incl. +Inf overflow
+        assert count == 4
+        assert total_sum == pytest.approx(55.55)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le is inclusive: an observation exactly at a bound counts there.
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge_seconds", buckets=[1.0, 2.0])
+        h.observe(1.0)
+        assert h.snapshot()[0] == [1, 0, 0]
+
+    def test_quantile_interpolation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q_seconds", buckets=[1.0, 2.0, 4.0])
+        for _ in range(100):
+            h.observe(1.5)  # all samples in the (1.0, 2.0] bucket
+        # Linear interpolation inside the winning bucket.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(0.99) <= 2.0
+        assert h.quantile(0.0) == pytest.approx(1.0)
+
+    def test_quantile_empty_and_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_q0_seconds", buckets=[1.0])
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("repro_desc_seconds", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([])
+        # Empty buckets at the registry layer fall back to the defaults.
+        h = reg.histogram("repro_empty_seconds", buckets=[])
+        assert h.buckets == reg.default_buckets
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_dflt_seconds")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "9starts_with_digit", "has space", "bad-dash"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_kind_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_kind_total")
+
+    def test_summary_sums_labels_and_counts_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_s_total", labels={"t": "a"}).inc(2)
+        reg.counter("repro_s_total", labels={"t": "b"}).inc(3)
+        h = reg.histogram("repro_s_seconds", buckets=[1.0])
+        h.observe(0.5)
+        h.observe(5.0)
+        summary = reg.summary()
+        assert summary["repro_s_total"] == 5.0
+        assert summary["repro_s_seconds"] == 2.0  # histogram -> sample count
+
+    def test_families_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        assert [f.name for f in reg.families()] == ["repro_a_total", "repro_b_total"]
+
+
+class TestNullRegistry:
+    def test_noops_absorb_everything(self):
+        reg = NullRegistry()
+        c = reg.counter("repro_x_total")
+        g = reg.gauge("repro_x")
+        h = reg.histogram("repro_x_seconds")
+        c.inc()
+        g.set(9)
+        g.inc()
+        g.dec()
+        h.observe(1.0)
+        assert c.value() == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.snapshot() == ([], 0.0, 0)
+        assert reg.families() == []
+        assert reg.render() == ""
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestRender:
+    def test_render_is_valid_prometheus(self, prom_validator):
+        reg = MetricsRegistry()
+        reg.counter("repro_r_total", "Things counted", labels={"tenant": "a"}).inc(3)
+        reg.gauge("repro_r_depth", "Queue depth").set(2)
+        h = reg.histogram("repro_r_seconds", "Latency", labels={"tenant": "a"},
+                          buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.render()
+        prom_validator(text)
+        assert '# TYPE repro_r_seconds histogram' in text
+        # Registered labels come first (sorted), le last.
+        assert 'repro_r_seconds_bucket{tenant="a",le="0.1"} 1' in text
+        assert 'repro_r_seconds_bucket{tenant="a",le="+Inf"} 3' in text
+        assert 'repro_r_seconds_count{tenant="a"} 3' in text
+        assert 'repro_r_total{tenant="a"} 3' in text
+
+    def test_label_values_escaped(self, prom_validator):
+        reg = MetricsRegistry()
+        reg.counter("repro_esc_total", labels={"q": 'say "hi"\n'}).inc()
+        text = reg.render()
+        prom_validator(text)
+        assert 'q="say \\"hi\\"\\n"' in text
+
+    def test_merge_sums_identical_samples(self, prom_validator):
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        shard_a.counter("repro_m_total", "merged").inc(2)
+        shard_b.counter("repro_m_total", "merged").inc(3)
+        ha = shard_a.histogram("repro_m_seconds", buckets=[1.0])
+        hb = shard_b.histogram("repro_m_seconds", buckets=[1.0])
+        ha.observe(0.5)
+        hb.observe(0.5)
+        hb.observe(2.0)
+        text = render_prometheus([shard_a, shard_b])
+        prom_validator(text)
+        assert "repro_m_total 5" in text
+        assert 'repro_m_seconds_bucket{le="1"} 2' in text
+        assert 'repro_m_seconds_count 3' in text
+        # One TYPE line per family even when merged from several registries.
+        assert text.count("# TYPE repro_m_total") == 1
+
+    def test_merge_bucket_mismatch_folds_into_inf(self, prom_validator):
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        ha = shard_a.histogram("repro_mm_seconds", buckets=[1.0, 2.0])
+        hb = shard_b.histogram("repro_mm_seconds", buckets=[5.0])
+        ha.observe(0.5)
+        hb.observe(0.5)
+        text = render_prometheus([shard_a, shard_b])
+        prom_validator(text)
+        # shard_b's sample cannot be mapped onto shard_a's layout: it lands
+        # in +Inf but still counts toward _count and _sum.
+        assert 'repro_mm_seconds_bucket{le="1"} 1' in text
+        assert 'repro_mm_seconds_bucket{le="+Inf"} 2' in text
+        assert 'repro_mm_seconds_count 2' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

@@ -1,0 +1,101 @@
+"""Unit tests for the trace-context primitives.
+
+The context is a plain dict by design (it must pickle across the
+manager/worker boundary and ride existing wire frames unchanged); these
+tests pin down the contract: stamping, attempt bumping, and the flush
+high-water mark that keeps DFK and gateway flushes disjoint.
+"""
+
+from repro.monitoring.db import InMemoryStore
+from repro.monitoring.hub import MonitoringHub
+from repro.monitoring.messages import MessageType
+from repro.observability.trace import (
+    SPAN_EVENTS,
+    flush_spans,
+    new_trace,
+    next_attempt,
+    stamp,
+)
+
+
+def test_new_trace_shape():
+    trace = new_trace(task_id=7)
+    assert trace["id"].startswith("trace-")
+    assert trace["task"] == 7
+    assert trace["attempt"] == 1
+    assert trace["events"] == []
+    assert trace["flushed"] == 0
+
+
+def test_new_trace_ids_are_unique():
+    assert new_trace()["id"] != new_trace()["id"]
+
+
+def test_stamp_appends_in_order():
+    trace = new_trace()
+    stamp(trace, "submitted", 1.0)
+    stamp(trace, "queued", 2.0)
+    stamp(trace, "routed")  # defaults to time.time()
+    names = [name for name, _t in trace["events"]]
+    assert names == ["submitted", "queued", "routed"]
+    assert trace["events"][0][1] == 1.0
+    assert trace["events"][2][1] > 2.0
+
+
+def test_stamp_and_next_attempt_are_noops_on_none():
+    stamp(None, "submitted")
+    next_attempt(None)  # must not raise
+
+
+def test_next_attempt_bumps():
+    trace = new_trace()
+    next_attempt(trace)
+    assert trace["attempt"] == 2
+
+
+def test_canonical_event_order():
+    assert SPAN_EVENTS == [
+        "submitted", "queued", "routed", "dispatched", "executing",
+        "exec_done", "result_sent", "result_committed", "delivered",
+    ]
+
+
+def test_flush_spans_high_water_mark():
+    hub = MonitoringHub(store=InMemoryStore())
+    hub.start()
+    trace = new_trace(task_id=3)
+    stamp(trace, "submitted", 1.0)
+    stamp(trace, "queued", 2.0)
+    assert flush_spans(trace, hub, "run-x") == 2
+    # Re-flushing with no new events is a no-op...
+    assert flush_spans(trace, hub, "run-x") == 0
+    # ...and only the tail goes out after another stamp.
+    stamp(trace, "delivered", 3.0)
+    assert flush_spans(trace, hub, "run-x") == 1
+    hub.close()
+    rows = hub.query(MessageType.TASK_SPAN, run_id="run-x")
+    assert len(rows) == 3
+    assert sorted(r["state"] for r in rows) == [
+        "delivered", "queued", "submitted",
+    ]
+    assert {r["trace_id"] for r in rows} == {trace["id"]}
+    assert all(r["task_id"] == 3 for r in rows)
+
+
+def test_flush_spans_without_monitoring_is_noop():
+    trace = new_trace()
+    stamp(trace, "submitted")
+    assert flush_spans(trace, None, "run-x") == 0
+    # The high-water mark must not advance when nothing was sent.
+    assert trace["flushed"] == 0
+
+
+def test_flush_spans_task_id_override():
+    hub = MonitoringHub(store=InMemoryStore())
+    hub.start()
+    trace = new_trace()  # task still -1: gateway mints before DFK assigns
+    stamp(trace, "submitted", 1.0)
+    flush_spans(trace, hub, "run-y", task_id=42)
+    hub.close()
+    rows = hub.query(MessageType.TASK_SPAN, run_id="run-y")
+    assert rows[0]["task_id"] == 42

@@ -1,0 +1,134 @@
+"""Retries keep their trace: one trace_id, one row set per attempt.
+
+Satellite of the tracing tentpole. Two layers are pinned down:
+
+* DFK-level retries (``Config(retries=N)``): the retry path flushes the
+  failed attempt's spans, bumps the attempt counter, and the re-execution
+  writes its own row set under the *same* trace id.
+* Interchange-level redispatch (worker_lost below the poison threshold):
+  the settled item — trace context included — goes back on the pending
+  queue, so the same attempt gains a second ``dispatched`` hop instead of
+  losing its trace.
+"""
+
+import time
+
+import repro
+from repro import Config
+from repro.apps.app import python_app
+from repro.comms import MessageClient
+from repro.errors import WorkerLost
+from repro.executors.htex import messages as msg
+from repro.executors.htex.interchange import Interchange
+from repro.monitoring.db import InMemoryStore
+from repro.monitoring.hub import MonitoringHub
+from repro.monitoring.report import span_timeline
+from repro.observability.trace import new_trace, stamp
+
+
+def wait_for(predicate, timeout=10.0, interval=0.02):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestDFKRetryTrace:
+    def test_retry_keeps_trace_id_and_opens_new_attempt(self, run_dir, tmp_path):
+        """WorkerLost on attempt 1 -> retried; both attempts share a trace."""
+        marker = str(tmp_path / "first_attempt_done")
+
+        @python_app
+        def lose_worker_once(path):
+            import os
+            from repro.errors import WorkerLost as WL
+            if not os.path.exists(path):
+                with open(path, "w"):
+                    pass
+                raise WL(7, "somehost")
+            return "recovered"
+
+        store = InMemoryStore()
+        hub = MonitoringHub(store=store)
+        dfk = repro.load(
+            Config(retries=2, monitoring=hub, run_dir=run_dir, strategy="none")
+        )
+        run_id = dfk.run_id
+        try:
+            assert lose_worker_once(marker).result(timeout=30) == "recovered"
+        finally:
+            repro.clear()  # flushes and closes the hub
+
+        traces = span_timeline(store, run_id=run_id)
+        assert len(traces) == 1, f"expected one trace, got {set(traces)}"
+        (trace_id, attempts), = traces.items()
+        assert trace_id.startswith("trace-")
+        # One row set per attempt, both under the same trace id.
+        assert set(attempts) == {1, 2}
+        attempt1 = [e["event"] for e in attempts[1]]
+        attempt2 = [e["event"] for e in attempts[2]]
+        # submitted is stamped once, at mint time, on the first attempt.
+        assert attempt1[0] == "submitted"
+        assert "submitted" not in attempt2
+        assert "queued" in attempt2
+        # The retry ran to completion: its row set ends at the commit hop.
+        assert attempt2[-1] == "result_committed"
+        assert "result_committed" not in attempt1
+        # Timestamps are monotone within each attempt.
+        for events in attempts.values():
+            ts = [e["t"] for e in events]
+            assert ts == sorted(ts)
+
+
+class TestInterchangeRedispatchTrace:
+    """A worker_lost redispatch must not mint a new trace context."""
+
+    @staticmethod
+    def _fake_manager(interchange, identity, block_id=None):
+        return MessageClient(
+            interchange.host,
+            interchange.port,
+            identity=identity,
+            registration_info=msg.manager_registration_info(
+                block_id=block_id or identity, hostname=identity, worker_count=1
+            ),
+        )
+
+    @staticmethod
+    def _await_tasks(client, timeout=5.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            message = client.recv(timeout=0.2)
+            if message is not None and message.get("type") == "tasks":
+                return message["items"]
+        return None
+
+    def test_redispatch_preserves_trace_and_adds_dispatched_hop(self):
+        results = []
+        interchange = Interchange(
+            result_callback=results.append, heartbeat_threshold=60,
+            poison_threshold=3,
+        )
+        interchange.start()
+        client = self._fake_manager(interchange, "mgr-trace")
+        try:
+            assert wait_for(lambda: interchange.connected_manager_count == 1)
+            trace = new_trace(task_id=31)
+            stamp(trace, "submitted")
+            interchange.submit_tasks([msg.task_item(31, b"payload", trace=trace)])
+            assert self._await_tasks(client) is not None
+            assert [e for e, _t in trace["events"]].count("dispatched") == 1
+
+            client.send(msg.results_message([msg.worker_lost_item(31, 0, "hostt", 9)]))
+            redelivered = self._await_tasks(client)
+            assert redelivered is not None and redelivered[0]["task_id"] == 31
+            # Same context object all along: same id, second dispatched hop.
+            assert trace["id"].startswith("trace-")
+            hops = [e for e, _t in trace["events"]]
+            assert hops.count("dispatched") == 2
+            assert trace["attempt"] == 1  # attempts are a DFK-retry notion
+        finally:
+            client.close()
+            interchange.stop()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Print per-task span waterfalls from a monitoring database.
+
+Reads the ``task_spans`` table written by the tracing plane
+(:mod:`repro.observability.trace`) and renders, for each trace, one
+waterfall per attempt: every hop the task crossed (submitted, queued,
+routed, dispatched, executing, exec_done, result_sent, result_committed,
+delivered), its offset from the trace's first event, the gap to the
+previous hop, and a proportional bar — so "where did my task's latency
+go?" is answerable from the terminal after (or during) a run.
+
+Usage::
+
+    python tools/trace_report.py runinfo/000/monitoring.db
+    python tools/trace_report.py monitoring.db --task 17
+    python tools/trace_report.py monitoring.db --trace trace-ab12cd34ef56
+    python tools/trace_report.py monitoring.db --run <run_id> --limit 5
+
+The database is whatever ``MonitoringHub(store=SQLiteStore(path))`` wrote;
+in-memory runs have nothing on disk to report on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.monitoring.db import SQLiteStore  # noqa: E402
+from repro.monitoring.report import critical_path, span_timeline  # noqa: E402
+
+#: Width (characters) of the waterfall bar column.
+BAR_WIDTH = 40
+
+
+def _format_attempt(events: List[Dict[str, Any]], attempt: int, t0: float,
+                    span_s: float) -> List[str]:
+    """Render one attempt's events as aligned waterfall rows."""
+    lines = [f"  attempt {attempt}:"]
+    prev_t: Optional[float] = None
+    for event in events:
+        offset = event["t"] - t0
+        gap = 0.0 if prev_t is None else event["t"] - prev_t
+        prev_t = event["t"]
+        start = int(BAR_WIDTH * offset / span_s) if span_s > 0 else 0
+        width = max(1, int(BAR_WIDTH * gap / span_s)) if span_s > 0 else 1
+        bar = " " * min(start, BAR_WIDTH - 1) + "█" * min(width, BAR_WIDTH - start)
+        lines.append(
+            f"    {event['event']:<18} +{offset * 1000:9.3f} ms"
+            f"  (Δ {gap * 1000:9.3f} ms)  |{bar:<{BAR_WIDTH}}|"
+        )
+    return lines
+
+
+def format_trace(trace_id: str, attempts: Dict[int, List[Dict[str, Any]]]) -> str:
+    """One trace's full report: waterfall per attempt + critical-path note."""
+    all_events = [e for events in attempts.values() for e in events]
+    if not all_events:
+        return f"trace {trace_id}: no span events"
+    t0 = min(e["t"] for e in all_events)
+    span_s = max(e["t"] for e in all_events) - t0
+    task_ids = sorted({e["task_id"] for e in all_events if e.get("task_id") is not None})
+    header = f"trace {trace_id}"
+    if task_ids:
+        header += f"  (task {', '.join(str(t) for t in task_ids)})"
+    header += f"  total {span_s * 1000:.3f} ms, {len(attempts)} attempt(s)"
+    lines = [header]
+    for attempt in sorted(attempts):
+        lines.extend(_format_attempt(attempts[attempt], attempt, t0, span_s))
+    return "\n".join(lines)
+
+
+def report(db_path: str, run_id: Optional[str] = None,
+           task_id: Optional[int] = None, trace_id: Optional[str] = None,
+           limit: Optional[int] = None, show_critical_path: bool = False) -> str:
+    """Build the full text report for ``db_path`` (the CLI body, testable)."""
+    store = SQLiteStore(db_path)
+    try:
+        traces = span_timeline(store, run_id=run_id, task_id=task_id,
+                               trace_id=trace_id)
+        if not traces:
+            return "no span events matched (tracing disabled, or wrong filters?)"
+
+        def first_t(attempts: Dict[int, List[Dict[str, Any]]]) -> float:
+            return min(e["t"] for events in attempts.values() for e in events)
+
+        ordered = sorted(traces.items(), key=lambda item: first_t(item[1]))
+        total = len(ordered)
+        if limit is not None:
+            ordered = ordered[:limit]
+        chunks = [format_trace(tid, attempts) for tid, attempts in ordered]
+        if show_critical_path:
+            for idx, (tid, _attempts) in enumerate(ordered):
+                segments = critical_path(store, tid, run_id=run_id)
+                if not segments:
+                    continue
+                worst = max(segments, key=lambda s: s["duration_s"])
+                chunks[idx] += (
+                    f"\n  critical hop: {worst['from']} -> {worst['to']}"
+                    f" ({worst['duration_s'] * 1000:.3f} ms)"
+                )
+        if limit is not None and total > limit:
+            chunks.append(f"... {total - limit} more trace(s); raise --limit to see them")
+        return "\n\n".join(chunks)
+    finally:
+        store.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Per-task span waterfalls from a monitoring database."
+    )
+    parser.add_argument("db", help="path to the run's monitoring.db (SQLiteStore)")
+    parser.add_argument("--run", help="restrict to one run_id", default=None)
+    parser.add_argument("--task", type=int, default=None,
+                        help="restrict to one DFK task id")
+    parser.add_argument("--trace", default=None,
+                        help="restrict to one trace id (as returned to clients)")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="show at most N traces (default 20; 0 = all)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="append each trace's slowest hop")
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.db):
+        print(f"error: {args.db} does not exist", file=sys.stderr)
+        return 2
+    print(report(
+        args.db, run_id=args.run, task_id=args.task, trace_id=args.trace,
+        limit=None if args.limit == 0 else args.limit,
+        show_critical_path=args.critical_path,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
