@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-overhead bench-obsv bench-sched bench-service bench-http bench-shard bench-chaos chaos coverage lint docs-lint linkcheck mypy-sched ci quickstart
+.PHONY: test test-fast bench bench-smoke bench-overhead bench-obsv bench-slo bench-sched bench-service bench-http bench-shard bench-chaos chaos coverage lint docs-lint linkcheck mypy-sched ci quickstart
 
 # Tier-1: the exact command the roadmap gates on (tests/ + benchmarks/).
 test:
@@ -29,10 +29,18 @@ bench-overhead:
 		--benchmark-json=BENCH_overhead.json
 
 # Observability overhead gate: metrics + tracing on vs off on the Fig. 4
-# throughput anchor; fails if the instrumented best round loses >5%.
+# throughput anchor; fails if the instrumented median round loses >5%.
 bench-obsv:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_observability_overhead.py \
 		--benchmark-json=BENCH_observability.json
+
+# Live ops plane gate: a two-tenant run with the SLO engine + straggler
+# detector on vs stubbed out (≤5% median throughput cost), plus the
+# detection-quality check (injected 10×-slow tasks flagged, zero false
+# positives from the clean phase, zero false SLO alarms).
+bench-slo:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q benchmarks/test_slo_overhead.py \
+		--benchmark-json=BENCH_slo.json
 
 # The fig7 resource-aware scheduling bench (priority overtaking, bin-packed
 # multi-core placement, default-path throughput guard) at full scale.

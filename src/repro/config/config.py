@@ -58,7 +58,14 @@ A Config bundles:
   linger bounding how long an fsync batch may accumulate), and the shard
   router (``service_shard_vnodes`` hash-ring virtual nodes per shard,
   ``service_shard_spillover`` — how overloaded a tenant's home shard may be,
-  relative to the least-loaded live shard, before work spills over),
+  relative to the least-loaded live shard, before work spills over), the
+  live ops plane (``service_tenant_slos`` — per-tenant latency objectives,
+  e.g. ``{"interactive": {"p99_ms": 250, "window_s": 60}}``, evaluated as
+  multi-window burn rates by the gateway's SLO engine;
+  ``service_store_degraded_ms`` — the session-store writer lag beyond which
+  healthz reports ``degraded``; and the straggler detector's
+  ``service_straggler_factor`` / ``service_straggler_min_age_s`` /
+  ``service_straggler_min_samples`` guards),
 * the run directory where logs, checkpoints, and monitoring land.
 """
 
@@ -114,6 +121,11 @@ class Config:
         service_store_flush_ms: float = 2.0,
         service_shard_vnodes: int = 64,
         service_shard_spillover: float = 2.0,
+        service_tenant_slos: Optional[Dict[str, Dict[str, float]]] = None,
+        service_store_degraded_ms: float = 1000.0,
+        service_straggler_factor: float = 4.0,
+        service_straggler_min_age_s: float = 0.5,
+        service_straggler_min_samples: int = 20,
         metrics_enabled: bool = True,
         metrics_latency_buckets: Optional[List[float]] = None,
         trace_enabled: bool = True,
@@ -175,6 +187,22 @@ class Config:
             raise ConfigurationError("service_shard_vnodes must be >= 1")
         if service_shard_spillover < 1.0:
             raise ConfigurationError("service_shard_spillover must be >= 1.0")
+        if service_tenant_slos is not None:
+            # The SLO engine's parser is the single source of truth for the
+            # per-tenant spec shape; surface its complaints at config time.
+            from repro.observability.slo import parse_tenant_slos
+            try:
+                parse_tenant_slos(service_tenant_slos)
+            except (TypeError, ValueError, AttributeError) as exc:
+                raise ConfigurationError(f"service_tenant_slos invalid: {exc}")
+        if service_store_degraded_ms <= 0:
+            raise ConfigurationError("service_store_degraded_ms must be positive")
+        if service_straggler_factor <= 0:
+            raise ConfigurationError("service_straggler_factor must be positive")
+        if service_straggler_min_age_s < 0:
+            raise ConfigurationError("service_straggler_min_age_s must be >= 0")
+        if service_straggler_min_samples < 1:
+            raise ConfigurationError("service_straggler_min_samples must be >= 1")
         if not 0.0 <= trace_sampling <= 1.0:
             raise ConfigurationError("trace_sampling must be within [0.0, 1.0]")
         if metrics_latency_buckets is not None:
@@ -223,6 +251,11 @@ class Config:
         self.service_store_flush_ms = service_store_flush_ms
         self.service_shard_vnodes = service_shard_vnodes
         self.service_shard_spillover = service_shard_spillover
+        self.service_tenant_slos = dict(service_tenant_slos or {})
+        self.service_store_degraded_ms = float(service_store_degraded_ms)
+        self.service_straggler_factor = float(service_straggler_factor)
+        self.service_straggler_min_age_s = float(service_straggler_min_age_s)
+        self.service_straggler_min_samples = int(service_straggler_min_samples)
         self.metrics_enabled = bool(metrics_enabled)
         self.metrics_latency_buckets = (
             list(metrics_latency_buckets) if metrics_latency_buckets is not None else None

@@ -40,6 +40,13 @@ from repro.utils.threads import AtomicCounter
 
 logger = logging.getLogger(__name__)
 
+#: Bucket bounds (kB) for the per-task peak-RSS histogram: 1 MB .. 4 GB in
+#: powers of four — worker pools are long-lived so maxrss is a high-water
+#: mark, and coarse buckets suffice to spot a leaking or oversized app.
+MAXRSS_BUCKETS_KB = (
+    1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+)
+
 
 class HighThroughputExecutor(ReproExecutor):
     """Pilot-job executor with an interchange and per-node managers (§4.3.1).
@@ -147,6 +154,21 @@ class HighThroughputExecutor(ReproExecutor):
     def start(self) -> None:
         if self._started:
             return
+        # Per-task resource-usage histograms, fed from the worker-side
+        # ``resource`` record every outcome carries (see execute_task). The
+        # DFK swapped its live registry in before start(), so these land on
+        # /metrics; a bare executor records into the no-op registry.
+        xlabels = {"executor": self.label}
+        self._m_task_cpu = self.metrics.histogram(
+            "repro_task_cpu_seconds",
+            "Per-task worker CPU time, user+system (rusage)",
+            labels=xlabels,
+        )
+        self._m_task_maxrss = self.metrics.histogram(
+            "repro_task_maxrss_kb",
+            "Worker peak resident set size observed at task completion (kB)",
+            labels=xlabels, buckets=MAXRSS_BUCKETS_KB,
+        )
         self.interchange = Interchange(
             result_callback=self._handle_result,
             host=self.address,
@@ -336,11 +358,26 @@ class HighThroughputExecutor(ReproExecutor):
         except Exception as exc:  # noqa: BLE001
             future.set_exception(exc)
             return
+        self._observe_resource(outcome.get("resource"))
         if "exception" in outcome:
             wrapper = outcome["exception"]
             future.set_exception(wrapper.e_value)
         else:
             future.set_result(outcome.get("result"))
+
+    def _observe_resource(self, record: Optional[Dict[str, Any]]) -> None:
+        """Fold one task's worker-side rusage record into the histograms."""
+        if not record:
+            return
+        try:
+            cpu = (float(record.get("psutil_process_time_user") or 0.0)
+                   + float(record.get("psutil_process_time_system") or 0.0))
+            self._m_task_cpu.observe(cpu)
+            rss = record.get("psutil_process_memory_resident_kb")
+            if rss is not None:
+                self._m_task_maxrss.observe(float(rss))
+        except (TypeError, ValueError):
+            pass  # malformed record from an old worker: not worth a crash
 
     # ------------------------------------------------------------------
     # Block lifecycle (scale-in by draining)

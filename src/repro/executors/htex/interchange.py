@@ -232,6 +232,11 @@ class Interchange:
             "repro_htex_execution_seconds", "Worker-side task execution latency",
             labels=mlabels,
         )
+        #: Optional ``fn(seconds)`` invoked with every worker-side execution
+        #: latency (the same samples ``repro_htex_execution_seconds`` sees).
+        #: The gateway points this at its SLO engine's per-executor rolling
+        #: windows; exceptions are swallowed so observers can't stall results.
+        self.latency_observer: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -524,6 +529,12 @@ class Interchange:
         t_end = item.get("exec_end")
         if t_start is not None and t_end is not None:
             self._m_exec_seconds.observe(t_end - t_start)
+            observer = self.latency_observer
+            if observer is not None:
+                try:
+                    observer(t_end - t_start)
+                except Exception:  # noqa: BLE001 - observers must not stall results
+                    logger.exception("latency observer failed")
         trace = settled.get("trace") if settled is not None else None
         if trace is None:
             return
@@ -726,6 +737,10 @@ class Interchange:
                 trace = item.get("trace")
                 if trace is not None:
                     stamp(trace, "dispatched", t_send)
+                    # Live worker attribution: the straggler detector names
+                    # the manager a stuck task was dispatched to long before
+                    # any result-side stamp could merge in.
+                    trace["manager"] = identity
             chunk_cores = sum(msg.task_cores(item) for item in chunk)
             with self._managers_lock:
                 live = self._managers.get(identity)

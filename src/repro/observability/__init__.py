@@ -10,8 +10,14 @@ Two halves, both dependency-free:
   histograms with O(1) hot-path recording, rendered in Prometheus text
   exposition via ``GET /metrics`` on the HTTP edge, the ``metrics`` admin
   command on the TCP gateway, and per-shard ``stats`` rows.
+* :mod:`repro.observability.slo` — rolling-window quantiles over the same
+  streams plus per-tenant burn-rate SLO alerting (``GET /v1/alerts``, the
+  ``alerts`` admin command, ``repro_slo_burn`` gauges).
+* :mod:`repro.observability.anomaly` — streaming straggler detection over
+  live task spans with per-worker sick-host aggregation.
 """
 
+from repro.observability.anomaly import StragglerDetector
 from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_REGISTRY,
@@ -22,6 +28,13 @@ from repro.observability.metrics import (
     NullRegistry,
     render_prometheus,
 )
+from repro.observability.slo import (
+    RollingQuantile,
+    SloAlert,
+    SloEngine,
+    SloObjective,
+    parse_tenant_slos,
+)
 from repro.observability.trace import (
     SPAN_EVENTS,
     flush_spans,
@@ -31,6 +44,12 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "RollingQuantile",
+    "SloAlert",
+    "SloEngine",
+    "SloObjective",
+    "StragglerDetector",
+    "parse_tenant_slos",
     "Counter",
     "Gauge",
     "Histogram",

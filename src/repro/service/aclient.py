@@ -374,6 +374,17 @@ class AsyncServiceClient:
             raise self._error(status, body)
         return TenantStats.from_json(json.loads(body))
 
+    async def alerts(self) -> Dict[str, Any]:
+        """The gateway's live ops plane (``GET /v1/alerts``): SLO burn
+        alerts, per-tenant windowed latency state, stragglers, and the
+        sick-worker report, as one JSON document."""
+        status, _headers, body = await self._request(
+            "GET", "/v1/alerts", None, with_session=False
+        )
+        if status != 200:
+            raise self._error(status, body)
+        return json.loads(body)
+
     async def gather(self, *handles: AsyncTaskHandle) -> List[Any]:
         """Await several handles' results in order (``asyncio.gather`` semantics: the first exception propagates)."""
         return list(await asyncio.gather(*(h.result() for h in handles)))

@@ -99,6 +99,7 @@ class ServiceClient:
         self._parked: Dict[int, Dict[str, Any]] = {}
         self._stats_futures: Dict[int, Future] = {}
         self._metrics_futures: Dict[int, Future] = {}
+        self._alerts_futures: Dict[int, Future] = {}
         self._task_counter = 0
         self._stats_counter = 0
         self._closed = False
@@ -260,6 +261,24 @@ class ServiceClient:
         transport.send(protocol.metrics(req_id))
         return reply.result(timeout=timeout)
 
+    def alerts(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Fetch the gateway's live ops plane: SLO burn alerts, per-tenant
+        windowed latency state, stragglers, and the sick-worker report.
+
+        The same document ``GET /v1/alerts`` serves on the HTTP edge
+        (``alerts`` / ``slo`` / ``streams`` / ``stragglers`` / ``workers``).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("client is closed")
+            req_id = self._stats_counter
+            self._stats_counter += 1
+            reply: Future = Future()
+            self._alerts_futures[req_id] = reply
+            transport = self._transport
+        transport.send(protocol.alerts(req_id))
+        return reply.result(timeout=timeout)
+
     def outstanding(self) -> int:
         """Number of submitted tasks whose results have not arrived yet."""
         with self._lock:
@@ -300,6 +319,11 @@ class ServiceClient:
                     reply = self._metrics_futures.pop(message.get("req_id"), None)
                 if reply is not None and not reply.done():
                     reply.set_result(str(message.get("text", "")))
+            elif mtype == "alerts_reply":
+                with self._lock:
+                    reply = self._alerts_futures.pop(message.get("req_id"), None)
+                if reply is not None and not reply.done():
+                    reply.set_result(message.get("payload") or {})
             elif mtype == "error":
                 self._handle_error(message)
             elif mtype == "connection_lost":
@@ -442,8 +466,10 @@ class ServiceClient:
             self._parked.clear()
             stats_futures = list(self._stats_futures.values())
             stats_futures += list(self._metrics_futures.values())
+            stats_futures += list(self._alerts_futures.values())
             self._stats_futures.clear()
             self._metrics_futures.clear()
+            self._alerts_futures.clear()
             self._closed = True
             self._slots.notify_all()
         for future in futures:

@@ -62,12 +62,14 @@ from repro.core.dflow import DataFlowKernel
 from repro.errors import ShardUnavailableError, TaskCancelledError
 from repro.core.states import States
 from repro.core.taskrecord import TaskRecord
+from repro.observability.anomaly import StragglerDetector
 from repro.observability.metrics import (
     NULL_REGISTRY,
     Histogram,
     MetricsRegistry,
     render_prometheus,
 )
+from repro.observability.slo import SloAlert, SloEngine
 from repro.observability.trace import flush_spans, new_trace, stamp
 from repro.scheduling.spec import ResourceSpec
 from repro.serialize import deserialize, serialize, unpack_apply_message
@@ -182,6 +184,8 @@ class WorkflowGateway:
         store_path: Optional[str] = None,
         shard_vnodes: Optional[int] = None,
         shard_spillover: Optional[float] = None,
+        tenant_slos: Optional[Dict[str, Dict[str, Any]]] = None,
+        on_alert: Optional[Callable[[SloAlert], None]] = None,
     ):
         dfks: List[DataFlowKernel] = (
             list(dfk) if isinstance(dfk, (list, tuple)) else [dfk]
@@ -265,6 +269,27 @@ class WorkflowGateway:
             "Live (connected or within-TTL) tenant sessions",
             callback=lambda: len(self._sessions),
         )
+        #: The live ops plane: per-tenant rolling-window latency + burn-rate
+        #: SLO alerting, fed by :meth:`_on_task_final` and evaluated on the
+        #: service loop (lazily on every alerts surface too). ``on_alert``
+        #: is the pluggable rising-edge hook future schedulers can use for
+        #: priority boosts on burn.
+        self.slo = SloEngine(
+            tenant_slos=(tenant_slos if tenant_slos is not None
+                         else cfg.service_tenant_slos),
+            registry=self.metrics,
+            on_alert=on_alert,
+        )
+        #: Streaming straggler detection over live task spans, trained by
+        #: every completion's hop timeline.
+        self.anomaly = StragglerDetector(
+            factor=cfg.service_straggler_factor,
+            min_age_s=cfg.service_straggler_min_age_s,
+            min_samples=cfg.service_straggler_min_samples,
+        )
+        #: Session-store writer lag (ms) beyond which healthz degrades.
+        self.store_degraded_ms = cfg.service_store_degraded_ms
+        self._last_slo_eval = 0.0
         #: Trace minting at the gateway edge: the gateway is the first hop a
         #: remote task crosses, so the trace context is created (and
         #: "submitted" stamped) here and rides the queued item into the DFK.
@@ -320,6 +345,17 @@ class WorkflowGateway:
                 lambda task, state, _shard=shard: self._on_task_final(_shard, task, state)
             )
             shard.dfk.add_completion_hook(shard.hook)
+            # Feed worker-side execution latency into the ops plane: the
+            # interchange observes exec time when a result's timing merges;
+            # hanging a callback there gives the SLO engine a per-executor
+            # rolling window without touching the result hot path twice.
+            for label, executor in shard.dfk.executors.items():
+                interchange = getattr(executor, "interchange", None)
+                if interchange is not None and hasattr(interchange, "latency_observer"):
+                    interchange.latency_observer = (
+                        lambda seconds, _name=f"exec:{label}":
+                        self.slo.record_stream(_name, seconds)
+                    )
         names = [("gateway-service", self._service_loop), ("gateway-sender", self._sender_loop)]
         names += [
             (f"gateway-pump-{shard.index}", (lambda _shard=shard: self._pump_loop(_shard)))
@@ -477,6 +513,14 @@ class WorkflowGateway:
                     self._handle(identity, message)
                     received = self.server.recv(timeout=0.0)
                 self._sweep_sessions()
+                # Keep burn gauges and the active-alert set fresh (and fire
+                # on_alert promptly) even when nobody polls an alerts
+                # surface; throttled to ~1 Hz.
+                now = time.time()
+                if now - self._last_slo_eval >= 1.0:
+                    self._last_slo_eval = now
+                    self.slo.evaluate()
+                    self.anomaly.drain()
             except Exception:  # noqa: BLE001 - the gateway must not die
                 logger.exception("gateway service loop error")
 
@@ -505,6 +549,13 @@ class WorkflowGateway:
                 identity,
                 protocol.metrics_reply(
                     int(message.get("req_id") or 0), self.render_metrics()
+                ),
+            )
+        elif mtype == "alerts":
+            self._send(
+                identity,
+                protocol.alerts_reply(
+                    int(message.get("req_id") or 0), self.alerts_snapshot()
                 ),
             )
         elif mtype == "goodbye":
@@ -901,7 +952,15 @@ class WorkflowGateway:
             flush_spans(trace, shard.dfk.monitoring, shard.dfk.run_id, task.id)
         t0 = item.get("_t0")
         if t0 is not None and tenant.m_e2e is not None:
-            tenant.m_e2e.observe(time.time() - t0)
+            elapsed = time.time() - t0
+            tenant.m_e2e.observe(elapsed)
+            # Same sample feeds the rolling-window SLO engine (the forever
+            # histogram answers "since boot"; this answers "right now").
+            self.slo.record(tenant.name, elapsed)
+        if trace is not None:
+            # Teach the straggler detector what a healthy hop-to-completion
+            # timeline looks like, from this finished task's stamps.
+            self.anomaly.complete(trace)
         with self._lock:
             if success:
                 tenant.completed += 1
@@ -1153,3 +1212,57 @@ class WorkflowGateway:
         """Number of live (connected or within-TTL) sessions."""
         with self._lock:
             return len(self._sessions)
+
+    def store_lag_ms(self) -> float:
+        """Age (ms) of the oldest uncommitted session-store write (0 = none).
+
+        The readiness signal for a wedged store writer: healthz reports
+        ``degraded`` once this exceeds ``service_store_degraded_ms``.
+        Always 0.0 without a durable store.
+        """
+        return self._store.lag_ms() if self._store is not None else 0.0
+
+    def live_stragglers(self) -> List[Dict[str, Any]]:
+        """Scan the in-flight population for stragglers (JSON-ready rows).
+
+        Each flagged task carries its trace id, tenant, current hop, age,
+        the hop's rolling p99, and the worker/manager it was dispatched to
+        (stamped into the trace by the interchange). Safe from any thread.
+        """
+        with self._lock:
+            live = [
+                (item.get("trace"), {"tenant": item.get("tenant")})
+                for item in self._tasks.values()
+                if item.get("trace") is not None
+            ]
+        return self.anomaly.scan(live)
+
+    def alerts_snapshot(self) -> Dict[str, Any]:
+        """The full ops-plane document every alerts surface serves.
+
+        Evaluates the SLO engine first (so one-shot pollers and tests see
+        current burn state, not the service loop's last tick), then bundles
+        active alerts, per-tenant windowed latency/objective state,
+        auxiliary latency streams, the straggler list, and the per-worker
+        sick-host report. Safe from any thread.
+        """
+        alerts = self.slo.active_alerts()
+        stragglers = self.live_stragglers()
+        return {
+            "alerts": alerts,
+            "slo": self.slo.tenant_snapshot(),
+            "streams": self.slo.stream_snapshot(),
+            "stragglers": stragglers,
+            "workers": self.anomaly.worker_report(stragglers),
+        }
+
+    def ops_stats(self) -> Dict[str, Any]:
+        """One-call operator overview (what ``GET /v1/stats`` serves):
+        per-tenant admission counters, per-shard occupancy, session count,
+        and the store writer lag. Safe from any thread."""
+        return {
+            "tenants": self.stats(),
+            "shards": self.shard_stats(),
+            "sessions": self.session_count(),
+            "store_lag_ms": round(self.store_lag_ms(), 3),
+        }

@@ -19,9 +19,14 @@ POST   ``/v1/tasks/{id}/cancel``    cancel a still-queued task
 GET    ``/v1/tenants/me/stats``     the calling tenant's admission counters
 GET    ``/v1/stream``               SSE result stream (``Last-Event-ID``
                                     resume; ``result``/``error``/``done``)
-GET    ``/v1/healthz``              liveness + per-shard readiness (no auth;
-                                    503 when no shard can take work)
+GET    ``/v1/healthz``              liveness + per-shard readiness + session
+                                    store writer lag (no auth; 503 when no
+                                    shard can take work)
 GET    ``/metrics``                 Prometheus text-format scrape (no auth)
+GET    ``/v1/stats``                ops snapshot: all tenants, shards, store
+                                    lag (no auth; feeds ``repro_top``)
+GET    ``/v1/alerts``               live SLO burn alerts, per-tenant window
+                                    state, stragglers, sick workers (no auth)
 ====== ============================ ==========================================
 
 Every edge session is an **in-process gateway peer**: the edge registers a
@@ -609,15 +614,21 @@ class HttpEdge:
             # ("degraded") because submissions still succeed on survivors.
             shards = self.gateway.shard_stats()
             alive = sum(1 for s in shards if s.get("alive"))
+            store_lag_ms = self.gateway.store_lag_ms()
             if alive == len(shards):
                 health = "ok"
             elif alive:
                 health = "degraded"
             else:
                 health = "unavailable"
+            # A wedged SessionStore writer degrades readiness before anything
+            # times out: accepted submits are not durable until it drains.
+            if health == "ok" and store_lag_ms > self.gateway.store_degraded_ms:
+                health = "degraded"
             await self._respond_json(writer, 200 if alive else 503, {
                 "status": health,
                 "sessions": len(self._sessions),
+                "store_lag_ms": round(store_lag_ms, 3),
                 "shards": shards,
             })
             return True
@@ -629,6 +640,16 @@ class HttpEdge:
                 200, body, "text/plain; version=0.0.4; charset=utf-8"
             ))
             await writer.drain()
+            return True
+        if path == "/v1/alerts" and method == "GET":
+            # Ops plane (unauthenticated, like /metrics): SLO burn alerts,
+            # per-tenant windowed latency state, stragglers, sick workers.
+            await self._respond_json(writer, 200, self.gateway.alerts_snapshot())
+            return True
+        if path == "/v1/stats" and method == "GET":
+            # Cluster-wide ops counters for consoles (repro_top): every
+            # tenant's admission state plus shard occupancy and store lag.
+            await self._respond_json(writer, 200, self.gateway.ops_stats())
             return True
         if path == "/v1/session" and method == "POST":
             return await self._route_open_session(request, writer)

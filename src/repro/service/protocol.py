@@ -92,6 +92,12 @@ def metrics(req_id: int = 0) -> Dict[str, Any]:
     return {"type": "metrics", "req_id": req_id}
 
 
+def alerts(req_id: int = 0) -> Dict[str, Any]:
+    """Admin request for the live ops plane: SLO burn alerts, per-tenant
+    windowed latency state, and the straggler/sick-worker report."""
+    return {"type": "alerts", "req_id": req_id}
+
+
 def goodbye() -> Dict[str, Any]:
     """Deliberate disconnect: the session is released immediately (no TTL)."""
     return {"type": "goodbye"}
@@ -190,6 +196,13 @@ def stats_reply(req_id: int, tenants: Dict[str, Dict[str, int]],
 def metrics_reply(req_id: int, text: str) -> Dict[str, Any]:
     """The rendered metrics plane: one Prometheus text-format document."""
     return {"type": "metrics_reply", "req_id": req_id, "text": text}
+
+
+def alerts_reply(req_id: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The ops-plane snapshot: the same JSON-ready document
+    ``GET /v1/alerts`` serves (``alerts`` / ``slo`` / ``stragglers`` /
+    ``workers`` keys)."""
+    return {"type": "alerts_reply", "req_id": req_id, "payload": payload}
 
 
 def error(reason: str, client_task_id: Optional[int] = None,

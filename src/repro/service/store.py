@@ -41,7 +41,9 @@ import os
 import queue
 import sqlite3
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 logger = logging.getLogger(__name__)
 
@@ -105,6 +107,11 @@ class SessionStore:
         self.path = path
         self.flush_ms = flush_ms
         self._ops: "queue.Queue[Optional[_Op]]" = queue.Queue()
+        #: Enqueue times (monotonic) of ops not yet committed, oldest first:
+        #: appended by :meth:`_enqueue`, popped by the writer as it consumes
+        #: ops. The head's age is the writer lag healthz reports — a wedged
+        #: or fsync-bound writer shows up here before anything times out.
+        self._pending_t: Deque[float] = deque()
         self._stop = threading.Event()
         self._abandoned = False
         self._thread: Optional[threading.Thread] = None
@@ -168,10 +175,28 @@ class SessionStore:
     # ------------------------------------------------------------------
     # Mutators (any thread; applied by the writer in enqueue order)
     # ------------------------------------------------------------------
+    def _enqueue(self, op: _Op) -> None:
+        """Queue one op, stamping its enqueue time for lag accounting."""
+        self._pending_t.append(time.monotonic())
+        self._ops.put(op)
+
+    def lag_ms(self) -> float:
+        """Age (ms) of the oldest op not yet committed; 0.0 when caught up.
+
+        The writer-health readiness signal: group commit keeps this near
+        ``flush_ms`` under load, so sustained growth means the writer is
+        wedged or the disk cannot keep up. Safe from any thread.
+        """
+        try:
+            oldest = self._pending_t[0]
+        except IndexError:
+            return 0.0
+        return max(0.0, (time.monotonic() - oldest) * 1000.0)
+
     def save_session(self, session_id: str, tenant: str, session_token: str,
                      on_durable: Optional[Callable[[], None]] = None) -> None:
         """Persist a (new or resumed) session's identity and secret."""
-        self._ops.put(([
+        self._enqueue(([
             ("INSERT OR REPLACE INTO sessions (session_id, tenant, session_token, seq) "
              "VALUES (?, ?, ?, COALESCE((SELECT seq FROM sessions WHERE session_id = ?), 0))",
              (session_id, tenant, session_token, session_id)),
@@ -179,7 +204,7 @@ class SessionStore:
 
     def delete_session(self, session_id: str) -> None:
         """Forget a session and everything it owns (eviction/goodbye)."""
-        self._ops.put(([
+        self._enqueue(([
             ("DELETE FROM sessions WHERE session_id = ?", (session_id,)),
             ("DELETE FROM tasks WHERE session_id = ?", (session_id,)),
             ("DELETE FROM results WHERE session_id = ?", (session_id,)),
@@ -189,7 +214,7 @@ class SessionStore:
                     spec: Optional[bytes],
                     on_durable: Optional[Callable[[], None]] = None) -> None:
         """Write-ahead one accepted submit; ack the client from the callback."""
-        self._ops.put(([
+        self._enqueue(([
             ("INSERT OR REPLACE INTO tasks (session_id, client_task_id, buffer, spec) "
              "VALUES (?, ?, ?, ?)", (session_id, client_task_id, buffer, spec)),
         ], on_durable))
@@ -204,7 +229,7 @@ class SessionStore:
         rows older than ``replay_limit`` — so the on-disk state is always a
         consistent snapshot of the in-memory session.
         """
-        self._ops.put(([
+        self._enqueue(([
             ("INSERT OR REPLACE INTO results (session_id, seq, client_task_id, success, buffer) "
              "VALUES (?, ?, ?, ?, ?)", (session_id, seq, client_task_id, int(success), buffer)),
             ("DELETE FROM tasks WHERE session_id = ? AND client_task_id = ?",
@@ -217,7 +242,7 @@ class SessionStore:
     def flush(self, timeout: float = 10.0) -> bool:
         """Block until every op enqueued before this call has committed."""
         fence = threading.Event()
-        self._ops.put(([], fence.set))
+        self._enqueue(([], fence.set))
         return fence.wait(timeout)
 
     # ------------------------------------------------------------------
@@ -288,6 +313,14 @@ class SessionStore:
             except sqlite3.Error:
                 pass
 
+    def _consume_pending(self, n: int) -> None:
+        """Advance the lag clock for ``n`` consumed ops (commit or drop)."""
+        for _ in range(n):
+            try:
+                self._pending_t.popleft()
+            except IndexError:
+                break
+
     def _commit(self, conn: sqlite3.Connection, batch: List[_Op]) -> None:
         try:
             for statements, _cb in batch:
@@ -300,7 +333,11 @@ class SessionStore:
                 conn.rollback()
             except sqlite3.Error:
                 pass
+            self._consume_pending(len(batch))
             return
+        # Retire the batch's lag entries before the durable callbacks run,
+        # so anyone woken by flush() observes lag_ms() already caught up.
+        self._consume_pending(len(batch))
         for _statements, callback in batch:
             if callback is not None:
                 try:

@@ -1,0 +1,151 @@
+"""Unit tests for the streaming straggler detector.
+
+A fake clock drives both the model (completed hop-to-completion times) and
+the live scan, so every threshold crossing is deterministic.
+"""
+
+import pytest
+
+from repro.observability.anomaly import StragglerDetector
+
+
+class FakeClock:
+    def __init__(self, t: float = 1_000_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_trace(trace_id, events, manager=None, task=1):
+    trace = {"id": trace_id, "task": task, "attempt": 1,
+             "events": [list(e) for e in events], "flushed": 0}
+    if manager is not None:
+        trace["manager"] = manager
+    return trace
+
+
+def feed_completions(detector, clock, n, hop_duration=0.01):
+    """n healthy completions: submitted -> dispatched -> delivered."""
+    for i in range(n):
+        t0 = clock.t - 1.0
+        detector.complete(make_trace(
+            f"trace-ok{i}",
+            [("submitted", t0), ("dispatched", t0 + hop_duration),
+             ("delivered", t0 + 2 * hop_duration)],
+        ))
+
+
+class TestStragglerDetector:
+    def _detector(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(factor=2.0, min_age_s=0.05, min_samples=5,
+                        time_fn=clock)
+        defaults.update(kwargs)
+        return StragglerDetector(**defaults), clock
+
+    def test_empty_model_flags_nothing(self):
+        detector, clock = self._detector()
+        stuck = make_trace("trace-x", [("dispatched", clock.t - 100.0)])
+        assert detector.scan([(stuck, {"tenant": "t"})]) == []
+
+    def test_min_samples_guard(self):
+        detector, clock = self._detector(min_samples=10)
+        feed_completions(detector, clock, 9)
+        stuck = make_trace("trace-x", [("dispatched", clock.t - 100.0)])
+        assert detector.scan([(stuck, {"tenant": "t"})]) == []
+        feed_completions(detector, clock, 1)
+        assert len(detector.scan([(stuck, {"tenant": "t"})])) == 1
+
+    def test_slow_live_task_is_flagged_with_attribution(self):
+        detector, clock = self._detector()
+        feed_completions(detector, clock, 20)
+        assert detector.completed_count() == 20
+        stuck = make_trace(
+            "trace-stuck",
+            [("submitted", clock.t - 10.0), ("dispatched", clock.t - 9.0)],
+            manager="mgr-7", task=42,
+        )
+        (row,) = detector.scan([(stuck, {"tenant": "interactive"})])
+        assert row["trace_id"] == "trace-stuck"
+        assert row["task"] == 42
+        assert row["tenant"] == "interactive"
+        assert row["hop"] == "dispatched"
+        assert row["worker"] == "mgr-7"
+        assert row["age_s"] == pytest.approx(9.0, abs=0.01)
+        assert row["over"] > 1.0
+
+    def test_healthy_live_task_is_not_flagged(self):
+        detector, clock = self._detector()
+        feed_completions(detector, clock, 20, hop_duration=0.01)
+        fresh = make_trace("trace-fresh", [("dispatched", clock.t - 0.001)])
+        assert detector.scan([(fresh, {"tenant": "t"})]) == []
+
+    def test_min_age_floors_the_threshold(self):
+        # With microsecond p99s, only min_age_s keeps sub-min_age tasks safe.
+        detector, clock = self._detector(min_age_s=1.0)
+        feed_completions(detector, clock, 20, hop_duration=0.0001)
+        waiting = make_trace("trace-w", [("dispatched", clock.t - 0.5)])
+        assert detector.scan([(waiting, {"tenant": "t"})]) == []
+        stuck = make_trace("trace-s", [("dispatched", clock.t - 2.0)])
+        assert len(detector.scan([(stuck, {"tenant": "t"})])) == 1
+
+    def test_scan_sorts_by_overage_and_truncates(self):
+        detector, clock = self._detector()
+        feed_completions(detector, clock, 20)
+        live = [
+            (make_trace(f"trace-{i}", [("dispatched", clock.t - age)]),
+             {"tenant": "t"})
+            for i, age in enumerate([5.0, 50.0, 20.0])
+        ]
+        rows = detector.scan(live)
+        assert [r["trace_id"] for r in rows] == ["trace-1", "trace-2", "trace-0"]
+        assert len(detector.scan(live, limit=2)) == 2
+
+    def test_model_window_expires(self):
+        detector, clock = self._detector(window_s=60.0)
+        feed_completions(detector, clock, 20)
+        assert detector.hop_p99("dispatched") is not None
+        clock.advance(120.0)
+        stuck = make_trace("trace-x", [("dispatched", clock.t - 100.0)])
+        assert detector.scan([(stuck, {"tenant": "t"})]) == []
+
+    def test_traceless_and_short_traces_are_ignored(self):
+        detector, clock = self._detector()
+        detector.complete(None)
+        detector.complete({"events": []})
+        detector.complete(make_trace("trace-1hop", [("submitted", clock.t)]))
+        assert detector.completed_count() == 0
+        assert detector.scan([(None, {}), ({"events": []}, {})]) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StragglerDetector(factor=0)
+        with pytest.raises(ValueError):
+            StragglerDetector(min_samples=0)
+        with pytest.raises(ValueError):
+            StragglerDetector(min_age_s=-1)
+        with pytest.raises(ValueError):
+            StragglerDetector(window_s=0)
+
+
+class TestWorkerReport:
+    def test_concentration_names_the_sick_worker(self):
+        stragglers = (
+            [{"worker": "mgr-bad"} for _ in range(4)]
+            + [{"worker": "mgr-ok"}]
+        )
+        report = StragglerDetector.worker_report(stragglers)
+        assert report[0] == {"worker": "mgr-bad", "stragglers": 4, "sick": True}
+        assert report[1]["sick"] is False
+
+    def test_spread_out_stragglers_name_nobody(self):
+        stragglers = [{"worker": f"mgr-{i}"} for i in range(6)]
+        report = StragglerDetector.worker_report(stragglers)
+        assert all(not row["sick"] for row in report)
+
+    def test_unattributed_rows_are_skipped(self):
+        assert StragglerDetector.worker_report([{"worker": None}, {}]) == []

@@ -1,0 +1,117 @@
+"""Property-based tests (Hypothesis) for :class:`RollingQuantile`.
+
+Pins the estimator's documented error bound against an exact oracle: the
+windowed ``q``-quantile estimate must lie inside the bucket containing the
+``ceil(q·n)``-th smallest live sample (overflow samples clamp to the
+largest finite bound), ``frac_over`` must be exact at bucket bounds, and
+window expiry must drop exactly the samples that have aged out.
+"""
+
+import math
+from bisect import bisect_left
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.observability.slo import RollingQuantile  # noqa: E402
+
+
+BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1_000_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def bucket_interval(value):
+    """The (lower, upper] bucket of ``value``; overflow clamps to the top."""
+    idx = bisect_left(BOUNDS, value)
+    if idx >= len(BOUNDS):
+        return BOUNDS[-1], BOUNDS[-1]
+    lower = BOUNDS[idx - 1] if idx > 0 else 0.0
+    return lower, BOUNDS[idx]
+
+
+samples_st = st.lists(
+    st.floats(min_value=0.0, max_value=20.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+quantile_st = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+
+
+class TestQuantileErrorBound:
+    @given(samples=samples_st, q=quantile_st)
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_within_bucket_of_exact_quantile(self, samples, q):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=60.0, bounds=BOUNDS, time_fn=clock)
+        for value in samples:
+            rq.record(value)
+        estimate = rq.quantile(q)
+        assert estimate is not None
+        rank = max(1, math.ceil(q * len(samples)))
+        exact = sorted(samples)[rank - 1]
+        lower, upper = bucket_interval(exact)
+        assert lower <= estimate <= upper, (
+            f"estimate {estimate} outside bucket ({lower}, {upper}] of the "
+            f"rank-{rank} sample {exact} (n={len(samples)}, q={q})"
+        )
+
+    @given(samples=samples_st)
+    @settings(max_examples=100, deadline=None)
+    def test_frac_over_exact_at_bucket_bounds(self, samples):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=60.0, bounds=BOUNDS, time_fn=clock)
+        for value in samples:
+            rq.record(value)
+        for threshold in BOUNDS:
+            exact = sum(1 for v in samples if v > threshold) / len(samples)
+            assert rq.frac_over(threshold) == pytest.approx(exact)
+
+    @given(samples=samples_st)
+    @settings(max_examples=100, deadline=None)
+    def test_count_and_mean_match_the_oracle(self, samples):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=60.0, bounds=BOUNDS, time_fn=clock)
+        for value in samples:
+            rq.record(value)
+        assert rq.count() == len(samples)
+        assert rq.mean() == pytest.approx(sum(samples) / len(samples))
+
+
+class TestWindowEdgeCases:
+    @given(samples=samples_st, advance=st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=100, deadline=None)
+    def test_expiry_never_resurrects_samples(self, samples, advance):
+        """Counts only shrink as time passes, and a full window wipes them."""
+        clock = FakeClock()
+        window = 60.0
+        rq = RollingQuantile(window_s=window, bounds=BOUNDS, time_fn=clock)
+        for value in samples:
+            rq.record(value)
+        before = rq.count()
+        clock.t += advance
+        after = rq.count()
+        assert after <= before
+        if advance >= window + window / rq.slots:
+            assert after == 0
+            assert rq.quantile(0.5) is None
+            assert rq.mean() is None
+            assert rq.frac_over(BOUNDS[0]) == 0.0
+
+    @given(q=quantile_st)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_window_returns_none_for_every_quantile(self, q):
+        rq = RollingQuantile(window_s=60.0, bounds=BOUNDS,
+                             time_fn=FakeClock())
+        assert rq.quantile(q) is None
+        assert rq.count() == 0

@@ -1,0 +1,243 @@
+"""Unit tests for the SLO plane: rolling quantiles and burn-rate alerting.
+
+Everything runs on an injected fake clock, so window expiry and burn-rate
+edges are deterministic — no sleeps, no wall-clock coupling.
+"""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, render_prometheus
+from repro.observability.slo import (
+    RollingQuantile,
+    SloEngine,
+    parse_tenant_slos,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1_000_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+BOUNDS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+class TestRollingQuantile:
+    def test_empty_window_is_distinguishable_from_zero(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=10.0, bounds=BOUNDS, time_fn=clock)
+        assert rq.count() == 0
+        assert rq.quantile(0.5) is None
+        assert rq.mean() is None
+        assert rq.frac_over(0.1) == 0.0
+
+    def test_quantile_lands_in_the_right_bucket(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=10.0, bounds=BOUNDS, time_fn=clock)
+        for _ in range(90):
+            rq.record(0.02)  # (0.01, 0.05] bucket
+        for _ in range(10):
+            rq.record(0.7)   # (0.5, 1.0] bucket
+        p50 = rq.quantile(0.5)
+        assert 0.01 <= p50 <= 0.05
+        p99 = rq.quantile(0.99)
+        assert 0.5 <= p99 <= 1.0
+        # q=0 is the smallest live sample's bucket.
+        assert rq.quantile(0.0) <= 0.05
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=10.0, bounds=BOUNDS, time_fn=clock)
+        for _ in range(5):
+            rq.record(50.0)  # beyond every bound
+        assert rq.quantile(0.99) == BOUNDS[-1]
+
+    def test_frac_over_is_exact_at_a_bucket_bound(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=10.0, bounds=BOUNDS, time_fn=clock)
+        for _ in range(75):
+            rq.record(0.05)  # exactly at the bound: counted as under
+        for _ in range(25):
+            rq.record(0.2)
+        assert rq.frac_over(0.05) == pytest.approx(0.25)
+
+    def test_window_expiry_forgets_old_samples(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=10.0, bounds=BOUNDS, time_fn=clock)
+        for _ in range(100):
+            rq.record(0.02)
+        assert rq.count() == 100
+        clock.advance(10.0 + 10.0 / 8)  # one full window + slot resolution
+        assert rq.count() == 0
+        assert rq.quantile(0.99) is None
+
+    def test_partial_expiry_is_gradual(self):
+        clock = FakeClock()
+        rq = RollingQuantile(window_s=8.0, bounds=BOUNDS, slots=8, time_fn=clock)
+        rq.record(0.02)
+        clock.advance(4.0)
+        rq.record(0.2)
+        assert rq.count() == 2
+        clock.advance(5.0)  # first sample now ~9s old: outside the window
+        assert rq.count() == 1
+        assert rq.quantile(0.5) > 0.05
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RollingQuantile(window_s=0)
+        with pytest.raises(ValueError):
+            RollingQuantile(slots=0)
+        with pytest.raises(ValueError):
+            RollingQuantile(bounds=())
+        with pytest.raises(ValueError):
+            RollingQuantile(bounds=(2.0, 1.0))
+        rq = RollingQuantile()
+        with pytest.raises(ValueError):
+            rq.quantile(1.5)
+
+
+class TestParseTenantSlos:
+    def test_parses_targets_and_defaults(self):
+        objectives = parse_tenant_slos(
+            {"interactive": {"p99_ms": 250, "window_s": 60}}
+        )
+        (obj,) = objectives
+        assert obj.tenant == "interactive"
+        assert obj.name == "p99_ms"
+        assert obj.quantile == 0.99
+        assert obj.target_s == pytest.approx(0.25)
+        assert obj.window_s == 60
+        assert obj.slow_window_s == 600  # 10x default
+        assert obj.burn_threshold == 1.0
+        assert obj.budget == pytest.approx(0.01)
+
+    def test_multiple_objectives_per_tenant(self):
+        objectives = parse_tenant_slos(
+            {"t": {"p50_ms": 10, "p99_ms": 100, "burn_threshold": 2.0}}
+        )
+        assert {o.name for o in objectives} == {"p50_ms", "p99_ms"}
+        assert all(o.burn_threshold == 2.0 for o in objectives)
+
+    def test_rejects_malformed_specs(self):
+        with pytest.raises(ValueError):
+            parse_tenant_slos({"t": {"p75_ms": 10}})  # unknown key
+        with pytest.raises(ValueError):
+            parse_tenant_slos({"t": {"window_s": 60}})  # no objective
+        with pytest.raises(ValueError):
+            parse_tenant_slos({"t": {"p99_ms": -5}})  # non-positive target
+        with pytest.raises(ValueError):
+            parse_tenant_slos({"t": {"p99_ms": 100, "window_s": 0}})
+        with pytest.raises(ValueError):
+            parse_tenant_slos({"t": ["p99_ms"]})  # not a mapping
+
+    def test_empty_and_none_are_fine(self):
+        assert parse_tenant_slos(None) == []
+        assert parse_tenant_slos({}) == []
+
+
+SLOS = {"interactive": {"p99_ms": 100, "window_s": 10, "slow_window_s": 20}}
+
+
+class TestSloEngine:
+    def _engine(self, registry=None, on_alert=None):
+        clock = FakeClock()
+        engine = SloEngine(
+            tenant_slos=SLOS,
+            registry=registry if registry is not None else MetricsRegistry(),
+            on_alert=on_alert,
+            time_fn=clock,
+        )
+        return engine, clock
+
+    def test_no_alert_when_latencies_meet_the_objective(self):
+        engine, _clock = self._engine()
+        for _ in range(50):
+            engine.record("interactive", 0.01)
+        assert engine.evaluate() == []
+        assert engine.active_alerts() == []
+
+    def test_alert_fires_on_both_windows_burning(self):
+        fired = []
+        engine, clock = self._engine(on_alert=fired.append)
+        for _ in range(50):
+            engine.record("interactive", 0.5)  # 5x over the 100ms target
+        alerts = engine.evaluate()
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.tenant == "interactive"
+        assert alert.objective == "p99_ms"
+        assert alert.fast_burn >= 1.0 and alert.slow_burn >= 1.0
+        assert alert.observed_ms is not None and alert.observed_ms > 100
+        # Rising edge only: on_alert fired once, not on re-evaluation.
+        assert len(fired) == 1
+        engine.evaluate()
+        assert len(fired) == 1
+        payload = engine.active_alerts()
+        assert payload[0]["kind"] == "slo_burn"
+        assert payload[0]["state"] == "firing"
+
+    def test_min_samples_guards_tiny_windows(self):
+        fired = []
+        engine, _clock = self._engine(on_alert=fired.append)
+        for _ in range(SloEngine.min_samples - 1):
+            engine.record("interactive", 0.5)
+        assert engine.evaluate() == []
+        assert fired == []
+
+    def test_alert_clears_when_the_window_recovers(self):
+        engine, clock = self._engine()
+        for _ in range(50):
+            engine.record("interactive", 0.5)
+        assert len(engine.evaluate()) == 1
+        # Let both windows forget the bad minute entirely.
+        clock.advance(25.0)
+        assert engine.evaluate() == []
+        assert engine.active_alerts() == []
+
+    def test_on_alert_exceptions_are_swallowed(self):
+        def boom(alert):
+            raise RuntimeError("pager is down")
+
+        engine, _clock = self._engine(on_alert=boom)
+        for _ in range(50):
+            engine.record("interactive", 0.5)
+        assert len(engine.evaluate()) == 1  # did not propagate
+
+    def test_burn_gauges_are_rendered(self):
+        registry = MetricsRegistry()
+        engine, _clock = self._engine(registry=registry)
+        for _ in range(50):
+            engine.record("interactive", 0.5)
+        engine.evaluate()
+        text = render_prometheus([registry])
+        assert 'repro_slo_burn{objective="p99_ms",tenant="interactive",window="fast"}' in text
+        assert 'window="slow"' in text
+
+    def test_tenant_snapshot_reports_windows_and_objectives(self):
+        engine, _clock = self._engine()
+        for _ in range(40):
+            engine.record("interactive", 0.02)
+        engine.record("batch", 1.0)  # no objective declared: still tracked
+        snap = engine.tenant_snapshot()
+        assert snap["interactive"]["count"] == 40
+        assert snap["interactive"]["p50_ms"] is not None
+        (obj,) = snap["interactive"]["objectives"]
+        assert obj["objective"] == "p99_ms"
+        assert obj["target_ms"] == pytest.approx(100.0)
+        assert obj["firing"] is False
+        assert snap["batch"]["objectives"] == []
+        assert snap["batch"]["count"] == 1
+
+    def test_stream_snapshot(self):
+        engine, _clock = self._engine()
+        for _ in range(10):
+            engine.record_stream("exec:htex", 0.03)
+        snap = engine.stream_snapshot()
+        assert snap["exec:htex"]["count"] == 10
+        assert snap["exec:htex"]["p50_ms"] is not None

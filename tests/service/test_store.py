@@ -12,6 +12,7 @@ import pathlib
 import shutil
 import tempfile
 import threading
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -82,6 +83,52 @@ class TestRoundtrip:
                              on_durable=lambda i=i: fired.append(i))
         assert store.flush()
         assert fired == ["session", 0, 1, 2, 3, 4]
+        store.close()
+
+
+class TestWriterLag:
+    def test_lag_is_zero_when_caught_up(self, tmp_path):
+        store = make_store(tmp_path / "s.db")
+        assert store.lag_ms() == 0.0
+        store.save_session("sess-1", "alice", "tok")
+        assert store.flush()
+        assert store.lag_ms() == 0.0
+        store.close()
+
+    def test_lag_tracks_the_oldest_unwritten_op(self, tmp_path):
+        # No writer yet: enqueued ops can only age.
+        store = SessionStore(str(tmp_path / "s.db"), flush_ms=0.0)
+        store.save_session("sess-1", "alice", "tok")
+        time.sleep(0.05)
+        first = store.lag_ms()
+        assert first >= 40.0
+        time.sleep(0.02)
+        assert store.lag_ms() > first  # still growing: same head op
+        # Starting the writer drains the backlog and resets the clock.
+        store.start()
+        assert store.flush()
+        assert store.lag_ms() == 0.0
+        store.close()
+
+    def test_stalled_writer_shows_lag_behind_queued_ops(self, tmp_path):
+        store = make_store(tmp_path / "s.db")
+        entered = threading.Event()
+        gate = threading.Event()
+
+        def stall():  # park the writer inside a durable callback
+            entered.set()
+            gate.wait()
+
+        store._ops.put(([], stall))
+        assert entered.wait(5)  # the op below must miss the stalled batch
+        store.append_task("sess-1", 0, b"t", None)
+        time.sleep(0.05)
+        try:
+            assert store.lag_ms() >= 40.0
+        finally:
+            gate.set()
+        assert store.flush()
+        assert store.lag_ms() == 0.0
         store.close()
 
 

@@ -1,0 +1,363 @@
+#!/usr/bin/env python
+"""repro-top: a live terminal ops console for the workflow gateway.
+
+Polls the HTTP edge's unauthenticated ops surfaces —
+
+* ``GET /v1/healthz``  — liveness, per-shard readiness, store writer lag
+* ``GET /v1/stats``    — per-tenant admission counters, per-shard occupancy
+* ``GET /v1/alerts``   — SLO burn state, stragglers, sick workers
+* ``GET /metrics``     — Prometheus text (per-executor resource histograms)
+
+— and renders one screen: shard dispatch rates (derived from successive
+polls), per-tenant queue depth / in-flight / windowed p50+p99 against their
+SLO targets with a burn-rate sparkline, active alerts, the top stragglers
+with worker attribution, and per-executor task CPU/RSS usage.
+
+Interactive mode is stdlib ``curses`` (press ``q`` to quit)::
+
+    python tools/repro_top.py http://127.0.0.1:8080 --interval 2
+
+``--once --plain`` renders a single frame to stdout and exits — the mode CI
+and the tier-1 render smoke test use (no tty, no curses)::
+
+    python tools/repro_top.py http://127.0.0.1:8080 --once --plain
+
+Exit status is 0 when the edge answered, 1 when it was unreachable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Eight-level block ramp for burn-rate sparklines.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: How many polls of burn history back a sparkline (one char per poll).
+SPARK_LEN = 30
+
+#: One exposition-format sample line: name{labels} value.
+_PROM_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)")
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition text into ``(name, labels, value)`` samples.
+
+    Deliberately minimal: enough for the gauges/histograms this console
+    reads, ignoring comments, malformed lines, and non-float values.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _PROM_LINE.match(line)
+        if match is None:
+            continue
+        name, raw_labels, raw_value = match.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            continue
+        labels = (
+            {k: v.replace('\\"', '"') for k, v in _PROM_LABEL.findall(raw_labels)}
+            if raw_labels else {}
+        )
+        samples.append((name, labels, value))
+    return samples
+
+
+def spark(values: List[float], ceiling: float = 2.0) -> str:
+    """Render values as a block-character sparkline, clamped at ``ceiling``.
+
+    The default ceiling of 2.0 puts a burn rate of exactly 1.0 (spending
+    budget precisely as fast as the SLO allows) mid-ramp, so anything in
+    the top half of the sparkline is over budget.
+    """
+    if not values:
+        return ""
+    top = len(SPARK_CHARS) - 1
+    out = []
+    for v in values:
+        frac = min(max(v, 0.0), ceiling) / ceiling
+        out.append(SPARK_CHARS[round(frac * top)])
+    return "".join(out)
+
+
+class OpsPoller:
+    """Fetches the four ops surfaces and keeps cross-poll derived state:
+    per-shard dispatch rates and per-objective burn history."""
+
+    def __init__(self, base_url: str, timeout: float = 5.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._last_poll_t: Optional[float] = None
+        self._last_dispatched: Dict[int, int] = {}
+        self.dispatch_rates: Dict[int, float] = {}
+        self.burn_history: Dict[Tuple[str, str], Deque[float]] = {}
+
+    def _get(self, path: str) -> Optional[bytes]:
+        try:
+            with urllib.request.urlopen(self.base_url + path, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            # healthz answers 503 with a JSON body when no shard is alive —
+            # still a frame worth rendering.
+            return exc.read()
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    def _get_json(self, path: str) -> Optional[Dict[str, Any]]:
+        body = self._get(path)
+        if body is None:
+            return None
+        try:
+            obj = json.loads(body)
+        except ValueError:
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    def poll(self) -> Optional[Dict[str, Any]]:
+        """One frame of console state, or ``None`` if the edge is down."""
+        healthz = self._get_json("/v1/healthz")
+        if healthz is None:
+            return None
+        stats = self._get_json("/v1/stats") or {}
+        alerts = self._get_json("/v1/alerts") or {}
+        metrics_body = self._get("/metrics")
+        samples = parse_prometheus(metrics_body.decode("utf-8", "replace")) if metrics_body else []
+
+        now = time.monotonic()
+        shards = stats.get("shards") or []
+        for index, row in enumerate(shards):
+            dispatched = int(row.get("dispatched") or 0)
+            prev = self._last_dispatched.get(index)
+            if prev is not None and self._last_poll_t is not None and now > self._last_poll_t:
+                self.dispatch_rates[index] = max(
+                    0.0, (dispatched - prev) / (now - self._last_poll_t)
+                )
+            self._last_dispatched[index] = dispatched
+        self._last_poll_t = now
+
+        for tenant, snap in (alerts.get("slo") or {}).items():
+            for objective in snap.get("objectives") or []:
+                key = (tenant, str(objective.get("objective")))
+                history = self.burn_history.setdefault(key, deque(maxlen=SPARK_LEN))
+                history.append(float(objective.get("fast_burn") or 0.0))
+
+        return {
+            "healthz": healthz,
+            "stats": stats,
+            "alerts": alerts,
+            "samples": samples,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Rendering (shared by plain and curses modes: a list of text lines)
+# ---------------------------------------------------------------------------
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def _resource_rows(samples: List[Tuple[str, Dict[str, str], float]]) -> List[str]:
+    """Per-executor CPU/RSS summary from the resource histograms."""
+    cpu_sum: Dict[str, float] = {}
+    cpu_count: Dict[str, float] = {}
+    rss_buckets: Dict[str, List[Tuple[float, float]]] = {}
+    for name, labels, value in samples:
+        executor = labels.get("executor")
+        if executor is None:
+            continue
+        if name == "repro_task_cpu_seconds_sum":
+            cpu_sum[executor] = cpu_sum.get(executor, 0.0) + value
+        elif name == "repro_task_cpu_seconds_count":
+            cpu_count[executor] = cpu_count.get(executor, 0.0) + value
+        elif name == "repro_task_maxrss_kb_bucket":
+            le = labels.get("le", "+Inf")
+            bound = float("inf") if le == "+Inf" else float(le)
+            rss_buckets.setdefault(executor, []).append((bound, value))
+    rows = []
+    for executor in sorted(cpu_count):
+        count = cpu_count[executor]
+        mean_ms = (cpu_sum.get(executor, 0.0) / count * 1000.0) if count else 0.0
+        # Approximate p95 of peak RSS from the cumulative buckets: the
+        # first bucket bound covering 95% of tasks.
+        rss95 = "-"
+        buckets = sorted(rss_buckets.get(executor, []))
+        total = buckets[-1][1] if buckets else 0.0
+        for bound, cumulative in buckets:
+            if total and cumulative >= 0.95 * total:
+                rss95 = "inf" if bound == float("inf") else f"{bound / 1024.0:.0f}MB"
+                break
+        rows.append(
+            f"  {executor:<16} tasks {int(count):>7}  cpu-mean {mean_ms:>8.2f}ms"
+            f"  rss-p95<= {rss95}"
+        )
+    return rows
+
+
+def render_lines(frame: Dict[str, Any], poller: OpsPoller) -> List[str]:
+    """One console frame as plain text lines (no curses dependencies)."""
+    healthz = frame["healthz"]
+    stats = frame["stats"]
+    alerts = frame["alerts"]
+    lines: List[str] = []
+
+    status = healthz.get("status", "?")
+    lines.append(
+        f"repro-top  {poller.base_url}  status={status}"
+        f"  sessions={healthz.get('sessions', stats.get('sessions', '?'))}"
+        f"  store_lag={_fmt_ms(healthz.get('store_lag_ms'))}ms"
+    )
+    lines.append("")
+
+    shards = stats.get("shards") or healthz.get("shards") or []
+    lines.append("SHARDS   alive  inflight  queued  window  dispatched    rate/s")
+    for index, row in enumerate(shards):
+        rate = poller.dispatch_rates.get(index)
+        lines.append(
+            f"  #{index:<5} {('yes' if row.get('alive') else 'NO'):>5}"
+            f"  {row.get('inflight', 0):>8}  {row.get('queued', 0):>6}"
+            f"  {row.get('window', 0):>6}  {row.get('dispatched', 0):>10}"
+            f"  {('-' if rate is None else f'{rate:8.1f}'):>8}"
+        )
+    lines.append("")
+
+    tenants = stats.get("tenants") or {}
+    slo = alerts.get("slo") or {}
+    lines.append(
+        "TENANTS            queued  running     done   failed"
+        "   p50ms    p99ms   slo-objective            burn"
+    )
+    for tenant in sorted(set(tenants) | set(slo)):
+        counts = tenants.get(tenant, {})
+        snap = slo.get(tenant, {})
+        objectives = snap.get("objectives") or [{}]
+        first = objectives[0]
+        target = first.get("target_ms")
+        objective_text = (
+            f"{first.get('objective', '-')}<={target:.0f}" if target is not None else "-"
+        )
+        history = poller.burn_history.get((tenant, str(first.get("objective"))), [])
+        burn = first.get("fast_burn")
+        flame = " FIRING" if any(o.get("firing") for o in objectives) else ""
+        lines.append(
+            f"  {tenant:<16} {counts.get('queued', 0):>6}  {counts.get('running', 0):>7}"
+            f"  {counts.get('completed', 0):>7}  {counts.get('failed', 0):>7}"
+            f"  {_fmt_ms(snap.get('p50_ms')):>6}  {_fmt_ms(snap.get('p99_ms')):>7}"
+            f"   {objective_text:<22} {('-' if burn is None else f'{burn:.2f}'):>5}"
+            f" {spark(list(history))}{flame}"
+        )
+    lines.append("")
+
+    active = alerts.get("alerts") or []
+    lines.append(f"ALERTS ({len(active)} active)")
+    for alert in active:
+        lines.append(
+            f"  [{alert.get('kind', 'alert')}] tenant={alert.get('tenant')}"
+            f" {alert.get('objective')}<={alert.get('target_ms')}ms"
+            f" fast_burn={alert.get('fast_burn'):.2f}"
+            f" slow_burn={alert.get('slow_burn'):.2f}"
+            f" observed_p={_fmt_ms(alert.get('observed_ms'))}ms"
+        )
+    lines.append("")
+
+    stragglers = alerts.get("stragglers") or []
+    lines.append(f"STRAGGLERS (top {len(stragglers)})")
+    for row in stragglers[:10]:
+        lines.append(
+            f"  {str(row.get('trace_id')):<20} task={row.get('task')}"
+            f" tenant={row.get('tenant')} hop={row.get('hop')}"
+            f" age={row.get('age_s'):.2f}s p99={row.get('p99_s'):.3f}s"
+            f" x{row.get('over'):.1f} worker={row.get('worker')}"
+        )
+    workers = alerts.get("workers") or []
+    sick = [w for w in workers if w.get("sick")]
+    if sick:
+        lines.append("  sick workers: " + ", ".join(
+            f"{w.get('worker')} ({w.get('stragglers')} stuck)" for w in sick
+        ))
+    lines.append("")
+
+    resource_rows = _resource_rows(frame["samples"])
+    if resource_rows:
+        lines.append("TASK RESOURCES (per executor)")
+        lines.extend(resource_rows)
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Modes
+# ---------------------------------------------------------------------------
+
+def run_plain(poller: OpsPoller, interval: float, once: bool) -> int:
+    while True:
+        frame = poller.poll()
+        if frame is None:
+            print(f"repro-top: {poller.base_url} unreachable", file=sys.stderr)
+            return 1
+        print("\n".join(render_lines(frame, poller)))
+        if once:
+            return 0
+        sys.stdout.flush()
+        time.sleep(interval)
+
+
+def run_curses(poller: OpsPoller, interval: float) -> int:
+    import curses
+
+    def loop(screen: "curses.window") -> int:
+        curses.curs_set(0)
+        screen.timeout(int(interval * 1000))
+        while True:
+            frame = poller.poll()
+            screen.erase()
+            height, width = screen.getmaxyx()
+            if frame is None:
+                screen.addstr(0, 0, f"{poller.base_url} unreachable; retrying...")
+            else:
+                for y, line in enumerate(render_lines(frame, poller)[: height - 1]):
+                    try:
+                        screen.addstr(y, 0, line[: width - 1])
+                    except curses.error:
+                        break  # terminal shrank mid-draw
+            screen.refresh()
+            if screen.getch() in (ord("q"), ord("Q")):
+                return 0
+
+    return curses.wrapper(loop)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live terminal ops console for a repro workflow gateway."
+    )
+    parser.add_argument("url", help="base URL of the HTTP edge, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls (default: 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit (implies --plain)")
+    parser.add_argument("--plain", action="store_true",
+                        help="print frames to stdout instead of the curses UI")
+    args = parser.parse_args(argv)
+
+    poller = OpsPoller(args.url)
+    if args.once or args.plain:
+        return run_plain(poller, args.interval, once=args.once)
+    try:
+        return run_curses(poller, args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,12 @@ Usage::
     python tools/trace_report.py monitoring.db --task 17
     python tools/trace_report.py monitoring.db --trace trace-ab12cd34ef56
     python tools/trace_report.py monitoring.db --run <run_id> --limit 5
+    python tools/trace_report.py monitoring.db --slowest 5
+
+``--slowest N`` flips the report from chronological to diagnostic: traces
+are ranked by their single worst critical-path hop (the longest gap between
+consecutive events of the delivering attempt) and the top N waterfalls are
+printed, each annotated with that hop — the straggler post-mortem view.
 
 The database is whatever ``MonitoringHub(store=SQLiteStore(path))`` wrote;
 in-memory runs have nothing on disk to report on.
@@ -73,9 +79,28 @@ def format_trace(trace_id: str, attempts: Dict[int, List[Dict[str, Any]]]) -> st
     return "\n".join(lines)
 
 
+def worst_hop(attempts: Dict[int, List[Dict[str, Any]]]) -> Optional[Dict[str, Any]]:
+    """The longest critical-path segment of a trace's delivering attempt.
+
+    Computed in-memory from an already-loaded timeline (consecutive-event
+    gaps of the last attempt — the same segments ``critical_path`` derives),
+    so ranking a whole run doesn't re-query the database per trace.
+    """
+    if not attempts:
+        return None
+    events = attempts[max(attempts)]
+    worst: Optional[Dict[str, Any]] = None
+    for prev, nxt in zip(events, events[1:]):
+        duration = nxt["t"] - prev["t"]
+        if worst is None or duration > worst["duration_s"]:
+            worst = {"from": prev["event"], "to": nxt["event"], "duration_s": duration}
+    return worst
+
+
 def report(db_path: str, run_id: Optional[str] = None,
            task_id: Optional[int] = None, trace_id: Optional[str] = None,
-           limit: Optional[int] = None, show_critical_path: bool = False) -> str:
+           limit: Optional[int] = None, show_critical_path: bool = False,
+           slowest: Optional[int] = None) -> str:
     """Build the full text report for ``db_path`` (the CLI body, testable)."""
     store = SQLiteStore(db_path)
     try:
@@ -86,6 +111,26 @@ def report(db_path: str, run_id: Optional[str] = None,
 
         def first_t(attempts: Dict[int, List[Dict[str, Any]]]) -> float:
             return min(e["t"] for events in attempts.values() for e in events)
+
+        if slowest is not None:
+            ranked = sorted(
+                traces.items(),
+                key=lambda item: (worst_hop(item[1]) or {"duration_s": 0.0})["duration_s"],
+                reverse=True,
+            )[:slowest]
+            chunks = []
+            for tid, attempts in ranked:
+                chunk = format_trace(tid, attempts)
+                hop = worst_hop(attempts)
+                if hop is not None:
+                    chunk += (
+                        f"\n  slowest hop: {hop['from']} -> {hop['to']}"
+                        f" ({hop['duration_s'] * 1000:.3f} ms)"
+                    )
+                chunks.append(chunk)
+            header = (f"top {len(ranked)} of {len(traces)} trace(s)"
+                      " by worst critical-path hop")
+            return "\n\n".join([header] + chunks)
 
         ordered = sorted(traces.items(), key=lambda item: first_t(item[1]))
         total = len(ordered)
@@ -124,6 +169,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="show at most N traces (default 20; 0 = all)")
     parser.add_argument("--critical-path", action="store_true",
                         help="append each trace's slowest hop")
+    parser.add_argument("--slowest", type=int, default=None, metavar="N",
+                        help="rank traces by worst critical-path hop and "
+                             "show the top N waterfalls")
     args = parser.parse_args(argv)
     if not os.path.exists(args.db):
         print(f"error: {args.db} does not exist", file=sys.stderr)
@@ -132,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.db, run_id=args.run, task_id=args.task, trace_id=args.trace,
         limit=None if args.limit == 0 else args.limit,
         show_critical_path=args.critical_path,
+        slowest=args.slowest,
     ))
     return 0
 
